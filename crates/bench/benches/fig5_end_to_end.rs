@@ -1,0 +1,96 @@
+//! Figure 5: the full evaluation grid.
+//!
+//! Wall-clock end-to-end time of all five strategies (Blocked MM, MAXIMUS,
+//! LEMP, FEXIPRO-SIR, FEXIPRO-SI) on every reference model and
+//! K ∈ {1, 5, 10, 50} — 92 model/K combinations, as in the paper. Prints
+//! one row per combination plus the paper's headline aggregates: per-pair
+//! win counts and geometric-mean speedups.
+
+use mips_bench::{
+    build_model, end_to_end_seconds, figure5_strategies, fmt_secs, geo_mean, Table, PAPER_KS,
+};
+use mips_data::catalog::reference_models;
+
+fn main() {
+    println!("== Figure 5: end-to-end runtime, all models x K ==\n");
+    let mut table = Table::new(&[
+        "model",
+        "K",
+        "Blocked MM",
+        "Maximus",
+        "LEMP",
+        "FEXIPRO-SIR",
+        "FEXIPRO-SI",
+        "fastest",
+    ]);
+    // Win counters over {BMM, Maximus, LEMP} as in the paper's three-way
+    // comparison, plus speedup samples.
+    let mut wins = [0usize; 3];
+    let mut maximus_vs_lemp = Vec::new();
+    let mut maximus_vs_bmm = Vec::new();
+    let mut maximus_vs_fexipro_si = Vec::new();
+    let mut combos = 0usize;
+
+    for spec in reference_models() {
+        let model = build_model(&spec);
+        let strategies = figure5_strategies(&spec, &model);
+        for k in PAPER_KS {
+            let times: Vec<f64> = strategies
+                .iter()
+                .map(|s| end_to_end_seconds(s, &model, k))
+                .collect();
+            let (bmm, maximus, lemp, sir, si) = (times[0], times[1], times[2], times[3], times[4]);
+            let fastest_idx = times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            table.row(vec![
+                model.name().to_string(),
+                k.to_string(),
+                fmt_secs(bmm),
+                fmt_secs(maximus),
+                fmt_secs(lemp),
+                fmt_secs(sir),
+                fmt_secs(si),
+                strategies[fastest_idx].name().to_string(),
+            ]);
+
+            let three_way = [bmm, maximus, lemp];
+            let w = three_way
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            wins[w] += 1;
+            maximus_vs_lemp.push(lemp / maximus);
+            maximus_vs_bmm.push(bmm / maximus);
+            maximus_vs_fexipro_si.push(si / maximus);
+            combos += 1;
+        }
+    }
+    table.print();
+
+    println!("\n-- aggregates over {combos} model/K combinations --");
+    println!(
+        "fastest of {{BMM, Maximus, LEMP}}: BMM {} | Maximus {} | LEMP {}   (paper: 53 | 28 | 11)",
+        wins[0], wins[1], wins[2]
+    );
+    println!(
+        "Maximus vs LEMP:       {:.2}x geo-mean, up to {:.1}x   (paper: 1.8x avg, up to 10.6x)",
+        geo_mean(&maximus_vs_lemp),
+        maximus_vs_lemp.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "Maximus vs Blocked MM: {:.2}x geo-mean, up to {:.1}x   (paper: 2.7x avg, up to 43.4x)",
+        geo_mean(&maximus_vs_bmm),
+        maximus_vs_bmm.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "Maximus vs FEXIPRO-SI: {:.2}x geo-mean, up to {:.1}x   (paper: >10x avg)",
+        geo_mean(&maximus_vs_fexipro_si),
+        maximus_vs_fexipro_si.iter().cloned().fold(0.0, f64::max)
+    );
+}

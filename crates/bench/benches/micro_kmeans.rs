@@ -1,0 +1,58 @@
+//! Micro-benchmark: k-means vs spherical clustering (§III-A).
+//!
+//! MAXIMUS clusters users with plain Euclidean k-means rather than the
+//! spherical clustering of Koenigstein et al. The paper's justification:
+//! k-means' max user–centroid angles are only ~7 % worse while clustering
+//! runs 2–3× faster. This bench measures both claims on a scaled user
+//! matrix.
+
+use mips_bench::{build_model, fmt_secs, time_seconds, Table};
+use mips_clustering::{kmeans, max_angles_per_cluster, spherical_kmeans, KMeansConfig};
+use mips_data::catalog::find;
+
+fn main() {
+    println!("== Micro: k-means vs spherical clustering for MAXIMUS (§III-A) ==\n");
+    let mut table = Table::new(&[
+        "model",
+        "algorithm",
+        "time",
+        "mean θ_b (rad)",
+        "θ_b vs spherical",
+    ]);
+    for (dataset, training, f) in [("Netflix", "DSGD", 50), ("R2", "NOMAD", 50)] {
+        let spec = find(dataset, training, f).expect("catalog model");
+        let model = build_model(&spec);
+        let cfg = KMeansConfig {
+            k: 8,
+            max_iters: 3,
+            seed: 0xC1,
+        };
+        let (t_euclid, euclid) = time_seconds(|| kmeans(model.users(), &cfg));
+        let (t_sphere, sphere) = time_seconds(|| spherical_kmeans(model.users(), &cfg));
+        let mean_theta = |cl: &mips_clustering::Clustering| {
+            let thetas = max_angles_per_cluster(model.users(), cl);
+            thetas.iter().sum::<f64>() / thetas.len() as f64
+        };
+        let te = mean_theta(&euclid);
+        let ts = mean_theta(&sphere);
+        table.row(vec![
+            model.name().to_string(),
+            "k-means".into(),
+            fmt_secs(t_euclid),
+            format!("{te:.3}"),
+            format!("{:+.1}%", (te / ts - 1.0) * 100.0),
+        ]);
+        table.row(vec![
+            model.name().to_string(),
+            "spherical".into(),
+            fmt_secs(t_sphere),
+            format!("{ts:.3}"),
+            "baseline".into(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper: k-means' θ values were ~7% above spherical clustering's while \
+         running 2-3x faster, for a 5-10% end-to-end gain."
+    );
+}

@@ -1,0 +1,45 @@
+//! Micro-benchmark: heap-based top-k selection.
+//!
+//! The BMM pipeline's second stage (§II-B): select top-K per score row with
+//! a bounded min-heap. The paper notes this stage is data-dependent and
+//! non-negligible (≥ 9.5 % of runtime on their largest models), which is why
+//! OPTIMUS measures it online instead of modelling it analytically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mips_topk::row_topk;
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0
+        })
+        .collect()
+}
+
+fn bench_row_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_topk");
+    let row = scores(100_000, 7);
+    group.throughput(Throughput::Elements(row.len() as u64));
+    for k in [1usize, 10, 50, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| row_topk(&row, k))
+        });
+    }
+    group.finish();
+
+    // Sorted-ascending input is the heap's worst case: every element beats
+    // the threshold and forces a push.
+    let mut worst = row.clone();
+    worst.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut group = c.benchmark_group("row_topk_adversarial");
+    group.throughput(Throughput::Elements(worst.len() as u64));
+    group.bench_function("ascending_k10", |bench| bench.iter(|| row_topk(&worst, 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_topk);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Per-cluster maximum user–centroid angles: the θ_b of Equation 3.
+//!
+//! MAXIMUS's pruning bound replaces each user's angle to its centroid with
+//! the *largest* such angle in the cluster, `θ_b = max_{u ∈ C} θ_uc`
+//! (Algorithm 1, `ConstructIndex`). A coarser θ_b weakens pruning but keeps
+//! one sorted item list per cluster instead of one per user.
+
+use crate::kmeans::Clustering;
+use mips_linalg::kernels::angle;
+use mips_linalg::Matrix;
+
+/// Computes `θ_b` for every cluster: the maximum angle between a member
+/// vector and the cluster centroid.
+///
+/// Empty clusters get `θ_b = 0` (no user ever walks their list).
+/// Zero-norm users contribute angle 0 ([`angle`] returns `acos(0) = π/2`
+/// for zero vectors via the cosine convention — we explicitly skip them so a
+/// degenerate user cannot blow up the whole cluster's bound; such users match
+/// every item equally and are handled by the query path directly).
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn max_angles_per_cluster(points: &Matrix<f64>, clustering: &Clustering) -> Vec<f64> {
+    assert_eq!(
+        points.cols(),
+        clustering.centroids.cols(),
+        "max_angles_per_cluster: dimension mismatch"
+    );
+    let mut out = vec![0.0f64; clustering.k()];
+    for (c, members) in clustering.members.iter().enumerate() {
+        let centroid = clustering.centroids.row(c);
+        let mut worst: f64 = 0.0;
+        for &p in members {
+            let row = points.row(p as usize);
+            if row.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            worst = worst.max(angle(row, centroid));
+        }
+        out[c] = worst;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    #[test]
+    fn theta_b_bounds_every_member_angle() {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let t = i as f64 * 0.05;
+            rows.push(vec![t.cos(), t.sin(), 0.3 * t]);
+        }
+        let points = Matrix::from_rows(&rows).unwrap();
+        let cl = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 4,
+                max_iters: 6,
+                seed: 8,
+            },
+        );
+        let thetas = max_angles_per_cluster(&points, &cl);
+        for (p, &c) in cl.assignments.iter().enumerate() {
+            let a = angle(points.row(p), cl.centroids.row(c as usize));
+            assert!(
+                a <= thetas[c as usize] + 1e-12,
+                "user {p} angle {a} exceeds θ_b {}",
+                thetas[c as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn tight_cluster_has_small_theta() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, 1e-4 * i as f64]).collect();
+        let points = Matrix::from_rows(&rows).unwrap();
+        let cl = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 2,
+                seed: 0,
+            },
+        );
+        let thetas = max_angles_per_cluster(&points, &cl);
+        assert!(thetas[0] < 1e-3);
+    }
+
+    #[test]
+    fn zero_vectors_do_not_inflate_theta() {
+        let points = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.001],
+            vec![0.0, 0.0], // degenerate user
+        ])
+        .unwrap();
+        let cl = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 2,
+                seed: 0,
+            },
+        );
+        let thetas = max_angles_per_cluster(&points, &cl);
+        assert!(thetas[0] < 0.1, "zero vector inflated θ_b: {}", thetas[0]);
+    }
+
+    #[test]
+    fn spread_directions_have_large_theta() {
+        let points = Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0]]).unwrap();
+        let cl = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 1,
+                seed: 0,
+            },
+        );
+        // Centroid is ~origin; angles are ill-conditioned but must stay finite
+        // and within [0, π].
+        let thetas = max_angles_per_cluster(&points, &cl);
+        assert!(thetas[0] >= 0.0 && thetas[0] <= std::f64::consts::PI);
+    }
+}

@@ -1,0 +1,367 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! MAXIMUS only needs a *few* clusters over a *few* iterations (the paper's
+//! defaults are `|C| = 8`, `i = 3`), so this implementation favours
+//! simplicity and deterministic behaviour over asymptotic cleverness; the
+//! distance evaluations dominate and use the fused `‖x−c‖² = ‖x‖² − 2x·c +
+//! ‖c‖²` form with contiguous row access.
+
+use mips_linalg::kernels::{dist2_sq, dot, norm2_sq};
+use mips_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters (clamped to the number of points).
+    pub k: usize,
+    /// Maximum Lloyd iterations (the paper finds 3 suffices for MAXIMUS).
+    pub max_iters: usize,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster centroids, one per row (`k × f`).
+    pub centroids: Matrix<f64>,
+    /// Cluster id of every input point.
+    pub assignments: Vec<u32>,
+    /// Point indices grouped by cluster (`members[c]` lists the rows of the
+    /// input assigned to cluster `c`).
+    pub members: Vec<Vec<u32>>,
+    /// Sum of squared distances to assigned centroids after the final
+    /// iteration.
+    pub inertia: f64,
+    /// Iterations actually executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Validates internal consistency (used by tests and debug assertions).
+    pub fn check_invariants(&self, n_points: usize) {
+        assert_eq!(self.assignments.len(), n_points);
+        assert_eq!(self.members.len(), self.k());
+        let total: usize = self.members.iter().map(Vec::len).sum();
+        assert_eq!(total, n_points, "members must partition the points");
+        for (c, members) in self.members.iter().enumerate() {
+            for &p in members {
+                assert_eq!(self.assignments[p as usize] as usize, c);
+            }
+        }
+    }
+}
+
+/// Runs Lloyd's k-means over the rows of `points`.
+///
+/// Deterministic for a fixed seed. `k` is clamped to the number of points;
+/// clusters left empty by an update step are re-seeded with the point
+/// furthest from its centroid (standard empty-cluster repair).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans(points: &Matrix<f64>, config: &KMeansConfig) -> Clustering {
+    assert!(points.rows() > 0, "kmeans: no points");
+    assert!(config.k > 0, "kmeans: k must be positive");
+    let n = points.rows();
+    let f = points.cols();
+    let k = config.k.min(n);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut centroids = plus_plus_seed(points, k, &mut rng);
+    let mut assignments = vec![0u32; n];
+    let mut prev_inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let new_inertia = assign_points(points, &centroids, &mut assignments);
+
+        // Update step.
+        let mut sums = Matrix::<f64>::zeros(k, f);
+        let mut counts = vec![0usize; k];
+        for (p, &c) in assignments.iter().enumerate() {
+            counts[c as usize] += 1;
+            let row = points.row(p);
+            let acc = sums.row_mut(c as usize);
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        for (c, count) in counts.iter_mut().enumerate() {
+            if *count == 0 {
+                // Re-seed an empty cluster with the point worst served by its
+                // current centroid.
+                let far = furthest_point(points, &centroids, &assignments);
+                sums.row_mut(c).copy_from_slice(points.row(far));
+                *count = 1;
+            }
+            let inv = 1.0 / *count as f64;
+            for v in sums.row_mut(c) {
+                *v *= inv;
+            }
+        }
+        centroids = sums;
+
+        // Converged when the assignment objective stops improving.
+        if (prev_inertia - new_inertia).abs() <= 1e-12 * (1.0 + prev_inertia.abs()) {
+            break;
+        }
+        prev_inertia = new_inertia;
+    }
+
+    // Final assignment against the final centroids so `members` matches.
+    let inertia = assign_points(points, &centroids, &mut assignments);
+    let mut members = vec![Vec::new(); k];
+    for (p, &c) in assignments.iter().enumerate() {
+        members[c as usize].push(p as u32);
+    }
+
+    Clustering {
+        centroids,
+        assignments,
+        members,
+        inertia,
+        iterations,
+    }
+}
+
+/// Assigns every point to its nearest centroid; returns the total squared
+/// distance. Ties break toward the lower cluster id (determinism).
+fn assign_points(points: &Matrix<f64>, centroids: &Matrix<f64>, out: &mut [u32]) -> f64 {
+    let centroid_sq: Vec<f64> = centroids.iter_rows().map(norm2_sq).collect();
+    let mut total = 0.0;
+    for (p, row) in points.iter_rows().enumerate() {
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (c, crow) in centroids.iter_rows().enumerate() {
+            // ‖x−c‖² = ‖x‖² − 2x·c + ‖c‖²; ‖x‖² is constant per point, so
+            // comparing −2x·c + ‖c‖² is enough and saves a pass.
+            let d = centroid_sq[c] - 2.0 * dot(row, crow);
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+        out[p] = best;
+        total += dist2_sq(row, centroids.row(best as usize));
+    }
+    total
+}
+
+/// k-means++ seeding: D²-weighted sampling of initial centroids.
+fn plus_plus_seed(points: &Matrix<f64>, k: usize, rng: &mut StdRng) -> Matrix<f64> {
+    let n = points.rows();
+    let f = points.cols();
+    let mut centroids = Matrix::<f64>::zeros(k, f);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+
+    let mut dist_sq: Vec<f64> = points
+        .iter_rows()
+        .map(|row| dist2_sq(row, centroids.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let total: f64 = dist_sq.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids; any index works.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(chosen));
+        for (i, d) in dist_sq.iter_mut().enumerate() {
+            let nd = dist2_sq(points.row(i), centroids.row(c));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// The point with the largest distance to its assigned centroid.
+fn furthest_point(points: &Matrix<f64>, centroids: &Matrix<f64>, assignments: &[u32]) -> usize {
+    let mut best = 0;
+    let mut best_d = -1.0;
+    for (p, row) in points.iter_rows().enumerate() {
+        let d = dist2_sq(row, centroids.row(assignments[p] as usize));
+        if d > best_d {
+            best_d = d;
+            best = p;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs on a line.
+    fn blobs() -> Matrix<f64> {
+        let mut rows = Vec::new();
+        for center in [0.0, 10.0, 20.0] {
+            for i in 0..20 {
+                let jitter = (i as f64 % 5.0) * 0.01;
+                rows.push(vec![center + jitter, center - jitter]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separable_blobs_are_recovered() {
+        let points = blobs();
+        let result = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 10,
+                seed: 7,
+            },
+        );
+        result.check_invariants(points.rows());
+        // Every blob lands in a single cluster.
+        for blob in 0..3 {
+            let first = result.assignments[blob * 20];
+            for i in 0..20 {
+                assert_eq!(result.assignments[blob * 20 + i], first, "blob {blob}");
+            }
+        }
+        // Inertia is tiny relative to blob separation.
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            max_iters: 5,
+            seed: 42,
+        };
+        let a = kmeans(&points, &cfg);
+        let b = kmeans(&points, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let points = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let result = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 10,
+                max_iters: 3,
+                seed: 1,
+            },
+        );
+        assert_eq!(result.k(), 2);
+        result.check_invariants(2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let result = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 2,
+                seed: 0,
+            },
+        );
+        assert!((result.centroids.get(0, 0) - 3.0).abs() < 1e-12);
+        assert!((result.centroids.get(0, 1) - 4.0).abs() < 1e-12);
+        assert_eq!(result.members[0].len(), 3);
+    }
+
+    #[test]
+    fn identical_points_yield_zero_inertia() {
+        let points = Matrix::from_rows(&vec![vec![2.0, 2.0]; 8]).unwrap();
+        let result = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 4,
+                seed: 9,
+            },
+        );
+        assert!(result.inertia < 1e-20);
+        result.check_invariants(8);
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_inertia() {
+        let points = blobs();
+        let short = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 1,
+                seed: 3,
+            },
+        );
+        let long = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 12,
+                seed: 3,
+            },
+        );
+        assert!(long.inertia <= short.inertia + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn rejects_empty_input() {
+        let points = Matrix::<f64>::zeros(0, 3);
+        let _ = kmeans(&points, &KMeansConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let points = Matrix::<f64>::zeros(2, 2);
+        let _ = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 0,
+                max_iters: 1,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! [`MipsSolver`] adapters for the LEMP and FEXIPRO baseline crates.
+
+use crate::solver::MipsSolver;
+use mips_data::MfModel;
+use mips_fexipro::{FexiproConfig, FexiproIndex};
+use mips_lemp::{LempConfig, LempIndex};
+use mips_topk::TopKList;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// LEMP behind the common solver interface.
+pub struct LempSolver {
+    model: Arc<MfModel>,
+    index: LempIndex,
+    build_seconds: f64,
+}
+
+impl LempSolver {
+    /// Builds the LEMP index (bucketing + per-bucket tuning).
+    pub fn build(model: Arc<MfModel>, config: &LempConfig) -> LempSolver {
+        let start = Instant::now();
+        let index = LempIndex::build(&model, config);
+        let build_seconds = start.elapsed().as_secs_f64();
+        LempSolver {
+            model,
+            index,
+            build_seconds,
+        }
+    }
+
+    /// The wrapped index (for stats-aware benches).
+    pub fn index(&self) -> &LempIndex {
+        &self.index
+    }
+}
+
+impl MipsSolver for LempSolver {
+    fn name(&self) -> &str {
+        "LEMP"
+    }
+
+    fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    fn batches_users(&self) -> bool {
+        false // point queries: OPTIMUS may t-test LEMP
+    }
+
+    fn num_users(&self) -> usize {
+        self.model.num_users()
+    }
+
+    fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
+        assert!(users.end <= self.num_users(), "user range out of bounds");
+        users
+            .map(|u| self.index.query(self.model.users().row(u), k))
+            .collect()
+    }
+
+    fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
+        users
+            .iter()
+            .map(|&u| self.index.query(self.model.users().row(u), k))
+            .collect()
+    }
+}
+
+/// FEXIPRO behind the common solver interface.
+pub struct FexiproSolver {
+    index: FexiproIndex,
+    name: &'static str,
+    build_seconds: f64,
+}
+
+impl FexiproSolver {
+    /// Builds the FEXIPRO index (SVD, quantization, user preprocessing).
+    pub fn build(model: Arc<MfModel>, config: &FexiproConfig) -> FexiproSolver {
+        let start = Instant::now();
+        let index = FexiproIndex::build(&model, config);
+        let build_seconds = start.elapsed().as_secs_f64();
+        let name = if config.enable_reduction {
+            "FEXIPRO-SIR"
+        } else {
+            "FEXIPRO-SI"
+        };
+        FexiproSolver {
+            index,
+            name,
+            build_seconds,
+        }
+    }
+
+    /// The wrapped index (for stats-aware benches).
+    pub fn index(&self) -> &FexiproIndex {
+        &self.index
+    }
+}
+
+impl MipsSolver for FexiproSolver {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    fn batches_users(&self) -> bool {
+        false // point queries: OPTIMUS may t-test FEXIPRO
+    }
+
+    fn num_users(&self) -> usize {
+        self.index.num_users()
+    }
+
+    fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
+        assert!(users.end <= self.num_users(), "user range out of bounds");
+        users.map(|u| self.index.query_user(u, k)).collect()
+    }
+
+    fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
+        users.iter().map(|&u| self.index.query_user(u, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmm::BmmSolver;
+    use mips_data::synth::{synth_model, SynthConfig};
+
+    fn model() -> Arc<MfModel> {
+        Arc::new(synth_model(&SynthConfig {
+            num_users: 20,
+            num_items: 60,
+            num_factors: 8,
+            ..SynthConfig::default()
+        }))
+    }
+
+    #[test]
+    fn adapters_agree_with_bmm() {
+        let m = model();
+        let bmm = BmmSolver::build(Arc::clone(&m));
+        let want = bmm.query_all(4);
+
+        let lemp = LempSolver::build(Arc::clone(&m), &LempConfig::default());
+        let got = lemp.query_all(4);
+        for u in 0..20 {
+            assert_eq!(got[u].items, want[u].items, "LEMP user {u}");
+        }
+
+        for cfg in [FexiproConfig::si(), FexiproConfig::sir()] {
+            let fex = FexiproSolver::build(Arc::clone(&m), &cfg);
+            let got = fex.query_all(4);
+            for u in 0..20 {
+                assert_eq!(got[u].items, want[u].items, "{} user {u}", fex.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adapters_report_point_query_semantics() {
+        let m = model();
+        assert!(!LempSolver::build(Arc::clone(&m), &LempConfig::default()).batches_users());
+        assert!(!FexiproSolver::build(m, &FexiproConfig::si()).batches_users());
+    }
+
+    #[test]
+    fn build_time_is_recorded() {
+        let m = model();
+        let lemp = LempSolver::build(m, &LempConfig::default());
+        assert!(lemp.build_seconds() >= 0.0);
+        assert!(lemp.build_seconds() < 10.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Exact maximum inner product search: blocked matrix multiply, the MAXIMUS
+//! index, and the OPTIMUS online optimizer.
+//!
+//! This crate implements the two contributions of *"To Index or Not to
+//! Index: Optimizing Exact Maximum Inner Product Search"* (Abuzaid et al.,
+//! ICDE 2019), plus the common solver interface that ties them to the LEMP
+//! and FEXIPRO baseline ports:
+//!
+//! * [`bmm`] — the hardware-efficient brute force (§II-B): one blocked
+//!   matrix multiply per user batch followed by heap-based top-k selection.
+//! * [`maximus`] — the paper's index (§III): k-means user clusters, a
+//!   per-cluster sorted item list under the Koenigstein angular bound, and a
+//!   work-shared blocked multiply over the first `B` list items.
+//! * [`optimus`] — the paper's optimizer (§IV): builds candidate indexes
+//!   (construction is cheap relative to serving, Fig. 4), times them and BMM
+//!   on a small user sample sized to occupy the L2 cache, optionally stops
+//!   sampling early with an incremental t-test, then serves the remaining
+//!   users with the estimated winner.
+//! * [`solver`] — the [`solver::MipsSolver`] trait and [`solver::Strategy`]
+//!   factory enum shared by everything above.
+//! * [`parallel`] — multi-core serving by user partitioning (Fig. 6).
+//! * [`verify`] — a semantic exactness checker used throughout the test
+//!   suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod bmm;
+pub mod maximus;
+pub mod optimus;
+pub mod parallel;
+pub mod solver;
+pub mod verify;
+
+pub use adapters::{FexiproSolver, LempSolver};
+pub use bmm::BmmSolver;
+pub use maximus::{MaximusConfig, MaximusIndex};
+pub use optimus::{Optimus, OptimusConfig, OptimusOutcome};
+pub use solver::{MipsSolver, Strategy};

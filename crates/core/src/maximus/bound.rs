@@ -1,0 +1,115 @@
+//! The Koenigstein angular bound (Equations 2 and 3 of the paper).
+//!
+//! For a user `u` assigned to a cluster with centroid `c`, the triangle
+//! inequality on angular distance gives `θ_ui ≥ θ_ic − θ_uc`, hence the
+//! norm-scaled rating `r*_ui = uᵀi / ‖u‖ = ‖i‖·cos(θ_ui)` is at most
+//!
+//! ```text
+//! r*_ui ≤ ‖i‖·cos(θ_ic − θ_b)   if θ_b < θ_ic      (Eqn. 3)
+//! r*_ui ≤ ‖i‖                    otherwise
+//! ```
+//!
+//! where `θ_b = max_{u ∈ C} θ_uc` is the cluster's worst user–centroid
+//! angle. MAXIMUS sorts each cluster's items by this bound and stops walking
+//! the list as soon as the bound falls below the current top-k threshold.
+
+/// Evaluates the cluster bound `CBound(c, i, θ_b)` of Algorithm 1.
+///
+/// `item_norm` is `‖i‖`, `theta_ic` the angle between item and centroid and
+/// `theta_b` the cluster's maximum user–centroid angle, all in radians.
+#[inline]
+pub fn cbound(item_norm: f64, theta_ic: f64, theta_b: f64) -> f64 {
+    debug_assert!(item_norm >= 0.0);
+    if theta_b < theta_ic {
+        item_norm * (theta_ic - theta_b).cos()
+    } else {
+        item_norm
+    }
+}
+
+/// Additive slack applied to `θ_b` at construction. `acos` is
+/// ill-conditioned near 0 and π (error ~ √ε ≈ 1e-8 for double inputs a few
+/// ulps outside [-1, 1] before clamping), so the stored angle is widened by
+/// an order of magnitude more than the worst case; a wider angle only
+/// loosens the bound, never breaking exactness.
+pub const THETA_SLACK: f64 = 1e-7;
+
+/// Relative slack applied to the bound value itself (covers the `cos`,
+/// multiply and compare rounding at query time).
+pub const BOUND_REL_SLACK: f64 = 1e-9;
+
+/// The inflated, sort-ready bound stored in the index:
+/// `CBound(‖i‖, θ_ic, θ_b + THETA_SLACK) + ‖i‖·BOUND_REL_SLACK`.
+#[inline]
+pub fn stored_bound(item_norm: f64, theta_ic: f64, theta_b: f64) -> f64 {
+    cbound(item_norm, theta_ic, theta_b + THETA_SLACK) + item_norm * BOUND_REL_SLACK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_linalg::kernels::{angle, dot, norm2};
+
+    #[test]
+    fn equals_norm_when_theta_b_dominates() {
+        assert_eq!(cbound(2.0, 0.3, 0.3), 2.0);
+        assert_eq!(cbound(2.0, 0.3, 0.5), 2.0);
+        assert_eq!(cbound(5.0, 0.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn shrinks_with_angular_separation() {
+        // Far item, tight cluster: bound approaches ‖i‖·cos(θ_ic).
+        let tight = cbound(1.0, 1.2, 0.1);
+        let loose = cbound(1.0, 1.2, 0.8);
+        assert!(tight < loose);
+        assert!((cbound(1.0, std::f64::consts::FRAC_PI_2, 0.0) - 0.0).abs() < 1e-12);
+    }
+
+    /// The central exactness property: for random (user, centroid, item)
+    /// triples with θ_uc ≤ θ_b, the bound dominates the true normalized
+    /// rating.
+    #[test]
+    fn dominates_true_normalized_rating() {
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for trial in 0..2000 {
+            let f = 2 + (trial % 7);
+            let user: Vec<f64> = (0..f).map(|_| next()).collect();
+            let centroid: Vec<f64> = (0..f).map(|_| next()).collect();
+            let item: Vec<f64> = (0..f).map(|_| next()).collect();
+            let un = norm2(&user);
+            if un == 0.0 || norm2(&centroid) == 0.0 {
+                continue;
+            }
+            let theta_uc = angle(&user, &centroid);
+            let theta_ic = angle(&item, &centroid);
+            // θ_b must dominate θ_uc, as it does for all cluster members.
+            let theta_b = theta_uc * (1.0 + (next().abs() * 0.5));
+            let r_star = dot(&user, &item) / un;
+            let bound = cbound(norm2(&item), theta_ic, theta_b);
+            assert!(
+                r_star <= bound + 1e-9 * (1.0 + bound.abs()),
+                "trial {trial}: r* {r_star} > bound {bound} (θ_uc={theta_uc}, θ_ic={theta_ic}, θ_b={theta_b})"
+            );
+        }
+    }
+
+    #[test]
+    fn stored_bound_strictly_dominates_cbound() {
+        for &(n, tic, tb) in &[(1.0, 0.7, 0.2), (3.0, 0.1, 0.9), (0.0, 1.0, 0.0)] {
+            assert!(stored_bound(n, tic, tb) >= cbound(n, tic, tb));
+        }
+    }
+
+    #[test]
+    fn zero_norm_item_bounds_at_zero() {
+        assert_eq!(cbound(0.0, 0.4, 0.1), 0.0);
+        assert_eq!(stored_bound(0.0, 0.4, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! OPTIMUS: the online, sample-based MIPS serving optimizer (§IV).
+//!
+//! Given a model and a set of candidate strategies (BMM plus one or more
+//! indexes), OPTIMUS:
+//!
+//! 1. **builds every candidate index** — construction is orders of magnitude
+//!    cheaper than serving (Fig. 4), so this is affordable;
+//! 2. **samples users** — a fraction of `U` (default 0.5 %) floored so the
+//!    sampled user block at least occupies the L2 cache, without which BMM's
+//!    timing degenerates toward matrix–vector multiply (§IV-A);
+//! 3. **times BMM and every index on the sample** and linearly extrapolates
+//!    total serving time. For point-query indexes (LEMP, FEXIPRO) an
+//!    incremental one-sample t-test against BMM's mean per-user time stops
+//!    sampling as soon as the comparison is statistically settled;
+//! 4. **serves the remaining users with the estimated winner**, reusing the
+//!    winner's sampled results.
+//!
+//! [`cost`] additionally implements the paper's offline analytical FLOP
+//! model for the BMM multiply stage, with calibration replacing the paper's
+//! hardware datasheet lookup.
+
+pub mod cost;
+pub mod oracle;
+
+use crate::solver::{MipsSolver, Strategy};
+use mips_data::MfModel;
+use mips_linalg::CacheConfig;
+use mips_stats::{OneSampleTTest, TTestDecision};
+use mips_topk::TopKList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// OPTIMUS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimusConfig {
+    /// Fraction of users sampled for runtime estimation (paper: 0.5 %).
+    pub sample_fraction: f64,
+    /// Cache geometry used for the L2-occupancy sample floor.
+    pub cache: CacheConfig,
+    /// Significance level for the early-stopping t-test (paper: 5 %).
+    pub alpha: f64,
+    /// Minimum observations before the t-test may decide.
+    pub min_t_samples: u64,
+    /// Enable t-test early stopping for point-query indexes.
+    pub early_stopping: bool,
+    /// Seed for user sampling.
+    pub seed: u64,
+}
+
+impl Default for OptimusConfig {
+    fn default() -> Self {
+        OptimusConfig {
+            sample_fraction: 0.005,
+            cache: CacheConfig::default(),
+            alpha: 0.05,
+            min_t_samples: 8,
+            early_stopping: true,
+            seed: 0x0971,
+        }
+    }
+}
+
+/// One candidate's measured estimate.
+#[derive(Debug, Clone)]
+pub struct StrategyEstimate {
+    /// Strategy display name.
+    pub name: String,
+    /// Index construction seconds (0 for BMM).
+    pub build_seconds: f64,
+    /// Users actually timed (may be below the sample size when the t-test
+    /// stopped early).
+    pub sampled_users: usize,
+    /// Measured sampling seconds.
+    pub sample_seconds: f64,
+    /// Extrapolated total serving time for all users, in seconds.
+    pub estimated_total_seconds: f64,
+}
+
+/// The outcome of one OPTIMUS invocation.
+pub struct OptimusOutcome {
+    /// Name of the chosen strategy.
+    pub chosen: String,
+    /// Per-candidate estimates (BMM first, then indexes in input order).
+    pub estimates: Vec<StrategyEstimate>,
+    /// Users sampled for estimation.
+    pub sample_size: usize,
+    /// Wall-clock seconds spent on construction + sampling (the optimizer's
+    /// overhead before the main run starts).
+    pub decision_seconds: f64,
+    /// Wall-clock seconds of the full invocation, decision included.
+    pub total_seconds: f64,
+    /// Top-k results for every user, in user order.
+    pub results: Vec<TopKList>,
+}
+
+/// Everything the estimation phase produces: estimates plus the built
+/// solvers and sampled results, so the serving phase can reuse them.
+struct EstimationPhase {
+    sample: Vec<usize>,
+    taken: Vec<bool>,
+    bmm: Box<dyn MipsSolver>,
+    built: Vec<Box<dyn MipsSolver>>,
+    estimates: Vec<StrategyEstimate>,
+    bmm_results: Vec<TopKList>,
+    index_results: Vec<Option<Vec<TopKList>>>,
+}
+
+/// The OPTIMUS optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct Optimus {
+    config: OptimusConfig,
+}
+
+impl Optimus {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: OptimusConfig) -> Optimus {
+        assert!(
+            config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
+            "OptimusConfig: sample_fraction must be in (0, 1]"
+        );
+        Optimus { config }
+    }
+
+    /// The sample size rule of §IV-A: `max(fraction·|U|, L2-occupancy rows,
+    /// 2)`, capped at `|U|`.
+    pub fn sample_size(&self, num_users: usize, f: usize) -> usize {
+        let by_fraction = (num_users as f64 * self.config.sample_fraction).ceil() as usize;
+        let l2_floor = self.config.cache.rows_to_fill_l2(f, 8);
+        by_fraction.max(l2_floor).max(2).min(num_users)
+    }
+
+    /// Runs only the estimation phase (construction + sampling + per-user
+    /// timing) and returns the per-strategy estimates without serving the
+    /// remaining users. This is the measurement behind Fig. 7, which plots
+    /// estimate quality against the sample ratio.
+    pub fn estimate_only(
+        &self,
+        model: &Arc<MfModel>,
+        k: usize,
+        indexes: &[Strategy],
+    ) -> Vec<StrategyEstimate> {
+        self.estimation_phase(model, k, indexes).estimates
+    }
+
+    /// Construction plus sampling: everything OPTIMUS does before
+    /// committing to a strategy.
+    fn estimation_phase(
+        &self,
+        model: &Arc<MfModel>,
+        k: usize,
+        indexes: &[Strategy],
+    ) -> EstimationPhase {
+        assert!(
+            !indexes.iter().any(|s| matches!(s, Strategy::Bmm)),
+            "Optimus: BMM is always included; pass only index strategies"
+        );
+        let n = model.num_users();
+        let sample_size = self.sample_size(n, model.num_factors());
+
+        // Distinct sampled users, deterministic per seed.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut sample: Vec<usize> = Vec::with_capacity(sample_size);
+        let mut taken = vec![false; n];
+        while sample.len() < sample_size {
+            let u = rng.gen_range(0..n);
+            if !taken[u] {
+                taken[u] = true;
+                sample.push(u);
+            }
+        }
+
+        // Build all candidates (cheap relative to serving, Fig. 4).
+        let bmm = Strategy::Bmm.build(model);
+        let built: Vec<Box<dyn MipsSolver>> = indexes.iter().map(|s| s.build(model)).collect();
+
+        // Time BMM on the sample.
+        let t0 = Instant::now();
+        let bmm_results = bmm.query_subset(k, &sample);
+        let bmm_sample_seconds = t0.elapsed().as_secs_f64();
+        let bmm_per_user = bmm_sample_seconds / sample.len() as f64;
+        let mut estimates = vec![StrategyEstimate {
+            name: bmm.name().to_string(),
+            build_seconds: bmm.build_seconds(),
+            sampled_users: sample.len(),
+            sample_seconds: bmm_sample_seconds,
+            estimated_total_seconds: bmm_per_user * n as f64,
+        }];
+
+        // Time each index on the sample.
+        let mut index_results: Vec<Option<Vec<TopKList>>> = Vec::new();
+        for solver in &built {
+            let (estimate, results) =
+                self.estimate_index(solver.as_ref(), k, &sample, bmm_per_user, n);
+            estimates.push(estimate);
+            index_results.push(results);
+        }
+
+        EstimationPhase {
+            sample,
+            taken,
+            bmm,
+            built,
+            estimates,
+            bmm_results,
+            index_results,
+        }
+    }
+
+    /// Chooses between BMM and the given index strategies for serving top-k
+    /// for all users, then serves them. `indexes` must not contain
+    /// [`Strategy::Bmm`] (BMM is always a candidate).
+    ///
+    /// Two-way optimization passes one index (the paper's Table II rows 1–4);
+    /// passing two or more gives the multi-way optimizer (row 5).
+    pub fn run(
+        &self,
+        model: &Arc<MfModel>,
+        k: usize,
+        indexes: &[Strategy],
+    ) -> OptimusOutcome {
+        let overall = Instant::now();
+        let n = model.num_users();
+        let EstimationPhase {
+            sample,
+            taken,
+            bmm,
+            built,
+            estimates,
+            bmm_results,
+            mut index_results,
+        } = self.estimation_phase(model, k, indexes);
+
+        // Decide.
+        let chosen_idx = estimates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.estimated_total_seconds
+                    .partial_cmp(&b.1.estimated_total_seconds)
+                    .expect("finite estimates")
+            })
+            .expect("at least BMM is a candidate")
+            .0;
+        let chosen_name = estimates[chosen_idx].name.clone();
+        let decision_seconds = overall.elapsed().as_secs_f64();
+
+        // Serve remaining users with the winner; reuse its sampled results
+        // when it produced complete ones.
+        let winner: &dyn MipsSolver = if chosen_idx == 0 {
+            bmm.as_ref()
+        } else {
+            built[chosen_idx - 1].as_ref()
+        };
+        let sampled_results: Option<Vec<TopKList>> = if chosen_idx == 0 {
+            Some(bmm_results)
+        } else {
+            index_results[chosen_idx - 1].take()
+        };
+
+        let mut results = vec![TopKList::empty(); n];
+        let remaining: Vec<usize> = match &sampled_results {
+            Some(lists) => {
+                for (pos, &u) in sample.iter().enumerate() {
+                    results[u] = lists[pos].clone();
+                }
+                (0..n).filter(|u| !taken[*u]).collect()
+            }
+            None => (0..n).collect(),
+        };
+        let remaining_results = winner.query_subset(k, &remaining);
+        for (pos, &u) in remaining.iter().enumerate() {
+            results[u] = remaining_results[pos].clone();
+        }
+
+        OptimusOutcome {
+            chosen: chosen_name,
+            estimates,
+            sample_size: sample.len(),
+            decision_seconds,
+            total_seconds: overall.elapsed().as_secs_f64(),
+            results,
+        }
+    }
+
+    /// Times one index on the sample. Batch indexes are timed on the whole
+    /// sample at once (their per-user cost is only meaningful with work
+    /// sharing); point-query indexes are timed user-by-user under the
+    /// incremental t-test.
+    ///
+    /// Returns the estimate and, when the full sample was processed, the
+    /// sampled results for reuse.
+    fn estimate_index(
+        &self,
+        solver: &dyn MipsSolver,
+        k: usize,
+        sample: &[usize],
+        bmm_per_user: f64,
+        n: usize,
+    ) -> (StrategyEstimate, Option<Vec<TopKList>>) {
+        if solver.batches_users() || !self.config.early_stopping {
+            let t0 = Instant::now();
+            let results = solver.query_subset(k, sample);
+            let sample_seconds = t0.elapsed().as_secs_f64();
+            let per_user = sample_seconds / sample.len() as f64;
+            return (
+                StrategyEstimate {
+                    name: solver.name().to_string(),
+                    build_seconds: solver.build_seconds(),
+                    sampled_users: sample.len(),
+                    sample_seconds,
+                    estimated_total_seconds: per_user * n as f64,
+                },
+                Some(results),
+            );
+        }
+
+        // Point queries: incremental one-sample t-test against BMM's mean.
+        let mut ttest = OneSampleTTest::new(bmm_per_user, self.config.alpha, self.config.min_t_samples);
+        let mut results = Vec::with_capacity(sample.len());
+        let mut sample_seconds = 0.0;
+        let mut used = 0;
+        for &u in sample {
+            let t0 = Instant::now();
+            let mut r = solver.query_subset(k, &[u]);
+            let dt = t0.elapsed().as_secs_f64();
+            sample_seconds += dt;
+            results.push(r.pop().expect("one result per user"));
+            used += 1;
+            if ttest.push(dt) != TTestDecision::Continue {
+                break;
+            }
+        }
+        let per_user = sample_seconds / used as f64;
+        let complete = used == sample.len();
+        (
+            StrategyEstimate {
+                name: solver.name().to_string(),
+                build_seconds: solver.build_seconds(),
+                sampled_users: used,
+                sample_seconds,
+                estimated_total_seconds: per_user * n as f64,
+            },
+            complete.then_some(results),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmm::BmmSolver;
+    use crate::maximus::MaximusConfig;
+    use mips_data::synth::{synth_model, SynthConfig};
+    use mips_lemp::LempConfig;
+
+    fn model() -> Arc<MfModel> {
+        Arc::new(synth_model(&SynthConfig {
+            num_users: 300,
+            num_items: 250,
+            num_factors: 10,
+            item_norm_skew: 0.8,
+            user_spread: 0.3,
+            ..SynthConfig::default()
+        }))
+    }
+
+    fn tiny_config() -> OptimusConfig {
+        OptimusConfig {
+            sample_fraction: 0.05,
+            cache: CacheConfig {
+                l1_bytes: 1024,
+                l2_bytes: 2048, // tiny: keeps the L2 floor small for tests
+                l3_bytes: 4096,
+            },
+            ..OptimusConfig::default()
+        }
+    }
+
+    #[test]
+    fn results_are_exact_regardless_of_choice() {
+        let m = model();
+        let optimus = Optimus::new(tiny_config());
+        let outcome = optimus.run(
+            &m,
+            5,
+            &[Strategy::Maximus(MaximusConfig {
+                num_clusters: 4,
+                block_size: 32,
+                ..MaximusConfig::default()
+            })],
+        );
+        let want = BmmSolver::build(Arc::clone(&m)).query_all(5);
+        assert_eq!(outcome.results.len(), want.len());
+        for (u, (got, expect)) in outcome.results.iter().zip(&want).enumerate() {
+            assert_eq!(got.items, expect.items, "user {u}");
+        }
+        assert!(["Blocked MM", "Maximus"].contains(&outcome.chosen.as_str()));
+        assert_eq!(outcome.estimates.len(), 2);
+        assert!(outcome.decision_seconds <= outcome.total_seconds);
+    }
+
+    #[test]
+    fn three_way_optimization_works() {
+        let m = model();
+        let optimus = Optimus::new(tiny_config());
+        let outcome = optimus.run(
+            &m,
+            3,
+            &[
+                Strategy::Maximus(MaximusConfig {
+                    num_clusters: 4,
+                    block_size: 32,
+                    ..MaximusConfig::default()
+                }),
+                Strategy::Lemp(LempConfig::default()),
+            ],
+        );
+        assert_eq!(outcome.estimates.len(), 3);
+        let want = BmmSolver::build(Arc::clone(&m)).query_all(3);
+        for u in (0..m.num_users()).step_by(37) {
+            assert_eq!(outcome.results[u].items, want[u].items);
+        }
+    }
+
+    #[test]
+    fn sample_size_respects_l2_floor_and_bounds() {
+        let optimus = Optimus::new(OptimusConfig::default());
+        // 0.5 % of 100k users at f=100 is 500, but the L2 floor (256 KB /
+        // 800 B) is 328 — fraction dominates.
+        assert_eq!(optimus.sample_size(100_000, 100), 500);
+        // For few users the floor caps at |U|.
+        assert_eq!(optimus.sample_size(50, 100), 50);
+        // At tiny f the floor dominates the fraction.
+        let floor = CacheConfig::default().rows_to_fill_l2(10, 8);
+        assert_eq!(optimus.sample_size(100_000, 10), floor.max(500));
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        let m = model();
+        let optimus = Optimus::new(tiny_config());
+        let outcome = optimus.run(&m, 1, &[Strategy::FexiproSi]);
+        for e in &outcome.estimates {
+            assert!(e.estimated_total_seconds > 0.0);
+            assert!(e.estimated_total_seconds.is_finite());
+            assert!(e.sampled_users >= 2);
+        }
+    }
+
+    #[test]
+    fn early_stopping_can_cut_the_sample_short() {
+        // FEXIPRO point queries against BMM: on this model the per-user gap
+        // is wide, so with early stopping enabled the t-test should settle
+        // before the full sample — sampled_users < sample_size at least
+        // sometimes. We only assert it never exceeds the sample.
+        let m = model();
+        let optimus = Optimus::new(tiny_config());
+        let outcome = optimus.run(&m, 1, &[Strategy::FexiproSir]);
+        let fex = &outcome.estimates[1];
+        assert!(fex.sampled_users <= outcome.sample_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass only index strategies")]
+    fn rejects_bmm_in_index_list() {
+        let m = model();
+        let optimus = Optimus::new(tiny_config());
+        let _ = optimus.run(&m, 1, &[Strategy::Bmm]);
+    }
+}

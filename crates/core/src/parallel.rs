@@ -1,0 +1,97 @@
+//! Multi-core serving by user partitioning (the Fig. 6 experiment).
+//!
+//! Every solver in this repository is immutable after construction, so the
+//! paper's observation applies directly: "because both indexes are
+//! read-only, a simple partitioning scheme across users proves to be an
+//! effective parallelization strategy". Users are split into contiguous
+//! ranges, one per thread, served independently, and concatenated.
+
+use crate::solver::MipsSolver;
+use mips_topk::TopKList;
+
+/// Serves all users with `threads` worker threads, partitioning the user
+/// range evenly. `threads = 1` degenerates to a plain sequential call.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn par_query_all(solver: &dyn MipsSolver, k: usize, threads: usize) -> Vec<TopKList> {
+    assert!(threads > 0, "par_query_all: threads must be > 0");
+    let n = solver.num_users();
+    if threads == 1 || n == 0 {
+        return solver.query_all(k);
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        ranges.push(start..end);
+        start = end;
+    }
+
+    let mut out: Vec<TopKList> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || solver.query_range(k, range)))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("worker thread panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmm::BmmSolver;
+    use crate::maximus::{MaximusConfig, MaximusIndex};
+    use mips_data::synth::{synth_model, SynthConfig};
+    use std::sync::Arc;
+
+    fn model(users: usize) -> Arc<mips_data::MfModel> {
+        Arc::new(synth_model(&SynthConfig {
+            num_users: users,
+            num_items: 64,
+            num_factors: 8,
+            ..SynthConfig::default()
+        }))
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_bmm() {
+        let m = model(101); // odd size: uneven final chunk
+        let solver = BmmSolver::build(m);
+        let seq = solver.query_all(4);
+        for threads in [1usize, 2, 3, 8, 200] {
+            let par = par_query_all(&solver, 4, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_maximus() {
+        let m = model(60);
+        let solver = MaximusIndex::build(
+            m,
+            &MaximusConfig {
+                num_clusters: 3,
+                block_size: 8,
+                ..MaximusConfig::default()
+            },
+        );
+        let seq = solver.query_all(5);
+        let par = par_query_all(&solver, 5, 4);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be > 0")]
+    fn rejects_zero_threads() {
+        let m = model(4);
+        let solver = BmmSolver::build(m);
+        let _ = par_query_all(&solver, 1, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The common solver interface and the strategy factory.
+
+use crate::adapters::{FexiproSolver, LempSolver};
+use crate::bmm::BmmSolver;
+use crate::maximus::{MaximusConfig, MaximusIndex};
+use mips_data::MfModel;
+use mips_fexipro::FexiproConfig;
+use mips_lemp::LempConfig;
+use mips_topk::TopKList;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A built, queryable exact MIPS solver.
+///
+/// Implementations hold their model in an [`Arc`] and are immutable after
+/// construction, so they can be queried concurrently (the multi-core
+/// experiments of Fig. 6 partition users across threads).
+pub trait MipsSolver: Send + Sync {
+    /// Human-readable name used in benchmark tables
+    /// (`"Blocked MM"`, `"Maximus"`, `"LEMP"`, `"FEXIPRO-SI"`, …).
+    fn name(&self) -> &str;
+
+    /// Wall-clock seconds spent building this solver (index construction;
+    /// ~0 for brute force). Fig. 4 compares this against serving time.
+    fn build_seconds(&self) -> f64;
+
+    /// `true` if the solver shares work across users in a batch (BMM,
+    /// MAXIMUS). OPTIMUS may only apply its per-user t-test early stopping
+    /// to solvers that return `false` (§IV-A).
+    fn batches_users(&self) -> bool;
+
+    /// Number of users of the underlying model.
+    fn num_users(&self) -> usize;
+
+    /// Top-k for a contiguous user range, in order.
+    fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList>;
+
+    /// Top-k for an explicit list of user ids, in input order.
+    fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList>;
+
+    /// Top-k for every user.
+    fn query_all(&self, k: usize) -> Vec<TopKList> {
+        self.query_range(k, 0..self.num_users())
+    }
+}
+
+/// A buildable serving strategy: the unit OPTIMUS chooses between.
+///
+/// `Strategy` is cheap to copy around and fully describes how to construct a
+/// solver for a model, which is exactly what the optimizer and the benchmark
+/// harness need.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Brute-force blocked matrix multiply.
+    Bmm,
+    /// The MAXIMUS index with the given parameters.
+    Maximus(MaximusConfig),
+    /// The LEMP baseline with the given parameters.
+    Lemp(LempConfig),
+    /// FEXIPRO with SVD + integer pruning.
+    FexiproSi,
+    /// FEXIPRO with all pruning stages.
+    FexiproSir,
+}
+
+impl Strategy {
+    /// The display name the built solver will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Bmm => "Blocked MM",
+            Strategy::Maximus(_) => "Maximus",
+            Strategy::Lemp(_) => "LEMP",
+            Strategy::FexiproSi => "FEXIPRO-SI",
+            Strategy::FexiproSir => "FEXIPRO-SIR",
+        }
+    }
+
+    /// Builds the solver (index construction happens here and is timed by
+    /// the implementations).
+    pub fn build(&self, model: &Arc<MfModel>) -> Box<dyn MipsSolver> {
+        match self {
+            Strategy::Bmm => Box::new(BmmSolver::build(Arc::clone(model))),
+            Strategy::Maximus(cfg) => Box::new(MaximusIndex::build(Arc::clone(model), cfg)),
+            Strategy::Lemp(cfg) => Box::new(LempSolver::build(Arc::clone(model), cfg)),
+            Strategy::FexiproSi => {
+                Box::new(FexiproSolver::build(Arc::clone(model), &FexiproConfig::si()))
+            }
+            Strategy::FexiproSir => Box::new(FexiproSolver::build(
+                Arc::clone(model),
+                &FexiproConfig::sir(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_data::synth::{synth_model, SynthConfig};
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::Bmm.name(), "Blocked MM");
+        assert_eq!(Strategy::Maximus(MaximusConfig::default()).name(), "Maximus");
+        assert_eq!(Strategy::Lemp(LempConfig::default()).name(), "LEMP");
+        assert_eq!(Strategy::FexiproSi.name(), "FEXIPRO-SI");
+        assert_eq!(Strategy::FexiproSir.name(), "FEXIPRO-SIR");
+    }
+
+    #[test]
+    fn every_strategy_builds_and_answers() {
+        let model = Arc::new(synth_model(&SynthConfig {
+            num_users: 25,
+            num_items: 40,
+            num_factors: 8,
+            ..SynthConfig::default()
+        }));
+        for strategy in [
+            Strategy::Bmm,
+            Strategy::Maximus(MaximusConfig::default()),
+            Strategy::Lemp(LempConfig::default()),
+            Strategy::FexiproSi,
+            Strategy::FexiproSir,
+        ] {
+            let solver = strategy.build(&model);
+            assert_eq!(solver.name(), strategy.name());
+            assert_eq!(solver.num_users(), 25);
+            let all = solver.query_all(3);
+            assert_eq!(all.len(), 25);
+            for list in &all {
+                assert_eq!(list.len(), 3);
+                assert!(list.is_sorted());
+            }
+            // Subset order must follow the input, not user order.
+            let subset = solver.query_subset(2, &[7, 2, 7]);
+            assert_eq!(subset.len(), 3);
+            assert_eq!(subset[0], subset[2]);
+            assert_eq!(subset[1], solver.query_range(2, 2..3)[0]);
+        }
+    }
+}

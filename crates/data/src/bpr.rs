@@ -1,0 +1,262 @@
+//! Bayesian Personalized Ranking: the implicit-feedback trainer.
+//!
+//! The paper's `Netflix-BPR` models come from BPR [28]: instead of fitting
+//! rating values, BPR maximizes `σ(uᵀi − uᵀj)` over sampled triples where the
+//! user interacted with `i` but not `j`. The resulting factor geometry is
+//! characteristically different from explicit MF — flatter item norms,
+//! more diffuse users — which is exactly why the paper's BPR models favour
+//! blocked matrix multiply over indexes.
+
+use crate::model::MfModel;
+use crate::ratings::RatingsData;
+use mips_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for [`train_bpr`].
+#[derive(Debug, Clone, Copy)]
+pub struct BprConfig {
+    /// Latent dimensionality of the learned factors.
+    pub num_factors: usize,
+    /// Number of sampled (user, positive, negative) update steps.
+    pub steps: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength λ.
+    pub regularization: f64,
+    /// Ratings at or above this value count as positive interactions.
+    pub positive_threshold: f64,
+    /// Seed for initialization and sampling.
+    pub seed: u64,
+}
+
+impl Default for BprConfig {
+    fn default() -> Self {
+        BprConfig {
+            num_factors: 16,
+            steps: 50_000,
+            learning_rate: 0.05,
+            regularization: 0.01,
+            positive_threshold: 0.0,
+            seed: 0xB9,
+        }
+    }
+}
+
+/// Logistic sigmoid with clamping against overflow.
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x.clamp(-35.0, 35.0)).exp())
+}
+
+/// Trains an implicit-feedback model with BPR-Opt SGD.
+///
+/// Ratings at or above `positive_threshold` define each user's positive item
+/// set; negatives are sampled uniformly from the rest. Users without
+/// positives are skipped during sampling (their factors stay at the random
+/// initialization). Deterministic for a fixed config.
+///
+/// # Panics
+/// Panics if the data is empty, no user has a positive item, or the config is
+/// degenerate.
+pub fn train_bpr(data: &RatingsData, config: &BprConfig) -> MfModel {
+    assert!(!data.is_empty(), "train_bpr: no ratings");
+    assert!(config.num_factors > 0, "train_bpr: num_factors must be > 0");
+    assert!(config.steps > 0, "train_bpr: steps must be > 0");
+
+    // Positive item lists per user.
+    let mut positives: Vec<Vec<u32>> = vec![Vec::new(); data.num_users];
+    for &(u, i, r) in &data.triples {
+        if r >= config.positive_threshold {
+            positives[u as usize].push(i);
+        }
+    }
+    let active_users: Vec<u32> = (0..data.num_users as u32)
+        .filter(|&u| !positives[u as usize].is_empty())
+        .collect();
+    assert!(
+        !active_users.is_empty(),
+        "train_bpr: no user has positive interactions at this threshold"
+    );
+
+    let f = config.num_factors;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let init_scale = (1.0 / f as f64).sqrt();
+    let mut users = Matrix::from_fn(data.num_users, f, |_, _| {
+        (rng.gen::<f64>() - 0.5) * init_scale
+    });
+    let mut items = Matrix::from_fn(data.num_items, f, |_, _| {
+        (rng.gen::<f64>() - 0.5) * init_scale
+    });
+
+    let lr = config.learning_rate;
+    let reg = config.regularization;
+    for _ in 0..config.steps {
+        let u = active_users[rng.gen_range(0..active_users.len())] as usize;
+        let pos_list = &positives[u];
+        let i = pos_list[rng.gen_range(0..pos_list.len())] as usize;
+        // Rejection-sample a negative; bounded tries guards pathological
+        // users who rated everything.
+        let mut j = rng.gen_range(0..data.num_items);
+        let mut tries = 0;
+        while pos_list.contains(&(j as u32)) && tries < 16 {
+            j = rng.gen_range(0..data.num_items);
+            tries += 1;
+        }
+        if pos_list.contains(&(j as u32)) {
+            continue;
+        }
+
+        let x_uij: f64 = users
+            .row(u)
+            .iter()
+            .zip(items.row(i).iter().zip(items.row(j)))
+            .map(|(w, (pi, pj))| w * (pi - pj))
+            .sum();
+        let g = 1.0 - sigmoid(x_uij); // d/dx −ln σ(x) = −(1−σ)
+
+        let urow: Vec<f64> = users.row(u).to_vec();
+        let irow: Vec<f64> = items.row(i).to_vec();
+        let jrow: Vec<f64> = items.row(j).to_vec();
+        for d in 0..f {
+            users.row_mut(u)[d] += lr * (g * (irow[d] - jrow[d]) - reg * urow[d]);
+            items.row_mut(i)[d] += lr * (g * urow[d] - reg * irow[d]);
+            items.row_mut(j)[d] += lr * (-g * urow[d] - reg * jrow[d]);
+        }
+    }
+
+    MfModel::new(
+        format!("bpr(f={f},steps={})", config.steps),
+        users,
+        items,
+    )
+    .expect("BPR training keeps factors finite")
+}
+
+/// AUC of the model on held-out positives: the probability that a true
+/// positive outranks a random other item for the same user, estimated with
+/// 32 sampled comparisons per positive to keep the variance low.
+pub fn auc(model: &MfModel, test: &RatingsData, positive_threshold: f64, seed: u64) -> f64 {
+    const NEGATIVES_PER_POSITIVE: usize = 32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wins = 0.0f64;
+    let mut total = 0u64;
+    for &(u, i, r) in &test.triples {
+        if r < positive_threshold {
+            continue;
+        }
+        let pos = model.predict(u as usize, i as usize);
+        for _ in 0..NEGATIVES_PER_POSITIVE {
+            let j = rng.gen_range(0..model.num_items());
+            if j == i as usize {
+                continue;
+            }
+            let neg = model.predict(u as usize, j);
+            if pos > neg {
+                wins += 1.0;
+            } else if pos == neg {
+                wins += 0.5;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.5;
+    }
+    wins / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_model, SynthConfig};
+
+    /// Implicit data: positives are the truth model's high ratings. Enough
+    /// users per preference bundle that the collaborative signal generalizes
+    /// (few users per bundle → BPR memorizes observed positives instead).
+    fn implicit_data() -> (RatingsData, f64) {
+        let truth = synth_model(&SynthConfig {
+            num_users: 200,
+            num_items: 80,
+            num_factors: 4,
+            user_clusters: 6,
+            user_spread: 0.25,
+            ..SynthConfig::default()
+        });
+        let data = RatingsData::from_ground_truth(&truth, 30, 0.0, 21);
+        let threshold = data.global_mean();
+        (data, threshold)
+    }
+
+    #[test]
+    fn learns_better_than_random_ranking() {
+        let (data, threshold) = implicit_data();
+        let (train, test) = data.split(0.2, 13);
+        let model = train_bpr(
+            &train,
+            &BprConfig {
+                num_factors: 4,
+                steps: 150_000,
+                learning_rate: 0.05,
+                regularization: 0.1,
+                positive_threshold: threshold,
+                ..BprConfig::default()
+            },
+        );
+        // The oracle (ground-truth factors) reaches ~0.75 on this split; a
+        // useful trainer should recover most of that headroom over 0.5.
+        let score = auc(&model, &test, threshold, 99);
+        assert!(score > 0.62, "test AUC {score}; expected well above chance");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, threshold) = implicit_data();
+        let cfg = BprConfig {
+            steps: 2000,
+            positive_threshold: threshold,
+            ..BprConfig::default()
+        };
+        let a = train_bpr(&data, &cfg);
+        let b = train_bpr(&data, &cfg);
+        assert_eq!(a.users().as_slice(), b.users().as_slice());
+    }
+
+    #[test]
+    fn sigmoid_sane() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(1e300).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no user has positive interactions")]
+    fn rejects_threshold_above_all_ratings() {
+        let (data, _) = implicit_data();
+        let _ = train_bpr(
+            &data,
+            &BprConfig {
+                positive_threshold: f64::INFINITY,
+                ..BprConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn output_shape() {
+        let (data, threshold) = implicit_data();
+        let model = train_bpr(
+            &data,
+            &BprConfig {
+                num_factors: 5,
+                steps: 500,
+                positive_threshold: threshold,
+                ..BprConfig::default()
+            },
+        );
+        assert_eq!(model.num_users(), 200);
+        assert_eq!(model.num_items(), 80);
+        assert_eq!(model.num_factors(), 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! The matrix-factorization model type consumed by every MIPS solver.
+
+use mips_linalg::{dot, LinalgError, Matrix};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised when constructing a model from untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// User and item matrices disagree on the number of latent factors.
+    FactorMismatch {
+        /// Latent factors in the user matrix.
+        user_factors: usize,
+        /// Latent factors in the item matrix.
+        item_factors: usize,
+    },
+    /// A matrix failed validation (empty or non-finite).
+    InvalidMatrix(LinalgError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::FactorMismatch {
+                user_factors,
+                item_factors,
+            } => write!(
+                f,
+                "user matrix has {user_factors} factors but item matrix has {item_factors}"
+            ),
+            ModelError::InvalidMatrix(e) => write!(f, "invalid factor matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::InvalidMatrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ModelError {
+    fn from(e: LinalgError) -> Self {
+        ModelError::InvalidMatrix(e)
+    }
+}
+
+/// A trained matrix-factorization model: one `f`-dimensional vector per user
+/// and per item, with predicted rating `r̂_ui = uᵀi`.
+///
+/// Both matrices are validated (non-empty, finite, matching width) at
+/// construction, so solvers can assume well-formed input. Models are shared
+/// between solvers and the optimizer via [`Arc`].
+#[derive(Debug, Clone)]
+pub struct MfModel {
+    name: String,
+    users: Matrix<f64>,
+    items: Matrix<f64>,
+}
+
+impl MfModel {
+    /// Builds and validates a model.
+    pub fn new(
+        name: impl Into<String>,
+        users: Matrix<f64>,
+        items: Matrix<f64>,
+    ) -> Result<Self, ModelError> {
+        users.validate("MfModel users")?;
+        items.validate("MfModel items")?;
+        if users.cols() != items.cols() {
+            return Err(ModelError::FactorMismatch {
+                user_factors: users.cols(),
+                item_factors: items.cols(),
+            });
+        }
+        Ok(MfModel {
+            name: name.into(),
+            users,
+            items,
+        })
+    }
+
+    /// Builds a model and wraps it in an [`Arc`] for sharing across solvers.
+    pub fn new_shared(
+        name: impl Into<String>,
+        users: Matrix<f64>,
+        items: Matrix<f64>,
+    ) -> Result<Arc<Self>, ModelError> {
+        Ok(Arc::new(Self::new(name, users, items)?))
+    }
+
+    /// Human-readable model name (e.g. `"Netflix-DSGD, f = 50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The user factor matrix (`|U| × f`).
+    pub fn users(&self) -> &Matrix<f64> {
+        &self.users
+    }
+
+    /// The item factor matrix (`|I| × f`).
+    pub fn items(&self) -> &Matrix<f64> {
+        &self.items
+    }
+
+    /// Number of users `|U|`.
+    pub fn num_users(&self) -> usize {
+        self.users.rows()
+    }
+
+    /// Number of items `|I|`.
+    pub fn num_items(&self) -> usize {
+        self.items.rows()
+    }
+
+    /// Number of latent factors `f`.
+    pub fn num_factors(&self) -> usize {
+        self.users.cols()
+    }
+
+    /// The predicted rating `uᵀi` for one user–item pair.
+    pub fn predict(&self, user: usize, item: usize) -> f64 {
+        dot(self.users.row(user), self.items.row(item))
+    }
+
+    /// A copy restricted to the given users (used by OPTIMUS sampling tests).
+    pub fn with_users(&self, indices: &[usize]) -> MfModel {
+        MfModel {
+            name: format!("{}[{} users]", self.name, indices.len()),
+            users: self.users.gather_rows(indices),
+            items: self.items.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users2x2() -> Matrix<f64> {
+        Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap()
+    }
+
+    fn items3x2() -> Matrix<f64> {
+        Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = MfModel::new("test", users2x2(), items3x2()).unwrap();
+        assert_eq!(m.name(), "test");
+        assert_eq!(m.num_users(), 2);
+        assert_eq!(m.num_items(), 3);
+        assert_eq!(m.num_factors(), 2);
+        assert_eq!(m.predict(0, 1), 3.0);
+        assert_eq!(m.predict(1, 2), 6.0);
+    }
+
+    #[test]
+    fn rejects_factor_mismatch() {
+        let users = Matrix::from_vec(2, 3, vec![0.5; 6]).unwrap();
+        let err = MfModel::new("bad", users, items3x2()).unwrap_err();
+        assert!(matches!(err, ModelError::FactorMismatch { .. }));
+        assert!(err.to_string().contains("3 factors"));
+    }
+
+    #[test]
+    fn rejects_non_finite_factors() {
+        let mut users = users2x2();
+        users.set(0, 0, f64::NAN);
+        let err = MfModel::new("nan", users, items3x2()).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidMatrix(_)));
+    }
+
+    #[test]
+    fn rejects_empty_matrices() {
+        let empty = Matrix::<f64>::zeros(0, 2);
+        assert!(MfModel::new("e", empty, items3x2()).is_err());
+    }
+
+    #[test]
+    fn with_users_subsets() {
+        let m = MfModel::new("test", users2x2(), items3x2()).unwrap();
+        let sub = m.with_users(&[1]);
+        assert_eq!(sub.num_users(), 1);
+        assert_eq!(sub.num_items(), 3);
+        assert_eq!(sub.predict(0, 2), 6.0);
+    }
+
+    #[test]
+    fn shared_constructor_returns_arc() {
+        let m = MfModel::new_shared("s", users2x2(), items3x2()).unwrap();
+        let m2 = m.clone();
+        assert_eq!(m2.num_users(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Synthetic ratings data: the input to the MF training substrate.
+//!
+//! The paper's models are trained on real rating matrices (Fig. 1). We
+//! reproduce the pipeline by sampling ratings from a ground-truth low-rank
+//! model plus noise, which gives the trainers in [`crate::sgd`] and
+//! [`crate::bpr`] a learnable signal with known structure.
+
+use crate::model::MfModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sparse ratings dataset as `(user, item, rating)` triples.
+#[derive(Debug, Clone)]
+pub struct RatingsData {
+    /// Number of distinct users (ids are dense in `0..num_users`).
+    pub num_users: usize,
+    /// Number of distinct items (ids are dense in `0..num_items`).
+    pub num_items: usize,
+    /// Observed ratings.
+    pub triples: Vec<(u32, u32, f64)>,
+}
+
+impl RatingsData {
+    /// Samples `per_user` ratings for every user from a ground-truth model,
+    /// with additive Gaussian noise of the given standard deviation.
+    ///
+    /// Sampled item ids are distinct within a user. Deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics if `per_user` is zero or exceeds the item count.
+    pub fn from_ground_truth(
+        truth: &MfModel,
+        per_user: usize,
+        noise_std: f64,
+        seed: u64,
+    ) -> RatingsData {
+        assert!(per_user > 0, "from_ground_truth: per_user must be > 0");
+        assert!(
+            per_user <= truth.num_items(),
+            "from_ground_truth: per_user exceeds item count"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_items = truth.num_items();
+        let mut triples = Vec::with_capacity(truth.num_users() * per_user);
+        let mut chosen = vec![false; n_items];
+        for u in 0..truth.num_users() {
+            chosen.fill(false);
+            let mut picked = 0;
+            while picked < per_user {
+                let i = rng.gen_range(0..n_items);
+                if chosen[i] {
+                    continue;
+                }
+                chosen[i] = true;
+                picked += 1;
+                let noise = if noise_std > 0.0 {
+                    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * noise_std
+                } else {
+                    0.0
+                };
+                triples.push((u as u32, i as u32, truth.predict(u, i) + noise));
+            }
+        }
+        RatingsData {
+            num_users: truth.num_users(),
+            num_items: truth.num_items(),
+            triples,
+        }
+    }
+
+    /// Number of observed ratings.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` when no ratings are present.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Mean of all ratings (`0` when empty).
+    pub fn global_mean(&self) -> f64 {
+        if self.triples.is_empty() {
+            return 0.0;
+        }
+        self.triples.iter().map(|t| t.2).sum::<f64>() / self.triples.len() as f64
+    }
+
+    /// Deterministically splits into (train, test) with roughly
+    /// `test_fraction` of ratings held out.
+    ///
+    /// # Panics
+    /// Panics unless `0 < test_fraction < 1`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (RatingsData, RatingsData) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "split: test_fraction must be in (0,1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for &t in &self.triples {
+            if rng.gen::<f64>() < test_fraction {
+                test.push(t);
+            } else {
+                train.push(t);
+            }
+        }
+        (
+            RatingsData {
+                num_users: self.num_users,
+                num_items: self.num_items,
+                triples: train,
+            },
+            RatingsData {
+                num_users: self.num_users,
+                num_items: self.num_items,
+                triples: test,
+            },
+        )
+    }
+
+    /// Root-mean-square error of a model's predictions on these ratings.
+    pub fn rmse(&self, model: &MfModel) -> f64 {
+        if self.triples.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = self
+            .triples
+            .iter()
+            .map(|&(u, i, r)| {
+                let e = model.predict(u as usize, i as usize) - r;
+                e * e
+            })
+            .sum();
+        (sse / self.triples.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_model, SynthConfig};
+
+    fn truth() -> MfModel {
+        synth_model(&SynthConfig {
+            num_users: 30,
+            num_items: 40,
+            num_factors: 5,
+            ..SynthConfig::default()
+        })
+    }
+
+    #[test]
+    fn sampling_shape_and_determinism() {
+        let t = truth();
+        let a = RatingsData::from_ground_truth(&t, 10, 0.1, 7);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a.num_users, 30);
+        let b = RatingsData::from_ground_truth(&t, 10, 0.1, 7);
+        assert_eq!(a.triples, b.triples);
+    }
+
+    #[test]
+    fn items_distinct_within_user() {
+        let t = truth();
+        let data = RatingsData::from_ground_truth(&t, 20, 0.0, 3);
+        for u in 0..30u32 {
+            let mut items: Vec<u32> = data
+                .triples
+                .iter()
+                .filter(|t| t.0 == u)
+                .map(|t| t.1)
+                .collect();
+            let before = items.len();
+            items.sort_unstable();
+            items.dedup();
+            assert_eq!(items.len(), before, "user {u} has duplicate items");
+        }
+    }
+
+    #[test]
+    fn zero_noise_reproduces_truth() {
+        let t = truth();
+        let data = RatingsData::from_ground_truth(&t, 5, 0.0, 1);
+        for &(u, i, r) in &data.triples {
+            assert!((r - t.predict(u as usize, i as usize)).abs() < 1e-12);
+        }
+        assert!(data.rmse(&t) < 1e-12);
+    }
+
+    #[test]
+    fn noise_increases_rmse() {
+        let t = truth();
+        let noisy = RatingsData::from_ground_truth(&t, 10, 0.5, 2);
+        let r = noisy.rmse(&t);
+        assert!(r > 0.3 && r < 0.8, "rmse {r} should be near the noise std");
+    }
+
+    #[test]
+    fn split_partitions_ratings() {
+        let t = truth();
+        let data = RatingsData::from_ground_truth(&t, 10, 0.1, 4);
+        let (train, test) = data.split(0.25, 9);
+        assert_eq!(train.len() + test.len(), data.len());
+        assert!(test.len() > data.len() / 10);
+        assert!(test.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn global_mean_matches_manual() {
+        let data = RatingsData {
+            num_users: 2,
+            num_items: 2,
+            triples: vec![(0, 0, 1.0), (0, 1, 3.0), (1, 0, 5.0)],
+        };
+        assert!((data.global_mean() - 3.0).abs() < 1e-12);
+        let empty = RatingsData {
+            num_users: 0,
+            num_items: 0,
+            triples: vec![],
+        };
+        assert_eq!(empty.global_mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per_user")]
+    fn rejects_oversampling() {
+        let t = truth();
+        let _ = RatingsData::from_ground_truth(&t, 41, 0.0, 1);
+    }
+}

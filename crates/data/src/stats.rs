@@ -1,0 +1,100 @@
+//! Dataset statistics: the numbers behind Table I and the knob sanity
+//! checks.
+
+use crate::model::MfModel;
+use mips_linalg::kernels::norm2;
+
+/// Summary statistics of a model's factor matrices.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Number of items `|I|`.
+    pub num_items: usize,
+    /// Latent factors `f`.
+    pub num_factors: usize,
+    /// Mean item vector norm.
+    pub mean_item_norm: f64,
+    /// Maximum item vector norm.
+    pub max_item_norm: f64,
+    /// Ratio of the 99th-percentile to median item norm — the "skew" that
+    /// norm-sorted indexes exploit.
+    pub item_norm_p99_over_p50: f64,
+    /// Mean user vector norm.
+    pub mean_user_norm: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a model.
+    pub fn compute(model: &MfModel) -> DatasetStats {
+        let mut item_norms: Vec<f64> = model.items().iter_rows().map(norm2).collect();
+        item_norms.sort_by(|a, b| a.partial_cmp(b).expect("finite norms"));
+        let n = item_norms.len();
+        let mean_item_norm = item_norms.iter().sum::<f64>() / n as f64;
+        let median = item_norms[n / 2];
+        let p99 = item_norms[(n * 99 / 100).min(n - 1)];
+        let user_norms: Vec<f64> = model.users().iter_rows().map(norm2).collect();
+        DatasetStats {
+            num_users: model.num_users(),
+            num_items: model.num_items(),
+            num_factors: model.num_factors(),
+            mean_item_norm,
+            max_item_norm: item_norms[n - 1],
+            item_norm_p99_over_p50: if median > 0.0 { p99 / median } else { f64::INFINITY },
+            mean_user_norm: user_norms.iter().sum::<f64>() / user_norms.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_model, SynthConfig};
+    use mips_linalg::Matrix;
+
+    #[test]
+    fn computes_basic_shape() {
+        let m = synth_model(&SynthConfig {
+            num_users: 20,
+            num_items: 50,
+            num_factors: 6,
+            ..SynthConfig::default()
+        });
+        let s = DatasetStats::compute(&m);
+        assert_eq!(s.num_users, 20);
+        assert_eq!(s.num_items, 50);
+        assert_eq!(s.num_factors, 6);
+        assert!(s.mean_item_norm > 0.0);
+        assert!(s.max_item_norm >= s.mean_item_norm);
+        assert!(s.item_norm_p99_over_p50 >= 1.0);
+    }
+
+    #[test]
+    fn known_norms() {
+        let users = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        let items =
+            Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
+        let m = MfModel::new("t", users, items).unwrap();
+        let s = DatasetStats::compute(&m);
+        assert!((s.mean_user_norm - 5.0).abs() < 1e-12);
+        assert!((s.mean_item_norm - 1.5).abs() < 1e-12);
+        assert!((s.max_item_norm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_knob_is_visible_in_stats() {
+        let flat = synth_model(&SynthConfig {
+            num_items: 1000,
+            item_norm_skew: 0.0,
+            ..SynthConfig::default()
+        });
+        let skewed = synth_model(&SynthConfig {
+            num_items: 1000,
+            item_norm_skew: 1.2,
+            ..SynthConfig::default()
+        });
+        let sf = DatasetStats::compute(&flat);
+        let ss = DatasetStats::compute(&skewed);
+        assert!(ss.item_norm_p99_over_p50 > sf.item_norm_p99_over_p50 * 2.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Synthetic factor-matrix generators.
+//!
+//! Which MIPS solver wins on a model is decided by a handful of
+//! distributional properties of its factor matrices (§V of the paper, and
+//! the LEMP/FEXIPRO papers before it):
+//!
+//! * **user clusteredness** — how tightly user vectors bundle around a few
+//!   directions. Tight bundles → small θ_b → MAXIMUS prunes aggressively.
+//! * **item-norm skew** — a heavy-tailed norm distribution lets norm-sorted
+//!   indexes (LEMP's buckets, MAXIMUS's bound) discard most of the tail.
+//! * **spectral decay** — energy concentrated in few directions makes
+//!   FEXIPRO's SVD partial products tight.
+//! * **shape** (`|U|`, `|I|`, `f`) — raw FLOP count, BMM's home turf.
+//!
+//! [`SynthConfig`] exposes exactly these knobs; [`crate::catalog`] picks
+//! values per reference model to mimic the paper's win/loss pattern.
+
+use crate::model::MfModel;
+use mips_linalg::kernels::normalize;
+use mips_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs controlling a synthetic latent-factor model.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of user vectors.
+    pub num_users: usize,
+    /// Number of item vectors.
+    pub num_items: usize,
+    /// Latent dimensionality `f`.
+    pub num_factors: usize,
+    /// RNG seed (models are fully deterministic).
+    pub seed: u64,
+    /// Number of directional bundles user vectors are drawn around.
+    pub user_clusters: usize,
+    /// Angular spread within a user bundle; `0` collapses the bundle onto its
+    /// axis, `≳1` approaches an isotropic Gaussian (no cluster structure).
+    pub user_spread: f64,
+    /// Log-normal σ of item norms; `0` gives equal norms, `≥ 1` a heavy tail.
+    pub item_norm_skew: f64,
+    /// Per-coordinate geometric scale `decay^j`; below `1` concentrates
+    /// energy in the leading coordinates.
+    pub spectral_decay: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            num_users: 1000,
+            num_items: 500,
+            num_factors: 50,
+            seed: 0xA11CE,
+            user_clusters: 8,
+            user_spread: 0.5,
+            item_norm_skew: 0.5,
+            spectral_decay: 0.97,
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (keeps `rand` usage to `gen`).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Generates a model from the given knobs.
+///
+/// # Panics
+/// Panics if any dimension is zero or a knob is non-finite/negative.
+pub fn synth_model(config: &SynthConfig) -> MfModel {
+    assert!(config.num_users > 0, "synth_model: num_users must be > 0");
+    assert!(config.num_items > 0, "synth_model: num_items must be > 0");
+    assert!(config.num_factors > 0, "synth_model: num_factors must be > 0");
+    assert!(config.user_clusters > 0, "synth_model: user_clusters must be > 0");
+    assert!(
+        config.user_spread >= 0.0 && config.user_spread.is_finite(),
+        "synth_model: user_spread must be finite and non-negative"
+    );
+    assert!(
+        config.item_norm_skew >= 0.0 && config.item_norm_skew.is_finite(),
+        "synth_model: item_norm_skew must be finite and non-negative"
+    );
+    assert!(
+        config.spectral_decay > 0.0 && config.spectral_decay <= 1.0,
+        "synth_model: spectral_decay must be in (0, 1]"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let f = config.num_factors;
+
+    // Per-coordinate scales shared by users and items, so the spectral decay
+    // shows up in the item Gram matrix (what FEXIPRO's SVD sees).
+    let coord_scale: Vec<f64> = (0..f).map(|j| config.spectral_decay.powi(j as i32)).collect();
+
+    // --- Users: mixture of directional bundles. ---
+    let mut bundle_axes = Matrix::<f64>::zeros(config.user_clusters, f);
+    for c in 0..config.user_clusters {
+        let row = bundle_axes.row_mut(c);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = gaussian(&mut rng) * coord_scale[j];
+        }
+        normalize(row);
+    }
+    let mut users = Matrix::<f64>::zeros(config.num_users, f);
+    for u in 0..config.num_users {
+        let c = u % config.user_clusters; // balanced bundles, deterministic
+        let magnitude = (0.25 + rng.gen::<f64>()).sqrt() * 2.0;
+        let row = users.row_mut(u);
+        let axis = bundle_axes.row(c);
+        for j in 0..f {
+            let noise = gaussian(&mut rng) * config.user_spread * coord_scale[j];
+            row[j] = (axis[j] + noise) * magnitude;
+        }
+    }
+
+    // --- Items: decayed Gaussian directions with log-normal norms. ---
+    let mut items = Matrix::<f64>::zeros(config.num_items, f);
+    for i in 0..config.num_items {
+        let row = items.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = gaussian(&mut rng) * coord_scale[j];
+        }
+        normalize(row);
+        // Log-normal magnitude: median 1, heavier right tail as skew grows.
+        let magnitude = (config.item_norm_skew * gaussian(&mut rng)).exp();
+        for v in row.iter_mut() {
+            *v *= magnitude;
+        }
+    }
+
+    MfModel::new(
+        format!(
+            "synth(u={},i={},f={})",
+            config.num_users, config.num_items, config.num_factors
+        ),
+        users,
+        items,
+    )
+    .expect("generator produces finite, non-empty matrices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_linalg::kernels::{angle, norm2};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = SynthConfig::default();
+        let a = synth_model(&cfg);
+        let b = synth_model(&cfg);
+        assert_eq!(a.users().as_slice(), b.users().as_slice());
+        assert_eq!(a.items().as_slice(), b.items().as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synth_model(&SynthConfig::default());
+        let b = synth_model(&SynthConfig {
+            seed: 999,
+            ..SynthConfig::default()
+        });
+        assert_ne!(a.users().as_slice(), b.users().as_slice());
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = SynthConfig {
+            num_users: 12,
+            num_items: 34,
+            num_factors: 7,
+            ..SynthConfig::default()
+        };
+        let m = synth_model(&cfg);
+        assert_eq!(m.num_users(), 12);
+        assert_eq!(m.num_items(), 34);
+        assert_eq!(m.num_factors(), 7);
+    }
+
+    #[test]
+    fn tighter_spread_means_tighter_bundles() {
+        let base = SynthConfig {
+            num_users: 200,
+            num_items: 10,
+            num_factors: 16,
+            user_clusters: 4,
+            ..SynthConfig::default()
+        };
+        let tight = synth_model(&SynthConfig {
+            user_spread: 0.05,
+            ..base.clone()
+        });
+        let loose = synth_model(&SynthConfig {
+            user_spread: 1.5,
+            ..base
+        });
+        // Mean pairwise angle within a bundle (users u, u+4 share a bundle).
+        let mean_angle = |m: &MfModel| {
+            let mut total = 0.0;
+            let mut count = 0;
+            for u in 0..50 {
+                total += angle(m.users().row(u), m.users().row(u + 4));
+                count += 1;
+            }
+            total / count as f64
+        };
+        assert!(
+            mean_angle(&tight) < mean_angle(&loose),
+            "tight {} vs loose {}",
+            mean_angle(&tight),
+            mean_angle(&loose)
+        );
+    }
+
+    #[test]
+    fn higher_skew_means_heavier_norm_tail() {
+        let base = SynthConfig {
+            num_users: 10,
+            num_items: 2000,
+            ..SynthConfig::default()
+        };
+        let flat = synth_model(&SynthConfig {
+            item_norm_skew: 0.0,
+            ..base.clone()
+        });
+        let skewed = synth_model(&SynthConfig {
+            item_norm_skew: 1.2,
+            ..base
+        });
+        let tail_ratio = |m: &MfModel| {
+            let mut norms: Vec<f64> = m.items().iter_rows().map(norm2).collect();
+            norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            norms[norms.len() * 99 / 100] / norms[norms.len() / 2]
+        };
+        assert!((tail_ratio(&flat) - 1.0).abs() < 1e-9, "flat skew should be 1");
+        assert!(tail_ratio(&skewed) > 3.0);
+    }
+
+    #[test]
+    fn spectral_decay_concentrates_energy() {
+        let base = SynthConfig {
+            num_users: 10,
+            num_items: 800,
+            num_factors: 32,
+            ..SynthConfig::default()
+        };
+        let flat = synth_model(&SynthConfig {
+            spectral_decay: 1.0,
+            ..base.clone()
+        });
+        let decayed = synth_model(&SynthConfig {
+            spectral_decay: 0.8,
+            ..base
+        });
+        let head_energy = |m: &MfModel| {
+            let mut head = 0.0;
+            let mut total = 0.0;
+            for row in m.items().iter_rows() {
+                for (j, v) in row.iter().enumerate() {
+                    total += v * v;
+                    if j < 8 {
+                        head += v * v;
+                    }
+                }
+            }
+            head / total
+        };
+        assert!(head_energy(&decayed) > head_energy(&flat) + 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_users")]
+    fn rejects_zero_users() {
+        let _ = synth_model(&SynthConfig {
+            num_users: 0,
+            ..SynthConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "spectral_decay")]
+    fn rejects_bad_decay() {
+        let _ = synth_model(&SynthConfig {
+            spectral_decay: 0.0,
+            ..SynthConfig::default()
+        });
+    }
+}

@@ -1,0 +1,426 @@
+//! The FEXIPRO index: norm-ordered scan through a cascade of pruning
+//! filters.
+
+use crate::config::FexiproConfig;
+use crate::quant::{int_upper_bound, quantize_items, quantize_user, QuantizedItems};
+use crate::transform::{Reduction, SvdStage};
+use mips_data::MfModel;
+use mips_linalg::kernels::{dot, norm2, suffix_norms};
+use mips_linalg::Matrix;
+use mips_topk::{TopKHeap, TopKList};
+
+/// Relative slack added to every pruning bound (scaled by the magnitude of
+/// the quantities involved) so floating-point rounding and the orthogonal
+/// transform's accumulation error can never prune a true top-k item.
+const BOUND_EPS: f64 = 1e-9;
+
+/// Work counters across queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FexiproStats {
+    /// Items cut off by the descending-norm length bound.
+    pub length_pruned: u64,
+    /// Items pruned by the reduction (R) angular filter.
+    pub reduction_pruned: u64,
+    /// Items pruned by the SVD (S) partial-product filter.
+    pub svd_pruned: u64,
+    /// Items pruned by the integer (I) bound.
+    pub int_pruned: u64,
+    /// Items verified with a full-precision inner product.
+    pub dots_computed: u64,
+}
+
+/// Per-user precomputed query state.
+#[derive(Debug, Clone)]
+struct UserCtx {
+    /// Original user vector.
+    original: Vec<f64>,
+    /// `‖u‖`.
+    norm: f64,
+    /// Transformed user `Vᵀu` (equals `original` when SVD is disabled).
+    t: Vec<f64>,
+    /// `‖t[h..]‖` — SVD-stage suffix factor.
+    t_suffix_at_h: f64,
+    /// Unit transformed user (zeros for a zero user).
+    unit: Vec<f64>,
+    /// `‖unit[h_r..]‖` — reduction-stage suffix factor.
+    unit_suffix_at_hr: f64,
+    /// Quantized transformed user and its scale.
+    q: Vec<u32>,
+    q_scale: f64,
+}
+
+/// A built FEXIPRO index (presets: SI and SIR; see [`FexiproConfig`]).
+///
+/// Point-query oriented: users are served one at a time in descending-norm
+/// item order. User preprocessing (transform + quantization) happens at
+/// build time, mirroring the original system's batch preprocessing step.
+#[derive(Debug, Clone)]
+pub struct FexiproIndex {
+    config: FexiproConfig,
+    num_factors: usize,
+    /// Item ids in descending-norm order.
+    ids: Vec<u32>,
+    /// Original item vectors, gathered in scan order (exact verification).
+    originals: Matrix<f64>,
+    /// Item norms, descending.
+    norms: Vec<f64>,
+    /// Transformed items in scan order.
+    t_items: Matrix<f64>,
+    /// `‖tᵢ[h..]‖` per item.
+    t_suffix_at_h: Vec<f64>,
+    /// SVD checkpoint.
+    h: usize,
+    /// Reduction checkpoint (`≈ h/2`; the R filter runs before S).
+    h_r: usize,
+    svd: Option<SvdStage>,
+    quant: Option<QuantizedItems>,
+    reduction: Option<Reduction>,
+    /// Precomputed per-user contexts for the model's users.
+    users: Vec<UserCtx>,
+}
+
+impl FexiproIndex {
+    /// Builds the index over the model's items and preprocesses its users.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid. SVD failures (which cannot
+    /// happen for finite validated models) degrade to the identity
+    /// transform.
+    pub fn build(model: &MfModel, config: &FexiproConfig) -> FexiproIndex {
+        config.validate();
+        let f = model.num_factors();
+
+        // Sort items by norm descending (ties toward smaller id).
+        let mut order: Vec<(f64, u32)> = model
+            .items()
+            .iter_rows()
+            .enumerate()
+            .map(|(i, row)| (norm2(row), i as u32))
+            .collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite norms").then(a.1.cmp(&b.1)));
+        let ids: Vec<u32> = order.iter().map(|&(_, id)| id).collect();
+        let norms: Vec<f64> = order.iter().map(|&(n, _)| n).collect();
+        let idx: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+        let originals = model.items().gather_rows(&idx);
+
+        // S stage: orthogonal energy-ordering transform.
+        let svd = if config.enable_svd {
+            SvdStage::build(model.items(), config.energy_target).ok()
+        } else {
+            None
+        };
+        let t_items = match &svd {
+            Some(stage) => stage.transform(&originals),
+            None => originals.clone(),
+        };
+        let h = svd.as_ref().map_or_else(|| f.div_ceil(2).max(1), |s| s.h);
+        let t_suffix_at_h: Vec<f64> = t_items
+            .iter_rows()
+            .map(|row| suffix_norms(row)[h])
+            .collect();
+
+        // I stage: integer quantization of the transformed items.
+        let quant = config
+            .enable_int
+            .then(|| quantize_items(&t_items, config.int_bits));
+
+        // R stage: norm-equalized early angular filter at a shorter
+        // checkpoint.
+        let h_r = (h / 2).max(1);
+        let reduction = config
+            .enable_reduction
+            .then(|| Reduction::build(&t_items, h_r));
+
+        let mut index = FexiproIndex {
+            config: *config,
+            num_factors: f,
+            ids,
+            originals,
+            norms,
+            t_items,
+            t_suffix_at_h,
+            h,
+            h_r,
+            svd,
+            quant,
+            reduction,
+            users: Vec::new(),
+        };
+        // Transform every user in one matrix multiply (the original system
+        // preprocesses the full user set up front, §V-A); per-user contexts
+        // then reuse the transformed rows.
+        let t_users = match &index.svd {
+            Some(stage) => stage.transform(model.users()),
+            None => model.users().clone(),
+        };
+        index.users = (0..model.num_users())
+            .map(|u| index.ctx_from_transformed(model.users().row(u), t_users.row(u).to_vec()))
+            .collect();
+        index
+    }
+
+    /// Number of items indexed.
+    pub fn num_items(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The SVD checkpoint `h` (for diagnostics and ablations).
+    pub fn checkpoint(&self) -> usize {
+        self.h
+    }
+
+    fn make_ctx(&self, user: &[f64]) -> UserCtx {
+        assert_eq!(
+            user.len(),
+            self.num_factors,
+            "FexiproIndex: user dimensionality mismatch"
+        );
+        let t: Vec<f64> = match &self.svd {
+            Some(stage) => {
+                let m = Matrix::from_vec(1, user.len(), user.to_vec()).expect("1 x f");
+                stage.transform(&m).into_vec()
+            }
+            None => user.to_vec(),
+        };
+        self.ctx_from_transformed(user, t)
+    }
+
+    /// Builds a query context from the original vector and its already
+    /// transformed counterpart.
+    fn ctx_from_transformed(&self, user: &[f64], t: Vec<f64>) -> UserCtx {
+        let norm = norm2(user);
+        let t_suffix_at_h = suffix_norms(&t)[self.h];
+        let unit: Vec<f64> = if norm > 0.0 {
+            t.iter().map(|&v| v / norm).collect()
+        } else {
+            vec![0.0; t.len()]
+        };
+        let unit_suffix_at_hr = suffix_norms(&unit)[self.h_r];
+        let (q, q_scale) = if self.config.enable_int {
+            quantize_user(&t, self.config.int_bits)
+        } else {
+            (Vec::new(), 1.0)
+        };
+        UserCtx {
+            original: user.to_vec(),
+            norm,
+            t,
+            t_suffix_at_h,
+            unit,
+            unit_suffix_at_hr,
+            q,
+            q_scale,
+        }
+    }
+
+    /// Top-k for user `u` of the model the index was built from.
+    pub fn query_user(&self, u: usize, k: usize) -> TopKList {
+        let mut stats = FexiproStats::default();
+        self.query_ctx(&self.users[u], k, &mut stats)
+    }
+
+    /// Top-k for user `u`, accumulating work counters.
+    pub fn query_user_with_stats(&self, u: usize, k: usize, stats: &mut FexiproStats) -> TopKList {
+        self.query_ctx(&self.users[u], k, stats)
+    }
+
+    /// Top-k for an ad-hoc user vector (context computed on the fly).
+    pub fn query_vector(&self, user: &[f64], k: usize) -> TopKList {
+        let ctx = self.make_ctx(user);
+        let mut stats = FexiproStats::default();
+        self.query_ctx(&ctx, k, &mut stats)
+    }
+
+    fn query_ctx(&self, ctx: &UserCtx, k: usize, stats: &mut FexiproStats) -> TopKList {
+        let mut heap = TopKHeap::new(k);
+        let n = self.ids.len();
+        for r in 0..n {
+            let mag = ctx.norm * self.norms[r];
+            let slack = mag * BOUND_EPS;
+            if heap.is_full() {
+                let t = heap.threshold();
+                // Length: items descend in norm, so one failure ends the
+                // scan.
+                if mag + slack < t {
+                    stats.length_pruned += (n - r) as u64;
+                    break;
+                }
+                // R: norm-equalized angular filter at the short checkpoint.
+                if let Some(red) = &self.reduction {
+                    let partial = dot(&ctx.unit[..self.h_r], red.prefix.row(r));
+                    let bound = ctx.norm
+                        * red.max_norm
+                        * (partial + ctx.unit_suffix_at_hr * red.suffix[r]);
+                    if bound + ctx.norm * red.max_norm * BOUND_EPS < t {
+                        stats.reduction_pruned += 1;
+                        continue;
+                    }
+                }
+                // S: partial product in the energy-ordered basis plus
+                // Cauchy–Schwarz on the suffix.
+                if self.config.enable_svd || self.svd.is_none() {
+                    let partial = dot(&ctx.t[..self.h], &self.t_items.row(r)[..self.h]);
+                    let bound = partial + ctx.t_suffix_at_h * self.t_suffix_at_h[r];
+                    if bound + slack < t {
+                        stats.svd_pruned += 1;
+                        continue;
+                    }
+                }
+                // I: integer upper bound on |u·i|.
+                if let Some(q) = &self.quant {
+                    let bound = int_upper_bound(&ctx.q, ctx.q_scale, q, r);
+                    if bound + slack < t {
+                        stats.int_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let score = dot(&ctx.original, self.originals.row(r));
+            heap.push(score, self.ids[r]);
+            stats.dots_computed += 1;
+        }
+        heap.into_sorted()
+    }
+
+    /// Top-k for every user of the model, one point query at a time.
+    pub fn query_all(&self, k: usize) -> Vec<TopKList> {
+        (0..self.users.len()).map(|u| self.query_user(u, k)).collect()
+    }
+
+    /// Number of preprocessed users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_data::synth::{synth_model, SynthConfig};
+
+    fn model(decay: f64, skew: f64) -> MfModel {
+        synth_model(&SynthConfig {
+            num_users: 40,
+            num_items: 300,
+            num_factors: 16,
+            spectral_decay: decay,
+            item_norm_skew: skew,
+            seed: 4242,
+            ..SynthConfig::default()
+        })
+    }
+
+    fn reference(model: &MfModel, u: usize, k: usize) -> TopKList {
+        let mut heap = TopKHeap::new(k);
+        for i in 0..model.num_items() {
+            heap.push(dot(model.users().row(u), model.items().row(i)), i as u32);
+        }
+        heap.into_sorted()
+    }
+
+    #[test]
+    fn si_exact_against_brute_force() {
+        let m = model(0.9, 0.8);
+        let index = FexiproIndex::build(&m, &FexiproConfig::si());
+        for k in [1usize, 5, 20] {
+            for u in (0..m.num_users()).step_by(5) {
+                let got = index.query_user(u, k);
+                let want = reference(&m, u, k);
+                assert_eq!(got.items, want.items, "SI k={k} u={u}");
+                for (a, b) in got.scores.iter().zip(&want.scores) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sir_exact_against_brute_force() {
+        let m = model(0.85, 1.0);
+        let index = FexiproIndex::build(&m, &FexiproConfig::sir());
+        for k in [1usize, 7] {
+            for u in (0..m.num_users()).step_by(7) {
+                let got = index.query_user(u, k);
+                let want = reference(&m, u, k);
+                assert_eq!(got.items, want.items, "SIR k={k} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_stage_combination_is_exact() {
+        let m = model(0.9, 0.6);
+        for (s, i, r) in [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, true),
+        ] {
+            let cfg = FexiproConfig {
+                enable_svd: s,
+                enable_int: i,
+                enable_reduction: r,
+                ..FexiproConfig::si()
+            };
+            let index = FexiproIndex::build(&m, &cfg);
+            for u in (0..m.num_users()).step_by(11) {
+                let got = index.query_user(u, 5);
+                let want = reference(&m, u, 5);
+                assert_eq!(got.items, want.items, "cfg s={s} i={i} r={r} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_kicks_in_on_decayed_spectra() {
+        let m = model(0.75, 1.0);
+        let index = FexiproIndex::build(&m, &FexiproConfig::si());
+        let mut stats = FexiproStats::default();
+        for u in 0..m.num_users() {
+            let _ = index.query_user_with_stats(u, 3, &mut stats);
+        }
+        let total = (m.num_users() * m.num_items()) as u64;
+        assert!(
+            stats.dots_computed < total / 2,
+            "verified {} of {} pairs — filters are not pruning",
+            stats.dots_computed,
+            total
+        );
+        assert!(stats.svd_pruned + stats.int_pruned + stats.length_pruned > 0);
+    }
+
+    #[test]
+    fn query_vector_matches_query_user() {
+        let m = model(0.9, 0.5);
+        let index = FexiproIndex::build(&m, &FexiproConfig::sir());
+        for u in [0usize, 13, 39] {
+            assert_eq!(
+                index.query_vector(m.users().row(u), 6).items,
+                index.query_user(u, 6).items
+            );
+        }
+    }
+
+    #[test]
+    fn zero_user_and_k_edge_cases() {
+        let m = model(0.9, 0.5);
+        let index = FexiproIndex::build(&m, &FexiproConfig::si());
+        let zero = vec![0.0; m.num_factors()];
+        let got = index.query_vector(&zero, 4);
+        assert_eq!(got.len(), 4);
+        // All scores are exactly zero; ids must be the four smallest.
+        assert_eq!(got.items, vec![0, 1, 2, 3]);
+        assert!(index.query_user(0, 0).is_empty());
+        let all = index.query_user(0, 10_000);
+        assert_eq!(all.len(), m.num_items());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_wrong_width_vector() {
+        let m = model(0.9, 0.5);
+        let index = FexiproIndex::build(&m, &FexiproConfig::si());
+        let _ = index.query_vector(&[1.0; 3], 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! A Rust port of FEXIPRO, the exact MIPS index of Li et al. (SIGMOD 2017
+//! [21]) — the second state-of-the-art baseline in the paper's evaluation.
+//!
+//! FEXIPRO is a *point-query* index (one user at a time; it does not batch
+//! users, which is why the paper's OPTIMUS can apply its incremental t-test
+//! to it, §IV-A). Items are scanned in descending-norm order and run through
+//! a cascade of pruning filters before an exact verification dot:
+//!
+//! * **S — SVD transform** ([`transform`]): an orthogonal change of basis
+//!   from the item matrix's SVD reorders coordinates by energy, so a partial
+//!   inner product over the first `h` coordinates plus a Cauchy–Schwarz
+//!   suffix bound is tight.
+//! * **I — integer quantization** ([`quant`]): scaled ceil-rounded integer
+//!   vectors whose integer dot product upper-bounds the magnitude of the
+//!   real one, replacing floating-point multiplies with cheap integer ops.
+//! * **R — reduction** ([`transform::Reduction`]): appends one coordinate to
+//!   equalize item norms (the MIPS→cosine embedding of Bachrach et al.),
+//!   giving a norm-independent angular bound. As in the paper's
+//!   measurements, the extra filter's overhead can exceed its benefit —
+//!   FEXIPRO-SIR is often no faster than FEXIPRO-SI.
+//!
+//! The paper benchmarks the presets [`FexiproConfig::si`] (SVD + integer)
+//! and [`FexiproConfig::sir`] (all three); both are reproduced here.
+//!
+//! Like our LEMP port, all pruning bounds are inflated by a relative epsilon
+//! and survivors are verified against the *original* vectors, so results are
+//! bit-identical to brute force.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod index;
+pub mod quant;
+pub mod transform;
+
+pub use config::FexiproConfig;
+pub use index::{FexiproIndex, FexiproStats};

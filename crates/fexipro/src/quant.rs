@@ -1,0 +1,164 @@
+//! The integer ("I") stage: quantized upper bounds on inner products.
+//!
+//! Each vector `x` is mapped to the integer vector `q(x)[j] = ⌈|x_j|·s⌉`
+//! with a scale `s` chosen so values fit in the configured bit width. Since
+//! every quantized magnitude over-estimates the scaled true magnitude,
+//!
+//! `Σ q(u)_j q(i)_j / (s_u s_i) ≥ Σ |u_j||i_j| ≥ |u·i| ≥ u·i`
+//!
+//! — a one-sided bound that is valid for *any* threshold sign, computed
+//! entirely in integer arithmetic.
+
+use mips_linalg::Matrix;
+
+/// Quantized items plus their scale.
+#[derive(Debug, Clone)]
+pub struct QuantizedItems {
+    /// `⌈|t_ij|·scale⌉` per item, row-major (`n × f`).
+    pub q: Vec<u32>,
+    /// Number of coordinates per item.
+    pub f: usize,
+    /// The shared scale `s_i`.
+    pub scale: f64,
+}
+
+/// Quantizes all item rows with a shared scale derived from the global
+/// maximum absolute coordinate.
+///
+/// All-zero matrices get `scale = 1` (all quantized values are zero and the
+/// bound is exactly 0, which is still an upper bound on |u·i| = 0).
+pub fn quantize_items(items: &Matrix<f64>, bits: u32) -> QuantizedItems {
+    let max_abs = items
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |a, &v| a.max(v.abs()));
+    let scale = scale_for(max_abs, bits);
+    let q = items
+        .as_slice()
+        .iter()
+        .map(|&v| (v.abs() * scale).ceil() as u32)
+        .collect();
+    QuantizedItems {
+        q,
+        f: items.cols(),
+        scale,
+    }
+}
+
+/// Quantizes a single user vector with its own scale.
+pub fn quantize_user(user: &[f64], bits: u32) -> (Vec<u32>, f64) {
+    let max_abs = user.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let scale = scale_for(max_abs, bits);
+    (
+        user.iter().map(|&v| (v.abs() * scale).ceil() as u32).collect(),
+        scale,
+    )
+}
+
+/// Integer dot product of a quantized user against item row `r`, divided by
+/// the scales: an upper bound on `|u·i|`.
+#[inline]
+pub fn int_upper_bound(qu: &[u32], user_scale: f64, items: &QuantizedItems, r: usize) -> f64 {
+    let row = &items.q[r * items.f..(r + 1) * items.f];
+    debug_assert_eq!(qu.len(), items.f);
+    let mut acc: u64 = 0;
+    for (&a, &b) in qu.iter().zip(row) {
+        acc += a as u64 * b as u64;
+    }
+    acc as f64 / (user_scale * items.scale)
+}
+
+/// Scale mapping the largest magnitude to the top of the bit range.
+fn scale_for(max_abs: f64, bits: u32) -> f64 {
+    if max_abs <= 0.0 {
+        1.0
+    } else {
+        ((1u64 << bits) - 1) as f64 / max_abs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_linalg::kernels::dot;
+
+    fn random_matrix(n: usize, f: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed | 1;
+        Matrix::from_fn(n, f, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 6.0 - 3.0
+        })
+    }
+
+    #[test]
+    fn bound_dominates_absolute_dot() {
+        let items = random_matrix(50, 9, 3);
+        let users = random_matrix(6, 9, 4);
+        let qi = quantize_items(&items, 12);
+        for u in 0..users.rows() {
+            let (qu, su) = quantize_user(users.row(u), 12);
+            for r in 0..items.rows() {
+                let truth = dot(users.row(u), items.row(r));
+                let bound = int_upper_bound(&qu, su, &qi, r);
+                assert!(
+                    bound >= truth.abs() - 1e-12,
+                    "u={u} r={r}: bound {bound} < |{truth}|"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_give_tighter_bounds() {
+        let items = random_matrix(30, 8, 9);
+        let user_m = random_matrix(1, 8, 10);
+        let user = user_m.row(0);
+        let mut prev_total = f64::INFINITY;
+        for bits in [4u32, 8, 12, 16] {
+            let qi = quantize_items(&items, bits);
+            let (qu, su) = quantize_user(user, bits);
+            let total: f64 = (0..30).map(|r| int_upper_bound(&qu, su, &qi, r)).sum();
+            assert!(
+                total <= prev_total + 1e-9,
+                "bits={bits}: {total} > {prev_total}"
+            );
+            prev_total = total;
+        }
+        // At 16 bits the bound should be close to Σ|u_j||i_j|.
+        let qi = quantize_items(&items, 16);
+        let (qu, su) = quantize_user(user, 16);
+        for r in 0..5 {
+            let abs_sum: f64 = user
+                .iter()
+                .zip(items.row(r))
+                .map(|(a, b)| (a * b).abs())
+                .sum();
+            let bound = int_upper_bound(&qu, su, &qi, r);
+            assert!((bound - abs_sum) / (1.0 + abs_sum) < 0.01);
+        }
+    }
+
+    #[test]
+    fn zero_vectors_quantize_cleanly() {
+        let items = Matrix::<f64>::zeros(3, 4);
+        let qi = quantize_items(&items, 12);
+        assert_eq!(qi.scale, 1.0);
+        let (qu, su) = quantize_user(&[0.0; 4], 12);
+        assert_eq!(int_upper_bound(&qu, su, &qi, 1), 0.0);
+    }
+
+    #[test]
+    fn no_overflow_at_max_bits() {
+        // Worst case: every coordinate maps to 2^30 − 1; with f = 512 the
+        // u64 accumulator holds Σ (2^30)² · 512 = 2^69... so cap f by bits.
+        // At the default 12 bits: (2^12)² · f fits u64 for any sane f.
+        let items = Matrix::from_fn(2, 512, |_, _| 1.0);
+        let qi = quantize_items(&items, 12);
+        let (qu, su) = quantize_user(&vec![1.0; 512], 12);
+        let bound = int_upper_bound(&qu, su, &qi, 0);
+        assert!(bound.is_finite());
+        assert!(bound >= 512.0 - 1e-9);
+    }
+}

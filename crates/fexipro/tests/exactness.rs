@@ -1,0 +1,67 @@
+//! Property tests: FEXIPRO must be exact on arbitrary models.
+
+use mips_data::MfModel;
+use mips_fexipro::{FexiproConfig, FexiproIndex};
+use mips_linalg::kernels::dot;
+use mips_linalg::Matrix;
+use mips_topk::TopKHeap;
+use proptest::prelude::*;
+
+fn brute_force(model: &MfModel, u: usize, k: usize) -> Vec<u32> {
+    let mut heap = TopKHeap::new(k);
+    for i in 0..model.num_items() {
+        heap.push(dot(model.users().row(u), model.items().row(i)), i as u32);
+    }
+    heap.into_sorted().items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random continuous models, both presets.
+    #[test]
+    fn fexipro_is_exact(n_users in 1usize..6,
+                        n_items in 1usize..100,
+                        f in 1usize..10,
+                        k in 1usize..8,
+                        sir in proptest::bool::ANY,
+                        seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        };
+        let users = Matrix::from_fn(n_users, f, |_, _| next());
+        let items = Matrix::from_fn(n_items, f, |_, _| next());
+        let model = MfModel::new("prop", users, items).unwrap();
+        let cfg = if sir { FexiproConfig::sir() } else { FexiproConfig::si() };
+        let index = FexiproIndex::build(&model, &cfg);
+        for u in 0..n_users {
+            let got = index.query_user(u, k);
+            let want = brute_force(&model, u, k);
+            prop_assert_eq!(&got.items, &want, "user {}", u);
+        }
+    }
+
+    /// Quantized/tied coordinates (worst case for bound rounding).
+    #[test]
+    fn fexipro_is_exact_under_ties(n_items in 2usize..50,
+                                   f in 1usize..6,
+                                   k in 1usize..8,
+                                   seed in 0u64..200) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 60) % 3) as f64 - 1.0
+        };
+        let users = Matrix::from_fn(3, f, |_, _| next());
+        let items = Matrix::from_fn(n_items, f, |_, _| next());
+        let model = MfModel::new("ties", users, items).unwrap();
+        let index = FexiproIndex::build(&model, &FexiproConfig::sir());
+        for u in 0..3 {
+            let got = index.query_user(u, k);
+            let want = brute_force(&model, u, k);
+            prop_assert_eq!(&got.items, &want, "user {}", u);
+        }
+    }
+}

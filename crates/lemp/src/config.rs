@@ -1,0 +1,78 @@
+//! LEMP tuning parameters.
+
+/// Configuration for [`crate::LempIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct LempConfig {
+    /// Items per bucket. Buckets small enough to stay cache-resident make the
+    /// per-bucket cosine search fast; the original system sizes buckets to
+    /// the cache, we default to 256 vectors.
+    pub bucket_size: usize,
+    /// Fraction of coordinates scanned before the INCR algorithm applies its
+    /// Cauchy–Schwarz suffix bound.
+    pub checkpoint_fraction: f64,
+    /// Number of sampled users the build-time tuner uses to pick LENGTH vs
+    /// INCR per bucket (the adaptive step of LEMP-LI).
+    pub tune_sample: usize,
+    /// `k` used for tuning queries.
+    pub tune_k: usize,
+    /// Seed for the tuner's user sample. Different seeds may legitimately
+    /// select different per-bucket algorithms (the Fig. 7 variance effect).
+    pub seed: u64,
+}
+
+impl Default for LempConfig {
+    fn default() -> Self {
+        LempConfig {
+            bucket_size: 256,
+            checkpoint_fraction: 0.25,
+            tune_sample: 16,
+            tune_k: 10,
+            seed: 0x1E3B,
+        }
+    }
+}
+
+impl LempConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on degenerate values.
+    pub fn validate(&self) {
+        assert!(self.bucket_size > 0, "LempConfig: bucket_size must be > 0");
+        assert!(
+            self.checkpoint_fraction > 0.0 && self.checkpoint_fraction <= 1.0,
+            "LempConfig: checkpoint_fraction must be in (0, 1]"
+        );
+        assert!(self.tune_k > 0, "LempConfig: tune_k must be > 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        LempConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_size")]
+    fn rejects_zero_bucket() {
+        LempConfig {
+            bucket_size: 0,
+            ..LempConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_fraction")]
+    fn rejects_bad_checkpoint() {
+        LempConfig {
+            checkpoint_fraction: 0.0,
+            ..LempConfig::default()
+        }
+        .validate();
+    }
+}

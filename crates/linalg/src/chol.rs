@@ -1,0 +1,207 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! The alternating-least-squares trainer in `mips-data` solves one
+//! `f × f` symmetric positive-definite normal-equation system per user and
+//! per item each sweep (`(Σ iᵢiᵢᵀ + λI) u = Σ r·iᵢ`). With `f ≤ a few
+//! hundred`, a dense Cholesky factorization is the right tool: `O(f³/3)`
+//! flops, unconditionally stable for SPD inputs.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// A lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky<T> {
+    l: Matrix<T>,
+}
+
+/// Factorizes a symmetric positive-definite matrix.
+///
+/// Only the upper triangle of `a` is read (the matrix is assumed
+/// symmetric). Returns an error for non-square, non-finite, or non-positive
+/// definite input (detected by a non-positive pivot).
+pub fn cholesky<T: Scalar>(a: &Matrix<T>) -> Result<Cholesky<T>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "cholesky",
+            expected: n,
+            actual: a.cols(),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty { context: "cholesky" });
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite { context: "cholesky" });
+    }
+
+    let mut l = Matrix::<T>::zeros(n, n);
+    for j in 0..n {
+        // Diagonal: l_jj = sqrt(a_jj − Σ_{k<j} l_jk²).
+        let mut diag = a.get(j.min(j), j);
+        for k in 0..j {
+            let v = l.get(j, k);
+            diag -= v * v;
+        }
+        // NaN-aware: a NaN pivot must fail here, so compare via `<=`'s
+        // negation semantics explicitly.
+        let positive = diag.partial_cmp(&T::ZERO) == Some(core::cmp::Ordering::Greater);
+        if !positive || !diag.is_finite() {
+            return Err(LinalgError::NoConvergence {
+                context: "cholesky (matrix not positive definite)",
+                iterations: j,
+            });
+        }
+        let ljj = diag.sqrt();
+        l.set(j, j, ljj);
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            // Read A from the upper triangle: a_ij with i > j is a_ji there.
+            let mut sum = a.get(j, i);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, sum / ljj);
+        }
+    }
+    Ok(Cholesky { l })
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via forward and back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Cholesky::solve: dimension mismatch");
+        // Forward: L·y = b.
+        let mut y = vec![T::ZERO; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            let row = self.l.row(i);
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= row[k] * yk;
+            }
+            y[i] = sum / row[i];
+        }
+        // Backward: Lᵀ·x = y.
+        let mut x = vec![T::ZERO; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul_nn, matvec};
+
+    fn spd_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        // B·Bᵀ + n·I is comfortably SPD.
+        let mut state = seed | 1;
+        let b = Matrix::<f64>::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        });
+        let mut a = matmul_nn(&b, &b.transpose());
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        for n in [1usize, 2, 5, 16] {
+            let a = spd_matrix(n, 3 + n as u64);
+            let ch = cholesky(&a).unwrap();
+            let rec = matmul_nn(ch.factor(), &ch.factor().transpose());
+            for i in 0..n {
+                for j in 0..n {
+                    assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-9, "n={n} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts_matvec() {
+        let n = 12;
+        let a = spd_matrix(n, 9);
+        let ch = cholesky(&a).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 2.0).collect();
+        let b = matvec(&a, &x_true);
+        let x = ch.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let mut eye = Matrix::<f64>::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1.0);
+        }
+        let ch = cholesky(&eye).unwrap();
+        let b = [1.0, -2.0, 3.0, 0.5];
+        assert_eq!(ch.solve(&b), b.to_vec());
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, −1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let rect = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            cholesky(&rect),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let empty = Matrix::<f64>::zeros(0, 0);
+        assert!(matches!(cholesky(&empty), Err(LinalgError::Empty { .. })));
+        let mut nan = spd_matrix(3, 1);
+        nan.set(0, 1, f64::NAN);
+        assert!(matches!(cholesky(&nan), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn f32_cholesky_works() {
+        let a64 = spd_matrix(6, 5);
+        let a: Matrix<f32> = a64.cast();
+        let ch = cholesky(&a).unwrap();
+        let b = vec![1.0f32; 6];
+        let x = ch.solve(&b);
+        let back = matvec(&a, &x);
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the checked entry points of this crate.
+
+use core::fmt;
+
+/// Errors produced by checked matrix constructors and decompositions.
+///
+/// Hot kernels (`gemm`, `dot`, …) validate dimensions with assertions instead
+/// of `Result`s — mismatches there are programming errors, and the solvers
+/// validate all external input up front via the checked constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two shapes that were required to agree did not.
+    DimensionMismatch {
+        /// What the caller was doing, e.g. `"Matrix::from_vec"`.
+        context: &'static str,
+        /// Shape or length that was expected.
+        expected: usize,
+        /// Shape or length that was provided.
+        actual: usize,
+    },
+    /// The input contained a NaN or infinity.
+    NonFinite {
+        /// What the caller was doing.
+        context: &'static str,
+    },
+    /// An input that must be non-empty was empty.
+    Empty {
+        /// What the caller was doing.
+        context: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its sweep budget.
+    NoConvergence {
+        /// The algorithm that failed, e.g. `"jacobi_eigen"`.
+        context: &'static str,
+        /// Number of sweeps/iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{context}: dimension mismatch (expected {expected}, got {actual})"
+            ),
+            LinalgError::NonFinite { context } => {
+                write!(f, "{context}: input contains NaN or infinite values")
+            }
+            LinalgError::Empty { context } => write!(f, "{context}: input is empty"),
+            LinalgError::NoConvergence {
+                context,
+                iterations,
+            } => write!(f, "{context}: no convergence after {iterations} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            context: "Matrix::from_vec",
+            expected: 12,
+            actual: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Matrix::from_vec"));
+        assert!(msg.contains("12"));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::Empty { context: "gram" });
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Level-1 kernels: dot products, norms, axpy, scaling.
+//!
+//! These are the `sdot`-style routines the paper contrasts against blocked
+//! matrix multiply. The dot product uses four independent accumulators so the
+//! compiler can keep four FMA chains in flight; a single-accumulator loop
+//! serializes on the FMA latency and runs several times slower.
+
+use crate::scalar::Scalar;
+
+/// Dot product `xᵀy` with unrolled independent accumulators.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc0 = T::ZERO;
+    let mut acc1 = T::ZERO;
+    let mut acc2 = T::ZERO;
+    let mut acc3 = T::ZERO;
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        acc0 = xs[0].mul_add(ys[0], acc0);
+        acc1 = xs[1].mul_add(ys[1], acc1);
+        acc2 = xs[2].mul_add(ys[2], acc2);
+        acc3 = xs[3].mul_add(ys[3], acc3);
+    }
+    let mut tail = T::ZERO;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail = a.mul_add(b, tail);
+    }
+    ((acc0 + acc1) + (acc2 + acc3)) + tail
+}
+
+/// Squared Euclidean norm `‖x‖²`.
+#[inline]
+pub fn norm2_sq<T: Scalar>(x: &[T]) -> T {
+    dot(x, x)
+}
+
+/// Euclidean norm `‖x‖`.
+#[inline]
+pub fn norm2<T: Scalar>(x: &[T]) -> T {
+    norm2_sq(x).sqrt()
+}
+
+/// Squared Euclidean distance `‖x − y‖²`.
+#[inline]
+pub fn dist2_sq<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dist2_sq: length mismatch");
+    let mut acc = T::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        let d = a - b;
+        acc = d.mul_add(d, acc);
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale<T: Scalar>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean length and returns the original norm.
+///
+/// A zero vector is left untouched and `0` is returned; callers (e.g. the
+/// MAXIMUS query path) treat zero-norm users as "any answer is maximal".
+#[inline]
+pub fn normalize<T: Scalar>(x: &mut [T]) -> T {
+    let n = norm2(x);
+    if n > T::ZERO {
+        let inv = T::ONE / n;
+        scale(inv, x);
+    }
+    n
+}
+
+/// The cosine of the angle between `x` and `y`, clamped to `[-1, 1]`.
+///
+/// Returns `0` when either vector has zero norm (orthogonal by convention).
+#[inline]
+pub fn cosine<T: Scalar>(x: &[T], y: &[T]) -> T {
+    let nx = norm2(x);
+    let ny = norm2(y);
+    if nx == T::ZERO || ny == T::ZERO {
+        return T::ZERO;
+    }
+    let c = dot(x, y) / (nx * ny);
+    c.max_val(-T::ONE).min_val(T::ONE)
+}
+
+/// The angle in radians between `x` and `y` (`acos` of [`cosine`]).
+#[inline]
+pub fn angle<T: Scalar>(x: &[T], y: &[T]) -> T {
+    cosine(x, y).acos_clamped()
+}
+
+/// Suffix norms: `out[j] = ‖x[j..]‖` for every `j`, plus `out[len] = 0`.
+///
+/// Both LEMP's incremental pruning and FEXIPRO's partial inner products need
+/// the norm of the *remaining* coordinates at a checkpoint; computing the
+/// running sum backwards gives all of them in one pass.
+pub fn suffix_norms<T: Scalar>(x: &[T]) -> Vec<T> {
+    let mut out = vec![T::ZERO; x.len() + 1];
+    let mut acc = T::ZERO;
+    for j in (0..x.len()).rev() {
+        acc = x[j].mul_add(x[j], acc);
+        out[j] = acc.sqrt();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_all_lengths() {
+        // Cover the unrolled body plus every remainder size.
+        for len in 0..24usize {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64) * 0.5 - 2.0).collect();
+            let y: Vec<f64> = (0..len).map(|i| 1.0 - (i as f64) * 0.25).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!(
+                (dot(&x, &y) - naive).abs() < 1e-10,
+                "len {len}: {} vs {naive}",
+                dot(&x, &y)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0_f64], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let x = [3.0_f64, 4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-12);
+        assert!((norm2_sq(&x) - 25.0).abs() < 1e-12);
+        let y = [0.0_f64, 0.0];
+        assert!((dist2_sq(&x, &y) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = [1.0_f64, 2.0, 3.0];
+        let mut y = [10.0_f64, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn normalize_unit_length_and_zero_vector() {
+        let mut x = [3.0_f64, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+
+        let mut z = [0.0_f64, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_and_angle_known_values() {
+        let x = [1.0_f64, 0.0];
+        let y = [0.0_f64, 1.0];
+        assert!(cosine(&x, &y).abs() < 1e-12);
+        assert!((angle(&x, &y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((cosine(&x, &x) - 1.0).abs() < 1e-12);
+        assert_eq!(angle(&x, &x), 0.0);
+        let z = [0.0_f64, 0.0];
+        assert_eq!(cosine(&x, &z), 0.0);
+    }
+
+    #[test]
+    fn cosine_never_escapes_unit_interval() {
+        // Nearly parallel vectors whose raw cosine exceeds 1 by rounding.
+        let x = [1e8_f64, 1.0, 1e-8];
+        let c = cosine(&x, &x);
+        assert!((-1.0..=1.0).contains(&c));
+        assert_eq!(angle(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn suffix_norms_match_direct_computation() {
+        let x = [1.0_f64, -2.0, 2.0, 0.5];
+        let s = suffix_norms(&x);
+        assert_eq!(s.len(), 5);
+        for j in 0..=4 {
+            let direct = norm2(&x[j..]);
+            assert!((s[j] - direct).abs() < 1e-12, "j={j}");
+        }
+        assert_eq!(s[4], 0.0);
+    }
+
+    #[test]
+    fn f32_kernels_work() {
+        let x = [1.0_f32, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0_f32, 4.0, 3.0, 2.0, 1.0];
+        assert!((dot(&x, &y) - 35.0).abs() < 1e-5);
+        assert!((norm2(&[3.0_f32, 4.0]) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,44 @@
+//! Dense BLAS-like linear algebra kernels for exact maximum inner product search.
+//!
+//! This crate is the hardware-efficiency substrate of the repository: it plays
+//! the role that Intel MKL / OpenBLAS play in the paper *"To Index or Not to
+//! Index: Optimizing Exact Maximum Inner Product Search"* (Abuzaid et al.,
+//! ICDE 2019). The paper's central observation is that a cache-blocked,
+//! register-tiled dense matrix multiply ("blocked matrix multiply", BMM) beats
+//! state-of-the-art MIPS indexes on many inputs purely through hardware
+//! efficiency. Everything in this crate exists to make that brute-force path
+//! genuinely fast:
+//!
+//! * [`Matrix`] — a dense row-major matrix over [`Scalar`] (`f32` or `f64`).
+//! * [`gemm`] — a Goto/BLIS-style packed, cache-blocked `C = A·Bᵀ` kernel with
+//!   an unrolled register micro-kernel, plus naive references for testing.
+//! * [`kernels`] — level-1 routines (dot, axpy, norms) with unrolled
+//!   accumulators.
+//! * [`blocking`] — cache-geometry-aware tile-size selection, shared with the
+//!   OPTIMUS optimizer (which sizes its sampling runs to occupy the L2 cache).
+//! * [`eig`] / [`svd`] — a cyclic Jacobi symmetric eigensolver and the item
+//!   SVD transform required by the FEXIPRO baseline.
+//!
+//! The row-major `A·Bᵀ` orientation is deliberate: in MIPS both the user and
+//! item matrices store one vector per row, so `U·Iᵀ` walks contiguous memory
+//! on both sides.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod chol;
+pub mod eig;
+pub mod error;
+pub mod gemm;
+pub mod kernels;
+pub mod matrix;
+pub mod scalar;
+pub mod svd;
+
+pub use blocking::{BlockSizes, CacheConfig};
+pub use error::LinalgError;
+pub use gemm::{gemm_flops, gemm_nt, gemm_nt_into, matmul_nn, matvec, naive_gemm_nt};
+pub use kernels::{axpy, dot, norm2, norm2_sq, normalize, scale};
+pub use matrix::{Matrix, RowBlock};
+pub use scalar::Scalar;

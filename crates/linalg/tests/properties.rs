@@ -1,0 +1,87 @@
+//! Property-based tests for the linear algebra substrate.
+
+use mips_linalg::{dot, gemm_nt, naive_gemm_nt, norm2, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        (
+            Just(r),
+            Just(c),
+            proptest::collection::vec(-100.0f64..100.0, r * c),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked GEMM agrees with the naive double loop on random shapes.
+    #[test]
+    fn gemm_equals_naive((m, k, adata) in matrix_strategy(24, 40),
+                         n in 1usize..24,
+                         seed in 0u64..1000) {
+        let a = Matrix::from_vec(m, k, adata).unwrap();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let b = Matrix::from_fn(n, k, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 200.0 - 100.0
+        });
+        let fast = gemm_nt(&a, &b);
+        let slow = naive_gemm_nt(&a, &b);
+        for r in 0..m {
+            for c in 0..n {
+                let (x, y) = (fast.get(r, c), slow.get(r, c));
+                prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                             "({r},{c}): {x} vs {y}");
+            }
+        }
+    }
+
+    /// Cauchy–Schwarz: |x·y| ≤ ‖x‖‖y‖ — the inequality every pruning bound
+    /// in the repo ultimately relies on.
+    #[test]
+    fn dot_respects_cauchy_schwarz(x in proptest::collection::vec(-50.0f64..50.0, 1..64),
+                                   y in proptest::collection::vec(-50.0f64..50.0, 1..64)) {
+        let len = x.len().min(y.len());
+        let (x, y) = (&x[..len], &y[..len]);
+        let lhs = dot(x, y).abs();
+        let rhs = norm2(x) * norm2(y);
+        prop_assert!(lhs <= rhs + 1e-7 * (1.0 + rhs));
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_involution((r, c, data) in matrix_strategy(20, 20)) {
+        let m = Matrix::from_vec(r, c, data).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// GEMM is linear in A: (A1 + A2)·Bᵀ = A1·Bᵀ + A2·Bᵀ.
+    #[test]
+    fn gemm_linear_in_a((m, k, a1) in matrix_strategy(12, 16),
+                        seed in 0u64..1000) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let a1 = Matrix::from_vec(m, k, a1).unwrap();
+        let a2 = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(10, k, |_, _| next());
+        let sum = Matrix::from_fn(m, k, |r, c| a1.get(r, c) + a2.get(r, c));
+        let lhs = gemm_nt(&sum, &b);
+        let c1 = gemm_nt(&a1, &b);
+        let c2 = gemm_nt(&a2, &b);
+        for r in 0..m {
+            for c in 0..10 {
+                let x = lhs.get(r, c);
+                let y = c1.get(r, c) + c2.get(r, c);
+                prop_assert!((x - y).abs() <= 1e-7 * (1.0 + x.abs().max(y.abs())));
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Incremental statistics for the OPTIMUS optimizer.
+//!
+//! §IV-A of the paper uses a *one-sample t-test* applied incrementally to
+//! per-user query times: once the sampled index query times are significantly
+//! above or below the mean BMM query time (p < 0.05), OPTIMUS stops sampling
+//! early and commits to the faster strategy. This crate provides the three
+//! pieces that requires, with no external dependencies:
+//!
+//! * [`welford::RunningStats`] — numerically stable streaming mean/variance,
+//! * [`tdist`] — the Student-t CDF via the regularized incomplete beta
+//!   function ([`special`]),
+//! * [`ttest::OneSampleTTest`] — the incremental test itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod special;
+pub mod tdist;
+pub mod ttest;
+pub mod welford;
+
+pub use tdist::{student_t_cdf, two_sided_p_value};
+pub use ttest::{OneSampleTTest, TTestDecision};
+pub use welford::RunningStats;

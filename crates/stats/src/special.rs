@@ -1,0 +1,190 @@
+//! Special functions backing the Student-t distribution.
+//!
+//! Implements `ln Γ` (Lanczos) and the regularized incomplete beta function
+//! `I_x(a, b)` (Lentz's continued fraction), the standard numerical recipes
+//! for CDF evaluation. Accuracy on the t-test's operating range (p-values
+//! between 1e-6 and 0.5, degrees of freedom 1..10⁶) is far better than the
+//! 5 % significance threshold requires.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Accurate to ~15 significant digits for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the g=7, n=9 Lanczos approximation.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps the series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The regularized incomplete beta function `I_x(a, b)`.
+///
+/// Uses the symmetry `I_x(a,b) = 1 − I_{1−x}(b,a)` to keep the continued
+/// fraction in its rapidly converging region.
+///
+/// # Panics
+/// Panics if `a ≤ 0`, `b ≤ 0`, or `x ∉ [0, 1]`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "incomplete_beta: a, b must be positive");
+    assert!((0.0..=1.0).contains(&x), "incomplete_beta: x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz's modified continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-15;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x) across a range of arguments.
+        for &x in &[0.1, 0.7, 1.3, 2.5, 10.0, 100.5] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-10, "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1, 1) = x (uniform distribution CDF).
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (10.0, 3.0, 0.45)] {
+            let lhs = incomplete_beta(a, b, x);
+            let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.5}(0.5, 0.5) = 0.5 (arcsine).
+        assert!((incomplete_beta(2.0, 2.0, 0.5) - 0.5).abs() < 1e-12);
+        assert!((incomplete_beta(0.5, 0.5, 0.5) - 0.5).abs() < 1e-12);
+        // Binomial identity: I_x(1, n) = 1 − (1−x)^n.
+        let x = 0.2;
+        let n = 4.0;
+        assert!((incomplete_beta(1.0, n, x) - (1.0 - (1.0 - x).powf(n))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let x = i as f64 / 20.0;
+            let v = incomplete_beta(3.0, 4.0, x);
+            assert!(v >= prev - 1e-14);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Student-t distribution CDF and p-values.
+
+use crate::special::incomplete_beta;
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+///
+/// Uses the standard identity relating the t CDF to the regularized
+/// incomplete beta function.
+///
+/// # Panics
+/// Panics if `df ≤ 0` or `t` is NaN.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_cdf: df must be positive");
+    assert!(!t.is_nan(), "student_t_cdf: t is NaN");
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided p-value for an observed t statistic with `df` degrees of freedom:
+/// `P(|T| ≥ |t|)`.
+pub fn two_sided_p_value(t: f64, df: f64) -> f64 {
+    let tail = 1.0 - student_t_cdf(t.abs(), df);
+    (2.0 * tail).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_at_zero_is_half() {
+        for &df in &[1.0, 2.0, 5.0, 30.0, 1000.0] {
+            assert!((student_t_cdf(0.0, df) - 0.5).abs() < 1e-12, "df={df}");
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &df in &[1.0, 3.0, 10.0, 100.0] {
+            for &t in &[0.5, 1.0, 2.0, 5.0] {
+                let upper = student_t_cdf(t, df);
+                let lower = student_t_cdf(-t, df);
+                assert!((upper + lower - 1.0).abs() < 1e-12, "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_matches_tabulated_quantiles() {
+        // Standard t-table critical values: CDF(t_crit) = 0.975.
+        // df = 1 → 12.706, df = 5 → 2.571, df = 10 → 2.228, df = 30 → 2.042.
+        for &(df, t_crit) in &[(1.0, 12.706), (5.0, 2.571), (10.0, 2.228), (30.0, 2.042)] {
+            let p = student_t_cdf(t_crit, df);
+            assert!((p - 0.975).abs() < 5e-4, "df={df}: CDF({t_crit}) = {p}");
+        }
+        // One-sided 95 %: df = 5 → 2.015, df = 20 → 1.725.
+        for &(df, t_crit) in &[(5.0, 2.015), (20.0, 1.725)] {
+            let p = student_t_cdf(t_crit, df);
+            assert!((p - 0.95).abs() < 5e-4, "df={df}: CDF({t_crit}) = {p}");
+        }
+    }
+
+    #[test]
+    fn cauchy_special_case() {
+        // df = 1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/π.
+        for &t in &[-3.0_f64, -1.0, 0.5, 2.0, 10.0] {
+            let expect = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((student_t_cdf(t, 1.0) - expect).abs() < 1e-10, "t={t}");
+        }
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        // At df = 10⁶ the t CDF is the standard normal CDF to ~4 digits.
+        // Φ(1.96) ≈ 0.975.
+        let p = student_t_cdf(1.96, 1e6);
+        assert!((p - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn p_value_behaviour() {
+        assert!((two_sided_p_value(0.0, 10.0) - 1.0).abs() < 1e-12);
+        // Large |t| → tiny p.
+        assert!(two_sided_p_value(10.0, 30.0) < 1e-8);
+        // Symmetric in sign.
+        assert!(
+            (two_sided_p_value(2.5, 7.0) - two_sided_p_value(-2.5, 7.0)).abs() < 1e-14
+        );
+        // df = 10, t = 2.228 → p ≈ 0.05.
+        assert!((two_sided_p_value(2.228, 10.0) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn infinite_t_saturates() {
+        assert_eq!(student_t_cdf(f64::INFINITY, 5.0), 1.0);
+        assert_eq!(student_t_cdf(f64::NEG_INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_in_t() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let t = i as f64 * 0.25;
+            let p = student_t_cdf(t, 7.0);
+            assert!(p >= prev - 1e-14);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Incremental one-sample t-test: OPTIMUS's early-stopping rule (§IV-A).
+//!
+//! OPTIMUS first measures the mean per-user BMM query time, then streams
+//! per-user *index* query times into this test. As soon as the index sample
+//! mean is significantly different from the BMM mean (two-sided p below the
+//! significance threshold), the optimizer stops sampling and picks whichever
+//! side is faster. The paper reports that on Netflix f=10, K=1 this let
+//! OPTIMUS examine only 4 % of the full sample when comparing FEXIPRO
+//! against BMM.
+
+use crate::tdist::two_sided_p_value;
+use crate::welford::RunningStats;
+
+/// The state of the incremental test after an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TTestDecision {
+    /// Not enough evidence yet — keep sampling.
+    Continue,
+    /// Sample mean is significantly *below* the reference mean.
+    SignificantlyBelow,
+    /// Sample mean is significantly *above* the reference mean.
+    SignificantlyAbove,
+}
+
+/// An incremental one-sample t-test against a fixed reference mean.
+#[derive(Debug, Clone)]
+pub struct OneSampleTTest {
+    reference_mean: f64,
+    alpha: f64,
+    min_samples: u64,
+    stats: RunningStats,
+}
+
+impl OneSampleTTest {
+    /// Creates a test against `reference_mean` at significance level `alpha`
+    /// (the paper uses 0.05).
+    ///
+    /// The test refuses to decide before `min_samples` observations so a
+    /// lucky first few measurements cannot trigger a premature verdict.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1` and `min_samples ≥ 2`.
+    pub fn new(reference_mean: f64, alpha: f64, min_samples: u64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        assert!(min_samples >= 2, "t-test needs at least 2 samples");
+        OneSampleTTest {
+            reference_mean,
+            alpha,
+            min_samples,
+            stats: RunningStats::new(),
+        }
+    }
+
+    /// Adds one observation and returns the current decision.
+    pub fn push(&mut self, x: f64) -> TTestDecision {
+        self.stats.push(x);
+        self.decision()
+    }
+
+    /// The decision given all observations so far.
+    pub fn decision(&self) -> TTestDecision {
+        let n = self.stats.count();
+        if n < self.min_samples {
+            return TTestDecision::Continue;
+        }
+        let se = self.stats.std_error();
+        let diff = self.stats.mean() - self.reference_mean;
+        if se == 0.0 {
+            // Zero variance: every observation identical. Decide directly.
+            return if diff < 0.0 {
+                TTestDecision::SignificantlyBelow
+            } else if diff > 0.0 {
+                TTestDecision::SignificantlyAbove
+            } else {
+                TTestDecision::Continue
+            };
+        }
+        let t = diff / se;
+        let p = two_sided_p_value(t, (n - 1) as f64);
+        if p < self.alpha {
+            if diff < 0.0 {
+                TTestDecision::SignificantlyBelow
+            } else {
+                TTestDecision::SignificantlyAbove
+            }
+        } else {
+            TTestDecision::Continue
+        }
+    }
+
+    /// Observations consumed so far.
+    pub fn samples_used(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Current sample mean.
+    pub fn sample_mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// The reference mean the sample is tested against.
+    pub fn reference_mean(&self) -> f64 {
+        self.reference_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obvious_difference_detected_quickly() {
+        // Index times ~10 µs vs BMM reference 100 µs: should stop fast.
+        let mut test = OneSampleTTest::new(100.0, 0.05, 3);
+        let mut decided_at = None;
+        for i in 0..50u64 {
+            let x = 10.0 + (i % 3) as f64; // 10, 11, 12, ...
+            if test.push(x) == TTestDecision::SignificantlyBelow {
+                decided_at = Some(test.samples_used());
+                break;
+            }
+        }
+        let n = decided_at.expect("should reach significance");
+        assert!(n <= 5, "took {n} samples for a 10x difference");
+    }
+
+    #[test]
+    fn detects_above_reference() {
+        let mut test = OneSampleTTest::new(1.0, 0.05, 3);
+        for _ in 0..10 {
+            test.push(5.0 + 0.01);
+            test.push(5.0 - 0.01);
+        }
+        assert_eq!(test.decision(), TTestDecision::SignificantlyAbove);
+    }
+
+    #[test]
+    fn similar_means_keep_sampling() {
+        // Observations straddle the reference mean symmetrically.
+        let mut test = OneSampleTTest::new(10.0, 0.05, 3);
+        for i in 0..100 {
+            let x = if i % 2 == 0 { 9.0 } else { 11.0 };
+            assert_eq!(test.push(x), TTestDecision::Continue, "i={i}");
+        }
+    }
+
+    #[test]
+    fn respects_min_samples() {
+        let mut test = OneSampleTTest::new(100.0, 0.05, 10);
+        for i in 0..9 {
+            assert_eq!(test.push(1.0 + i as f64 * 0.01), TTestDecision::Continue);
+        }
+        assert_eq!(test.push(1.05), TTestDecision::SignificantlyBelow);
+    }
+
+    #[test]
+    fn zero_variance_sample_decides_directly() {
+        let mut below = OneSampleTTest::new(10.0, 0.05, 2);
+        below.push(1.0);
+        assert_eq!(below.push(1.0), TTestDecision::SignificantlyBelow);
+
+        let mut equal = OneSampleTTest::new(1.0, 0.05, 2);
+        equal.push(1.0);
+        assert_eq!(equal.push(1.0), TTestDecision::Continue);
+    }
+
+    #[test]
+    fn tighter_alpha_needs_more_evidence() {
+        // Same stream: the stricter test must not decide before the looser one.
+        let stream: Vec<f64> = (0..40).map(|i| 8.0 + ((i * 37) % 17) as f64 * 0.1).collect();
+        let mut loose = OneSampleTTest::new(10.0, 0.20, 3);
+        let mut strict = OneSampleTTest::new(10.0, 0.001, 3);
+        let mut loose_at = None;
+        let mut strict_at = None;
+        for (i, &x) in stream.iter().enumerate() {
+            if loose.push(x) != TTestDecision::Continue && loose_at.is_none() {
+                loose_at = Some(i);
+            }
+            if strict.push(x) != TTestDecision::Continue && strict_at.is_none() {
+                strict_at = Some(i);
+            }
+        }
+        let l = loose_at.expect("loose test should decide");
+        if let Some(s) = strict_at {
+            assert!(s >= l, "strict decided at {s}, loose at {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = OneSampleTTest::new(1.0, 1.5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_min_samples() {
+        let _ = OneSampleTTest::new(1.0, 0.05, 1);
+    }
+}

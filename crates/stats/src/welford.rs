@@ -1,0 +1,162 @@
+//! Streaming mean/variance via Welford's algorithm.
+//!
+//! OPTIMUS feeds per-user query times into this accumulator one observation
+//! at a time; Welford's update is numerically stable even when the times span
+//! orders of magnitude (index hits vs. full scans).
+
+/// Numerically stable running mean, variance, min and max.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (`std_dev / √n`).
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn matches_closed_form_on_small_sample() {
+        let mut s = RunningStats::new();
+        s.extend(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn stable_under_large_offsets() {
+        // Classic catastrophic-cancellation scenario for the naive two-pass
+        // formula: tiny variance around a huge mean.
+        let mut s = RunningStats::new();
+        let base = 1e12;
+        for i in 0..1000 {
+            s.push(base + (i % 2) as f64);
+        }
+        assert!((s.variance() - 0.2503).abs() < 1e-2);
+        assert!((s.mean() - (base + 0.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let xs: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a = RunningStats::new();
+        for &x in &xs {
+            a.push(x);
+        }
+        let mut b = RunningStats::new();
+        b.extend(&xs);
+        assert_eq!(a.count(), b.count());
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.variance() - b.variance()).abs() < 1e-12);
+    }
+}

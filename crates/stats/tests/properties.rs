@@ -1,0 +1,74 @@
+//! Property tests for the statistics substrate.
+
+use mips_stats::{student_t_cdf, two_sided_p_value, OneSampleTTest, RunningStats, TTestDecision};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CDF is a valid distribution function: in [0,1], symmetric around
+    /// 0, monotone.
+    #[test]
+    fn t_cdf_is_a_cdf(t in -50.0f64..50.0, df in 1.0f64..200.0) {
+        let p = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let q = student_t_cdf(-t, df);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        let p2 = student_t_cdf(t + 0.5, df);
+        prop_assert!(p2 >= p - 1e-12);
+    }
+
+    /// Two-sided p-values live in [0,1] and shrink as |t| grows.
+    #[test]
+    fn p_values_behave(t in 0.0f64..30.0, df in 1.0f64..100.0) {
+        let p = two_sided_p_value(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p_bigger = two_sided_p_value(t + 1.0, df);
+        prop_assert!(p_bigger <= p + 1e-12);
+    }
+
+    /// Welford matches the two-pass reference on arbitrary data.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e4f64..1e4, 2..200)) {
+        let mut acc = RunningStats::new();
+        acc.extend(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        prop_assert!((acc.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((acc.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// The t-test's verdict direction always matches the sign of the actual
+    /// mean difference when it decides.
+    #[test]
+    fn ttest_direction_is_consistent(offset in -5.0f64..5.0,
+                                     noise in 0.01f64..2.0,
+                                     n in 8usize..60) {
+        let mut test = OneSampleTTest::new(0.0, 0.05, 4);
+        let mut state = 12345u64;
+        let mut decided = None;
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            let x = offset + u * noise;
+            sum += x;
+            count += 1.0;
+            let d = test.push(x);
+            if d != TTestDecision::Continue {
+                decided = Some(d);
+                break;
+            }
+        }
+        if let Some(d) = decided {
+            let sample_mean = sum / count;
+            match d {
+                TTestDecision::SignificantlyBelow => prop_assert!(sample_mean < 0.0),
+                TTestDecision::SignificantlyAbove => prop_assert!(sample_mean > 0.0),
+                TTestDecision::Continue => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Top-K selection for exact MIPS.
+//!
+//! Every solver in the repository ends the same way the paper's C++
+//! implementations do: ratings stream into a bounded min-heap whose root is
+//! the *worst retained* rating — the pruning threshold that LEMP, FEXIPRO and
+//! MAXIMUS compare their upper bounds against. This crate provides that heap
+//! plus batched row-wise selection over dense score matrices.
+//!
+//! Determinism: ties are broken toward the smaller item id everywhere, so
+//! independent solvers produce byte-identical results and cross-solver tests
+//! can compare exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod list;
+pub mod select;
+
+pub use heap::TopKHeap;
+pub use list::TopKList;
+pub use select::{row_topk, rows_topk, topk_all_rows};

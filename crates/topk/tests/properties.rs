@@ -1,0 +1,70 @@
+//! Property tests: heap-based selection must agree with a full sort.
+
+use mips_topk::{row_topk, TopKHeap};
+use proptest::prelude::*;
+
+fn sort_reference(scores: &[f64], k: usize) -> (Vec<u32>, Vec<f64>) {
+    let mut pairs: Vec<(f64, u32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    pairs.truncate(k);
+    (
+        pairs.iter().map(|p| p.1).collect(),
+        pairs.iter().map(|p| p.0).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn heap_matches_sort(scores in proptest::collection::vec(-1000.0f64..1000.0, 0..300),
+                         k in 0usize..40) {
+        let got = row_topk(&scores, k);
+        let (items, want_scores) = sort_reference(&scores, k);
+        prop_assert_eq!(&got.items, &items);
+        prop_assert_eq!(&got.scores, &want_scores);
+        prop_assert!(got.is_sorted() || got.len() < 2);
+    }
+
+    /// With heavy ties (quantized scores) determinism must still hold.
+    #[test]
+    fn heap_matches_sort_with_ties(raw in proptest::collection::vec(0u8..4, 1..200),
+                                   k in 1usize..20) {
+        let scores: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let got = row_topk(&scores, k);
+        let (items, _) = sort_reference(&scores, k);
+        prop_assert_eq!(got.items, items);
+    }
+
+    /// The threshold never decreases as entries stream in.
+    #[test]
+    fn threshold_is_monotone(scores in proptest::collection::vec(-100.0f64..100.0, 1..100),
+                             k in 1usize..10) {
+        let mut heap = TopKHeap::new(k);
+        let mut prev = heap.threshold();
+        for (i, &s) in scores.iter().enumerate() {
+            heap.push(s, i as u32);
+            let t = heap.threshold();
+            prop_assert!(t >= prev, "threshold decreased: {prev} -> {t}");
+            prev = t;
+        }
+    }
+
+    /// Merging two disjoint halves equals selecting over the concatenation.
+    #[test]
+    fn merge_equals_global(scores in proptest::collection::vec(-50.0f64..50.0, 2..120),
+                           k in 1usize..12) {
+        let mid = scores.len() / 2;
+        let left = row_topk(&scores[..mid], k);
+        let mut right = row_topk(&scores[mid..], k);
+        // Shift right-half ids to global positions.
+        right.items.iter_mut().for_each(|i| *i += mid as u32);
+        let merged = left.merge(&right, k);
+        let global = row_topk(&scores, k);
+        prop_assert_eq!(merged.items, global.items);
+    }
+}

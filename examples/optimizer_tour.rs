@@ -1,0 +1,75 @@
+//! Optimizer tour: why "to index or not to index" has no static answer.
+//!
+//! Reproduces the paper's motivating observation (Fig. 2) on two contrasting
+//! workloads — a Netflix-like model where brute force wins and an R2-like
+//! model where the index wins — and shows OPTIMUS making the right call on
+//! each, with its runtime estimates printed alongside the measured truth.
+//!
+//! ```sh
+//! cargo run --release --example optimizer_tour
+//! ```
+
+use optimus_maximus::core::optimus::oracle::oracle_choice;
+use optimus_maximus::prelude::*;
+use std::sync::Arc;
+
+fn tour(label: &str, model: Arc<MfModel>, block_size: usize, k: usize) {
+    println!("== {label}: {} ==", model.name());
+    let maximus_cfg = MaximusConfig {
+        block_size,
+        ..MaximusConfig::default()
+    };
+    let strategies = [Strategy::Bmm, Strategy::Maximus(maximus_cfg)];
+
+    // Ground truth: run everything to completion (the oracle of Table II).
+    let (best, runtimes) = oracle_choice(&model, k, &strategies);
+    for rt in &runtimes {
+        println!(
+            "  measured {:<12} {:>8.3}s (build {:>6.4}s + serve {:>7.4}s)",
+            rt.name,
+            rt.total_seconds(),
+            rt.build_seconds,
+            rt.serve_seconds
+        );
+    }
+    println!("  oracle choice: {}", runtimes[best].name);
+
+    // OPTIMUS, online, from a <1% sample.
+    let optimus = Optimus::new(OptimusConfig::default());
+    let outcome = optimus.run(&model, k, &[Strategy::Maximus(maximus_cfg)]);
+    for e in &outcome.estimates {
+        println!(
+            "  estimate {:<12} {:>8.3}s (from {} sampled users)",
+            e.name, e.estimated_total_seconds, e.sampled_users
+        );
+    }
+    let agree = outcome.chosen == runtimes[best].name;
+    println!(
+        "  OPTIMUS choice: {} ({}, decision overhead {:.3}s)\n",
+        outcome.chosen,
+        if agree { "matches oracle" } else { "differs from oracle" },
+        outcome.decision_seconds
+    );
+}
+
+fn main() {
+    // Netflix-like: flat-ish item norms, diffuse users — BMM territory
+    // (Fig. 2, left).
+    let netflix_like = reference_models()
+        .into_iter()
+        .find(|s| s.dataset == "Netflix" && s.training == "BPR" && s.f == 50)
+        .unwrap();
+    let model = Arc::new(netflix_like.build(1.0));
+    let block = netflix_like.scaled_block_size(model.num_items());
+    tour("BMM-friendly workload", model, block, 10);
+
+    // R2-like: heavy norm skew, tight user bundles — index territory
+    // (Fig. 2, right).
+    let r2_like = reference_models()
+        .into_iter()
+        .find(|s| s.dataset == "R2" && s.training == "NOMAD" && s.f == 50)
+        .unwrap();
+    let model = Arc::new(r2_like.build(1.0));
+    let block = r2_like.scaled_block_size(model.num_items());
+    tour("index-friendly workload", model, block, 10);
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a model, let OPTIMUS pick a serving strategy, read the
+//! recommendations.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use optimus_maximus::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A synthetic matrix-factorization model standing in for a trained
+    // recommender: 2,000 users and 1,500 items with 32 latent factors.
+    let model = Arc::new(synth_model(&SynthConfig {
+        num_users: 2000,
+        num_items: 1500,
+        num_factors: 32,
+        ..SynthConfig::default()
+    }));
+    println!(
+        "model: {} users x {} items, f = {}",
+        model.num_users(),
+        model.num_items(),
+        model.num_factors()
+    );
+
+    // OPTIMUS decides online whether this model is worth indexing: it
+    // builds the MAXIMUS index, times it and brute force on a small user
+    // sample, and serves everyone with the winner. The item blocking factor
+    // B is scaled to the catalog size (the paper's B = 4096 assumes
+    // 20k-1M items).
+    let optimus = Optimus::new(OptimusConfig::default());
+    let maximus = MaximusConfig {
+        block_size: (model.num_items() / 16).max(16),
+        ..MaximusConfig::default()
+    };
+    let outcome = optimus.run(&model, 5, &[Strategy::Maximus(maximus)]);
+
+    println!("\nOPTIMUS sampled {} users and chose: {}", outcome.sample_size, outcome.chosen);
+    for estimate in &outcome.estimates {
+        println!(
+            "  {:<12} estimated total {:>8.3}s (build {:>6.4}s, sampled {} users in {:.4}s)",
+            estimate.name,
+            estimate.estimated_total_seconds,
+            estimate.build_seconds,
+            estimate.sampled_users,
+            estimate.sample_seconds,
+        );
+    }
+    println!(
+        "decision overhead {:.3}s of {:.3}s total",
+        outcome.decision_seconds, outcome.total_seconds
+    );
+
+    // Top-5 recommendations for the first three users.
+    println!("\ntop-5 recommendations:");
+    for user in 0..3 {
+        let list = &outcome.results[user];
+        let pretty: Vec<String> = list
+            .iter()
+            .map(|(item, score)| format!("item {item} ({score:.3})"))
+            .collect();
+        println!("  user {user}: {}", pretty.join(", "));
+    }
+
+    // Every result is exact — verify against a freshly computed reference.
+    check_all_topk(&model, 5, &outcome.results, 1e-9).expect("exact top-k");
+    println!("\nverified: all {} results exactly match brute force", outcome.results.len());
+}

@@ -1,0 +1,70 @@
+//! # optimus-maximus
+//!
+//! A from-scratch Rust implementation of *"To Index or Not to Index:
+//! Optimizing Exact Maximum Inner Product Search"* (Abuzaid, Sethi, Bailis,
+//! Zaharia — ICDE 2019), including every system the paper builds on:
+//!
+//! | Piece | What it is | Crate |
+//! |---|---|---|
+//! | BMM | hardware-efficient brute force (blocked GEMM + heap top-k) | [`core::bmm`] |
+//! | MAXIMUS | the paper's clustered, bound-sorted exact index | [`core::maximus`] |
+//! | OPTIMUS | the online sample-based strategy optimizer | [`core::optimus`] |
+//! | LEMP | baseline index of Teflioudi et al. (SIGMOD'15) | [`lemp`] |
+//! | FEXIPRO | baseline index of Li et al. (SIGMOD'17) | [`fexipro`] |
+//! | substrates | BLAS-like kernels, k-means, top-k heaps, t-tests, MF trainers | [`linalg`], [`clustering`], [`topk`], [`stats`], [`data`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use optimus_maximus::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A small synthetic matrix-factorization model (users × f, items × f).
+//! let model = Arc::new(synth_model(&SynthConfig {
+//!     num_users: 200,
+//!     num_items: 500,
+//!     num_factors: 16,
+//!     ..SynthConfig::default()
+//! }));
+//!
+//! // Let OPTIMUS choose between brute force and the MAXIMUS index, then
+//! // serve the top-5 items for every user.
+//! let optimus = Optimus::new(OptimusConfig::default());
+//! let outcome = optimus.run(&model, 5, &[Strategy::Maximus(MaximusConfig::default())]);
+//! println!("OPTIMUS chose {}", outcome.chosen);
+//! assert_eq!(outcome.results.len(), 200);
+//! assert_eq!(outcome.results[0].len(), 5);
+//! ```
+//!
+//! The `examples/` directory walks through a trained movie recommender, a
+//! word-embedding similarity search, and an optimizer tour across
+//! contrasting workloads; `crates/bench` regenerates every table and figure
+//! of the paper's evaluation (see `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mips_clustering as clustering;
+pub use mips_core as core;
+pub use mips_data as data;
+pub use mips_fexipro as fexipro;
+pub use mips_lemp as lemp;
+pub use mips_linalg as linalg;
+pub use mips_stats as stats;
+pub use mips_topk as topk;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use mips_core::maximus::{MaximusConfig, MaximusIndex};
+    pub use mips_core::optimus::{Optimus, OptimusConfig, OptimusOutcome};
+    pub use mips_core::parallel::par_query_all;
+    pub use mips_core::solver::{MipsSolver, Strategy};
+    pub use mips_core::verify::{check_all_topk, check_user_topk};
+    pub use mips_core::{BmmSolver, FexiproSolver, LempSolver};
+    pub use mips_data::catalog::{reference_models, ModelSpec};
+    pub use mips_data::synth::{synth_model, SynthConfig};
+    pub use mips_data::{MfModel, ModelError, RatingsData};
+    pub use mips_fexipro::FexiproConfig;
+    pub use mips_lemp::LempConfig;
+    pub use mips_topk::TopKList;
+}

@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! and training through every solver and the optimizer.
+
+use optimus_maximus::core::optimus::oracle::oracle_choice;
+use optimus_maximus::core::parallel::par_query_all;
+use optimus_maximus::data::sgd::{train_sgd, SgdConfig};
+use optimus_maximus::prelude::*;
+use std::sync::Arc;
+
+/// Small versions of a few catalog models spanning all four dataset
+/// families.
+fn small_catalog() -> Vec<Arc<MfModel>> {
+    reference_models()
+        .into_iter()
+        .filter(|s| {
+            (s.dataset == "Netflix" && s.training == "DSGD" && s.f == 10)
+                || (s.dataset == "R2" && s.training == "NOMAD" && s.f == 10)
+                || (s.dataset == "KDD" && s.training == "REF")
+                || (s.dataset == "GloVe" && s.f == 50)
+        })
+        .map(|s| Arc::new(s.build(0.05)))
+        .collect()
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Bmm,
+        Strategy::Maximus(MaximusConfig {
+            num_clusters: 4,
+            block_size: 32,
+            ..MaximusConfig::default()
+        }),
+        Strategy::Lemp(LempConfig::default()),
+        Strategy::FexiproSi,
+        Strategy::FexiproSir,
+    ]
+}
+
+#[test]
+fn all_solvers_exact_on_all_dataset_families() {
+    for model in small_catalog() {
+        for strategy in strategies() {
+            let solver = strategy.build(&model);
+            for k in [1usize, 10] {
+                let results = solver.query_all(k);
+                check_all_topk(&model, k, &results, 1e-9).unwrap_or_else(|msg| {
+                    panic!("{} on {}: {msg}", strategy.name(), model.name())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn solvers_agree_item_for_item() {
+    let model = small_catalog().remove(0);
+    let reference = Strategy::Bmm.build(&model).query_all(5);
+    for strategy in strategies() {
+        let results = strategy.build(&model).query_all(5);
+        for u in (0..model.num_users()).step_by(13) {
+            assert_eq!(
+                results[u].items,
+                reference[u].items,
+                "{} disagrees with BMM for user {u} on {}",
+                strategy.name(),
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimus_serves_exact_results_and_valid_choice() {
+    let model = small_catalog().remove(1);
+    let optimus = Optimus::new(OptimusConfig {
+        sample_fraction: 0.05,
+        ..OptimusConfig::default()
+    });
+    let outcome = optimus.run(
+        &model,
+        5,
+        &[
+            Strategy::Maximus(MaximusConfig {
+                num_clusters: 4,
+                block_size: 32,
+                ..MaximusConfig::default()
+            }),
+            Strategy::Lemp(LempConfig::default()),
+        ],
+    );
+    assert!(["Blocked MM", "Maximus", "LEMP"].contains(&outcome.chosen.as_str()));
+    check_all_topk(&model, 5, &outcome.results, 1e-9).expect("OPTIMUS output is exact");
+    // Estimates exist for every candidate and are finite.
+    assert_eq!(outcome.estimates.len(), 3);
+    for e in &outcome.estimates {
+        assert!(e.estimated_total_seconds.is_finite() && e.estimated_total_seconds > 0.0);
+    }
+}
+
+#[test]
+fn parallel_serving_matches_sequential_everywhere() {
+    let model = small_catalog().remove(2);
+    for strategy in strategies() {
+        let solver = strategy.build(&model);
+        let seq = solver.query_all(4);
+        let par = par_query_all(solver.as_ref(), 4, 4);
+        assert_eq!(seq, par, "{} parallel mismatch", strategy.name());
+    }
+}
+
+#[test]
+fn end_to_end_train_then_serve() {
+    // Ratings → SGD training → exact serving, the full Fig. 1 pipeline.
+    let truth = synth_model(&SynthConfig {
+        num_users: 120,
+        num_items: 90,
+        num_factors: 6,
+        seed: 3,
+        ..SynthConfig::default()
+    });
+    let ratings = RatingsData::from_ground_truth(&truth, 25, 0.1, 5);
+    let trained = train_sgd(
+        &ratings,
+        &SgdConfig {
+            num_factors: 8,
+            epochs: 15,
+            ..SgdConfig::default()
+        },
+    );
+    let model = Arc::new(
+        MfModel::new("trained", trained.users().clone(), trained.items().clone()).unwrap(),
+    );
+    for strategy in strategies() {
+        let results = strategy.build(&model).query_all(3);
+        check_all_topk(&model, 3, &results, 1e-9)
+            .unwrap_or_else(|msg| panic!("{}: {msg}", strategy.name()));
+    }
+}
+
+#[test]
+fn oracle_and_optimus_usually_agree() {
+    // Not a strict guarantee (timing noise on shared machines), but on a
+    // model with a wide BMM-vs-index gap both should land on the same side.
+    let spec = reference_models()
+        .into_iter()
+        .find(|s| s.dataset == "Netflix" && s.training == "BPR" && s.f == 25)
+        .unwrap();
+    let model = Arc::new(spec.build(0.15));
+    let strategies = [Strategy::Bmm, Strategy::FexiproSir];
+    let (best, _) = oracle_choice(&model, 1, &strategies);
+    let optimus = Optimus::new(OptimusConfig {
+        sample_fraction: 0.05,
+        ..OptimusConfig::default()
+    });
+    let outcome = optimus.run(&model, 1, &[Strategy::FexiproSir]);
+    // BPR models are BMM-friendly by construction; a diffuse-user model with
+    // flat norms gives indexes nothing to prune.
+    assert_eq!(strategies[best].name(), "Blocked MM");
+    assert_eq!(outcome.chosen, "Blocked MM");
+}
+
+#[test]
+fn model_validation_rejects_bad_input() {
+    use optimus_maximus::linalg::Matrix;
+    // NaN users.
+    let mut users = Matrix::<f64>::zeros(2, 3);
+    users.set(0, 0, f64::NAN);
+    let items = Matrix::<f64>::from_fn(4, 3, |r, c| (r + c) as f64);
+    assert!(matches!(
+        MfModel::new("bad", users, items.clone()),
+        Err(ModelError::InvalidMatrix(_))
+    ));
+    // Mismatched factor counts.
+    let users = Matrix::<f64>::from_fn(2, 5, |r, c| (r * c) as f64);
+    assert!(matches!(
+        MfModel::new("bad", users, items.clone()),
+        Err(ModelError::FactorMismatch { .. })
+    ));
+    // Empty matrices.
+    let users = Matrix::<f64>::zeros(0, 3);
+    assert!(MfModel::new("bad", users, items).is_err());
+}
+
+#[test]
+fn duplicate_and_degenerate_vectors_are_served_exactly() {
+    use optimus_maximus::linalg::Matrix;
+    // Model with duplicate items, a zero item, a zero user, and duplicate
+    // users — every degenerate case at once.
+    let users = Matrix::from_rows(&[
+        vec![1.0, 2.0, -1.0],
+        vec![0.0, 0.0, 0.0],
+        vec![1.0, 2.0, -1.0],
+        vec![-3.0, 0.5, 2.0],
+    ])
+    .unwrap();
+    let mut item_rows = vec![
+        vec![0.0, 0.0, 0.0],
+        vec![1.0, 1.0, 1.0],
+        vec![1.0, 1.0, 1.0],
+        vec![-2.0, 0.0, 1.0],
+    ];
+    for j in 0..20 {
+        item_rows.push(vec![j as f64 * 0.1, 1.0 - j as f64 * 0.05, 0.5]);
+    }
+    let items = Matrix::from_rows(&item_rows).unwrap();
+    let model = Arc::new(MfModel::new("degenerate", users, items).unwrap());
+    let reference = Strategy::Bmm.build(&model).query_all(6);
+    for strategy in strategies() {
+        let results = strategy.build(&model).query_all(6);
+        for u in 0..model.num_users() {
+            assert_eq!(
+                results[u].items,
+                reference[u].items,
+                "{} user {u}",
+                strategy.name()
+            );
+        }
+    }
+}
