@@ -7,8 +7,8 @@
 
 use mips_bench::{build_model, fmt_secs, maximus_config, time_seconds, Table};
 use mips_core::maximus::{MaximusConfig, MaximusIndex};
-use mips_data::catalog::find;
 use mips_core::solver::MipsSolver;
+use mips_data::catalog::find;
 use std::sync::Arc;
 
 fn run(model: &Arc<mips_data::MfModel>, cfg: &MaximusConfig) -> (f64, f64) {

@@ -1,0 +1,46 @@
+//! Facade-cost check: `Engine` dispatch vs. direct `MipsSolver` calls.
+//!
+//! The engine adds request validation, a registry lookup, a lock on the
+//! solver cache, and response assembly around each batch. All of that is
+//! O(1) per request while serving is O(users x items x f), so the measured
+//! ratio should sit at ~1.00x for every backend. This bench prints the
+//! evidence.
+
+use mips_bench::{build_model, engine_overhead, fmt_secs, maximus_config, Table};
+use mips_core::solver::Strategy;
+use mips_data::catalog::find;
+use mips_lemp::LempConfig;
+
+fn main() {
+    println!("== Engine facade overhead: dispatch vs. direct solver calls ==\n");
+    let spec = find("Netflix", "DSGD", 50).expect("catalog model");
+    let model = build_model(&spec);
+    println!(
+        "model: {} ({} users x {} items, f = {})\n",
+        model.name(),
+        model.num_users(),
+        model.num_items(),
+        model.num_factors()
+    );
+
+    let strategies = [
+        Strategy::Bmm,
+        Strategy::Maximus(maximus_config(&spec, &model)),
+        Strategy::Lemp(LempConfig::default()),
+    ];
+    let mut table = Table::new(&["backend", "K", "engine", "direct", "ratio"]);
+    for strategy in &strategies {
+        for &k in &[1usize, 10] {
+            let sample = engine_overhead(strategy, &model, k, 5);
+            table.row(vec![
+                strategy.name().to_string(),
+                k.to_string(),
+                fmt_secs(sample.engine_seconds),
+                fmt_secs(sample.direct_seconds),
+                format!("{:.3}x", sample.ratio()),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nexpected shape: ratio ~= 1.00x everywhere — the facade is free per batch.");
+}

@@ -13,7 +13,13 @@ use mips_lemp::LempConfig;
 
 fn main() {
     println!("== Figure 4: construction vs end-to-end retrieval (K = 1) ==\n");
-    let mut table = Table::new(&["model", "index", "construction", "end-to-end", "constr. share"]);
+    let mut table = Table::new(&[
+        "model",
+        "index",
+        "construction",
+        "end-to-end",
+        "constr. share",
+    ]);
     let mut worst_ratio = f64::INFINITY;
     for f in [10usize, 50, 100] {
         let spec = find("Netflix", "DSGD", f).expect("catalog model");

@@ -7,10 +7,11 @@
 //! the paper's 16-core Xeon they did not reach.
 
 use mips_bench::{build_model, maximus_config, time_seconds, Table};
-use mips_core::parallel::par_query_all;
+use mips_core::engine::{EngineBuilder, QueryRequest};
 use mips_core::solver::Strategy;
 use mips_data::catalog::find;
 use mips_lemp::LempConfig;
+use std::sync::Arc;
 
 fn main() {
     let cores = std::thread::available_parallelism()
@@ -30,11 +31,27 @@ fn main() {
     for &threads in &[1usize, 2, 4, 8, 16] {
         let mut cells = vec![threads.to_string()];
         for (i, strategy) in strategies.iter().enumerate() {
-            let solver = strategy.build(&model);
+            // Threading is an engine option: the same request fans out over
+            // `threads` workers inside the facade.
+            let engine = EngineBuilder::new()
+                .model(Arc::clone(&model))
+                .register_arc(strategy.factory())
+                .threads(threads)
+                .build()
+                .expect("bench engine assembles");
+            let request = QueryRequest::top_k(1);
+            let _ = engine.solver(strategy.key()).expect("pre-build the index");
             // Median of three runs: thread spawn noise is visible at these
             // sub-second scales.
             let mut runs: Vec<f64> = (0..3)
-                .map(|_| time_seconds(|| par_query_all(solver.as_ref(), 1, threads)).0)
+                .map(|_| {
+                    time_seconds(|| {
+                        engine
+                            .execute_with(strategy.key(), &request)
+                            .expect("valid bench request")
+                    })
+                    .0
+                })
                 .collect();
             runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let t = runs[1];

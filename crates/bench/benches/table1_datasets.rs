@@ -42,8 +42,6 @@ fn main() {
         ]);
     }
     table.print();
-    println!(
-        "\npaper ratings counts (not materialized here; solvers consume factor matrices):"
-    );
+    println!("\npaper ratings counts (not materialized here; solvers consume factor matrices):");
     println!("  Netflix 100,480,507 | KDD 252,810,175 | R2 699,640,226 | GloVe: n/a");
 }

@@ -81,7 +81,10 @@ fn main() {
                 let candidate_times: Vec<f64> = std::iter::once(times[0])
                     .chain(index_ids.iter().map(|&i| times[i]))
                     .collect();
-                let best_time = candidate_times.iter().cloned().fold(f64::INFINITY, f64::min);
+                let best_time = candidate_times
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
                 let best_name = if best_time == times[0] {
                     "Blocked MM".to_string()
                 } else {
@@ -114,7 +117,8 @@ fn main() {
                 if outcome.chosen == best_name {
                     acc.correct += 1;
                 }
-                acc.overheads.push((optimus_total / best_time - 1.0).max(0.0));
+                acc.overheads
+                    .push((optimus_total / best_time - 1.0).max(0.0));
                 // "Index only": always use this pairing's (first) index.
                 acc.index_only_speedup
                     .push(lemp_baseline / times[index_ids[0]]);

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use mips_core::engine::{Engine, EngineBuilder, QueryRequest};
 use mips_core::maximus::MaximusConfig;
 use mips_core::solver::Strategy;
 use mips_data::catalog::ModelSpec;
@@ -71,13 +72,96 @@ pub fn time_seconds<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), value)
 }
 
+/// An engine serving exactly one strategy (the unit the figure benches
+/// time): the strategy's factory registered under its key, threads = 1.
+pub fn single_backend_engine(strategy: &Strategy, model: &Arc<MfModel>) -> Engine {
+    EngineBuilder::new()
+        .model(Arc::clone(model))
+        .register_arc(strategy.factory())
+        .build()
+        .expect("bench engine assembles")
+}
+
 /// End-to-end seconds (build + serve-all) for one strategy, as Fig. 5
-/// measures it.
+/// measures it. Serving is dispatched through the engine facade.
 pub fn end_to_end_seconds(strategy: &Strategy, model: &Arc<MfModel>, k: usize) -> f64 {
-    let solver = strategy.build(model);
-    let (serve, results) = time_seconds(|| solver.query_all(k));
-    assert_eq!(results.len(), model.num_users());
-    solver.build_seconds() + serve
+    let engine = single_backend_engine(strategy, model);
+    let response = engine
+        .execute_with(strategy.key(), &QueryRequest::top_k(k))
+        .expect("valid bench request");
+    assert_eq!(response.results.len(), model.num_users());
+    let build_seconds = engine
+        .solver(strategy.key())
+        .expect("solver was built")
+        .build_seconds();
+    build_seconds + response.serve_seconds
+}
+
+/// One engine-overhead measurement: serve-all seconds through the
+/// [`Engine`] facade vs. the same solver called directly.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadSample {
+    /// Seconds through `Engine::execute_with` (request validation +
+    /// dispatch + response assembly included).
+    pub engine_seconds: f64,
+    /// Seconds calling `MipsSolver::query_all` on the identical solver.
+    pub direct_seconds: f64,
+}
+
+impl OverheadSample {
+    /// Engine seconds over direct seconds (1.0 = free facade).
+    pub fn ratio(&self) -> f64 {
+        if self.direct_seconds > 0.0 {
+            self.engine_seconds / self.direct_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Times `Engine` dispatch against direct `MipsSolver` calls on the same
+/// built solver, taking the median of `runs` serve-all passes for each
+/// path. The facade's per-batch cost (validation, lock on the solver
+/// cache, response assembly) should vanish next to the multiply itself.
+pub fn engine_overhead(
+    strategy: &Strategy,
+    model: &Arc<MfModel>,
+    k: usize,
+    runs: usize,
+) -> OverheadSample {
+    assert!(runs >= 1, "engine_overhead: runs must be >= 1");
+    let engine = single_backend_engine(strategy, model);
+    let request = QueryRequest::top_k(k);
+    // Build once up front so neither path pays construction.
+    let solver = engine.solver(strategy.key()).expect("solver builds");
+
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        samples[samples.len() / 2]
+    };
+
+    let mut engine_runs: Vec<f64> = (0..runs)
+        .map(|_| {
+            let (t, response) = time_seconds(|| {
+                engine
+                    .execute_with(strategy.key(), &request)
+                    .expect("valid bench request")
+            });
+            assert_eq!(response.results.len(), model.num_users());
+            t
+        })
+        .collect();
+    let mut direct_runs: Vec<f64> = (0..runs)
+        .map(|_| {
+            let (t, results) = time_seconds(|| solver.query_all(k));
+            assert_eq!(results.len(), model.num_users());
+            t
+        })
+        .collect();
+    OverheadSample {
+        engine_seconds: median(&mut engine_runs),
+        direct_seconds: median(&mut direct_runs),
+    }
 }
 
 /// A minimal fixed-width table printer for bench output.
@@ -224,9 +308,40 @@ mod tests {
     #[test]
     fn stats_helpers() {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
-        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(
+            (std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - (32.0f64 / 7.0).sqrt()).abs()
+                < 1e-12
+        );
         assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn engine_overhead_measures_both_paths() {
+        use mips_data::synth::{synth_model, SynthConfig};
+        let model = Arc::new(synth_model(&SynthConfig {
+            num_users: 60,
+            num_items: 80,
+            num_factors: 8,
+            ..SynthConfig::default()
+        }));
+        let sample = engine_overhead(&Strategy::Bmm, &model, 3, 3);
+        assert!(sample.engine_seconds > 0.0 && sample.engine_seconds.is_finite());
+        assert!(sample.direct_seconds > 0.0 && sample.direct_seconds.is_finite());
+        assert!(sample.ratio() > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_uses_the_engine_and_stays_positive() {
+        use mips_data::synth::{synth_model, SynthConfig};
+        let model = Arc::new(synth_model(&SynthConfig {
+            num_users: 30,
+            num_items: 40,
+            num_factors: 6,
+            ..SynthConfig::default()
+        }));
+        let t = end_to_end_seconds(&Strategy::Bmm, &model, 2);
+        assert!(t > 0.0 && t.is_finite());
     }
 
     #[test]

@@ -46,8 +46,7 @@ mod tests {
     #[test]
     fn assigns_to_closest_centroid() {
         let centroids = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
-        let points =
-            Matrix::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.5], vec![4.9, 4.9]]).unwrap();
+        let points = Matrix::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.5], vec![4.9, 4.9]]).unwrap();
         assert_eq!(assign_to_nearest(&points, &centroids), vec![0, 1, 0]);
     }
 

@@ -292,8 +292,7 @@ mod tests {
 
     #[test]
     fn single_cluster_centroid_is_mean() {
-        let points =
-            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let points = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let result = kmeans(
             &points,
             &KMeansConfig {

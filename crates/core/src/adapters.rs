@@ -60,10 +60,12 @@ impl MipsSolver for LempSolver {
     }
 
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
-        users
-            .iter()
-            .map(|&u| self.index.query(self.model.users().row(u), k))
-            .collect()
+        crate::solver::dedup_query_subset(users, |distinct| {
+            distinct
+                .iter()
+                .map(|&u| self.index.query(self.model.users().row(u), k))
+                .collect()
+        })
     }
 }
 
@@ -121,7 +123,12 @@ impl MipsSolver for FexiproSolver {
     }
 
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
-        users.iter().map(|&u| self.index.query_user(u, k)).collect()
+        crate::solver::dedup_query_subset(users, |distinct| {
+            distinct
+                .iter()
+                .map(|&u| self.index.query_user(u, k))
+                .collect()
+        })
     }
 }
 

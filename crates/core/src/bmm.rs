@@ -98,15 +98,17 @@ impl MipsSolver for BmmSolver {
     }
 
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
-        let gathered: Matrix<f64> = self.model.users().gather_rows(users);
-        let mut out = Vec::with_capacity(users.len());
-        let mut start = 0;
-        while start < gathered.rows() {
-            let end = (start + self.batch_rows).min(gathered.rows());
-            out.extend(self.serve_block(gathered.row_block(start, end), k));
-            start = end;
-        }
-        out
+        crate::solver::dedup_query_subset(users, |distinct| {
+            let gathered: Matrix<f64> = self.model.users().gather_rows(distinct);
+            let mut out = Vec::with_capacity(distinct.len());
+            let mut start = 0;
+            while start < gathered.rows() {
+                let end = (start + self.batch_rows).min(gathered.rows());
+                out.extend(self.serve_block(gathered.row_block(start, end), k));
+                start = end;
+            }
+            out
+        })
     }
 }
 

@@ -1,0 +1,128 @@
+//! The typed error surface of the serving engine.
+//!
+//! Every fallible engine entry point returns [`MipsError`] instead of
+//! panicking: malformed requests from remote callers are an expected input
+//! class for a serving system, not a programming error.
+
+/// Everything that can go wrong assembling an engine or serving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MipsError {
+    /// `k` is zero or exceeds the item catalog.
+    InvalidK {
+        /// The requested `k`.
+        k: usize,
+        /// Items in the model's catalog.
+        num_items: usize,
+    },
+    /// A requested user id does not exist in the model.
+    UserOutOfRange {
+        /// The first requested user id that is out of range.
+        user: usize,
+        /// Users in the model.
+        num_users: usize,
+    },
+    /// An excluded item id does not exist in the model.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: u32,
+        /// Items in the model's catalog.
+        num_items: usize,
+    },
+    /// The request selects no users (empty id list or empty range).
+    EmptyUserList,
+    /// The model has no users or no items.
+    EmptyModel,
+    /// No backend is registered under the requested key.
+    UnknownBackend {
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// A backend with this key is already registered.
+    DuplicateBackend {
+        /// The colliding key.
+        key: String,
+    },
+    /// The engine was built without any backends.
+    NoBackends,
+    /// A configuration value is out of its valid domain.
+    InvalidConfig(String),
+    /// A backend failed to construct its index.
+    BackendBuild {
+        /// The backend's registry key.
+        key: String,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MipsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MipsError::InvalidK { k, num_items } => {
+                write!(f, "invalid k = {k}: must be in 1..={num_items}")
+            }
+            MipsError::UserOutOfRange { user, num_users } => {
+                write!(
+                    f,
+                    "user id {user} out of range: model has {num_users} users"
+                )
+            }
+            MipsError::ItemOutOfRange { item, num_items } => {
+                write!(
+                    f,
+                    "excluded item id {item} out of range: model has {num_items} items"
+                )
+            }
+            MipsError::EmptyUserList => write!(f, "request selects no users"),
+            MipsError::EmptyModel => write!(f, "model has no users or no items"),
+            MipsError::UnknownBackend { key } => {
+                write!(f, "no backend registered under key {key:?}")
+            }
+            MipsError::DuplicateBackend { key } => {
+                write!(f, "backend key {key:?} registered twice")
+            }
+            MipsError::NoBackends => write!(f, "engine has no registered backends"),
+            MipsError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
+            MipsError::BackendBuild { key, message } => {
+                write!(f, "backend {key:?} failed to build: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MipsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::MipsError;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(MipsError, &str)> = vec![
+            (MipsError::InvalidK { k: 0, num_items: 9 }, "invalid k = 0"),
+            (
+                MipsError::UserOutOfRange {
+                    user: 12,
+                    num_users: 10,
+                },
+                "user id 12",
+            ),
+            (MipsError::EmptyUserList, "no users"),
+            (MipsError::UnknownBackend { key: "nope".into() }, "\"nope\""),
+            (MipsError::NoBackends, "no registered backends"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MipsError::EmptyModel);
+    }
+}

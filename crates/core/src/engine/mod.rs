@@ -1,0 +1,923 @@
+//! The request/response serving engine: the crate's primary public API.
+//!
+//! The paper's thesis is that the choice of exact-MIPS strategy should be
+//! made at serving time by an optimizer. The engine packages that thesis
+//! behind one facade:
+//!
+//! * [`EngineBuilder`] assembles a model, a set of backends from an open
+//!   [`registry`](BackendRegistry) (brute force, MAXIMUS, LEMP, FEXIPRO,
+//!   or anything implementing [`SolverFactory`]), and an
+//!   [`EngineConfig`] — including the multi-core serving degree.
+//! * [`QueryRequest`] describes one unit of work: `k`, a user selection
+//!   (everyone / a range / an explicit id list), and optional per-user
+//!   item exclusions for the recommender scenario.
+//! * Every entry point returns `Result<_, MipsError>`: malformed requests
+//!   (`k == 0`, `k > num_items`, out-of-range users, empty selections) are
+//!   typed errors, never panics.
+//! * [`Engine::prepare`] runs the OPTIMUS planner once and caches the
+//!   winning backend in a [`PreparedPlan`]; [`Engine::execute`] does this
+//!   transparently, so repeated requests at the same `k` never re-sample.
+//!
+//! ```
+//! use mips_core::engine::{EngineBuilder, QueryRequest};
+//! use mips_data::synth::{synth_model, SynthConfig};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(synth_model(&SynthConfig {
+//!     num_users: 60,
+//!     num_items: 120,
+//!     num_factors: 8,
+//!     ..SynthConfig::default()
+//! }));
+//! let engine = EngineBuilder::new()
+//!     .model(model)
+//!     .with_default_backends()
+//!     .threads(2)
+//!     .build()
+//!     .unwrap();
+//! let response = engine.execute(&QueryRequest::top_k(5)).unwrap();
+//! assert_eq!(response.results.len(), 60);
+//! assert!(engine.execute(&QueryRequest::top_k(0)).is_err()); // typed, no panic
+//! ```
+
+pub mod error;
+pub mod plan;
+pub mod registry;
+pub mod request;
+
+pub use error::MipsError;
+pub use plan::PreparedPlan;
+pub use registry::{
+    BackendRegistry, BmmFactory, FexiproFactory, FnFactory, LempFactory, MaximusFactory,
+    SolverFactory,
+};
+pub use request::{ExclusionSet, QueryRequest, QueryResponse, UserSelection};
+
+use crate::optimus::{Optimus, OptimusConfig};
+use crate::parallel::{par_query_range, par_query_subset};
+use crate::solver::MipsSolver;
+use mips_data::MfModel;
+use mips_topk::TopKList;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Engine-wide serving options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for serving (user-partitioned, Fig. 6). `1` serves
+    /// sequentially; values above one route every request through the
+    /// multi-core path.
+    pub threads: usize,
+    /// Planner configuration (sampling fraction, t-test, seed).
+    pub optimus: OptimusConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            optimus: OptimusConfig::default(),
+        }
+    }
+}
+
+/// Step-by-step assembly of an [`Engine`].
+#[derive(Default)]
+pub struct EngineBuilder {
+    model: Option<Arc<MfModel>>,
+    registry: BackendRegistry,
+    config: EngineConfig,
+    defer_error: Option<MipsError>,
+}
+
+impl EngineBuilder {
+    /// An empty builder.
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Sets the model to serve.
+    pub fn model(mut self, model: Arc<MfModel>) -> EngineBuilder {
+        self.model = Some(model);
+        self
+    }
+
+    /// Registers one backend; duplicate keys surface as an error from
+    /// [`EngineBuilder::build`].
+    pub fn register(self, factory: impl SolverFactory + 'static) -> EngineBuilder {
+        self.register_arc(Arc::new(factory))
+    }
+
+    /// Registers an already-shared backend factory.
+    pub fn register_arc(mut self, factory: Arc<dyn SolverFactory>) -> EngineBuilder {
+        if let Err(err) = self.registry.register(factory) {
+            self.defer_error.get_or_insert(err);
+        }
+        self
+    }
+
+    /// Registers all built-in backends with default parameters
+    /// (`bmm`, `maximus`, `lemp`, `fexipro-si`, `fexipro-sir`).
+    pub fn with_default_backends(mut self) -> EngineBuilder {
+        for factory in BackendRegistry::with_defaults().factories() {
+            self = self.register_arc(Arc::clone(factory));
+        }
+        self
+    }
+
+    /// Replaces the registry wholesale, clearing any error deferred from
+    /// earlier incremental registrations (they targeted the replaced
+    /// registry).
+    pub fn registry(mut self, registry: BackendRegistry) -> EngineBuilder {
+        self.registry = registry;
+        self.defer_error = None;
+        self
+    }
+
+    /// Sets the serving thread count (must be at least 1).
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the planner configuration.
+    pub fn optimus(mut self, optimus: OptimusConfig) -> EngineBuilder {
+        self.config.optimus = optimus;
+        self
+    }
+
+    /// Sets the whole engine configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> EngineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Validates the assembly and produces the engine.
+    pub fn build(self) -> Result<Engine, MipsError> {
+        if let Some(err) = self.defer_error {
+            return Err(err);
+        }
+        let model = self
+            .model
+            .ok_or_else(|| MipsError::InvalidConfig("a model is required".into()))?;
+        if model.num_users() == 0 || model.num_items() == 0 {
+            return Err(MipsError::EmptyModel);
+        }
+        if self.registry.is_empty() {
+            return Err(MipsError::NoBackends);
+        }
+        if self.config.threads == 0 {
+            return Err(MipsError::InvalidConfig(
+                "threads must be at least 1".into(),
+            ));
+        }
+        let f = self.config.optimus.sample_fraction;
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(MipsError::InvalidConfig(format!(
+                "optimus.sample_fraction must be in (0, 1], got {f}"
+            )));
+        }
+        Ok(Engine {
+            model,
+            registry: self.registry,
+            config: self.config,
+            solvers: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+            planner_runs: AtomicU64::new(0),
+        })
+    }
+}
+
+/// One lazily-filled cache slot. The outer map lock is held only long
+/// enough to fetch the cell; expensive work (index construction, planning)
+/// happens under the cell's own lock, so a slow build for one key never
+/// blocks requests that hit other keys — while concurrent requests for the
+/// *same* key still wait for the single in-flight build instead of
+/// duplicating it.
+type CacheCell<T> = Arc<Mutex<Option<T>>>;
+
+/// Locks a cache mutex, recovering from poisoning: if a (custom) factory
+/// panicked mid-build, the slot it was filling is still `None`, so the
+/// sensible recovery is to let the next caller retry rather than poison the
+/// engine forever.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The serving engine: model + backends + planner + caches.
+///
+/// Immutable after construction; all interior state (built solvers, cached
+/// plans) is behind per-key locks, so an engine can be shared across
+/// threads and queried concurrently.
+pub struct Engine {
+    model: Arc<MfModel>,
+    registry: BackendRegistry,
+    config: EngineConfig,
+    solvers: Mutex<HashMap<String, CacheCell<Arc<dyn MipsSolver>>>>,
+    plans: Mutex<HashMap<usize, CacheCell<Arc<PreparedPlan>>>>,
+    planner_runs: AtomicU64,
+}
+
+impl Engine {
+    /// Starts assembling an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &Arc<MfModel> {
+        &self.model
+    }
+
+    /// The backend registry.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Registered backend keys, in registration order.
+    pub fn backend_keys(&self) -> Vec<&str> {
+        self.registry.keys()
+    }
+
+    /// How many times the OPTIMUS planner has actually run (used to verify
+    /// that prepared plans are reused rather than re-sampled).
+    pub fn planner_runs(&self) -> u64 {
+        self.planner_runs.load(Ordering::SeqCst)
+    }
+
+    /// The built solver for `key`, constructing and caching it on first
+    /// use. Construction happens under a per-key lock: concurrent requests
+    /// for other backends proceed, concurrent requests for this one share
+    /// the single build.
+    pub fn solver(&self, key: &str) -> Result<Arc<dyn MipsSolver>, MipsError> {
+        let factory = Arc::clone(
+            self.registry
+                .get(key)
+                .ok_or_else(|| MipsError::UnknownBackend { key: key.into() })?,
+        );
+        let cell = {
+            let mut map = lock_recovering(&self.solvers);
+            Arc::clone(map.entry(key.to_string()).or_default())
+        };
+        let mut slot = lock_recovering(&cell);
+        if let Some(solver) = slot.as_ref() {
+            return Ok(Arc::clone(solver));
+        }
+        let solver: Arc<dyn MipsSolver> = Arc::from(factory.build(&self.model)?);
+        *slot = Some(Arc::clone(&solver));
+        Ok(solver)
+    }
+
+    /// Serves a request with an explicitly named backend — no planning.
+    pub fn execute_with(
+        &self,
+        key: &str,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse, MipsError> {
+        request.validate(&self.model)?;
+        let solver = self.solver(key)?;
+        serve(
+            &self.model,
+            solver.as_ref(),
+            self.config.threads,
+            request,
+            false,
+        )
+    }
+
+    /// Runs the OPTIMUS planner for requests at `k` and caches the
+    /// decision. Calling again with the same `k` returns the cached plan
+    /// without re-sampling. Planning happens under a per-`k` lock, so a
+    /// long sampling run for one `k` never stalls requests at another.
+    pub fn prepare(&self, k: usize) -> Result<Arc<PreparedPlan>, MipsError> {
+        if k == 0 || k > self.model.num_items() {
+            return Err(MipsError::InvalidK {
+                k,
+                num_items: self.model.num_items(),
+            });
+        }
+        let cell = {
+            let mut map = lock_recovering(&self.plans);
+            Arc::clone(map.entry(k).or_default())
+        };
+        let mut slot = lock_recovering(&cell);
+        if let Some(plan) = slot.as_ref() {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(self.plan_for_k(k)?);
+        *slot = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Serves a request through the plan cache: plans once per `k`, then
+    /// dispatches to the cached winner.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, MipsError> {
+        request.validate(&self.model)?;
+        let plan = self.prepare(request.k)?;
+        plan.execute_prevalidated(request)
+    }
+
+    /// The planning phase behind [`Engine::prepare`].
+    fn plan_for_k(&self, k: usize) -> Result<PreparedPlan, MipsError> {
+        let keys: Vec<String> = self.registry.keys().iter().map(|s| s.to_string()).collect();
+        let mut solvers = Vec::with_capacity(keys.len());
+        for key in &keys {
+            solvers.push(self.solver(key)?);
+        }
+        self.planner_runs.fetch_add(1, Ordering::SeqCst);
+
+        if solvers.len() == 1 {
+            // One candidate: nothing to sample.
+            return Ok(PreparedPlan {
+                model: Arc::clone(&self.model),
+                winner: Arc::clone(&solvers[0]),
+                backend_key: keys[0].clone(),
+                planned_k: k,
+                threads: self.config.threads,
+                estimates: Vec::new(),
+                sample_size: 0,
+                decision_seconds: 0.0,
+            });
+        }
+
+        // `Optimus::choose` uses its first candidate as the t-test timing
+        // reference, which must be a batch solver (BMM-like) when one is
+        // registered — regardless of registration order. Sample in an order
+        // that puts the first batch-capable backend up front, then map the
+        // winner back to its registry key.
+        let mut order: Vec<usize> = (0..solvers.len()).collect();
+        if let Some(batch) = solvers.iter().position(|s| s.batches_users()) {
+            order.remove(batch);
+            order.insert(0, batch);
+        }
+        let optimus = Optimus::new(self.config.optimus);
+        let refs: Vec<&dyn MipsSolver> = order.iter().map(|&i| solvers[i].as_ref()).collect();
+        let choice = optimus.choose(&self.model, k, &refs);
+        let winner_idx = order[choice.chosen];
+        Ok(PreparedPlan {
+            model: Arc::clone(&self.model),
+            winner: Arc::clone(&solvers[winner_idx]),
+            backend_key: keys[winner_idx].clone(),
+            planned_k: k,
+            threads: self.config.threads,
+            estimates: choice.estimates,
+            sample_size: choice.sample_size,
+            decision_seconds: choice.decision_seconds,
+        })
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("model", &self.model.name())
+            .field("backends", &self.registry.keys())
+            .field("threads", &self.config.threads)
+            .field("planner_runs", &self.planner_runs())
+            .finish()
+    }
+}
+
+/// Runs the request's user selection through the solver at the given `k`.
+fn dispatch(
+    model: &MfModel,
+    solver: &dyn MipsSolver,
+    threads: usize,
+    users: &UserSelection,
+    k: usize,
+) -> Vec<TopKList> {
+    match users {
+        // All-users at one thread takes the solver's specialized query_all
+        // path (MAXIMUS serves whole clusters in membership order there).
+        UserSelection::All if threads == 1 => solver.query_all(k),
+        UserSelection::All => par_query_range(solver, k, 0..model.num_users(), threads),
+        UserSelection::Range(r) => par_query_range(solver, k, r.clone(), threads),
+        UserSelection::Ids(ids) => par_query_subset(solver, k, ids, threads),
+    }
+}
+
+/// Serves one **already-validated** request with a concrete solver.
+///
+/// Shared by [`Engine::execute_with`], [`Engine::execute`], and
+/// [`PreparedPlan::execute`], each of which validates exactly once before
+/// calling in; both engine-level threading and exact exclusion handling
+/// live here.
+///
+/// Exclusions are served exactly by widening `k`: a user's true top-k among
+/// non-excluded items always sits within their top-(k + |exclusions|)
+/// overall. The widening of the main batch is capped so one power user with
+/// thousands of rated items cannot multiply the serve cost for everyone —
+/// users whose exclusion count exceeds the cap are re-served individually
+/// at their own width in a second, narrow pass.
+pub(crate) fn serve(
+    model: &MfModel,
+    solver: &dyn MipsSolver,
+    threads: usize,
+    request: &QueryRequest,
+    planned: bool,
+) -> Result<QueryResponse, MipsError> {
+    debug_assert!(request.validate(model).is_ok(), "caller must validate");
+    let start = Instant::now();
+    let k = request.k;
+    let num_items = model.num_items();
+
+    let results = match request.exclude.as_ref().filter(|e| !e.is_empty()) {
+        None => dispatch(model, solver, threads, &request.users, k),
+        Some(e) => {
+            let counts: Vec<usize> = request
+                .selected_users_iter(model)
+                .map(|u| e.count_for(u))
+                .collect();
+            let max_widen = counts.iter().copied().max().unwrap_or(0);
+            // Cap the batch widening at max(k, 32): proportional to k so the
+            // bulk pass does at most ~2x work, floored so moderate exclusion
+            // lists never trigger the outlier pass.
+            let bulk_widen = max_widen.min(k.max(32));
+            let k_bulk = (k + bulk_widen).min(num_items);
+
+            let raw = dispatch(model, solver, threads, &request.users, k_bulk);
+            debug_assert_eq!(counts.len(), raw.len());
+            let mut results: Vec<TopKList> = request
+                .selected_users_iter(model)
+                .zip(raw)
+                .map(|(u, list)| filter_excluded(list, e.for_user(u), k))
+                .collect();
+
+            // Outlier pass: users whose exclusion list exceeds the bulk
+            // widening need a wider query for exactness (unless the bulk
+            // pass already ranked the whole catalog). Outliers are grouped
+            // by the power-of-two ceiling of their needed width so each
+            // user pays at most ~2x their own widening, never the widest
+            // user's.
+            if k_bulk < num_items {
+                let mut groups: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+                for (pos, u) in request.selected_users_iter(model).enumerate() {
+                    if counts[pos] > bulk_widen {
+                        let k_user = (k + counts[pos]).min(num_items);
+                        groups
+                            .entry(k_user.next_power_of_two().min(num_items))
+                            .or_default()
+                            .push((pos, u));
+                    }
+                }
+                for (k_out, members) in groups {
+                    let ids: Vec<usize> = members.iter().map(|&(_, u)| u).collect();
+                    let lists = par_query_subset(solver, k_out, &ids, threads);
+                    for (&(pos, u), list) in members.iter().zip(lists) {
+                        results[pos] = filter_excluded(list, e.for_user(u), k);
+                    }
+                }
+            }
+            results
+        }
+    };
+
+    Ok(QueryResponse {
+        results,
+        backend: solver.name().to_string(),
+        planned,
+        serve_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Drops excluded items from a widened list and truncates to `k`.
+fn filter_excluded(
+    mut list: TopKList,
+    excluded: &std::collections::HashSet<u32>,
+    k: usize,
+) -> TopKList {
+    if excluded.is_empty() {
+        // Exclusion-free users (the majority) keep their buffers: truncate
+        // the widened list in place instead of rebuilding it.
+        list.items.truncate(k);
+        list.scores.truncate(k);
+        return list;
+    }
+    let mut out = TopKList::empty();
+    for (item, score) in list.iter() {
+        if out.len() == k {
+            break;
+        }
+        if !excluded.contains(&item) {
+            out.items.push(item);
+            out.scores.push(score);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmm::BmmSolver;
+    use mips_data::synth::{synth_model, SynthConfig};
+    use mips_linalg::CacheConfig;
+
+    fn model(users: usize, items: usize) -> Arc<MfModel> {
+        Arc::new(synth_model(&SynthConfig {
+            num_users: users,
+            num_items: items,
+            num_factors: 8,
+            ..SynthConfig::default()
+        }))
+    }
+
+    fn tiny_optimus() -> OptimusConfig {
+        OptimusConfig {
+            sample_fraction: 0.05,
+            cache: CacheConfig {
+                l1_bytes: 1024,
+                l2_bytes: 2048,
+                l3_bytes: 4096,
+            },
+            ..OptimusConfig::default()
+        }
+    }
+
+    fn engine(users: usize, items: usize) -> Engine {
+        EngineBuilder::new()
+            .model(model(users, items))
+            .with_default_backends()
+            .optimus(tiny_optimus())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_assembly() {
+        assert!(matches!(
+            EngineBuilder::new().with_default_backends().build(),
+            Err(MipsError::InvalidConfig(_))
+        ));
+        assert_eq!(
+            EngineBuilder::new().model(model(4, 6)).build().unwrap_err(),
+            MipsError::NoBackends
+        );
+        assert!(matches!(
+            EngineBuilder::new()
+                .model(model(4, 6))
+                .with_default_backends()
+                .threads(0)
+                .build(),
+            Err(MipsError::InvalidConfig(_))
+        ));
+        assert_eq!(
+            EngineBuilder::new()
+                .model(model(4, 6))
+                .register(BmmFactory)
+                .register(BmmFactory)
+                .build()
+                .unwrap_err(),
+            MipsError::DuplicateBackend { key: "bmm".into() }
+        );
+    }
+
+    #[test]
+    fn degenerate_backend_configs_are_typed_errors_not_panics() {
+        use crate::maximus::MaximusConfig;
+        let engine = EngineBuilder::new()
+            .model(model(8, 12))
+            .register(MaximusFactory::new(MaximusConfig {
+                num_clusters: 0,
+                ..MaximusConfig::default()
+            }))
+            .build()
+            .expect("config errors surface at first use, not assembly");
+        for _ in 0..2 {
+            // Both attempts fail cleanly; the cache must not poison.
+            let err = engine
+                .execute(&QueryRequest::top_k(2))
+                .expect_err("degenerate config cannot build");
+            assert!(
+                matches!(&err, MipsError::BackendBuild { key, .. } if key == "maximus"),
+                "{err:?}"
+            );
+        }
+        let lemp = LempFactory::new(mips_lemp::LempConfig {
+            bucket_size: 0,
+            ..mips_lemp::LempConfig::default()
+        });
+        assert!(matches!(
+            lemp.build(&model(8, 12)),
+            Err(MipsError::BackendBuild { .. })
+        ));
+    }
+
+    #[test]
+    fn panicking_custom_factory_does_not_poison_the_engine() {
+        let engine = EngineBuilder::new()
+            .model(model(8, 12))
+            .register(FnFactory::new("boom", |_: &Arc<MfModel>| {
+                panic!("factory exploded")
+            }))
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        // The panic propagates to the first caller...
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_with("boom", &QueryRequest::top_k(2))
+        }));
+        assert!(first.is_err());
+        // ...but the engine recovers: other backends serve, and retrying the
+        // broken key panics with the factory's own message, not a poisoned
+        // mutex.
+        let ok = engine
+            .execute_with("bmm", &QueryRequest::top_k(2))
+            .expect("other backends unaffected");
+        assert_eq!(ok.results.len(), 8);
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_with("boom", &QueryRequest::top_k(2))
+        }));
+        let message = *second.unwrap_err().downcast::<&str>().unwrap();
+        assert_eq!(message, "factory exploded");
+    }
+
+    #[test]
+    fn replacing_the_registry_clears_earlier_registration_errors() {
+        // A duplicate register() poisons the builder, but swapping in a
+        // whole valid registry recovers it.
+        let engine = EngineBuilder::new()
+            .model(model(4, 6))
+            .register(BmmFactory)
+            .register(BmmFactory)
+            .registry(BackendRegistry::with_defaults())
+            .build()
+            .expect("replaced registry is valid");
+        assert_eq!(engine.backend_keys().len(), 5);
+    }
+
+    #[test]
+    fn execute_with_matches_direct_solver_calls() {
+        let m = model(40, 80);
+        let engine = EngineBuilder::new()
+            .model(Arc::clone(&m))
+            .with_default_backends()
+            .build()
+            .unwrap();
+        let direct = BmmSolver::build(Arc::clone(&m)).query_all(5);
+        let via_engine = engine.execute_with("bmm", &QueryRequest::top_k(5)).unwrap();
+        assert_eq!(via_engine.results, direct);
+        assert_eq!(via_engine.backend, "Blocked MM");
+        assert!(!via_engine.planned);
+        // Every registered backend returns the same items.
+        for key in engine.backend_keys() {
+            let response = engine.execute_with(key, &QueryRequest::top_k(5)).unwrap();
+            for (u, (got, want)) in response.results.iter().zip(&direct).enumerate() {
+                assert_eq!(got.items, want.items, "{key} user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn selections_come_back_in_request_order() {
+        let engine = engine(30, 50);
+        let all = engine.execute_with("bmm", &QueryRequest::top_k(3)).unwrap();
+        let range = engine
+            .execute_with("bmm", &QueryRequest::top_k(3).users_range(10..20))
+            .unwrap();
+        assert_eq!(range.results.len(), 10);
+        assert_eq!(range.results[0], all.results[10]);
+        let ids = engine
+            .execute_with("bmm", &QueryRequest::top_k(3).users(vec![7, 2, 7]))
+            .unwrap();
+        assert_eq!(ids.results.len(), 3);
+        assert_eq!(ids.results[0], ids.results[2]);
+        assert_eq!(ids.results[1], all.results[2]);
+    }
+
+    #[test]
+    fn threads_are_invisible_to_results() {
+        let m = model(61, 40);
+        let sequential = EngineBuilder::new()
+            .model(Arc::clone(&m))
+            .with_default_backends()
+            .build()
+            .unwrap();
+        let threaded = EngineBuilder::new()
+            .model(m)
+            .with_default_backends()
+            .threads(4)
+            .build()
+            .unwrap();
+        for request in [
+            QueryRequest::top_k(4),
+            QueryRequest::top_k(4).users_range(3..49),
+            QueryRequest::top_k(4).users(vec![0, 60, 17, 17, 33]),
+        ] {
+            let a = sequential.execute_with("maximus", &request).unwrap();
+            let b = threaded.execute_with("maximus", &request).unwrap();
+            assert_eq!(a.results, b.results);
+        }
+    }
+
+    #[test]
+    fn exclusions_remove_rated_items_exactly() {
+        let m = model(12, 25);
+        let engine = EngineBuilder::new()
+            .model(Arc::clone(&m))
+            .with_default_backends()
+            .build()
+            .unwrap();
+        let baseline = engine.execute_with("bmm", &QueryRequest::top_k(6)).unwrap();
+        // Exclude user 3's top two items and user 5's top item.
+        let mut exclusions = ExclusionSet::new();
+        exclusions.insert(3, baseline.results[3].items[0]);
+        exclusions.insert(3, baseline.results[3].items[1]);
+        exclusions.insert(5, baseline.results[5].items[0]);
+        let request = QueryRequest::top_k(6).exclude(exclusions.clone());
+        for key in engine.backend_keys() {
+            let response = engine.execute_with(key, &request).unwrap();
+            // Excluded items are gone, results still k-long and sorted.
+            for (u, list) in response.results.iter().enumerate() {
+                assert_eq!(list.len(), 6, "{key} user {u}");
+                assert!(list.is_sorted() || list.len() < 2);
+                for item in &list.items {
+                    assert!(
+                        !exclusions.for_user(u).contains(item),
+                        "{key} user {u} still sees excluded item {item}"
+                    );
+                }
+            }
+            // User 3's filtered top-6 = unfiltered ranks 3..=8.
+            let widened = engine.execute_with("bmm", &QueryRequest::top_k(8)).unwrap();
+            assert_eq!(response.results[3].items, widened.results[3].items[2..8]);
+            assert_eq!(
+                response.results[5].items[..5],
+                baseline.results[5].items[1..6]
+            );
+            // Untouched users are unchanged.
+            assert_eq!(response.results[0].items, baseline.results[0].items);
+        }
+    }
+
+    #[test]
+    fn power_user_exclusions_stay_exact_without_widening_the_batch() {
+        // One user excludes far more items than the bulk-widening cap
+        // (32 for small k): the engine must re-serve that user individually
+        // and still return the exact filtered top-k for everyone.
+        let m = model(10, 100);
+        let engine = EngineBuilder::new()
+            .model(Arc::clone(&m))
+            .with_default_backends()
+            .build()
+            .unwrap();
+        let full = engine
+            .execute_with("bmm", &QueryRequest::top_k(100))
+            .unwrap();
+        // User 4 excludes their top 50 items; user 6 excludes their top 2.
+        let mut exclusions = ExclusionSet::new();
+        for &item in &full.results[4].items[..50] {
+            exclusions.insert(4, item);
+        }
+        exclusions.insert(6, full.results[6].items[0]);
+        exclusions.insert(6, full.results[6].items[1]);
+        let request = QueryRequest::top_k(4).exclude(exclusions);
+        for key in engine.backend_keys() {
+            let response = engine.execute_with(key, &request).unwrap();
+            // Expected answers come straight off the full ranking.
+            assert_eq!(
+                response.results[4].items,
+                full.results[4].items[50..54],
+                "{key} power user"
+            );
+            assert_eq!(
+                response.results[6].items,
+                full.results[6].items[2..6],
+                "{key} light user"
+            );
+            assert_eq!(
+                response.results[0].items,
+                full.results[0].items[..4],
+                "{key} untouched user"
+            );
+        }
+    }
+
+    #[test]
+    fn exclusions_near_catalog_size_shrink_results_without_error() {
+        let m = model(4, 6);
+        let engine = EngineBuilder::new()
+            .model(m)
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        // Exclude all but one item for user 0 and ask for top-3: only one
+        // item remains eligible.
+        let exclusions = ExclusionSet::from_pairs((0..5u32).map(|i| (0usize, i)));
+        let response = engine
+            .execute_with("bmm", &QueryRequest::top_k(3).exclude(exclusions))
+            .unwrap();
+        assert_eq!(response.results[0].items, vec![5]);
+        assert_eq!(response.results[1].len(), 3);
+    }
+
+    #[test]
+    fn plans_are_cached_per_k_and_reused() {
+        let engine = engine(120, 60);
+        assert_eq!(engine.planner_runs(), 0);
+        let first = engine.execute(&QueryRequest::top_k(5)).unwrap();
+        assert!(first.planned);
+        assert_eq!(engine.planner_runs(), 1);
+        let second = engine
+            .execute(&QueryRequest::top_k(5).users_range(0..40))
+            .unwrap();
+        assert_eq!(engine.planner_runs(), 1, "same k must not re-plan");
+        assert_eq!(second.backend, first.backend);
+        let _ = engine.execute(&QueryRequest::top_k(2)).unwrap();
+        assert_eq!(engine.planner_runs(), 2, "new k plans once");
+        let plan = engine.prepare(5).unwrap();
+        assert_eq!(plan.planned_k(), 5);
+        assert!(plan.estimates().len() == engine.backend_keys().len());
+        assert!(plan.sample_size() >= 2);
+    }
+
+    #[test]
+    fn planner_reference_is_the_batch_backend_regardless_of_registration_order() {
+        // A point-query backend registered first must not become the
+        // t-test timing reference: the planner samples the first
+        // batch-capable backend first.
+        let engine = EngineBuilder::new()
+            .model(model(120, 60))
+            .register(FexiproFactory::si())
+            .register(BmmFactory)
+            .optimus(tiny_optimus())
+            .build()
+            .unwrap();
+        let plan = engine.prepare(3).unwrap();
+        assert_eq!(plan.estimates()[0].name, "Blocked MM");
+        assert_eq!(plan.estimates().len(), 2);
+        assert!(["bmm", "fexipro-si"].contains(&plan.backend_key()));
+    }
+
+    #[test]
+    fn single_backend_engine_skips_sampling() {
+        let engine = EngineBuilder::new()
+            .model(model(20, 30))
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        let plan = engine.prepare(4).unwrap();
+        assert_eq!(plan.sample_size(), 0);
+        assert_eq!(plan.backend_key(), "bmm");
+        assert!(plan.estimates().is_empty());
+        let response = plan.execute(&QueryRequest::top_k(4)).unwrap();
+        assert_eq!(response.results.len(), 20);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        let engine = engine(10, 20);
+        let bad = [
+            QueryRequest::top_k(0),
+            QueryRequest::top_k(21),
+            QueryRequest::top_k(usize::MAX),
+            QueryRequest::top_k(3).users(vec![10]),
+            QueryRequest::top_k(3).users(vec![0, usize::MAX]),
+            QueryRequest::top_k(3).users(Vec::new()),
+            QueryRequest::top_k(3).users_range(7..7),
+            QueryRequest::top_k(3).users_range(8..12),
+        ];
+        for request in &bad {
+            assert!(engine.execute(request).is_err(), "{request:?}");
+            assert!(engine.execute_with("bmm", request).is_err(), "{request:?}");
+        }
+        assert_eq!(
+            engine
+                .execute_with("nope", &QueryRequest::top_k(1))
+                .unwrap_err(),
+            MipsError::UnknownBackend { key: "nope".into() }
+        );
+        assert_eq!(
+            engine.prepare(0).unwrap_err(),
+            MipsError::InvalidK {
+                k: 0,
+                num_items: 20
+            }
+        );
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = Arc::new(engine(50, 40));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let response = engine.execute(&QueryRequest::top_k(3)).unwrap();
+                    assert_eq!(response.results.len(), 50);
+                });
+            }
+        });
+        // Four concurrent executes at the same k still plan exactly once.
+        assert_eq!(engine.planner_runs(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Prepared query plans: OPTIMUS as the engine's query planner.
+//!
+//! Planning (building candidate backends and timing them on a user sample)
+//! is expensive relative to one request, so the engine runs it once per
+//! `k` and caches the decision in a [`PreparedPlan`]. Subsequent requests
+//! through the plan — or through [`super::Engine::execute`], which caches
+//! plans internally — reuse the winning backend without re-sampling.
+
+use super::error::MipsError;
+use super::request::{QueryRequest, QueryResponse};
+use crate::optimus::StrategyEstimate;
+use crate::solver::MipsSolver;
+use mips_data::MfModel;
+use std::sync::Arc;
+
+/// A cached planning decision: the winning backend plus the evidence the
+/// planner used to pick it.
+pub struct PreparedPlan {
+    pub(super) model: Arc<MfModel>,
+    pub(super) winner: Arc<dyn MipsSolver>,
+    pub(super) backend_key: String,
+    pub(super) planned_k: usize,
+    pub(super) threads: usize,
+    /// Per-candidate estimates, in registry order; empty when only one
+    /// backend was registered and no sampling was needed.
+    pub(super) estimates: Vec<StrategyEstimate>,
+    pub(super) sample_size: usize,
+    pub(super) decision_seconds: f64,
+}
+
+impl PreparedPlan {
+    /// Registry key of the backend the planner chose.
+    pub fn backend_key(&self) -> &str {
+        &self.backend_key
+    }
+
+    /// Display name of the chosen backend's solver.
+    pub fn backend_name(&self) -> &str {
+        self.winner.name()
+    }
+
+    /// The `k` the plan was sampled at. Requests with other `k` values are
+    /// still served (the decision generalizes), but the estimates below
+    /// were measured at this `k`.
+    pub fn planned_k(&self) -> usize {
+        self.planned_k
+    }
+
+    /// The planner's per-candidate timing estimates (empty when the
+    /// registry held a single backend and sampling was skipped).
+    pub fn estimates(&self) -> &[StrategyEstimate] {
+        &self.estimates
+    }
+
+    /// Users sampled to reach the decision (0 when sampling was skipped).
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Wall-clock seconds the planning phase took.
+    pub fn decision_seconds(&self) -> f64 {
+        self.decision_seconds
+    }
+
+    /// The chosen backend's solver, for direct (legacy-style) access.
+    pub fn solver(&self) -> &dyn MipsSolver {
+        self.winner.as_ref()
+    }
+
+    /// Serves one request with the cached winning backend — no re-planning,
+    /// no re-sampling.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, MipsError> {
+        request.validate(&self.model)?;
+        self.execute_prevalidated(request)
+    }
+
+    /// [`PreparedPlan::execute`] for callers that already validated the
+    /// request against this plan's model (avoids a second validation scan).
+    pub(super) fn execute_prevalidated(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse, MipsError> {
+        super::serve(
+            &self.model,
+            self.winner.as_ref(),
+            self.threads,
+            request,
+            true,
+        )
+    }
+}
+
+impl std::fmt::Debug for PreparedPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedPlan")
+            .field("backend_key", &self.backend_key)
+            .field("planned_k", &self.planned_k)
+            .field("sample_size", &self.sample_size)
+            .field("decision_seconds", &self.decision_seconds)
+            .finish()
+    }
+}

@@ -1,0 +1,329 @@
+//! The open backend registry.
+//!
+//! The seed design hard-coded every solver in a `match` inside
+//! `Strategy::build`; adding a backend meant editing `mips-core`. The
+//! registry inverts that: a backend is anything implementing
+//! [`SolverFactory`], registered under a string key. The built-in solvers
+//! ship as factories ([`BmmFactory`], [`MaximusFactory`], [`LempFactory`],
+//! [`FexiproFactory`]), and downstream crates can register their own with
+//! [`FnFactory`] or a custom type — the planner treats all of them alike.
+
+use super::error::MipsError;
+use crate::adapters::{FexiproSolver, LempSolver};
+use crate::bmm::BmmSolver;
+use crate::maximus::{MaximusConfig, MaximusIndex};
+use crate::solver::MipsSolver;
+use mips_data::MfModel;
+use mips_fexipro::FexiproConfig;
+use mips_lemp::LempConfig;
+use std::sync::Arc;
+
+/// Builds solvers for one backend family.
+///
+/// Factories are cheap, immutable descriptions; index construction happens
+/// in [`SolverFactory::build`] and is timed by the produced solver
+/// (`MipsSolver::build_seconds`).
+pub trait SolverFactory: Send + Sync {
+    /// Stable registry key (`"bmm"`, `"maximus"`, `"lemp"`, …).
+    fn key(&self) -> &str;
+
+    /// Constructs a solver over `model`.
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError>;
+}
+
+/// Factory for the brute-force blocked matrix multiply.
+#[derive(Debug, Clone, Default)]
+pub struct BmmFactory;
+
+impl SolverFactory for BmmFactory {
+    fn key(&self) -> &str {
+        "bmm"
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        Ok(Box::new(BmmSolver::build(Arc::clone(model))))
+    }
+}
+
+/// Factory for the MAXIMUS index with a fixed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MaximusFactory {
+    /// Index parameters used for every build.
+    pub config: MaximusConfig,
+}
+
+impl MaximusFactory {
+    /// A factory with the given parameters.
+    pub fn new(config: MaximusConfig) -> MaximusFactory {
+        MaximusFactory { config }
+    }
+}
+
+impl SolverFactory for MaximusFactory {
+    fn key(&self) -> &str {
+        "maximus"
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        // MaximusIndex::build asserts on these; surface them as typed
+        // errors so a bad config cannot panic through the engine.
+        for (value, name) in [
+            (self.config.num_clusters, "num_clusters"),
+            (self.config.kmeans_iters, "kmeans_iters"),
+            (self.config.block_size, "block_size"),
+        ] {
+            if value == 0 {
+                return Err(MipsError::BackendBuild {
+                    key: self.key().to_string(),
+                    message: format!("MaximusConfig: {name} must be > 0"),
+                });
+            }
+        }
+        Ok(Box::new(MaximusIndex::build(
+            Arc::clone(model),
+            &self.config,
+        )))
+    }
+}
+
+/// Factory for the LEMP baseline with a fixed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LempFactory {
+    /// Index parameters used for every build.
+    pub config: LempConfig,
+}
+
+impl LempFactory {
+    /// A factory with the given parameters.
+    pub fn new(config: LempConfig) -> LempFactory {
+        LempFactory { config }
+    }
+}
+
+impl SolverFactory for LempFactory {
+    fn key(&self) -> &str {
+        "lemp"
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        if self.config.bucket_size == 0 {
+            return Err(MipsError::BackendBuild {
+                key: self.key().to_string(),
+                message: "LempConfig: bucket_size must be > 0".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.config.checkpoint_fraction) {
+            return Err(MipsError::BackendBuild {
+                key: self.key().to_string(),
+                message: format!(
+                    "LempConfig: checkpoint_fraction must be in [0, 1], got {}",
+                    self.config.checkpoint_fraction
+                ),
+            });
+        }
+        Ok(Box::new(LempSolver::build(Arc::clone(model), &self.config)))
+    }
+}
+
+/// Factory for FEXIPRO; the key distinguishes the SI and SIR presets.
+#[derive(Debug, Clone)]
+pub struct FexiproFactory {
+    key: &'static str,
+    config: FexiproConfig,
+}
+
+impl FexiproFactory {
+    /// SVD + integer pruning (the paper's FEXIPRO-SI).
+    pub fn si() -> FexiproFactory {
+        FexiproFactory {
+            key: "fexipro-si",
+            config: FexiproConfig::si(),
+        }
+    }
+
+    /// All pruning stages (the paper's FEXIPRO-SIR).
+    pub fn sir() -> FexiproFactory {
+        FexiproFactory {
+            key: "fexipro-sir",
+            config: FexiproConfig::sir(),
+        }
+    }
+}
+
+impl SolverFactory for FexiproFactory {
+    fn key(&self) -> &str {
+        self.key
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        Ok(Box::new(FexiproSolver::build(
+            Arc::clone(model),
+            &self.config,
+        )))
+    }
+}
+
+/// Adapts a closure into a [`SolverFactory`] — the quickest way to register
+/// a custom backend.
+pub struct FnFactory<F> {
+    key: String,
+    build: F,
+}
+
+impl<F> FnFactory<F>
+where
+    F: Fn(&Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> + Send + Sync,
+{
+    /// A factory calling `build` under the given key.
+    pub fn new(key: impl Into<String>, build: F) -> FnFactory<F> {
+        FnFactory {
+            key: key.into(),
+            build,
+        }
+    }
+}
+
+impl<F> SolverFactory for FnFactory<F>
+where
+    F: Fn(&Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> + Send + Sync,
+{
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        (self.build)(model)
+    }
+}
+
+/// An ordered, key-unique set of backends.
+///
+/// Order matters: the planner samples candidates in registration order and
+/// uses the first batch-capable backend as the timing reference for its
+/// t-test, so conventionally BMM registers first.
+#[derive(Clone, Default)]
+pub struct BackendRegistry {
+    factories: Vec<Arc<dyn SolverFactory>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn new() -> BackendRegistry {
+        BackendRegistry::default()
+    }
+
+    /// The registry of all built-in backends with default parameters:
+    /// `bmm`, `maximus`, `lemp`, `fexipro-si`, `fexipro-sir`.
+    pub fn with_defaults() -> BackendRegistry {
+        let mut registry = BackendRegistry::new();
+        registry
+            .register(Arc::new(BmmFactory))
+            .and_then(|r| r.register(Arc::new(MaximusFactory::default())))
+            .and_then(|r| r.register(Arc::new(LempFactory::default())))
+            .and_then(|r| r.register(Arc::new(FexiproFactory::si())))
+            .and_then(|r| r.register(Arc::new(FexiproFactory::sir())))
+            .expect("default keys are unique");
+        registry
+    }
+
+    /// Registers a backend; fails on a duplicate key.
+    pub fn register(
+        &mut self,
+        factory: Arc<dyn SolverFactory>,
+    ) -> Result<&mut BackendRegistry, MipsError> {
+        if self.get(factory.key()).is_some() {
+            return Err(MipsError::DuplicateBackend {
+                key: factory.key().to_string(),
+            });
+        }
+        self.factories.push(factory);
+        Ok(self)
+    }
+
+    /// Looks a backend up by key.
+    pub fn get(&self, key: &str) -> Option<&Arc<dyn SolverFactory>> {
+        self.factories.iter().find(|f| f.key() == key)
+    }
+
+    /// Registered keys, in registration order.
+    pub fn keys(&self) -> Vec<&str> {
+        self.factories.iter().map(|f| f.key()).collect()
+    }
+
+    /// The factories, in registration order.
+    pub fn factories(&self) -> &[Arc<dyn SolverFactory>] {
+        &self.factories
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("keys", &self.keys())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_data::synth::{synth_model, SynthConfig};
+
+    fn model() -> Arc<MfModel> {
+        Arc::new(synth_model(&SynthConfig {
+            num_users: 12,
+            num_items: 30,
+            num_factors: 6,
+            ..SynthConfig::default()
+        }))
+    }
+
+    #[test]
+    fn defaults_cover_all_builtins_in_order() {
+        let registry = BackendRegistry::with_defaults();
+        assert_eq!(
+            registry.keys(),
+            vec!["bmm", "maximus", "lemp", "fexipro-si", "fexipro-sir"]
+        );
+        let m = model();
+        for factory in registry.factories() {
+            let solver = factory.build(&m).expect("builtin builds");
+            assert_eq!(solver.num_users(), 12);
+            assert_eq!(solver.query_all(2).len(), 12);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let mut registry = BackendRegistry::with_defaults();
+        let err = registry.register(Arc::new(BmmFactory)).unwrap_err();
+        assert_eq!(err, MipsError::DuplicateBackend { key: "bmm".into() });
+    }
+
+    #[test]
+    fn fn_factory_registers_custom_backends() {
+        let mut registry = BackendRegistry::new();
+        registry
+            .register(Arc::new(FnFactory::new(
+                "custom-bmm",
+                |m: &Arc<MfModel>| {
+                    Ok(Box::new(crate::bmm::BmmSolver::build(Arc::clone(m)))
+                        as Box<dyn MipsSolver>)
+                },
+            )))
+            .unwrap();
+        assert_eq!(registry.keys(), vec!["custom-bmm"]);
+        let solver = registry.get("custom-bmm").unwrap().build(&model()).unwrap();
+        assert_eq!(solver.name(), "Blocked MM");
+    }
+}

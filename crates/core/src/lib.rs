@@ -1,32 +1,63 @@
-//! Exact maximum inner product search: blocked matrix multiply, the MAXIMUS
-//! index, and the OPTIMUS online optimizer.
+//! Exact maximum inner product search behind a request/response serving
+//! engine: blocked matrix multiply, the MAXIMUS index, and the OPTIMUS
+//! online optimizer as the engine's query planner.
 //!
 //! This crate implements the two contributions of *"To Index or Not to
 //! Index: Optimizing Exact Maximum Inner Product Search"* (Abuzaid et al.,
-//! ICDE 2019), plus the common solver interface that ties them to the LEMP
-//! and FEXIPRO baseline ports:
+//! ICDE 2019) and packages them — together with the LEMP and FEXIPRO
+//! baseline ports — behind one fallible, pluggable facade:
 //!
+//! * [`engine`] — **the primary public API.** An
+//!   [`EngineBuilder`](engine::EngineBuilder) assembles a model with a set
+//!   of registered backends; [`QueryRequest`](engine::QueryRequest) /
+//!   [`QueryResponse`](engine::QueryResponse) express per-request `k`,
+//!   user ranges or explicit id lists, and per-user item exclusions;
+//!   every entry point returns `Result<_, MipsError>` instead of
+//!   panicking; and [`PreparedPlan`](engine::PreparedPlan) caches the
+//!   planner's choice so repeated requests never re-sample.
 //! * [`bmm`] — the hardware-efficient brute force (§II-B): one blocked
-//!   matrix multiply per user batch followed by heap-based top-k selection.
+//!   matrix multiply per user batch followed by heap-based top-k
+//!   selection.
 //! * [`maximus`] — the paper's index (§III): k-means user clusters, a
-//!   per-cluster sorted item list under the Koenigstein angular bound, and a
-//!   work-shared blocked multiply over the first `B` list items.
-//! * [`optimus`] — the paper's optimizer (§IV): builds candidate indexes
-//!   (construction is cheap relative to serving, Fig. 4), times them and BMM
-//!   on a small user sample sized to occupy the L2 cache, optionally stops
-//!   sampling early with an incremental t-test, then serves the remaining
-//!   users with the estimated winner.
-//! * [`solver`] — the [`solver::MipsSolver`] trait and [`solver::Strategy`]
-//!   factory enum shared by everything above.
-//! * [`parallel`] — multi-core serving by user partitioning (Fig. 6).
+//!   per-cluster sorted item list under the Koenigstein angular bound, and
+//!   a work-shared blocked multiply over the first `B` list items.
+//! * [`optimus`] — the paper's optimizer (§IV): times candidates on a
+//!   small user sample sized to occupy the L2 cache, optionally stops
+//!   early with an incremental t-test, and picks the estimated winner.
+//!   The engine invokes it through [`Optimus::choose`](optimus::Optimus::choose)
+//!   as its query planner.
+//! * [`solver`] — the [`solver::MipsSolver`] trait every backend
+//!   implements, plus the legacy [`solver::Strategy`] enum, kept as a thin
+//!   compatibility shim over the engine's registry keys.
+//! * [`parallel`] — user-partitioned multi-core serving (Fig. 6). New code
+//!   reaches it by setting [`engine::EngineConfig::threads`]; the free
+//!   functions remain for direct solver access.
 //! * [`verify`] — a semantic exactness checker used throughout the test
 //!   suite.
+//!
+//! ## Serving in five lines
+//!
+//! ```
+//! use mips_core::engine::{EngineBuilder, QueryRequest};
+//! use mips_data::synth::{synth_model, SynthConfig};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(synth_model(&SynthConfig {
+//!     num_users: 80, num_items: 100, num_factors: 8,
+//!     ..SynthConfig::default()
+//! }));
+//! let engine = EngineBuilder::new().model(model).with_default_backends().build()?;
+//! let top5 = engine.execute(&QueryRequest::top_k(5))?;
+//! assert_eq!(top5.results.len(), 80);
+//! # Ok::<(), mips_core::engine::MipsError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapters;
 pub mod bmm;
+pub mod engine;
 pub mod maximus;
 pub mod optimus;
 pub mod parallel;
@@ -35,6 +66,10 @@ pub mod verify;
 
 pub use adapters::{FexiproSolver, LempSolver};
 pub use bmm::BmmSolver;
+pub use engine::{
+    BackendRegistry, Engine, EngineBuilder, EngineConfig, ExclusionSet, MipsError, PreparedPlan,
+    QueryRequest, QueryResponse, SolverFactory, UserSelection,
+};
 pub use maximus::{MaximusConfig, MaximusIndex};
 pub use optimus::{Optimus, OptimusConfig, OptimusOutcome};
 pub use solver::{MipsSolver, Strategy};

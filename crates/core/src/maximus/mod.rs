@@ -147,9 +147,18 @@ impl MaximusIndex {
     /// # Panics
     /// Panics on a degenerate configuration.
     pub fn build(model: Arc<MfModel>, config: &MaximusConfig) -> MaximusIndex {
-        assert!(config.num_clusters > 0, "MaximusConfig: num_clusters must be > 0");
-        assert!(config.kmeans_iters > 0, "MaximusConfig: kmeans_iters must be > 0");
-        assert!(config.block_size > 0, "MaximusConfig: block_size must be > 0");
+        assert!(
+            config.num_clusters > 0,
+            "MaximusConfig: num_clusters must be > 0"
+        );
+        assert!(
+            config.kmeans_iters > 0,
+            "MaximusConfig: kmeans_iters must be > 0"
+        );
+        assert!(
+            config.block_size > 0,
+            "MaximusConfig: block_size must be > 0"
+        );
 
         let t0 = Instant::now();
         let kconfig = KMeansConfig {
@@ -159,9 +168,7 @@ impl MaximusIndex {
         };
         let clustering = match config.clustering {
             ClusteringAlgo::KMeans => kmeans(model.users(), &kconfig),
-            ClusteringAlgo::Spherical => {
-                mips_clustering::spherical_kmeans(model.users(), &kconfig)
-            }
+            ClusteringAlgo::Spherical => mips_clustering::spherical_kmeans(model.users(), &kconfig),
         };
         let thetas = max_angles_per_cluster(model.users(), &clustering);
         let clustering_seconds = t0.elapsed().as_secs_f64();
@@ -285,7 +292,9 @@ impl MaximusIndex {
             self.query_stats
                 .items_pruned
                 .fetch_add((n_items - list_pos) as u64, Ordering::Relaxed);
-            self.query_stats.users_served.fetch_add(1, Ordering::Relaxed);
+            self.query_stats
+                .users_served
+                .fetch_add(1, Ordering::Relaxed);
             out[pos] = heap.into_sorted();
         }
     }
@@ -359,7 +368,11 @@ fn build_cluster_list(
             } else {
                 angle(centroid, items.row(i))
             };
-            (stored_bound(item_norms[i], theta_ic, theta_b), theta_ic, i as u32)
+            (
+                stored_bound(item_norms[i], theta_ic, theta_b),
+                theta_ic,
+                i as u32,
+            )
         })
         .collect();
     entries.sort_by(|a, b| {
@@ -410,18 +423,20 @@ impl MipsSolver for MaximusIndex {
     }
 
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
-        let mut groups: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.clusters.len()];
-        for (pos, &u) in users.iter().enumerate() {
-            assert!(u < self.num_users(), "user id {u} out of bounds");
-            groups[self.assignments[u] as usize].push((pos, u));
-        }
-        let mut out = vec![TopKList::empty(); users.len()];
-        for (c, group) in groups.iter().enumerate() {
-            if !group.is_empty() {
-                self.serve_cluster(&self.clusters[c], group, k, &mut out);
+        crate::solver::dedup_query_subset(users, |distinct| {
+            let mut groups: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.clusters.len()];
+            for (pos, &u) in distinct.iter().enumerate() {
+                assert!(u < self.num_users(), "user id {u} out of bounds");
+                groups[self.assignments[u] as usize].push((pos, u));
             }
-        }
-        out
+            let mut out = vec![TopKList::empty(); distinct.len()];
+            for (c, group) in groups.iter().enumerate() {
+                if !group.is_empty() {
+                    self.serve_cluster(&self.clusters[c], group, k, &mut out);
+                }
+            }
+            out
+        })
     }
 
     fn query_all(&self, k: usize) -> Vec<TopKList> {
@@ -584,7 +599,10 @@ mod tests {
             assert_eq!(got[u].items, want[u].items);
         }
         // Everything was scored in the blocked phase.
-        assert_eq!(maximus.query_stats().items_walked.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            maximus.query_stats().items_walked.load(Ordering::Relaxed),
+            0
+        );
     }
 
     #[test]

@@ -107,6 +107,21 @@ struct EstimationPhase {
     index_results: Vec<Option<Vec<TopKList>>>,
 }
 
+/// A planning decision over already-built candidate solvers: the engine's
+/// query-planner entry point (the candidates come from its backend
+/// registry, not from [`Strategy`] values).
+#[derive(Debug, Clone)]
+pub struct PlannedChoice {
+    /// Index of the winning solver in the input slice.
+    pub chosen: usize,
+    /// Per-candidate estimates, in input order.
+    pub estimates: Vec<StrategyEstimate>,
+    /// Users sampled for estimation.
+    pub sample_size: usize,
+    /// Wall-clock seconds spent sampling and deciding.
+    pub decision_seconds: f64,
+}
+
 /// The OPTIMUS optimizer.
 #[derive(Debug, Clone, Default)]
 pub struct Optimus {
@@ -129,6 +144,72 @@ impl Optimus {
         let by_fraction = (num_users as f64 * self.config.sample_fraction).ceil() as usize;
         let l2_floor = self.config.cache.rows_to_fill_l2(f, 8);
         by_fraction.max(l2_floor).max(2).min(num_users)
+    }
+
+    /// Draws `sample_size` distinct users, deterministic per seed. Returns
+    /// the sample plus a membership mask over all `n` users.
+    fn sample_users(&self, n: usize, f: usize) -> (Vec<usize>, Vec<bool>) {
+        let sample_size = self.sample_size(n, f);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut sample: Vec<usize> = Vec::with_capacity(sample_size);
+        let mut taken = vec![false; n];
+        while sample.len() < sample_size {
+            let u = rng.gen_range(0..n);
+            if !taken[u] {
+                taken[u] = true;
+                sample.push(u);
+            }
+        }
+        (sample, taken)
+    }
+
+    /// Chooses among already-built solvers by timing each on a user sample
+    /// — the planning primitive behind [`crate::engine::PreparedPlan`].
+    ///
+    /// `solvers[0]` is the timing reference for the early-stopping t-test
+    /// applied to point-query candidates, so it should be the batch
+    /// baseline (BMM) when one is present. Panics if `solvers` is empty;
+    /// the engine guards that case with a typed error before calling.
+    pub fn choose(&self, model: &MfModel, k: usize, solvers: &[&dyn MipsSolver]) -> PlannedChoice {
+        assert!(!solvers.is_empty(), "Optimus::choose: no candidate solvers");
+        let overall = Instant::now();
+        let n = model.num_users();
+        let (sample, _) = self.sample_users(n, model.num_factors());
+
+        // Time the reference candidate on the whole sample.
+        let t0 = Instant::now();
+        let _ = solvers[0].query_subset(k, &sample);
+        let ref_sample_seconds = t0.elapsed().as_secs_f64();
+        let ref_per_user = ref_sample_seconds / sample.len() as f64;
+        let mut estimates = vec![StrategyEstimate {
+            name: solvers[0].name().to_string(),
+            build_seconds: solvers[0].build_seconds(),
+            sampled_users: sample.len(),
+            sample_seconds: ref_sample_seconds,
+            estimated_total_seconds: ref_per_user * n as f64,
+        }];
+
+        for solver in &solvers[1..] {
+            let (estimate, _) = self.estimate_index(*solver, k, &sample, ref_per_user, n);
+            estimates.push(estimate);
+        }
+
+        let chosen = estimates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.estimated_total_seconds
+                    .partial_cmp(&b.1.estimated_total_seconds)
+                    .expect("finite estimates")
+            })
+            .expect("at least one candidate")
+            .0;
+        PlannedChoice {
+            chosen,
+            estimates,
+            sample_size: sample.len(),
+            decision_seconds: overall.elapsed().as_secs_f64(),
+        }
     }
 
     /// Runs only the estimation phase (construction + sampling + per-user
@@ -157,19 +238,7 @@ impl Optimus {
             "Optimus: BMM is always included; pass only index strategies"
         );
         let n = model.num_users();
-        let sample_size = self.sample_size(n, model.num_factors());
-
-        // Distinct sampled users, deterministic per seed.
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut sample: Vec<usize> = Vec::with_capacity(sample_size);
-        let mut taken = vec![false; n];
-        while sample.len() < sample_size {
-            let u = rng.gen_range(0..n);
-            if !taken[u] {
-                taken[u] = true;
-                sample.push(u);
-            }
-        }
+        let (sample, taken) = self.sample_users(n, model.num_factors());
 
         // Build all candidates (cheap relative to serving, Fig. 4).
         let bmm = Strategy::Bmm.build(model);
@@ -214,12 +283,7 @@ impl Optimus {
     ///
     /// Two-way optimization passes one index (the paper's Table II rows 1–4);
     /// passing two or more gives the multi-way optimizer (row 5).
-    pub fn run(
-        &self,
-        model: &Arc<MfModel>,
-        k: usize,
-        indexes: &[Strategy],
-    ) -> OptimusOutcome {
+    pub fn run(&self, model: &Arc<MfModel>, k: usize, indexes: &[Strategy]) -> OptimusOutcome {
         let overall = Instant::now();
         let n = model.num_users();
         let EstimationPhase {
@@ -317,7 +381,8 @@ impl Optimus {
         }
 
         // Point queries: incremental one-sample t-test against BMM's mean.
-        let mut ttest = OneSampleTTest::new(bmm_per_user, self.config.alpha, self.config.min_t_samples);
+        let mut ttest =
+            OneSampleTTest::new(bmm_per_user, self.config.alpha, self.config.min_t_samples);
         let mut results = Vec::with_capacity(sample.len());
         let mut sample_seconds = 0.0;
         let mut used = 0;

@@ -8,39 +8,105 @@
 
 use crate::solver::MipsSolver;
 use mips_topk::TopKList;
+use std::ops::Range;
 
-/// Serves all users with `threads` worker threads, partitioning the user
-/// range evenly. `threads = 1` degenerates to a plain sequential call.
-///
-/// # Panics
-/// Panics if `threads == 0`.
-pub fn par_query_all(solver: &dyn MipsSolver, k: usize, threads: usize) -> Vec<TopKList> {
-    assert!(threads > 0, "par_query_all: threads must be > 0");
-    let n = solver.num_users();
-    if threads == 1 || n == 0 {
-        return solver.query_all(k);
-    }
-    let threads = threads.min(n);
+/// Splits `0..n` item positions into at most `threads` contiguous chunks.
+fn chunk_bounds(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.min(n).max(1);
     let chunk = n.div_ceil(threads);
-    let mut ranges = Vec::with_capacity(threads);
+    let mut bounds = Vec::with_capacity(threads);
     let mut start = 0;
     while start < n {
         let end = (start + chunk).min(n);
-        ranges.push(start..end);
+        bounds.push(start..end);
         start = end;
     }
+    bounds
+}
 
+/// Serves a contiguous user range with `threads` worker threads,
+/// partitioning the range evenly. `threads = 1` degenerates to a plain
+/// sequential call. This is the multi-core path the engine routes through
+/// when [`crate::engine::EngineConfig::threads`] exceeds one.
+///
+/// # Panics
+/// Panics if `threads == 0` (the engine validates this at build time and
+/// returns a typed error instead).
+pub fn par_query_range(
+    solver: &dyn MipsSolver,
+    k: usize,
+    users: Range<usize>,
+    threads: usize,
+) -> Vec<TopKList> {
+    assert!(threads > 0, "par_query_range: threads must be > 0");
+    let n = users.len();
+    if threads == 1 || n == 0 {
+        return solver.query_range(k, users);
+    }
+    let base = users.start;
     let mut out: Vec<TopKList> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
+        let handles: Vec<_> = chunk_bounds(n, threads)
             .into_iter()
-            .map(|range| scope.spawn(move || solver.query_range(k, range)))
+            .map(|r| scope.spawn(move || solver.query_range(k, base + r.start..base + r.end)))
             .collect();
         for handle in handles {
             out.extend(handle.join().expect("worker thread panicked"));
         }
     });
     out
+}
+
+/// Serves an explicit user id list with `threads` worker threads,
+/// partitioning positions evenly; results come back in input order.
+///
+/// Repeated ids are deduplicated *before* chunking, so a user repeated
+/// across the list is queried once in total — not once per worker chunk —
+/// and the result is fanned back out to every occurrence.
+///
+/// # Panics
+/// Panics if `threads == 0` (the engine validates this at build time).
+pub fn par_query_subset(
+    solver: &dyn MipsSolver,
+    k: usize,
+    users: &[usize],
+    threads: usize,
+) -> Vec<TopKList> {
+    assert!(threads > 0, "par_query_subset: threads must be > 0");
+    if threads == 1 || users.is_empty() {
+        return solver.query_subset(k, users);
+    }
+    crate::solver::dedup_query_subset(users, |distinct| {
+        let mut out: Vec<TopKList> = Vec::with_capacity(distinct.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_bounds(distinct.len(), threads)
+                .into_iter()
+                .map(|r| scope.spawn(move || solver.query_subset(k, &distinct[r])))
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("worker thread panicked"));
+            }
+        });
+        out
+    })
+}
+
+/// Serves all users with `threads` worker threads.
+///
+/// Compatibility wrapper over [`par_query_range`]; new code should set
+/// [`crate::engine::EngineConfig::threads`] and go through the engine,
+/// which returns typed errors instead of panicking. With one thread this
+/// takes the solver's specialized `query_all` path (MAXIMUS serves whole
+/// clusters in membership order there).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn par_query_all(solver: &dyn MipsSolver, k: usize, threads: usize) -> Vec<TopKList> {
+    assert!(threads > 0, "par_query_all: threads must be > 0");
+    if threads == 1 {
+        return solver.query_all(k);
+    }
+    par_query_range(solver, k, 0..solver.num_users(), threads)
 }
 
 #[cfg(test)]
@@ -85,6 +151,75 @@ mod tests {
         let seq = solver.query_all(5);
         let par = par_query_all(&solver, 5, 4);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn offset_ranges_and_subsets_match_sequential() {
+        let m = model(83);
+        let solver = BmmSolver::build(m);
+        let seq_range = solver.query_range(3, 17..64);
+        for threads in [2usize, 5, 100] {
+            assert_eq!(par_query_range(&solver, 3, 17..64, threads), seq_range);
+        }
+        let ids: Vec<usize> = vec![5, 5, 80, 0, 41, 5, 82];
+        let seq_subset = solver.query_subset(3, &ids);
+        for threads in [2usize, 3, 16] {
+            assert_eq!(par_query_subset(&solver, 3, &ids, threads), seq_subset);
+        }
+        assert!(par_query_subset(&solver, 3, &[], 4).is_empty());
+        assert!(par_query_range(&solver, 3, 10..10, 4).is_empty());
+    }
+
+    #[test]
+    fn repeated_ids_are_queried_once_across_chunks() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        /// Wraps a solver and counts how often each user id is queried.
+        struct CountingSolver {
+            inner: BmmSolver,
+            counts: Mutex<HashMap<usize, usize>>,
+        }
+        impl MipsSolver for CountingSolver {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn build_seconds(&self) -> f64 {
+                0.0
+            }
+            fn batches_users(&self) -> bool {
+                true
+            }
+            fn num_users(&self) -> usize {
+                self.inner.num_users()
+            }
+            fn query_range(&self, k: usize, users: std::ops::Range<usize>) -> Vec<TopKList> {
+                self.inner.query_range(k, users)
+            }
+            fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
+                let mut counts = self.counts.lock().unwrap();
+                for &u in users {
+                    *counts.entry(u).or_insert(0) += 1;
+                }
+                drop(counts);
+                self.inner.query_subset(k, users)
+            }
+        }
+
+        let m = model(20);
+        let solver = CountingSolver {
+            inner: BmmSolver::build(Arc::clone(&m)),
+            counts: Mutex::new(HashMap::new()),
+        };
+        // User 7 repeats across what would be several chunks at 4 threads.
+        let ids = [7usize, 1, 7, 2, 7, 3, 7, 4, 7, 5];
+        let out = par_query_subset(&solver, 2, &ids, 4);
+        assert_eq!(out.len(), ids.len());
+        let expect = solver.inner.query_subset(2, &ids);
+        assert_eq!(out, expect);
+        let counts = solver.counts.lock().unwrap();
+        assert_eq!(counts[&7], 1, "repeated user must be queried once");
+        assert!(counts.values().all(|&c| c == 1));
     }
 
     #[test]

@@ -1,12 +1,18 @@
-//! The common solver interface and the strategy factory.
+//! The common solver interface and the legacy strategy enum.
+//!
+//! [`Strategy`] predates the [`crate::engine`] facade and is kept as a thin
+//! compatibility shim: each variant maps to a registry key and delegates
+//! construction to the same [`SolverFactory`] the engine's
+//! [`crate::engine::BackendRegistry`] uses.
 
-use crate::adapters::{FexiproSolver, LempSolver};
-use crate::bmm::BmmSolver;
-use crate::maximus::{MaximusConfig, MaximusIndex};
+use crate::engine::registry::{
+    BmmFactory, FexiproFactory, LempFactory, MaximusFactory, SolverFactory,
+};
+use crate::maximus::MaximusConfig;
 use mips_data::MfModel;
-use mips_fexipro::FexiproConfig;
 use mips_lemp::LempConfig;
 use mips_topk::TopKList;
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -44,6 +50,42 @@ pub trait MipsSolver: Send + Sync {
     }
 }
 
+/// Runs a subset query with repeated user ids deduplicated: each distinct
+/// user is queried once (preserving first-occurrence order) and results are
+/// fanned back out in input order.
+///
+/// Solver implementations wrap their gather in this so a request like
+/// `[7, 2, 7]` does the work of two queries, not three.
+pub fn dedup_query_subset(
+    users: &[usize],
+    query_distinct: impl FnOnce(&[usize]) -> Vec<TopKList>,
+) -> Vec<TopKList> {
+    if users.len() < 2 {
+        // Point queries (the optimizer's t-test loop, single-user requests)
+        // skip the bookkeeping entirely.
+        return query_distinct(users);
+    }
+    let mut first_pos: HashMap<usize, usize> = HashMap::with_capacity(users.len());
+    let mut distinct: Vec<usize> = Vec::with_capacity(users.len());
+    for &u in users {
+        first_pos.entry(u).or_insert_with(|| {
+            distinct.push(u);
+            distinct.len() - 1
+        });
+    }
+    if distinct.len() == users.len() {
+        // No repeats (the common case): query directly — one hash pass of
+        // overhead, no fan-out clones.
+        return query_distinct(users);
+    }
+    let results = query_distinct(&distinct);
+    debug_assert_eq!(results.len(), distinct.len());
+    users
+        .iter()
+        .map(|u| results[first_pos[u]].clone())
+        .collect()
+}
+
 /// A buildable serving strategy: the unit OPTIMUS chooses between.
 ///
 /// `Strategy` is cheap to copy around and fully describes how to construct a
@@ -75,21 +117,40 @@ impl Strategy {
         }
     }
 
-    /// Builds the solver (index construction happens here and is timed by
-    /// the implementations).
-    pub fn build(&self, model: &Arc<MfModel>) -> Box<dyn MipsSolver> {
+    /// The registry key this strategy maps to (the engine's backend
+    /// namespace: `"bmm"`, `"maximus"`, `"lemp"`, `"fexipro-si"`,
+    /// `"fexipro-sir"`).
+    pub fn key(&self) -> &'static str {
         match self {
-            Strategy::Bmm => Box::new(BmmSolver::build(Arc::clone(model))),
-            Strategy::Maximus(cfg) => Box::new(MaximusIndex::build(Arc::clone(model), cfg)),
-            Strategy::Lemp(cfg) => Box::new(LempSolver::build(Arc::clone(model), cfg)),
-            Strategy::FexiproSi => {
-                Box::new(FexiproSolver::build(Arc::clone(model), &FexiproConfig::si()))
-            }
-            Strategy::FexiproSir => Box::new(FexiproSolver::build(
-                Arc::clone(model),
-                &FexiproConfig::sir(),
-            )),
+            Strategy::Bmm => "bmm",
+            Strategy::Maximus(_) => "maximus",
+            Strategy::Lemp(_) => "lemp",
+            Strategy::FexiproSi => "fexipro-si",
+            Strategy::FexiproSir => "fexipro-sir",
         }
+    }
+
+    /// The engine factory equivalent to this strategy, carrying its
+    /// configuration.
+    pub fn factory(&self) -> Arc<dyn SolverFactory> {
+        match self {
+            Strategy::Bmm => Arc::new(BmmFactory),
+            Strategy::Maximus(cfg) => Arc::new(MaximusFactory::new(*cfg)),
+            Strategy::Lemp(cfg) => Arc::new(LempFactory::new(*cfg)),
+            Strategy::FexiproSi => Arc::new(FexiproFactory::si()),
+            Strategy::FexiproSir => Arc::new(FexiproFactory::sir()),
+        }
+    }
+
+    /// Builds the solver through the registry factory (index construction
+    /// happens here and is timed by the implementations).
+    ///
+    /// Compatibility path: panics if construction fails. New code should
+    /// register backends with an engine and get typed errors instead.
+    pub fn build(&self, model: &Arc<MfModel>) -> Box<dyn MipsSolver> {
+        self.factory()
+            .build(model)
+            .unwrap_or_else(|err| panic!("Strategy::build({}): {err}", self.name()))
     }
 }
 
@@ -99,9 +160,65 @@ mod tests {
     use mips_data::synth::{synth_model, SynthConfig};
 
     #[test]
+    fn dedup_subset_queries_each_distinct_user_once() {
+        use std::cell::Cell;
+        let queried = Cell::new(0usize);
+        let out = dedup_query_subset(&[7, 2, 7, 7, 2], |distinct| {
+            assert_eq!(distinct, &[7, 2]);
+            queried.set(distinct.len());
+            distinct
+                .iter()
+                .map(|&u| TopKList {
+                    items: vec![u as u32],
+                    scores: vec![u as f64],
+                })
+                .collect()
+        });
+        assert_eq!(queried.get(), 2);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(out[0], out[3]);
+        assert_eq!(out[1], out[4]);
+        assert_eq!(out[0].items, vec![7]);
+        assert_eq!(out[1].items, vec![2]);
+    }
+
+    #[test]
+    fn dedup_subset_passes_distinct_input_through() {
+        let out = dedup_query_subset(&[3, 1, 4], |distinct| {
+            assert_eq!(distinct, &[3, 1, 4]);
+            distinct.iter().map(|_| TopKList::empty()).collect()
+        });
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn strategy_keys_match_registry_defaults() {
+        use crate::engine::BackendRegistry;
+        let registry = BackendRegistry::with_defaults();
+        for strategy in [
+            Strategy::Bmm,
+            Strategy::Maximus(MaximusConfig::default()),
+            Strategy::Lemp(LempConfig::default()),
+            Strategy::FexiproSi,
+            Strategy::FexiproSir,
+        ] {
+            assert!(
+                registry.get(strategy.key()).is_some(),
+                "{} should resolve in the default registry",
+                strategy.key()
+            );
+            assert_eq!(strategy.factory().key(), strategy.key());
+        }
+    }
+
+    #[test]
     fn strategy_names_are_stable() {
         assert_eq!(Strategy::Bmm.name(), "Blocked MM");
-        assert_eq!(Strategy::Maximus(MaximusConfig::default()).name(), "Maximus");
+        assert_eq!(
+            Strategy::Maximus(MaximusConfig::default()).name(),
+            "Maximus"
+        );
         assert_eq!(Strategy::Lemp(LempConfig::default()).name(), "LEMP");
         assert_eq!(Strategy::FexiproSi.name(), "FEXIPRO-SI");
         assert_eq!(Strategy::FexiproSir.name(), "FEXIPRO-SIR");

@@ -40,7 +40,11 @@ pub fn check_user_topk(
         heap.push(dot(urow, model.items().row(i)), i as u32);
     }
     let reference = heap.into_sorted();
-    let kth_score = reference.scores.last().copied().unwrap_or(f64::NEG_INFINITY);
+    let kth_score = reference
+        .scores
+        .last()
+        .copied()
+        .unwrap_or(f64::NEG_INFINITY);
 
     let mut seen = std::collections::BTreeSet::new();
     for (item, score) in result.iter() {

@@ -8,12 +8,7 @@ use mips_linalg::Matrix;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn random_model(
-    n_users: usize,
-    n_items: usize,
-    f: usize,
-    seed: u64,
-) -> Arc<MfModel> {
+fn random_model(n_users: usize, n_items: usize, f: usize, seed: u64) -> Arc<MfModel> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     let mut next = move || {
         state = state

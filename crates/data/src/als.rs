@@ -76,12 +76,8 @@ pub fn train_als(data: &RatingsData, config: &AlsConfig) -> MfModel {
         solve_side(&mut items, &users, &by_item, config.regularization);
     }
 
-    MfModel::new(
-        format!("als(f={f},sweeps={})", config.sweeps),
-        users,
-        items,
-    )
-    .expect("ALS keeps factors finite")
+    MfModel::new(format!("als(f={f},sweeps={})", config.sweeps), users, items)
+        .expect("ALS keeps factors finite")
 }
 
 /// Recomputes every row of `target` as the ridge solution against the fixed
@@ -163,7 +159,10 @@ mod tests {
             (sse / test.len() as f64).sqrt()
         };
         let rmse = test.rmse(&model);
-        assert!(rmse < baseline * 0.6, "ALS RMSE {rmse} vs baseline {baseline}");
+        assert!(
+            rmse < baseline * 0.6,
+            "ALS RMSE {rmse} vs baseline {baseline}"
+        );
     }
 
     #[test]

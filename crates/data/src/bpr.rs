@@ -125,12 +125,8 @@ pub fn train_bpr(data: &RatingsData, config: &BprConfig) -> MfModel {
         }
     }
 
-    MfModel::new(
-        format!("bpr(f={f},steps={})", config.steps),
-        users,
-        items,
-    )
-    .expect("BPR training keeps factors finite")
+    MfModel::new(format!("bpr(f={f},steps={})", config.steps), users, items)
+        .expect("BPR training keeps factors finite")
 }
 
 /// AUC of the model on held-out positives: the probability that a true

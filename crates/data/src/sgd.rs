@@ -99,12 +99,8 @@ pub fn train_sgd(data: &RatingsData, config: &SgdConfig) -> MfModel {
         lr *= config.lr_decay;
     }
 
-    MfModel::new(
-        format!("sgd(f={f},epochs={})", config.epochs),
-        users,
-        items,
-    )
-    .expect("SGD training keeps factors finite")
+    MfModel::new(format!("sgd(f={f},epochs={})", config.epochs), users, items)
+        .expect("SGD training keeps factors finite")
 }
 
 #[cfg(test)]

@@ -40,7 +40,11 @@ impl DatasetStats {
             num_factors: model.num_factors(),
             mean_item_norm,
             max_item_norm: item_norms[n - 1],
-            item_norm_p99_over_p50: if median > 0.0 { p99 / median } else { f64::INFINITY },
+            item_norm_p99_over_p50: if median > 0.0 {
+                p99 / median
+            } else {
+                f64::INFINITY
+            },
             mean_user_norm: user_norms.iter().sum::<f64>() / user_norms.len() as f64,
         }
     }
@@ -72,8 +76,7 @@ mod tests {
     #[test]
     fn known_norms() {
         let users = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
-        let items =
-            Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
+        let items = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
         let m = MfModel::new("t", users, items).unwrap();
         let s = DatasetStats::compute(&m);
         assert!((s.mean_user_norm - 5.0).abs() < 1e-12);

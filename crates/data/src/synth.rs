@@ -78,8 +78,14 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 pub fn synth_model(config: &SynthConfig) -> MfModel {
     assert!(config.num_users > 0, "synth_model: num_users must be > 0");
     assert!(config.num_items > 0, "synth_model: num_items must be > 0");
-    assert!(config.num_factors > 0, "synth_model: num_factors must be > 0");
-    assert!(config.user_clusters > 0, "synth_model: user_clusters must be > 0");
+    assert!(
+        config.num_factors > 0,
+        "synth_model: num_factors must be > 0"
+    );
+    assert!(
+        config.user_clusters > 0,
+        "synth_model: user_clusters must be > 0"
+    );
     assert!(
         config.user_spread >= 0.0 && config.user_spread.is_finite(),
         "synth_model: user_spread must be finite and non-negative"
@@ -98,7 +104,9 @@ pub fn synth_model(config: &SynthConfig) -> MfModel {
 
     // Per-coordinate scales shared by users and items, so the spectral decay
     // shows up in the item Gram matrix (what FEXIPRO's SVD sees).
-    let coord_scale: Vec<f64> = (0..f).map(|j| config.spectral_decay.powi(j as i32)).collect();
+    let coord_scale: Vec<f64> = (0..f)
+        .map(|j| config.spectral_decay.powi(j as i32))
+        .collect();
 
     // --- Users: mixture of directional bundles. ---
     let mut bundle_axes = Matrix::<f64>::zeros(config.user_clusters, f);
@@ -240,7 +248,10 @@ mod tests {
             norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
             norms[norms.len() * 99 / 100] / norms[norms.len() / 2]
         };
-        assert!((tail_ratio(&flat) - 1.0).abs() < 1e-9, "flat skew should be 1");
+        assert!(
+            (tail_ratio(&flat) - 1.0).abs() < 1e-9,
+            "flat skew should be 1"
+        );
         assert!(tail_ratio(&skewed) > 3.0);
     }
 

@@ -97,7 +97,11 @@ impl FexiproIndex {
             .enumerate()
             .map(|(i, row)| (norm2(row), i as u32))
             .collect();
-        order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite norms").then(a.1.cmp(&b.1)));
+        order.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite norms")
+                .then(a.1.cmp(&b.1))
+        });
         let ids: Vec<u32> = order.iter().map(|&(_, id)| id).collect();
         let norms: Vec<f64> = order.iter().map(|&(n, _)| n).collect();
         let idx: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
@@ -248,9 +252,8 @@ impl FexiproIndex {
                 // R: norm-equalized angular filter at the short checkpoint.
                 if let Some(red) = &self.reduction {
                     let partial = dot(&ctx.unit[..self.h_r], red.prefix.row(r));
-                    let bound = ctx.norm
-                        * red.max_norm
-                        * (partial + ctx.unit_suffix_at_hr * red.suffix[r]);
+                    let bound =
+                        ctx.norm * red.max_norm * (partial + ctx.unit_suffix_at_hr * red.suffix[r]);
                     if bound + ctx.norm * red.max_norm * BOUND_EPS < t {
                         stats.reduction_pruned += 1;
                         continue;
@@ -284,7 +287,9 @@ impl FexiproIndex {
 
     /// Top-k for every user of the model, one point query at a time.
     pub fn query_all(&self, k: usize) -> Vec<TopKList> {
-        (0..self.users.len()).map(|u| self.query_user(u, k)).collect()
+        (0..self.users.len())
+            .map(|u| self.query_user(u, k))
+            .collect()
     }
 
     /// Number of preprocessed users.

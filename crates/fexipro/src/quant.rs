@@ -28,10 +28,7 @@ pub struct QuantizedItems {
 /// All-zero matrices get `scale = 1` (all quantized values are zero and the
 /// bound is exactly 0, which is still an upper bound on |u·i| = 0).
 pub fn quantize_items(items: &Matrix<f64>, bits: u32) -> QuantizedItems {
-    let max_abs = items
-        .as_slice()
-        .iter()
-        .fold(0.0f64, |a, &v| a.max(v.abs()));
+    let max_abs = items.as_slice().iter().fold(0.0f64, |a, &v| a.max(v.abs()));
     let scale = scale_for(max_abs, bits);
     let q = items
         .as_slice()
@@ -50,7 +47,9 @@ pub fn quantize_user(user: &[f64], bits: u32) -> (Vec<u32>, f64) {
     let max_abs = user.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
     let scale = scale_for(max_abs, bits);
     (
-        user.iter().map(|&v| (v.abs() * scale).ceil() as u32).collect(),
+        user.iter()
+            .map(|&v| (v.abs() * scale).ceil() as u32)
+            .collect(),
         scale,
     )
 }

@@ -111,11 +111,11 @@ mod tests {
 
     fn items() -> Matrix<f64> {
         Matrix::from_rows(&[
-            vec![3.0, 4.0],  // norm 5
-            vec![1.0, 0.0],  // norm 1
-            vec![0.0, 2.0],  // norm 2
-            vec![6.0, 8.0],  // norm 10
-            vec![0.0, 0.0],  // norm 0
+            vec![3.0, 4.0], // norm 5
+            vec![1.0, 0.0], // norm 1
+            vec![0.0, 2.0], // norm 2
+            vec![6.0, 8.0], // norm 10
+            vec![0.0, 0.0], // norm 0
         ])
         .unwrap()
     }

@@ -148,8 +148,7 @@ fn scan_incr(bucket: &Bucket, ctx: &UserCtx, heap: &mut TopKHeap, stats: &mut Sc
             // and suffix terms can cancel to a bound near zero while each
             // carries ~ulp(1) of error.
             let partial = dot(&ctx.unit[..cp], &bucket.dirs.row(r)[..cp]);
-            let cos_bound =
-                (partial + ctx.unit_suffix_at_cp * bucket.dir_suffix_at_cp[r]).min(1.0);
+            let cos_bound = (partial + ctx.unit_suffix_at_cp * bucket.dir_suffix_at_cp[r]).min(1.0);
             if scale * (cos_bound + BOUND_EPS) < heap.threshold() {
                 stats.incr_pruned += 1;
                 continue;
@@ -185,7 +184,12 @@ mod tests {
         heap.into_sorted().items
     }
 
-    fn run_algo(algo: RetrievalAlgo, items: &Matrix<f64>, user: &[f64], k: usize) -> (Vec<u32>, ScanStats) {
+    fn run_algo(
+        algo: RetrievalAlgo,
+        items: &Matrix<f64>,
+        user: &[f64],
+        k: usize,
+    ) -> (Vec<u32>, ScanStats) {
         let cp = (items.cols() / 4).max(1);
         let buckets = build_buckets(items, 16, cp);
         let ctx = UserCtx::new(user, cp);
@@ -208,7 +212,11 @@ mod tests {
             for u in 0..users.rows() {
                 let user = users.row(u);
                 let want = reference_topk(&items, user, k);
-                for algo in [RetrievalAlgo::Naive, RetrievalAlgo::Length, RetrievalAlgo::Incr] {
+                for algo in [
+                    RetrievalAlgo::Naive,
+                    RetrievalAlgo::Length,
+                    RetrievalAlgo::Incr,
+                ] {
                     let (got, _) = run_algo(algo, &items, user, k);
                     assert_eq!(got, want, "algo {algo:?} k={k} user {u}");
                 }
@@ -251,7 +259,11 @@ mod tests {
         let items = random_items(30, 6, 8);
         let zero = vec![0.0; 6];
         let want = reference_topk(&items, &zero, 5);
-        for algo in [RetrievalAlgo::Naive, RetrievalAlgo::Length, RetrievalAlgo::Incr] {
+        for algo in [
+            RetrievalAlgo::Naive,
+            RetrievalAlgo::Length,
+            RetrievalAlgo::Incr,
+        ] {
             let (got, _) = run_algo(algo, &items, &zero, 5);
             assert_eq!(got, want, "algo {algo:?}");
         }

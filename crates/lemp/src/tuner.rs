@@ -36,7 +36,14 @@ pub fn tune_buckets(
         .map(|_| rng.gen_range(0..users.rows()))
         .collect();
 
-    let time_length = time_per_bucket(RetrievalAlgo::Length, buckets, users, &sample, checkpoint, k);
+    let time_length = time_per_bucket(
+        RetrievalAlgo::Length,
+        buckets,
+        users,
+        &sample,
+        checkpoint,
+        k,
+    );
     let time_incr = time_per_bucket(RetrievalAlgo::Incr, buckets, users, &sample, checkpoint, k);
 
     time_length

@@ -31,10 +31,14 @@ pub fn cholesky<T: Scalar>(a: &Matrix<T>) -> Result<Cholesky<T>, LinalgError> {
         });
     }
     if n == 0 {
-        return Err(LinalgError::Empty { context: "cholesky" });
+        return Err(LinalgError::Empty {
+            context: "cholesky",
+        });
     }
     if !a.all_finite() {
-        return Err(LinalgError::NonFinite { context: "cholesky" });
+        return Err(LinalgError::NonFinite {
+            context: "cholesky",
+        });
     }
 
     let mut l = Matrix::<T>::zeros(n, n);
@@ -139,7 +143,10 @@ mod tests {
             let rec = matmul_nn(ch.factor(), &ch.factor().transpose());
             for i in 0..n {
                 for j in 0..n {
-                    assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-9, "n={n} ({i},{j})");
+                    assert!(
+                        (rec.get(i, j) - a.get(i, j)).abs() < 1e-9,
+                        "n={n} ({i},{j})"
+                    );
                 }
             }
         }

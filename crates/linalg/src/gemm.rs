@@ -99,9 +99,7 @@ pub fn gemm_nt_blocked<T: Scalar>(
             for ic in (0..m).step_by(mc) {
                 let mcb = mc.min(m - ic);
                 pack_panel_a(a, ic, mcb, pc, kcb, &mut pack_a);
-                macro_kernel(
-                    &pack_a, &pack_b, c, m, n, ic, jc, mcb, ncb, kcb, accumulate,
-                );
+                macro_kernel(&pack_a, &pack_b, c, m, n, ic, jc, mcb, ncb, kcb, accumulate);
             }
         }
     }
@@ -328,7 +326,11 @@ mod tests {
         let a = random_matrix(10, 20, 1);
         let b = random_matrix(12, 20, 2);
         let mut c = Matrix::zeros(10, 12);
-        let blocks = BlockSizes { mc: 4, kc: 3, nc: 8 };
+        let blocks = BlockSizes {
+            mc: 4,
+            kc: 3,
+            nc: 8,
+        };
         gemm_nt_blocked((&a).into(), (&b).into(), c.as_mut_slice(), &blocks);
         assert_close(&c, &naive_gemm_nt(&a, &b), 1e-11);
     }

@@ -46,7 +46,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Panics if `a ≤ 0`, `b ≤ 0`, or `x ∉ [0, 1]`.
 pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "incomplete_beta: a, b must be positive");
-    assert!((0.0..=1.0).contains(&x), "incomplete_beta: x must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "incomplete_beta: x must be in [0,1]"
+    );
     if x == 0.0 {
         return 0.0;
     }

@@ -91,9 +91,7 @@ mod tests {
         // Large |t| → tiny p.
         assert!(two_sided_p_value(10.0, 30.0) < 1e-8);
         // Symmetric in sign.
-        assert!(
-            (two_sided_p_value(2.5, 7.0) - two_sided_p_value(-2.5, 7.0)).abs() < 1e-14
-        );
+        assert!((two_sided_p_value(2.5, 7.0) - two_sided_p_value(-2.5, 7.0)).abs() < 1e-14);
         // df = 10, t = 2.228 → p ≈ 0.05.
         assert!((two_sided_p_value(2.228, 10.0) - 0.05).abs() < 1e-3);
     }

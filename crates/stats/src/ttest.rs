@@ -167,7 +167,9 @@ mod tests {
     #[test]
     fn tighter_alpha_needs_more_evidence() {
         // Same stream: the stricter test must not decide before the looser one.
-        let stream: Vec<f64> = (0..40).map(|i| 8.0 + ((i * 37) % 17) as f64 * 0.1).collect();
+        let stream: Vec<f64> = (0..40)
+            .map(|i| 8.0 + ((i * 37) % 17) as f64 * 0.1)
+            .collect();
         let mut loose = OneSampleTTest::new(10.0, 0.20, 3);
         let mut strict = OneSampleTTest::new(10.0, 0.001, 3);
         let mut loose_at = None;

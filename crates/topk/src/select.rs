@@ -37,7 +37,11 @@ pub fn row_topk_offset(scores: &[f64], k: usize, id_offset: u32) -> TopKList {
 /// # Panics
 /// Panics if `scores.len() != rows * items`.
 pub fn rows_topk(scores: &[f64], rows: usize, items: usize, k: usize) -> Vec<TopKList> {
-    assert_eq!(scores.len(), rows * items, "rows_topk: buffer shape mismatch");
+    assert_eq!(
+        scores.len(),
+        rows * items,
+        "rows_topk: buffer shape mismatch"
+    );
     scores
         .chunks_exact(items.max(1))
         .take(rows)

@@ -87,10 +87,52 @@ fn main() {
         auc(&bpr_model, &test, threshold, 1)
     );
 
-    // --- 4. Serve exact top-10 recommendations with the MAXIMUS index. ---
-    let model = Arc::new(
-        MfModel::new("movies-sgd", model.users().clone(), model.items().clone()).unwrap(),
+    // --- 4. Serve exact top-10 recommendations through the engine, with
+    //        already-rated movies excluded (a recommender never re-surfaces
+    //        what the user has seen). ---
+    let model =
+        Arc::new(MfModel::new("movies-sgd", model.users().clone(), model.items().clone()).unwrap());
+    let engine = EngineBuilder::new()
+        .model(Arc::clone(&model))
+        .register(BmmFactory)
+        .register(MaximusFactory::new(MaximusConfig {
+            num_clusters: 8,
+            block_size: 64,
+            ..MaximusConfig::default()
+        }))
+        .build()
+        .expect("engine assembles");
+
+    let watched = ExclusionSet::from_pairs(train.triples.iter().map(|&(u, i, _)| (u as usize, i)));
+    let response = engine
+        .execute(&QueryRequest::top_k(10).exclude(watched.clone()))
+        .expect("valid request");
+    println!(
+        "\nengine served {} users via {} (planner sampled once, {} watched movies withheld)",
+        response.results.len(),
+        response.backend,
+        train.len(),
     );
+    for user in [0usize, 1, 2] {
+        let pretty: Vec<String> = response.results[user]
+            .iter()
+            .take(5)
+            .map(|(m, s)| format!("movie {m} ({s:.2})"))
+            .collect();
+        println!("  user {user}: {}", pretty.join(", "));
+        for (m, _) in response.results[user].iter() {
+            assert!(
+                !watched.for_user(user).contains(&m),
+                "user {user} was re-recommended watched movie {m}"
+            );
+        }
+    }
+
+    // Unfiltered serving for the exactness check and the MAXIMUS stats.
+    let unfiltered = engine
+        .execute(&QueryRequest::top_k(10))
+        .expect("valid request");
+    check_all_topk(&model, 10, &unfiltered.results, 1e-9).expect("engine serving is exact");
     let maximus = MaximusIndex::build(
         Arc::clone(&model),
         &MaximusConfig {
@@ -101,22 +143,12 @@ fn main() {
     );
     let recs = maximus.query_all(10);
     check_all_topk(&model, 10, &recs, 1e-9).expect("MAXIMUS is exact");
-
     let stats = maximus.query_stats();
     println!(
-        "\nMAXIMUS served {} users; w̄ = {:.1} items visited per user (of {})",
-        model.num_users(),
+        "\nMAXIMUS visits w̄ = {:.1} items per user (of {})",
         stats.avg_items_visited(),
         model.num_items()
     );
-    for user in [0usize, 1, 2] {
-        let pretty: Vec<String> = recs[user]
-            .iter()
-            .take(5)
-            .map(|(m, s)| format!("movie {m} ({s:.2})"))
-            .collect();
-        println!("  user {user}: {}", pretty.join(", "));
-    }
 
     // --- 5. A brand-new user arrives (§III-E): no re-clustering, just
     //        assignment to the nearest centroid and a bound-aware walk. ---

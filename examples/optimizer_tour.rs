@@ -2,8 +2,9 @@
 //!
 //! Reproduces the paper's motivating observation (Fig. 2) on two contrasting
 //! workloads — a Netflix-like model where brute force wins and an R2-like
-//! model where the index wins — and shows OPTIMUS making the right call on
-//! each, with its runtime estimates printed alongside the measured truth.
+//! model where the index wins — and shows the engine's planner making the
+//! right call on each, with its runtime estimates printed alongside the
+//! measured truth.
 //!
 //! ```sh
 //! cargo run --release --example optimizer_tour
@@ -34,21 +35,41 @@ fn tour(label: &str, model: Arc<MfModel>, block_size: usize, k: usize) {
     }
     println!("  oracle choice: {}", runtimes[best].name);
 
-    // OPTIMUS, online, from a <1% sample.
-    let optimus = Optimus::new(OptimusConfig::default());
-    let outcome = optimus.run(&model, k, &[Strategy::Maximus(maximus_cfg)]);
-    for e in &outcome.estimates {
+    // The engine's planner, online, from a <1% sample.
+    let engine = EngineBuilder::new()
+        .model(model)
+        .register(BmmFactory)
+        .register(MaximusFactory::new(maximus_cfg))
+        .build()
+        .expect("engine assembles");
+    let plan = engine.prepare(k).expect("planner runs");
+    for e in plan.estimates() {
         println!(
             "  estimate {:<12} {:>8.3}s (from {} sampled users)",
             e.name, e.estimated_total_seconds, e.sampled_users
         );
     }
-    let agree = outcome.chosen == runtimes[best].name;
+    let agree = plan.backend_name() == runtimes[best].name;
     println!(
-        "  OPTIMUS choice: {} ({}, decision overhead {:.3}s)\n",
-        outcome.chosen,
-        if agree { "matches oracle" } else { "differs from oracle" },
-        outcome.decision_seconds
+        "  planner choice: {} ({}, decision overhead {:.3}s)",
+        plan.backend_name(),
+        if agree {
+            "matches oracle"
+        } else {
+            "differs from oracle"
+        },
+        plan.decision_seconds()
+    );
+
+    // The decision is cached: serving twice re-plans zero times.
+    let first = engine.execute(&QueryRequest::top_k(k)).expect("serves");
+    let second = engine.execute(&QueryRequest::top_k(k)).expect("serves");
+    assert_eq!(engine.planner_runs(), 1);
+    assert_eq!(first.backend, second.backend);
+    println!(
+        "  served {} users twice through the cached plan (planner ran {} time)\n",
+        first.results.len(),
+        engine.planner_runs()
     );
 }
 

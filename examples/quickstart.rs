@@ -1,4 +1,4 @@
-//! Quickstart: build a model, let OPTIMUS pick a serving strategy, read the
+//! Quickstart: assemble an engine, let the planner pick a backend, read the
 //! recommendations.
 //!
 //! ```sh
@@ -8,7 +8,7 @@
 use optimus_maximus::prelude::*;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), MipsError> {
     // A synthetic matrix-factorization model standing in for a trained
     // recommender: 2,000 users and 1,500 items with 32 latent factors.
     let model = Arc::new(synth_model(&SynthConfig {
@@ -24,20 +24,28 @@ fn main() {
         model.num_factors()
     );
 
-    // OPTIMUS decides online whether this model is worth indexing: it
-    // builds the MAXIMUS index, times it and brute force on a small user
-    // sample, and serves everyone with the winner. The item blocking factor
-    // B is scaled to the catalog size (the paper's B = 4096 assumes
-    // 20k-1M items).
-    let optimus = Optimus::new(OptimusConfig::default());
+    // The engine decides online whether this model is worth indexing: its
+    // planner builds the candidates, times them on a small user sample, and
+    // caches the winner. The item blocking factor B is scaled to the
+    // catalog size (the paper's B = 4096 assumes 20k-1M items).
     let maximus = MaximusConfig {
         block_size: (model.num_items() / 16).max(16),
         ..MaximusConfig::default()
     };
-    let outcome = optimus.run(&model, 5, &[Strategy::Maximus(maximus)]);
+    let engine = EngineBuilder::new()
+        .model(Arc::clone(&model))
+        .register(BmmFactory)
+        .register(MaximusFactory::new(maximus))
+        .build()?;
 
-    println!("\nOPTIMUS sampled {} users and chose: {}", outcome.sample_size, outcome.chosen);
-    for estimate in &outcome.estimates {
+    let plan = engine.prepare(5)?;
+    println!(
+        "\nplanner sampled {} users and chose: {} (key {:?})",
+        plan.sample_size(),
+        plan.backend_name(),
+        plan.backend_key()
+    );
+    for estimate in plan.estimates() {
         println!(
             "  {:<12} estimated total {:>8.3}s (build {:>6.4}s, sampled {} users in {:.4}s)",
             estimate.name,
@@ -47,15 +55,16 @@ fn main() {
             estimate.sample_seconds,
         );
     }
-    println!(
-        "decision overhead {:.3}s of {:.3}s total",
-        outcome.decision_seconds, outcome.total_seconds
-    );
+    println!("decision overhead {:.3}s", plan.decision_seconds());
+
+    // Serving goes through the cached plan — no re-sampling.
+    let response = engine.execute(&QueryRequest::top_k(5))?;
+    assert_eq!(engine.planner_runs(), 1);
 
     // Top-5 recommendations for the first three users.
-    println!("\ntop-5 recommendations:");
+    println!("\ntop-5 recommendations (served by {}):", response.backend);
     for user in 0..3 {
-        let list = &outcome.results[user];
+        let list = &response.results[user];
         let pretty: Vec<String> = list
             .iter()
             .map(|(item, score)| format!("item {item} ({score:.3})"))
@@ -63,7 +72,15 @@ fn main() {
         println!("  user {user}: {}", pretty.join(", "));
     }
 
+    // Malformed requests come back as typed errors, never panics.
+    let err = engine.execute(&QueryRequest::top_k(0)).unwrap_err();
+    println!("\nk = 0 rejected gracefully: {err}");
+
     // Every result is exact — verify against a freshly computed reference.
-    check_all_topk(&model, 5, &outcome.results, 1e-9).expect("exact top-k");
-    println!("\nverified: all {} results exactly match brute force", outcome.results.len());
+    check_all_topk(&model, 5, &response.results, 1e-9).expect("exact top-k");
+    println!(
+        "verified: all {} results exactly match brute force",
+        response.results.len()
+    );
+    Ok(())
 }

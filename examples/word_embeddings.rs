@@ -8,7 +8,6 @@
 
 use optimus_maximus::prelude::*;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() {
     // The catalog's GloVe stand-in: per [33], a permutation of the embedding
@@ -27,32 +26,31 @@ fn main() {
     );
 
     // Serve the 10 nearest (by inner product) vocabulary entries for every
-    // query with each strategy and compare wall-clock.
+    // query with each registered backend and compare wall-clock.
     let k = 10;
-    let strategies = [
-        Strategy::Bmm,
-        Strategy::Maximus(MaximusConfig::default()),
-        Strategy::Lemp(LempConfig::default()),
-    ];
+    let engine = EngineBuilder::new()
+        .model(Arc::clone(&model))
+        .register(BmmFactory)
+        .register(MaximusFactory::default())
+        .register(LempFactory::default())
+        .build()
+        .expect("engine assembles");
+    let request = QueryRequest::top_k(k);
     let mut reference: Option<Vec<TopKList>> = None;
-    for strategy in &strategies {
-        let solver = strategy.build(&model);
-        let t0 = Instant::now();
-        let results = solver.query_all(k);
-        let serve = t0.elapsed().as_secs_f64();
+    for key in engine.backend_keys() {
+        let response = engine.execute_with(key, &request).expect("valid request");
+        let build = engine.solver(key).expect("built").build_seconds();
         println!(
             "  {:<12} build {:>7.4}s  serve {:>7.4}s",
-            solver.name(),
-            solver.build_seconds(),
-            serve
+            response.backend, build, response.serve_seconds
         );
         match &reference {
             None => {
-                check_all_topk(&model, k, &results, 1e-9).expect("exact");
-                reference = Some(results);
+                check_all_topk(&model, k, &response.results, 1e-9).expect("exact");
+                reference = Some(response.results);
             }
             Some(want) => {
-                for (u, (got, expect)) in results.iter().zip(want).enumerate() {
+                for (u, (got, expect)) in response.results.iter().zip(want).enumerate() {
                     assert_eq!(got.items, expect.items, "user {u} disagrees");
                 }
             }

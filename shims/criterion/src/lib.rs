@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal benchmark harness with criterion's API shape: `criterion_group!`
+//! / `criterion_main!`, benchmark groups, per-input benchmarks with IDs and
+//! throughput annotations, and an adaptive timing loop. Output is a
+//! plain-text line per benchmark (median of the sample means) instead of
+//! criterion's full statistical report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    mean_seconds: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing the per-sample iteration count
+    /// so each sample runs long enough for the clock to resolve.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up and iteration-count calibration: grow until one batch
+        // takes >= 2 ms (or a growth cap is hit).
+        let mut iters: u64 = 1;
+        let per_iter;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                per_iter = elapsed.as_secs_f64() / iters as f64;
+                break;
+            }
+            iters *= 4;
+        }
+
+        // Measurement: `samples` batches, mean of batch means.
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed().as_secs_f64() / iters as f64;
+        }
+        self.mean_seconds = if self.samples > 0 {
+            total / self.samples as f64
+        } else {
+            per_iter
+        };
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, mean_seconds: f64, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_seconds > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 / mean_seconds / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if mean_seconds > 0.0 => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / mean_seconds / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} time: {}{}", fmt_time(mean_seconds), rate);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_seconds: 0.0,
+        };
+        routine(&mut bencher, input);
+        report(&self.name, &id.id, bencher.mean_seconds, self.throughput);
+        self
+    }
+
+    /// Benchmarks `routine`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_seconds: 0.0,
+        };
+        routine(&mut bencher);
+        report(&self.name, &id.id, bencher.mean_seconds, self.throughput);
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: 10,
+            mean_seconds: 0.0,
+        };
+        routine(&mut bencher);
+        report("", &id.id, bencher.mean_seconds, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

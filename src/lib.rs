@@ -6,14 +6,20 @@
 //!
 //! | Piece | What it is | Crate |
 //! |---|---|---|
+//! | Engine | request/response serving facade with pluggable backends | [`core::engine`] |
 //! | BMM | hardware-efficient brute force (blocked GEMM + heap top-k) | [`core::bmm`] |
 //! | MAXIMUS | the paper's clustered, bound-sorted exact index | [`core::maximus`] |
-//! | OPTIMUS | the online sample-based strategy optimizer | [`core::optimus`] |
+//! | OPTIMUS | the online sample-based optimizer, now the engine's planner | [`core::optimus`] |
 //! | LEMP | baseline index of Teflioudi et al. (SIGMOD'15) | [`lemp`] |
 //! | FEXIPRO | baseline index of Li et al. (SIGMOD'17) | [`fexipro`] |
 //! | substrates | BLAS-like kernels, k-means, top-k heaps, t-tests, MF trainers | [`linalg`], [`clustering`], [`topk`], [`stats`], [`data`] |
 //!
 //! ## Quickstart
+//!
+//! Assemble an [`Engine`](core::engine::Engine) from a model and a set of
+//! backends, then serve [`QueryRequest`](core::engine::QueryRequest)s. The
+//! first request at each `k` runs the OPTIMUS planner and caches the
+//! winning backend; later requests reuse the decision.
 //!
 //! ```
 //! use optimus_maximus::prelude::*;
@@ -27,13 +33,28 @@
 //!     ..SynthConfig::default()
 //! }));
 //!
-//! // Let OPTIMUS choose between brute force and the MAXIMUS index, then
-//! // serve the top-5 items for every user.
-//! let optimus = Optimus::new(OptimusConfig::default());
-//! let outcome = optimus.run(&model, 5, &[Strategy::Maximus(MaximusConfig::default())]);
-//! println!("OPTIMUS chose {}", outcome.chosen);
-//! assert_eq!(outcome.results.len(), 200);
-//! assert_eq!(outcome.results[0].len(), 5);
+//! // Engine = model + registered backends (+ serving options).
+//! let engine = EngineBuilder::new()
+//!     .model(Arc::clone(&model))
+//!     .with_default_backends()
+//!     .build()?;
+//!
+//! // Top-5 for everyone; the planner picks the backend.
+//! let all = engine.execute(&QueryRequest::top_k(5))?;
+//! assert_eq!(all.results.len(), 200);
+//! assert_eq!(all.results[0].len(), 5);
+//!
+//! // Top-3 for two specific users, excluding an already-rated item.
+//! let response = engine.execute(
+//!     &QueryRequest::top_k(3)
+//!         .users(vec![7, 42])
+//!         .exclude(ExclusionSet::from_pairs([(7usize, 10u32)])),
+//! )?;
+//! assert!(!response.results[0].items.contains(&10));
+//!
+//! // Malformed requests are typed errors, never panics.
+//! assert!(engine.execute(&QueryRequest::top_k(0)).is_err());
+//! # Ok::<(), MipsError>(())
 //! ```
 //!
 //! The `examples/` directory walks through a trained movie recommender, a
@@ -55,6 +76,11 @@ pub use mips_topk as topk;
 
 /// The most common imports, bundled.
 pub mod prelude {
+    pub use mips_core::engine::{
+        BackendRegistry, BmmFactory, Engine, EngineBuilder, EngineConfig, ExclusionSet,
+        FexiproFactory, FnFactory, LempFactory, MaximusFactory, MipsError, PreparedPlan,
+        QueryRequest, QueryResponse, SolverFactory, UserSelection,
+    };
     pub use mips_core::maximus::{MaximusConfig, MaximusIndex};
     pub use mips_core::optimus::{Optimus, OptimusConfig, OptimusOutcome};
     pub use mips_core::parallel::par_query_all;

@@ -1,5 +1,5 @@
 //! Cross-crate integration tests: the full pipeline from data generation
-//! and training through every solver and the optimizer.
+//! and training through the serving engine, every backend, and the planner.
 
 use optimus_maximus::core::optimus::oracle::oracle_choice;
 use optimus_maximus::core::parallel::par_query_all;
@@ -22,6 +22,22 @@ fn small_catalog() -> Vec<Arc<MfModel>> {
         .collect()
 }
 
+fn engine_for(model: &Arc<MfModel>) -> Engine {
+    EngineBuilder::new()
+        .model(Arc::clone(model))
+        .register(BmmFactory)
+        .register(MaximusFactory::new(MaximusConfig {
+            num_clusters: 4,
+            block_size: 32,
+            ..MaximusConfig::default()
+        }))
+        .register(LempFactory::default())
+        .register(FexiproFactory::si())
+        .register(FexiproFactory::sir())
+        .build()
+        .expect("engine assembles")
+}
+
 fn strategies() -> Vec<Strategy> {
     vec![
         Strategy::Bmm,
@@ -37,32 +53,37 @@ fn strategies() -> Vec<Strategy> {
 }
 
 #[test]
-fn all_solvers_exact_on_all_dataset_families() {
+fn all_backends_exact_on_all_dataset_families() {
     for model in small_catalog() {
-        for strategy in strategies() {
-            let solver = strategy.build(&model);
+        let engine = engine_for(&model);
+        for key in engine.backend_keys() {
             for k in [1usize, 10] {
-                let results = solver.query_all(k);
-                check_all_topk(&model, k, &results, 1e-9).unwrap_or_else(|msg| {
-                    panic!("{} on {}: {msg}", strategy.name(), model.name())
-                });
+                let response = engine
+                    .execute_with(key, &QueryRequest::top_k(k))
+                    .expect("valid request");
+                check_all_topk(&model, k, &response.results, 1e-9)
+                    .unwrap_or_else(|msg| panic!("{key} on {}: {msg}", model.name()));
             }
         }
     }
 }
 
 #[test]
-fn solvers_agree_item_for_item() {
+fn backends_agree_item_for_item() {
     let model = small_catalog().remove(0);
-    let reference = Strategy::Bmm.build(&model).query_all(5);
-    for strategy in strategies() {
-        let results = strategy.build(&model).query_all(5);
+    let engine = engine_for(&model);
+    let reference = engine
+        .execute_with("bmm", &QueryRequest::top_k(5))
+        .expect("valid request");
+    for key in engine.backend_keys() {
+        let response = engine
+            .execute_with(key, &QueryRequest::top_k(5))
+            .expect("valid request");
         for u in (0..model.num_users()).step_by(13) {
             assert_eq!(
-                results[u].items,
-                reference[u].items,
-                "{} disagrees with BMM for user {u} on {}",
-                strategy.name(),
+                response.results[u].items,
+                reference.results[u].items,
+                "{key} disagrees with BMM for user {u} on {}",
                 model.name()
             );
         }
@@ -70,35 +91,80 @@ fn solvers_agree_item_for_item() {
 }
 
 #[test]
-fn optimus_serves_exact_results_and_valid_choice() {
+fn planner_serves_exact_results_and_reuses_the_decision() {
     let model = small_catalog().remove(1);
-    let optimus = Optimus::new(OptimusConfig {
-        sample_fraction: 0.05,
-        ..OptimusConfig::default()
-    });
-    let outcome = optimus.run(
-        &model,
-        5,
-        &[
-            Strategy::Maximus(MaximusConfig {
-                num_clusters: 4,
-                block_size: 32,
-                ..MaximusConfig::default()
-            }),
-            Strategy::Lemp(LempConfig::default()),
-        ],
-    );
-    assert!(["Blocked MM", "Maximus", "LEMP"].contains(&outcome.chosen.as_str()));
-    check_all_topk(&model, 5, &outcome.results, 1e-9).expect("OPTIMUS output is exact");
-    // Estimates exist for every candidate and are finite.
-    assert_eq!(outcome.estimates.len(), 3);
-    for e in &outcome.estimates {
+    let engine = EngineBuilder::new()
+        .model(Arc::clone(&model))
+        .register(BmmFactory)
+        .register(MaximusFactory::new(MaximusConfig {
+            num_clusters: 4,
+            block_size: 32,
+            ..MaximusConfig::default()
+        }))
+        .register(LempFactory::default())
+        .optimus(OptimusConfig {
+            sample_fraction: 0.05,
+            ..OptimusConfig::default()
+        })
+        .build()
+        .expect("engine assembles");
+
+    let first = engine
+        .execute(&QueryRequest::top_k(5))
+        .expect("valid request");
+    assert!(first.planned);
+    check_all_topk(&model, 5, &first.results, 1e-9).expect("planned serving is exact");
+
+    // The plan carries an estimate per candidate, all finite.
+    let plan = engine.prepare(5).expect("cached");
+    assert_eq!(plan.estimates().len(), 3);
+    for e in plan.estimates() {
         assert!(e.estimated_total_seconds.is_finite() && e.estimated_total_seconds > 0.0);
+    }
+
+    // Re-serving at the same k reuses the decision without re-sampling.
+    let second = engine
+        .execute(&QueryRequest::top_k(5).users_range(0..model.num_users() / 2))
+        .expect("valid request");
+    assert_eq!(engine.planner_runs(), 1);
+    assert_eq!(second.backend, first.backend);
+    for (u, list) in second.results.iter().enumerate() {
+        assert_eq!(list.items, first.results[u].items, "user {u}");
     }
 }
 
 #[test]
-fn parallel_serving_matches_sequential_everywhere() {
+fn engine_threads_match_sequential_everywhere() {
+    let model = small_catalog().remove(2);
+    let sequential = engine_for(&model);
+    let threaded = EngineBuilder::new()
+        .model(Arc::clone(&model))
+        .register(BmmFactory)
+        .register(MaximusFactory::new(MaximusConfig {
+            num_clusters: 4,
+            block_size: 32,
+            ..MaximusConfig::default()
+        }))
+        .register(LempFactory::default())
+        .register(FexiproFactory::si())
+        .register(FexiproFactory::sir())
+        .threads(4)
+        .build()
+        .expect("engine assembles");
+    for key in sequential.backend_keys() {
+        let seq = sequential
+            .execute_with(key, &QueryRequest::top_k(4))
+            .expect("valid request");
+        let par = threaded
+            .execute_with(key, &QueryRequest::top_k(4))
+            .expect("valid request");
+        assert_eq!(seq.results, par.results, "{key} parallel mismatch");
+    }
+}
+
+#[test]
+fn legacy_strategy_and_par_query_all_still_work() {
+    // The Strategy enum remains as a compatibility shim over registry keys.
     let model = small_catalog().remove(2);
     for strategy in strategies() {
         let solver = strategy.build(&model);
@@ -130,15 +196,34 @@ fn end_to_end_train_then_serve() {
     let model = Arc::new(
         MfModel::new("trained", trained.users().clone(), trained.items().clone()).unwrap(),
     );
-    for strategy in strategies() {
-        let results = strategy.build(&model).query_all(3);
-        check_all_topk(&model, 3, &results, 1e-9)
-            .unwrap_or_else(|msg| panic!("{}: {msg}", strategy.name()));
+    let engine = engine_for(&model);
+    for key in engine.backend_keys() {
+        let response = engine
+            .execute_with(key, &QueryRequest::top_k(3))
+            .expect("valid request");
+        check_all_topk(&model, 3, &response.results, 1e-9)
+            .unwrap_or_else(|msg| panic!("{key}: {msg}"));
+    }
+
+    // The recommender path: exclude every rated item per user, then check
+    // nothing rated comes back.
+    let watched =
+        ExclusionSet::from_pairs(ratings.triples.iter().map(|&(u, i, _)| (u as usize, i)));
+    let filtered = engine
+        .execute(&QueryRequest::top_k(3).exclude(watched.clone()))
+        .expect("valid request");
+    for (u, list) in filtered.results.iter().enumerate() {
+        for (item, _) in list.iter() {
+            assert!(
+                !watched.for_user(u).contains(&item),
+                "user {u} was served already-rated item {item}"
+            );
+        }
     }
 }
 
 #[test]
-fn oracle_and_optimus_usually_agree() {
+fn oracle_and_planner_usually_agree() {
     // Not a strict guarantee (timing noise on shared machines), but on a
     // model with a wide BMM-vs-index gap both should land on the same side.
     let spec = reference_models()
@@ -148,15 +233,21 @@ fn oracle_and_optimus_usually_agree() {
     let model = Arc::new(spec.build(0.15));
     let strategies = [Strategy::Bmm, Strategy::FexiproSir];
     let (best, _) = oracle_choice(&model, 1, &strategies);
-    let optimus = Optimus::new(OptimusConfig {
-        sample_fraction: 0.05,
-        ..OptimusConfig::default()
-    });
-    let outcome = optimus.run(&model, 1, &[Strategy::FexiproSir]);
+    let engine = EngineBuilder::new()
+        .model(Arc::clone(&model))
+        .register(BmmFactory)
+        .register(FexiproFactory::sir())
+        .optimus(OptimusConfig {
+            sample_fraction: 0.05,
+            ..OptimusConfig::default()
+        })
+        .build()
+        .expect("engine assembles");
+    let plan = engine.prepare(1).expect("planner runs");
     // BPR models are BMM-friendly by construction; a diffuse-user model with
     // flat norms gives indexes nothing to prune.
     assert_eq!(strategies[best].name(), "Blocked MM");
-    assert_eq!(outcome.chosen, "Blocked MM");
+    assert_eq!(plan.backend_name(), "Blocked MM");
 }
 
 #[test]
@@ -182,6 +273,49 @@ fn model_validation_rejects_bad_input() {
 }
 
 #[test]
+fn malformed_requests_fail_with_typed_errors_on_every_backend() {
+    let model = small_catalog().remove(0);
+    let engine = engine_for(&model);
+    let n_items = model.num_items();
+    let n_users = model.num_users();
+    for key in engine.backend_keys() {
+        assert_eq!(
+            engine
+                .execute_with(key, &QueryRequest::top_k(0))
+                .unwrap_err(),
+            MipsError::InvalidK {
+                k: 0,
+                num_items: n_items
+            }
+        );
+        assert_eq!(
+            engine
+                .execute_with(key, &QueryRequest::top_k(n_items + 1))
+                .unwrap_err(),
+            MipsError::InvalidK {
+                k: n_items + 1,
+                num_items: n_items
+            }
+        );
+        assert_eq!(
+            engine
+                .execute_with(key, &QueryRequest::top_k(1).users(vec![n_users]))
+                .unwrap_err(),
+            MipsError::UserOutOfRange {
+                user: n_users,
+                num_users: n_users
+            }
+        );
+        assert_eq!(
+            engine
+                .execute_with(key, &QueryRequest::top_k(1).users(Vec::new()))
+                .unwrap_err(),
+            MipsError::EmptyUserList
+        );
+    }
+}
+
+#[test]
 fn duplicate_and_degenerate_vectors_are_served_exactly() {
     use optimus_maximus::linalg::Matrix;
     // Model with duplicate items, a zero item, a zero user, and duplicate
@@ -204,15 +338,18 @@ fn duplicate_and_degenerate_vectors_are_served_exactly() {
     }
     let items = Matrix::from_rows(&item_rows).unwrap();
     let model = Arc::new(MfModel::new("degenerate", users, items).unwrap());
-    let reference = Strategy::Bmm.build(&model).query_all(6);
-    for strategy in strategies() {
-        let results = strategy.build(&model).query_all(6);
+    let engine = engine_for(&model);
+    let reference = engine
+        .execute_with("bmm", &QueryRequest::top_k(6))
+        .expect("valid request");
+    for key in engine.backend_keys() {
+        let response = engine
+            .execute_with(key, &QueryRequest::top_k(6))
+            .expect("valid request");
         for u in 0..model.num_users() {
             assert_eq!(
-                results[u].items,
-                reference[u].items,
-                "{} user {u}",
-                strategy.name()
+                response.results[u].items, reference.results[u].items,
+                "{key} user {u}"
             );
         }
     }
