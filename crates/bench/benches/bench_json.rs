@@ -1,0 +1,121 @@
+//! Machine-readable perf digest: writes `BENCH_2.json` at the workspace
+//! root so future PRs have a trajectory to diff against.
+//!
+//! Two sections:
+//!
+//! * `results` — end-to-end serve seconds for every Fig. 5 strategy at every
+//!   paper `k`, per Table I dataset stand-in, with the active SIMD kernel
+//!   name on every row.
+//! * `bmm_fusion_vs_seed_scalar` — the ISSUE-2 acceptance measurement: the
+//!   fused SIMD BMM path against a faithful replay of the seed pipeline
+//!   (fresh `batch × n` score buffer, scalar micro-kernels, separate top-k
+//!   pass), per dataset and `k`, with the speedup ratio.
+//!
+//! `MIPS_SCALE` scales the models (CI smoke uses 0.05); `MIPS_BENCH_OUT`
+//! overrides the output path.
+
+use mips_bench::{
+    bench_json_path, bmm_fusion_sample, build_model, figure5_strategies, fmt_secs, kernel_name,
+    render_bench_json, scale, single_backend_engine, BenchRecord, FusionRecord, Table, PAPER_KS,
+};
+use mips_core::engine::QueryRequest;
+use mips_data::catalog::reference_models;
+
+fn main() {
+    println!(
+        "== BENCH_2.json digest (scale {}, kernel {}) ==\n",
+        scale(),
+        kernel_name()
+    );
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut fusion: Vec<FusionRecord> = Vec::new();
+    let mut table = Table::new(&["dataset", "strategy", "k", "serve", "note"]);
+
+    for dataset in ["Netflix", "KDD", "R2", "GloVe"] {
+        let spec = reference_models()
+            .into_iter()
+            .find(|s| s.dataset == dataset)
+            .expect("family present");
+        let model = build_model(&spec);
+        // At tiny MIPS_SCALE a stand-in can hold fewer items than the
+        // largest paper k; skip those rows rather than crash the smoke run.
+        let ks: Vec<usize> = PAPER_KS
+            .iter()
+            .copied()
+            .filter(|&k| k <= model.num_items())
+            .collect();
+
+        // End-to-end rows: build each strategy once, serve at every k.
+        for strategy in figure5_strategies(&spec, &model) {
+            let engine = single_backend_engine(&strategy, &model);
+            let build_seconds = engine
+                .solver(strategy.key())
+                .expect("solver builds")
+                .build_seconds();
+            for &k in &ks {
+                let response = engine
+                    .execute_with(strategy.key(), &QueryRequest::top_k(k))
+                    .expect("valid bench request");
+                assert_eq!(response.results.len(), model.num_users());
+                table.row(vec![
+                    dataset.to_string(),
+                    strategy.name().to_string(),
+                    k.to_string(),
+                    fmt_secs(response.serve_seconds),
+                    String::new(),
+                ]);
+                records.push(BenchRecord {
+                    dataset: dataset.to_string(),
+                    strategy: strategy.name().to_string(),
+                    k,
+                    build_seconds,
+                    serve_seconds: response.serve_seconds,
+                });
+            }
+        }
+
+        // Fusion acceptance rows: fused SIMD vs seed scalar, best of 2.
+        for &k in &ks {
+            let sample = bmm_fusion_sample(&model, k, 2);
+            table.row(vec![
+                dataset.to_string(),
+                "BMM fused vs seed".to_string(),
+                k.to_string(),
+                fmt_secs(sample.fused_seconds),
+                format!(
+                    "seed {} ({:.2}x)",
+                    fmt_secs(sample.seed_scalar_seconds),
+                    sample.speedup()
+                ),
+            ]);
+            fusion.push(FusionRecord {
+                dataset: dataset.to_string(),
+                k,
+                sample,
+            });
+        }
+    }
+
+    table.print();
+
+    let json = render_bench_json(scale(), &records, &fusion);
+    let path = bench_json_path();
+    std::fs::write(&path, json).expect("write BENCH_2.json");
+    let worst = fusion
+        .iter()
+        .map(|f| f.sample.speedup())
+        .fold(f64::INFINITY, f64::min);
+    let geo = mips_bench::geo_mean(
+        &fusion
+            .iter()
+            .map(|f| f.sample.speedup())
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nwrote {} — fused-vs-seed speedup: min {:.2}x, geo-mean {:.2}x",
+        path.display(),
+        worst,
+        geo
+    );
+}

@@ -18,12 +18,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use mips_core::bmm::BmmSolver;
 use mips_core::engine::{Engine, EngineBuilder, QueryRequest};
 use mips_core::maximus::MaximusConfig;
-use mips_core::solver::Strategy;
+use mips_core::solver::{MipsSolver, Strategy};
 use mips_data::catalog::ModelSpec;
 use mips_data::MfModel;
 use mips_lemp::LempConfig;
+use mips_linalg::simd::Kernel;
+use mips_linalg::{gemm_nt_blocked_with, BlockSizes, CacheConfig};
+use mips_topk::rows_topk;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -161,6 +165,180 @@ pub fn engine_overhead(
     OverheadSample {
         engine_seconds: median(&mut engine_runs),
         direct_seconds: median(&mut direct_runs),
+    }
+}
+
+/// The name of the process-wide active SIMD kernel set
+/// (`"avx2-fma"`, `"neon"`, or `"scalar"`); recorded in every machine-
+/// readable bench row so perf trajectories across PRs compare like with
+/// like.
+pub fn kernel_name() -> &'static str {
+    mips_linalg::simd::active().name()
+}
+
+/// One fused-vs-seed BMM measurement (the ISSUE-2 acceptance quantity).
+#[derive(Debug, Clone, Copy)]
+pub struct FusionSample {
+    /// Serve-all seconds on the fused GEMM→top-k path under the active
+    /// (dispatched) kernel set.
+    pub fused_seconds: f64,
+    /// Serve-all seconds replaying the seed pipeline: full `batch × n`
+    /// score buffer through the **scalar** micro-kernels, then a separate
+    /// `rows_topk` pass — byte-for-byte the pre-SIMD serve loop.
+    pub seed_scalar_seconds: f64,
+}
+
+impl FusionSample {
+    /// Seed seconds over fused seconds (> 1 means the fused path wins).
+    pub fn speedup(&self) -> f64 {
+        if self.fused_seconds > 0.0 {
+            self.seed_scalar_seconds / self.fused_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times the fused SIMD BMM path against the seed scalar path on one model,
+/// taking the best of `runs` serve-all passes for each (best-of tames
+/// scheduler noise on shared hosts; both paths get identical treatment).
+///
+/// Both paths use the same batch geometry, so the ratio isolates
+/// fusion + SIMD dispatch — exactly the constant factor this PR claims.
+pub fn bmm_fusion_sample(model: &Arc<MfModel>, k: usize, runs: usize) -> FusionSample {
+    assert!(runs >= 1, "bmm_fusion_sample: runs must be >= 1");
+    let solver = BmmSolver::build(Arc::clone(model));
+    let batch = solver.batch_rows();
+    let n = model.num_items();
+    let scalar = Kernel::scalar();
+    let blocks = BlockSizes::for_scalar::<f64>(&CacheConfig::default());
+
+    let best = |mut f: Box<dyn FnMut() -> usize>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let t = Instant::now();
+            let lists = f();
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(lists, model.num_users());
+        }
+        best
+    };
+
+    let fused_seconds = best(Box::new(|| solver.query_all(k).len()));
+
+    let users = model.users();
+    let items = model.items();
+    let seed_scalar_seconds = best(Box::new(move || {
+        // The seed serve loop: fresh score buffer per batch, scalar GEMM,
+        // separate top-k scan.
+        let mut served = 0usize;
+        let mut start = 0usize;
+        while start < users.rows() {
+            let end = (start + batch).min(users.rows());
+            let rows = end - start;
+            let mut scores = vec![0.0f64; rows * n];
+            gemm_nt_blocked_with(
+                &scalar,
+                users.row_block(start, end),
+                items.into(),
+                &mut scores,
+                &blocks,
+            );
+            served += rows_topk(&scores, rows, n, k).len();
+            start = end;
+        }
+        served
+    }));
+
+    FusionSample {
+        fused_seconds,
+        seed_scalar_seconds,
+    }
+}
+
+/// One machine-readable bench row: a strategy served end to end on a
+/// dataset stand-in at one `k`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Dataset family (`"Netflix"`, `"KDD"`, `"R2"`, `"GloVe"`).
+    pub dataset: String,
+    /// Strategy display name.
+    pub strategy: String,
+    /// Top-k size.
+    pub k: usize,
+    /// Index construction seconds (once per strategy, repeated per row).
+    pub build_seconds: f64,
+    /// Serve-all seconds at this `k`.
+    pub serve_seconds: f64,
+}
+
+/// One fusion-speedup row for the JSON digest.
+#[derive(Debug, Clone)]
+pub struct FusionRecord {
+    /// Dataset family.
+    pub dataset: String,
+    /// Top-k size.
+    pub k: usize,
+    /// The measurement.
+    pub sample: FusionSample,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the `BENCH_2.json` document: run metadata (scale, kernel), the
+/// per-strategy/per-k end-to-end rows, and the fused-vs-seed BMM speedups.
+/// Hand-rolled JSON keeps the harness dependency-free.
+pub fn render_bench_json(scale: f64, records: &[BenchRecord], fusion: &[FusionRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"BENCH_2\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!(
+        "  \"kernel\": \"{}\",\n",
+        json_escape(kernel_name())
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"strategy\": \"{}\", \"k\": {}, \
+             \"build_seconds\": {:.6}, \"serve_seconds\": {:.6}, \"kernel\": \"{}\"}}{}\n",
+            json_escape(&r.dataset),
+            json_escape(&r.strategy),
+            r.k,
+            r.build_seconds,
+            r.serve_seconds,
+            json_escape(kernel_name()),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"bmm_fusion_vs_seed_scalar\": [\n");
+    for (i, f) in fusion.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"k\": {}, \"fused_seconds\": {:.6}, \
+             \"seed_scalar_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&f.dataset),
+            f.k,
+            f.sample.fused_seconds,
+            f.sample.seed_scalar_seconds,
+            f.sample.speedup(),
+            if i + 1 < fusion.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Where `bench_json` writes its digest: `MIPS_BENCH_OUT` if set, else
+/// `BENCH_2.json` at the workspace root (benches run with the package as
+/// cwd, so the default is anchored to the manifest).
+pub fn bench_json_path() -> std::path::PathBuf {
+    match std::env::var("MIPS_BENCH_OUT") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_2.json"),
     }
 }
 

@@ -1,27 +1,35 @@
 //! Blocked matrix multiply brute force: the hardware-efficient baseline of
 //! §II-B.
 //!
-//! Users are processed in batches; each batch is one `U_batch · Iᵀ` blocked
-//! GEMM followed by a heap top-k per score row, exactly the paper's BMM
-//! implementation (MKL `dgemm` + `std::priority_queue`, here our own packed
-//! GEMM + bounded heap). Batch size is chosen so the score buffer stays
-//! within a fixed memory budget while comfortably exceeding the L2-occupancy
-//! point where GEMM reaches its streaming throughput.
+//! Users are processed in batches. On the default **fused** path each batch
+//! streams `U_batch · Iᵀ` score panels straight into per-user top-k heaps
+//! ([`mips_topk::gemm_nt_topk`]): only one NC-wide panel of scores is ever
+//! resident, so selection happens on cache-warm data and the `batch × n`
+//! score buffer of the two-stage pipeline never exists. The **unfused** path
+//! (the paper's literal BMM recipe — MKL `dgemm` + `std::priority_queue`,
+//! here our packed GEMM + bounded heap) is kept behind
+//! [`BmmSolver::build_unfused`] as the A/B baseline for the fusion benches;
+//! its score buffer is hoisted into the query loop and reused across batches
+//! rather than re-allocated per block.
+//!
+//! Both paths run on the runtime-dispatched SIMD micro-kernels
+//! ([`mips_linalg::simd`]); results are identical either way.
 
 use crate::solver::MipsSolver;
 use mips_data::MfModel;
-use mips_linalg::{gemm_nt_into, CacheConfig, Matrix, RowBlock};
-use mips_topk::{rows_topk, TopKList};
+use mips_linalg::{gemm_nt_into_scratch, CacheConfig, GemmScratch, Matrix, RowBlock};
+use mips_topk::{gemm_nt_topk, rows_topk, TopKList};
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
 pub use mips_linalg::matrix::RowBlock as UserBlock;
 
-/// Memory budget for one batch's score buffer. Sized to the last-level
-/// cache: a larger buffer only adds write traffic for score rows that the
-/// top-k scan immediately consumes and evicts, and measurably slows the
-/// full run relative to OPTIMUS's sampled runs.
+/// Memory budget for one batch's score buffer on the unfused path. Sized to
+/// the last-level cache: a larger buffer only adds write traffic for score
+/// rows that the top-k scan immediately consumes and evicts. The fused path
+/// keeps the same batch geometry (its resident panel is strictly smaller),
+/// so fused-vs-unfused benches compare fusion alone.
 const SCORE_BUFFER_BYTES: usize = 8 << 20;
 
 /// The brute-force blocked-matrix-multiply solver.
@@ -30,11 +38,24 @@ pub struct BmmSolver {
     model: Arc<MfModel>,
     batch_rows: usize,
     build_seconds: f64,
+    fused: bool,
 }
 
 impl BmmSolver {
     /// Prepares the solver (no index; build cost is effectively zero).
+    /// Serving takes the fused GEMM→top-k path.
     pub fn build(model: Arc<MfModel>) -> BmmSolver {
+        Self::build_inner(model, true)
+    }
+
+    /// Prepares a solver that serves through the two-stage path (full score
+    /// buffer, then a separate top-k pass). Kept for the fusion A/B benches
+    /// and as a bisection aid; results are identical to the fused path.
+    pub fn build_unfused(model: Arc<MfModel>) -> BmmSolver {
+        Self::build_inner(model, false)
+    }
+
+    fn build_inner(model: Arc<MfModel>, fused: bool) -> BmmSolver {
         let start = Instant::now();
         let batch_rows = Self::pick_batch_rows(model.num_items(), model.num_factors());
         let build_seconds = start.elapsed().as_secs_f64();
@@ -42,6 +63,7 @@ impl BmmSolver {
             model,
             batch_rows,
             build_seconds,
+            fused,
         }
     }
 
@@ -58,13 +80,47 @@ impl BmmSolver {
         self.batch_rows
     }
 
-    /// Scores one gathered user block and selects per-row top-k.
-    fn serve_block(&self, users: RowBlock<'_, f64>, k: usize) -> Vec<TopKList> {
-        let n = self.model.num_items();
-        let mut scores = vec![0.0f64; users.rows() * n];
-        gemm_nt_into(users, self.model.items().into(), &mut scores);
-        rows_topk(&scores, users.rows(), n, k)
+    /// `true` when serving takes the fused GEMM→top-k path.
+    pub fn is_fused(&self) -> bool {
+        self.fused
     }
+
+    /// Serves one gathered user block into `out`, reusing the caller's
+    /// scratch (fused) or score buffer (unfused) across blocks.
+    fn serve_block_into(
+        &self,
+        users: RowBlock<'_, f64>,
+        k: usize,
+        scratch: &mut BmmScratch,
+        out: &mut Vec<TopKList>,
+    ) {
+        let n = self.model.num_items();
+        if self.fused {
+            out.extend(gemm_nt_topk(
+                users,
+                self.model.items().into(),
+                k,
+                &mut scratch.gemm,
+            ));
+        } else {
+            scratch.scores.resize(users.rows() * n, 0.0);
+            let scores = &mut scratch.scores[..users.rows() * n];
+            gemm_nt_into_scratch(users, self.model.items().into(), scores, &mut scratch.gemm);
+            out.extend(rows_topk(scores, users.rows(), n, k));
+        }
+    }
+}
+
+/// Per-query-loop reusable buffers: one of these lives on the stack of each
+/// `query_*` invocation (and therefore per worker thread under
+/// `par_query_*`). The bulk buffers — GEMM pack panels, the streaming score
+/// panel, the unfused path's `batch × n` score buffer — are allocated once
+/// per query loop and reused across blocks; what remains per block is only
+/// the per-user output itself (heaps/lists of size `k`).
+#[derive(Default)]
+struct BmmScratch {
+    gemm: GemmScratch<f64>,
+    scores: Vec<f64>,
 }
 
 impl MipsSolver for BmmSolver {
@@ -86,12 +142,13 @@ impl MipsSolver for BmmSolver {
 
     fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
         assert!(users.end <= self.num_users(), "user range out of bounds");
+        let mut scratch = BmmScratch::default();
         let mut out = Vec::with_capacity(users.len());
         let mut start = users.start;
         while start < users.end {
             let end = (start + self.batch_rows).min(users.end);
             let block = self.model.users().row_block(start, end);
-            out.extend(self.serve_block(block, k));
+            self.serve_block_into(block, k, &mut scratch, &mut out);
             start = end;
         }
         out
@@ -100,11 +157,12 @@ impl MipsSolver for BmmSolver {
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
         crate::solver::dedup_query_subset(users, |distinct| {
             let gathered: Matrix<f64> = self.model.users().gather_rows(distinct);
+            let mut scratch = BmmScratch::default();
             let mut out = Vec::with_capacity(distinct.len());
             let mut start = 0;
             while start < gathered.rows() {
                 let end = (start + self.batch_rows).min(gathered.rows());
-                out.extend(self.serve_block(gathered.row_block(start, end), k));
+                self.serve_block_into(gathered.row_block(start, end), k, &mut scratch, &mut out);
                 start = end;
             }
             out
@@ -148,6 +206,20 @@ mod tests {
                 assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
             }
         }
+    }
+
+    #[test]
+    fn fused_and_unfused_paths_agree_exactly() {
+        let m = model(45, 120, 10);
+        let fused = BmmSolver::build(Arc::clone(&m));
+        let unfused = BmmSolver::build_unfused(Arc::clone(&m));
+        assert!(fused.is_fused());
+        assert!(!unfused.is_fused());
+        for k in [0usize, 1, 7, 120, 500] {
+            assert_eq!(fused.query_all(k), unfused.query_all(k), "k={k}");
+        }
+        let ids: Vec<usize> = vec![3, 40, 3, 11];
+        assert_eq!(fused.query_subset(5, &ids), unfused.query_subset(5, &ids));
     }
 
     #[test]

@@ -20,8 +20,8 @@ use crate::solver::MipsSolver;
 use mips_clustering::{kmeans, max_angles_per_cluster, KMeansConfig};
 use mips_data::MfModel;
 use mips_linalg::kernels::{angle, dot, norm2};
-use mips_linalg::{gemm_nt_into, Matrix};
-use mips_topk::{TopKHeap, TopKList};
+use mips_linalg::{GemmScratch, Matrix};
+use mips_topk::{stream_topk_into_heaps, ColumnIds, TopKHeap, TopKList};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -231,13 +231,20 @@ impl MaximusIndex {
         self.clusters.iter().map(|c| c.theta_b).collect()
     }
 
-    /// Serves one cluster's user group: shared GEMM over the list prefix,
-    /// then individual walks. `group` carries `(output position, user id)`.
+    /// Serves one cluster's user group: shared **fused** GEMM→heap streaming
+    /// over the list prefix, then individual walks. `group` carries
+    /// `(output position, user id)`.
+    ///
+    /// The §III-D blocked multiply no longer materializes its
+    /// `group × block` score buffer: panels stream straight into the same
+    /// per-user heaps the list walk continues with, translated from list
+    /// positions to item ids by [`ColumnIds::Mapped`].
     fn serve_cluster(
         &self,
         cluster: &ClusterIndex,
         group: &[(usize, usize)],
         k: usize,
+        scratch: &mut GemmScratch<f64>,
         out: &mut [TopKList],
     ) {
         let n_items = cluster.list_ids.len();
@@ -247,32 +254,25 @@ impl MaximusIndex {
             0
         };
 
-        // §III-D: one blocked multiply scores the first `block` list items
-        // for every user in the group.
-        let block_scores: Vec<f64> = if block > 0 {
+        let mut heaps: Vec<TopKHeap> = group.iter().map(|_| TopKHeap::new(k)).collect();
+        if block > 0 {
             let users: Vec<usize> = group.iter().map(|&(_, u)| u).collect();
             let gathered = self.model.users().gather_rows(&users);
-            let mut scores = vec![0.0f64; group.len() * block];
-            gemm_nt_into(
+            stream_topk_into_heaps(
                 (&gathered).into(),
                 cluster.items.row_block(0, block),
-                &mut scores,
+                &mut heaps,
+                ColumnIds::Mapped(&cluster.list_ids[..block]),
+                scratch,
             );
             self.query_stats
                 .items_blocked
                 .fetch_add((group.len() * block) as u64, Ordering::Relaxed);
-            scores
-        } else {
-            Vec::new()
-        };
+        }
 
-        for (row, &(pos, u)) in group.iter().enumerate() {
+        for (mut heap, &(pos, u)) in heaps.into_iter().zip(group) {
             let user = self.model.users().row(u);
             let unorm = norm2(user);
-            let mut heap = TopKHeap::new(k);
-            for (j, &id) in cluster.list_ids[..block].iter().enumerate() {
-                heap.push(block_scores[row * block + j], id);
-            }
             let mut walked = 0u64;
             let mut list_pos = block;
             while list_pos < n_items {
@@ -430,9 +430,10 @@ impl MipsSolver for MaximusIndex {
                 groups[self.assignments[u] as usize].push((pos, u));
             }
             let mut out = vec![TopKList::empty(); distinct.len()];
+            let mut scratch = GemmScratch::new();
             for (c, group) in groups.iter().enumerate() {
                 if !group.is_empty() {
-                    self.serve_cluster(&self.clusters[c], group, k, &mut out);
+                    self.serve_cluster(&self.clusters[c], group, k, &mut scratch, &mut out);
                 }
             }
             out
@@ -441,7 +442,9 @@ impl MipsSolver for MaximusIndex {
 
     fn query_all(&self, k: usize) -> Vec<TopKList> {
         // Serve whole clusters in membership order: maximal work sharing.
+        // One scratch outlives every per-cluster fused multiply.
         let mut out = vec![TopKList::empty(); self.num_users()];
+        let mut scratch = GemmScratch::new();
         for cluster in &self.clusters {
             let group: Vec<(usize, usize)> = cluster
                 .members
@@ -449,7 +452,7 @@ impl MipsSolver for MaximusIndex {
                 .map(|&u| (u as usize, u as usize))
                 .collect();
             if !group.is_empty() {
-                self.serve_cluster(cluster, &group, k, &mut out);
+                self.serve_cluster(cluster, &group, k, &mut scratch, &mut out);
             }
         }
         out

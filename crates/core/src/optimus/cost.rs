@@ -9,8 +9,16 @@
 //! top-k selection, which is why OPTIMUS's production path uses online
 //! sampling instead (the paper reports the min-heap stage at ≥ 9.5 % of
 //! runtime for its largest models).
+//!
+//! Calibration runs through [`gemm_nt`], i.e. through whatever SIMD kernel
+//! set [`mips_linalg::simd::active`] selected, and records that kernel's
+//! name. This matters: switching between the scalar and AVX2 micro-kernels
+//! moves the sustained rate by an order of magnitude, which in turn moves
+//! every BMM-vs-index crossover the optimizer reasons about. A rate
+//! calibrated under one kernel must never be reused under another — compare
+//! [`AnalyticalBmmModel::kernel`] before trusting a cached rate.
 
-use mips_linalg::{gemm_flops, gemm_nt, Matrix};
+use mips_linalg::{gemm_flops, gemm_nt, simd, Matrix};
 use std::time::Instant;
 
 /// A calibrated analytical cost model for the BMM multiply stage.
@@ -18,6 +26,9 @@ use std::time::Instant;
 pub struct AnalyticalBmmModel {
     /// Sustained throughput in FLOP/s measured during calibration.
     pub flops_per_second: f64,
+    /// The SIMD kernel set the rate was measured under
+    /// ([`mips_linalg::simd::Kernel::name`]).
+    pub kernel: &'static str,
 }
 
 impl AnalyticalBmmModel {
@@ -37,6 +48,7 @@ impl AnalyticalBmmModel {
         let _guard = c.get(0, 0);
         AnalyticalBmmModel {
             flops_per_second: gemm_flops(DIM, DIM, DIM) / elapsed,
+            kernel: simd::active().name(),
         }
     }
 
@@ -46,7 +58,10 @@ impl AnalyticalBmmModel {
             flops_per_second > 0.0,
             "AnalyticalBmmModel: rate must be positive"
         );
-        AnalyticalBmmModel { flops_per_second }
+        AnalyticalBmmModel {
+            flops_per_second,
+            kernel: "assumed",
+        }
     }
 
     /// Predicted seconds for the `m × n × k` multiply stage (top-k

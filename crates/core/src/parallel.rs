@@ -5,6 +5,14 @@
 //! read-only, a simple partitioning scheme across users proves to be an
 //! effective parallelization strategy". Users are split into contiguous
 //! ranges, one per thread, served independently, and concatenated.
+//!
+//! Scratch discipline: each worker invokes the solver's `query_range` /
+//! `query_subset` once for its whole chunk, and the solvers allocate their
+//! GEMM/score scratch *inside* those calls — so every thread owns exactly
+//! one scratch set for its entire partition, with no sharing, no locking,
+//! and no per-block allocation. The SIMD kernel selection
+//! ([`mips_linalg::simd::active`]) is process-wide and read-only, so all
+//! workers run the same kernel set.
 
 use crate::solver::MipsSolver;
 use mips_topk::TopKList;

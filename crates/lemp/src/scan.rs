@@ -4,6 +4,15 @@
 //! spend deciding that an item cannot beat the current threshold. Bounds are
 //! inflated by a relative epsilon before comparison so floating-point
 //! rounding can never prune a true top-k item (exactness first, then speed).
+//!
+//! Every full and partial inner product here (`dot` over the bucket rows,
+//! INCR's leading-coordinate partial products, the suffix-norm tables built
+//! through [`suffix_norms`]) runs on the runtime-dispatched SIMD kernels of
+//! [`mips_linalg::simd`] — the scans get AVX2/NEON FMA throughput without
+//! any per-call-site change. The suffix scan's block re-association (the one
+//! kernel that is not bit-identical to scalar) is absorbed by [`BOUND_EPS`],
+//! which inflates every bound comparison by several orders of magnitude more
+//! than the reordering can shift it.
 
 use crate::bucket::Bucket;
 use mips_linalg::kernels::{dot, norm2, suffix_norms};

@@ -23,6 +23,8 @@ use crate::blocking::{BlockSizes, CacheConfig, MR, NR};
 use crate::kernels::dot;
 use crate::matrix::{Matrix, RowBlock};
 use crate::scalar::Scalar;
+use crate::simd::{self, Kernel};
+use std::ops::Range;
 
 /// Number of floating-point operations in one `m × n × k` multiply.
 ///
@@ -74,6 +76,61 @@ pub fn gemm_nt_blocked<T: Scalar>(
     c: &mut [T],
     blocks: &BlockSizes,
 ) {
+    gemm_nt_blocked_with(simd::active(), a, b, c, blocks)
+}
+
+/// [`gemm_nt_blocked`] with an explicit micro-kernel set (exposed so tests
+/// and benches can force the scalar fallback regardless of `MIPS_KERNEL`).
+pub fn gemm_nt_blocked_with<T: Scalar>(
+    kern: &Kernel,
+    a: RowBlock<'_, T>,
+    b: RowBlock<'_, T>,
+    c: &mut [T],
+    blocks: &BlockSizes,
+) {
+    // Per-call packing buffers; hot loops should prefer
+    // [`gemm_nt_into_scratch`] to reuse them across calls.
+    let mut pack_a: Vec<T> = Vec::new();
+    let mut pack_b: Vec<T> = Vec::new();
+    gemm_nt_packed(kern, a, b, c, blocks, &mut pack_a, &mut pack_b)
+}
+
+/// `C = A·Bᵀ` into a caller-provided buffer, reusing the pack panels in
+/// `scratch` across calls (default blocking and the active kernel set).
+///
+/// This is the unfused serve path's entry: repeated batches pay zero
+/// allocation once the scratch reaches its high-water mark.
+///
+/// # Panics
+/// Panics if the operand widths differ or `c` has the wrong length.
+pub fn gemm_nt_into_scratch<T: Scalar>(
+    a: RowBlock<'_, T>,
+    b: RowBlock<'_, T>,
+    c: &mut [T],
+    scratch: &mut GemmScratch<T>,
+) {
+    let blocks = BlockSizes::for_scalar::<T>(&CacheConfig::default());
+    gemm_nt_packed(
+        simd::active(),
+        a,
+        b,
+        c,
+        &blocks,
+        &mut scratch.pack_a,
+        &mut scratch.pack_b,
+    )
+}
+
+/// The blocked driver over caller-owned packing buffers.
+fn gemm_nt_packed<T: Scalar>(
+    kern: &Kernel,
+    a: RowBlock<'_, T>,
+    b: RowBlock<'_, T>,
+    c: &mut [T],
+    blocks: &BlockSizes,
+    pack_a: &mut Vec<T>,
+    pack_b: &mut Vec<T>,
+) {
     let (m, n, k) = (a.rows(), b.rows(), a.cols());
     assert_eq!(k, b.cols(), "gemm_nt: inner dimension mismatch");
     assert_eq!(c.len(), m * n, "gemm_nt: output buffer length mismatch");
@@ -86,24 +143,134 @@ pub fn gemm_nt_blocked<T: Scalar>(
     }
     let (mc, kc, nc) = (blocks.mc.max(MR), blocks.kc.max(1), blocks.nc.max(NR));
 
-    // Packing buffers are reused across all iterations of the blocked loops.
-    let mut pack_a: Vec<T> = Vec::new();
-    let mut pack_b: Vec<T> = Vec::new();
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc);
+        compute_panel(kern, a, b, jc, ncb, mc, kc, c, n, jc, pack_a, pack_b);
+    }
+}
+
+/// Reusable buffers for the blocked/streaming GEMM drivers: the two packed
+/// operand panels plus the resident score panel of the streaming path.
+///
+/// Owning one of these per query loop (or per worker thread) removes every
+/// per-block allocation from the serve path; the buffers grow to the
+/// high-water mark of the shapes they see and are reused thereafter.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch<T> {
+    pack_a: Vec<T>,
+    pack_b: Vec<T>,
+    panel: Vec<T>,
+}
+
+impl<T: Scalar> GemmScratch<T> {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        GemmScratch {
+            pack_a: Vec::new(),
+            pack_b: Vec::new(),
+            panel: Vec::new(),
+        }
+    }
+}
+
+/// Panel-streaming `C = A·Bᵀ`: instead of materializing the full `m × n`
+/// score buffer, walks B in NC-sized column panels and hands each finished
+/// `m × ncb` panel of scores to `consumer` before computing the next one.
+///
+/// `consumer` receives the panel (row-major, row stride = the panel width)
+/// and the global column range it covers. Only one panel of scores is ever
+/// resident, so the fused GEMM→top-k path (`mips-topk::gemm_nt_topk`) does
+/// its selection on cache-warm scores and the `batch × n` round-trip through
+/// memory disappears — the §II-B memory-traffic argument applied to our own
+/// serving loop.
+///
+/// # Panics
+/// Panics if the operand widths differ.
+pub fn gemm_nt_stream_panels<T: Scalar>(
+    a: RowBlock<'_, T>,
+    b: RowBlock<'_, T>,
+    scratch: &mut GemmScratch<T>,
+    consumer: impl FnMut(&[T], Range<usize>),
+) {
+    let blocks = BlockSizes::for_scalar::<T>(&CacheConfig::default());
+    gemm_nt_stream_panels_with(simd::active(), a, b, &blocks, scratch, consumer)
+}
+
+/// [`gemm_nt_stream_panels`] with explicit kernel set and blocking
+/// parameters (the forced-scalar test entry).
+pub fn gemm_nt_stream_panels_with<T: Scalar>(
+    kern: &Kernel,
+    a: RowBlock<'_, T>,
+    b: RowBlock<'_, T>,
+    blocks: &BlockSizes,
+    scratch: &mut GemmScratch<T>,
+    mut consumer: impl FnMut(&[T], Range<usize>),
+) {
+    let (m, n, k) = (a.rows(), b.rows(), a.cols());
+    assert_eq!(k, b.cols(), "gemm_nt: inner dimension mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (mc, kc, nc) = (blocks.mc.max(MR), blocks.kc.max(1), blocks.nc.max(NR));
 
     for jc in (0..n).step_by(nc) {
         let ncb = nc.min(n - jc);
-        for pc in (0..k).step_by(kc) {
-            let kcb = kc.min(k - pc);
-            pack_panel_b(b, jc, ncb, pc, kcb, &mut pack_b);
-            let accumulate = pc > 0;
-            for ic in (0..m).step_by(mc) {
-                let mcb = mc.min(m - ic);
-                pack_panel_a(a, ic, mcb, pc, kcb, &mut pack_a);
-                macro_kernel(&pack_a, &pack_b, c, m, n, ic, jc, mcb, ncb, kcb, accumulate);
-            }
+        scratch.panel.resize(m * ncb, T::ZERO);
+        if k == 0 {
+            scratch.panel.fill(T::ZERO);
+        } else {
+            // Stale values from the previous panel are fully overwritten by
+            // the first (non-accumulating) depth pass.
+            compute_panel(
+                kern,
+                a,
+                b,
+                jc,
+                ncb,
+                mc,
+                kc,
+                &mut scratch.panel,
+                ncb,
+                0,
+                &mut scratch.pack_a,
+                &mut scratch.pack_b,
+            );
+        }
+        consumer(&scratch.panel[..m * ncb], jc..jc + ncb);
+    }
+}
+
+/// Computes one NC panel of `C = A·Bᵀ` (all depth and row blocks for columns
+/// `jc..jc+ncb` of C), writing into `out` with row stride `out_stride` at
+/// column offset `out_col0`. Shared by the in-place and streaming drivers.
+#[allow(clippy::too_many_arguments)]
+fn compute_panel<T: Scalar>(
+    kern: &Kernel,
+    a: RowBlock<'_, T>,
+    b: RowBlock<'_, T>,
+    jc: usize,
+    ncb: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut [T],
+    out_stride: usize,
+    out_col0: usize,
+    pack_a: &mut Vec<T>,
+    pack_b: &mut Vec<T>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    for pc in (0..k).step_by(kc) {
+        let kcb = kc.min(k - pc);
+        pack_panel_b(b, jc, ncb, pc, kcb, pack_b);
+        let accumulate = pc > 0;
+        for ic in (0..m).step_by(mc) {
+            let mcb = mc.min(m - ic);
+            pack_panel_a(a, ic, mcb, pc, kcb, pack_a);
+            macro_kernel(
+                kern, pack_a, pack_b, out, out_stride, ic, out_col0, mcb, ncb, kcb, accumulate,
+            );
         }
     }
-    let _ = m; // m is captured in the closure-free hot loop above
 }
 
 /// Packs `ncb` rows of B starting at `row0` (depth window `pc..pc+kcb`) into
@@ -156,13 +323,15 @@ fn pack_panel_a<T: Scalar>(
     }
 }
 
-/// Walks the `MR × NR` register tiles of one `mcb × ncb` block of C.
+/// Walks the `MR × NR` register tiles of one `mcb × ncb` block of C,
+/// dispatching each tile to the selected micro-kernel (`f64`) or the
+/// portable generic one (other scalar types).
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel<T: Scalar>(
+    kern: &Kernel,
     pack_a: &[T],
     pack_b: &[T],
     c: &mut [T],
-    _m: usize,
     n: usize,
     ic: usize,
     jc: usize,
@@ -180,7 +349,14 @@ fn macro_kernel<T: Scalar>(
             let b_panel = &pack_b[qb * kcb * NR..(qb + 1) * kcb * NR];
             let tile_cols = NR.min(ncb - qb * NR);
             let mut acc = [[T::ZERO; NR]; MR];
-            micro_kernel(a_panel, b_panel, &mut acc);
+            match (
+                simd::as_f64(a_panel),
+                simd::as_f64(b_panel),
+                simd::acc_as_f64_mut(&mut acc),
+            ) {
+                (Some(ap), Some(bp), Some(af)) => kern.micro_4x8(ap, bp, af),
+                _ => micro_kernel(a_panel, b_panel, &mut acc),
+            }
             let c_row0 = ic + qa * MR;
             let c_col0 = jc + qb * NR;
             if accumulate {
@@ -221,6 +397,12 @@ fn micro_kernel<T: Scalar>(a_panel: &[T], b_panel: &[T], acc: &mut [[T; NR]; MR]
             }
         }
     }
+}
+
+/// Monomorphic scalar micro-kernel entry for the [`crate::simd::Kernel`]
+/// vtable (the guaranteed fallback and bit-identity reference).
+pub(crate) fn micro_4x8_scalar_f64(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+    micro_kernel(a_panel, b_panel, acc)
 }
 
 /// Reference `C = A·Bᵀ` as a double loop over [`dot`] — the paper's

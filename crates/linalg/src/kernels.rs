@@ -1,19 +1,38 @@
 //! Level-1 kernels: dot products, norms, axpy, scaling.
 //!
 //! These are the `sdot`-style routines the paper contrasts against blocked
-//! matrix multiply. The dot product uses four independent accumulators so the
-//! compiler can keep four FMA chains in flight; a single-accumulator loop
+//! matrix multiply. Every accumulating kernel uses four independent
+//! accumulators so four FMA chains stay in flight; a single-accumulator loop
 //! serializes on the FMA latency and runs several times slower.
+//!
+//! Double-precision inputs are routed through the process-wide SIMD kernel
+//! set ([`crate::simd::active`]) — AVX2+FMA or NEON when available — whose
+//! results are bit-identical to the scalar bodies below (see the contract in
+//! [`crate::simd`]). Other scalar types take the portable path. This makes
+//! every `f64` caller in the workspace (LEMP's LENGTH/INCR scans, MAXIMUS's
+//! list walks, FEXIPRO's partial products, the naive GEMM reference) pick up
+//! the dispatched kernels without code changes.
 
 use crate::scalar::Scalar;
+use crate::simd;
 
-/// Dot product `xᵀy` with unrolled independent accumulators.
+/// Dot product `xᵀy` with unrolled independent accumulators
+/// (SIMD-dispatched for `f64`).
 ///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 #[inline]
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    if let (Some(xf), Some(yf)) = (simd::as_f64(x), simd::as_f64(y)) {
+        return T::from_f64(simd::active().dot(xf, yf));
+    }
+    dot_scalar(x, y)
+}
+
+/// The portable dot product body (the scalar kernel-set entry).
+#[inline]
+fn dot_scalar<T: Scalar>(x: &[T], y: &[T]) -> T {
     let mut acc0 = T::ZERO;
     let mut acc1 = T::ZERO;
     let mut acc2 = T::ZERO;
@@ -33,6 +52,23 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     ((acc0 + acc1) + (acc2 + acc3)) + tail
 }
 
+/// Monomorphic scalar entries for the [`crate::simd::Kernel`] vtable.
+pub(crate) fn dot_scalar_f64(x: &[f64], y: &[f64]) -> f64 {
+    dot_scalar(x, y)
+}
+
+pub(crate) fn axpy_scalar_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
+    axpy_scalar(alpha, x, y)
+}
+
+pub(crate) fn dist2_sq_scalar_f64(x: &[f64], y: &[f64]) -> f64 {
+    dist2_sq_scalar(x, y)
+}
+
+pub(crate) fn suffix_sumsq_scalar_f64(x: &[f64], out: &mut [f64]) {
+    suffix_sumsq_scalar(x, out)
+}
+
 /// Squared Euclidean norm `‖x‖²`.
 #[inline]
 pub fn norm2_sq<T: Scalar>(x: &[T]) -> T {
@@ -45,26 +81,77 @@ pub fn norm2<T: Scalar>(x: &[T]) -> T {
     norm2_sq(x).sqrt()
 }
 
-/// Squared Euclidean distance `‖x − y‖²`.
+/// Squared Euclidean distance `‖x − y‖²` with unrolled independent
+/// accumulators (SIMD-dispatched for `f64`).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
 #[inline]
 pub fn dist2_sq<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len(), "dist2_sq: length mismatch");
-    let mut acc = T::ZERO;
-    for (&a, &b) in x.iter().zip(y) {
-        let d = a - b;
-        acc = d.mul_add(d, acc);
+    if let (Some(xf), Some(yf)) = (simd::as_f64(x), simd::as_f64(y)) {
+        return T::from_f64(simd::active().dist2_sq(xf, yf));
     }
-    acc
+    dist2_sq_scalar(x, y)
 }
 
-/// `y += alpha * x`.
+/// Portable `dist2_sq` body: four FMA chains in flight, matching [`dot`]'s
+/// accumulator layout (a single-accumulator loop serializes on FMA latency).
+#[inline]
+fn dist2_sq_scalar<T: Scalar>(x: &[T], y: &[T]) -> T {
+    let mut acc0 = T::ZERO;
+    let mut acc1 = T::ZERO;
+    let mut acc2 = T::ZERO;
+    let mut acc3 = T::ZERO;
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        let d0 = xs[0] - ys[0];
+        let d1 = xs[1] - ys[1];
+        let d2 = xs[2] - ys[2];
+        let d3 = xs[3] - ys[3];
+        acc0 = d0.mul_add(d0, acc0);
+        acc1 = d1.mul_add(d1, acc1);
+        acc2 = d2.mul_add(d2, acc2);
+        acc3 = d3.mul_add(d3, acc3);
+    }
+    let mut tail = T::ZERO;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        let d = a - b;
+        tail = d.mul_add(d, tail);
+    }
+    ((acc0 + acc1) + (acc2 + acc3)) + tail
+}
+
+/// `y += alpha * x` (SIMD-dispatched for `f64`).
 ///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 #[inline]
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x) {
+    if let Some(xf) = simd::as_f64(x) {
+        if let Some(yf) = simd::as_f64_mut(y) {
+            simd::active().axpy(alpha.to_f64(), xf, yf);
+            return;
+        }
+    }
+    axpy_scalar(alpha, x, y)
+}
+
+/// Portable `axpy` body, unrolled four-wide so the independent element
+/// updates issue as four parallel FMA streams.
+#[inline]
+fn axpy_scalar<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact_mut(4);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        ys[0] = xs[0].mul_add(alpha, ys[0]);
+        ys[1] = xs[1].mul_add(alpha, ys[1]);
+        ys[2] = xs[2].mul_add(alpha, ys[2]);
+        ys[3] = xs[3].mul_add(alpha, ys[3]);
+    }
+    for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi = xi.mul_add(alpha, *yi);
     }
 }
@@ -115,15 +202,36 @@ pub fn angle<T: Scalar>(x: &[T], y: &[T]) -> T {
 ///
 /// Both LEMP's incremental pruning and FEXIPRO's partial inner products need
 /// the norm of the *remaining* coordinates at a checkpoint; computing the
-/// running sum backwards gives all of them in one pass.
+/// running sum backwards gives all of them in one pass. For `f64` the
+/// sum-of-squares scan dispatches to the active SIMD kernel; its block
+/// re-association is covered by the bound-inflation epsilon at every
+/// pruning call site (see [`crate::simd`]).
 pub fn suffix_norms<T: Scalar>(x: &[T]) -> Vec<T> {
     let mut out = vec![T::ZERO; x.len() + 1];
+    if let (Some(xf), Some(of)) = (simd::as_f64(x), simd::as_f64_mut(&mut out)) {
+        simd::active().suffix_sumsq(xf, of);
+        for v in &mut out {
+            *v = v.sqrt();
+        }
+        return out;
+    }
+    suffix_sumsq_scalar(x, &mut out);
+    for v in &mut out {
+        *v = v.sqrt();
+    }
+    out
+}
+
+/// Portable suffix sum-of-squares body: one backward FMA carry chain.
+#[inline]
+fn suffix_sumsq_scalar<T: Scalar>(x: &[T], out: &mut [T]) {
+    debug_assert_eq!(out.len(), x.len() + 1);
+    out[x.len()] = T::ZERO;
     let mut acc = T::ZERO;
     for j in (0..x.len()).rev() {
         acc = x[j].mul_add(x[j], acc);
-        out[j] = acc.sqrt();
+        out[j] = acc;
     }
-    out
 }
 
 #[cfg(test)]

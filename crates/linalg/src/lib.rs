@@ -11,9 +11,14 @@
 //!
 //! * [`Matrix`] — a dense row-major matrix over [`Scalar`] (`f32` or `f64`).
 //! * [`gemm`] — a Goto/BLIS-style packed, cache-blocked `C = A·Bᵀ` kernel with
-//!   an unrolled register micro-kernel, plus naive references for testing.
+//!   an unrolled register micro-kernel, a panel-streaming driver for fused
+//!   GEMM→top-k consumers, plus naive references for testing.
 //! * [`kernels`] — level-1 routines (dot, axpy, norms) with unrolled
 //!   accumulators.
+//! * [`simd`] — runtime-dispatched AVX2+FMA / NEON micro-kernels behind a
+//!   safe [`simd::Kernel`] vtable, with the scalar code as the guaranteed
+//!   fallback (`MIPS_KERNEL=scalar` forces it). All `f64` kernels above
+//!   route through the active set automatically.
 //! * [`blocking`] — cache-geometry-aware tile-size selection, shared with the
 //!   OPTIMUS optimizer (which sizes its sampling runs to occupy the L2 cache).
 //! * [`eig`] / [`svd`] — a cyclic Jacobi symmetric eigensolver and the item
@@ -23,7 +28,9 @@
 //! item matrices store one vector per row, so `U·Iᵀ` walks contiguous memory
 //! on both sides.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed *only* inside `simd`, whose
+// module docs carry the safety contract for every intrinsic kernel.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocking;
@@ -34,11 +41,17 @@ pub mod gemm;
 pub mod kernels;
 pub mod matrix;
 pub mod scalar;
+pub mod simd;
 pub mod svd;
 
 pub use blocking::{BlockSizes, CacheConfig};
 pub use error::LinalgError;
-pub use gemm::{gemm_flops, gemm_nt, gemm_nt_into, matmul_nn, matvec, naive_gemm_nt};
+pub use gemm::{
+    gemm_flops, gemm_nt, gemm_nt_blocked, gemm_nt_blocked_with, gemm_nt_into, gemm_nt_into_scratch,
+    gemm_nt_stream_panels, gemm_nt_stream_panels_with, matmul_nn, matvec, naive_gemm_nt,
+    GemmScratch,
+};
 pub use kernels::{axpy, dot, norm2, norm2_sq, normalize, scale};
 pub use matrix::{Matrix, RowBlock};
 pub use scalar::Scalar;
+pub use simd::Kernel;

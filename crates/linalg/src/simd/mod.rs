@@ -1,0 +1,446 @@
+//! Runtime-dispatched SIMD micro-kernels for the double-precision hot path.
+//!
+//! The paper's hardware-efficiency argument (§II-B) assumes the brute-force
+//! kernels actually reach the machine's FMA throughput. Portable scalar Rust
+//! compiled for the baseline `x86-64` target cannot: `f64::mul_add` lowers to
+//! a libm call and the autovectorizer never emits YMM FMAs. This module
+//! closes that gap with explicit `unsafe` intrinsic kernels selected **once**
+//! per process:
+//!
+//! * `avx2-fma` — 256-bit AVX2 + FMA kernels ([`avx2`]), chosen when
+//!   `is_x86_feature_detected!` confirms both features at startup;
+//! * `neon` — 128-bit NEON kernels ([`neon`]) on `aarch64` (NEON and
+//!   double-precision FMA are baseline features there);
+//! * `scalar` — the crate's portable kernels, the guaranteed fallback on
+//!   every other target and the reference the SIMD paths are tested against.
+//!
+//! Selection happens on the first call to [`active`] and is cached for the
+//! process lifetime. Set `MIPS_KERNEL=scalar` in the environment to force the
+//! portable path (e.g. to measure the SIMD speedup, or to rule the SIMD
+//! kernels out when debugging); an unknown or unsupported name falls back to
+//! `scalar` rather than faulting. [`Kernel::name`] reports what is actually
+//! running.
+//!
+//! ## Bit-identity contract
+//!
+//! Every SIMD kernel reproduces the scalar kernel's floating-point result
+//! **bit for bit**, not merely within tolerance. This is possible because the
+//! scalar kernels already use independent accumulators: a vector register's
+//! lanes are mapped one-to-one onto the scalar code's accumulators, every
+//! multiply-add uses the (single-rounding) FMA in both paths, and the final
+//! reduction uses the same combine tree. Concretely:
+//!
+//! * [`Kernel::dot`] — lane `l` of the one vector accumulator sums elements
+//!   `x[4i+l]·y[4i+l]`, exactly the scalar `dot`'s four accumulators; the
+//!   reduction is `((l0+l1)+(l2+l3)) + tail` in both.
+//! * [`Kernel::dist2_sq`] — same mapping over `(x-y)²`.
+//! * [`Kernel::axpy`] — element-wise, so lane mapping is trivial.
+//! * [`Kernel::micro_4x8`] — each `(i, j)` accumulator of the `MR×NR` GEMM
+//!   register tile is one vector lane fed by a single sequential FMA chain
+//!   over the packed depth, identical to the scalar micro-kernel's loop.
+//!
+//! The one exception is [`Kernel::suffix_sumsq`]: a suffix scan is a serial
+//! carry chain, and the vector version re-associates the within-block sums
+//! (squares are computed with a vector multiply instead of being fused into
+//! the carry FMA). Its consumers (LEMP / FEXIPRO pruning bounds) inflate
+//! every bound by a relative epsilon that dwarfs this reordering, so
+//! exactness of the *search results* is unaffected.
+//!
+//! The `fused_exactness` property suite in `mips-topk` exercises both
+//! contracts: bit-identical top-k (scores *and* tie-broken id order) between
+//! the fused SIMD path and the scalar reference, across shapes that are
+//! deliberately not multiples of the tile sizes.
+//!
+//! ## Safety contract
+//!
+//! This module is the only place in the crate allowed to use `unsafe`
+//! (the crate is `deny(unsafe_code)`; this module opts back in). The
+//! obligations are local and uniform:
+//!
+//! * Arch-specific functions are `unsafe fn` + `#[target_feature]`. Their
+//!   only precondition is that the CPU supports the enabled features; they
+//!   perform no raw-pointer arithmetic beyond in-bounds slice addressing,
+//!   which each kernel guards with explicit length math (`chunks`/`len`
+//!   derived trip counts, remainder loops for tails).
+//! * The safe wrappers stored in a [`Kernel`] may only be constructed by
+//!   [`Kernel::avx2`] / [`Kernel::neon`], which return `None` unless the
+//!   features were detected (or the target guarantees them). The wrappers
+//!   are never exported individually, so a `Kernel` value is a proof that
+//!   its function pointers are safe to call on this machine.
+//! * Slice casts between `&[T]` and `&[f64]` (used by the generic entry
+//!   points in [`crate::kernels`] and [`crate::gemm`]) are guarded by a
+//!   `TypeId` equality check, making the transmute a no-op reinterpretation
+//!   of the same type.
+
+#![allow(unsafe_code)]
+
+use crate::blocking::{MR, NR};
+use std::any::TypeId;
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// A dispatch table of double-precision micro-kernels.
+///
+/// All fields are plain `fn` pointers: the arch-specific `unsafe` functions
+/// are wrapped in safe shims whose soundness is guaranteed by construction
+/// (see the module-level safety contract). Obtain one via [`active`] (the
+/// process-wide selection) or [`Kernel::scalar`] (the portable reference).
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    name: &'static str,
+    dot: fn(&[f64], &[f64]) -> f64,
+    axpy: fn(f64, &[f64], &mut [f64]),
+    dist2_sq: fn(&[f64], &[f64]) -> f64,
+    suffix_sumsq: fn(&[f64], &mut [f64]),
+    micro_4x8: fn(&[f64], &[f64], &mut [[f64; NR]; MR]),
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.name).finish()
+    }
+}
+
+impl Kernel {
+    /// The kernel's identity: `"avx2-fma"`, `"neon"`, or `"scalar"`.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Dot product `xᵀy`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot: length mismatch");
+        (self.dot)(x, y)
+    }
+
+    /// `y += alpha * x`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        (self.axpy)(alpha, x, y)
+    }
+
+    /// Squared Euclidean distance `‖x − y‖²`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn dist2_sq(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dist2_sq: length mismatch");
+        (self.dist2_sq)(x, y)
+    }
+
+    /// Suffix sums of squares: `out[j] = Σ_{i ≥ j} x[i]²`, with
+    /// `out[x.len()] = 0`.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == x.len() + 1`.
+    #[inline]
+    pub fn suffix_sumsq(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), x.len() + 1, "suffix_sumsq: output length");
+        (self.suffix_sumsq)(x, out)
+    }
+
+    /// The GEMM register micro-kernel: `acc += Aᵖ ⊗ Bᵖ` over the packed
+    /// depth, for tile-interleaved panels (`MR` values of A and `NR` values
+    /// of B per depth step).
+    ///
+    /// # Panics
+    /// Panics unless the panel lengths describe the same depth.
+    #[inline]
+    pub fn micro_4x8(&self, a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+        assert_eq!(
+            a_panel.len() / MR,
+            b_panel.len() / NR,
+            "micro_4x8: panel depth mismatch"
+        );
+        (self.micro_4x8)(a_panel, b_panel, acc)
+    }
+
+    /// The portable scalar kernel set (the guaranteed fallback and the
+    /// reference for the bit-identity contract).
+    pub fn scalar() -> Kernel {
+        Kernel {
+            name: "scalar",
+            dot: crate::kernels::dot_scalar_f64,
+            axpy: crate::kernels::axpy_scalar_f64,
+            dist2_sq: crate::kernels::dist2_sq_scalar_f64,
+            suffix_sumsq: crate::kernels::suffix_sumsq_scalar_f64,
+            micro_4x8: crate::gemm::micro_4x8_scalar_f64,
+        }
+    }
+
+    /// The AVX2+FMA kernel set, or `None` if the CPU lacks either feature
+    /// (always `None` off x86-64).
+    pub fn avx2() -> Option<Kernel> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return Some(Kernel {
+                    name: "avx2-fma",
+                    dot: avx2::dot,
+                    axpy: avx2::axpy,
+                    dist2_sq: avx2::dist2_sq,
+                    suffix_sumsq: avx2::suffix_sumsq,
+                    micro_4x8: avx2::micro_4x8,
+                });
+            }
+            None
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            None
+        }
+    }
+
+    /// The NEON kernel set, or `None` off `aarch64` (where NEON with
+    /// double-precision FMA is a baseline feature, so detection is static).
+    pub fn neon() -> Option<Kernel> {
+        #[cfg(target_arch = "aarch64")]
+        {
+            Some(Kernel {
+                name: "neon",
+                dot: neon::dot,
+                axpy: neon::axpy,
+                dist2_sq: neon::dist2_sq,
+                suffix_sumsq: neon::suffix_sumsq,
+                micro_4x8: neon::micro_4x8,
+            })
+        }
+        #[cfg(not(target_arch = "aarch64"))]
+        {
+            None
+        }
+    }
+
+    /// Resolves a kernel by name (`"scalar"`, `"avx2"`, `"avx2-fma"`,
+    /// `"neon"`), returning `None` for unknown names or kernels this CPU
+    /// cannot run. This is the `MIPS_KERNEL` lookup, exposed for tests.
+    pub fn by_name(name: &str) -> Option<Kernel> {
+        match name {
+            "scalar" => Some(Kernel::scalar()),
+            "avx2" | "avx2-fma" => Kernel::avx2(),
+            "neon" => Kernel::neon(),
+            _ => None,
+        }
+    }
+
+    /// The best kernel this CPU supports, ignoring the environment override.
+    pub fn best() -> Kernel {
+        Kernel::avx2()
+            .or_else(Kernel::neon)
+            .unwrap_or_else(Kernel::scalar)
+    }
+}
+
+/// The process-wide active kernel, selected on first use and cached.
+///
+/// Honors `MIPS_KERNEL` (see the module docs); otherwise picks the best
+/// supported set. The selection is intentionally immutable for the process
+/// lifetime so mixed-kernel results can never be produced within one run.
+pub fn active() -> &'static Kernel {
+    static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+    ACTIVE.get_or_init(|| match std::env::var("MIPS_KERNEL") {
+        Ok(name) => Kernel::by_name(name.trim()).unwrap_or_else(Kernel::scalar),
+        Err(_) => Kernel::best(),
+    })
+}
+
+/// Reinterprets `&[T]` as `&[f64]` when `T` *is* `f64`.
+#[inline(always)]
+pub(crate) fn as_f64<T: 'static>(x: &[T]) -> Option<&[f64]> {
+    if TypeId::of::<T>() == TypeId::of::<f64>() {
+        // SAFETY: the TypeId check proves T == f64, so this is a no-op
+        // reinterpretation of the same slice type.
+        Some(unsafe { &*(x as *const [T] as *const [f64]) })
+    } else {
+        None
+    }
+}
+
+/// Reinterprets `&mut [T]` as `&mut [f64]` when `T` *is* `f64`.
+#[inline(always)]
+pub(crate) fn as_f64_mut<T: 'static>(x: &mut [T]) -> Option<&mut [f64]> {
+    if TypeId::of::<T>() == TypeId::of::<f64>() {
+        // SAFETY: as in `as_f64`; uniqueness is inherited from the input.
+        Some(unsafe { &mut *(x as *mut [T] as *mut [f64]) })
+    } else {
+        None
+    }
+}
+
+/// Reinterprets a generic `MR×NR` accumulator tile as `f64` when `T` is.
+#[inline(always)]
+pub(crate) fn acc_as_f64_mut<T: 'static>(acc: &mut [[T; NR]; MR]) -> Option<&mut [[f64; NR]; MR]> {
+    if TypeId::of::<T>() == TypeId::of::<f64>() {
+        // SAFETY: the TypeId check proves T == f64; the array layout is
+        // unchanged, so this is a no-op reinterpretation.
+        Some(unsafe { &mut *(acc as *mut [[T; NR]; MR] as *mut [[f64; NR]; MR]) })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    /// Every kernel this host can run, always including scalar.
+    fn all_kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::scalar()];
+        ks.extend(Kernel::avx2());
+        ks.extend(Kernel::neon());
+        ks
+    }
+
+    #[test]
+    fn by_name_resolves_scalar_everywhere() {
+        assert_eq!(Kernel::by_name("scalar").unwrap().name(), "scalar");
+        assert!(Kernel::by_name("no-such-kernel").is_none());
+    }
+
+    #[test]
+    fn active_is_one_of_the_known_kernels() {
+        let name = active().name();
+        assert!(
+            ["scalar", "avx2-fma", "neon"].contains(&name),
+            "unexpected kernel {name}"
+        );
+    }
+
+    #[test]
+    fn best_never_panics_and_is_named() {
+        assert!(!Kernel::best().name().is_empty());
+    }
+
+    #[test]
+    fn dot_bit_identical_across_kernels() {
+        for len in [0usize, 1, 3, 4, 7, 8, 31, 50, 128, 257] {
+            let x = pseudo(len, 11);
+            let y = pseudo(len, 13);
+            let want = Kernel::scalar().dot(&x, &y);
+            for k in all_kernels() {
+                let got = k.dot(&x, &y);
+                assert!(
+                    got.to_bits() == want.to_bits(),
+                    "{}: len {len}: {got:e} vs scalar {want:e}",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dist2_bit_identical_across_kernels() {
+        for len in [0usize, 1, 5, 16, 33, 50, 100] {
+            let x = pseudo(len, 21);
+            let y = pseudo(len, 23);
+            let want = Kernel::scalar().dist2_sq(&x, &y);
+            for k in all_kernels() {
+                assert_eq!(k.dist2_sq(&x, &y).to_bits(), want.to_bits(), "{}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_bit_identical_across_kernels() {
+        for len in [0usize, 1, 6, 17, 64, 97] {
+            let x = pseudo(len, 31);
+            let base = pseudo(len, 37);
+            let mut want = base.clone();
+            Kernel::scalar().axpy(1.7, &x, &mut want);
+            for k in all_kernels() {
+                let mut got = base.clone();
+                k.axpy(1.7, &x, &mut got);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{}", k.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn micro_4x8_bit_identical_across_kernels() {
+        for depth in [0usize, 1, 2, 7, 64, 256] {
+            let a = pseudo(depth * MR, 41);
+            let b = pseudo(depth * NR, 43);
+            let mut want = [[0.25f64; NR]; MR];
+            Kernel::scalar().micro_4x8(&a, &b, &mut want);
+            for k in all_kernels() {
+                let mut got = [[0.25f64; NR]; MR];
+                k.micro_4x8(&a, &b, &mut got);
+                for i in 0..MR {
+                    for j in 0..NR {
+                        assert_eq!(
+                            got[i][j].to_bits(),
+                            want[i][j].to_bits(),
+                            "{} depth {depth} ({i},{j})",
+                            k.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_sumsq_matches_scalar_within_tolerance() {
+        // The suffix scan is the documented exception to bit-identity:
+        // assert tight relative agreement instead.
+        for len in [0usize, 1, 3, 4, 9, 50, 130] {
+            let x = pseudo(len, 51);
+            let mut want = vec![0.0; len + 1];
+            Kernel::scalar().suffix_sumsq(&x, &mut want);
+            for k in all_kernels() {
+                let mut got = vec![0.0; len + 1];
+                k.suffix_sumsq(&x, &mut got);
+                for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (g - w).abs() <= 1e-12 * (1.0 + w.abs()),
+                        "{} len {len} j {j}: {g} vs {w}",
+                        k.name()
+                    );
+                }
+                assert_eq!(got[len], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_reinterpretation_is_type_guarded() {
+        let xs = [1.0f64, 2.0];
+        assert!(as_f64(&xs).is_some());
+        let ys = [1.0f32, 2.0];
+        assert!(as_f64(&ys).is_none());
+        let mut zs = [3.0f64];
+        assert!(as_f64_mut(&mut zs).is_some());
+        let mut acc = [[0.0f64; NR]; MR];
+        assert!(acc_as_f64_mut(&mut acc).is_some());
+        let mut acc32 = [[0.0f32; NR]; MR];
+        assert!(acc_as_f64_mut(&mut acc32).is_none());
+    }
+}

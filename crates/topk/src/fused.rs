@@ -1,0 +1,319 @@
+//! Fused GEMM→top-k: selection runs on cache-warm score panels.
+//!
+//! The unfused BMM pipeline materializes the whole `batch × n` score buffer,
+//! then re-reads it for heap selection — a full round-trip through memory
+//! for data that is consumed once and discarded. The paper's §II-B argument
+//! (hardware efficiency comes from keeping the working set cache-resident)
+//! applies to our own serving loop as much as to the multiply itself, so
+//! this module fuses the two stages: the panel-streaming GEMM driver
+//! ([`mips_linalg::gemm_nt_stream_panels`]) hands each finished `m × NC`
+//! panel of scores straight to the per-row [`TopKHeap`]s while the panel is
+//! still resident in cache, and only one panel of scores ever exists.
+//!
+//! Exactness is unaffected: the heap's `(score, id)` ordering is total, so
+//! the retained top-k set is independent of the order in which columns are
+//! offered, and the `_with` variants pin the micro-kernel set so the
+//! `fused_exactness` property suite can compare the SIMD and forced-scalar
+//! paths bit for bit.
+
+use crate::heap::TopKHeap;
+use crate::list::TopKList;
+use mips_linalg::simd::{self, Kernel};
+use mips_linalg::{BlockSizes, CacheConfig, GemmScratch, RowBlock};
+
+/// How panel columns map to item ids.
+///
+/// The BMM solver scores items in catalog order (`Offset`, usually 0);
+/// MAXIMUS scores a cluster's items in bound-sorted list order and needs
+/// each column translated back to its global item id (`Mapped`).
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnIds<'a> {
+    /// Column `j` of B is item `offset + j`.
+    Offset(u32),
+    /// Column `j` of B is item `ids[j]`.
+    Mapped(&'a [u32]),
+}
+
+/// Fused `A·Bᵀ` → per-row top-k: returns one sorted [`TopKList`] per row of
+/// `a`, identical to `gemm_nt` + `rows_topk` but without materializing the
+/// `m × n` score buffer.
+///
+/// `scratch` is reused across calls; own one per query loop / worker thread.
+///
+/// # Panics
+/// Panics if the operand widths differ.
+pub fn gemm_nt_topk(
+    a: RowBlock<'_, f64>,
+    b: RowBlock<'_, f64>,
+    k: usize,
+    scratch: &mut GemmScratch<f64>,
+) -> Vec<TopKList> {
+    gemm_nt_topk_with(simd::active(), &default_blocks(), a, b, k, scratch)
+}
+
+/// [`gemm_nt_topk`] with explicit kernel set and blocking parameters (the
+/// forced-scalar / odd-blocking test entry).
+pub fn gemm_nt_topk_with(
+    kern: &Kernel,
+    blocks: &BlockSizes,
+    a: RowBlock<'_, f64>,
+    b: RowBlock<'_, f64>,
+    k: usize,
+    scratch: &mut GemmScratch<f64>,
+) -> Vec<TopKList> {
+    let mut heaps: Vec<TopKHeap> = (0..a.rows()).map(|_| TopKHeap::new(k)).collect();
+    stream_topk_into_heaps_with(
+        kern,
+        blocks,
+        a,
+        b,
+        &mut heaps,
+        ColumnIds::Offset(0),
+        scratch,
+    );
+    heaps.into_iter().map(TopKHeap::into_sorted).collect()
+}
+
+/// Streams `A·Bᵀ` score panels into caller-owned heaps (one per row of `a`),
+/// mapping panel columns to item ids via `ids`.
+///
+/// The heaps may already hold entries; this is how MAXIMUS fuses its shared
+/// list-prefix multiply with per-user selection and then keeps walking the
+/// remainder of the list with the same heaps.
+///
+/// # Panics
+/// Panics if `heaps.len() != a.rows()`, if a mapped id slice is shorter than
+/// `b.rows()`, or if the operand widths differ.
+pub fn stream_topk_into_heaps(
+    a: RowBlock<'_, f64>,
+    b: RowBlock<'_, f64>,
+    heaps: &mut [TopKHeap],
+    ids: ColumnIds<'_>,
+    scratch: &mut GemmScratch<f64>,
+) {
+    stream_topk_into_heaps_with(simd::active(), &default_blocks(), a, b, heaps, ids, scratch)
+}
+
+/// [`stream_topk_into_heaps`] with explicit kernel set and blocking
+/// parameters.
+pub fn stream_topk_into_heaps_with(
+    kern: &Kernel,
+    blocks: &BlockSizes,
+    a: RowBlock<'_, f64>,
+    b: RowBlock<'_, f64>,
+    heaps: &mut [TopKHeap],
+    ids: ColumnIds<'_>,
+    scratch: &mut GemmScratch<f64>,
+) {
+    let m = a.rows();
+    assert_eq!(heaps.len(), m, "stream_topk: one heap per query row");
+    if let ColumnIds::Mapped(map) = ids {
+        assert!(
+            map.len() >= b.rows(),
+            "stream_topk: id map shorter than item count"
+        );
+    }
+    // Cached admission thresholds: most scores lose a single comparison
+    // without touching the heap, same as `row_topk`'s scan. Scores *equal*
+    // to the threshold must still be offered: with `Mapped` ids the column
+    // order is not id order, so a tying candidate may beat the root on the
+    // smaller-id rule.
+    let mut thresholds: Vec<f64> = heaps.iter().map(TopKHeap::threshold).collect();
+    mips_linalg::gemm_nt_stream_panels_with(kern, a, b, blocks, scratch, |panel, cols| {
+        let ncb = cols.len();
+        for (i, heap) in heaps.iter_mut().enumerate() {
+            let row = &panel[i * ncb..(i + 1) * ncb];
+            let mut threshold = thresholds[i];
+            for (j, &s) in row.iter().enumerate() {
+                if s >= threshold || !heap.is_full() {
+                    let col = cols.start + j;
+                    let id = match ids {
+                        ColumnIds::Offset(off) => off + col as u32,
+                        ColumnIds::Mapped(map) => map[col],
+                    };
+                    heap.push(s, id);
+                    threshold = heap.threshold();
+                }
+            }
+            thresholds[i] = threshold;
+        }
+    });
+}
+
+fn default_blocks() -> BlockSizes {
+    BlockSizes::for_scalar::<f64>(&CacheConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::rows_topk;
+    use mips_linalg::{gemm_nt, Matrix};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn fused_matches_unfused_reference() {
+        let mut scratch = GemmScratch::new();
+        for &(m, n, f, k) in &[
+            (1usize, 1usize, 1usize, 1usize),
+            (3, 17, 7, 4),
+            (9, 50, 12, 5),
+            (33, 70, 31, 10),
+            (5, 2048 + 13, 6, 3), // crosses an NC panel boundary
+        ] {
+            let a = random_matrix(m, f, 100 + m as u64);
+            let b = random_matrix(n, f, 200 + n as u64);
+            let fused = gemm_nt_topk((&a).into(), (&b).into(), k, &mut scratch);
+            let scores = gemm_nt(&a, &b);
+            let want = rows_topk(scores.as_slice(), m, n, k);
+            assert_eq!(fused, want, "m={m} n={n} f={f} k={k}");
+        }
+    }
+
+    #[test]
+    fn fused_k_edge_cases() {
+        let a = random_matrix(4, 6, 1);
+        let b = random_matrix(9, 6, 2);
+        let mut scratch = GemmScratch::new();
+        let zero = gemm_nt_topk((&a).into(), (&b).into(), 0, &mut scratch);
+        assert!(zero.iter().all(TopKList::is_empty));
+        let all = gemm_nt_topk((&a).into(), (&b).into(), 100, &mut scratch);
+        assert!(all.iter().all(|l| l.len() == 9));
+        // Zero-depth operands: every score is 0, ids win by tie-break.
+        let a0 = Matrix::<f64>::zeros(2, 0);
+        let b0 = Matrix::<f64>::zeros(3, 0);
+        let lists = gemm_nt_topk((&a0).into(), (&b0).into(), 2, &mut scratch);
+        assert_eq!(lists.len(), 2);
+        for l in &lists {
+            assert_eq!(l.items, vec![0, 1]);
+            assert_eq!(l.scores, vec![0.0, 0.0]);
+        }
+        // No rows / no items.
+        assert!(gemm_nt_topk(a.row_block(0, 0), (&b).into(), 3, &mut scratch).is_empty());
+        let empty_b = gemm_nt_topk((&a).into(), b.row_block(0, 0), 3, &mut scratch);
+        assert!(empty_b.iter().all(TopKList::is_empty));
+    }
+
+    #[test]
+    fn mapped_ids_translate_columns() {
+        let a = random_matrix(2, 5, 7);
+        let b = random_matrix(4, 5, 8);
+        let map = [40u32, 30, 20, 10];
+        let mut heaps: Vec<TopKHeap> = (0..2).map(|_| TopKHeap::new(2)).collect();
+        let mut scratch = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut heaps,
+            ColumnIds::Mapped(&map),
+            &mut scratch,
+        );
+        let mut scratch2 = GemmScratch::new();
+        let plain = gemm_nt_topk((&a).into(), (&b).into(), 2, &mut scratch2);
+        for (heap, want) in heaps.into_iter().zip(plain) {
+            let got = heap.into_sorted();
+            let translated: Vec<u32> = want.items.iter().map(|&j| map[j as usize]).collect();
+            assert_eq!(got.items, translated);
+            assert_eq!(got.scores, want.scores);
+        }
+    }
+
+    #[test]
+    fn offset_ids_shift_columns() {
+        let a = random_matrix(1, 4, 3);
+        let b = random_matrix(3, 4, 4);
+        let mut heaps = vec![TopKHeap::new(3)];
+        let mut scratch = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut heaps,
+            ColumnIds::Offset(1000),
+            &mut scratch,
+        );
+        let got = heaps.pop().unwrap().into_sorted();
+        assert!(got.items.iter().all(|&id| (1000..1003).contains(&id)));
+    }
+
+    #[test]
+    fn preloaded_heaps_keep_earlier_entries() {
+        // MAXIMUS-style use: heaps already hold entries from a prior phase.
+        let a = random_matrix(1, 3, 11);
+        let b = random_matrix(2, 3, 12);
+        let mut heaps = vec![TopKHeap::new(3)];
+        heaps[0].push(1e9, 777); // unbeatable prior entry
+        let mut scratch = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut heaps,
+            ColumnIds::Offset(0),
+            &mut scratch,
+        );
+        let got = heaps.pop().unwrap().into_sorted();
+        assert_eq!(got.items[0], 777);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn tying_candidate_with_smaller_mapped_id_displaces_root() {
+        // Column order ≠ id order: item id 1 arrives *after* the heap is
+        // full of equal scores with larger ids. The threshold shortcut must
+        // still offer it so the smaller-id tie-break can win.
+        let a = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        let b = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]).unwrap();
+        let map = [9u32, 4, 1];
+        let mut heaps = vec![TopKHeap::new(2)];
+        let mut scratch = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut heaps,
+            ColumnIds::Mapped(&map),
+            &mut scratch,
+        );
+        let got = heaps.pop().unwrap().into_sorted();
+        assert_eq!(got.items, vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one heap per query row")]
+    fn rejects_mismatched_heap_count() {
+        let a = random_matrix(3, 4, 1);
+        let b = random_matrix(2, 4, 2);
+        let mut heaps = vec![TopKHeap::new(1); 2];
+        let mut scratch = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut heaps,
+            ColumnIds::Offset(0),
+            &mut scratch,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "id map shorter")]
+    fn rejects_short_id_map() {
+        let a = random_matrix(1, 4, 1);
+        let b = random_matrix(3, 4, 2);
+        let mut heaps = vec![TopKHeap::new(1)];
+        let mut scratch = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut heaps,
+            ColumnIds::Mapped(&[1, 2]),
+            &mut scratch,
+        );
+    }
+}

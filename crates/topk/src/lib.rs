@@ -9,14 +9,20 @@
 //! Determinism: ties are broken toward the smaller item id everywhere, so
 //! independent solvers produce byte-identical results and cross-solver tests
 //! can compare exactly.
+//!
+//! [`fused`] additionally provides the fused GEMM→top-k path: score panels
+//! stream out of the blocked multiply straight into the heaps, so the dense
+//! `batch × n` score buffer of the two-stage pipeline never exists.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod heap;
 pub mod list;
 pub mod select;
 
+pub use fused::{gemm_nt_topk, gemm_nt_topk_with, stream_topk_into_heaps, ColumnIds};
 pub use heap::TopKHeap;
 pub use list::TopKList;
 pub use select::{row_topk, rows_topk, topk_all_rows};

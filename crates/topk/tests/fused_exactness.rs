@@ -1,0 +1,182 @@
+//! Property suite: the fused SIMD GEMM→top-k path must be **bit-identical**
+//! to the unfused scalar reference — scores and tie-broken id order — and
+//! the forced-scalar fallback must run the same suite unchanged.
+//!
+//! Two layers of comparison:
+//!
+//! 1. `naive + rows_topk` reference on *exactly representable* inputs
+//!    (values quantized to multiples of 1/8 with magnitude ≤ 2): every
+//!    product and partial sum is exact in f64, so any accumulation order —
+//!    four-lane dot chains, packed micro-kernel chains, SIMD lanes — must
+//!    produce the same bits. Quantization also makes score ties frequent,
+//!    exercising the deterministic smaller-id tie-break across the fused
+//!    threshold shortcut.
+//! 2. SIMD-vs-scalar on *unconstrained* random inputs: the dispatched
+//!    kernels promise bit-identity with the scalar kernel set (see
+//!    `mips_linalg::simd`), so the two fused runs must agree bitwise even
+//!    where the naive reference (different accumulation order) legitimately
+//!    differs in the last ulp.
+//!
+//! Shapes deliberately avoid the tile sizes: m, n not multiples of MR=4 /
+//! NR=8, f not a multiple of 4, plus k ∈ {0, 1, n} edges and tiny custom
+//! block sizes that force partial tiles everywhere.
+
+use mips_linalg::simd::Kernel;
+use mips_linalg::{BlockSizes, CacheConfig, GemmScratch, Matrix};
+use mips_topk::fused::{gemm_nt_topk, gemm_nt_topk_with};
+use mips_topk::{rows_topk, TopKList};
+use proptest::prelude::*;
+
+fn quantized_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    // Multiples of 1/8 in [-2, 2]: products are multiples of 1/64 with
+    // magnitude ≤ 4; sums of ≤ 1000 of them stay exactly representable.
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) % 33) as f64 * 0.125 - 2.0
+    })
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    })
+}
+
+/// Bitwise equality of whole result sets (ids and score bits).
+fn assert_bit_identical(got: &[TopKList], want: &[TopKList], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: row count");
+    for (u, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.items, w.items, "{label}: ids for row {u}");
+        assert_eq!(
+            g.scores.len(),
+            w.scores.len(),
+            "{label}: score count for row {u}"
+        );
+        for (a, b) in g.scores.iter().zip(&w.scores) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: score bits for row {u}: {a:e} vs {b:e}"
+            );
+        }
+    }
+}
+
+/// Every kernel set this host can run; scalar is always present, so the
+/// whole suite doubles as the forced-scalar-fallback run.
+fn kernels_under_test() -> Vec<Kernel> {
+    let mut ks = vec![Kernel::scalar()];
+    ks.extend(Kernel::avx2());
+    ks.extend(Kernel::neon());
+    ks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact-arithmetic inputs: fused top-k under every kernel must be
+    /// bit-identical to the naive-GEMM + rows_topk reference, for odd
+    /// shapes and k covering {0, 1, n} plus interior values.
+    #[test]
+    fn fused_bit_identical_to_naive_reference(m in 1usize..14,
+                                              n in 1usize..40,
+                                              f in 1usize..23,
+                                              seed in 0u64..1000) {
+        // Steer away from tile-friendly shapes: the +1s break multiples of
+        // MR/NR/4 half the time, and the strategy ranges cover the rest.
+        let a = quantized_matrix(m, f, seed.wrapping_mul(3) + 1);
+        let b = quantized_matrix(n, f, seed.wrapping_mul(7) + 2);
+        let scores = mips_linalg::naive_gemm_nt(&a, &b);
+        let blocks = BlockSizes::for_scalar::<f64>(&CacheConfig::default());
+        for k in [0usize, 1, n / 2, n] {
+            let want = rows_topk(scores.as_slice(), m, n, k);
+            for kern in kernels_under_test() {
+                let mut scratch = GemmScratch::new();
+                let got = gemm_nt_topk_with(
+                    &kern, &blocks, (&a).into(), (&b).into(), k, &mut scratch,
+                );
+                assert_bit_identical(&got, &want,
+                    &format!("{} m={m} n={n} f={f} k={k}", kern.name()));
+            }
+        }
+    }
+
+    /// Unconstrained inputs: the SIMD fused path must match the
+    /// forced-scalar fused path bit for bit (the dispatch contract), on
+    /// shapes that force partial tiles via tiny custom block sizes.
+    #[test]
+    fn simd_fused_bit_identical_to_forced_scalar(m in 1usize..11,
+                                                 n in 1usize..60,
+                                                 f in 1usize..40,
+                                                 k in 0usize..12,
+                                                 seed in 0u64..1000) {
+        let a = random_matrix(m, f, seed + 11);
+        let b = random_matrix(n, f, seed + 23);
+        // Tiny blocks: many partial MR/NR tiles and several KC passes.
+        let blocks = BlockSizes { mc: 4, kc: 5, nc: 16 };
+        let mut scratch = GemmScratch::new();
+        let want = gemm_nt_topk_with(
+            &Kernel::scalar(), &blocks, (&a).into(), (&b).into(), k, &mut scratch,
+        );
+        for kern in kernels_under_test() {
+            let got = gemm_nt_topk_with(
+                &kern, &blocks, (&a).into(), (&b).into(), k, &mut scratch,
+            );
+            assert_bit_identical(&got, &want,
+                &format!("{} vs scalar m={m} n={n} f={f} k={k}", kern.name()));
+        }
+    }
+
+    /// The default-dispatch entry (whatever `MIPS_KERNEL`/detection chose)
+    /// agrees with the explicit scalar run on quantized ties.
+    #[test]
+    fn active_dispatch_matches_scalar_on_ties(m in 1usize..8,
+                                              n in 2usize..30,
+                                              f in 1usize..9,
+                                              k in 1usize..10,
+                                              seed in 0u64..500) {
+        let a = quantized_matrix(m, f, seed + 5);
+        let b = quantized_matrix(n, f, seed + 9);
+        let mut scratch = GemmScratch::new();
+        let got = gemm_nt_topk((&a).into(), (&b).into(), k, &mut scratch);
+        let blocks = BlockSizes::for_scalar::<f64>(&CacheConfig::default());
+        let want = gemm_nt_topk_with(
+            &Kernel::scalar(), &blocks, (&a).into(), (&b).into(), k, &mut scratch,
+        );
+        assert_bit_identical(&got, &want, "active vs scalar");
+    }
+}
+
+/// Deterministic (non-property) spot checks of the exact k edges on shapes
+/// that sit just off every tile boundary — kept outside proptest so they
+/// always run even with `PROPTEST_CASES=0`.
+#[test]
+fn odd_shape_k_edges_all_kernels() {
+    let blocks = BlockSizes::for_scalar::<f64>(&CacheConfig::default());
+    for &(m, n, f) in &[
+        (1usize, 1usize, 1usize),
+        (5, 9, 3),
+        (7, 17, 6),
+        (13, 33, 50),
+    ] {
+        let a = quantized_matrix(m, f, 77);
+        let b = quantized_matrix(n, f, 99);
+        let scores = mips_linalg::naive_gemm_nt(&a, &b);
+        for k in [0usize, 1, n, n + 5] {
+            let want = rows_topk(scores.as_slice(), m, n, k);
+            for kern in kernels_under_test() {
+                let mut scratch = GemmScratch::new();
+                let got =
+                    gemm_nt_topk_with(&kern, &blocks, (&a).into(), (&b).into(), k, &mut scratch);
+                assert_bit_identical(&got, &want, &format!("{} {m}x{n}x{f} k={k}", kern.name()));
+            }
+        }
+    }
+}
