@@ -1,5 +1,7 @@
-//! Machine-readable perf digest: writes `BENCH_2.json` at the workspace
-//! root so future PRs have a trajectory to diff against.
+//! Machine-readable perf digest: writes `<bench>.json` (BENCH_2) at the
+//! workspace root so future PRs have a trajectory to diff against; the
+//! header records scale, kernel, git sha, and host threads so digests are
+//! comparable across PRs and machines.
 //!
 //! Two sections:
 //!
@@ -15,17 +17,18 @@
 //! overrides the output path.
 
 use mips_bench::{
-    bench_json_path, bmm_fusion_sample, build_model, figure5_strategies, fmt_secs, kernel_name,
-    render_bench_json, scale, single_backend_engine, BenchRecord, FusionRecord, Table, PAPER_KS,
+    bench_out_path, bmm_fusion_sample, build_model, figure5_strategies, fmt_secs,
+    render_bench_json, scale, single_backend_engine, BenchMeta, BenchRecord, FusionRecord, Table,
+    PAPER_KS,
 };
 use mips_core::engine::QueryRequest;
 use mips_data::catalog::reference_models;
 
 fn main() {
+    let meta = BenchMeta::collect("BENCH_2");
     println!(
-        "== BENCH_2.json digest (scale {}, kernel {}) ==\n",
-        scale(),
-        kernel_name()
+        "== {}.json digest (scale {}, kernel {}, sha {}, {} host threads) ==\n",
+        meta.bench, meta.scale, meta.kernel, meta.git_sha, meta.host_threads
     );
 
     let mut records: Vec<BenchRecord> = Vec::new();
@@ -54,15 +57,27 @@ fn main() {
                 .expect("solver builds")
                 .build_seconds();
             for &k in &ks {
-                let response = engine
-                    .execute_with(strategy.key(), &QueryRequest::top_k(k))
-                    .expect("valid bench request");
-                assert_eq!(response.results.len(), model.num_users());
+                // Adaptive best-of: sub-millisecond rows (tiny CI scale)
+                // repeat up to 9 times inside a 0.25s budget so the digest
+                // is stable enough for the 1.5x regression gate; seconds-
+                // scale rows (full scale) run once.
+                let mut serve_seconds = f64::INFINITY;
+                let mut spent = 0.0;
+                let mut runs = 0;
+                while runs == 0 || (runs < 9 && spent < 0.25) {
+                    let response = engine
+                        .execute_with(strategy.key(), &QueryRequest::top_k(k))
+                        .expect("valid bench request");
+                    assert_eq!(response.results.len(), model.num_users());
+                    serve_seconds = serve_seconds.min(response.serve_seconds);
+                    spent += response.serve_seconds;
+                    runs += 1;
+                }
                 table.row(vec![
                     dataset.to_string(),
                     strategy.name().to_string(),
                     k.to_string(),
-                    fmt_secs(response.serve_seconds),
+                    fmt_secs(serve_seconds),
                     String::new(),
                 ]);
                 records.push(BenchRecord {
@@ -70,14 +85,16 @@ fn main() {
                     strategy: strategy.name().to_string(),
                     k,
                     build_seconds,
-                    serve_seconds: response.serve_seconds,
+                    serve_seconds,
                 });
             }
         }
 
-        // Fusion acceptance rows: fused SIMD vs seed scalar, best of 2.
+        // Fusion acceptance rows: fused SIMD vs seed scalar; more repeats
+        // at tiny scale where a single pass is noise-dominated.
+        let fusion_runs = if scale() < 0.5 { 4 } else { 2 };
         for &k in &ks {
-            let sample = bmm_fusion_sample(&model, k, 2);
+            let sample = bmm_fusion_sample(&model, k, fusion_runs);
             table.row(vec![
                 dataset.to_string(),
                 "BMM fused vs seed".to_string(),
@@ -99,9 +116,9 @@ fn main() {
 
     table.print();
 
-    let json = render_bench_json(scale(), &records, &fusion);
-    let path = bench_json_path();
-    std::fs::write(&path, json).expect("write BENCH_2.json");
+    let json = render_bench_json(&meta, &records, &fusion);
+    let path = bench_out_path(&meta);
+    std::fs::write(&path, json).expect("write bench digest");
     let worst = fusion
         .iter()
         .map(|f| f.sample.speedup())

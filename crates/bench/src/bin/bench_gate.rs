@@ -1,0 +1,103 @@
+//! CI performance-regression gate over BENCH_* digests.
+//!
+//! ```sh
+//! # Compare a fresh digest against the committed baseline:
+//! cargo run -p mips-bench --bin bench_gate -- ci/bench_baseline_2.json bench_smoke.json
+//!
+//! # Prove the gate can fail (CI runs this before trusting a PASS):
+//! cargo run -p mips-bench --bin bench_gate -- --self-test ci/bench_baseline_2.json
+//! ```
+//!
+//! Options: `--tolerance <x>` (default 1.5) bounds each row's normalized
+//! current/baseline ratio; `--median-cap <x>` (default 6.0) bounds the
+//! median raw ratio (machine-speed correction ceiling); `--out <path>`
+//! writes the comparison table (the CI artifact) as well as printing it.
+//! Exit code 0 = gate passed, 1 = regression (or self-test did not trip).
+
+use mips_bench::gate::{compare, inject_slowdown};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate [--tolerance X] [--median-cap X] [--out PATH] BASELINE CURRENT\n\
+                bench_gate --self-test BASELINE"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = 1.5f64;
+    let mut median_cap = 6.0f64;
+    let mut out_path: Option<String> = None;
+    let mut self_test = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--median-cap" => {
+                median_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--self-test" => self_test = true,
+            _ if arg.starts_with("--") => usage(),
+            _ => files.push(arg),
+        }
+    }
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    if self_test {
+        // A gate that cannot fail is not a gate: slow one row of the
+        // baseline by 10x and require the comparison to FAIL.
+        if files.len() != 1 {
+            usage();
+        }
+        let baseline = read(&files[0]);
+        let slowed = inject_slowdown(&baseline, 10.0);
+        if slowed == baseline {
+            eprintln!("bench_gate self-test: found no gateable row to perturb");
+            return ExitCode::FAILURE;
+        }
+        let report = compare(&baseline, &slowed, tolerance, median_cap);
+        print!("{}", report.render());
+        if report.passed() {
+            eprintln!("bench_gate self-test: artificial 10x slowdown was NOT caught");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate self-test: artificial slowdown correctly caught");
+        return ExitCode::SUCCESS;
+    }
+
+    if files.len() != 2 {
+        usage();
+    }
+    let report = compare(&read(&files[0]), &read(&files[1]), tolerance, median_cap);
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("bench_gate: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,534 @@
+//! The CI performance-regression gate.
+//!
+//! Compares a freshly produced BENCH_* digest against a committed baseline
+//! and fails when any row got slower beyond a tolerance. Two safeguards
+//! make the comparison survive cross-machine noise (the baseline is
+//! committed from one host, CI runs on another):
+//!
+//! * **Median normalization.** Every row's `current / baseline` ratio is
+//!   divided by the median ratio across all rows. A uniformly faster or
+//!   slower machine shifts the median, not the normalized ratios, so the
+//!   gate reacts to *relative* regressions — one strategy falling behind
+//!   the others — at the committed tolerance.
+//! * **A hard cap on the median itself.** A catastrophic across-the-board
+//!   regression moves the median, which normalization would otherwise hide;
+//!   the gate also fails when the median ratio exceeds a (generous,
+//!   machine-difference-absorbing) cap.
+//!
+//! The digests are this workspace's own hand-rolled JSON (one row object
+//! per line), so the parser here is deliberately minimal — it understands
+//! exactly that shape, keeping the gate dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A scalar JSON value in a bench row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// A string field.
+    Str(String),
+    /// A numeric field.
+    Num(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl JsonVal {
+    fn as_key_part(&self) -> Option<String> {
+        match self {
+            JsonVal::Str(s) => Some(s.clone()),
+            JsonVal::Bool(b) => Some(b.to_string()),
+            JsonVal::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => Some(format!("{}", *n as i64)),
+            JsonVal::Num(_) => None,
+        }
+    }
+}
+
+/// Fields that are measurements, never identity — excluded from row keys by
+/// name (a measurement that happens to land on an integral value, like
+/// `1.000000` seconds, must not perturb the key).
+pub const MEASUREMENT_FIELDS: [&str; 12] = [
+    "serve_seconds",
+    "build_seconds",
+    "seconds_per_request",
+    "requests_per_sec",
+    "fused_seconds",
+    "seed_scalar_seconds",
+    "speedup",
+    "p50_us",
+    "p99_us",
+    "mean_batch",
+    "busy_seconds",
+    "requests",
+];
+
+/// One parsed bench row: field name → value, insertion-ordered by name.
+pub type Row = BTreeMap<String, JsonVal>;
+
+/// Parses every `{...}` row object out of a BENCH_* digest. Top-level
+/// header fields (scale, kernel, …) are returned separately as a pseudo
+/// row.
+pub fn parse_digest(text: &str) -> (Row, Vec<Row>) {
+    let mut header = Row::new();
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim().trim_end_matches(',');
+        if trimmed.starts_with('{') && trimmed.ends_with('}') && trimmed.len() > 2 {
+            if let Some(row) = parse_object(trimmed) {
+                rows.push(row);
+            }
+        } else if let Some(row) = parse_object(&format!("{{{trimmed}}}")) {
+            // A `"key": value` header line parses as a one-field object.
+            if row.len() == 1 {
+                header.extend(row);
+            }
+        }
+    }
+    (header, rows)
+}
+
+/// Parses one `{"k": v, ...}` object with string/number/bool values.
+fn parse_object(s: &str) -> Option<Row> {
+    let mut row = Row::new();
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i] as char).is_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    loop {
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Some(row);
+        }
+        // Key.
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        let key = s.get(key_start..i)?.to_string();
+        i += 1; // closing quote
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        // Value.
+        let value = if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            let val_start = i;
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            let raw = s.get(val_start..i)?;
+            i += 1;
+            JsonVal::Str(raw.replace("\\\"", "\"").replace("\\\\", "\\"))
+        } else if s[i..].starts_with("true") {
+            i += 4;
+            JsonVal::Bool(true)
+        } else if s[i..].starts_with("false") {
+            i += 5;
+            JsonVal::Bool(false)
+        } else {
+            let val_start = i;
+            while i < bytes.len() && !matches!(bytes[i], b',' | b'}' | b']') {
+                i += 1;
+            }
+            JsonVal::Num(s.get(val_start..i)?.trim().parse::<f64>().ok()?)
+        };
+        row.insert(key, value);
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// The lower-is-better metric of a row, if the row is gateable.
+///
+/// * `serve_seconds` (figure benches) and `seconds_per_request` (the serve
+///   bench) gate directly.
+/// * `speedup` rows (fused-vs-seed) gate inverted: a shrinking speedup is a
+///   regression, and the ratio is machine-independent.
+pub fn gate_metric(row: &Row) -> Option<(&'static str, f64)> {
+    if let Some(JsonVal::Num(v)) = row.get("seconds_per_request") {
+        return Some(("seconds_per_request", *v));
+    }
+    if let Some(JsonVal::Num(v)) = row.get("speedup") {
+        return (*v > 0.0).then(|| ("1/speedup", 1.0 / *v));
+    }
+    if let Some(JsonVal::Num(v)) = row.get("serve_seconds") {
+        return Some(("serve_seconds", *v));
+    }
+    None
+}
+
+/// The identity of a row: every string/bool/integer field, sorted by field
+/// name — measurements excluded (by the [`MEASUREMENT_FIELDS`] denylist and
+/// by numeric type for unknown float fields).
+pub fn row_key(row: &Row) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (name, value) in row {
+        if MEASUREMENT_FIELDS.contains(&name.as_str()) {
+            continue;
+        }
+        if let Some(part) = value.as_key_part() {
+            parts.push(format!("{name}={part}"));
+        }
+    }
+    parts.join(" ")
+}
+
+/// One row's comparison outcome.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// The row identity (see [`row_key`]).
+    pub key: String,
+    /// Which metric was gated.
+    pub metric: &'static str,
+    /// Baseline metric value.
+    pub baseline: f64,
+    /// Current metric value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Ratio divided by the run's median ratio.
+    pub normalized: f64,
+    /// Whether the normalized ratio breached the tolerance.
+    pub failed: bool,
+}
+
+/// The whole gate verdict.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-row outcomes, in baseline order.
+    pub rows: Vec<GateRow>,
+    /// Median `current / baseline` ratio (the machine-speed correction).
+    pub median_ratio: f64,
+    /// Rows present in current but not in baseline (informational).
+    pub unmatched_current: usize,
+    /// Rows present in baseline but missing from current (each a failure:
+    /// a silently dropped measurement must not pass the gate).
+    pub missing_in_current: Vec<String>,
+    /// The per-row tolerance on the normalized ratio.
+    pub tolerance: f64,
+    /// The cap on the median ratio itself.
+    pub median_cap: f64,
+}
+
+impl GateReport {
+    /// `true` when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.missing_in_current.is_empty()
+            && self.median_ratio <= self.median_cap
+            && self.rows.iter().all(|r| !r.failed)
+    }
+
+    /// A human-readable comparison table (the CI artifact body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "regression gate: tolerance {:.2}x (normalized), median cap {:.2}x",
+            self.tolerance, self.median_cap
+        );
+        let _ = writeln!(
+            out,
+            "median current/baseline ratio: {:.3} ({} rows, {} current-only)",
+            self.median_ratio,
+            self.rows.len(),
+            self.unmatched_current
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "  [{}] {}  {}: base {:.6} cur {:.6} ratio {:.3} norm {:.3}",
+                if row.failed { "FAIL" } else { " ok " },
+                row.key,
+                row.metric,
+                row.baseline,
+                row.current,
+                row.ratio,
+                row.normalized,
+            );
+        }
+        for key in &self.missing_in_current {
+            let _ = writeln!(out, "  [FAIL] {key}  missing from current run");
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Compares two digests row by row. `tolerance` bounds each normalized
+/// ratio; `median_cap` bounds the median raw ratio (see module docs).
+pub fn compare(baseline: &str, current: &str, tolerance: f64, median_cap: f64) -> GateReport {
+    let (_, base_rows) = parse_digest(baseline);
+    let (_, cur_rows) = parse_digest(current);
+    let mut current_by_key: BTreeMap<String, f64> = BTreeMap::new();
+    for row in &cur_rows {
+        if let Some((_, value)) = gate_metric(row) {
+            current_by_key.insert(row_key(row), value);
+        }
+    }
+
+    let mut pairs: Vec<(String, &'static str, f64, f64)> = Vec::new();
+    let mut missing_in_current = Vec::new();
+    let mut matched = 0usize;
+    for row in &base_rows {
+        if let Some((metric, base_value)) = gate_metric(row) {
+            let key = row_key(row);
+            match current_by_key.get(&key) {
+                Some(&cur_value) => {
+                    matched += 1;
+                    pairs.push((key, metric, base_value, cur_value));
+                }
+                None => missing_in_current.push(key),
+            }
+        }
+    }
+    let unmatched_current = current_by_key.len() - matched;
+
+    let mut ratios: Vec<f64> = pairs
+        .iter()
+        .map(
+            |(_, _, base, cur)| {
+                if *base > 0.0 {
+                    cur / base
+                } else {
+                    1.0
+                }
+            },
+        )
+        .collect();
+    let median_ratio = median(&mut ratios.clone());
+
+    let rows: Vec<GateRow> = pairs
+        .into_iter()
+        .zip(ratios.drain(..))
+        .map(|((key, metric, baseline, current), ratio)| {
+            let normalized = if median_ratio > 0.0 {
+                ratio / median_ratio
+            } else {
+                ratio
+            };
+            GateRow {
+                key,
+                metric,
+                baseline,
+                current,
+                ratio,
+                normalized,
+                failed: normalized > tolerance,
+            }
+        })
+        .collect();
+
+    GateReport {
+        rows,
+        median_ratio,
+        unmatched_current,
+        missing_in_current,
+        tolerance,
+        median_cap,
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        0.5 * (xs[mid - 1] + xs[mid])
+    }
+}
+
+/// Artificially slows one gateable row of `digest` by `factor` — the gate's
+/// self-test: a gate that cannot fail is not a gate, so CI perturbs a real
+/// digest and asserts the comparison FAILs before trusting a PASS.
+pub fn inject_slowdown(digest: &str, factor: f64) -> String {
+    let mut injected = false;
+    let mut out = String::new();
+    for line in digest.lines() {
+        let mut emitted = false;
+        if !injected {
+            let trimmed = line.trim().trim_end_matches(',');
+            if trimmed.starts_with('{') {
+                if let Some(row) = parse_object(trimmed) {
+                    if let Some((metric, value)) = gate_metric(&row) {
+                        // Rewrite only the metric field, preserving the rest
+                        // of the line verbatim.
+                        let field = match metric {
+                            "1/speedup" => "speedup",
+                            other => other,
+                        };
+                        let new_value = match metric {
+                            "1/speedup" => value.recip() / factor,
+                            _ => value * factor,
+                        };
+                        if let Some(start) = line.find(&format!("\"{field}\":")) {
+                            // Replace the numeric span between the colon and
+                            // the next delimiter.
+                            let value_start = start + field.len() + 3;
+                            if let Some(rel_end) = line[value_start..].find([',', '}']) {
+                                let value_end = value_start + rel_end;
+                                out.push_str(&line[..value_start]);
+                                out.push_str(&format!(" {new_value:.6}"));
+                                out.push_str(&line[value_end..]);
+                                out.push('\n');
+                                injected = true;
+                                emitted = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !emitted {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIGEST: &str = r#"{
+  "bench": "BENCH_T",
+  "scale": 1,
+  "kernel": "avx2-fma",
+  "git_sha": "abc123",
+  "host_threads": 4,
+  "results": [
+    {"dataset": "Netflix", "strategy": "Blocked MM", "k": 1, "build_seconds": 0.000010, "serve_seconds": 0.100000, "kernel": "avx2-fma"},
+    {"dataset": "Netflix", "strategy": "LEMP", "k": 1, "build_seconds": 0.200000, "serve_seconds": 0.400000, "kernel": "avx2-fma"},
+    {"dataset": "KDD", "strategy": "Blocked MM", "k": 5, "build_seconds": 0.000010, "serve_seconds": 0.250000, "kernel": "avx2-fma"}
+  ],
+  "bmm_fusion_vs_seed_scalar": [
+    {"dataset": "Netflix", "k": 1, "fused_seconds": 0.010000, "seed_scalar_seconds": 0.070000, "speedup": 7.000}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_header_and_rows() {
+        let (header, rows) = parse_digest(DIGEST);
+        assert_eq!(header.get("bench"), Some(&JsonVal::Str("BENCH_T".into())));
+        assert_eq!(header.get("host_threads"), Some(&JsonVal::Num(4.0)));
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows[0].get("serve_seconds"),
+            Some(&JsonVal::Num(0.1)),
+            "{rows:?}"
+        );
+        let key = row_key(&rows[0]);
+        assert!(
+            key.contains("dataset=Netflix") && key.contains("k=1"),
+            "{key}"
+        );
+        assert!(
+            !key.contains("serve_seconds"),
+            "measurements excluded: {key}"
+        );
+    }
+
+    #[test]
+    fn identical_digests_pass() {
+        let report = compare(DIGEST, DIGEST, 1.5, 6.0);
+        assert_eq!(report.rows.len(), 4);
+        assert!((report.median_ratio - 1.0).abs() < 1e-12);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn uniform_machine_speed_difference_passes() {
+        // The "current machine" is uniformly 2.5x slower: median
+        // normalization absorbs it.
+        let slower = DIGEST
+            .lines()
+            .map(|l| {
+                let mut l = l.to_string();
+                for field in ["serve_seconds", "fused_seconds", "seed_scalar_seconds"] {
+                    if let Some(start) = l.find(&format!("\"{field}\": ")) {
+                        let vs = start + field.len() + 4;
+                        let end = vs + l[vs..].find([',', '}']).unwrap();
+                        let v: f64 = l[vs..end].parse().unwrap();
+                        l = format!("{}{:.6}{}", &l[..vs], v * 2.5, &l[end..]);
+                    }
+                }
+                l
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = compare(DIGEST, &slower, 1.5, 6.0);
+        assert!(report.passed(), "{}", report.render());
+        assert!((report.median_ratio - 2.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_row_slowdown_fails_the_gate() {
+        let slowed = inject_slowdown(DIGEST, 10.0);
+        assert_ne!(slowed, DIGEST, "injection must change the digest");
+        let report = compare(DIGEST, &slowed, 1.5, 6.0);
+        assert!(!report.passed(), "{}", report.render());
+        assert_eq!(report.rows.iter().filter(|r| r.failed).count(), 1);
+    }
+
+    #[test]
+    fn across_the_board_catastrophe_trips_the_median_cap() {
+        let slowed = DIGEST.replace("\"serve_seconds\": 0.", "\"serve_seconds\": 9.");
+        let report = compare(DIGEST, &slowed, 1.5, 6.0);
+        assert!(report.median_ratio > 6.0);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn missing_rows_fail_instead_of_passing_silently() {
+        let truncated: String = DIGEST
+            .lines()
+            .filter(|l| !l.contains("\"strategy\": \"LEMP\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = compare(DIGEST, &truncated, 1.5, 6.0);
+        assert_eq!(report.missing_in_current.len(), 1);
+        assert!(!report.passed());
+        // The reverse direction (new rows in current) is fine.
+        let report = compare(&truncated, DIGEST, 1.5, 6.0);
+        assert!(report.passed());
+        assert_eq!(report.unmatched_current, 1);
+    }
+
+    #[test]
+    fn speedup_rows_gate_inverted() {
+        // Fusion speedup collapsing from 7x to 2x is a regression even
+        // though no absolute time moved.
+        let collapsed = DIGEST.replace("\"speedup\": 7.000", "\"speedup\": 2.000");
+        let report = compare(DIGEST, &collapsed, 1.5, 6.0);
+        assert!(!report.passed(), "{}", report.render());
+    }
+}

@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use mips_core::bmm::BmmSolver;
 use mips_core::engine::{Engine, EngineBuilder, QueryRequest};
 use mips_core::maximus::MaximusConfig;
@@ -287,18 +289,79 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the `BENCH_2.json` document: run metadata (scale, kernel), the
-/// per-strategy/per-k end-to-end rows, and the fused-vs-seed BMM speedups.
-/// Hand-rolled JSON keeps the harness dependency-free.
-pub fn render_bench_json(scale: f64, records: &[BenchRecord], fusion: &[FusionRecord]) -> String {
+/// Run metadata stamped into every machine-readable bench digest, so
+/// BENCH_* files are comparable across PRs: which bench produced it, at
+/// what scale, under which kernel, from which commit, on how many cores.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// The digest's name (`"BENCH_2"`, `"BENCH_3"`, …) — also the default
+    /// output file stem, so benches never hardcode each other's paths.
+    pub bench: String,
+    /// The `MIPS_SCALE` the models were built at.
+    pub scale: f64,
+    /// Active SIMD kernel set name.
+    pub kernel: String,
+    /// `git rev-parse --short HEAD` at run time (`"unknown"` outside a
+    /// checkout).
+    pub git_sha: String,
+    /// `std::thread::available_parallelism()` on the host.
+    pub host_threads: usize,
+}
+
+impl BenchMeta {
+    /// Collects the metadata for the named bench at the current scale.
+    pub fn collect(bench: &str) -> BenchMeta {
+        BenchMeta {
+            bench: bench.to_string(),
+            scale: scale(),
+            kernel: kernel_name().to_string(),
+            git_sha: git_short_sha(),
+            host_threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+
+    fn render_header(&self, out: &mut String) {
+        out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!(
+            "  \"kernel\": \"{}\",\n",
+            json_escape(&self.kernel)
+        ));
+        out.push_str(&format!(
+            "  \"git_sha\": \"{}\",\n",
+            json_escape(&self.git_sha)
+        ));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+    }
+}
+
+/// The short git sha of the working tree, `"unknown"` when unavailable.
+pub fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders a figure-bench digest (the `BENCH_2.json` shape): run metadata,
+/// the per-strategy/per-k end-to-end rows, and the fused-vs-seed BMM
+/// speedups. Hand-rolled JSON keeps the harness dependency-free.
+pub fn render_bench_json(
+    meta: &BenchMeta,
+    records: &[BenchRecord],
+    fusion: &[FusionRecord],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"BENCH_2\",\n");
-    out.push_str(&format!("  \"scale\": {scale},\n"));
-    out.push_str(&format!(
-        "  \"kernel\": \"{}\",\n",
-        json_escape(kernel_name())
-    ));
+    meta.render_header(&mut out);
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -309,7 +372,7 @@ pub fn render_bench_json(scale: f64, records: &[BenchRecord], fusion: &[FusionRe
             r.k,
             r.build_seconds,
             r.serve_seconds,
-            json_escape(kernel_name()),
+            json_escape(&meta.kernel),
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -332,14 +395,83 @@ pub fn render_bench_json(scale: f64, records: &[BenchRecord], fusion: &[FusionRe
     out
 }
 
-/// Where `bench_json` writes its digest: `MIPS_BENCH_OUT` if set, else
-/// `BENCH_2.json` at the workspace root (benches run with the package as
-/// cwd, so the default is anchored to the manifest).
-pub fn bench_json_path() -> std::path::PathBuf {
+/// Where a digest bench writes its output: `MIPS_BENCH_OUT` if set, else
+/// `<bench>.json` at the workspace root — the name is derived from the
+/// bench's own [`BenchMeta`], never hardcoded (benches run with the package
+/// as cwd, so the default is anchored to the manifest).
+pub fn bench_out_path(meta: &BenchMeta) -> std::path::PathBuf {
     match std::env::var("MIPS_BENCH_OUT") {
         Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
-        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_2.json"),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("{}.json", meta.bench)),
     }
+}
+
+/// One serving-runtime measurement: a traffic workload pushed through a
+/// [`mips_core::serve::MipsServer`] configuration.
+#[derive(Debug, Clone)]
+pub struct ServeRecord {
+    /// Dataset family the model stands in for.
+    pub dataset: String,
+    /// Workload label (`"single-user"`, `"mixed"`, …).
+    pub workload: String,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// User shards.
+    pub shards: usize,
+    /// Whether micro-batching was enabled.
+    pub batching: bool,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Deadline-flush window in microseconds (0 = adaptive only).
+    pub batch_window_us: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Mean sub-requests per solver call (1.0 = no coalescing happened).
+    pub mean_batch: f64,
+    /// Throughput in requests per second.
+    pub requests_per_sec: f64,
+    /// The gate metric: wall seconds per request (1 / throughput).
+    pub seconds_per_request: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// Renders the serving-runtime digest (the `BENCH_3.json` shape): run
+/// metadata plus one row per (dataset, workload, server config).
+pub fn render_serve_json(meta: &BenchMeta, records: &[ServeRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    meta.render_header(&mut out);
+    out.push_str("  \"serve\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"workload\": \"{}\", \"workers\": {}, \
+             \"shards\": {}, \"batching\": {}, \"max_batch\": {}, \"batch_window_us\": {}, \
+             \"requests\": {}, \"mean_batch\": {:.2}, \"requests_per_sec\": {:.2}, \
+             \"seconds_per_request\": {:.8}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+            json_escape(&r.dataset),
+            json_escape(&r.workload),
+            r.workers,
+            r.shards,
+            r.batching,
+            r.max_batch,
+            r.batch_window_us,
+            r.requests,
+            r.mean_batch,
+            r.requests_per_sec,
+            r.seconds_per_request,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
 }
 
 /// A minimal fixed-width table printer for bench output.

@@ -8,7 +8,7 @@
 //! while running 2–3× faster, so MAXIMUS uses k-means.
 //!
 //! Provided here:
-//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and empty-cluster
+//! * [`kmeans`](mod@kmeans) — Lloyd's algorithm with k-means++ seeding and empty-cluster
 //!   repair,
 //! * [`spherical`] — spherical k-means (unit-norm centroids, cosine
 //!   objective), kept for the lesion comparison,

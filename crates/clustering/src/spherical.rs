@@ -1,11 +1,11 @@
-//! Spherical k-means: the clustering Koenigstein et al. [18] used.
+//! Spherical k-means: the clustering Koenigstein et al. \[18\] used.
 //!
 //! Identical to Lloyd's algorithm except that (a) the objective is cosine
 //! dissimilarity and (b) centroids are projected back onto the unit sphere
 //! after every update. Minimizing angular distance directly yields tighter
 //! θ_b bounds than Euclidean k-means, but the paper measured the gap at only
 //! ~7 % while Euclidean k-means ran 2–3× faster — hence MAXIMUS ships with
-//! [`crate::kmeans`] and this variant exists for the lesion study.
+//! [`crate::kmeans`](mod@crate::kmeans) and this variant exists for the lesion study.
 
 use crate::kmeans::{Clustering, KMeansConfig};
 use mips_linalg::kernels::{dist2_sq, dot, norm2, normalize};

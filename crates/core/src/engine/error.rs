@@ -54,6 +54,20 @@ pub enum MipsError {
         /// Human-readable cause.
         message: String,
     },
+    /// The serving runtime refused a submission because its bounded queue
+    /// is full (backpressure; retry later or use the blocking `submit`).
+    ServerOverloaded {
+        /// The queue bound that was hit, in sub-requests.
+        capacity: usize,
+    },
+    /// The serving runtime is shutting down and no longer accepts work.
+    ServerShutdown,
+    /// A worker thread panicked while serving this request (the runtime
+    /// itself survives; other requests are unaffected).
+    WorkerPanicked {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for MipsError {
@@ -86,6 +100,16 @@ impl std::fmt::Display for MipsError {
             MipsError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
             MipsError::BackendBuild { key, message } => {
                 write!(f, "backend {key:?} failed to build: {message}")
+            }
+            MipsError::ServerOverloaded { capacity } => {
+                write!(
+                    f,
+                    "server overloaded: submission queue at capacity ({capacity} sub-requests)"
+                )
+            }
+            MipsError::ServerShutdown => write!(f, "server is shutting down"),
+            MipsError::WorkerPanicked { message } => {
+                write!(f, "serving worker panicked: {message}")
             }
         }
     }

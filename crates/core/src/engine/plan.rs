@@ -67,6 +67,11 @@ impl PreparedPlan {
         self.winner.as_ref()
     }
 
+    /// The model the plan serves (shared with the engine that prepared it).
+    pub(crate) fn model(&self) -> &Arc<MfModel> {
+        &self.model
+    }
+
     /// Serves one request with the cached winning backend — no re-planning,
     /// no re-sampling.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, MipsError> {

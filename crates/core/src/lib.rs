@@ -8,12 +8,12 @@
 //! baseline ports — behind one fallible, pluggable facade:
 //!
 //! * [`engine`] — **the primary public API.** An
-//!   [`EngineBuilder`](engine::EngineBuilder) assembles a model with a set
-//!   of registered backends; [`QueryRequest`](engine::QueryRequest) /
-//!   [`QueryResponse`](engine::QueryResponse) express per-request `k`,
+//!   [`EngineBuilder`] assembles a model with a set
+//!   of registered backends; [`QueryRequest`] /
+//!   [`QueryResponse`] express per-request `k`,
 //!   user ranges or explicit id lists, and per-user item exclusions;
 //!   every entry point returns `Result<_, MipsError>` instead of
-//!   panicking; and [`PreparedPlan`](engine::PreparedPlan) caches the
+//!   panicking; and [`PreparedPlan`] caches the
 //!   planner's choice so repeated requests never re-sample.
 //! * [`bmm`] — the hardware-efficient brute force (§II-B): one blocked
 //!   matrix multiply per user batch followed by heap-based top-k
@@ -32,6 +32,11 @@
 //! * [`parallel`] — user-partitioned multi-core serving (Fig. 6). New code
 //!   reaches it by setting [`engine::EngineConfig::threads`]; the free
 //!   functions remain for direct solver access.
+//! * [`serve`] — the sharded concurrent serving runtime: a
+//!   [`MipsServer`] fronts an engine with contiguous
+//!   user shards, a persistent worker pool behind a bounded submission
+//!   queue, dynamic micro-batching of small same-`(shard, k)` requests,
+//!   and per-shard latency/throughput metrics.
 //! * [`verify`] — a semantic exactness checker used throughout the test
 //!   suite.
 //!
@@ -61,6 +66,7 @@ pub mod engine;
 pub mod maximus;
 pub mod optimus;
 pub mod parallel;
+pub mod serve;
 pub mod solver;
 pub mod verify;
 
@@ -72,4 +78,8 @@ pub use engine::{
 };
 pub use maximus::{MaximusConfig, MaximusIndex};
 pub use optimus::{Optimus, OptimusConfig, OptimusOutcome};
+pub use serve::{
+    LatencySnapshot, MipsServer, ResponseHandle, ServerBuilder, ServerConfig, ServerMetrics,
+    ShardMetrics,
+};
 pub use solver::{MipsSolver, Strategy};

@@ -30,7 +30,7 @@ use std::time::Instant;
 /// Which clustering algorithm groups the users (§III-A).
 ///
 /// The ideal objective is angular (spherical clustering, as in Koenigstein
-/// et al. [18]); the paper measures plain Euclidean k-means within ~7 % of
+/// et al. \[18\]); the paper measures plain Euclidean k-means within ~7 % of
 /// spherical's θ_b quality at 2–3× less cost and ships it as the default.
 /// Both remain available so the trade-off can be reproduced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

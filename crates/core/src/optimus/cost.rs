@@ -3,7 +3,7 @@
 //!
 //! Dense matrix multiply is compute-bound, so its runtime is well predicted
 //! by `FLOPs / sustained FLOP rate`. The paper derives the rate from CPU
-//! datasheets [14]; lacking a datasheet for arbitrary hosts, we *calibrate*
+//! datasheets \[14\]; lacking a datasheet for arbitrary hosts, we *calibrate*
 //! the sustained rate once with a short measurement — same model, same
 //! limitation: it predicts only the multiply stage, not the data-dependent
 //! top-k selection, which is why OPTIMUS's production path uses online

@@ -18,11 +18,17 @@ use crate::solver::MipsSolver;
 use mips_topk::TopKList;
 use std::ops::Range;
 
-/// Splits `0..n` item positions into at most `threads` contiguous chunks.
-fn chunk_bounds(n: usize, threads: usize) -> Vec<Range<usize>> {
-    let threads = threads.min(n).max(1);
-    let chunk = n.div_ceil(threads);
-    let mut bounds = Vec::with_capacity(threads);
+/// Splits `0..n` positions into at most `parts` contiguous chunks, each of
+/// (near-)equal size; the final chunk is shorter when the division is
+/// ragged, and `n == 0` yields no chunks.
+///
+/// This is the partitioning rule for both the thread-per-chunk multi-core
+/// path below and the [`crate::serve`] runtime's user shards, so the two
+/// layers agree on where boundaries fall.
+pub fn chunk_bounds(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.min(n).max(1);
+    let chunk = n.div_ceil(parts);
+    let mut bounds = Vec::with_capacity(parts);
     let mut start = 0;
     while start < n {
         let end = (start + chunk).min(n);

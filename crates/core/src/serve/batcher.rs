@@ -1,0 +1,164 @@
+//! The dynamic micro-batcher: coalescing small requests into one solver
+//! call.
+//!
+//! The paper's central measurement is that batched GEMM amortizes per-query
+//! work — a `32 × f · f × n` multiply is far cheaper than 32 separate
+//! `1 × f` passes over the item matrix (§II-B; LEMP makes the same
+//! observation with bucket-batched probing). Single-user traffic squanders
+//! that, so the batcher coalesces queued sub-requests that target the same
+//! `(shard, k)` into one `query_subset` call:
+//!
+//! * **Adaptive flush (default).** A worker pops one sub-request, then
+//!   extracts every queued match up to `max_batch`. Under light load the
+//!   queue is empty and requests serve solo with zero added latency; under
+//!   heavy load a backlog forms and batches fill — throughput rises exactly
+//!   when it is needed.
+//! * **Deadline flush (`batch_window > 0`).** After draining the backlog a
+//!   worker holds the partial batch open for the window, absorbing
+//!   arrivals, then flushes. Trades bounded latency for larger batches on
+//!   trickling traffic.
+//!
+//! Coalescing is transparent: every solver's `query_subset` produces
+//! per-user results that are independent of batch composition (the stress
+//! suite asserts bit-identical results against sequential
+//! [`Engine::execute`](crate::engine::Engine::execute) calls), and
+//! exclusion-carrying sub-requests are never coalesced, because two
+//! requests may exclude different items for the same user.
+
+use super::queue::{BatchKey, SubmitQueue};
+use super::shard::{ShardEngine, SubRequest, SubUsers};
+use crate::engine::serve;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Flush policy for the micro-batcher.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchPolicy {
+    pub(crate) enabled: bool,
+    pub(crate) max_batch: usize,
+    pub(crate) window: Duration,
+}
+
+/// Gathers the micro-batch led by `first`: drains queued matches, then
+/// (with a deadline policy) holds the batch open for the window.
+pub(crate) fn collect_batch(
+    queue: &SubmitQueue,
+    first: SubRequest,
+    policy: &BatchPolicy,
+) -> Vec<SubRequest> {
+    let key = BatchKey::of(&first);
+    // `max_batch` budgets the coalesced solver call in *users*: a batch of
+    // 32 single-user requests and a batch of four 8-user requests cost the
+    // same, and a small request is never made to wait behind a coalesced
+    // call bigger than the knob promises.
+    let mut budget = policy.max_batch.saturating_sub(first.users.len());
+    let mut batch = vec![first];
+    queue.extract_matching(key, budget, policy.max_batch, &mut batch);
+    budget = policy
+        .max_batch
+        .saturating_sub(batch.iter().map(|s| s.users.len()).sum());
+    if budget > 0 && !policy.window.is_zero() {
+        let deadline = batch[0].submitted_at + policy.window;
+        queue.extract_until(
+            key,
+            policy.max_batch,
+            policy.max_batch,
+            deadline,
+            &mut batch,
+        );
+    }
+    batch
+}
+
+/// Executes one batch (one or many coalesced sub-requests) on its shard,
+/// scattering results back into each pending response. Request-level
+/// completion metrics roll up inside the pending itself, before any waiter
+/// wakes. `progress` counts subs whose shard `completed` counter has been
+/// bumped — the worker's panic handler uses it to settle the remainder so
+/// `submitted == completed` holds even across backend panics.
+pub(crate) fn execute_batch(shard: &ShardEngine, batch: Vec<SubRequest>, progress: &AtomicUsize) {
+    debug_assert!(!batch.is_empty());
+    debug_assert!(batch.iter().all(|s| s.shard == shard.index));
+    let k = batch[0].k;
+    let settle_one = |sub: &SubRequest| {
+        shard.counters.add(&shard.counters.completed, 1);
+        shard
+            .counters
+            .latency
+            .record_ns(sub.submitted_at.elapsed().as_nanos() as u64);
+        progress.fetch_add(1, Ordering::Relaxed);
+    };
+
+    let plan = match shard.plan(k) {
+        Ok(plan) => plan,
+        Err(error) => {
+            for sub in &batch {
+                settle_one(sub);
+                sub.pending.fail(error.clone());
+            }
+            return;
+        }
+    };
+    let model = plan.model();
+    let solver = plan.solver();
+
+    let started = Instant::now();
+    let outcome = if batch.len() == 1 {
+        // Solo path: ranges stay ranges, exclusions allowed.
+        let request = batch[0].to_request();
+        serve(model, solver, 1, &request, true).map(|r| r.results)
+    } else {
+        // Coalesced path: concatenate ids into one gathered batch. Repeats
+        // across sub-requests are fine — the solver's dedup fans results
+        // back out per occurrence.
+        let mut users: Vec<usize> = Vec::with_capacity(batch.iter().map(|s| s.users.len()).sum());
+        for sub in &batch {
+            match &sub.users {
+                SubUsers::Range { users: r, .. } => users.extend(r.clone()),
+                SubUsers::Ids { users: ids, .. } => users.extend_from_slice(ids),
+            }
+        }
+        let request = crate::engine::QueryRequest {
+            k,
+            users: crate::engine::UserSelection::Ids(users),
+            exclude: None,
+        };
+        serve(model, solver, 1, &request, true).map(|r| r.results)
+    };
+    let busy_ns = started.elapsed().as_nanos() as u64;
+
+    // Roll up shard counters before scattering so metrics never lag the
+    // caller's wakeup.
+    let total_users: usize = batch.iter().map(|s| s.users.len()).sum();
+    shard.counters.add(&shard.counters.batches, 1);
+    shard.counters.add(&shard.counters.busy_ns, busy_ns);
+    shard
+        .counters
+        .add(&shard.counters.users_served, total_users as u64);
+    if batch.len() > 1 {
+        shard
+            .counters
+            .add(&shard.counters.coalesced, batch.len() as u64);
+    }
+
+    match outcome {
+        Ok(mut results) => {
+            debug_assert_eq!(results.len(), total_users);
+            // Scatter back to front so each split_off is O(its own slice).
+            for sub in batch.iter().rev() {
+                let lists = results.split_off(results.len() - sub.users.len());
+                // Count and time *before* completing: the last completion
+                // wakes the waiter, and metrics must already be consistent
+                // when it reads them.
+                settle_one(sub);
+                sub.pending.complete(&sub.users, lists, plan.backend_name());
+            }
+        }
+        Err(error) => {
+            for sub in &batch {
+                settle_one(sub);
+                sub.pending.fail(error.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Lock-free serving counters: per-shard throughput and latency.
+//!
+//! Workers record into atomics on every completed sub-request, so metrics
+//! collection never contends with serving. Latencies go into a logarithmic
+//! histogram (one power-of-two bucket per nanosecond magnitude), which is
+//! enough resolution for the p50/p99 figures the bench reports while
+//! keeping `record` to two atomic adds.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets (2^0 ns .. 2^63 ns).
+const BUCKETS: usize = 64;
+
+/// A concurrent log2 latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds; quantiles are
+/// read back with geometric interpolation inside the winning bucket, so the
+/// reported p50/p99 carry at most a factor-of-√2 bucketing error — plenty
+/// for regression tracking across PRs.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A histogram with all buckets empty.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshots the histogram into plain numbers.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        LatencySnapshot {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64 / 1e3
+            },
+            p50_us: quantile_us(&counts, 0.50),
+            p99_us: quantile_us(&counts, 0.99),
+            max_us: self.max_ns.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+}
+
+/// The quantile `q` of a bucketed sample, in microseconds.
+///
+/// The total is derived from the bucket counts themselves (not the
+/// histogram's separate `count` atomic): a concurrent `record_ns` between
+/// the two loads could otherwise make the rank exceed the bucket sum and
+/// the scan walk off the end.
+fn quantile_us(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Rank of the sample we are after (1-based, clamped into range).
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            // Interpolate geometrically inside bucket [2^i, 2^(i+1)).
+            let within = (rank - seen) as f64 / c as f64;
+            let low = (1u64 << i) as f64;
+            return low * (1.0 + within) / 1e3;
+        }
+        seen += c;
+    }
+    unreachable!("rank is clamped to the bucket sum")
+}
+
+/// Plain-number view of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds (log-bucket resolution).
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds (log-bucket resolution).
+    pub p99_us: f64,
+    /// Largest single latency in microseconds.
+    pub max_us: f64,
+}
+
+/// One shard's serving counters, updated lock-free by the worker pool.
+#[derive(Default)]
+pub struct ShardCounters {
+    /// Sub-requests routed to this shard.
+    pub(crate) submitted: AtomicU64,
+    /// Sub-requests completed (success or failure).
+    pub(crate) completed: AtomicU64,
+    /// Solver invocations (a micro-batch counts once).
+    pub(crate) batches: AtomicU64,
+    /// Sub-requests that shared their solver invocation with at least one
+    /// other sub-request (i.e. were actually coalesced).
+    pub(crate) coalesced: AtomicU64,
+    /// Individual user top-k lists produced.
+    pub(crate) users_served: AtomicU64,
+    /// Nanoseconds spent inside solver calls for this shard.
+    pub(crate) busy_ns: AtomicU64,
+    /// Sub-request latency, submission to completion.
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ShardCounters {
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counters for shard `shard` covering `users`.
+    pub(crate) fn snapshot(&self, shard: usize, users: Range<usize>) -> ShardMetrics {
+        ShardMetrics {
+            shard,
+            users,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            users_served: self.users_served.load(Ordering::Relaxed),
+            busy_seconds: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time view of one shard's counters.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// The contiguous user range this shard owns.
+    pub users: Range<usize>,
+    /// Sub-requests routed to this shard so far.
+    pub submitted: u64,
+    /// Sub-requests completed so far.
+    pub completed: u64,
+    /// Solver invocations (one per micro-batch).
+    pub batches: u64,
+    /// Sub-requests that were coalesced into a shared batch.
+    pub coalesced: u64,
+    /// User top-k lists produced.
+    pub users_served: u64,
+    /// Wall-clock seconds spent inside solver calls.
+    pub busy_seconds: f64,
+    /// Sub-request latency distribution (submission → completion).
+    pub latency: LatencySnapshot,
+}
+
+/// Server-wide counters (request granularity, across all shards).
+#[derive(Default)]
+pub(crate) struct ServerCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+/// Point-in-time view of a whole [`super::MipsServer`].
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// Requests accepted by `submit`/`try_submit`.
+    pub submitted: u64,
+    /// Requests fully served (all shards reassembled).
+    pub completed: u64,
+    /// Requests bounced by backpressure (`try_submit` on a full queue).
+    pub rejected: u64,
+    /// Requests that completed with an error (worker panic, plan failure).
+    pub failed: u64,
+    /// End-to-end request latency (submission → reassembled response).
+    pub latency: LatencySnapshot,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl ServerMetrics {
+    /// Total micro-batches executed across shards.
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Total sub-requests that shared a batch, across shards.
+    pub fn coalesced(&self) -> u64 {
+        self.shards.iter().map(|s| s.coalesced).sum()
+    }
+
+    /// Mean sub-requests per solver invocation (1.0 = no coalescing).
+    pub fn mean_batch_size(&self) -> f64 {
+        let (sub, batches) = self
+            .shards
+            .iter()
+            .fold((0u64, 0u64), |(s, b), m| (s + m.completed, b + m.batches));
+        if batches == 0 {
+            0.0
+        } else {
+            sub as f64 / batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_ns(1_000); // ~1us
+        }
+        h.record_ns(1_000_000); // 1ms outlier
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        // p50 sits in the 1us bucket (512..1024ns → ~0.5-1.0us reported).
+        assert!(snap.p50_us >= 0.5 && snap.p50_us <= 2.1, "{snap:?}");
+        // p99 still below the outlier bucket, max catches it exactly.
+        assert!(snap.p99_us <= 2.1, "{snap:?}");
+        assert!((snap.max_us - 1_000.0).abs() < 1e-9);
+        assert!(snap.mean_us > 1.0 && snap.mean_us < 20.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap, LatencySnapshot::default());
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0);
+        assert_eq!(h.snapshot().count, 1);
+        assert!(h.snapshot().p50_us <= 0.01);
+    }
+}

@@ -1,0 +1,420 @@
+//! The sharded concurrent serving runtime: many requests, many cores, one
+//! model.
+//!
+//! [`crate::engine`] serves one request at a time inside a blocking call.
+//! This module turns that library into a traffic-serving system, the
+//! ROADMAP's "millions of users" north star:
+//!
+//! * **Sharding.** The model's users are split into contiguous ranges (the
+//!   paper's Fig. 6 partitioning), one `ShardEngine` per shard with its own
+//!   [`PreparedPlan`](crate::engine::PreparedPlan) cache and counters.
+//!   A request that straddles shards is split and its response reassembled
+//!   in request order — including id-lists and exclusion sets that cross
+//!   boundaries.
+//! * **A persistent worker pool** fed by a bounded multi-producer
+//!   submission queue. [`MipsServer::submit`] applies backpressure by
+//!   blocking; [`MipsServer::try_submit`] bounces with
+//!   [`MipsError::ServerOverloaded`] instead.
+//! * **Dynamic micro-batching.** Queued single-user/small sub-requests
+//!   targeting the same `(shard, k)` coalesce into one batched solver call
+//!   — the paper's batched-GEMM amortization applied to concurrent traffic
+//!   — flushing on a size ([`ServerBuilder::max_batch`]) or deadline
+//!   ([`ServerBuilder::batch_window`]) threshold.
+//! * **Observability.** Per-shard throughput/latency counters and
+//!   request-level p50/p99, via [`MipsServer::metrics`].
+//!
+//! Results are bit-identical to sequential [`Engine::execute`] calls; the
+//! concurrency is invisible except in the clock.
+//!
+//! ```
+//! use mips_core::engine::{EngineBuilder, QueryRequest};
+//! use mips_core::serve::ServerBuilder;
+//! use mips_data::synth::{synth_model, SynthConfig};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(synth_model(&SynthConfig {
+//!     num_users: 120, num_items: 200, num_factors: 8,
+//!     ..SynthConfig::default()
+//! }));
+//! let engine = Arc::new(
+//!     EngineBuilder::new().model(model).with_default_backends().build().unwrap(),
+//! );
+//! let server = ServerBuilder::new()
+//!     .engine(engine)
+//!     .shards(4)
+//!     .workers(2)
+//!     .build()
+//!     .unwrap();
+//! // Submit a few requests concurrently, then wait on each.
+//! let handles: Vec<_> = (0..8)
+//!     .map(|u| server.submit(&QueryRequest::top_k(5).users(vec![u])).unwrap())
+//!     .collect();
+//! for handle in handles {
+//!     assert_eq!(handle.wait().unwrap().results.len(), 1);
+//! }
+//! assert_eq!(server.metrics().completed, 8);
+//! ```
+
+mod batcher;
+mod metrics;
+mod queue;
+mod shard;
+mod worker;
+
+pub use metrics::{LatencyHistogram, LatencySnapshot, ServerMetrics, ShardMetrics};
+
+use crate::engine::{Engine, MipsError, QueryRequest, QueryResponse};
+use batcher::BatchPolicy;
+use metrics::ServerCounters;
+use queue::SubmitQueue;
+use shard::{Pending, ShardEngine, ShardRouter};
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the serving runtime. Zeroes mean "pick for me" where noted;
+/// [`ServerBuilder::build`] validates everything else.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// User shards (contiguous ranges). `0` = one per available core,
+    /// capped by the user count.
+    pub shards: usize,
+    /// Worker threads in the pool. `0` = match the shard count.
+    pub workers: usize,
+    /// Submission-queue bound, in sub-requests; the backpressure threshold.
+    pub queue_capacity: usize,
+    /// Master switch for micro-batching (off = every sub-request is its own
+    /// solver call).
+    pub batching: bool,
+    /// Largest micro-batch, in **users**: the budget for one coalesced
+    /// solver call, whether it is 32 single-user requests or four 8-user
+    /// ones. Sub-requests at or above this size are served solo.
+    pub max_batch: usize,
+    /// How long a worker holds a partial batch open for more arrivals.
+    /// Zero (the default) flushes adaptively: coalesce whatever is already
+    /// queued, never wait.
+    pub batch_window: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 0,
+            workers: 0,
+            queue_capacity: 1024,
+            batching: true,
+            max_batch: 32,
+            batch_window: Duration::ZERO,
+        }
+    }
+}
+
+/// Step-by-step assembly of a [`MipsServer`].
+#[derive(Default)]
+pub struct ServerBuilder {
+    engine: Option<Arc<Engine>>,
+    config: ServerConfig,
+}
+
+impl ServerBuilder {
+    /// An empty builder with default tunables.
+    pub fn new() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// The engine to serve (model + backends + planner). Shared: the same
+    /// engine can keep serving direct `execute` calls.
+    pub fn engine(mut self, engine: Arc<Engine>) -> ServerBuilder {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Sets the shard count (contiguous user ranges; `0` = auto).
+    pub fn shards(mut self, shards: usize) -> ServerBuilder {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the worker-pool size (`0` = one per shard).
+    pub fn workers(mut self, workers: usize) -> ServerBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the submission-queue bound (sub-requests).
+    pub fn queue_capacity(mut self, capacity: usize) -> ServerBuilder {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables micro-batching.
+    pub fn batching(mut self, enabled: bool) -> ServerBuilder {
+        self.config.batching = enabled;
+        self
+    }
+
+    /// Sets the micro-batch budget (users per coalesced solver call).
+    pub fn max_batch(mut self, max_batch: usize) -> ServerBuilder {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the deadline-flush window (zero = adaptive flush only).
+    pub fn batch_window(mut self, window: Duration) -> ServerBuilder {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: ServerConfig) -> ServerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Validates the assembly, spawns the worker pool, and returns the
+    /// running server.
+    pub fn build(self) -> Result<MipsServer, MipsError> {
+        let engine = self
+            .engine
+            .ok_or_else(|| MipsError::InvalidConfig("a server needs an engine".into()))?;
+        let mut config = self.config;
+        if config.shards == 0 {
+            config.shards = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+        }
+        if config.workers == 0 {
+            config.workers = config.shards;
+        }
+        if config.queue_capacity == 0 {
+            return Err(MipsError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if config.max_batch == 0 {
+            return Err(MipsError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        if config.queue_capacity < config.shards.min(engine.model().num_users()) {
+            // A request can split into one sub-request per shard; a queue
+            // smaller than that could only admit such a request into an
+            // empty queue, which sustained small traffic can starve forever.
+            return Err(MipsError::InvalidConfig(format!(
+                "queue_capacity ({}) must be at least the shard count ({}) \
+                 so any request can be admitted",
+                config.queue_capacity,
+                config.shards.min(engine.model().num_users())
+            )));
+        }
+
+        let router = ShardRouter::new(engine.model().num_users(), config.shards);
+        let shards: Vec<ShardEngine> = router
+            .bounds()
+            .iter()
+            .enumerate()
+            .map(|(i, users)| ShardEngine::new(i, users.clone(), Arc::clone(&engine)))
+            .collect();
+        let shared = Arc::new(ServerShared {
+            engine,
+            router,
+            shards,
+            queue: SubmitQueue::new(config.queue_capacity),
+            policy: BatchPolicy {
+                enabled: config.batching,
+                max_batch: config.max_batch,
+                window: config.batch_window,
+            },
+            counters: Arc::new(ServerCounters::default()),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mips-serve-{i}"))
+                    .spawn(move || worker::run_worker(shared))
+                    .map_err(|e| MipsError::InvalidConfig(format!("spawning worker {i}: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MipsServer { shared, workers })
+    }
+}
+
+/// State shared between the server handle and its workers.
+pub(crate) struct ServerShared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<ShardEngine>,
+    pub(crate) queue: SubmitQueue,
+    pub(crate) policy: BatchPolicy,
+    pub(crate) counters: Arc<ServerCounters>,
+    pub(crate) config: ServerConfig,
+}
+
+/// A waitable in-flight request returned by [`MipsServer::submit`].
+#[must_use = "wait() on the handle to get the response"]
+pub struct ResponseHandle {
+    pending: Arc<Pending>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request completes, returning the reassembled
+    /// response (or the first error any shard hit).
+    pub fn wait(self) -> Result<QueryResponse, MipsError> {
+        self.pending.wait()
+    }
+
+    /// Whether the request has already completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.pending.is_finished()
+    }
+}
+
+/// The sharded concurrent serving runtime. See the [module docs](self).
+pub struct MipsServer {
+    shared: Arc<ServerShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MipsServer {
+    /// Starts assembling a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The effective configuration (after `0 = auto` resolution).
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// The contiguous user range of each shard.
+    pub fn shard_bounds(&self) -> &[Range<usize>] {
+        self.shared.router.bounds()
+    }
+
+    /// Worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Validates and enqueues a request, blocking while the submission
+    /// queue is over capacity (backpressure). Returns a handle to wait on.
+    pub fn submit(&self, request: &QueryRequest) -> Result<ResponseHandle, MipsError> {
+        self.submit_inner(request, true)
+    }
+
+    /// [`MipsServer::submit`], but a full queue returns
+    /// [`MipsError::ServerOverloaded`] instead of blocking.
+    pub fn try_submit(&self, request: &QueryRequest) -> Result<ResponseHandle, MipsError> {
+        self.submit_inner(request, false)
+    }
+
+    /// Submits and waits: the drop-in concurrent replacement for
+    /// [`Engine::execute`].
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, MipsError> {
+        self.submit(request)?.wait()
+    }
+
+    fn submit_inner(
+        &self,
+        request: &QueryRequest,
+        block: bool,
+    ) -> Result<ResponseHandle, MipsError> {
+        request.validate(self.shared.engine.model())?;
+        let now = Instant::now();
+        let result_len = request.result_len(self.shared.engine.model());
+        let pending = Arc::new(Pending::with_counters(
+            result_len,
+            now,
+            Some(Arc::clone(&self.shared.counters)),
+        ));
+        let subs = self.shared.router.split(request, &pending, now);
+        debug_assert!(!subs.is_empty(), "validated requests select users");
+        // Safe to set after splitting: no worker sees the subs until
+        // push_all succeeds below.
+        pending.set_parts(subs.len());
+        // Count shard submissions only after admission succeeds, so bounced
+        // requests never show up as phantom in-flight work in ShardMetrics.
+        let shard_ids: Vec<usize> = subs.iter().map(|s| s.shard).collect();
+        match self.shared.queue.push_all(subs, block) {
+            Ok(()) => {
+                for &shard in &shard_ids {
+                    let counters = &self.shared.shards[shard].counters;
+                    counters.add(&counters.submitted, 1);
+                }
+                self.shared
+                    .counters
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(ResponseHandle { pending })
+            }
+            Err(error) => {
+                if matches!(error, MipsError::ServerOverloaded { .. }) {
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error)
+            }
+        }
+    }
+
+    /// Snapshots every counter: request-level throughput/latency plus the
+    /// per-shard breakdown.
+    pub fn metrics(&self) -> ServerMetrics {
+        ServerMetrics {
+            submitted: self.shared.counters.submitted.load(Ordering::Relaxed),
+            completed: self.shared.counters.completed.load(Ordering::Relaxed),
+            rejected: self.shared.counters.rejected.load(Ordering::Relaxed),
+            failed: self.shared.counters.failed.load(Ordering::Relaxed),
+            latency: self.shared.counters.latency.snapshot(),
+            shards: self.shared.shards.iter().map(|s| s.metrics()).collect(),
+        }
+    }
+
+    /// Drains in-flight work and stops the pool. Also happens on `Drop`;
+    /// the explicit form surfaces worker panics as a `Result`.
+    pub fn shutdown(mut self) -> Result<(), MipsError> {
+        self.shared.queue.close();
+        let mut panicked = false;
+        for worker in self.workers.drain(..) {
+            panicked |= worker.join().is_err();
+        }
+        if panicked {
+            return Err(MipsError::WorkerPanicked {
+                message: "worker thread exited abnormally".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MipsServer {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for MipsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MipsServer")
+            .field("shards", &self.shared.router.num_shards())
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.shared.config.queue_capacity)
+            .field("batching", &self.shared.policy.enabled)
+            .field("max_batch", &self.shared.policy.max_batch)
+            .finish()
+    }
+}

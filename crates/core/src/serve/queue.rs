@@ -1,0 +1,310 @@
+//! The bounded submission queue feeding the worker pool.
+//!
+//! Many submitter threads push, the worker pool pops — with two properties
+//! the runtime needs beyond a plain channel:
+//!
+//! * **All-or-nothing admission.** A request that straddles shards becomes
+//!   several sub-requests; admitting half of them and bouncing the rest
+//!   would leave a request permanently incomplete. `push_all` admits a
+//!   request's whole sub-request set atomically or not at all.
+//! * **Keyed extraction.** The micro-batcher coalesces queued sub-requests
+//!   that target the same `(shard, k)`. Workers pull their first item FIFO,
+//!   then extract every queued match, leaving other work in order for the
+//!   rest of the pool.
+//!
+//! Capacity is the backpressure bound: `push_all` with `block = false`
+//! refuses over-capacity submissions ([`MipsError::ServerOverloaded`]),
+//! with `block = true` it waits for the pool to drain. The server builder
+//! guarantees `capacity >= shard count`, so every request's sub-request
+//! set fits; the empty-queue admission of an oversized set below is
+//! defense in depth, not a supported mode (it would be starvable under
+//! sustained small traffic).
+
+use super::shard::SubRequest;
+use crate::engine::MipsError;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The key micro-batchable work is coalesced under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BatchKey {
+    pub(crate) shard: usize,
+    pub(crate) k: usize,
+}
+
+impl BatchKey {
+    pub(crate) fn of(sub: &SubRequest) -> BatchKey {
+        BatchKey {
+            shard: sub.shard,
+            k: sub.k,
+        }
+    }
+}
+
+struct QueueState {
+    items: VecDeque<SubRequest>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue of sub-requests with keyed extraction.
+pub(crate) struct SubmitQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl SubmitQueue {
+    pub(crate) fn new(capacity: usize) -> SubmitQueue {
+        assert!(capacity > 0, "SubmitQueue: capacity must be > 0");
+        SubmitQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Queued sub-requests right now.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Admits `subs` atomically. With `block`, waits for space; without,
+    /// returns [`MipsError::ServerOverloaded`] when the set does not fit.
+    pub(crate) fn push_all(&self, subs: Vec<SubRequest>, block: bool) -> Result<(), MipsError> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(MipsError::ServerShutdown);
+            }
+            let fits = state.items.len() + subs.len() <= self.capacity
+                || (state.items.is_empty() && subs.len() > self.capacity);
+            if fits {
+                state.items.extend(subs);
+                drop(state);
+                self.not_empty.notify_all();
+                return Ok(());
+            }
+            if !block {
+                return Err(MipsError::ServerOverloaded {
+                    capacity: self.capacity,
+                });
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks for the next sub-request; `None` once the queue is closed and
+    /// drained.
+    pub(crate) fn pop(&self) -> Option<SubRequest> {
+        let mut state = self.lock();
+        loop {
+            if let Some(sub) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_all();
+                return Some(sub);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Extracts queued sub-requests matching `key` (batchable ones only)
+    /// whose users fit within `budget_users`, preserving the queue order of
+    /// everything else. The budget bounds the *work* of the coalesced
+    /// solver call — in users, not sub-requests — so `max_batch` means the
+    /// same thing whether traffic is single-user or small-range.
+    pub(crate) fn extract_matching(
+        &self,
+        key: BatchKey,
+        budget_users: usize,
+        max_batch: usize,
+        out: &mut Vec<SubRequest>,
+    ) {
+        if budget_users == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        // Allocation-free pre-scan: under mixed load most of the backlog is
+        // other shards' work (and the deadline batcher rescans every few
+        // milliseconds), so the no-match case must not pay a queue rebuild.
+        let fits = |sub: &SubRequest, budget: usize| {
+            BatchKey::of(sub) == key && sub.batchable(max_batch) && sub.users.len() <= budget
+        };
+        if !state.items.iter().any(|sub| fits(sub, budget_users)) {
+            return;
+        }
+        let mut kept = VecDeque::with_capacity(state.items.len());
+        let mut budget = budget_users;
+        for sub in state.items.drain(..) {
+            if fits(&sub, budget) {
+                budget -= sub.users.len();
+                out.push(sub);
+            } else {
+                kept.push_back(sub);
+            }
+        }
+        state.items = kept;
+        drop(state);
+        self.not_full.notify_all();
+    }
+
+    /// Waits until `deadline` for more `key`-matching arrivals, extracting
+    /// them into `out` until the batch holds `target_users` users or the
+    /// window closes. Used by the deadline-flush micro-batcher.
+    pub(crate) fn extract_until(
+        &self,
+        key: BatchKey,
+        target_users: usize,
+        max_batch: usize,
+        deadline: Instant,
+        out: &mut Vec<SubRequest>,
+    ) {
+        let users_in = |out: &[SubRequest]| out.iter().map(|s| s.users.len()).sum::<usize>();
+        loop {
+            if users_in(out) >= target_users {
+                return;
+            }
+            self.extract_matching(key, target_users - users_in(out), max_batch, out);
+            if users_in(out) >= target_users {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let state = self.lock();
+            if state.closed {
+                return;
+            }
+            // Wait for any arrival (or the window to close), then rescan.
+            let (_state, timeout) = self
+                .not_empty
+                .wait_timeout(
+                    state,
+                    deadline.duration_since(now).min(Duration::from_millis(5)),
+                )
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = timeout;
+        }
+    }
+
+    /// Closes the queue: pending pops drain the backlog, then return
+    /// `None`; new pushes fail with [`MipsError::ServerShutdown`].
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::shard::{Pending, SubUsers};
+    use std::sync::Arc;
+
+    fn sub(shard: usize, k: usize, user: usize) -> SubRequest {
+        let now = Instant::now();
+        SubRequest {
+            shard,
+            k,
+            users: SubUsers::Ids {
+                users: vec![user],
+                positions: vec![0],
+            },
+            exclude: None,
+            pending: Arc::new(Pending::new(1, now)),
+            submitted_at: now,
+        }
+    }
+
+    #[test]
+    fn try_push_bounces_when_full_blocking_push_waits() {
+        let q = SubmitQueue::new(2);
+        q.push_all(vec![sub(0, 1, 0), sub(0, 1, 1)], false).unwrap();
+        assert!(matches!(
+            q.push_all(vec![sub(0, 1, 2)], false),
+            Err(MipsError::ServerOverloaded { capacity: 2 })
+        ));
+        // A consumer frees a slot; the blocked push completes.
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| q.push_all(vec![sub(0, 1, 2)], true));
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(q.pop().is_some());
+            handle.join().unwrap().unwrap();
+        });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn oversized_requests_admit_only_into_an_empty_queue() {
+        let q = SubmitQueue::new(2);
+        let big = vec![sub(0, 1, 0), sub(1, 1, 1), sub(2, 1, 2)];
+        q.push_all(big, false).unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(q.push_all(vec![sub(0, 1, 3)], false).is_err());
+    }
+
+    #[test]
+    fn extract_matching_pulls_only_the_key_and_keeps_order() {
+        let q = SubmitQueue::new(16);
+        q.push_all(
+            vec![sub(0, 5, 0), sub(1, 5, 1), sub(0, 5, 2), sub(0, 3, 3)],
+            false,
+        )
+        .unwrap();
+        let first = q.pop().unwrap();
+        let key = BatchKey::of(&first);
+        assert_eq!(key, BatchKey { shard: 0, k: 5 });
+        let mut batch = vec![first];
+        q.extract_matching(key, 8, 32, &mut batch);
+        assert_eq!(batch.len(), 2, "only shard-0 k=5 items coalesce");
+        // The others remain FIFO.
+        assert_eq!(q.pop().unwrap().shard, 1);
+        assert_eq!(q.pop().unwrap().k, 3);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = SubmitQueue::new(4);
+        q.push_all(vec![sub(0, 1, 0)], false).unwrap();
+        q.close();
+        assert!(matches!(
+            q.push_all(vec![sub(0, 1, 1)], true),
+            Err(MipsError::ServerShutdown)
+        ));
+        assert!(q.pop().is_some(), "backlog drains after close");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn extract_until_respects_the_deadline() {
+        let q = SubmitQueue::new(4);
+        let mut out = vec![sub(0, 2, 0)];
+        let deadline = Instant::now() + Duration::from_millis(15);
+        q.extract_until(BatchKey { shard: 0, k: 2 }, 4, 32, deadline, &mut out);
+        assert_eq!(out.len(), 1, "nothing arrived inside the window");
+        assert!(Instant::now() >= deadline);
+    }
+}

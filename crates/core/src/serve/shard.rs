@@ -1,0 +1,505 @@
+//! Shard routing: contiguous user ranges, request splitting, and response
+//! reassembly.
+//!
+//! The paper's Fig. 6 observation — read-only indexes make user-partitioned
+//! parallelism near-linear — is applied here at the *serving* level: the
+//! model's users are split into contiguous shards (the same
+//! [`chunk_bounds`](crate::parallel::chunk_bounds) partitioning the
+//! multi-core path uses), a request is split into at most one sub-request
+//! per shard, and the per-shard results are scattered back into the
+//! response in request order. Exclusion sets ride along untouched: they are
+//! keyed by global user id, so a set that straddles shards simply travels
+//! with every sub-request that needs it.
+
+use super::metrics::{ServerCounters, ShardCounters, ShardMetrics};
+use crate::engine::{
+    Engine, ExclusionSet, MipsError, PreparedPlan, QueryRequest, QueryResponse, UserSelection,
+};
+use crate::parallel::chunk_bounds;
+use mips_topk::TopKList;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One shard of the serving runtime: a contiguous user range plus the
+/// shard-local state the workers touch on the hot path — its own
+/// [`PreparedPlan`] cache (so steady-state serving never takes the engine's
+/// global plan lock) and its counters. Solver scratch stays where PR 1/2
+/// put it: allocated inside each `query_*` call, one set per worker
+/// invocation, never shared.
+pub(crate) struct ShardEngine {
+    pub(crate) index: usize,
+    pub(crate) users: Range<usize>,
+    engine: Arc<Engine>,
+    plans: Mutex<HashMap<usize, Arc<PreparedPlan>>>,
+    pub(crate) counters: ShardCounters,
+}
+
+impl ShardEngine {
+    pub(crate) fn new(index: usize, users: Range<usize>, engine: Arc<Engine>) -> ShardEngine {
+        ShardEngine {
+            index,
+            users,
+            engine,
+            plans: Mutex::new(HashMap::new()),
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// The plan for `k`: shard-local cache first, the engine's shared plan
+    /// cache (which dedupes concurrent planning across shards) on a miss.
+    pub(crate) fn plan(&self, k: usize) -> Result<Arc<PreparedPlan>, MipsError> {
+        if let Some(plan) = self
+            .plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&k)
+        {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = self.engine.prepare(k)?;
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(k, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    pub(crate) fn metrics(&self) -> ShardMetrics {
+        self.counters.snapshot(self.index, self.users.clone())
+    }
+}
+
+/// Maps users to shards and splits requests at shard boundaries.
+pub(crate) struct ShardRouter {
+    bounds: Vec<Range<usize>>,
+}
+
+impl ShardRouter {
+    /// Partitions `num_users` into at most `shards` contiguous ranges
+    /// (fewer when there are not enough users; the final range is shorter
+    /// when the division is ragged).
+    pub(crate) fn new(num_users: usize, shards: usize) -> ShardRouter {
+        ShardRouter {
+            bounds: chunk_bounds(num_users, shards),
+        }
+    }
+
+    pub(crate) fn bounds(&self) -> &[Range<usize>] {
+        &self.bounds
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The shard owning `user`. Caller guarantees `user` is in range.
+    fn shard_of(&self, user: usize) -> usize {
+        // Shards are contiguous and start at 0; binary-search the start
+        // offsets.
+        self.bounds
+            .partition_point(|r| r.end <= user)
+            .min(self.bounds.len() - 1)
+    }
+
+    /// Splits a validated request into per-shard sub-requests, all wired to
+    /// one [`Pending`] reassembly buffer sized for the full response.
+    pub(crate) fn split(
+        &self,
+        request: &QueryRequest,
+        pending: &Arc<Pending>,
+        now: Instant,
+    ) -> Vec<SubRequest> {
+        let exclude = request.exclude.clone().filter(|e| !e.is_empty());
+        let sub = |users: SubUsers, shard: usize| SubRequest {
+            shard,
+            k: request.k,
+            users,
+            exclude: exclude.clone(),
+            pending: Arc::clone(pending),
+            submitted_at: now,
+        };
+        match &request.users {
+            UserSelection::All => self
+                .bounds
+                .iter()
+                .filter(|r| !r.is_empty())
+                .enumerate()
+                .map(|(shard, r)| {
+                    sub(
+                        SubUsers::Range {
+                            users: r.clone(),
+                            out_start: r.start,
+                        },
+                        shard,
+                    )
+                })
+                .collect(),
+            UserSelection::Range(range) => {
+                let mut subs = Vec::new();
+                for (shard, bounds) in self.bounds.iter().enumerate() {
+                    let start = range.start.max(bounds.start);
+                    let end = range.end.min(bounds.end);
+                    if start < end {
+                        subs.push(sub(
+                            SubUsers::Range {
+                                users: start..end,
+                                out_start: start - range.start,
+                            },
+                            shard,
+                        ));
+                    }
+                }
+                subs
+            }
+            UserSelection::Ids(ids) => {
+                // Group positions by shard, preserving request order within
+                // each shard.
+                let mut per_shard: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+                for (pos, &user) in ids.iter().enumerate() {
+                    let entry = per_shard.entry(self.shard_of(user)).or_default();
+                    entry.0.push(user);
+                    entry.1.push(pos);
+                }
+                let mut shards: Vec<usize> = per_shard.keys().copied().collect();
+                shards.sort_unstable();
+                shards
+                    .into_iter()
+                    .map(|shard| {
+                        let (users, positions) = per_shard.remove(&shard).unwrap();
+                        sub(SubUsers::Ids { users, positions }, shard)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The users of one sub-request, with the positions their results occupy in
+/// the final response.
+#[derive(Debug, Clone)]
+pub(crate) enum SubUsers {
+    /// A contiguous slice of the shard's range; results land contiguously
+    /// starting at `out_start`.
+    Range {
+        /// Global user ids to serve.
+        users: Range<usize>,
+        /// First response slot this range fills.
+        out_start: usize,
+    },
+    /// Explicit ids (all owned by one shard), scattered back one by one.
+    Ids {
+        /// Global user ids to serve, in request order.
+        users: Vec<usize>,
+        /// Response slot for each served user.
+        positions: Vec<usize>,
+    },
+}
+
+impl SubUsers {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SubUsers::Range { users, .. } => users.len(),
+            SubUsers::Ids { users, .. } => users.len(),
+        }
+    }
+}
+
+/// One unit of shard work: a per-shard slice of a request, submitted to the
+/// worker pool through the server's queue.
+pub(crate) struct SubRequest {
+    pub(crate) shard: usize,
+    pub(crate) k: usize,
+    pub(crate) users: SubUsers,
+    pub(crate) exclude: Option<Arc<ExclusionSet>>,
+    pub(crate) pending: Arc<Pending>,
+    pub(crate) submitted_at: Instant,
+}
+
+impl SubRequest {
+    /// Whether the micro-batcher may coalesce this sub-request with others
+    /// targeting the same `(shard, k)`. Exclusion-carrying requests are
+    /// served solo: two batched requests could exclude different items for
+    /// the same user, which a merged exclusion set cannot express.
+    pub(crate) fn batchable(&self, max_batch: usize) -> bool {
+        self.exclude.is_none() && self.users.len() < max_batch
+    }
+
+    /// The sub-request as a standalone engine request (unbatched path).
+    pub(crate) fn to_request(&self) -> QueryRequest {
+        QueryRequest {
+            k: self.k,
+            users: match &self.users {
+                SubUsers::Range { users, .. } => UserSelection::Range(users.clone()),
+                SubUsers::Ids { users, .. } => UserSelection::Ids(users.clone()),
+            },
+            exclude: self.exclude.clone(),
+        }
+    }
+}
+
+/// Reassembly state for one in-flight request: a slot per selected user,
+/// filled by sub-request completions in any order, plus the condvar the
+/// caller's [`ResponseHandle`](super::ResponseHandle) waits on.
+pub(crate) struct Pending {
+    state: Mutex<PendingState>,
+    done: Condvar,
+    /// Server-wide counters to roll into when the request finishes; rolled
+    /// up *before* the waiter wakes, so metrics never lag a completed
+    /// `wait`. `None` in unit tests that exercise the pending alone.
+    counters: Option<Arc<ServerCounters>>,
+}
+
+struct PendingState {
+    results: Vec<TopKList>,
+    remaining: usize,
+    backend: String,
+    error: Option<MipsError>,
+    finished: bool,
+    submitted_at: Instant,
+    latency: f64,
+}
+
+impl Pending {
+    /// A pending response with `result_len` slots. The number of
+    /// sub-requests it waits for is set by [`Pending::set_parts`] once the
+    /// split is known — before any worker can see the sub-requests.
+    #[cfg(test)]
+    pub(crate) fn new(result_len: usize, now: Instant) -> Pending {
+        Pending::with_counters(result_len, now, None)
+    }
+
+    /// [`Pending::new`] wired to the server's request-level counters.
+    pub(crate) fn with_counters(
+        result_len: usize,
+        now: Instant,
+        counters: Option<Arc<ServerCounters>>,
+    ) -> Pending {
+        Pending {
+            state: Mutex::new(PendingState {
+                results: vec![TopKList::empty(); result_len],
+                remaining: 0,
+                backend: String::new(),
+                error: None,
+                finished: false,
+                submitted_at: now,
+                latency: 0.0,
+            }),
+            done: Condvar::new(),
+            counters,
+        }
+    }
+
+    /// Records how many sub-request completions finish this request. Must
+    /// be called exactly once, before the sub-requests are enqueued.
+    pub(crate) fn set_parts(&self, parts: usize) {
+        let mut state = self.lock();
+        debug_assert_eq!(state.remaining, 0, "set_parts called twice");
+        state.remaining = parts;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PendingState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Scatters one sub-request's results into the response. Returns `true`
+    /// when this completion finished the whole request.
+    ///
+    /// A completion arriving after the request already finished (an early
+    /// failure on another shard, or the panic handler re-failing a batch
+    /// whose earlier subs completed) is ignored: the waiter may already
+    /// have taken the result buffers, and the part count must not
+    /// underflow.
+    pub(crate) fn complete(&self, users: &SubUsers, lists: Vec<TopKList>, backend: &str) -> bool {
+        let mut state = self.lock();
+        if state.finished {
+            return false;
+        }
+        match users {
+            SubUsers::Range { out_start, .. } => {
+                for (offset, list) in lists.into_iter().enumerate() {
+                    state.results[out_start + offset] = list;
+                }
+            }
+            SubUsers::Ids { positions, .. } => {
+                for (&pos, list) in positions.iter().zip(lists) {
+                    state.results[pos] = list;
+                }
+            }
+        }
+        if state.backend.is_empty() {
+            state.backend = backend.to_string();
+        }
+        self.finish_one(state)
+    }
+
+    /// Fails the whole request (first error wins). Returns `true` when this
+    /// completion finished the request. Ignored once the request already
+    /// finished (see [`Pending::complete`]).
+    pub(crate) fn fail(&self, error: MipsError) -> bool {
+        let mut state = self.lock();
+        if state.finished {
+            return false;
+        }
+        state.error.get_or_insert(error);
+        self.finish_one(state)
+    }
+
+    fn finish_one(&self, mut state: std::sync::MutexGuard<'_, PendingState>) -> bool {
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.finished = true;
+            state.latency = state.submitted_at.elapsed().as_secs_f64();
+            if let Some(counters) = &self.counters {
+                use std::sync::atomic::Ordering;
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                if state.error.is_some() {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                counters.latency.record_ns((state.latency * 1e9) as u64);
+            }
+            self.done.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the request has fully completed (with result or error).
+    pub(crate) fn is_finished(&self) -> bool {
+        self.lock().finished
+    }
+
+    /// Blocks until every sub-request has completed, then takes the
+    /// response (or the first error).
+    pub(crate) fn wait(&self) -> Result<QueryResponse, MipsError> {
+        let mut state = self.lock();
+        while !state.finished {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if let Some(error) = state.error.take() {
+            return Err(error);
+        }
+        Ok(QueryResponse {
+            results: std::mem::take(&mut state.results),
+            backend: std::mem::take(&mut state.backend),
+            planned: true,
+            serve_seconds: state.latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> ShardRouter {
+        // 10 users over 3 shards: ragged bounds 0..4, 4..8, 8..10.
+        ShardRouter::new(10, 3)
+    }
+
+    #[test]
+    fn bounds_are_contiguous_and_ragged_division_is_covered() {
+        let r = router();
+        assert_eq!(r.bounds(), &[0..4, 4..8, 8..10]);
+        let one = ShardRouter::new(3, 8);
+        assert_eq!(one.num_shards(), 3, "never more shards than users");
+        let whole = ShardRouter::new(10, 1);
+        assert_eq!(whole.num_shards(), 1);
+        assert_eq!(whole.bounds()[0], 0..10);
+    }
+
+    #[test]
+    fn shard_of_respects_boundaries() {
+        let r = router();
+        for (user, shard) in [(0, 0), (3, 0), (4, 1), (7, 1), (8, 2), (9, 2)] {
+            assert_eq!(r.shard_of(user), shard, "user {user}");
+        }
+    }
+
+    #[test]
+    fn splits_cover_each_selection_shape() {
+        let r = router();
+        let now = Instant::now();
+        let all = QueryRequest::top_k(2);
+        let pending = Arc::new(Pending::new(10, now));
+        let subs = r.split(&all, &pending, now);
+        assert_eq!(subs.len(), 3);
+        assert!(
+            matches!(&subs[1].users, SubUsers::Range { users, out_start } if *users == (4..8) && *out_start == 4)
+        );
+
+        // A range straddling the first boundary only touches two shards.
+        let range = QueryRequest::top_k(2).users_range(2..6);
+        let pending = Arc::new(Pending::new(4, now));
+        let subs = r.split(&range, &pending, now);
+        assert_eq!(subs.len(), 2);
+        assert!(
+            matches!(&subs[0].users, SubUsers::Range { users, out_start } if *users == (2..4) && *out_start == 0)
+        );
+        assert!(
+            matches!(&subs[1].users, SubUsers::Range { users, out_start } if *users == (4..6) && *out_start == 2)
+        );
+
+        // Ids scatter by shard but keep their response positions.
+        let ids = QueryRequest::top_k(2).users(vec![9, 0, 5, 0]);
+        let pending = Arc::new(Pending::new(4, now));
+        let subs = r.split(&ids, &pending, now);
+        assert_eq!(subs.len(), 3);
+        assert!(
+            matches!(&subs[0].users, SubUsers::Ids { users, positions } if users == &[0, 0] && positions == &[1, 3])
+        );
+        assert!(
+            matches!(&subs[2].users, SubUsers::Ids { users, positions } if users == &[9] && positions == &[0])
+        );
+    }
+
+    #[test]
+    fn pending_reassembles_out_of_order_completions() {
+        let now = Instant::now();
+        let pending = Pending::new(3, now);
+        pending.set_parts(2);
+        let mk = |item: u32| TopKList {
+            items: vec![item],
+            scores: vec![item as f64],
+        };
+        let last = SubUsers::Ids {
+            users: vec![7],
+            positions: vec![2],
+        };
+        assert!(!pending.complete(&last, vec![mk(30)], "B"));
+        assert!(!pending.is_finished());
+        let first = SubUsers::Range {
+            users: 0..2,
+            out_start: 0,
+        };
+        assert!(pending.complete(&first, vec![mk(10), mk(20)], "B"));
+        let response = pending.wait().unwrap();
+        assert_eq!(response.backend, "B");
+        assert_eq!(
+            response
+                .results
+                .iter()
+                .map(|l| l.items[0])
+                .collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn first_error_wins_and_fails_the_wait() {
+        let now = Instant::now();
+        let pending = Pending::new(2, now);
+        pending.set_parts(2);
+        pending.fail(MipsError::EmptyUserList);
+        pending.fail(MipsError::NoBackends);
+        assert!(pending.is_finished());
+        assert_eq!(pending.wait().unwrap_err(), MipsError::EmptyUserList);
+    }
+}

@@ -1,7 +1,7 @@
 //! Alternating least squares: the third MF training substrate.
 //!
 //! The paper's KDD-REF reference model comes from Koenigstein et al.'s
-//! Yahoo! Music system [17], which (like most production recommenders of
+//! Yahoo! Music system \[17\], which (like most production recommenders of
 //! that era) is fit by alternating least squares: holding items fixed, each
 //! user vector is the ridge-regression solution of its observed ratings,
 //! and vice versa. Each update solves an `f × f` SPD system

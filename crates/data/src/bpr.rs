@@ -1,6 +1,6 @@
 //! Bayesian Personalized Ranking: the implicit-feedback trainer.
 //!
-//! The paper's `Netflix-BPR` models come from BPR [28]: instead of fitting
+//! The paper's `Netflix-BPR` models come from BPR \[28\]: instead of fitting
 //! rating values, BPR maximizes `σ(uᵀi − uᵀj)` over sampled triples where the
 //! user interacted with `i` but not `j`. The resulting factor geometry is
 //! characteristically different from explicit MF — flatter item norms,

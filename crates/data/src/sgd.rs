@@ -1,6 +1,6 @@
 //! Explicit-feedback matrix factorization by stochastic gradient descent.
 //!
-//! Stands in for the DSGD [35] and NOMAD [40] trainers the paper's reference
+//! Stands in for the DSGD \[35\] and NOMAD \[40\] trainers the paper's reference
 //! models come from: same objective (L2-regularized squared error on observed
 //! ratings), same update rule, single-threaded. Only the factor matrices
 //! matter downstream, so distributed execution is out of scope.

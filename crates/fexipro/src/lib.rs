@@ -1,5 +1,5 @@
 //! A Rust port of FEXIPRO, the exact MIPS index of Li et al. (SIGMOD 2017
-//! [21]) — the second state-of-the-art baseline in the paper's evaluation.
+//! \[21\]) — the second state-of-the-art baseline in the paper's evaluation.
 //!
 //! FEXIPRO is a *point-query* index (one user at a time; it does not batch
 //! users, which is why the paper's OPTIMUS can apply its incremental t-test

@@ -1,5 +1,5 @@
 //! A Rust port of LEMP, the exact MIPS index of Teflioudi et al.
-//! (SIGMOD 2015 [34], TODS 2016 [33]) — one of the two state-of-the-art
+//! (SIGMOD 2015 \[34\], TODS 2016 \[33\]) — one of the two state-of-the-art
 //! baselines the paper evaluates OPTIMUS/MAXIMUS against.
 //!
 //! LEMP's divide-and-conquer strategy (§II-C of the paper):

@@ -7,9 +7,9 @@
 //! closes that gap with explicit `unsafe` intrinsic kernels selected **once**
 //! per process:
 //!
-//! * `avx2-fma` — 256-bit AVX2 + FMA kernels ([`avx2`]), chosen when
+//! * `avx2-fma` — 256-bit AVX2 + FMA kernels (the `avx2` module), chosen when
 //!   `is_x86_feature_detected!` confirms both features at startup;
-//! * `neon` — 128-bit NEON kernels ([`neon`]) on `aarch64` (NEON and
+//! * `neon` — 128-bit NEON kernels (the `neon` module) on `aarch64` (NEON and
 //!   double-precision FMA are baseline features there);
 //! * `scalar` — the crate's portable kernels, the guaranteed fallback on
 //!   every other target and the reference the SIMD paths are tested against.
@@ -253,8 +253,12 @@ impl Kernel {
 pub fn active() -> &'static Kernel {
     static ACTIVE: OnceLock<Kernel> = OnceLock::new();
     ACTIVE.get_or_init(|| match std::env::var("MIPS_KERNEL") {
-        Ok(name) => Kernel::by_name(name.trim()).unwrap_or_else(Kernel::scalar),
-        Err(_) => Kernel::best(),
+        // A set-but-empty variable (e.g. a CI matrix leg exporting
+        // `MIPS_KERNEL: ''`) means "no override", not "force scalar".
+        Ok(name) if !name.trim().is_empty() => {
+            Kernel::by_name(name.trim()).unwrap_or_else(Kernel::scalar)
+        }
+        _ => Kernel::best(),
     })
 }
 

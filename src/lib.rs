@@ -84,6 +84,10 @@ pub mod prelude {
     pub use mips_core::maximus::{MaximusConfig, MaximusIndex};
     pub use mips_core::optimus::{Optimus, OptimusConfig, OptimusOutcome};
     pub use mips_core::parallel::par_query_all;
+    pub use mips_core::serve::{
+        LatencySnapshot, MipsServer, ResponseHandle, ServerBuilder, ServerConfig, ServerMetrics,
+        ShardMetrics,
+    };
     pub use mips_core::solver::{MipsSolver, Strategy};
     pub use mips_core::verify::{check_all_topk, check_user_topk};
     pub use mips_core::{BmmSolver, FexiproSolver, LempSolver};
