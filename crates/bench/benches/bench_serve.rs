@@ -7,6 +7,12 @@
 //! configuration pushes the same request stream through a server and
 //! reads throughput and latency off the server's own metrics.
 //!
+//! A `swap-under-load` row per dataset measures the hot-model-swap path:
+//! the same single-user flood while a background thread calls
+//! `Engine::swap_model` every few milliseconds, so the row's throughput
+//! captures the dip from epoch rebuilds (topology re-cut, solver rebuild,
+//! re-planning). The regression gate guards it like every other row.
+//!
 //! Environment knobs: `MIPS_SCALE` scales the models (as everywhere in the
 //! harness); `MIPS_SERVE_MAX_WORKERS` caps the worker-count sweep (the
 //! regression-gate run pins it to 1 so committed baselines stay
@@ -38,14 +44,20 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// How often the swap-under-load workload installs a new model epoch.
+const SWAP_EVERY: Duration = Duration::from_millis(3);
+
 /// One configuration's run: `requests` single-user top-10 requests pushed
-/// by [`SUBMITTERS`] windowed submitters.
+/// by [`SUBMITTERS`] windowed submitters. With `swap_with`, a background
+/// thread alternates `Engine::swap_model` between the served model and the
+/// given stand-in every [`SWAP_EVERY`] for the whole run.
 fn run_config(
     engine: &Arc<Engine>,
     model: &MfModel,
     workers: usize,
     batching: bool,
     requests: usize,
+    swap_with: Option<&[Arc<MfModel>; 2]>,
 ) -> (f64, mips_core::serve::ServerMetrics) {
     let server = ServerBuilder::new()
         .engine(Arc::clone(engine))
@@ -70,38 +82,154 @@ fn run_config(
         .expect("warmup");
 
     let num_users = model.num_users();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    /// Stops the swapper even when a submitter panics: without this, an
+    /// unwound scope closure would never set `done` and `thread::scope`
+    /// would block forever joining the swapper — hanging the CI job
+    /// instead of reporting the failure.
+    struct StopOnDrop<'a>(&'a std::sync::atomic::AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for t in 0..SUBMITTERS {
-            let server = &server;
+    // The scope returns the serving time measured right after the last
+    // submitter joins: the swapper thread's shutdown (it may be mid-swap
+    // or mid-sleep) must not count against the row's throughput.
+    let elapsed = std::thread::scope(|scope| {
+        let _stop_guard = StopOnDrop(&done);
+        if let Some(pair) = swap_with {
+            let engine = Arc::clone(engine);
+            let done = &done;
             scope.spawn(move || {
-                // Spread the remainder so exactly `requests` are sent.
-                let mine = requests / SUBMITTERS + usize::from(t < requests % SUBMITTERS);
-                let mut sent = 0usize;
-                while sent < mine {
-                    let burst = BURST.min(mine - sent);
-                    let handles: Vec<_> = (0..burst)
-                        .map(|i| {
-                            // Deterministic spread over users so shards see
-                            // even traffic.
-                            let n = t + SUBMITTERS * (sent + i);
-                            let user = (n.wrapping_mul(2654435761)) % num_users;
-                            server
-                                .submit(&QueryRequest::top_k(10).users(vec![user]))
-                                .expect("bench submit")
-                        })
-                        .collect();
-                    for handle in handles {
-                        handle.wait().expect("bench request serves");
-                    }
-                    sent += burst;
+                let mut next = 0usize;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    engine
+                        .swap_model(Arc::clone(&pair[next]))
+                        .expect("bench swap");
+                    next = 1 - next;
+                    std::thread::sleep(SWAP_EVERY);
                 }
             });
         }
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    // Spread the remainder so exactly `requests` are sent.
+                    let mine = requests / SUBMITTERS + usize::from(t < requests % SUBMITTERS);
+                    let mut sent = 0usize;
+                    while sent < mine {
+                        let burst = BURST.min(mine - sent);
+                        let handles: Vec<_> = (0..burst)
+                            .map(|i| {
+                                // Deterministic spread over users so shards see
+                                // even traffic.
+                                let n = t + SUBMITTERS * (sent + i);
+                                let user = (n.wrapping_mul(2654435761)) % num_users;
+                                server
+                                    .submit(&QueryRequest::top_k(10).users(vec![user]))
+                                    .expect("bench submit")
+                            })
+                            .collect();
+                        for handle in handles {
+                            handle.wait().expect("bench request serves");
+                        }
+                        sent += burst;
+                    }
+                })
+            })
+            .collect();
+        for submitter in submitters {
+            submitter.join().expect("bench submitter");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        elapsed
     });
-    let elapsed = started.elapsed().as_secs_f64();
     let metrics = server.metrics();
     (elapsed, metrics)
+}
+
+/// Adaptive best-of wrapper around [`run_config`], shared by the steady
+/// and swap-under-load rows so both get identical noise treatment: at tiny
+/// CI scale one pass is only a few milliseconds, so repeat inside a 0.3s
+/// budget and keep the fastest pass (and its metrics); full-scale passes
+/// run once or twice.
+fn best_of(
+    engine: &Arc<Engine>,
+    model: &MfModel,
+    workers: usize,
+    batching: bool,
+    requests: usize,
+    swap_with: Option<&[Arc<MfModel>; 2]>,
+) -> (f64, mips_core::serve::ServerMetrics) {
+    let mut best: Option<(f64, mips_core::serve::ServerMetrics)> = None;
+    let mut spent = 0.0;
+    let mut runs = 0;
+    while runs == 0 || (runs < 5 && spent < 0.3) {
+        let (elapsed, metrics) = run_config(engine, model, workers, batching, requests, swap_with);
+        assert_eq!(metrics.completed as usize, requests);
+        assert_eq!(metrics.failed, 0, "bench requests must not fail");
+        spent += elapsed;
+        let improved = match &best {
+            None => true,
+            Some((fastest, _)) => elapsed < *fastest,
+        };
+        if improved {
+            best = Some((elapsed, metrics));
+        }
+        runs += 1;
+    }
+    best.expect("at least one pass ran")
+}
+
+/// Appends one digest row (record + printed table line) for a measured
+/// configuration. `metrics.swaps` is 0 for steady workloads by
+/// construction, so the same emitter serves both workload kinds.
+#[allow(clippy::too_many_arguments)]
+fn emit_row(
+    table: &mut Table,
+    records: &mut Vec<ServeRecord>,
+    dataset: &str,
+    workload: &str,
+    workers: usize,
+    batching: bool,
+    requests: usize,
+    elapsed: f64,
+    metrics: &mips_core::serve::ServerMetrics,
+) {
+    let rps = requests as f64 / elapsed;
+    let record = ServeRecord {
+        dataset: dataset.to_string(),
+        workload: workload.to_string(),
+        workers,
+        shards: workers,
+        batching,
+        max_batch: 32,
+        batch_window_us: if batching { 200 } else { 0 },
+        requests: requests as u64,
+        swaps: metrics.swaps,
+        mean_batch: metrics.mean_batch_size(),
+        requests_per_sec: rps,
+        seconds_per_request: elapsed / requests as f64,
+        p50_us: metrics.latency.p50_us,
+        p99_us: metrics.latency.p99_us,
+    };
+    table.row(vec![
+        dataset.to_string(),
+        workload.to_string(),
+        workers.to_string(),
+        batching.to_string(),
+        format!("{rps:.0}"),
+        fmt_secs(record.seconds_per_request),
+        format!("{:.0}us", record.p50_us),
+        format!("{:.0}us", record.p99_us),
+        format!("{:.1}", record.mean_batch),
+        record.swaps.to_string(),
+    ]);
+    records.push(record);
 }
 
 fn main() {
@@ -123,7 +251,8 @@ fn main() {
 
     let mut records: Vec<ServeRecord> = Vec::new();
     let mut table = Table::new(&[
-        "dataset", "workers", "batching", "req/s", "s/req", "p50", "p99", "batch",
+        "dataset", "workload", "workers", "batching", "req/s", "s/req", "p50", "p99", "batch",
+        "swaps",
     ]);
 
     for dataset in ["Netflix", "GloVe"] {
@@ -144,56 +273,49 @@ fn main() {
 
         for &workers in &worker_counts {
             for batching in [true, false] {
-                // Adaptive best-of: at tiny CI scale one pass is only a few
-                // milliseconds, so repeat inside a 0.3s budget and keep the
-                // fastest pass (and its metrics); full-scale passes run
-                // once or twice.
-                let mut best: Option<(f64, mips_core::serve::ServerMetrics)> = None;
-                let mut spent = 0.0;
-                let mut runs = 0;
-                while runs == 0 || (runs < 5 && spent < 0.3) {
-                    let (elapsed, metrics) =
-                        run_config(&engine, &model, workers, batching, requests);
-                    assert_eq!(metrics.completed as usize, requests);
-                    spent += elapsed;
-                    let improved = match &best {
-                        None => true,
-                        Some((fastest, _)) => elapsed < *fastest,
-                    };
-                    if improved {
-                        best = Some((elapsed, metrics));
-                    }
-                    runs += 1;
-                }
-                let (elapsed, metrics) = best.expect("at least one pass ran");
-                let rps = requests as f64 / elapsed;
-                let record = ServeRecord {
-                    dataset: dataset.to_string(),
-                    workload: "single-user".to_string(),
+                let (elapsed, metrics) =
+                    best_of(&engine, &model, workers, batching, requests, None);
+                emit_row(
+                    &mut table,
+                    &mut records,
+                    dataset,
+                    "single-user",
                     workers,
-                    shards: workers,
                     batching,
-                    max_batch: 32,
-                    batch_window_us: if batching { 200 } else { 0 },
-                    requests: requests as u64,
-                    mean_batch: metrics.mean_batch_size(),
-                    requests_per_sec: rps,
-                    seconds_per_request: elapsed / requests as f64,
-                    p50_us: metrics.latency.p50_us,
-                    p99_us: metrics.latency.p99_us,
-                };
-                table.row(vec![
-                    dataset.to_string(),
-                    workers.to_string(),
-                    batching.to_string(),
-                    format!("{rps:.0}"),
-                    fmt_secs(record.seconds_per_request),
-                    format!("{:.0}us", record.p50_us),
-                    format!("{:.0}us", record.p99_us),
-                    format!("{:.1}", record.mean_batch),
-                ]);
-                records.push(record);
+                    requests,
+                    elapsed,
+                    &metrics,
+                );
             }
+        }
+
+        // Swap-under-load: the same single-user flood with a background
+        // thread hot-swapping the model the whole time. A dedicated engine
+        // keeps the epoch churn out of the steady-state rows; the two
+        // swapped models are fresh same-spec builds, so every epoch serves
+        // the same workload shape.
+        let swap_models = [build_model(&spec), build_model(&spec)];
+        for &workers in &worker_counts {
+            let engine = Arc::new(
+                EngineBuilder::new()
+                    .model(Arc::clone(&swap_models[0]))
+                    .register(BmmFactory)
+                    .build()
+                    .expect("bench engine assembles"),
+            );
+            let (elapsed, metrics) =
+                best_of(&engine, &model, workers, true, requests, Some(&swap_models));
+            emit_row(
+                &mut table,
+                &mut records,
+                dataset,
+                "swap-under-load",
+                workers,
+                true,
+                requests,
+                elapsed,
+                &metrics,
+            );
         }
     }
 
@@ -202,25 +324,45 @@ fn main() {
     // Roll-up: worker scaling (batched) and batching speedup, per dataset.
     println!();
     for dataset in ["Netflix", "GloVe"] {
-        let rps = |workers: usize, batching: bool| -> Option<f64> {
+        let rps = |workload: &str, workers: usize, batching: bool| -> Option<f64> {
             records
                 .iter()
-                .find(|r| r.dataset == dataset && r.workers == workers && r.batching == batching)
+                .find(|r| {
+                    r.dataset == dataset
+                        && r.workload == workload
+                        && r.workers == workers
+                        && r.batching == batching
+                })
                 .map(|r| r.requests_per_sec)
         };
         let w_min = *worker_counts.first().unwrap();
         let w_max = *worker_counts.last().unwrap();
-        if let (Some(lo), Some(hi)) = (rps(w_min, true), rps(w_max, true)) {
+        if let (Some(lo), Some(hi)) = (
+            rps("single-user", w_min, true),
+            rps("single-user", w_max, true),
+        ) {
             println!(
                 "{dataset}: {w_min}->{w_max} workers scales {:.2}x (batched, {} host threads)",
                 hi / lo,
                 meta.host_threads
             );
         }
-        if let (Some(unbatched), Some(batched)) = (rps(w_max, false), rps(w_max, true)) {
+        if let (Some(unbatched), Some(batched)) = (
+            rps("single-user", w_max, false),
+            rps("single-user", w_max, true),
+        ) {
             println!(
                 "{dataset}: micro-batching {:.2}x vs unbatched at {w_max} workers",
                 batched / unbatched
+            );
+        }
+        if let (Some(steady), Some(swapped)) = (
+            rps("single-user", w_max, true),
+            rps("swap-under-load", w_max, true),
+        ) {
+            println!(
+                "{dataset}: continuous hot swap keeps {:.0}% of steady throughput at {w_max} workers",
+                100.0 * swapped / steady
             );
         }
     }

@@ -47,7 +47,7 @@ impl JsonVal {
 /// Fields that are measurements, never identity — excluded from row keys by
 /// name (a measurement that happens to land on an integral value, like
 /// `1.000000` seconds, must not perturb the key).
-pub const MEASUREMENT_FIELDS: [&str; 12] = [
+pub const MEASUREMENT_FIELDS: [&str; 13] = [
     "serve_seconds",
     "build_seconds",
     "seconds_per_request",
@@ -60,6 +60,7 @@ pub const MEASUREMENT_FIELDS: [&str; 12] = [
     "mean_batch",
     "busy_seconds",
     "requests",
+    "swaps",
 ];
 
 /// One parsed bench row: field name → value, insertion-ordered by name.

@@ -428,6 +428,9 @@ pub struct ServeRecord {
     pub batch_window_us: u64,
     /// Requests served.
     pub requests: u64,
+    /// Model swaps the serving runtime picked up during the run (0 for
+    /// steady-state workloads).
+    pub swaps: u64,
     /// Mean sub-requests per solver call (1.0 = no coalescing happened).
     pub mean_batch: f64,
     /// Throughput in requests per second.
@@ -451,7 +454,7 @@ pub fn render_serve_json(meta: &BenchMeta, records: &[ServeRecord]) -> String {
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"workload\": \"{}\", \"workers\": {}, \
              \"shards\": {}, \"batching\": {}, \"max_batch\": {}, \"batch_window_us\": {}, \
-             \"requests\": {}, \"mean_batch\": {:.2}, \"requests_per_sec\": {:.2}, \
+             \"requests\": {}, \"swaps\": {}, \"mean_batch\": {:.2}, \"requests_per_sec\": {:.2}, \
              \"seconds_per_request\": {:.8}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
             json_escape(&r.dataset),
             json_escape(&r.workload),
@@ -461,6 +464,7 @@ pub fn render_serve_json(meta: &BenchMeta, records: &[ServeRecord]) -> String {
             r.max_batch,
             r.batch_window_us,
             r.requests,
+            r.swaps,
             r.mean_batch,
             r.requests_per_sec,
             r.seconds_per_request,

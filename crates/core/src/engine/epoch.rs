@@ -1,0 +1,144 @@
+//! Epoch-versioned engine state: the mechanism behind hot model swap.
+//!
+//! Everything derived from a model — built solver indexes, cached
+//! [`PreparedPlan`]s — lives inside one [`ModelEpoch`]. The engine holds the
+//! current epoch behind an [`ArcCell`] and replaces the whole epoch
+//! atomically on [`swap_model`](super::Engine::swap_model): a request
+//! snapshots the epoch `Arc` once on entry and runs against that snapshot
+//! end to end, so it can never observe a half-swapped mixture of old model
+//! and new caches. Old epochs are reclaimed by reference counting — the
+//! last in-flight request holding the snapshot drops it, which frees the
+//! model, every built index, and every cached plan of that epoch.
+
+use super::plan::PreparedPlan;
+use crate::solver::MipsSolver;
+use mips_data::MfModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// One lazily-filled cache slot. The outer map lock is held only long
+/// enough to fetch the cell; expensive work (index construction, planning)
+/// happens under the cell's own lock, so a slow build for one key never
+/// blocks requests that hit other keys — while concurrent requests for the
+/// *same* key still wait for the single in-flight build instead of
+/// duplicating it.
+pub(crate) type CacheCell<T> = Arc<Mutex<Option<T>>>;
+
+/// One model generation and every piece of state derived from it.
+///
+/// Epoch ids are assigned by the engine, strictly increasing, never reused;
+/// `id` therefore identifies a model generation across the whole serving
+/// stack (responses, metrics, the micro-batcher's coalescing key).
+pub(crate) struct ModelEpoch {
+    /// The strictly increasing generation number (the builder starts at 0).
+    pub(crate) id: u64,
+    /// The model this epoch serves.
+    pub(crate) model: Arc<MfModel>,
+    /// Built solvers, keyed by registry key — derived from `model`, so the
+    /// cache lives and dies with the epoch.
+    pub(crate) solvers: Mutex<HashMap<String, CacheCell<Arc<dyn MipsSolver>>>>,
+    /// Cached planning decisions per `k` — likewise epoch-scoped, because a
+    /// plan pins the model and solver it was sampled on.
+    pub(crate) plans: Mutex<HashMap<usize, CacheCell<Arc<PreparedPlan>>>>,
+}
+
+impl ModelEpoch {
+    /// A fresh epoch with empty caches.
+    pub(crate) fn new(id: u64, model: Arc<MfModel>) -> ModelEpoch {
+        ModelEpoch {
+            id,
+            model,
+            solvers: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A hand-rolled `arc_swap`-style cell: an `Arc<T>` slot with atomic
+/// replacement, built on `std` only.
+///
+/// A truly lock-free pointer swap needs deferred reclamation (hazard
+/// pointers or epoch GC) that `std` does not provide, so this cell uses an
+/// `RwLock` whose critical sections are a single refcount bump: readers
+/// clone the `Arc` under the read lock, writers replace it under the write
+/// lock. Readers never block each other, and a writer (one per model swap)
+/// holds the lock for nanoseconds — the cost model of `arc_swap`, minus
+/// the unsafe code.
+pub(crate) struct ArcCell<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcCell<T> {
+    /// A cell holding `value`.
+    pub(crate) fn new(value: Arc<T>) -> ArcCell<T> {
+        ArcCell {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Snapshots the current value (cheap: one refcount bump).
+    pub(crate) fn load(&self) -> Arc<T> {
+        Arc::clone(&self.inner.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically replaces the value with `replace(current)`, returning the
+    /// newly installed `Arc`. The closure runs under the write lock, so
+    /// read-modify-write updates (e.g. "next epoch id = current + 1") are
+    /// race-free even with concurrent swappers.
+    pub(crate) fn swap_with(&self, replace: impl FnOnce(&Arc<T>) -> Arc<T>) -> Arc<T> {
+        let mut slot = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let next = replace(&slot);
+        *slot = Arc::clone(&next);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn load_returns_the_installed_value_and_swap_is_read_modify_write() {
+        let cell = ArcCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        let installed = cell.swap_with(|old| Arc::new(**old + 1));
+        assert_eq!(*installed, 2);
+        assert_eq!(*cell.load(), 2);
+    }
+
+    #[test]
+    fn concurrent_swaps_never_lose_an_increment() {
+        let cell = Arc::new(ArcCell::new(Arc::new(0u64)));
+        let max_seen = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let max_seen = &max_seen;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let v = cell.swap_with(|old| Arc::new(**old + 1));
+                        max_seen.fetch_max(*v, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // 400 swaps, each +1 under the write lock: no lost updates.
+        assert_eq!(*cell.load(), 400);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn old_snapshots_stay_alive_until_their_last_holder_drops() {
+        let cell = ArcCell::new(Arc::new(String::from("old")));
+        let snapshot = cell.load();
+        cell.swap_with(|_| Arc::new(String::from("new")));
+        // The swap did not invalidate the in-flight snapshot...
+        assert_eq!(*snapshot, "old");
+        assert_eq!(*cell.load(), "new");
+        // ...and dropping the snapshot releases the last reference.
+        let weak = Arc::downgrade(&snapshot);
+        drop(snapshot);
+        assert!(weak.upgrade().is_none());
+    }
+}

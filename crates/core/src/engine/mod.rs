@@ -17,6 +17,13 @@
 //! * [`Engine::prepare`] runs the OPTIMUS planner once and caches the
 //!   winning backend in a [`PreparedPlan`]; [`Engine::execute`] does this
 //!   transparently, so repeated requests at the same `k` never re-sample.
+//! * [`Engine::swap_model`] installs a retrained model atomically while the
+//!   engine keeps serving: each request snapshots one model *epoch* on
+//!   entry and runs against it end to end, so in-flight requests finish
+//!   bit-identically on the epoch they started under while new submissions
+//!   see the new model. Every derived structure (built indexes, cached
+//!   plans) is epoch-scoped and reclaimed when the last in-flight request
+//!   of an old epoch completes.
 //!
 //! ```
 //! use mips_core::engine::{EngineBuilder, QueryRequest};
@@ -40,6 +47,7 @@
 //! assert!(engine.execute(&QueryRequest::top_k(0)).is_err()); // typed, no panic
 //! ```
 
+pub(crate) mod epoch;
 pub mod error;
 pub mod plan;
 pub mod registry;
@@ -56,6 +64,7 @@ pub use request::{ExclusionSet, QueryRequest, QueryResponse, UserSelection};
 use crate::optimus::{Optimus, OptimusConfig};
 use crate::parallel::{par_query_range, par_query_subset};
 use crate::solver::MipsSolver;
+use epoch::{ArcCell, ModelEpoch};
 use mips_data::MfModel;
 use mips_topk::TopKList;
 use std::collections::HashMap;
@@ -179,47 +188,75 @@ impl EngineBuilder {
                 "optimus.sample_fraction must be in (0, 1], got {f}"
             )));
         }
+        ensure_well_formed(&model)?;
         Ok(Engine {
-            model,
+            state: ArcCell::new(Arc::new(ModelEpoch::new(0, model))),
             registry: self.registry,
             config: self.config,
-            solvers: Mutex::new(HashMap::new()),
-            plans: Mutex::new(HashMap::new()),
             planner_runs: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
         })
     }
 }
-
-/// One lazily-filled cache slot. The outer map lock is held only long
-/// enough to fetch the cell; expensive work (index construction, planning)
-/// happens under the cell's own lock, so a slow build for one key never
-/// blocks requests that hit other keys — while concurrent requests for the
-/// *same* key still wait for the single in-flight build instead of
-/// duplicating it.
-type CacheCell<T> = Arc<Mutex<Option<T>>>;
 
 /// Locks a cache mutex, recovering from poisoning: if a (custom) factory
 /// panicked mid-build, the slot it was filling is still `None`, so the
 /// sensible recovery is to let the next caller retry rather than poison the
 /// engine forever.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// The serving engine: model + backends + planner + caches.
+/// Rejects malformed models — mismatched factor dimensions, or NaN and
+/// infinite factors — with a typed error.
 ///
-/// Immutable after construction; all interior state (built solvers, cached
-/// plans) is behind per-key locks, so an engine can be shared across
-/// threads and queried concurrently.
+/// [`MfModel::new`] already validates all of this, but models can also
+/// reach the engine through trusted zero-copy loaders
+/// ([`MfModel::new_unvalidated`]); a factor-width mismatch would feed
+/// unequal-length rows into the dot kernels, and a NaN that slips into a
+/// norm-sorted index or a score comparison would poison results silently.
+/// The engine therefore re-checks at its two model intake points —
+/// [`EngineBuilder::build`] and [`Engine::swap_model`].
+fn ensure_well_formed(model: &MfModel) -> Result<(), MipsError> {
+    let (uf, itf) = (model.users().cols(), model.items().cols());
+    if uf != itf {
+        return Err(MipsError::InvalidConfig(format!(
+            "model user matrix has {uf} factors but item matrix has {itf}"
+        )));
+    }
+    if model.is_validated() {
+        // Constructed through MfModel::new, which already scanned for
+        // non-finite values — skip the O(n·f) re-scan so swap_model stays
+        // cheap for the common (validated) retraining path.
+        return Ok(());
+    }
+    for (what, matrix) in [("users", model.users()), ("items", model.items())] {
+        for (row, values) in matrix.iter_rows().enumerate() {
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err(MipsError::InvalidConfig(format!(
+                    "model {what} matrix has a non-finite factor in row {row}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The serving engine: backends + planner + the current model epoch.
+///
+/// The registry and configuration are immutable after construction. The
+/// model — and everything derived from it (built solvers, cached plans) —
+/// lives in an epoch that [`Engine::swap_model`] replaces atomically, so an
+/// engine can be shared across threads, queried concurrently, and re-pointed
+/// at a retrained model without draining traffic.
 pub struct Engine {
-    model: Arc<MfModel>,
+    state: ArcCell<ModelEpoch>,
     registry: BackendRegistry,
     config: EngineConfig,
-    solvers: Mutex<HashMap<String, CacheCell<Arc<dyn MipsSolver>>>>,
-    plans: Mutex<HashMap<usize, CacheCell<Arc<PreparedPlan>>>>,
     planner_runs: AtomicU64,
+    swaps: AtomicU64,
 }
 
 impl Engine {
@@ -228,9 +265,52 @@ impl Engine {
         EngineBuilder::new()
     }
 
-    /// The served model.
-    pub fn model(&self) -> &Arc<MfModel> {
-        &self.model
+    /// A snapshot of the currently served model. In-flight requests may
+    /// still be finishing on an older epoch's model after a
+    /// [`swap_model`](Engine::swap_model); this is always the newest.
+    pub fn model(&self) -> Arc<MfModel> {
+        Arc::clone(&self.state.load().model)
+    }
+
+    /// The current model epoch (0 at build, +1 per successful swap).
+    pub fn epoch(&self) -> u64 {
+        self.state.load().id
+    }
+
+    /// How many model swaps have been accepted.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    /// The current epoch state, for epoch-pinned serving (the concurrent
+    /// runtime snapshots this once per request).
+    pub(crate) fn snapshot(&self) -> Arc<ModelEpoch> {
+        self.state.load()
+    }
+
+    /// Atomically installs a retrained model and returns the new epoch id.
+    ///
+    /// The swap is an atomic pointer replacement: requests already past
+    /// their epoch snapshot finish bit-identically on the old model (and
+    /// its cached plans/indexes), requests entering afterwards see the new
+    /// one — there is no draining window and no half-swapped state. All
+    /// derived caches are invalidated wholesale because they live inside
+    /// the epoch; the old epoch (model, indexes, plans) is freed when its
+    /// last in-flight request completes.
+    ///
+    /// The new model is validated like at build time (non-empty, finite
+    /// factors); its shape may differ freely — user count, catalog size,
+    /// and factor dimensionality are all per-epoch properties.
+    pub fn swap_model(&self, model: Arc<MfModel>) -> Result<u64, MipsError> {
+        if model.num_users() == 0 || model.num_items() == 0 {
+            return Err(MipsError::EmptyModel);
+        }
+        ensure_well_formed(&model)?;
+        let installed = self
+            .state
+            .swap_with(|old| Arc::new(ModelEpoch::new(old.id + 1, model)));
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        Ok(installed.id)
     }
 
     /// The backend registry.
@@ -254,25 +334,30 @@ impl Engine {
         self.planner_runs.load(Ordering::SeqCst)
     }
 
-    /// The built solver for `key`, constructing and caching it on first
-    /// use. Construction happens under a per-key lock: concurrent requests
-    /// for other backends proceed, concurrent requests for this one share
-    /// the single build.
+    /// The built solver for `key` on the current epoch, constructing and
+    /// caching it on first use. Construction happens under a per-key lock:
+    /// concurrent requests for other backends proceed, concurrent requests
+    /// for this one share the single build.
     pub fn solver(&self, key: &str) -> Result<Arc<dyn MipsSolver>, MipsError> {
+        self.solver_on(&self.snapshot(), key)
+    }
+
+    /// [`Engine::solver`] pinned to one epoch snapshot.
+    fn solver_on(&self, state: &ModelEpoch, key: &str) -> Result<Arc<dyn MipsSolver>, MipsError> {
         let factory = Arc::clone(
             self.registry
                 .get(key)
                 .ok_or_else(|| MipsError::UnknownBackend { key: key.into() })?,
         );
         let cell = {
-            let mut map = lock_recovering(&self.solvers);
+            let mut map = lock_recovering(&state.solvers);
             Arc::clone(map.entry(key.to_string()).or_default())
         };
         let mut slot = lock_recovering(&cell);
         if let Some(solver) = slot.as_ref() {
             return Ok(Arc::clone(solver));
         }
-        let solver: Arc<dyn MipsSolver> = Arc::from(factory.build(&self.model)?);
+        let solver: Arc<dyn MipsSolver> = Arc::from(factory.build(&state.model)?);
         *slot = Some(Arc::clone(&solver));
         Ok(solver)
     }
@@ -283,66 +368,82 @@ impl Engine {
         key: &str,
         request: &QueryRequest,
     ) -> Result<QueryResponse, MipsError> {
-        request.validate(&self.model)?;
-        let solver = self.solver(key)?;
+        let state = self.snapshot();
+        request.validate(&state.model)?;
+        let solver = self.solver_on(&state, key)?;
         serve(
-            &self.model,
+            &state.model,
             solver.as_ref(),
             self.config.threads,
             request,
             false,
+            state.id,
         )
     }
 
     /// Runs the OPTIMUS planner for requests at `k` and caches the
-    /// decision. Calling again with the same `k` returns the cached plan
-    /// without re-sampling. Planning happens under a per-`k` lock, so a
-    /// long sampling run for one `k` never stalls requests at another.
+    /// decision in the current epoch. Calling again with the same `k` (on
+    /// the same epoch) returns the cached plan without re-sampling.
+    /// Planning happens under a per-`k` lock, so a long sampling run for
+    /// one `k` never stalls requests at another.
     pub fn prepare(&self, k: usize) -> Result<Arc<PreparedPlan>, MipsError> {
-        if k == 0 || k > self.model.num_items() {
+        self.prepare_on(&self.snapshot(), k)
+    }
+
+    /// [`Engine::prepare`] pinned to one epoch snapshot — the concurrent
+    /// runtime uses this so a sub-request plans (and serves) on the epoch
+    /// its request was admitted under, even if a swap lands in between.
+    pub(crate) fn prepare_on(
+        &self,
+        state: &ModelEpoch,
+        k: usize,
+    ) -> Result<Arc<PreparedPlan>, MipsError> {
+        if k == 0 || k > state.model.num_items() {
             return Err(MipsError::InvalidK {
                 k,
-                num_items: self.model.num_items(),
+                num_items: state.model.num_items(),
             });
         }
         let cell = {
-            let mut map = lock_recovering(&self.plans);
+            let mut map = lock_recovering(&state.plans);
             Arc::clone(map.entry(k).or_default())
         };
         let mut slot = lock_recovering(&cell);
         if let Some(plan) = slot.as_ref() {
             return Ok(Arc::clone(plan));
         }
-        let plan = Arc::new(self.plan_for_k(k)?);
+        let plan = Arc::new(self.plan_for_k(state, k)?);
         *slot = Some(Arc::clone(&plan));
         Ok(plan)
     }
 
-    /// Serves a request through the plan cache: plans once per `k`, then
-    /// dispatches to the cached winner.
+    /// Serves a request through the plan cache: plans once per `k` per
+    /// epoch, then dispatches to the cached winner.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, MipsError> {
-        request.validate(&self.model)?;
-        let plan = self.prepare(request.k)?;
+        let state = self.snapshot();
+        request.validate(&state.model)?;
+        let plan = self.prepare_on(&state, request.k)?;
         plan.execute_prevalidated(request)
     }
 
     /// The planning phase behind [`Engine::prepare`].
-    fn plan_for_k(&self, k: usize) -> Result<PreparedPlan, MipsError> {
+    fn plan_for_k(&self, state: &ModelEpoch, k: usize) -> Result<PreparedPlan, MipsError> {
         let keys: Vec<String> = self.registry.keys().iter().map(|s| s.to_string()).collect();
         let mut solvers = Vec::with_capacity(keys.len());
         for key in &keys {
-            solvers.push(self.solver(key)?);
+            solvers.push(self.solver_on(state, key)?);
         }
         self.planner_runs.fetch_add(1, Ordering::SeqCst);
 
         if solvers.len() == 1 {
             // One candidate: nothing to sample.
             return Ok(PreparedPlan {
-                model: Arc::clone(&self.model),
+                model: Arc::clone(&state.model),
                 winner: Arc::clone(&solvers[0]),
                 backend_key: keys[0].clone(),
                 planned_k: k,
                 threads: self.config.threads,
+                epoch: state.id,
                 estimates: Vec::new(),
                 sample_size: 0,
                 decision_seconds: 0.0,
@@ -361,14 +462,15 @@ impl Engine {
         }
         let optimus = Optimus::new(self.config.optimus);
         let refs: Vec<&dyn MipsSolver> = order.iter().map(|&i| solvers[i].as_ref()).collect();
-        let choice = optimus.choose(&self.model, k, &refs);
+        let choice = optimus.choose(&state.model, k, &refs);
         let winner_idx = order[choice.chosen];
         Ok(PreparedPlan {
-            model: Arc::clone(&self.model),
+            model: Arc::clone(&state.model),
             winner: Arc::clone(&solvers[winner_idx]),
             backend_key: keys[winner_idx].clone(),
             planned_k: k,
             threads: self.config.threads,
+            epoch: state.id,
             estimates: choice.estimates,
             sample_size: choice.sample_size,
             decision_seconds: choice.decision_seconds,
@@ -378,8 +480,10 @@ impl Engine {
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.snapshot();
         f.debug_struct("Engine")
-            .field("model", &self.model.name())
+            .field("model", &state.model.name())
+            .field("epoch", &state.id)
             .field("backends", &self.registry.keys())
             .field("threads", &self.config.threads)
             .field("planner_runs", &self.planner_runs())
@@ -424,6 +528,7 @@ pub(crate) fn serve(
     threads: usize,
     request: &QueryRequest,
     planned: bool,
+    epoch: u64,
 ) -> Result<QueryResponse, MipsError> {
     debug_assert!(request.validate(model).is_ok(), "caller must validate");
     let start = Instant::now();
@@ -485,6 +590,7 @@ pub(crate) fn serve(
         results,
         backend: solver.name().to_string(),
         planned,
+        epoch,
         serve_seconds: start.elapsed().as_secs_f64(),
     })
 }
@@ -903,6 +1009,183 @@ mod tests {
                 num_items: 20
             }
         );
+    }
+
+    #[test]
+    fn swap_model_installs_a_new_epoch_and_serves_it() {
+        let a = model(30, 40);
+        let b = Arc::new(synth_model(&SynthConfig {
+            num_users: 30,
+            num_items: 40,
+            num_factors: 8,
+            seed: 99,
+            ..SynthConfig::default()
+        }));
+        let engine = EngineBuilder::new()
+            .model(Arc::clone(&a))
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.swap_count(), 0);
+        let on_a = engine.execute(&QueryRequest::top_k(4)).unwrap();
+        assert_eq!(on_a.epoch, 0);
+
+        let new_epoch = engine.swap_model(Arc::clone(&b)).unwrap();
+        assert_eq!(new_epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.swap_count(), 1);
+        let on_b = engine.execute(&QueryRequest::top_k(4)).unwrap();
+        assert_eq!(on_b.epoch, 1);
+
+        // The swapped engine serves exactly what a fresh engine on the new
+        // model serves.
+        let reference = EngineBuilder::new()
+            .model(b)
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        assert_eq!(
+            on_b.results,
+            reference.execute(&QueryRequest::top_k(4)).unwrap().results
+        );
+        assert_ne!(on_a.results, on_b.results, "distinct models must differ");
+    }
+
+    #[test]
+    fn swap_resizes_the_model_and_requests_validate_against_the_new_shape() {
+        let engine = EngineBuilder::new()
+            .model(model(20, 30))
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        engine
+            .execute(&QueryRequest::top_k(2).users(vec![19]))
+            .unwrap();
+        engine.swap_model(model(8, 12)).unwrap();
+        // User 19 and k = 30 existed on epoch 0 but not on epoch 1.
+        assert!(matches!(
+            engine.execute(&QueryRequest::top_k(2).users(vec![19])),
+            Err(MipsError::UserOutOfRange { user: 19, .. })
+        ));
+        assert!(matches!(
+            engine.execute(&QueryRequest::top_k(30)),
+            Err(MipsError::InvalidK { k: 30, .. })
+        ));
+        assert_eq!(
+            engine
+                .execute(&QueryRequest::top_k(12))
+                .unwrap()
+                .results
+                .len(),
+            8
+        );
+    }
+
+    #[test]
+    fn inflight_plans_keep_serving_their_epoch_bit_identically() {
+        let a = model(40, 50);
+        let engine = EngineBuilder::new()
+            .model(Arc::clone(&a))
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        let request = QueryRequest::top_k(5);
+        let plan = engine.prepare(5).unwrap();
+        let before = plan.execute(&request).unwrap();
+        engine.swap_model(model(40, 50)).unwrap();
+        // The held plan is pinned to epoch 0: same model, same results.
+        assert_eq!(plan.epoch(), 0);
+        let after = plan.execute(&request).unwrap();
+        assert_eq!(after.results, before.results);
+        assert_eq!(after.epoch, 0);
+        // A fresh execute plans on the new epoch.
+        assert_eq!(engine.execute(&request).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn each_epoch_plans_once_and_old_epochs_are_reclaimed() {
+        let engine = engine(60, 40);
+        engine.execute(&QueryRequest::top_k(3)).unwrap();
+        engine.execute(&QueryRequest::top_k(3)).unwrap();
+        assert_eq!(engine.planner_runs(), 1);
+        let old_model = engine.model();
+        let weak = Arc::downgrade(&old_model);
+        drop(old_model);
+        engine.swap_model(model(60, 40)).unwrap();
+        engine.execute(&QueryRequest::top_k(3)).unwrap();
+        assert_eq!(engine.planner_runs(), 2, "the new epoch plans afresh");
+        // Nothing still references epoch 0: its model, solvers, and plans
+        // all dropped with the epoch.
+        assert!(
+            weak.upgrade().is_none(),
+            "old epoch must be unreachable after the swap"
+        );
+    }
+
+    #[test]
+    fn non_finite_models_are_rejected_at_build_and_swap() {
+        use mips_linalg::Matrix;
+        let nan_users = Matrix::from_vec(2, 2, vec![1.0, f64::NAN, 0.0, 1.0]).unwrap();
+        let items = Matrix::from_vec(3, 2, vec![1.0; 6]).unwrap();
+        let bad = Arc::new(MfModel::new_unvalidated("nan", nan_users, items));
+        assert!(matches!(
+            EngineBuilder::new()
+                .model(Arc::clone(&bad))
+                .register(BmmFactory)
+                .build(),
+            Err(MipsError::InvalidConfig(msg)) if msg.contains("non-finite")
+        ));
+        let engine = engine(10, 10);
+        assert!(matches!(
+            engine.swap_model(bad),
+            Err(MipsError::InvalidConfig(msg)) if msg.contains("non-finite")
+        ));
+        let inf_items = Matrix::from_vec(2, 2, vec![1.0, 2.0, f64::INFINITY, 0.5]).unwrap();
+        let users = Matrix::from_vec(2, 2, vec![1.0; 4]).unwrap();
+        let bad_items = Arc::new(MfModel::new_unvalidated("inf", users, inf_items));
+        assert!(engine.swap_model(bad_items).is_err());
+        // A failed swap leaves the serving epoch untouched.
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.swap_count(), 0);
+        assert!(engine.execute(&QueryRequest::top_k(2)).is_ok());
+    }
+
+    #[test]
+    fn factor_width_mismatch_is_rejected_at_build_and_swap() {
+        use mips_linalg::Matrix;
+        // Users have 4 factors, items only 2: the dot kernels must never
+        // see these rows, so both intake points reject with a typed error.
+        let mismatched = Arc::new(MfModel::new_unvalidated(
+            "ragged",
+            Matrix::from_vec(2, 4, vec![0.5; 8]).unwrap(),
+            Matrix::from_vec(3, 2, vec![0.5; 6]).unwrap(),
+        ));
+        assert!(matches!(
+            EngineBuilder::new()
+                .model(Arc::clone(&mismatched))
+                .register(BmmFactory)
+                .build(),
+            Err(MipsError::InvalidConfig(msg)) if msg.contains("factors")
+        ));
+        let engine = engine(10, 10);
+        assert!(matches!(
+            engine.swap_model(mismatched),
+            Err(MipsError::InvalidConfig(msg)) if msg.contains("factors")
+        ));
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn swap_rejects_empty_models() {
+        use mips_linalg::Matrix;
+        let engine = engine(10, 10);
+        let empty = Arc::new(MfModel::new_unvalidated(
+            "empty",
+            Matrix::<f64>::zeros(0, 2),
+            Matrix::<f64>::zeros(3, 2),
+        ));
+        assert_eq!(engine.swap_model(empty).unwrap_err(), MipsError::EmptyModel);
     }
 
     #[test]

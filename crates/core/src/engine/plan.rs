@@ -21,6 +21,11 @@ pub struct PreparedPlan {
     pub(super) backend_key: String,
     pub(super) planned_k: usize,
     pub(super) threads: usize,
+    /// The model epoch this plan was sampled on. The plan pins that
+    /// epoch's model and solver, so it keeps serving bit-identically after
+    /// an [`Engine::swap_model`](super::Engine::swap_model) — new plans are
+    /// prepared lazily on the new epoch.
+    pub(super) epoch: u64,
     /// Per-candidate estimates, in registry order; empty when only one
     /// backend was registered and no sampling was needed.
     pub(super) estimates: Vec<StrategyEstimate>,
@@ -57,6 +62,11 @@ impl PreparedPlan {
         self.sample_size
     }
 
+    /// The model epoch the plan was prepared on (and serves from).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Wall-clock seconds the planning phase took.
     pub fn decision_seconds(&self) -> f64 {
         self.decision_seconds
@@ -91,6 +101,7 @@ impl PreparedPlan {
             self.threads,
             request,
             true,
+            self.epoch,
         )
     }
 }
@@ -100,6 +111,7 @@ impl std::fmt::Debug for PreparedPlan {
         f.debug_struct("PreparedPlan")
             .field("backend_key", &self.backend_key)
             .field("planned_k", &self.planned_k)
+            .field("epoch", &self.epoch)
             .field("sample_size", &self.sample_size)
             .field("decision_seconds", &self.decision_seconds)
             .finish()

@@ -233,6 +233,12 @@ pub struct QueryResponse {
     /// `true` when the backend was chosen by a cached query plan rather
     /// than named explicitly.
     pub planned: bool,
+    /// The model epoch the request was served from. Under
+    /// [`swap_model`](super::Engine::swap_model) every request is served
+    /// end to end on exactly one epoch — the one current when it entered
+    /// the engine (or was admitted by the server) — and this field reports
+    /// which.
+    pub epoch: u64,
     /// Wall-clock seconds spent serving (excludes planning).
     pub serve_seconds: f64,
 }

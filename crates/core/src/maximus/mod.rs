@@ -375,11 +375,10 @@ fn build_cluster_list(
             )
         })
         .collect();
-    entries.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("bounds are finite")
-            .then(a.2.cmp(&b.2))
-    });
+    // `total_cmp`: same panic-free hardening as the LEMP/FEXIPRO
+    // norm-sorts — bounds are finite for validated models, but an index
+    // build must not be able to panic on a stray NaN.
+    entries.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.2.cmp(&b.2)));
 
     let list_ids: Vec<u32> = entries.iter().map(|e| e.2).collect();
     let bounds: Vec<f64> = entries.iter().map(|e| e.0).collect();

@@ -6,7 +6,7 @@
 //! `1 × f` passes over the item matrix (§II-B; LEMP makes the same
 //! observation with bucket-batched probing). Single-user traffic squanders
 //! that, so the batcher coalesces queued sub-requests that target the same
-//! `(shard, k)` into one `query_subset` call:
+//! shard engine at the same `k` into one `query_subset` call:
 //!
 //! * **Adaptive flush (default).** A worker pops one sub-request, then
 //!   extracts every queued match up to `max_batch`. Under light load the
@@ -14,22 +14,40 @@
 //!   heavy load a backlog forms and batches fill — throughput rises exactly
 //!   when it is needed.
 //! * **Deadline flush (`batch_window > 0`).** After draining the backlog a
-//!   worker holds the partial batch open for the window, absorbing
-//!   arrivals, then flushes. Trades bounded latency for larger batches on
-//!   trickling traffic.
+//!   worker holds the partial batch open, absorbing arrivals, then flushes.
+//!   The hold-open window is anchored at **pop time** (when the worker
+//!   starts assembling the batch), not at the leader's submission time: a
+//!   leader that already sat in the queue for a full window — exactly the
+//!   backlog situation where coalescing pays most — still gets a window's
+//!   worth of arrivals. To keep queue delay from compounding unboundedly,
+//!   the hold-open is capped so the leader's **total** queue latency
+//!   (submission → flush) never exceeds [`QUEUE_LATENCY_CAP`] windows; a
+//!   leader already past that cap flushes immediately with whatever the
+//!   backlog drain produced.
 //!
 //! Coalescing is transparent: every solver's `query_subset` produces
 //! per-user results that are independent of batch composition (the stress
 //! suite asserts bit-identical results against sequential
 //! [`Engine::execute`](crate::engine::Engine::execute) calls), and
 //! exclusion-carrying sub-requests are never coalesced, because two
-//! requests may exclude different items for the same user.
+//! requests may exclude different items for the same user. Model epochs
+//! are respected by construction: the batch key is the identity of the
+//! shard engine (which pins one epoch), so sub-requests admitted before
+//! and after a [`swap_model`](crate::engine::Engine::swap_model) can never
+//! share a solver call.
 
 use super::queue::{BatchKey, SubmitQueue};
-use super::shard::{ShardEngine, SubRequest, SubUsers};
+use super::shard::{SubRequest, SubUsers};
 use crate::engine::serve;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Bound on a deadline-flush leader's total queue latency, in units of
+/// `batch_window`: the hold-open never extends a leader's
+/// submission-to-flush delay beyond this many windows. See the module docs
+/// for the semantics.
+pub(crate) const QUEUE_LATENCY_CAP: u32 = 4;
 
 /// Flush policy for the micro-batcher.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +58,8 @@ pub(crate) struct BatchPolicy {
 }
 
 /// Gathers the micro-batch led by `first`: drains queued matches, then
-/// (with a deadline policy) holds the batch open for the window.
+/// (with a deadline policy) holds the batch open for the window — anchored
+/// at pop time, capped by the leader's total queue latency (module docs).
 pub(crate) fn collect_batch(
     queue: &SubmitQueue,
     first: SubRequest,
@@ -58,27 +77,40 @@ pub(crate) fn collect_batch(
         .max_batch
         .saturating_sub(batch.iter().map(|s| s.users.len()).sum());
     if budget > 0 && !policy.window.is_zero() {
-        let deadline = batch[0].submitted_at + policy.window;
-        queue.extract_until(
-            key,
-            policy.max_batch,
-            policy.max_batch,
-            deadline,
-            &mut batch,
-        );
+        let now = Instant::now();
+        let latency_cap = batch[0].submitted_at + policy.window * QUEUE_LATENCY_CAP;
+        let deadline = (now + policy.window).min(latency_cap);
+        if deadline > now {
+            queue.extract_until(
+                key,
+                policy.max_batch,
+                policy.max_batch,
+                deadline,
+                &mut batch,
+            );
+        }
     }
     batch
 }
 
-/// Executes one batch (one or many coalesced sub-requests) on its shard,
-/// scattering results back into each pending response. Request-level
-/// completion metrics roll up inside the pending itself, before any waiter
-/// wakes. `progress` counts subs whose shard `completed` counter has been
-/// bumped — the worker's panic handler uses it to settle the remainder so
+/// Executes one batch (one or many coalesced sub-requests) on the shard
+/// engine every sub-request in it is pinned to, scattering results back
+/// into each pending response. Request-level completion metrics roll up
+/// inside the pending itself, before any waiter wakes. `progress` counts
+/// subs whose shard `completed` counter has been bumped — the worker's
+/// panic handler uses it to settle the remainder so
 /// `submitted == completed` holds even across backend panics.
-pub(crate) fn execute_batch(shard: &ShardEngine, batch: Vec<SubRequest>, progress: &AtomicUsize) {
+pub(crate) fn execute_batch(batch: Vec<SubRequest>, progress: &AtomicUsize) {
     debug_assert!(!batch.is_empty());
-    debug_assert!(batch.iter().all(|s| s.shard == shard.index));
+    // The batch key guarantees one shard engine (hence one epoch) per
+    // batch.
+    debug_assert!(batch
+        .iter()
+        .all(|s| Arc::ptr_eq(&s.engine, &batch[0].engine)));
+    let shard = Arc::clone(&batch[0].engine);
+    debug_assert!(batch
+        .iter()
+        .all(|s| s.shard == shard.index && s.epoch == shard.epoch.id));
     let k = batch[0].k;
     let settle_one = |sub: &SubRequest| {
         shard.counters.add(&shard.counters.completed, 1);
@@ -106,7 +138,7 @@ pub(crate) fn execute_batch(shard: &ShardEngine, batch: Vec<SubRequest>, progres
     let outcome = if batch.len() == 1 {
         // Solo path: ranges stay ranges, exclusions allowed.
         let request = batch[0].to_request();
-        serve(model, solver, 1, &request, true).map(|r| r.results)
+        serve(model, solver, 1, &request, true, plan.epoch()).map(|r| r.results)
     } else {
         // Coalesced path: concatenate ids into one gathered batch. Repeats
         // across sub-requests are fine — the solver's dedup fans results
@@ -123,7 +155,7 @@ pub(crate) fn execute_batch(shard: &ShardEngine, batch: Vec<SubRequest>, progres
             users: crate::engine::UserSelection::Ids(users),
             exclude: None,
         };
-        serve(model, solver, 1, &request, true).map(|r| r.results)
+        serve(model, solver, 1, &request, true, plan.epoch()).map(|r| r.results)
     };
     let busy_ns = started.elapsed().as_nanos() as u64;
 
@@ -160,5 +192,80 @@ pub(crate) fn execute_batch(shard: &ShardEngine, batch: Vec<SubRequest>, progres
                 sub.pending.fail(error.clone());
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::shard::{test_engines, Pending, ShardEngine, ShardRouter};
+    use std::sync::Arc;
+
+    fn policy(window: Duration) -> BatchPolicy {
+        BatchPolicy {
+            enabled: true,
+            max_batch: 8,
+            window,
+        }
+    }
+
+    fn sub_at(engine: &Arc<ShardEngine>, user: usize, submitted_at: Instant) -> SubRequest {
+        SubRequest {
+            shard: engine.index,
+            epoch: engine.epoch.id,
+            k: 2,
+            users: SubUsers::Ids {
+                users: vec![user],
+                positions: vec![0],
+            },
+            exclude: None,
+            pending: Arc::new(Pending::new(1, submitted_at)),
+            engine: Arc::clone(engine),
+            submitted_at,
+        }
+    }
+
+    #[test]
+    fn stale_leaders_still_hold_the_window_open_at_pop_time() {
+        // The leader already waited one full window in the queue — the old
+        // submission-anchored deadline would flush immediately and lose
+        // exactly the coalescing a backlog makes valuable. The pop-anchored
+        // window must still absorb an arrival landing shortly after pop.
+        let engines = test_engines(&ShardRouter::new(8, 1));
+        let window = Duration::from_millis(80);
+        let queue = SubmitQueue::new(16);
+        let leader = sub_at(&engines[0], 0, Instant::now() - window);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                queue
+                    .push_all(vec![sub_at(&engines[0], 1, Instant::now())], false)
+                    .unwrap();
+            });
+            let batch = collect_batch(&queue, leader, &policy(window));
+            assert_eq!(batch.len(), 2, "the late arrival must coalesce");
+        });
+    }
+
+    #[test]
+    fn the_queue_latency_cap_bounds_the_hold_open() {
+        // A leader already past QUEUE_LATENCY_CAP windows of queue delay
+        // flushes with whatever the drain produced instead of waiting.
+        let engines = test_engines(&ShardRouter::new(8, 1));
+        let window = Duration::from_millis(60);
+        let queue = SubmitQueue::new(16);
+        let ancient = sub_at(
+            &engines[0],
+            0,
+            Instant::now() - window * (QUEUE_LATENCY_CAP + 1),
+        );
+        let started = Instant::now();
+        let batch = collect_batch(&queue, ancient, &policy(window));
+        assert_eq!(batch.len(), 1);
+        assert!(
+            started.elapsed() < window / 2,
+            "capped leader must not hold the batch open: {:?}",
+            started.elapsed()
+        );
     }
 }

@@ -92,10 +92,14 @@ fn quantile_us(counts: &[u64], q: f64) -> f64 {
             continue;
         }
         if seen + c >= rank {
-            // Interpolate geometrically inside bucket [2^i, 2^(i+1)).
+            // Interpolate geometrically inside bucket [2^i, 2^(i+1)):
+            // rank fraction `within` maps to `low * 2^within`, so the
+            // reported quantile moves multiplicatively through the bucket,
+            // matching the histogram's own logarithmic spacing (linear
+            // interpolation would bias the low half of every bucket).
             let within = (rank - seen) as f64 / c as f64;
             let low = (1u64 << i) as f64;
-            return low * (1.0 + within) / 1e3;
+            return low * within.exp2() / 1e3;
         }
         seen += c;
     }
@@ -188,6 +192,9 @@ pub(crate) struct ServerCounters {
     pub(crate) completed: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) failed: AtomicU64,
+    /// Topology installs beyond the initial one: how many model swaps the
+    /// serving runtime has picked up (re-sharding included).
+    pub(crate) swaps: AtomicU64,
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -202,9 +209,17 @@ pub struct ServerMetrics {
     pub rejected: u64,
     /// Requests that completed with an error (worker panic, plan failure).
     pub failed: u64,
+    /// The model epoch the server is currently admitting requests onto.
+    /// In-flight requests may still be finishing on older epochs.
+    pub epoch: u64,
+    /// Model swaps the runtime has picked up (topology rebuilds — the
+    /// count of `swap_model` calls whose new epoch reached the server).
+    pub swaps: u64,
     /// End-to-end request latency (submission → reassembled response).
     pub latency: LatencySnapshot,
-    /// Per-shard counters, in shard order.
+    /// Per-shard counters, in shard order. Counters accumulate across
+    /// swaps while the shard bounds are unchanged; a swap that re-shards
+    /// (the user count changed) starts the per-shard counters afresh.
     pub shards: Vec<ShardMetrics>,
 }
 
@@ -252,6 +267,43 @@ mod tests {
         assert!(snap.p99_us <= 2.1, "{snap:?}");
         assert!((snap.max_us - 1_000.0).abs() < 1e-9);
         assert!(snap.mean_us > 1.0 && snap.mean_us < 20.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_geometrically_within_a_bucket() {
+        // 100 identical samples land in bucket 10 ([1024ns, 2048ns)); the
+        // quantile at rank r must be exactly 1024 * 2^(r/100).
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_ns(1_500);
+        }
+        let snap = h.snapshot();
+        let expect = |q: f64| 1024.0 * (q).exp2() / 1e3;
+        assert!((snap.p50_us - expect(0.50)).abs() < 1e-9, "{snap:?}");
+        assert!((snap.p99_us - expect(0.99)).abs() < 1e-9, "{snap:?}");
+        // Geometric interpolation never leaves the bucket.
+        assert!(snap.p50_us >= 1.024 && snap.p50_us < 2.048);
+        assert!(snap.p99_us >= 1.024 && snap.p99_us < 2.048);
+    }
+
+    #[test]
+    fn quantiles_walk_to_the_correct_bucket_for_known_contents() {
+        // 90 samples in bucket 9 ([512, 1024)), 10 in bucket 19
+        // ([524288, 1048576)).
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(1_000);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000);
+        }
+        let snap = h.snapshot();
+        // p50: rank 50 of 100 sits in the first bucket, 50/90 deep.
+        let p50 = 512.0 * (50.0f64 / 90.0).exp2() / 1e3;
+        // p99: rank 99, 9/10 into the outlier bucket.
+        let p99 = 524_288.0 * (9.0f64 / 10.0).exp2() / 1e3;
+        assert!((snap.p50_us - p50).abs() < 1e-9, "{snap:?}");
+        assert!((snap.p99_us - p99).abs() < 1e-6, "{snap:?}");
     }
 
     #[test]

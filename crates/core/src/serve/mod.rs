@@ -22,6 +22,13 @@
 //!   ([`ServerBuilder::batch_window`]) threshold.
 //! * **Observability.** Per-shard throughput/latency counters and
 //!   request-level p50/p99, via [`MipsServer::metrics`].
+//! * **Hot model swap.** [`Engine::swap_model`] on the fronted engine is
+//!   picked up without restarting the server: each request is admitted
+//!   onto the epoch current at submission and served on it end to end,
+//!   while the shard topology (re-chunked when the user count changed)
+//!   follows the new epoch for subsequent admissions. The micro-batcher
+//!   never coalesces across epochs, and [`ServerMetrics`] reports the
+//!   serving epoch and swap count.
 //!
 //! Results are bit-identical to sequential [`Engine::execute`] calls; the
 //! concurrency is invisible except in the clock.
@@ -63,14 +70,15 @@ mod worker;
 
 pub use metrics::{LatencyHistogram, LatencySnapshot, ServerMetrics, ShardMetrics};
 
-use crate::engine::{Engine, MipsError, QueryRequest, QueryResponse};
+use crate::engine::epoch::{ArcCell, ModelEpoch};
+use crate::engine::{lock_recovering, Engine, MipsError, QueryRequest, QueryResponse};
 use batcher::BatchPolicy;
-use metrics::ServerCounters;
+use metrics::{ServerCounters, ShardCounters};
 use queue::SubmitQueue;
 use shard::{Pending, ShardEngine, ShardRouter};
 use std::ops::Range;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -202,6 +210,9 @@ impl ServerBuilder {
             // A request can split into one sub-request per shard; a queue
             // smaller than that could only admit such a request into an
             // empty queue, which sustained small traffic can starve forever.
+            // (Topology rebuilds after a model swap additionally cap the
+            // effective shard count at `queue_capacity`, so the guarantee
+            // survives swaps that grow the user count.)
             return Err(MipsError::InvalidConfig(format!(
                 "queue_capacity ({}) must be at least the shard count ({}) \
                  so any request can be admitted",
@@ -210,24 +221,20 @@ impl ServerBuilder {
             )));
         }
 
-        let router = ShardRouter::new(engine.model().num_users(), config.shards);
-        let shards: Vec<ShardEngine> = router
-            .bounds()
-            .iter()
-            .enumerate()
-            .map(|(i, users)| ShardEngine::new(i, users.clone(), Arc::clone(&engine)))
-            .collect();
+        let snapshot = engine.snapshot();
+        let counters = Arc::new(ServerCounters::default());
+        let topology = Arc::new(build_topology(&engine, &snapshot, &config, None));
         let shared = Arc::new(ServerShared {
             engine,
-            router,
-            shards,
+            topology: ArcCell::new(topology),
+            rebuild: Mutex::new(()),
             queue: SubmitQueue::new(config.queue_capacity),
             policy: BatchPolicy {
                 enabled: config.batching,
                 max_batch: config.max_batch,
                 window: config.batch_window,
             },
-            counters: Arc::new(ServerCounters::default()),
+            counters,
             config: config.clone(),
         });
         let workers = (0..config.workers)
@@ -243,15 +250,110 @@ impl ServerBuilder {
     }
 }
 
+/// The shard layout for one model epoch: the router that splits requests
+/// plus the epoch-pinned [`ShardEngine`] each shard executes on.
+///
+/// A model swap does not mutate a topology — a fresh one is built for the
+/// new epoch on the next admission (see [`ServerShared::topology_for`]) and
+/// installed atomically, so in-flight sub-requests keep their old shard
+/// engines until they settle.
+pub(crate) struct Topology {
+    pub(crate) epoch: u64,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<Arc<ShardEngine>>,
+}
+
+/// Builds the topology serving `snapshot`: shards re-chunk to the epoch's
+/// user count (capped by the configured shard count and, post-swap, the
+/// queue capacity — so a whole-model request always fits the queue). When
+/// the previous topology has identical bounds, per-shard counters carry
+/// over so swap-induced rebuilds do not reset cumulative metrics; a
+/// re-shard (changed bounds) starts them afresh.
+fn build_topology(
+    engine: &Arc<Engine>,
+    snapshot: &Arc<ModelEpoch>,
+    config: &ServerConfig,
+    previous: Option<&Topology>,
+) -> Topology {
+    let shard_cap = config.shards.min(config.queue_capacity);
+    let router = ShardRouter::new(snapshot.model.num_users(), shard_cap);
+    let carry_over =
+        previous.filter(|prev| prev.router.bounds() == router.bounds() && !prev.shards.is_empty());
+    let shards = router
+        .bounds()
+        .iter()
+        .enumerate()
+        .map(|(i, users)| {
+            let counters = match carry_over {
+                Some(prev) => Arc::clone(&prev.shards[i].counters),
+                None => Arc::new(ShardCounters::default()),
+            };
+            Arc::new(ShardEngine::new(
+                i,
+                users.clone(),
+                Arc::clone(engine),
+                Arc::clone(snapshot),
+                counters,
+            ))
+        })
+        .collect();
+    Topology {
+        epoch: snapshot.id,
+        router,
+        shards,
+    }
+}
+
 /// State shared between the server handle and its workers.
 pub(crate) struct ServerShared {
     pub(crate) engine: Arc<Engine>,
-    pub(crate) router: ShardRouter,
-    pub(crate) shards: Vec<ShardEngine>,
+    /// The topology serving the newest epoch the server has seen.
+    pub(crate) topology: ArcCell<Topology>,
+    /// Serializes topology rebuilds so concurrent submitters after a swap
+    /// build the new shard set once, not once each.
+    rebuild: Mutex<()>,
     pub(crate) queue: SubmitQueue,
     pub(crate) policy: BatchPolicy,
     pub(crate) counters: Arc<ServerCounters>,
     pub(crate) config: ServerConfig,
+}
+
+impl ServerShared {
+    /// The topology for the given epoch snapshot, rebuilding (and
+    /// installing) it when the engine has swapped since the last admission.
+    ///
+    /// Returns `None` when `snapshot` is already older than the installed
+    /// topology (another submitter raced a newer swap in): the caller must
+    /// re-snapshot and re-validate on the newer epoch. This keeps the
+    /// installed topology's epoch monotonic and ensures every admitted
+    /// sub-request lands on shard counters that [`MipsServer::metrics`]
+    /// can see — no orphan topologies.
+    pub(crate) fn topology_for(&self, snapshot: &Arc<ModelEpoch>) -> Option<Arc<Topology>> {
+        let current = self.topology.load();
+        if current.epoch == snapshot.id {
+            return Some(current);
+        }
+        if current.epoch > snapshot.id {
+            return None;
+        }
+        let _rebuild = lock_recovering(&self.rebuild);
+        let current = self.topology.load();
+        if current.epoch == snapshot.id {
+            return Some(current);
+        }
+        if current.epoch > snapshot.id {
+            return None;
+        }
+        let fresh = Arc::new(build_topology(
+            &self.engine,
+            snapshot,
+            &self.config,
+            Some(&current),
+        ));
+        self.topology.swap_with(|_| Arc::clone(&fresh));
+        self.counters.swaps.fetch_add(1, Ordering::Relaxed);
+        Some(fresh)
+    }
 }
 
 /// A waitable in-flight request returned by [`MipsServer::submit`].
@@ -295,9 +397,10 @@ impl MipsServer {
         &self.shared.config
     }
 
-    /// The contiguous user range of each shard.
-    pub fn shard_bounds(&self) -> &[Range<usize>] {
-        self.shared.router.bounds()
+    /// The contiguous user range of each shard of the current topology
+    /// (a snapshot: a model swap that changes the user count re-chunks).
+    pub fn shard_bounds(&self) -> Vec<Range<usize>> {
+        self.shared.topology.load().router.bounds().to_vec()
     }
 
     /// Worker threads in the pool.
@@ -328,26 +431,42 @@ impl MipsServer {
         request: &QueryRequest,
         block: bool,
     ) -> Result<ResponseHandle, MipsError> {
-        request.validate(self.shared.engine.model())?;
+        // One epoch snapshot per request: validation, splitting, planning,
+        // and serving all resolve against it, so a concurrent swap_model
+        // can never tear a request across two models. If a newer epoch was
+        // installed while validating (rare swap race), retry on it —
+        // epochs are monotonic, so this terminates.
+        let (snapshot, topology) = loop {
+            let snapshot = self.shared.engine.snapshot();
+            request.validate(&snapshot.model)?;
+            if let Some(topology) = self.shared.topology_for(&snapshot) {
+                break (snapshot, topology);
+            }
+        };
         let now = Instant::now();
-        let result_len = request.result_len(self.shared.engine.model());
+        let result_len = request.result_len(&snapshot.model);
         let pending = Arc::new(Pending::with_counters(
             result_len,
             now,
             Some(Arc::clone(&self.shared.counters)),
+            snapshot.id,
         ));
-        let subs = self.shared.router.split(request, &pending, now);
+        let subs = topology
+            .router
+            .split(request, &pending, now, &topology.shards);
         debug_assert!(!subs.is_empty(), "validated requests select users");
         // Safe to set after splitting: no worker sees the subs until
         // push_all succeeds below.
         pending.set_parts(subs.len());
         // Count shard submissions only after admission succeeds, so bounced
         // requests never show up as phantom in-flight work in ShardMetrics.
-        let shard_ids: Vec<usize> = subs.iter().map(|s| s.shard).collect();
+        let shard_counters: Vec<Arc<ShardCounters>> = subs
+            .iter()
+            .map(|s| Arc::clone(&s.engine.counters))
+            .collect();
         match self.shared.queue.push_all(subs, block) {
             Ok(()) => {
-                for &shard in &shard_ids {
-                    let counters = &self.shared.shards[shard].counters;
+                for counters in &shard_counters {
                     counters.add(&counters.submitted, 1);
                 }
                 self.shared
@@ -369,15 +488,19 @@ impl MipsServer {
     }
 
     /// Snapshots every counter: request-level throughput/latency plus the
-    /// per-shard breakdown.
+    /// per-shard breakdown of the current topology (per-shard counters
+    /// survive swaps that keep the shard bounds; a re-shard resets them).
     pub fn metrics(&self) -> ServerMetrics {
+        let topology = self.shared.topology.load();
         ServerMetrics {
             submitted: self.shared.counters.submitted.load(Ordering::Relaxed),
             completed: self.shared.counters.completed.load(Ordering::Relaxed),
             rejected: self.shared.counters.rejected.load(Ordering::Relaxed),
             failed: self.shared.counters.failed.load(Ordering::Relaxed),
+            epoch: topology.epoch,
+            swaps: self.shared.counters.swaps.load(Ordering::Relaxed),
             latency: self.shared.counters.latency.snapshot(),
-            shards: self.shared.shards.iter().map(|s| s.metrics()).collect(),
+            shards: topology.shards.iter().map(|s| s.metrics()).collect(),
         }
     }
 
@@ -409,8 +532,10 @@ impl Drop for MipsServer {
 
 impl std::fmt::Debug for MipsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topology = self.shared.topology.load();
         f.debug_struct("MipsServer")
-            .field("shards", &self.shared.router.num_shards())
+            .field("epoch", &topology.epoch)
+            .field("shards", &topology.router.num_shards())
             .field("workers", &self.workers.len())
             .field("queue_capacity", &self.shared.config.queue_capacity)
             .field("batching", &self.shared.policy.enabled)

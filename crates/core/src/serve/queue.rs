@@ -23,20 +23,31 @@
 use super::shard::SubRequest;
 use crate::engine::MipsError;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// The key micro-batchable work is coalesced under.
+/// The key micro-batchable work is coalesced under: one concrete
+/// [`ShardEngine`](super::shard::ShardEngine) instance at one `k`.
+///
+/// Keying on the shard engine's identity (not its index) makes coalescing
+/// epoch-safe by construction: a model swap installs a new topology with
+/// new shard engines, so sub-requests admitted before and after a swap can
+/// never share a batch — they would plan on different models. The raw
+/// address is stable and unambiguous here because every candidate
+/// sub-request holds the engine alive through its `Arc` while it is
+/// queued, so two equal addresses always mean the same live engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct BatchKey {
-    pub(crate) shard: usize,
-    pub(crate) k: usize,
+    /// `Arc::as_ptr` of the shard engine, kept as a plain address token —
+    /// never dereferenced, only compared.
+    engine: usize,
+    k: usize,
 }
 
 impl BatchKey {
     pub(crate) fn of(sub: &SubRequest) -> BatchKey {
         BatchKey {
-            shard: sub.shard,
+            engine: Arc::as_ptr(&sub.engine) as usize,
             k: sub.k,
         }
     }
@@ -221,13 +232,19 @@ impl SubmitQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::shard::{Pending, SubUsers};
-    use std::sync::Arc;
+    use crate::serve::shard::{test_engines, Pending, ShardEngine, ShardRouter, SubUsers};
 
-    fn sub(shard: usize, k: usize, user: usize) -> SubRequest {
+    /// One shard-engine set shared by every sub-request of a test, so
+    /// sub-requests with equal shard indexes get equal batch keys.
+    fn engines() -> Vec<Arc<ShardEngine>> {
+        test_engines(&ShardRouter::new(12, 3))
+    }
+
+    fn sub(engines: &[Arc<ShardEngine>], shard: usize, k: usize, user: usize) -> SubRequest {
         let now = Instant::now();
         SubRequest {
             shard,
+            epoch: engines[shard].epoch.id,
             k,
             users: SubUsers::Ids {
                 users: vec![user],
@@ -235,21 +252,24 @@ mod tests {
             },
             exclude: None,
             pending: Arc::new(Pending::new(1, now)),
+            engine: Arc::clone(&engines[shard]),
             submitted_at: now,
         }
     }
 
     #[test]
     fn try_push_bounces_when_full_blocking_push_waits() {
+        let e = engines();
         let q = SubmitQueue::new(2);
-        q.push_all(vec![sub(0, 1, 0), sub(0, 1, 1)], false).unwrap();
+        q.push_all(vec![sub(&e, 0, 1, 0), sub(&e, 0, 1, 1)], false)
+            .unwrap();
         assert!(matches!(
-            q.push_all(vec![sub(0, 1, 2)], false),
+            q.push_all(vec![sub(&e, 0, 1, 2)], false),
             Err(MipsError::ServerOverloaded { capacity: 2 })
         ));
         // A consumer frees a slot; the blocked push completes.
         std::thread::scope(|scope| {
-            let handle = scope.spawn(|| q.push_all(vec![sub(0, 1, 2)], true));
+            let handle = scope.spawn(|| q.push_all(vec![sub(&e, 0, 1, 2)], true));
             std::thread::sleep(Duration::from_millis(20));
             assert!(q.pop().is_some());
             handle.join().unwrap().unwrap();
@@ -259,24 +279,31 @@ mod tests {
 
     #[test]
     fn oversized_requests_admit_only_into_an_empty_queue() {
+        let e = engines();
         let q = SubmitQueue::new(2);
-        let big = vec![sub(0, 1, 0), sub(1, 1, 1), sub(2, 1, 2)];
+        let big = vec![sub(&e, 0, 1, 0), sub(&e, 1, 1, 1), sub(&e, 2, 1, 2)];
         q.push_all(big, false).unwrap();
         assert_eq!(q.len(), 3);
-        assert!(q.push_all(vec![sub(0, 1, 3)], false).is_err());
+        assert!(q.push_all(vec![sub(&e, 0, 1, 3)], false).is_err());
     }
 
     #[test]
     fn extract_matching_pulls_only_the_key_and_keeps_order() {
+        let e = engines();
         let q = SubmitQueue::new(16);
         q.push_all(
-            vec![sub(0, 5, 0), sub(1, 5, 1), sub(0, 5, 2), sub(0, 3, 3)],
+            vec![
+                sub(&e, 0, 5, 0),
+                sub(&e, 1, 5, 1),
+                sub(&e, 0, 5, 2),
+                sub(&e, 0, 3, 3),
+            ],
             false,
         )
         .unwrap();
         let first = q.pop().unwrap();
+        assert_eq!((first.shard, first.k), (0, 5));
         let key = BatchKey::of(&first);
-        assert_eq!(key, BatchKey { shard: 0, k: 5 });
         let mut batch = vec![first];
         q.extract_matching(key, 8, 32, &mut batch);
         assert_eq!(batch.len(), 2, "only shard-0 k=5 items coalesce");
@@ -286,12 +313,26 @@ mod tests {
     }
 
     #[test]
+    fn subs_on_different_shard_engine_sets_never_share_a_key() {
+        // Two topologies (e.g. before and after a model swap) produce
+        // distinct batch keys even at the same shard index and k, so the
+        // micro-batcher cannot coalesce across epochs.
+        let old_topology = engines();
+        let new_topology = engines();
+        let a = sub(&old_topology, 0, 5, 1);
+        let b = sub(&new_topology, 0, 5, 2);
+        assert_ne!(BatchKey::of(&a), BatchKey::of(&b));
+        assert_eq!(BatchKey::of(&a), BatchKey::of(&sub(&old_topology, 0, 5, 3)));
+    }
+
+    #[test]
     fn closed_queue_drains_then_ends() {
+        let e = engines();
         let q = SubmitQueue::new(4);
-        q.push_all(vec![sub(0, 1, 0)], false).unwrap();
+        q.push_all(vec![sub(&e, 0, 1, 0)], false).unwrap();
         q.close();
         assert!(matches!(
-            q.push_all(vec![sub(0, 1, 1)], true),
+            q.push_all(vec![sub(&e, 0, 1, 1)], true),
             Err(MipsError::ServerShutdown)
         ));
         assert!(q.pop().is_some(), "backlog drains after close");
@@ -300,10 +341,13 @@ mod tests {
 
     #[test]
     fn extract_until_respects_the_deadline() {
+        let e = engines();
         let q = SubmitQueue::new(4);
-        let mut out = vec![sub(0, 2, 0)];
+        let leader = sub(&e, 0, 2, 0);
+        let key = BatchKey::of(&leader);
+        let mut out = vec![leader];
         let deadline = Instant::now() + Duration::from_millis(15);
-        q.extract_until(BatchKey { shard: 0, k: 2 }, 4, 32, deadline, &mut out);
+        q.extract_until(key, 4, 32, deadline, &mut out);
         assert_eq!(out.len(), 1, "nothing arrived inside the window");
         assert!(Instant::now() >= deadline);
     }

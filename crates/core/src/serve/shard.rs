@@ -12,8 +12,10 @@
 //! with every sub-request that needs it.
 
 use super::metrics::{ServerCounters, ShardCounters, ShardMetrics};
+use crate::engine::epoch::ModelEpoch;
 use crate::engine::{
-    Engine, ExclusionSet, MipsError, PreparedPlan, QueryRequest, QueryResponse, UserSelection,
+    lock_recovering, Engine, ExclusionSet, MipsError, PreparedPlan, QueryRequest, QueryResponse,
+    UserSelection,
 };
 use crate::parallel::chunk_bounds;
 use mips_topk::TopKList;
@@ -28,41 +30,54 @@ use std::time::Instant;
 /// global plan lock) and its counters. Solver scratch stays where PR 1/2
 /// put it: allocated inside each `query_*` call, one set per worker
 /// invocation, never shared.
+///
+/// A shard engine is pinned to one model epoch: sub-requests carry an
+/// `Arc` to the shard engine they were split against, so a sub-request
+/// admitted before a [`swap_model`](Engine::swap_model) plans and serves on
+/// its original epoch even if the swap lands mid-queue. Fresh shard
+/// engines (a new topology) are built for the new epoch on the next
+/// admission; the old set is reclaimed when the last in-flight sub-request
+/// drops its `Arc`.
 pub(crate) struct ShardEngine {
     pub(crate) index: usize,
     pub(crate) users: Range<usize>,
+    /// The pinned model epoch (plans, solvers, and validation all resolve
+    /// against this snapshot, never the engine's live state).
+    pub(crate) epoch: Arc<ModelEpoch>,
     engine: Arc<Engine>,
     plans: Mutex<HashMap<usize, Arc<PreparedPlan>>>,
-    pub(crate) counters: ShardCounters,
+    /// Shared so a re-built topology with identical bounds carries its
+    /// cumulative counters forward (see `build_topology`).
+    pub(crate) counters: Arc<ShardCounters>,
 }
 
 impl ShardEngine {
-    pub(crate) fn new(index: usize, users: Range<usize>, engine: Arc<Engine>) -> ShardEngine {
+    pub(crate) fn new(
+        index: usize,
+        users: Range<usize>,
+        engine: Arc<Engine>,
+        epoch: Arc<ModelEpoch>,
+        counters: Arc<ShardCounters>,
+    ) -> ShardEngine {
         ShardEngine {
             index,
             users,
+            epoch,
             engine,
             plans: Mutex::new(HashMap::new()),
-            counters: ShardCounters::default(),
+            counters,
         }
     }
 
-    /// The plan for `k`: shard-local cache first, the engine's shared plan
-    /// cache (which dedupes concurrent planning across shards) on a miss.
+    /// The plan for `k` on this shard's pinned epoch: shard-local cache
+    /// first, the epoch's shared plan cache (which dedupes concurrent
+    /// planning across shards) on a miss.
     pub(crate) fn plan(&self, k: usize) -> Result<Arc<PreparedPlan>, MipsError> {
-        if let Some(plan) = self
-            .plans
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&k)
-        {
+        if let Some(plan) = lock_recovering(&self.plans).get(&k) {
             return Ok(Arc::clone(plan));
         }
-        let plan = self.engine.prepare(k)?;
-        self.plans
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(k, Arc::clone(&plan));
+        let plan = self.engine.prepare_on(&self.epoch, k)?;
+        lock_recovering(&self.plans).insert(k, Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -104,20 +119,26 @@ impl ShardRouter {
     }
 
     /// Splits a validated request into per-shard sub-requests, all wired to
-    /// one [`Pending`] reassembly buffer sized for the full response.
+    /// one [`Pending`] reassembly buffer sized for the full response. Each
+    /// sub-request carries the [`ShardEngine`] it was split against
+    /// (`engines[shard]`), pinning it to that topology's model epoch.
     pub(crate) fn split(
         &self,
         request: &QueryRequest,
         pending: &Arc<Pending>,
         now: Instant,
+        engines: &[Arc<ShardEngine>],
     ) -> Vec<SubRequest> {
+        debug_assert_eq!(engines.len(), self.bounds.len());
         let exclude = request.exclude.clone().filter(|e| !e.is_empty());
         let sub = |users: SubUsers, shard: usize| SubRequest {
             shard,
+            epoch: engines[shard].epoch.id,
             k: request.k,
             users,
             exclude: exclude.clone(),
             pending: Arc::clone(pending),
+            engine: Arc::clone(&engines[shard]),
             submitted_at: now,
         };
         match &request.users {
@@ -210,10 +231,16 @@ impl SubUsers {
 /// worker pool through the server's queue.
 pub(crate) struct SubRequest {
     pub(crate) shard: usize,
+    /// The model epoch this sub-request is pinned to (`engine.epoch.id`,
+    /// duplicated here so metrics and assertions need no pointer chase).
+    pub(crate) epoch: u64,
     pub(crate) k: usize,
     pub(crate) users: SubUsers,
     pub(crate) exclude: Option<Arc<ExclusionSet>>,
     pub(crate) pending: Arc<Pending>,
+    /// The shard engine to execute on — the topology entry current at
+    /// admission, kept alive by this `Arc` until the sub-request settles.
+    pub(crate) engine: Arc<ShardEngine>,
     pub(crate) submitted_at: Instant,
 }
 
@@ -249,6 +276,9 @@ pub(crate) struct Pending {
     /// up *before* the waiter wakes, so metrics never lag a completed
     /// `wait`. `None` in unit tests that exercise the pending alone.
     counters: Option<Arc<ServerCounters>>,
+    /// The model epoch the request was admitted under, reported back in
+    /// [`QueryResponse::epoch`].
+    epoch: u64,
 }
 
 struct PendingState {
@@ -267,14 +297,16 @@ impl Pending {
     /// split is known — before any worker can see the sub-requests.
     #[cfg(test)]
     pub(crate) fn new(result_len: usize, now: Instant) -> Pending {
-        Pending::with_counters(result_len, now, None)
+        Pending::with_counters(result_len, now, None, 0)
     }
 
-    /// [`Pending::new`] wired to the server's request-level counters.
+    /// [`Pending::new`] wired to the server's request-level counters and
+    /// stamped with the model epoch the request was admitted under.
     pub(crate) fn with_counters(
         result_len: usize,
         now: Instant,
         counters: Option<Arc<ServerCounters>>,
+        epoch: u64,
     ) -> Pending {
         Pending {
             state: Mutex::new(PendingState {
@@ -288,6 +320,7 @@ impl Pending {
             }),
             done: Condvar::new(),
             counters,
+            epoch,
         }
     }
 
@@ -390,9 +423,47 @@ impl Pending {
             results: std::mem::take(&mut state.results),
             backend: std::mem::take(&mut state.backend),
             planned: true,
+            epoch: self.epoch,
             serve_seconds: state.latency,
         })
     }
+}
+
+/// Test-only construction of a shard-engine set over a tiny real engine,
+/// shared by the shard/queue/batcher unit tests (which exercise routing and
+/// coalescing identity, not serving).
+#[cfg(test)]
+pub(crate) fn test_engines(router: &ShardRouter) -> Vec<Arc<ShardEngine>> {
+    use crate::engine::{BmmFactory, EngineBuilder};
+    use mips_data::synth::{synth_model, SynthConfig};
+    let model = Arc::new(synth_model(&SynthConfig {
+        num_users: router.bounds().last().map_or(1, |r| r.end).max(1),
+        num_items: 16,
+        num_factors: 4,
+        ..SynthConfig::default()
+    }));
+    let engine = Arc::new(
+        EngineBuilder::new()
+            .model(model)
+            .register(BmmFactory)
+            .build()
+            .unwrap(),
+    );
+    let epoch = engine.snapshot();
+    router
+        .bounds()
+        .iter()
+        .enumerate()
+        .map(|(i, users)| {
+            Arc::new(ShardEngine::new(
+                i,
+                users.clone(),
+                Arc::clone(&engine),
+                Arc::clone(&epoch),
+                Arc::new(ShardCounters::default()),
+            ))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -426,19 +497,25 @@ mod tests {
     #[test]
     fn splits_cover_each_selection_shape() {
         let r = router();
+        let engines = test_engines(&r);
         let now = Instant::now();
         let all = QueryRequest::top_k(2);
         let pending = Arc::new(Pending::new(10, now));
-        let subs = r.split(&all, &pending, now);
+        let subs = r.split(&all, &pending, now, &engines);
         assert_eq!(subs.len(), 3);
         assert!(
             matches!(&subs[1].users, SubUsers::Range { users, out_start } if *users == (4..8) && *out_start == 4)
         );
+        // Every sub-request is pinned to its shard's engine and epoch.
+        for sub in &subs {
+            assert!(Arc::ptr_eq(&sub.engine, &engines[sub.shard]));
+            assert_eq!(sub.epoch, engines[sub.shard].epoch.id);
+        }
 
         // A range straddling the first boundary only touches two shards.
         let range = QueryRequest::top_k(2).users_range(2..6);
         let pending = Arc::new(Pending::new(4, now));
-        let subs = r.split(&range, &pending, now);
+        let subs = r.split(&range, &pending, now, &engines);
         assert_eq!(subs.len(), 2);
         assert!(
             matches!(&subs[0].users, SubUsers::Range { users, out_start } if *users == (2..4) && *out_start == 0)
@@ -450,7 +527,7 @@ mod tests {
         // Ids scatter by shard but keep their response positions.
         let ids = QueryRequest::top_k(2).users(vec![9, 0, 5, 0]);
         let pending = Arc::new(Pending::new(4, now));
-        let subs = r.split(&ids, &pending, now);
+        let subs = r.split(&ids, &pending, now, &engines);
         assert_eq!(subs.len(), 3);
         assert!(
             matches!(&subs[0].users, SubUsers::Ids { users, positions } if users == &[0, 0] && positions == &[1, 3])

@@ -187,12 +187,12 @@ proptest! {
     ) {
         let engine = shared_engine();
         let request = assemble(k, mode, start, end, ids, exclusions);
-        let valid = request.validate(engine.model()).is_ok();
+        let valid = request.validate(&engine.model()).is_ok();
         for key in engine.backend_keys() {
             match engine.execute_with(key, &request) {
                 Ok(response) => {
                     prop_assert!(valid, "{key} accepted an invalid request: {request:?}");
-                    prop_assert_eq!(response.results.len(), request.result_len(engine.model()));
+                    prop_assert_eq!(response.results.len(), request.result_len(&engine.model()));
                 }
                 Err(_) => prop_assert!(!valid, "{key} rejected a valid request: {request:?}"),
             }

@@ -59,6 +59,10 @@ pub struct MfModel {
     name: String,
     users: Matrix<f64>,
     items: Matrix<f64>,
+    /// Whether construction ran the full matrix validation; consumers that
+    /// must defend against NaN (the serving engine's model intake) skip
+    /// their re-scan when this is set.
+    validated: bool,
 }
 
 impl MfModel {
@@ -80,7 +84,37 @@ impl MfModel {
             name: name.into(),
             users,
             items,
+            validated: true,
         })
+    }
+
+    /// Builds a model **without** validating the matrices.
+    ///
+    /// For trusted zero-copy loaders (and tests of downstream validation)
+    /// where re-scanning every factor at construction is unwanted. The
+    /// serving engine re-checks finiteness at its model intake points
+    /// (`EngineBuilder::build` and `Engine::swap_model`), so a non-finite
+    /// or shape-mismatched model built this way surfaces as a typed error
+    /// there rather than as silent NaN-poisoned results.
+    pub fn new_unvalidated(
+        name: impl Into<String>,
+        users: Matrix<f64>,
+        items: Matrix<f64>,
+    ) -> MfModel {
+        MfModel {
+            name: name.into(),
+            users,
+            items,
+            validated: false,
+        }
+    }
+
+    /// Whether this model was constructed through the validating path
+    /// ([`MfModel::new`]/[`MfModel::new_shared`]). Models from
+    /// [`MfModel::new_unvalidated`] report `false`, telling downstream
+    /// intake checks (the engine's build/swap validation) to re-scan.
+    pub fn is_validated(&self) -> bool {
+        self.validated
     }
 
     /// Builds a model and wraps it in an [`Arc`] for sharing across solvers.
@@ -133,6 +167,8 @@ impl MfModel {
             name: format!("{}[{} users]", self.name, indices.len()),
             users: self.users.gather_rows(indices),
             items: self.items.clone(),
+            // Row-gathering validated matrices cannot introduce NaN.
+            validated: self.validated,
         }
     }
 }

@@ -97,11 +97,10 @@ impl FexiproIndex {
             .enumerate()
             .map(|(i, row)| (norm2(row), i as u32))
             .collect();
-        order.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("finite norms")
-                .then(a.1.cmp(&b.1))
-        });
+        // `total_cmp` instead of `partial_cmp(..).expect(..)`: models are
+        // validated finite upstream, but a serving-path sort must never be
+        // able to panic on a stray NaN.
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let ids: Vec<u32> = order.iter().map(|&(_, id)| id).collect();
         let norms: Vec<f64> = order.iter().map(|&(n, _)| n).collect();
         let idx: Vec<usize> = ids.iter().map(|&i| i as usize).collect();

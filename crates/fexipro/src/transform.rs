@@ -144,7 +144,7 @@ mod tests {
         let argmax = norms
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         let prefix_sq: f64 = red.prefix.row(argmax).iter().map(|v| v * v).sum();

@@ -62,11 +62,10 @@ pub fn build_buckets(items: &Matrix<f64>, bucket_size: usize, checkpoint: usize)
         .enumerate()
         .map(|(i, row)| (norm2(row), i as u32))
         .collect();
-    order.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("item norms are finite")
-            .then(a.1.cmp(&b.1))
-    });
+    // `total_cmp` instead of `partial_cmp(..).expect(..)`: norms are
+    // non-negative and validated finite upstream, but a serving-path sort
+    // must never be able to panic on a stray NaN.
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     order
         .chunks(bucket_size)

@@ -107,5 +107,32 @@ fn main() -> Result<(), MipsError> {
         }
         Err(other) => return Err(other),
     }
+
+    // Hot model swap: a "retrained" model (here: a different seed, and
+    // more users — the server re-chunks its shards) rolls in atomically
+    // while the server keeps serving. Requests in flight at the swap
+    // finish on the epoch they started under; new requests see the new
+    // model and report its epoch.
+    let retrained = Arc::new(synth_model(&SynthConfig {
+        num_users: 4000,
+        num_items: 2000,
+        num_factors: 64,
+        seed: 7,
+        ..SynthConfig::default()
+    }));
+    let new_epoch = engine.swap_model(Arc::clone(&retrained))?;
+    let response = server.execute(&QueryRequest::top_k(10).users(vec![3500]))?;
+    println!(
+        "\nswapped to epoch {new_epoch}: user 3500 (new in this model) served \
+         from epoch {} via {}",
+        response.epoch, response.backend
+    );
+    let metrics = server.metrics();
+    println!(
+        "server followed the swap: epoch {}, {} swap(s), shard bounds now {:?}",
+        metrics.epoch,
+        metrics.swaps,
+        server.shard_bounds()
+    );
     Ok(())
 }
