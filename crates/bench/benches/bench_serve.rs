@@ -13,6 +13,17 @@
 //! captures the dip from epoch rebuilds (topology re-cut, solver rebuild,
 //! re-planning). The regression gate guards it like every other row.
 //!
+//! `per-shard-index` rows compare the `IndexScope` knob — Global vs
+//! PerShard vs Auto — on a MAXIMUS-backed engine (the index whose
+//! structure actually depends on which users it is built over: per-shard
+//! clustering tightens every cluster's worst angle θ_b, so shard-local
+//! lists prune harder). Construction and planning are warmed through a
+//! sibling server with identical bounds (the epoch's per-shard cache tier
+//! is keyed by bounds, so the timed server starts cache-hot), leaving the
+//! rows to measure steady-state serving. The gate guards all three
+//! scopes, so a regression in shard-local serving — or the scope machinery
+//! slowing the global path — fails CI.
+//!
 //! Environment knobs: `MIPS_SCALE` scales the models (as everywhere in the
 //! harness); `MIPS_SERVE_MAX_WORKERS` caps the worker-count sweep (the
 //! regression-gate run pins it to 1 so committed baselines stay
@@ -20,10 +31,11 @@
 //! request count; `MIPS_BENCH_OUT` overrides the output path.
 
 use mips_bench::{
-    bench_out_path, build_model, fmt_secs, render_serve_json, scale, BenchMeta, ServeRecord, Table,
+    bench_out_path, build_model, fmt_secs, maximus_config, render_serve_json, scale, BenchMeta,
+    ServeRecord, Table,
 };
-use mips_core::engine::{BmmFactory, Engine, EngineBuilder, QueryRequest};
-use mips_core::serve::ServerBuilder;
+use mips_core::engine::{BmmFactory, Engine, EngineBuilder, MaximusFactory, QueryRequest};
+use mips_core::serve::{IndexScope, ServerBuilder};
 use mips_data::catalog::reference_models;
 use mips_data::MfModel;
 use std::sync::Arc;
@@ -47,6 +59,46 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// How often the swap-under-load workload installs a new model epoch.
 const SWAP_EVERY: Duration = Duration::from_millis(3);
 
+/// One server shape under measurement.
+#[derive(Clone, Copy)]
+struct ServerShape {
+    shards: usize,
+    workers: usize,
+    batching: bool,
+    scope: IndexScope,
+}
+
+impl ServerShape {
+    /// The historical single-knob shape: `workers` shards, one per worker,
+    /// global index scope.
+    fn classic(workers: usize, batching: bool) -> ServerShape {
+        ServerShape {
+            shards: workers,
+            workers,
+            batching,
+            scope: IndexScope::Global,
+        }
+    }
+
+    fn build(&self, engine: &Arc<Engine>) -> mips_core::serve::MipsServer {
+        ServerBuilder::new()
+            .engine(Arc::clone(engine))
+            .shards(self.shards)
+            .workers(self.workers)
+            .max_batch(32)
+            .batch_window(if self.batching {
+                Duration::from_micros(200)
+            } else {
+                Duration::ZERO
+            })
+            .batching(self.batching)
+            .queue_capacity(4096)
+            .index_scope(self.scope)
+            .build()
+            .expect("bench server assembles")
+    }
+}
+
 /// One configuration's run: `requests` single-user top-10 requests pushed
 /// by [`SUBMITTERS`] windowed submitters. With `swap_with`, a background
 /// thread alternates `Engine::swap_model` between the served model and the
@@ -54,25 +106,11 @@ const SWAP_EVERY: Duration = Duration::from_millis(3);
 fn run_config(
     engine: &Arc<Engine>,
     model: &MfModel,
-    workers: usize,
-    batching: bool,
+    shape: ServerShape,
     requests: usize,
     swap_with: Option<&[Arc<MfModel>; 2]>,
 ) -> (f64, mips_core::serve::ServerMetrics) {
-    let server = ServerBuilder::new()
-        .engine(Arc::clone(engine))
-        .shards(workers)
-        .workers(workers)
-        .max_batch(32)
-        .batch_window(if batching {
-            Duration::from_micros(200)
-        } else {
-            Duration::ZERO
-        })
-        .batching(batching)
-        .queue_capacity(4096)
-        .build()
-        .expect("bench server assembles");
+    let server = shape.build(engine);
     // Warm up through the engine the server fronts: solver build + plan
     // happen outside the timed window, and the warmup sample stays out of
     // the server's latency histogram (at gate scale, p99 is only a handful
@@ -80,6 +118,16 @@ fn run_config(
     engine
         .execute(&QueryRequest::top_k(10).users(vec![0]))
         .expect("warmup");
+    if shape.scope != IndexScope::Global && swap_with.is_none() {
+        // Scoped runs also warm the epoch's per-shard tier (solvers +
+        // plans, keyed by shard bounds) through a sibling server with
+        // identical bounds; the timed server below then starts cache-hot,
+        // so the row measures steady-state serving, not construction.
+        let warm = shape.build(engine);
+        warm.execute(&QueryRequest::top_k(10))
+            .expect("scope warmup");
+        warm.shutdown().expect("scope warmup shutdown");
+    }
 
     let num_users = model.num_users();
     let done = std::sync::atomic::AtomicBool::new(false);
@@ -160,8 +208,7 @@ fn run_config(
 fn best_of(
     engine: &Arc<Engine>,
     model: &MfModel,
-    workers: usize,
-    batching: bool,
+    shape: ServerShape,
     requests: usize,
     swap_with: Option<&[Arc<MfModel>; 2]>,
 ) -> (f64, mips_core::serve::ServerMetrics) {
@@ -169,7 +216,7 @@ fn best_of(
     let mut spent = 0.0;
     let mut runs = 0;
     while runs == 0 || (runs < 5 && spent < 0.3) {
-        let (elapsed, metrics) = run_config(engine, model, workers, batching, requests, swap_with);
+        let (elapsed, metrics) = run_config(engine, model, shape, requests, swap_with);
         assert_eq!(metrics.completed as usize, requests);
         assert_eq!(metrics.failed, 0, "bench requests must not fail");
         spent += elapsed;
@@ -194,8 +241,7 @@ fn emit_row(
     records: &mut Vec<ServeRecord>,
     dataset: &str,
     workload: &str,
-    workers: usize,
-    batching: bool,
+    shape: ServerShape,
     requests: usize,
     elapsed: f64,
     metrics: &mips_core::serve::ServerMetrics,
@@ -204,11 +250,12 @@ fn emit_row(
     let record = ServeRecord {
         dataset: dataset.to_string(),
         workload: workload.to_string(),
-        workers,
-        shards: workers,
-        batching,
+        index_scope: shape.scope.as_str().to_string(),
+        workers: shape.workers,
+        shards: shape.shards,
+        batching: shape.batching,
         max_batch: 32,
-        batch_window_us: if batching { 200 } else { 0 },
+        batch_window_us: if shape.batching { 200 } else { 0 },
         requests: requests as u64,
         swaps: metrics.swaps,
         mean_batch: metrics.mean_batch_size(),
@@ -220,8 +267,9 @@ fn emit_row(
     table.row(vec![
         dataset.to_string(),
         workload.to_string(),
-        workers.to_string(),
-        batching.to_string(),
+        record.index_scope.clone(),
+        shape.workers.to_string(),
+        shape.batching.to_string(),
         format!("{rps:.0}"),
         fmt_secs(record.seconds_per_request),
         format!("{:.0}us", record.p50_us),
@@ -251,8 +299,8 @@ fn main() {
 
     let mut records: Vec<ServeRecord> = Vec::new();
     let mut table = Table::new(&[
-        "dataset", "workload", "workers", "batching", "req/s", "s/req", "p50", "p99", "batch",
-        "swaps",
+        "dataset", "workload", "scope", "workers", "batching", "req/s", "s/req", "p50", "p99",
+        "batch", "swaps",
     ]);
 
     for dataset in ["Netflix", "GloVe"] {
@@ -273,15 +321,14 @@ fn main() {
 
         for &workers in &worker_counts {
             for batching in [true, false] {
-                let (elapsed, metrics) =
-                    best_of(&engine, &model, workers, batching, requests, None);
+                let shape = ServerShape::classic(workers, batching);
+                let (elapsed, metrics) = best_of(&engine, &model, shape, requests, None);
                 emit_row(
                     &mut table,
                     &mut records,
                     dataset,
                     "single-user",
-                    workers,
-                    batching,
+                    shape,
                     requests,
                     elapsed,
                     &metrics,
@@ -303,27 +350,80 @@ fn main() {
                     .build()
                     .expect("bench engine assembles"),
             );
-            let (elapsed, metrics) =
-                best_of(&engine, &model, workers, true, requests, Some(&swap_models));
+            let shape = ServerShape::classic(workers, true);
+            let (elapsed, metrics) = best_of(&engine, &model, shape, requests, Some(&swap_models));
             emit_row(
                 &mut table,
                 &mut records,
                 dataset,
                 "swap-under-load",
-                workers,
-                true,
+                shape,
                 requests,
                 elapsed,
                 &metrics,
             );
         }
+
+        // Per-shard-index rows: the same single-user flood on a
+        // MAXIMUS-backed engine, under each IndexScope. MAXIMUS is the
+        // backend whose index structure depends on which users it covers —
+        // shard-local clustering tightens θ_b, so `per-shard` lists prune
+        // harder than the one global clustering (visible on the skewed
+        // GloVe norms; Netflix's flat norms leave little for any index to
+        // prune, shard-local or not). Four shards at every worker count
+        // keep Global and PerShard serving the same topology; a fresh
+        // engine per scope keeps the epoch cache tiers honest (scopes must
+        // not warm each other). The scope rows compare against each other
+        // at a 4x request count so the comparison is not noise-bound at
+        // gate scale.
+        let scope_requests = requests * 4;
+        for &workers in &worker_counts {
+            for scope in [IndexScope::Global, IndexScope::PerShard, IndexScope::Auto] {
+                let engine = Arc::new(
+                    EngineBuilder::new()
+                        .model(Arc::clone(&model))
+                        .register(MaximusFactory::new(maximus_config(&spec, &model)))
+                        .build()
+                        .expect("bench engine assembles"),
+                );
+                let shape = ServerShape {
+                    shards: 4,
+                    workers,
+                    batching: true,
+                    scope,
+                };
+                let (elapsed, metrics) = best_of(&engine, &model, shape, scope_requests, None);
+                emit_row(
+                    &mut table,
+                    &mut records,
+                    dataset,
+                    "per-shard-index",
+                    shape,
+                    scope_requests,
+                    elapsed,
+                    &metrics,
+                );
+            }
+        }
     }
 
     table.print();
 
-    // Roll-up: worker scaling (batched) and batching speedup, per dataset.
+    // Roll-up: worker scaling (batched), batching speedup, and index-scope
+    // comparison, per dataset.
     println!();
     for dataset in ["Netflix", "GloVe"] {
+        let scoped_rps = |workload: &str, workers: usize, scope: &str| -> Option<f64> {
+            records
+                .iter()
+                .find(|r| {
+                    r.dataset == dataset
+                        && r.workload == workload
+                        && r.workers == workers
+                        && r.index_scope == scope
+                })
+                .map(|r| r.requests_per_sec)
+        };
         let rps = |workload: &str, workers: usize, batching: bool| -> Option<f64> {
             records
                 .iter()
@@ -363,6 +463,17 @@ fn main() {
             println!(
                 "{dataset}: continuous hot swap keeps {:.0}% of steady throughput at {w_max} workers",
                 100.0 * swapped / steady
+            );
+        }
+        if let (Some(global), Some(per_shard), Some(auto)) = (
+            scoped_rps("per-shard-index", w_min, "global"),
+            scoped_rps("per-shard-index", w_min, "per-shard"),
+            scoped_rps("per-shard-index", w_min, "auto"),
+        ) {
+            println!(
+                "{dataset}: per-shard MAXIMUS serves {:.2}x global (auto {:.2}x) at {w_min} worker(s)",
+                per_shard / global,
+                auto / global
             );
         }
     }

@@ -524,6 +524,54 @@ mod tests {
         assert_eq!(report.unmatched_current, 1);
     }
 
+    const SCOPE_DIGEST: &str = r#"{
+  "bench": "BENCH_T3",
+  "serve": [
+    {"dataset": "GloVe", "workload": "per-shard-index", "index_scope": "global", "workers": 1, "shards": 4, "batching": true, "requests": 384, "swaps": 0, "mean_batch": 24.00, "requests_per_sec": 100000.0, "seconds_per_request": 0.00001000, "p50_us": 400.0, "p99_us": 900.0},
+    {"dataset": "GloVe", "workload": "per-shard-index", "index_scope": "per-shard", "workers": 1, "shards": 4, "batching": true, "requests": 384, "swaps": 0, "mean_batch": 24.00, "requests_per_sec": 110000.0, "seconds_per_request": 0.00000909, "p50_us": 380.0, "p99_us": 800.0},
+    {"dataset": "GloVe", "workload": "per-shard-index", "index_scope": "auto", "workers": 1, "shards": 4, "batching": true, "requests": 384, "swaps": 0, "mean_batch": 24.00, "requests_per_sec": 108000.0, "seconds_per_request": 0.00000926, "p50_us": 385.0, "p99_us": 820.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn index_scope_rows_key_separately_and_gate_individually() {
+        // Three rows identical except for index_scope must be three
+        // distinct identities...
+        let (_, rows) = parse_digest(SCOPE_DIGEST);
+        assert_eq!(rows.len(), 3);
+        let keys: Vec<String> = rows.iter().map(row_key).collect();
+        assert!(keys[0].contains("index_scope=global"), "{}", keys[0]);
+        assert!(keys[1].contains("index_scope=per-shard"), "{}", keys[1]);
+        assert!(keys[2].contains("index_scope=auto"), "{}", keys[2]);
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        // ...so a slowdown in one scope fails exactly that scope's row.
+        let slowed = SCOPE_DIGEST.replace(
+            "\"index_scope\": \"per-shard\", \"workers\": 1, \"shards\": 4, \"batching\": true, \"requests\": 384, \"swaps\": 0, \"mean_batch\": 24.00, \"requests_per_sec\": 110000.0, \"seconds_per_request\": 0.00000909",
+            "\"index_scope\": \"per-shard\", \"workers\": 1, \"shards\": 4, \"batching\": true, \"requests\": 384, \"swaps\": 0, \"mean_batch\": 24.00, \"requests_per_sec\": 11000.0, \"seconds_per_request\": 0.00009090",
+        );
+        assert_ne!(slowed, SCOPE_DIGEST);
+        let report = compare(SCOPE_DIGEST, &slowed, 1.5, 6.0);
+        assert!(!report.passed(), "{}", report.render());
+        let failed: Vec<&GateRow> = report.rows.iter().filter(|r| r.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].key.contains("index_scope=per-shard"));
+        // A missing scope row is a gate failure, not a silent pass.
+        let truncated: String = SCOPE_DIGEST
+            .lines()
+            .filter(|l| !l.contains("\"index_scope\": \"auto\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = compare(SCOPE_DIGEST, &truncated, 1.5, 6.0);
+        assert_eq!(report.missing_in_current.len(), 1);
+        assert!(!report.passed());
+        // And the self-test's slowdown injector can perturb scope rows.
+        let injected = inject_slowdown(SCOPE_DIGEST, 10.0);
+        assert_ne!(injected, SCOPE_DIGEST);
+        assert!(!compare(SCOPE_DIGEST, &injected, 1.5, 6.0).passed());
+    }
+
     #[test]
     fn speedup_rows_gate_inverted() {
         // Fusion speedup collapsing from 7x to 2x is a regression even

@@ -416,6 +416,9 @@ pub struct ServeRecord {
     pub dataset: String,
     /// Workload label (`"single-user"`, `"mixed"`, …).
     pub workload: String,
+    /// Index scope label (`"global"`, `"per-shard"`, `"auto"`): the
+    /// granularity of derived-state construction the server ran with.
+    pub index_scope: String,
     /// Worker threads in the pool.
     pub workers: usize,
     /// User shards.
@@ -452,12 +455,14 @@ pub fn render_serve_json(meta: &BenchMeta, records: &[ServeRecord]) -> String {
     out.push_str("  \"serve\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"dataset\": \"{}\", \"workload\": \"{}\", \"workers\": {}, \
+            "    {{\"dataset\": \"{}\", \"workload\": \"{}\", \"index_scope\": \"{}\", \
+             \"workers\": {}, \
              \"shards\": {}, \"batching\": {}, \"max_batch\": {}, \"batch_window_us\": {}, \
              \"requests\": {}, \"swaps\": {}, \"mean_batch\": {:.2}, \"requests_per_sec\": {:.2}, \
              \"seconds_per_request\": {:.8}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
             json_escape(&r.dataset),
             json_escape(&r.workload),
+            json_escape(&r.index_scope),
             r.workers,
             r.shards,
             r.batching,

@@ -33,9 +33,16 @@ pub use mips_linalg::matrix::RowBlock as UserBlock;
 const SCORE_BUFFER_BYTES: usize = 8 << 20;
 
 /// The brute-force blocked-matrix-multiply solver.
+///
+/// A solver may cover only a contiguous user range of its model
+/// ([`BmmSolver::build_view`]): queries then address users by **local** row
+/// (`0..range.len()`), and every factor access offsets into the parent
+/// matrix — the view is zero-copy over the factor block.
 #[derive(Debug, Clone)]
 pub struct BmmSolver {
     model: Arc<MfModel>,
+    /// The contiguous user range served, in the model's (global) row space.
+    users: Range<usize>,
     batch_rows: usize,
     build_seconds: f64,
     fused: bool,
@@ -45,22 +52,33 @@ impl BmmSolver {
     /// Prepares the solver (no index; build cost is effectively zero).
     /// Serving takes the fused GEMM→top-k path.
     pub fn build(model: Arc<MfModel>) -> BmmSolver {
-        Self::build_inner(model, true)
+        let users = 0..model.num_users();
+        Self::build_inner(model, users, true)
+    }
+
+    /// Prepares a solver over a contiguous user range of the model —
+    /// zero-copy: only the range is stored; factor rows are read straight
+    /// out of the shared matrix, offset by the range start. Queries use
+    /// local user ids `0..view.num_users()`.
+    pub fn build_view(view: &mips_data::ModelView) -> BmmSolver {
+        Self::build_inner(Arc::clone(view.model()), view.user_range(), true)
     }
 
     /// Prepares a solver that serves through the two-stage path (full score
     /// buffer, then a separate top-k pass). Kept for the fusion A/B benches
     /// and as a bisection aid; results are identical to the fused path.
     pub fn build_unfused(model: Arc<MfModel>) -> BmmSolver {
-        Self::build_inner(model, false)
+        let users = 0..model.num_users();
+        Self::build_inner(model, users, false)
     }
 
-    fn build_inner(model: Arc<MfModel>, fused: bool) -> BmmSolver {
+    fn build_inner(model: Arc<MfModel>, users: Range<usize>, fused: bool) -> BmmSolver {
         let start = Instant::now();
         let batch_rows = Self::pick_batch_rows(model.num_items(), model.num_factors());
         let build_seconds = start.elapsed().as_secs_f64();
         BmmSolver {
             model,
+            users,
             batch_rows,
             build_seconds,
             fused,
@@ -137,17 +155,18 @@ impl MipsSolver for BmmSolver {
     }
 
     fn num_users(&self) -> usize {
-        self.model.num_users()
+        self.users.len()
     }
 
     fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
         assert!(users.end <= self.num_users(), "user range out of bounds");
+        let base = self.users.start;
         let mut scratch = BmmScratch::default();
         let mut out = Vec::with_capacity(users.len());
         let mut start = users.start;
         while start < users.end {
             let end = (start + self.batch_rows).min(users.end);
-            let block = self.model.users().row_block(start, end);
+            let block = self.model.users().row_block(base + start, base + end);
             self.serve_block_into(block, k, &mut scratch, &mut out);
             start = end;
         }
@@ -156,7 +175,15 @@ impl MipsSolver for BmmSolver {
 
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
         crate::solver::dedup_query_subset(users, |distinct| {
-            let gathered: Matrix<f64> = self.model.users().gather_rows(distinct);
+            let base = self.users.start;
+            let rows: Vec<usize> = distinct
+                .iter()
+                .map(|&u| {
+                    assert!(u < self.num_users(), "user id out of bounds");
+                    base + u
+                })
+                .collect();
+            let gathered: Matrix<f64> = self.model.users().gather_rows(&rows);
             let mut scratch = BmmScratch::default();
             let mut out = Vec::with_capacity(distinct.len());
             let mut start = 0;
@@ -250,6 +277,34 @@ mod tests {
         assert!(big.iter().all(|l| l.len() == 8));
         let empty_range = solver.query_range(3, 2..2);
         assert!(empty_range.is_empty());
+    }
+
+    #[test]
+    fn view_solver_matches_the_global_solver_bit_for_bit() {
+        use mips_data::ModelView;
+        let m = model(37, 60, 9);
+        let global = BmmSolver::build(Arc::clone(&m));
+        let view = ModelView::of_range(&m, 11..29);
+        let local = BmmSolver::build_view(&view);
+        assert_eq!(local.num_users(), 18);
+        // Local range 0..18 is global 11..29, down to every score bit.
+        assert_eq!(local.query_range(5, 0..18), global.query_range(5, 11..29));
+        assert_eq!(
+            local.query_subset(4, &[0, 17, 3, 3]),
+            global.query_subset(4, &[11, 28, 14, 14])
+        );
+        // The full view degenerates to the global solver.
+        let full = BmmSolver::build_view(&ModelView::full(&m));
+        assert_eq!(full.query_all(6), global.query_all(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_solver_rejects_local_ids_past_the_view() {
+        use mips_data::ModelView;
+        let m = model(10, 8, 4);
+        let local = BmmSolver::build_view(&ModelView::of_range(&m, 2..6));
+        let _ = local.query_subset(1, &[4]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! last in-flight request holding the snapshot drops it, which frees the
 //! model, every built index, and every cached plan of that epoch.
 
+use super::lock_recovering;
 use super::plan::PreparedPlan;
 use crate::solver::MipsSolver;
 use mips_data::MfModel;
@@ -18,17 +19,63 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// One lazily-filled cache slot. The outer map lock is held only long
 /// enough to fetch the cell; expensive work (index construction, planning)
-/// happens under the cell's own lock, so a slow build for one key never
-/// blocks requests that hit other keys — while concurrent requests for the
-/// *same* key still wait for the single in-flight build instead of
-/// duplicating it.
+/// happens **outside** any lock and is installed through
+/// [`get_or_build`] — compare-and-swap semantics, not hold-the-lock-while-
+/// building.
 pub(crate) type CacheCell<T> = Arc<Mutex<Option<T>>>;
+
+/// Returns the cached value of `cell`, or builds one and installs it.
+///
+/// The build runs outside the cell lock: a slow first-touch build (a
+/// shard-local MAXIMUS over millions of users, a long OPTIMUS sampling
+/// run) never convoys other first-touch builders behind a held mutex —
+/// each racer builds concurrently, the first to finish installs, and a
+/// loser discards its redundant value and adopts the installed one, so
+/// every caller still observes a single canonical instance. The loser's
+/// work is wasted only in the rare first-touch race, which is the price of
+/// never serializing construction; steady state is a lock-free-in-spirit
+/// read (one mutex acquisition, no contention).
+pub(crate) fn get_or_build<T: Clone, E>(
+    cell: &CacheCell<T>,
+    build: impl FnOnce() -> Result<T, E>,
+) -> Result<T, E> {
+    if let Some(value) = lock_recovering(cell).as_ref() {
+        return Ok(value.clone());
+    }
+    let built = build()?;
+    let mut slot = lock_recovering(cell);
+    Ok(slot.get_or_insert(built).clone())
+}
+
+/// A shard's identity inside one epoch: its contiguous user bounds. Two
+/// servers (or two topologies of one server) with identical bounds share
+/// the epoch's shard-local state, exactly like the global tier is shared
+/// across callers.
+pub(crate) type ShardKey = (usize, usize);
+
+/// A keyed map of lazily-filled cache cells (one tier of an epoch's
+/// derived state).
+pub(crate) type CacheTier<K, T> = Mutex<HashMap<K, CacheCell<T>>>;
 
 /// One model generation and every piece of state derived from it.
 ///
 /// Epoch ids are assigned by the engine, strictly increasing, never reused;
 /// `id` therefore identifies a model generation across the whole serving
 /// stack (responses, metrics, the micro-batcher's coalescing key).
+///
+/// Derived state comes in two tiers, both epoch-scoped and reclaimed
+/// together by refcount when the last in-flight request drops the epoch:
+///
+/// * the **global tier** (`solvers`, `plans`) — whole-model indexes and
+///   per-`k` plans, shared by every shard under
+///   [`IndexScope::Global`](super::IndexScope::Global);
+/// * the **per-shard tier** (`shard_solvers`, `shard_plans`) — solvers
+///   built over a user-range [`ModelView`](mips_data::ModelView) keyed by
+///   `(shard_bounds, backend)`, and per-shard planning decisions keyed by
+///   `(shard_bounds, k)` (with the scope's auto flag), used by
+///   `PerShard`/`Auto` scopes. Keying by bounds rather than by shard index
+///   means a swap that re-chunks the topology can never alias stale state,
+///   and same-bounds topologies (including rebuilt ones) share it.
 pub(crate) struct ModelEpoch {
     /// The strictly increasing generation number (the builder starts at 0).
     pub(crate) id: u64,
@@ -36,10 +83,19 @@ pub(crate) struct ModelEpoch {
     pub(crate) model: Arc<MfModel>,
     /// Built solvers, keyed by registry key — derived from `model`, so the
     /// cache lives and dies with the epoch.
-    pub(crate) solvers: Mutex<HashMap<String, CacheCell<Arc<dyn MipsSolver>>>>,
+    pub(crate) solvers: CacheTier<String, Arc<dyn MipsSolver>>,
     /// Cached planning decisions per `k` — likewise epoch-scoped, because a
     /// plan pins the model and solver it was sampled on.
-    pub(crate) plans: Mutex<HashMap<usize, CacheCell<Arc<PreparedPlan>>>>,
+    pub(crate) plans: CacheTier<usize, Arc<PreparedPlan>>,
+    /// Shard-local solvers, keyed by `(shard bounds, backend key)`. The
+    /// stored solver speaks global user ids (a
+    /// [`ShardScopedSolver`](super::scope::ShardScopedSolver) over the
+    /// view-built index).
+    pub(crate) shard_solvers: CacheTier<(ShardKey, String), Arc<dyn MipsSolver>>,
+    /// Shard-local plans, keyed by `(shard bounds, k, auto)` — the `auto`
+    /// flag separates `PerShard` decisions from `Auto` ones so two servers
+    /// with different scopes fronting one engine never alias plans.
+    pub(crate) shard_plans: CacheTier<(ShardKey, usize, bool), Arc<PreparedPlan>>,
 }
 
 impl ModelEpoch {
@@ -50,6 +106,8 @@ impl ModelEpoch {
             model,
             solvers: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
+            shard_solvers: Mutex::new(HashMap::new()),
+            shard_plans: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -126,6 +184,54 @@ mod tests {
         // 400 swaps, each +1 under the write lock: no lost updates.
         assert_eq!(*cell.load(), 400);
         assert_eq!(max_seen.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn get_or_build_installs_first_winner_and_losers_adopt_it() {
+        use std::sync::Barrier;
+        let cell: CacheCell<Arc<u64>> = CacheCell::default();
+        let built = AtomicU64::new(0);
+        let barrier = Barrier::new(4);
+        let results: Vec<Arc<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let cell = &cell;
+                    let built = &built;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        get_or_build(cell, || {
+                            built.fetch_add(1, Ordering::SeqCst);
+                            Ok::<_, ()>(Arc::new(i as u64))
+                        })
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Racers may each have built (no convoy — that is the point), but
+        // everyone ends up holding the single installed instance.
+        assert!(built.load(Ordering::SeqCst) >= 1);
+        for value in &results {
+            assert!(Arc::ptr_eq(value, &results[0]), "all adopt the winner");
+        }
+        // Later callers hit the cache without building.
+        let before = built.load(Ordering::SeqCst);
+        let again = get_or_build(&cell, || Ok::<_, ()>(Arc::new(99))).unwrap();
+        assert!(Arc::ptr_eq(&again, &results[0]));
+        assert_eq!(built.load(Ordering::SeqCst), before);
+    }
+
+    #[test]
+    fn get_or_build_errors_leave_the_cell_empty_for_retry() {
+        let cell: CacheCell<u32> = CacheCell::default();
+        assert_eq!(
+            get_or_build(&cell, || Err::<u32, &str>("boom")),
+            Err("boom")
+        );
+        assert_eq!(get_or_build(&cell, || Ok::<_, &str>(7)), Ok(7));
+        assert_eq!(get_or_build(&cell, || Err::<u32, &str>("late")), Ok(7));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod error;
 pub mod plan;
 pub mod registry;
 pub mod request;
+pub(crate) mod scope;
 
 pub use error::MipsError;
 pub use plan::PreparedPlan;
@@ -60,14 +61,17 @@ pub use registry::{
     SolverFactory,
 };
 pub use request::{ExclusionSet, QueryRequest, QueryResponse, UserSelection};
+pub use scope::IndexScope;
 
 use crate::optimus::{Optimus, OptimusConfig};
 use crate::parallel::{par_query_range, par_query_subset};
 use crate::solver::MipsSolver;
-use epoch::{ArcCell, ModelEpoch};
-use mips_data::MfModel;
+use epoch::{get_or_build, ArcCell, ModelEpoch};
+use mips_data::{MfModel, ModelView};
 use mips_topk::TopKList;
+use scope::{ShardBuildStats, ShardScopedSolver};
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -342,7 +346,10 @@ impl Engine {
         self.solver_on(&self.snapshot(), key)
     }
 
-    /// [`Engine::solver`] pinned to one epoch snapshot.
+    /// [`Engine::solver`] pinned to one epoch snapshot. The build runs
+    /// outside the cache lock and installs compare-and-swap style (see
+    /// [`epoch::get_or_build`]), so a slow build never convoys concurrent
+    /// first-touch builders of other state.
     fn solver_on(&self, state: &ModelEpoch, key: &str) -> Result<Arc<dyn MipsSolver>, MipsError> {
         let factory = Arc::clone(
             self.registry
@@ -353,13 +360,46 @@ impl Engine {
             let mut map = lock_recovering(&state.solvers);
             Arc::clone(map.entry(key.to_string()).or_default())
         };
-        let mut slot = lock_recovering(&cell);
-        if let Some(solver) = slot.as_ref() {
-            return Ok(Arc::clone(solver));
-        }
-        let solver: Arc<dyn MipsSolver> = Arc::from(factory.build(&state.model)?);
-        *slot = Some(Arc::clone(&solver));
-        Ok(solver)
+        get_or_build(&cell, || {
+            Ok(Arc::from(factory.build(&state.model)?) as Arc<dyn MipsSolver>)
+        })
+    }
+
+    /// The shard-local solver for `key` over the contiguous user range
+    /// `users`, built lazily over a [`ModelView`] of the epoch's model and
+    /// cached in the epoch's per-shard tier under `(bounds, key)`. The
+    /// returned solver speaks **global** user ids restricted to the range.
+    ///
+    /// Real construction work (a cache miss) is recorded into `stats` so
+    /// the serving runtime can surface per-shard build counts and cost.
+    fn shard_solver_on(
+        &self,
+        state: &ModelEpoch,
+        users: &Range<usize>,
+        key: &str,
+        stats: &mut ShardBuildStats,
+    ) -> Result<Arc<dyn MipsSolver>, MipsError> {
+        let factory = Arc::clone(
+            self.registry
+                .get(key)
+                .ok_or_else(|| MipsError::UnknownBackend { key: key.into() })?,
+        );
+        let cell = {
+            let mut map = lock_recovering(&state.shard_solvers);
+            Arc::clone(
+                map.entry(((users.start, users.end), key.to_string()))
+                    .or_default(),
+            )
+        };
+        get_or_build(&cell, || {
+            let started = Instant::now();
+            let view = ModelView::of_range(&state.model, users.clone());
+            let inner = factory.build_view(&view)?;
+            let solver: Arc<dyn MipsSolver> = Arc::new(ShardScopedSolver::new(inner, users.start));
+            stats.builds += 1;
+            stats.build_ns += started.elapsed().as_nanos() as u64;
+            Ok(solver)
+        })
     }
 
     /// Serves a request with an explicitly named backend — no planning.
@@ -408,13 +448,41 @@ impl Engine {
             let mut map = lock_recovering(&state.plans);
             Arc::clone(map.entry(k).or_default())
         };
-        let mut slot = lock_recovering(&cell);
-        if let Some(plan) = slot.as_ref() {
-            return Ok(Arc::clone(plan));
+        get_or_build(&cell, || Ok(Arc::new(self.plan_for_k(state, k)?)))
+    }
+
+    /// The plan for requests at `k` restricted to the contiguous user
+    /// range `users`, planned **per shard**: candidates are shard-local
+    /// solvers built over a view of the range (plus, under
+    /// [`IndexScope::Auto`], the global plan's winner), and OPTIMUS
+    /// samples the shard's own users. Cached in the epoch's per-shard tier
+    /// under `(bounds, k)`; reclaimed with the epoch exactly like the
+    /// global tier.
+    pub(crate) fn prepare_shard_on(
+        &self,
+        state: &ModelEpoch,
+        users: &Range<usize>,
+        k: usize,
+        scope: IndexScope,
+        stats: &mut ShardBuildStats,
+    ) -> Result<Arc<PreparedPlan>, MipsError> {
+        debug_assert!(scope.builds_local(), "global scope plans via prepare_on");
+        if k == 0 || k > state.model.num_items() {
+            return Err(MipsError::InvalidK {
+                k,
+                num_items: state.model.num_items(),
+            });
         }
-        let plan = Arc::new(self.plan_for_k(state, k)?);
-        *slot = Some(Arc::clone(&plan));
-        Ok(plan)
+        let auto = scope == IndexScope::Auto;
+        let cell = {
+            let mut map = lock_recovering(&state.shard_plans);
+            Arc::clone(map.entry(((users.start, users.end), k, auto)).or_default())
+        };
+        get_or_build(&cell, || {
+            Ok(Arc::new(
+                self.shard_plan_for_k(state, users, k, auto, stats)?,
+            ))
+        })
     }
 
     /// Serves a request through the plan cache: plans once per `k` per
@@ -447,23 +515,14 @@ impl Engine {
                 estimates: Vec::new(),
                 sample_size: 0,
                 decision_seconds: 0.0,
+                shard_users: None,
+                local_index: false,
+                analytical_bmm_seconds: 0.0,
             });
         }
 
-        // `Optimus::choose` uses its first candidate as the t-test timing
-        // reference, which must be a batch solver (BMM-like) when one is
-        // registered — regardless of registration order. Sample in an order
-        // that puts the first batch-capable backend up front, then map the
-        // winner back to its registry key.
-        let mut order: Vec<usize> = (0..solvers.len()).collect();
-        if let Some(batch) = solvers.iter().position(|s| s.batches_users()) {
-            order.remove(batch);
-            order.insert(0, batch);
-        }
-        let optimus = Optimus::new(self.config.optimus);
-        let refs: Vec<&dyn MipsSolver> = order.iter().map(|&i| solvers[i].as_ref()).collect();
-        let choice = optimus.choose(&state.model, k, &refs);
-        let winner_idx = order[choice.chosen];
+        let view = ModelView::full(&state.model);
+        let (winner_idx, choice) = self.run_planner(&view, k, &solvers);
         Ok(PreparedPlan {
             model: Arc::clone(&state.model),
             winner: Arc::clone(&solvers[winner_idx]),
@@ -474,7 +533,115 @@ impl Engine {
             estimates: choice.estimates,
             sample_size: choice.sample_size,
             decision_seconds: choice.decision_seconds,
+            shard_users: None,
+            local_index: false,
+            analytical_bmm_seconds: self.analytical_bmm_seconds(&view),
         })
+    }
+
+    /// The planning phase behind [`Engine::prepare_shard_on`]: candidates
+    /// are the shard-local solvers for every registered backend (built —
+    /// or fetched from the epoch's per-shard tier — over a view of
+    /// `users`), plus the global plan's winner when `auto` is set. OPTIMUS
+    /// samples the shard's own users, so the decision reflects the slice's
+    /// shape, not the whole model's.
+    fn shard_plan_for_k(
+        &self,
+        state: &ModelEpoch,
+        users: &Range<usize>,
+        k: usize,
+        auto: bool,
+        stats: &mut ShardBuildStats,
+    ) -> Result<PreparedPlan, MipsError> {
+        // (key, is-shard-local, solver), sampled in this order below.
+        let mut candidates: Vec<(String, bool, Arc<dyn MipsSolver>)> = Vec::new();
+        if auto {
+            let global = self.prepare_on(state, k)?;
+            candidates.push((
+                global.backend_key().to_string(),
+                false,
+                Arc::clone(&global.winner),
+            ));
+        }
+        for key in self.registry.keys() {
+            let solver = self.shard_solver_on(state, users, key, stats)?;
+            candidates.push((key.to_string(), true, solver));
+        }
+        self.planner_runs.fetch_add(1, Ordering::SeqCst);
+
+        if candidates.len() == 1 {
+            // One candidate (PerShard scope, single backend): nothing to
+            // sample — mirror the global single-candidate shortcut.
+            let (backend_key, local_index, winner) = candidates.pop().expect("one candidate");
+            return Ok(PreparedPlan {
+                model: Arc::clone(&state.model),
+                winner,
+                backend_key,
+                planned_k: k,
+                threads: self.config.threads,
+                epoch: state.id,
+                estimates: Vec::new(),
+                sample_size: 0,
+                decision_seconds: 0.0,
+                shard_users: Some(users.clone()),
+                local_index,
+                analytical_bmm_seconds: 0.0,
+            });
+        }
+
+        let view = ModelView::of_range(&state.model, users.clone());
+        let solvers: Vec<Arc<dyn MipsSolver>> =
+            candidates.iter().map(|(_, _, s)| Arc::clone(s)).collect();
+        let (winner_idx, choice) = self.run_planner(&view, k, &solvers);
+        let analytical_bmm_seconds = self.analytical_bmm_seconds(&view);
+        let (backend_key, local_index, winner) = candidates.swap_remove(winner_idx);
+        Ok(PreparedPlan {
+            model: Arc::clone(&state.model),
+            winner,
+            backend_key,
+            planned_k: k,
+            threads: self.config.threads,
+            epoch: state.id,
+            estimates: choice.estimates,
+            sample_size: choice.sample_size,
+            decision_seconds: choice.decision_seconds,
+            shard_users: Some(users.clone()),
+            local_index,
+            analytical_bmm_seconds,
+        })
+    }
+
+    /// Runs OPTIMUS over the candidate set, reordered so its t-test timing
+    /// reference is the first batch-capable candidate (BMM-like) when one
+    /// is present — regardless of input order. Returns the winner's index
+    /// **in the input order** plus the planner's evidence.
+    fn run_planner(
+        &self,
+        view: &ModelView,
+        k: usize,
+        solvers: &[Arc<dyn MipsSolver>],
+    ) -> (usize, crate::optimus::PlannedChoice) {
+        let mut order: Vec<usize> = (0..solvers.len()).collect();
+        if let Some(batch) = solvers.iter().position(|s| s.batches_users()) {
+            order.remove(batch);
+            order.insert(0, batch);
+        }
+        let optimus = Optimus::new(self.config.optimus);
+        let refs: Vec<&dyn MipsSolver> = order.iter().map(|&i| solvers[i].as_ref()).collect();
+        let choice = optimus.choose(view, k, &refs);
+        (order[choice.chosen], choice)
+    }
+
+    /// The §IV-A analytical prior recorded on sampled plans: predicted
+    /// multiply-stage seconds for the view's users over the full catalog,
+    /// using the registry's calibrated FLOP rate (measured once per SIMD
+    /// kernel, cached across epochs and shards).
+    fn analytical_bmm_seconds(&self, view: &ModelView) -> f64 {
+        self.registry.analytical_bmm().predict_seconds(
+            view.num_users(),
+            view.num_items(),
+            view.num_factors(),
+        )
     }
 }
 
@@ -1189,6 +1356,97 @@ mod tests {
     }
 
     #[test]
+    fn shard_plans_cache_by_bounds_and_count_local_builds() {
+        let engine = engine(60, 40);
+        let state = engine.snapshot();
+        let mut stats = ShardBuildStats::default();
+        let plan = engine
+            .prepare_shard_on(&state, &(0..30), 4, IndexScope::PerShard, &mut stats)
+            .unwrap();
+        assert_eq!(plan.shard_users(), Some(0..30));
+        assert!(plan.uses_local_index());
+        assert_eq!(plan.epoch(), 0);
+        assert_eq!(stats.builds, 5, "five default backends built for the shard");
+        assert!(stats.build_ns > 0);
+        assert_eq!(plan.estimates().len(), 5);
+        assert!(plan.analytical_bmm_seconds() > 0.0);
+
+        // Same bounds + k: cache hit, no construction, same plan instance.
+        let mut again_stats = ShardBuildStats::default();
+        let again = engine
+            .prepare_shard_on(&state, &(0..30), 4, IndexScope::PerShard, &mut again_stats)
+            .unwrap();
+        assert!(Arc::ptr_eq(&plan, &again));
+        assert_eq!(again_stats.builds, 0);
+
+        // Same bounds, new k: solvers reused, only planning happens.
+        let mut new_k_stats = ShardBuildStats::default();
+        let other_k = engine
+            .prepare_shard_on(&state, &(0..30), 2, IndexScope::PerShard, &mut new_k_stats)
+            .unwrap();
+        assert_eq!(new_k_stats.builds, 0, "shard solvers are shared across k");
+        assert_eq!(other_k.planned_k(), 2);
+
+        // Different bounds: a separate tier entry with its own builds.
+        let mut other_stats = ShardBuildStats::default();
+        let other = engine
+            .prepare_shard_on(&state, &(30..60), 4, IndexScope::PerShard, &mut other_stats)
+            .unwrap();
+        assert_eq!(other_stats.builds, 5);
+        assert_eq!(other.shard_users(), Some(30..60));
+
+        // Bad k surfaces as the same typed error as global planning.
+        let mut err_stats = ShardBuildStats::default();
+        assert!(matches!(
+            engine.prepare_shard_on(&state, &(0..30), 0, IndexScope::PerShard, &mut err_stats),
+            Err(MipsError::InvalidK { k: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn auto_shard_plans_pit_the_global_winner_against_local_candidates() {
+        let engine = engine(80, 40);
+        let state = engine.snapshot();
+        let mut stats = ShardBuildStats::default();
+        let auto = engine
+            .prepare_shard_on(&state, &(0..40), 3, IndexScope::Auto, &mut stats)
+            .unwrap();
+        // Candidates: the global plan's winner plus one local solver per
+        // registered backend.
+        assert_eq!(auto.estimates().len(), engine.backend_keys().len() + 1);
+        assert_eq!(stats.builds, 5);
+        // Auto planning forced the global plan into existence too.
+        assert!(engine.prepare(3).unwrap().shard_users().is_none());
+        // The recorded decision tells whether this shard went local.
+        let _went_local = auto.uses_local_index();
+    }
+
+    #[test]
+    fn analytical_prior_calibrates_once_across_epochs_and_shards() {
+        let engine = engine(60, 40);
+        assert_eq!(engine.registry().calibration_runs(), 0);
+        let plan = engine.prepare(3).unwrap();
+        assert!(plan.analytical_bmm_seconds() > 0.0);
+        assert_eq!(engine.registry().calibration_runs(), 1);
+        // Shard plans on the same engine reuse the rate...
+        let state = engine.snapshot();
+        let mut stats = ShardBuildStats::default();
+        let shard_plan = engine
+            .prepare_shard_on(&state, &(0..30), 3, IndexScope::PerShard, &mut stats)
+            .unwrap();
+        assert!(shard_plan.analytical_bmm_seconds() > 0.0);
+        assert!(
+            shard_plan.analytical_bmm_seconds() < plan.analytical_bmm_seconds(),
+            "the prior is sized to the view (half the users)"
+        );
+        assert_eq!(engine.registry().calibration_runs(), 1);
+        // ...and so does a fresh epoch: no per-epoch recalibration.
+        engine.swap_model(model(60, 40)).unwrap();
+        engine.prepare(3).unwrap();
+        assert_eq!(engine.registry().calibration_runs(), 1);
+    }
+
+    #[test]
     fn engine_is_shareable_across_threads() {
         let engine = Arc::new(engine(50, 40));
         std::thread::scope(|scope| {
@@ -1200,7 +1458,13 @@ mod tests {
                 });
             }
         });
-        // Four concurrent executes at the same k still plan exactly once.
-        assert_eq!(engine.planner_runs(), 1);
+        // Concurrent first touches at one k may race the planner (builds
+        // install compare-and-swap style rather than convoying behind one
+        // lock), but the cache settles on a single plan...
+        let racers = engine.planner_runs();
+        assert!((1..=4).contains(&racers), "{racers} planner runs");
+        // ...so a later execute at the same k never plans again.
+        engine.execute(&QueryRequest::top_k(3)).unwrap();
+        assert_eq!(engine.planner_runs(), racers);
     }
 }

@@ -12,11 +12,14 @@ use super::error::MipsError;
 use crate::adapters::{FexiproSolver, LempSolver};
 use crate::bmm::BmmSolver;
 use crate::maximus::{MaximusConfig, MaximusIndex};
+use crate::optimus::cost::AnalyticalBmmModel;
 use crate::solver::MipsSolver;
-use mips_data::MfModel;
+use mips_data::{MfModel, ModelView};
 use mips_fexipro::FexiproConfig;
 use mips_lemp::LempConfig;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Builds solvers for one backend family.
 ///
@@ -29,6 +32,19 @@ pub trait SolverFactory: Send + Sync {
 
     /// Constructs a solver over `model`.
     fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError>;
+
+    /// Constructs a solver over a contiguous user-range view of a model
+    /// (shard-local index construction). The produced solver addresses
+    /// users by **local** row (`0..view.num_users()`).
+    ///
+    /// The default materializes the view into a sub-model (one `memcpy` of
+    /// the contiguous factor block) and delegates to
+    /// [`SolverFactory::build`], so every existing factory is view-capable
+    /// unchanged; factories whose solver can serve straight off the parent
+    /// matrix override this to skip even that copy ([`BmmFactory`] does).
+    fn build_view(&self, view: &ModelView) -> Result<Box<dyn MipsSolver>, MipsError> {
+        self.build(&view.to_model())
+    }
 }
 
 /// Factory for the brute-force blocked matrix multiply.
@@ -42,6 +58,12 @@ impl SolverFactory for BmmFactory {
 
     fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
         Ok(Box::new(BmmSolver::build(Arc::clone(model))))
+    }
+
+    fn build_view(&self, view: &ModelView) -> Result<Box<dyn MipsSolver>, MipsError> {
+        // Zero-copy: the solver reads the parent factor matrix through the
+        // view's offset, no sub-model is materialized.
+        Ok(Box::new(BmmSolver::build_view(view)))
     }
 }
 
@@ -84,6 +106,16 @@ impl SolverFactory for MaximusFactory {
             &self.config,
         )))
     }
+
+    // Shard-local builds (the default `build_view`) keep `num_clusters`
+    // as configured, so a view covering a fraction of the users gets
+    // proportionally *finer* clustering — tighter θ_b, harder pruning on
+    // norm-skewed catalogs, at the cost of some §III-D work-sharing on
+    // flat ones. That diversity is deliberate: it gives `IndexScope::Auto`
+    // a local candidate that is genuinely different from the global index,
+    // and the per-shard OPTIMUS run decides from measurements which one a
+    // shard keeps. (Scaling clusters down to the view's user fraction was
+    // measured to flatten both the cost *and* the win to parity.)
 }
 
 /// Factory for the LEMP baseline with a fixed configuration.
@@ -201,15 +233,57 @@ where
 /// Order matters: the planner samples candidates in registration order and
 /// uses the first batch-capable backend as the timing reference for its
 /// t-test, so conventionally BMM registers first.
+///
+/// The registry also owns the planner's **calibration cache**: the
+/// analytical BMM cost model's sustained FLOP rate, measured once per SIMD
+/// kernel and shared (through clones of the registry, and therefore across
+/// model epochs and shards) by every plan that wants the §IV-A analytical
+/// prior — see [`BackendRegistry::analytical_bmm`].
 #[derive(Clone, Default)]
 pub struct BackendRegistry {
     factories: Vec<Arc<dyn SolverFactory>>,
+    /// Calibrated rate per kernel name. Behind an `Arc` so engine builders
+    /// that clone the registry keep sharing one cache.
+    calibration: Arc<Mutex<HashMap<&'static str, AnalyticalBmmModel>>>,
+    /// How many real calibration measurements have run (tests assert the
+    /// cache actually dedupes across epochs and shards).
+    calibration_runs: Arc<AtomicU64>,
 }
 
 impl BackendRegistry {
     /// An empty registry.
     pub fn new() -> BackendRegistry {
         BackendRegistry::default()
+    }
+
+    /// The calibrated analytical BMM cost model for the **active** SIMD
+    /// kernel, measuring on first use and caching the rate per kernel
+    /// name.
+    ///
+    /// A rate calibrated under one kernel must never be reused under
+    /// another (the module docs of [`crate::optimus::cost`]), so the cache
+    /// key is the kernel name; within one kernel the rate is a host
+    /// property, not a model property, so epochs and shards all reuse the
+    /// single measurement instead of re-timing a `256³` GEMM on their
+    /// first plan.
+    pub fn analytical_bmm(&self) -> AnalyticalBmmModel {
+        let kernel = mips_linalg::simd::active().name();
+        let mut cache = super::lock_recovering(&self.calibration);
+        if let Some(model) = cache.get(kernel) {
+            return *model;
+        }
+        // Calibration is a few milliseconds; holding the lock dedupes
+        // concurrent first callers onto one measurement.
+        let model = AnalyticalBmmModel::calibrate();
+        self.calibration_runs.fetch_add(1, Ordering::Relaxed);
+        cache.insert(kernel, model);
+        model
+    }
+
+    /// How many calibration measurements [`BackendRegistry::analytical_bmm`]
+    /// has actually run (cache misses).
+    pub fn calibration_runs(&self) -> u64 {
+        self.calibration_runs.load(Ordering::Relaxed)
     }
 
     /// The registry of all built-in backends with default parameters:
@@ -301,6 +375,41 @@ mod tests {
             assert_eq!(solver.num_users(), 12);
             assert_eq!(solver.query_all(2).len(), 12);
         }
+    }
+
+    #[test]
+    fn every_builtin_builds_over_a_view_identically_to_the_sliced_model() {
+        let registry = BackendRegistry::with_defaults();
+        let m = model();
+        let view = ModelView::of_range(&m, 3..9);
+        for factory in registry.factories() {
+            let over_view = factory.build_view(&view).expect("view build");
+            let over_model = factory.build(&view.to_model()).expect("model build");
+            assert_eq!(over_view.num_users(), 6, "{}", factory.key());
+            assert_eq!(
+                over_view.query_all(3),
+                over_model.query_all(3),
+                "{} view build must match the materialized sub-model",
+                factory.key()
+            );
+        }
+    }
+
+    #[test]
+    fn analytical_bmm_calibrates_once_per_kernel_and_shares_across_clones() {
+        let registry = BackendRegistry::with_defaults();
+        assert_eq!(registry.calibration_runs(), 0);
+        let first = registry.analytical_bmm();
+        assert_eq!(registry.calibration_runs(), 1);
+        assert!(first.flops_per_second > 0.0);
+        // Second call (and calls through a clone — the engine builder
+        // clones the registry) reuse the measurement.
+        let clone = registry.clone();
+        let again = clone.analytical_bmm();
+        assert_eq!(registry.calibration_runs(), 1);
+        assert_eq!(clone.calibration_runs(), 1);
+        assert_eq!(again.flops_per_second, first.flops_per_second);
+        assert_eq!(again.kernel, first.kernel);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::maximus::bound::stored_bound;
 use crate::solver::MipsSolver;
 use mips_clustering::{kmeans, max_angles_per_cluster, KMeansConfig};
 use mips_data::MfModel;
-use mips_linalg::kernels::{angle, dot, norm2};
+use mips_linalg::kernels::{angle, dot, dot_gemm_ordered_x4, norm2};
 use mips_linalg::{GemmScratch, Matrix};
 use mips_topk::{stream_topk_into_heaps, ColumnIds, TopKHeap, TopKList};
 use std::ops::Range;
@@ -274,6 +274,7 @@ impl MaximusIndex {
             let user = self.model.users().row(u);
             let unorm = norm2(user);
             let mut walked = 0u64;
+            let mut walk_admitted = false;
             let mut list_pos = block;
             while list_pos < n_items {
                 // Early termination: bounds descend, so the first failure
@@ -282,7 +283,7 @@ impl MaximusIndex {
                     break;
                 }
                 let score = dot(user, cluster.items.row(list_pos));
-                heap.push(score, cluster.list_ids[list_pos]);
+                walk_admitted |= heap.push(score, cluster.list_ids[list_pos]);
                 walked += 1;
                 list_pos += 1;
             }
@@ -295,7 +296,14 @@ impl MaximusIndex {
             self.query_stats
                 .users_served
                 .fetch_add(1, Ordering::Relaxed);
-            out[pos] = heap.into_sorted();
+            // Heaps fed only by the blocked prefix already hold canonical
+            // (GEMM-kernel) scores; only a heap a walk-scored (`dot`) item
+            // made it into needs the canonicalizing pass.
+            out[pos] = if walk_admitted {
+                canonical_list(user, self.model.items(), heap)
+            } else {
+                heap.into_sorted()
+            };
         }
     }
 
@@ -347,8 +355,79 @@ impl MaximusIndex {
                 heap.push(dot(user, cluster.items.row(pos)), id);
             }
         }
-        heap.into_sorted()
+        canonical_list(user, self.model.items(), heap)
     }
+}
+
+/// Finalizes one user's heap into its **canonical** top-k list: the
+/// returned scores are re-derived with
+/// [`dot_gemm_ordered`] — the GEMM micro-kernel's per-element reduction —
+/// over the model's own item rows, and the list re-sorted by (score
+/// descending, item id ascending).
+///
+/// Selection and pruning still run on whatever the serve path streamed —
+/// the §III-D blocked prefix scores items through GEMM, the list walk
+/// through `dot`, and the two can disagree in the last ulp; where the
+/// boundary falls depends on the cluster structure. Canonicalizing the
+/// *reported* values makes the returned scores and ordering a pure
+/// function of (user row, item matrix, k), so two indexes over the same
+/// users — e.g. the global index and a shard-local one built over a
+/// user-range view — return bit-identical lists, the exactness contract
+/// the serving runtime's `IndexScope` relies on. The GEMM per-element
+/// reduction is shape-independent, so the canonical scores also coincide
+/// bit-for-bit with the blocked-MM brute force. Cost is `k`
+/// sequential-FMA dots per user — a few hundred flops, noise against the
+/// thousands of streamed scores behind them.
+///
+/// One caveat survives: *membership* is still decided by the streamed
+/// scores, so a pair whose true scores differ only in the path ulp and
+/// sit exactly at the k-th place could in principle resolve differently
+/// under two index shapes. Exact-arithmetic ties are immune (both paths
+/// are exact there, and ids break the tie identically), which is why the
+/// tie-heavy property corpora and the serve stress corpus both observe
+/// full bit-identity; on continuous data the coincidence has measure
+/// zero. Scoring the walk with the sequential-FMA kernel would close even
+/// that, at ~4x the walk's dot cost — not worth the hot-loop tax.
+fn canonical_list(user: &[f64], items: &Matrix<f64>, heap: TopKHeap) -> TopKList {
+    let mut list = heap.into_sorted();
+    if list.items.is_empty() {
+        return list;
+    }
+    // Four items per call ([`dot_gemm_ordered_x4`]): each item keeps the
+    // GEMM per-element FMA chain while the chains pipeline, and the
+    // dispatched kernel keeps the fused multiply-adds inline hardware
+    // instructions. The ragged tail pads with the last item (extra lanes
+    // discarded).
+    let n = list.items.len();
+    let mut pos = 0;
+    while pos < n {
+        let row = |offset: usize| items.row(list.items[(pos + offset).min(n - 1)] as usize);
+        let scores = dot_gemm_ordered_x4(user, [row(0), row(1), row(2), row(3)]);
+        let lanes = 4.min(n - pos);
+        list.scores[pos..pos + lanes].copy_from_slice(&scores[..lanes]);
+        pos += 4;
+    }
+    // Re-sort only if recomputation reordered an ulp-close pair; the
+    // common case (still sorted) allocates nothing.
+    let still_sorted = (1..n).all(|i| {
+        list.scores[i - 1]
+            .total_cmp(&list.scores[i])
+            .then(list.items[i].cmp(&list.items[i - 1]))
+            .is_ge()
+    });
+    if !still_sorted {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            list.scores[b]
+                .total_cmp(&list.scores[a])
+                .then(list.items[a].cmp(&list.items[b]))
+        });
+        list = TopKList {
+            items: order.iter().map(|&i| list.items[i]).collect(),
+            scores: order.iter().map(|&i| list.scores[i]).collect(),
+        };
+    }
+    list
 }
 
 /// Builds one cluster's sorted list.

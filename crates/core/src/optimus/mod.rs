@@ -23,7 +23,7 @@ pub mod cost;
 pub mod oracle;
 
 use crate::solver::{MipsSolver, Strategy};
-use mips_data::MfModel;
+use mips_data::{MfModel, ModelView};
 use mips_linalg::CacheConfig;
 use mips_stats::{OneSampleTTest, TTestDecision};
 use mips_topk::TopKList;
@@ -166,15 +166,29 @@ impl Optimus {
     /// Chooses among already-built solvers by timing each on a user sample
     /// — the planning primitive behind [`crate::engine::PreparedPlan`].
     ///
+    /// Sampling and cost extrapolation are **sized to the view**: the
+    /// sample is drawn from the view's user range (in the parent model's
+    /// global id space, which is what the candidate solvers must speak),
+    /// and each candidate's total is extrapolated to the view's user
+    /// count. A full view reproduces the whole-model planning of earlier
+    /// revisions bit-for-bit (same seed, same draws); a shard view is how
+    /// the serving runtime lets every shard plan for its own slice.
+    ///
     /// `solvers[0]` is the timing reference for the early-stopping t-test
     /// applied to point-query candidates, so it should be the batch
     /// baseline (BMM) when one is present. Panics if `solvers` is empty;
     /// the engine guards that case with a typed error before calling.
-    pub fn choose(&self, model: &MfModel, k: usize, solvers: &[&dyn MipsSolver]) -> PlannedChoice {
+    pub fn choose(&self, view: &ModelView, k: usize, solvers: &[&dyn MipsSolver]) -> PlannedChoice {
         assert!(!solvers.is_empty(), "Optimus::choose: no candidate solvers");
         let overall = Instant::now();
-        let n = model.num_users();
-        let (sample, _) = self.sample_users(n, model.num_factors());
+        let n = view.num_users();
+        let (mut sample, _) = self.sample_users(n, view.num_factors());
+        let base = view.user_range().start;
+        if base != 0 {
+            for user in &mut sample {
+                *user += base;
+            }
+        }
 
         // Time the reference candidate on the whole sample.
         let t0 = Instant::now();
@@ -222,14 +236,30 @@ impl Optimus {
         k: usize,
         indexes: &[Strategy],
     ) -> Vec<StrategyEstimate> {
-        self.estimation_phase(model, k, indexes).estimates
+        self.estimation_phase(&ModelView::full(model), k, indexes)
+            .estimates
+    }
+
+    /// [`Optimus::estimate_only`] over a user-range view: candidates are
+    /// **built over the view** (shard-local index construction) and the
+    /// sample is drawn from — and the totals extrapolated to — the view's
+    /// users. The per-shard planning the serving runtime's
+    /// `IndexScope::PerShard` mode performs is exactly this.
+    pub fn estimate_only_view(
+        &self,
+        view: &ModelView,
+        k: usize,
+        indexes: &[Strategy],
+    ) -> Vec<StrategyEstimate> {
+        self.estimation_phase(view, k, indexes).estimates
     }
 
     /// Construction plus sampling: everything OPTIMUS does before
-    /// committing to a strategy.
+    /// committing to a strategy. Candidates are built over `view` and
+    /// queried with local user ids (`0..view.num_users()`).
     fn estimation_phase(
         &self,
-        model: &Arc<MfModel>,
+        view: &ModelView,
         k: usize,
         indexes: &[Strategy],
     ) -> EstimationPhase {
@@ -237,12 +267,12 @@ impl Optimus {
             !indexes.iter().any(|s| matches!(s, Strategy::Bmm)),
             "Optimus: BMM is always included; pass only index strategies"
         );
-        let n = model.num_users();
-        let (sample, taken) = self.sample_users(n, model.num_factors());
+        let n = view.num_users();
+        let (sample, taken) = self.sample_users(n, view.num_factors());
 
         // Build all candidates (cheap relative to serving, Fig. 4).
-        let bmm = Strategy::Bmm.build(model);
-        let built: Vec<Box<dyn MipsSolver>> = indexes.iter().map(|s| s.build(model)).collect();
+        let bmm = Strategy::Bmm.build_over(view);
+        let built: Vec<Box<dyn MipsSolver>> = indexes.iter().map(|s| s.build_over(view)).collect();
 
         // Time BMM on the sample.
         let t0 = Instant::now();
@@ -294,7 +324,7 @@ impl Optimus {
             estimates,
             bmm_results,
             mut index_results,
-        } = self.estimation_phase(model, k, indexes);
+        } = self.estimation_phase(&ModelView::full(model), k, indexes);
 
         // Decide.
         let chosen_idx = estimates

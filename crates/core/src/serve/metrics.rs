@@ -6,6 +6,7 @@
 //! enough resolution for the p50/p99 figures the bench reports while
 //! keeping `record` to two atomic adds.
 
+use crate::engine::IndexScope;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -137,6 +138,11 @@ pub struct ShardCounters {
     pub(crate) users_served: AtomicU64,
     /// Nanoseconds spent inside solver calls for this shard.
     pub(crate) busy_ns: AtomicU64,
+    /// Shard-local index builds this shard's planning performed
+    /// (`PerShard`/`Auto` scopes; 0 under `Global`).
+    pub(crate) local_index_builds: AtomicU64,
+    /// Nanoseconds spent inside those shard-local builds.
+    pub(crate) local_build_ns: AtomicU64,
     /// Sub-request latency, submission to completion.
     pub(crate) latency: LatencyHistogram,
 }
@@ -146,17 +152,26 @@ impl ShardCounters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Snapshots the counters for shard `shard` covering `users`.
-    pub(crate) fn snapshot(&self, shard: usize, users: Range<usize>) -> ShardMetrics {
+    /// Snapshots the counters for shard `shard` covering `users`, serving
+    /// under `index_scope`.
+    pub(crate) fn snapshot(
+        &self,
+        shard: usize,
+        users: Range<usize>,
+        index_scope: IndexScope,
+    ) -> ShardMetrics {
         ShardMetrics {
             shard,
             users,
+            index_scope,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             users_served: self.users_served.load(Ordering::Relaxed),
             busy_seconds: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            local_index_builds: self.local_index_builds.load(Ordering::Relaxed),
+            local_build_us: self.local_build_ns.load(Ordering::Relaxed) / 1_000,
             latency: self.latency.snapshot(),
         }
     }
@@ -169,6 +184,9 @@ pub struct ShardMetrics {
     pub shard: usize,
     /// The contiguous user range this shard owns.
     pub users: Range<usize>,
+    /// The index scope this shard serves under (which tier of derived
+    /// state its plans come from).
+    pub index_scope: IndexScope,
     /// Sub-requests routed to this shard so far.
     pub submitted: u64,
     /// Sub-requests completed so far.
@@ -181,6 +199,13 @@ pub struct ShardMetrics {
     pub users_served: u64,
     /// Wall-clock seconds spent inside solver calls.
     pub busy_seconds: f64,
+    /// Shard-local index builds performed by this shard's planning (0
+    /// under [`IndexScope::Global`]; under `Auto` local candidates are
+    /// built to be timed, so this also counts shards that ended up staying
+    /// on the global plan).
+    pub local_index_builds: u64,
+    /// Microseconds of wall clock spent inside those builds.
+    pub local_build_us: u64,
     /// Sub-request latency distribution (submission → completion).
     pub latency: LatencySnapshot,
 }
@@ -212,6 +237,9 @@ pub struct ServerMetrics {
     /// The model epoch the server is currently admitting requests onto.
     /// In-flight requests may still be finishing on older epochs.
     pub epoch: u64,
+    /// The configured index scope (granularity of derived-state
+    /// construction; every shard of this server serves under it).
+    pub index_scope: IndexScope,
     /// Model swaps the runtime has picked up (topology rebuilds — the
     /// count of `swap_model` calls whose new epoch reached the server).
     pub swaps: u64,
@@ -232,6 +260,18 @@ impl ServerMetrics {
     /// Total sub-requests that shared a batch, across shards.
     pub fn coalesced(&self) -> u64 {
         self.shards.iter().map(|s| s.coalesced).sum()
+    }
+
+    /// Total shard-local index builds across shards (0 under
+    /// [`IndexScope::Global`]).
+    pub fn local_index_builds(&self) -> u64 {
+        self.shards.iter().map(|s| s.local_index_builds).sum()
+    }
+
+    /// Total microseconds spent building shard-local indexes, across
+    /// shards.
+    pub fn local_build_us(&self) -> u64 {
+        self.shards.iter().map(|s| s.local_build_us).sum()
     }
 
     /// Mean sub-requests per solver invocation (1.0 = no coalescing).

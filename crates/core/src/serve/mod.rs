@@ -29,6 +29,14 @@
 //!   follows the new epoch for subsequent admissions. The micro-batcher
 //!   never coalesces across epochs, and [`ServerMetrics`] reports the
 //!   serving epoch and swap count.
+//! * **Shard-local indexes.** [`ServerBuilder::index_scope`] selects the
+//!   granularity of derived state: one global solver set shared by every
+//!   shard ([`IndexScope::Global`]), per-shard indexes and plans built
+//!   over each shard's user slice ([`IndexScope::PerShard`] — the paper's
+//!   optimizer applied to each shard's own data shape), or a per-shard
+//!   OPTIMUS choice between the two ([`IndexScope::Auto`]). Shard-local
+//!   state is built lazily on first use within a model epoch and reclaimed
+//!   with it; results are bit-identical to the global engine either way.
 //!
 //! Results are bit-identical to sequential [`Engine::execute`] calls; the
 //! concurrency is invisible except in the clock.
@@ -68,6 +76,7 @@ mod queue;
 mod shard;
 mod worker;
 
+pub use crate::engine::IndexScope;
 pub use metrics::{LatencyHistogram, LatencySnapshot, ServerMetrics, ShardMetrics};
 
 use crate::engine::epoch::{ArcCell, ModelEpoch};
@@ -104,6 +113,13 @@ pub struct ServerConfig {
     /// Zero (the default) flushes adaptively: coalesce whatever is already
     /// queued, never wait.
     pub batch_window: Duration,
+    /// Granularity of derived-state construction: whether shards share the
+    /// epoch's global solver set and plans ([`IndexScope::Global`], the
+    /// default), build their own over their user slice
+    /// ([`IndexScope::PerShard`]), or let per-shard OPTIMUS decide shard by
+    /// shard ([`IndexScope::Auto`]). Results are bit-identical whatever
+    /// the scope.
+    pub index_scope: IndexScope,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +131,7 @@ impl Default for ServerConfig {
             batching: true,
             max_batch: 32,
             batch_window: Duration::ZERO,
+            index_scope: IndexScope::Global,
         }
     }
 }
@@ -172,6 +189,13 @@ impl ServerBuilder {
     /// Sets the deadline-flush window (zero = adaptive flush only).
     pub fn batch_window(mut self, window: Duration) -> ServerBuilder {
         self.config.batch_window = window;
+        self
+    }
+
+    /// Sets the index scope: global derived state (default), shard-local
+    /// construction, or per-shard OPTIMUS choice. See [`IndexScope`].
+    pub fn index_scope(mut self, scope: IndexScope) -> ServerBuilder {
+        self.config.index_scope = scope;
         self
     }
 
@@ -291,6 +315,7 @@ fn build_topology(
             Arc::new(ShardEngine::new(
                 i,
                 users.clone(),
+                config.index_scope,
                 Arc::clone(engine),
                 Arc::clone(snapshot),
                 counters,
@@ -498,6 +523,7 @@ impl MipsServer {
             rejected: self.shared.counters.rejected.load(Ordering::Relaxed),
             failed: self.shared.counters.failed.load(Ordering::Relaxed),
             epoch: topology.epoch,
+            index_scope: self.shared.config.index_scope,
             swaps: self.shared.counters.swaps.load(Ordering::Relaxed),
             latency: self.shared.counters.latency.snapshot(),
             shards: topology.shards.iter().map(|s| s.metrics()).collect(),
@@ -540,6 +566,7 @@ impl std::fmt::Debug for MipsServer {
             .field("queue_capacity", &self.shared.config.queue_capacity)
             .field("batching", &self.shared.policy.enabled)
             .field("max_batch", &self.shared.policy.max_batch)
+            .field("index_scope", &self.shared.config.index_scope)
             .finish()
     }
 }

@@ -14,8 +14,8 @@
 use super::metrics::{ServerCounters, ShardCounters, ShardMetrics};
 use crate::engine::epoch::ModelEpoch;
 use crate::engine::{
-    lock_recovering, Engine, ExclusionSet, MipsError, PreparedPlan, QueryRequest, QueryResponse,
-    UserSelection,
+    lock_recovering, Engine, ExclusionSet, IndexScope, MipsError, PreparedPlan, QueryRequest,
+    QueryResponse, UserSelection,
 };
 use crate::parallel::chunk_bounds;
 use mips_topk::TopKList;
@@ -44,6 +44,13 @@ pub(crate) struct ShardEngine {
     /// The pinned model epoch (plans, solvers, and validation all resolve
     /// against this snapshot, never the engine's live state).
     pub(crate) epoch: Arc<ModelEpoch>,
+    /// The granularity of derived state this shard plans with:
+    /// [`IndexScope::Global`] shares the epoch's whole-model tier,
+    /// `PerShard`/`Auto` build (lazily, on first use within the epoch)
+    /// shard-local solvers and plans over a view of `users`. Shard-local
+    /// state lives in the epoch's per-shard cache tier, so swaps and
+    /// re-sharding reclaim it exactly like the global state.
+    scope: IndexScope,
     engine: Arc<Engine>,
     plans: Mutex<HashMap<usize, Arc<PreparedPlan>>>,
     /// Shared so a re-built topology with identical bounds carries its
@@ -55,6 +62,7 @@ impl ShardEngine {
     pub(crate) fn new(
         index: usize,
         users: Range<usize>,
+        scope: IndexScope,
         engine: Arc<Engine>,
         epoch: Arc<ModelEpoch>,
         counters: Arc<ShardCounters>,
@@ -62,6 +70,7 @@ impl ShardEngine {
         ShardEngine {
             index,
             users,
+            scope,
             epoch,
             engine,
             plans: Mutex::new(HashMap::new()),
@@ -70,19 +79,43 @@ impl ShardEngine {
     }
 
     /// The plan for `k` on this shard's pinned epoch: shard-local cache
-    /// first, the epoch's shared plan cache (which dedupes concurrent
-    /// planning across shards) on a miss.
+    /// first, then the epoch's shared tier on a miss — the global per-`k`
+    /// cache under [`IndexScope::Global`], the per-shard tier (keyed by
+    /// this shard's bounds) under `PerShard`/`Auto`. Either way concurrent
+    /// planning across shards and topologies dedupes in the epoch.
+    ///
+    /// Shard-local index construction performed on a miss is rolled into
+    /// this shard's `local_index_builds` / build-time counters.
     pub(crate) fn plan(&self, k: usize) -> Result<Arc<PreparedPlan>, MipsError> {
         if let Some(plan) = lock_recovering(&self.plans).get(&k) {
             return Ok(Arc::clone(plan));
         }
-        let plan = self.engine.prepare_on(&self.epoch, k)?;
+        let plan = if self.scope.builds_local() {
+            let mut stats = crate::engine::scope::ShardBuildStats::default();
+            let plan = self.engine.prepare_shard_on(
+                &self.epoch,
+                &self.users,
+                k,
+                self.scope,
+                &mut stats,
+            )?;
+            if stats.builds > 0 {
+                self.counters
+                    .add(&self.counters.local_index_builds, stats.builds);
+                self.counters
+                    .add(&self.counters.local_build_ns, stats.build_ns);
+            }
+            plan
+        } else {
+            self.engine.prepare_on(&self.epoch, k)?
+        };
         lock_recovering(&self.plans).insert(k, Arc::clone(&plan));
         Ok(plan)
     }
 
     pub(crate) fn metrics(&self) -> ShardMetrics {
-        self.counters.snapshot(self.index, self.users.clone())
+        self.counters
+            .snapshot(self.index, self.users.clone(), self.scope)
     }
 }
 
@@ -458,6 +491,7 @@ pub(crate) fn test_engines(router: &ShardRouter) -> Vec<Arc<ShardEngine>> {
             Arc::new(ShardEngine::new(
                 i,
                 users.clone(),
+                IndexScope::Global,
                 Arc::clone(&engine),
                 Arc::clone(&epoch),
                 Arc::new(ShardCounters::default()),

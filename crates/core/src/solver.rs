@@ -152,6 +152,15 @@ impl Strategy {
             .build(model)
             .unwrap_or_else(|err| panic!("Strategy::build({}): {err}", self.name()))
     }
+
+    /// [`Strategy::build`] over a contiguous user-range view of a model
+    /// (shard-local index construction). The produced solver addresses
+    /// users by local row (`0..view.num_users()`).
+    pub fn build_over(&self, view: &mips_data::ModelView) -> Box<dyn MipsSolver> {
+        self.factory()
+            .build_view(view)
+            .unwrap_or_else(|err| panic!("Strategy::build_over({}): {err}", self.name()))
+    }
 }
 
 #[cfg(test)]

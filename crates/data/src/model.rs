@@ -1,7 +1,9 @@
-//! The matrix-factorization model type consumed by every MIPS solver.
+//! The matrix-factorization model type consumed by every MIPS solver, and
+//! the zero-copy [`ModelView`] over a contiguous user range of it.
 
-use mips_linalg::{dot, LinalgError, Matrix};
+use mips_linalg::{dot, LinalgError, Matrix, RowBlock};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Errors raised when constructing a model from untrusted input.
@@ -173,6 +175,120 @@ impl MfModel {
     }
 }
 
+/// A zero-copy view of a contiguous user range of a shared [`MfModel`].
+///
+/// Row-major storage makes a contiguous user range a contiguous factor
+/// block, so the view is an `Arc` plus a range: [`ModelView::users_block`]
+/// borrows the block straight out of the parent matrix without copying, and
+/// the item matrix is shared untouched. This is the unit solver indexes and
+/// serving plans can be built over — a shard of the serving runtime is
+/// exactly such a view — while the parent model stays the single source of
+/// truth for global user ids (`global id = view.user_range().start + local
+/// row`).
+#[derive(Debug, Clone)]
+pub struct ModelView {
+    model: Arc<MfModel>,
+    users: Range<usize>,
+}
+
+impl ModelView {
+    /// The view covering every user (the whole-model case; zero-copy in
+    /// every operation including [`ModelView::to_model`]).
+    pub fn full(model: &Arc<MfModel>) -> ModelView {
+        ModelView {
+            users: 0..model.num_users(),
+            model: Arc::clone(model),
+        }
+    }
+
+    /// The view over a contiguous user range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty or exceeds the model's user count;
+    /// callers (the serving runtime's shard router) derive ranges from the
+    /// model itself, so an out-of-range view is a logic error.
+    pub fn of_range(model: &Arc<MfModel>, users: Range<usize>) -> ModelView {
+        assert!(
+            users.start < users.end && users.end <= model.num_users(),
+            "ModelView: user range {users:?} invalid for {} users",
+            model.num_users()
+        );
+        ModelView {
+            users,
+            model: Arc::clone(model),
+        }
+    }
+
+    /// The parent model the view slices.
+    pub fn model(&self) -> &Arc<MfModel> {
+        &self.model
+    }
+
+    /// The global user ids the view covers.
+    pub fn user_range(&self) -> Range<usize> {
+        self.users.clone()
+    }
+
+    /// `true` when the view covers the whole model.
+    pub fn is_full(&self) -> bool {
+        self.users.start == 0 && self.users.end == self.model.num_users()
+    }
+
+    /// Users in the view.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Items of the (shared, un-sliced) catalog.
+    pub fn num_items(&self) -> usize {
+        self.model.num_items()
+    }
+
+    /// Latent factors `f`.
+    pub fn num_factors(&self) -> usize {
+        self.model.num_factors()
+    }
+
+    /// The view's user factor rows as one contiguous block — zero-copy:
+    /// this borrows straight from the parent matrix.
+    pub fn users_block(&self) -> RowBlock<'_, f64> {
+        self.model
+            .users()
+            .row_block(self.users.start, self.users.end)
+    }
+
+    /// The shared item factor matrix (`|I| × f`).
+    pub fn items(&self) -> &Matrix<f64> {
+        self.model.items()
+    }
+
+    /// A model equivalent to the view, for consumers that only speak
+    /// [`MfModel`]. A full view returns the parent `Arc` (zero-copy); a
+    /// proper slice materializes a sub-model whose user matrix is one
+    /// `memcpy` of the contiguous factor block. Built-in solver factories
+    /// avoid even that copy by consuming the view natively.
+    pub fn to_model(&self) -> Arc<MfModel> {
+        if self.is_full() {
+            return Arc::clone(&self.model);
+        }
+        let f = self.model.num_factors();
+        let block = self.users_block();
+        let users = Matrix::from_vec(self.users.len(), f, block.as_slice().to_vec())
+            .expect("a slice of a well-formed matrix is well-formed");
+        Arc::new(MfModel {
+            name: format!(
+                "{}[{}..{})",
+                self.model.name, self.users.start, self.users.end
+            ),
+            users,
+            items: self.model.items.clone(),
+            // Slicing preserves the parent's validation status: no new
+            // values are introduced.
+            validated: self.model.validated,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +348,51 @@ mod tests {
         let m = MfModel::new_shared("s", users2x2(), items3x2()).unwrap();
         let m2 = m.clone();
         assert_eq!(m2.num_users(), 2);
+    }
+
+    #[test]
+    fn full_view_is_the_model_itself_zero_copy() {
+        let m = MfModel::new_shared("v", users2x2(), items3x2()).unwrap();
+        let view = ModelView::full(&m);
+        assert!(view.is_full());
+        assert_eq!(view.num_users(), 2);
+        assert_eq!(view.num_items(), 3);
+        assert_eq!(view.num_factors(), 2);
+        assert_eq!(view.users_block().as_slice(), m.users().as_slice());
+        // to_model on a full view hands back the same allocation.
+        assert!(Arc::ptr_eq(&view.to_model(), &m));
+    }
+
+    #[test]
+    fn range_view_slices_the_factor_block_and_materializes_identically() {
+        let users = Matrix::from_vec(4, 2, (0..8).map(|v| v as f64).collect()).unwrap();
+        let m = MfModel::new_shared("v", users, items3x2()).unwrap();
+        let view = ModelView::of_range(&m, 1..3);
+        assert!(!view.is_full());
+        assert_eq!(view.num_users(), 2);
+        assert_eq!(view.user_range(), 1..3);
+        // The block borrows rows 1 and 2 verbatim.
+        assert_eq!(view.users_block().as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        let sub = view.to_model();
+        assert_eq!(sub.num_users(), 2);
+        assert_eq!(sub.users().as_slice(), view.users_block().as_slice());
+        assert_eq!(sub.items().as_slice(), m.items().as_slice());
+        assert!(sub.is_validated(), "slicing keeps the validation status");
+        // Local row 0 of the view is global user 1.
+        assert_eq!(sub.predict(0, 2), m.predict(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn out_of_range_views_are_rejected() {
+        let m = MfModel::new_shared("v", users2x2(), items3x2()).unwrap();
+        let _ = ModelView::of_range(&m, 1..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn empty_views_are_rejected() {
+        let m = MfModel::new_shared("v", users2x2(), items3x2()).unwrap();
+        let _ = ModelView::of_range(&m, 1..1);
     }
 }

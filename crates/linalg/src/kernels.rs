@@ -52,9 +52,67 @@ fn dot_scalar<T: Scalar>(x: &[T], y: &[T]) -> T {
     ((acc0 + acc1) + (acc2 + acc3)) + tail
 }
 
+/// Dot product with the **GEMM micro-kernel's per-element reduction**: one
+/// accumulator, sequential fused multiply-add over the shared dimension.
+///
+/// Every blocked-GEMM entry point in this crate accumulates each output
+/// element `C[i][j]` sequentially over `k` (a single FMA chain per
+/// element, across panel boundaries), so this kernel reproduces any
+/// `gemm_nt*` output bit-for-bit for the same row pair — under every
+/// kernel set, since the SIMD tiles keep the same per-element chain. The
+/// default [`dot`] does not: its four independent accumulator lanes
+/// combine in a different order and can differ in the last ulp.
+///
+/// Use this where a single recomputed score must agree bit-for-bit with
+/// GEMM-produced scores (e.g. canonicalizing an index's reported top-k
+/// values). The single chain serializes on the FMA latency, so it is
+/// several times slower than [`dot`] on long vectors — keep it off bulk
+/// scan paths.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot_gemm_ordered<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot_gemm_ordered: length mismatch");
+    let mut acc = T::ZERO;
+    for (a, b) in x.iter().zip(y) {
+        acc = a.mul_add(*b, acc);
+    }
+    acc
+}
+
+/// Four GEMM-ordered dot products `xᵀy_i` at once (SIMD-dispatched for
+/// `f64` so the fused multiply-adds stay hardware instructions): each
+/// product is one sequential FMA chain — [`dot_gemm_ordered`]'s reduction
+/// — and the four independent chains pipeline, so a bulk canonicalizing
+/// pass is throughput-bound instead of FMA-latency-bound.
+///
+/// # Panics
+/// Panics if any `y` length differs from `x`'s.
+#[inline]
+pub fn dot_gemm_ordered_x4(x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
+    simd::active().dot_seq4(x, ys)
+}
+
 /// Monomorphic scalar entries for the [`crate::simd::Kernel`] vtable.
 pub(crate) fn dot_scalar_f64(x: &[f64], y: &[f64]) -> f64 {
     dot_scalar(x, y)
+}
+
+/// Scalar body of [`crate::simd::Kernel::dot_seq4`]. On targets without
+/// baseline FMA the `mul_add`s go through libm's (hardware-backed,
+/// correctly rounded) `fma`, so results stay bit-identical to the SIMD
+/// kernel sets — only slower, which is the scalar set's usual deal.
+pub(crate) fn dot_seq4_scalar_f64(x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
+    let [y0, y1, y2, y3] = ys;
+    let mut acc = [0.0f64; 4];
+    for (j, &u) in x.iter().enumerate() {
+        acc[0] = u.mul_add(y0[j], acc[0]);
+        acc[1] = u.mul_add(y1[j], acc[1]);
+        acc[2] = u.mul_add(y2[j], acc[2]);
+        acc[3] = u.mul_add(y3[j], acc[3]);
+    }
+    acc
 }
 
 pub(crate) fn axpy_scalar_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
@@ -329,5 +387,26 @@ mod tests {
         let y = [5.0_f32, 4.0, 3.0, 2.0, 1.0];
         assert!((dot(&x, &y) - 35.0).abs() < 1e-5);
         assert!((norm2(&[3.0_f32, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_gemm_ordered_reproduces_gemm_elements_bit_for_bit() {
+        use crate::{gemm_nt, Matrix};
+        for (m, n, f) in [(23, 37, 11), (5, 300, 50), (3, 7, 1), (4, 9, 257)] {
+            let a =
+                Matrix::<f64>::from_fn(m, f, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.137 - 0.5);
+            let b =
+                Matrix::<f64>::from_fn(n, f, |r, c| ((r * 17 + c * 3) % 11) as f64 * 0.211 - 0.7);
+            let big = gemm_nt(&a, &b);
+            for u in 0..m {
+                for i in 0..n {
+                    assert_eq!(
+                        dot_gemm_ordered(a.row(u), b.row(i)),
+                        big.get(u, i),
+                        "({m},{n},{f}) element ({u},{i})"
+                    );
+                }
+            }
+        }
     }
 }

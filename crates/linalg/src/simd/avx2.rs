@@ -47,6 +47,29 @@ unsafe fn dot_inner(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Safe wrapper; see module docs for the soundness argument.
+pub(super) fn dot_seq4(x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
+    // SAFETY: as for `dot`.
+    unsafe { dot_seq4_inner(x, ys) }
+}
+
+/// Four sequential-chain (GEMM-ordered) dots. The body is the scalar
+/// kernel's, written out here so that under `target_feature(fma)` every
+/// `mul_add` lowers to an inline `vfmadd` instead of the baseline
+/// target's libm call — same bits, hardware speed.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_seq4_inner(x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
+    let [y0, y1, y2, y3] = ys;
+    let mut acc = [0.0f64; 4];
+    for (j, &u) in x.iter().enumerate() {
+        acc[0] = u.mul_add(y0[j], acc[0]);
+        acc[1] = u.mul_add(y1[j], acc[1]);
+        acc[2] = u.mul_add(y2[j], acc[2]);
+        acc[3] = u.mul_add(y3[j], acc[3]);
+    }
+    acc
+}
+
+/// Safe wrapper; see module docs for the soundness argument.
 pub(super) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
     // SAFETY: as for `dot`.

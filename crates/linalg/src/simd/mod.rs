@@ -38,6 +38,11 @@
 //! * [`Kernel::micro_4x8`] — each `(i, j)` accumulator of the `MR×NR` GEMM
 //!   register tile is one vector lane fed by a single sequential FMA chain
 //!   over the packed depth, identical to the scalar micro-kernel's loop.
+//! * [`Kernel::dot_seq4`] — four scalar sequential FMA chains (the GEMM
+//!   per-element order, one chain per item); the arch kernels only ensure
+//!   the `mul_add`s compile to inline hardware FMA, and every path's `fma`
+//!   is correctly rounded, so all kernel sets agree bit for bit — with each
+//!   other *and* with the matching `micro_4x8` output element.
 //!
 //! The one exception is [`Kernel::suffix_sumsq`]: a suffix scan is a serial
 //! carry chain, and the vector version re-associates the within-block sums
@@ -93,6 +98,7 @@ mod neon;
 pub struct Kernel {
     name: &'static str,
     dot: fn(&[f64], &[f64]) -> f64,
+    dot_seq4: fn(&[f64], [&[f64]; 4]) -> [f64; 4],
     axpy: fn(f64, &[f64], &mut [f64]),
     dist2_sq: fn(&[f64], &[f64]) -> f64,
     suffix_sumsq: fn(&[f64], &mut [f64]),
@@ -120,6 +126,22 @@ impl Kernel {
     pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
         assert_eq!(x.len(), y.len(), "dot: length mismatch");
         (self.dot)(x, y)
+    }
+
+    /// Four dot products `xᵀy_i` computed with the **GEMM per-element
+    /// reduction**: each product is one sequential fused-multiply-add
+    /// chain (bit-identical to the matching `gemm_nt*` output element),
+    /// and the four independent chains pipeline so the pass is
+    /// throughput-bound rather than FMA-latency-bound.
+    ///
+    /// # Panics
+    /// Panics if any length differs from `x`'s.
+    #[inline]
+    pub fn dot_seq4(&self, x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
+        for y in &ys {
+            assert_eq!(x.len(), y.len(), "dot_seq4: length mismatch");
+        }
+        (self.dot_seq4)(x, ys)
     }
 
     /// `y += alpha * x`.
@@ -175,6 +197,7 @@ impl Kernel {
         Kernel {
             name: "scalar",
             dot: crate::kernels::dot_scalar_f64,
+            dot_seq4: crate::kernels::dot_seq4_scalar_f64,
             axpy: crate::kernels::axpy_scalar_f64,
             dist2_sq: crate::kernels::dist2_sq_scalar_f64,
             suffix_sumsq: crate::kernels::suffix_sumsq_scalar_f64,
@@ -191,6 +214,7 @@ impl Kernel {
                 return Some(Kernel {
                     name: "avx2-fma",
                     dot: avx2::dot,
+                    dot_seq4: avx2::dot_seq4,
                     axpy: avx2::axpy,
                     dist2_sq: avx2::dist2_sq,
                     suffix_sumsq: avx2::suffix_sumsq,
@@ -213,6 +237,9 @@ impl Kernel {
             Some(Kernel {
                 name: "neon",
                 dot: neon::dot,
+                // aarch64 guarantees scalar FMA, so the portable body
+                // already compiles to fused hardware madds.
+                dot_seq4: crate::kernels::dot_seq4_scalar_f64,
                 axpy: neon::axpy,
                 dist2_sq: neon::dist2_sq,
                 suffix_sumsq: neon::suffix_sumsq,
@@ -354,6 +381,35 @@ mod tests {
                     "{}: len {len}: {got:e} vs scalar {want:e}",
                     k.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_seq4_bit_identical_across_kernels_and_to_gemm_order() {
+        for len in [0usize, 1, 3, 8, 31, 50, 257] {
+            let x = pseudo(len, 11);
+            let ys: Vec<Vec<f64>> = (0..4).map(|i| pseudo(len, 43 + i)).collect();
+            let refs = [&ys[0][..], &ys[1][..], &ys[2][..], &ys[3][..]];
+            let want = Kernel::scalar().dot_seq4(&x, refs);
+            for k in all_kernels() {
+                let got = k.dot_seq4(&x, refs);
+                for lane in 0..4 {
+                    assert_eq!(
+                        got[lane].to_bits(),
+                        want[lane].to_bits(),
+                        "{} lane {lane} len {len}",
+                        k.name()
+                    );
+                }
+            }
+            // Each lane is exactly the sequential (GEMM-ordered) chain.
+            for lane in 0..4 {
+                let mut acc = 0.0f64;
+                for (a, b) in x.iter().zip(&ys[lane]) {
+                    acc = a.mul_add(*b, acc);
+                }
+                assert_eq!(want[lane].to_bits(), acc.to_bits(), "lane {lane} len {len}");
             }
         }
     }
