@@ -24,6 +24,13 @@
 //! scopes, so a regression in shard-local serving — or the scope machinery
 //! slowing the global path — fails CI.
 //!
+//! `loopback-http` rows push the same single-user flood through the
+//! `mips-net` front door over a real loopback socket — pipelined bursts on
+//! one keep-alive connection, latency measured at the client from burst
+//! write to each response read. Compared against the in-process
+//! `single-user` rows they price the wire: HTTP parse, JSON codec, event
+//! loop, kernel socket hops. The gate guards them like every other row.
+//!
 //! Environment knobs: `MIPS_SCALE` scales the models (as everywhere in the
 //! harness); `MIPS_SERVE_MAX_WORKERS` caps the worker-count sweep (the
 //! regression-gate run pins it to 1 so committed baselines stay
@@ -38,6 +45,8 @@ use mips_core::engine::{BmmFactory, Engine, EngineBuilder, MaximusFactory, Query
 use mips_core::serve::{IndexScope, ServerBuilder};
 use mips_data::catalog::reference_models;
 use mips_data::MfModel;
+use mips_net::client::Client;
+use mips_net::HttpServerBuilder;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,17 +74,35 @@ struct ServerShape {
     shards: usize,
     workers: usize,
     batching: bool,
+    /// Deadline-flush window in microseconds (0 = adaptive flush only).
+    batch_window_us: u64,
     scope: IndexScope,
 }
 
 impl ServerShape {
     /// The historical single-knob shape: `workers` shards, one per worker,
-    /// global index scope.
+    /// global index scope, a 200µs deadline window when batching.
     fn classic(workers: usize, batching: bool) -> ServerShape {
         ServerShape {
             shards: workers,
             workers,
             batching,
+            batch_window_us: if batching { 200 } else { 0 },
+            scope: IndexScope::Global,
+        }
+    }
+
+    /// The loopback shape: like [`ServerShape::classic`] batched, but with
+    /// adaptive flush only. Wire traffic keeps fewer requests in flight
+    /// than `max_batch`, so a deadline window would hold every partial
+    /// batch open for its full length — pure added latency, no extra
+    /// coalescing to buy.
+    fn wire(workers: usize) -> ServerShape {
+        ServerShape {
+            shards: workers,
+            workers,
+            batching: true,
+            batch_window_us: 0,
             scope: IndexScope::Global,
         }
     }
@@ -86,11 +113,7 @@ impl ServerShape {
             .shards(self.shards)
             .workers(self.workers)
             .max_batch(32)
-            .batch_window(if self.batching {
-                Duration::from_micros(200)
-            } else {
-                Duration::ZERO
-            })
+            .batch_window(Duration::from_micros(self.batch_window_us))
             .batching(self.batching)
             .queue_capacity(4096)
             .index_scope(self.scope)
@@ -200,6 +223,124 @@ fn run_config(
     (elapsed, metrics)
 }
 
+/// Requests kept pipelined on the loopback connection per burst — the
+/// wire analog of [`BURST`]: written back-to-back, read back in order.
+const WIRE_BURST: usize = 16;
+
+/// One loopback pass: `requests` single-user top-10 queries through a
+/// fresh HTTP front door over a real socket, pipelined [`WIRE_BURST`] at
+/// a time on one keep-alive connection. A single connection keeps the
+/// thread count minimal (client + net loop + workers), so on the 1-worker
+/// gate shape the row prices the wire itself, not scheduler contention.
+/// Returns wall seconds plus client-measured p50/p99 (burst write →
+/// response read) in microseconds.
+fn run_wire(
+    engine: &Arc<Engine>,
+    model: &MfModel,
+    shape: ServerShape,
+    requests: usize,
+) -> WirePass {
+    let server = Arc::new(shape.build(engine));
+    engine
+        .execute(&QueryRequest::top_k(10).users(vec![0]))
+        .expect("warmup");
+    let http = HttpServerBuilder::new()
+        .server(Arc::clone(&server))
+        .build()
+        .expect("bench front door assembles");
+    let mut client = Client::connect(http.local_addr()).expect("bench loopback connect");
+    // One warmup round trip: connection setup and first-parse costs stay
+    // out of the timed window, mirroring the in-process warmup.
+    let warm = client
+        .request("POST", "/query", Some("{\"k\": 10, \"users\": [0]}"))
+        .expect("wire warmup");
+    assert_eq!(warm.status, 200, "{}", warm.body);
+
+    let num_users = model.num_users();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(requests);
+    let started = Instant::now();
+    let mut sent = 0usize;
+    while sent < requests {
+        let burst = WIRE_BURST.min(requests - sent);
+        let burst_started = Instant::now();
+        for i in 0..burst {
+            let n = sent + i;
+            let user = (n.wrapping_mul(2654435761)) % num_users;
+            client
+                .send(
+                    "POST",
+                    "/query",
+                    Some(&format!("{{\"k\": 10, \"users\": [{user}]}}")),
+                )
+                .expect("wire send");
+        }
+        for _ in 0..burst {
+            let response = client.recv().expect("wire response");
+            assert_eq!(
+                response.status, 200,
+                "wire request must serve: {}",
+                response.body
+            );
+            latencies.push(burst_started.elapsed());
+        }
+        sent += burst;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.completed as usize,
+        requests + 1,
+        "warmup + timed requests"
+    );
+    assert_eq!(metrics.failed, 0, "wire requests must not fail");
+    http.shutdown().expect("bench front door shutdown");
+
+    latencies.sort();
+    let quantile = |q: f64| -> f64 {
+        latencies[((latencies.len() - 1) as f64 * q) as usize].as_secs_f64() * 1e6
+    };
+    WirePass {
+        elapsed,
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        mean_batch: metrics.mean_batch_size(),
+    }
+}
+
+/// One measured loopback pass (see [`run_wire`]).
+#[derive(Clone, Copy)]
+struct WirePass {
+    elapsed: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_batch: f64,
+}
+
+/// Best-of wrapper for the loopback leg, same noise policy as [`best_of`].
+fn best_of_wire(
+    engine: &Arc<Engine>,
+    model: &MfModel,
+    shape: ServerShape,
+    requests: usize,
+) -> WirePass {
+    let mut best: Option<WirePass> = None;
+    let mut spent = 0.0;
+    let mut runs = 0;
+    while runs == 0 || (runs < 5 && spent < 0.3) {
+        let pass = run_wire(engine, model, shape, requests);
+        spent += pass.elapsed;
+        let improved = match &best {
+            None => true,
+            Some(fastest) => pass.elapsed < fastest.elapsed,
+        };
+        if improved {
+            best = Some(pass);
+        }
+        runs += 1;
+    }
+    best.expect("at least one wire pass ran")
+}
+
 /// Adaptive best-of wrapper around [`run_config`], shared by the steady
 /// and swap-under-load rows so both get identical noise treatment: at tiny
 /// CI scale one pass is only a few milliseconds, so repeat inside a 0.3s
@@ -255,7 +396,7 @@ fn emit_row(
         shards: shape.shards,
         batching: shape.batching,
         max_batch: 32,
-        batch_window_us: if shape.batching { 200 } else { 0 },
+        batch_window_us: shape.batch_window_us,
         requests: requests as u64,
         swaps: metrics.swaps,
         mean_batch: metrics.mean_batch_size(),
@@ -336,6 +477,47 @@ fn main() {
             }
         }
 
+        // Loopback HTTP: the batched single-user flood again, but through
+        // the network front door over a real socket. The delta against
+        // the in-process batched row at the same worker count is the
+        // price of the wire.
+        for &workers in &worker_counts {
+            let shape = ServerShape::wire(workers);
+            let pass = best_of_wire(&engine, &model, shape, requests);
+            let rps = requests as f64 / pass.elapsed;
+            let record = ServeRecord {
+                dataset: dataset.to_string(),
+                workload: "loopback-http".to_string(),
+                index_scope: shape.scope.as_str().to_string(),
+                workers: shape.workers,
+                shards: shape.shards,
+                batching: shape.batching,
+                max_batch: 32,
+                batch_window_us: shape.batch_window_us,
+                requests: requests as u64,
+                swaps: 0,
+                mean_batch: pass.mean_batch,
+                requests_per_sec: rps,
+                seconds_per_request: pass.elapsed / requests as f64,
+                p50_us: pass.p50_us,
+                p99_us: pass.p99_us,
+            };
+            table.row(vec![
+                dataset.to_string(),
+                "loopback-http".to_string(),
+                record.index_scope.clone(),
+                shape.workers.to_string(),
+                shape.batching.to_string(),
+                format!("{rps:.0}"),
+                fmt_secs(record.seconds_per_request),
+                format!("{:.0}us", record.p50_us),
+                format!("{:.0}us", record.p99_us),
+                format!("{:.1}", record.mean_batch),
+                "0".to_string(),
+            ]);
+            records.push(record);
+        }
+
         // Swap-under-load: the same single-user flood with a background
         // thread hot-swapping the model the whole time. A dedicated engine
         // keeps the epoch churn out of the steady-state rows; the two
@@ -390,6 +572,7 @@ fn main() {
                     shards: 4,
                     workers,
                     batching: true,
+                    batch_window_us: 200,
                     scope,
                 };
                 let (elapsed, metrics) = best_of(&engine, &model, shape, scope_requests, None);
@@ -463,6 +646,25 @@ fn main() {
             println!(
                 "{dataset}: continuous hot swap keeps {:.0}% of steady throughput at {w_max} workers",
                 100.0 * swapped / steady
+            );
+        }
+        let p50 = |workload: &str, workers: usize| -> Option<f64> {
+            records
+                .iter()
+                .find(|r| {
+                    r.dataset == dataset
+                        && r.workload == workload
+                        && r.workers == workers
+                        && r.batching
+                })
+                .map(|r| r.p50_us)
+        };
+        if let (Some(in_proc), Some(wire)) =
+            (p50("single-user", w_min), p50("loopback-http", w_min))
+        {
+            println!(
+                "{dataset}: loopback HTTP p50 {wire:.0}us = {:.2}x in-process at {w_min} worker(s)",
+                wire / in_proc
             );
         }
         if let (Some(global), Some(per_shard), Some(auto)) = (

@@ -572,6 +572,53 @@ mod tests {
         assert!(!compare(SCOPE_DIGEST, &injected, 1.5, 6.0).passed());
     }
 
+    const WIRE_DIGEST: &str = r#"{
+  "bench": "BENCH_T3",
+  "serve": [
+    {"dataset": "Netflix", "workload": "single-user", "index_scope": "global", "workers": 1, "shards": 1, "batching": true, "max_batch": 32, "batch_window_us": 200, "requests": 96, "swaps": 0, "mean_batch": 32.00, "requests_per_sec": 250000.0, "seconds_per_request": 0.00000400, "p50_us": 180.0, "p99_us": 260.0},
+    {"dataset": "Netflix", "workload": "loopback-http", "index_scope": "global", "workers": 1, "shards": 1, "batching": true, "max_batch": 32, "batch_window_us": 0, "requests": 96, "swaps": 0, "mean_batch": 4.00, "requests_per_sec": 85000.0, "seconds_per_request": 0.00001176, "p50_us": 200.0, "p99_us": 300.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn loopback_rows_key_separately_and_gate_individually() {
+        // The wire row and the in-process row differ in workload (and
+        // window) — distinct identities, gated independently.
+        let (_, rows) = parse_digest(WIRE_DIGEST);
+        assert_eq!(rows.len(), 2);
+        let keys: Vec<String> = rows.iter().map(row_key).collect();
+        assert!(keys[0].contains("workload=single-user"), "{}", keys[0]);
+        assert!(keys[1].contains("workload=loopback-http"), "{}", keys[1]);
+        assert_ne!(keys[0], keys[1]);
+        // A slowdown confined to the wire path fails exactly the wire row:
+        // the socket layer cannot regress behind the in-process rows'
+        // backs.
+        let slowed = WIRE_DIGEST.replace(
+            "\"seconds_per_request\": 0.00001176",
+            "\"seconds_per_request\": 0.00011760",
+        );
+        assert_ne!(slowed, WIRE_DIGEST);
+        let report = compare(WIRE_DIGEST, &slowed, 1.5, 6.0);
+        assert!(!report.passed(), "{}", report.render());
+        let failed: Vec<&GateRow> = report.rows.iter().filter(|r| r.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].key.contains("workload=loopback-http"));
+        // A dropped wire row is a gate failure, not a silent pass.
+        let truncated: String = WIRE_DIGEST
+            .lines()
+            .filter(|l| !l.contains("\"workload\": \"loopback-http\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = compare(WIRE_DIGEST, &truncated, 1.5, 6.0);
+        assert_eq!(report.missing_in_current.len(), 1);
+        assert!(!report.passed());
+        // And the self-test's slowdown injector perturbs wire digests too.
+        let injected = inject_slowdown(WIRE_DIGEST, 10.0);
+        assert_ne!(injected, WIRE_DIGEST);
+        assert!(!compare(WIRE_DIGEST, &injected, 1.5, 6.0).passed());
+    }
+
     #[test]
     fn speedup_rows_gate_inverted() {
         // Fusion speedup collapsing from 7x to 2x is a regression even

@@ -23,6 +23,7 @@ pub mod gate;
 use mips_core::bmm::BmmSolver;
 use mips_core::engine::{Engine, EngineBuilder, QueryRequest};
 use mips_core::maximus::MaximusConfig;
+use mips_core::serve::JsonWriter;
 use mips_core::solver::{MipsSolver, Strategy};
 use mips_data::catalog::ModelSpec;
 use mips_data::MfModel;
@@ -448,35 +449,39 @@ pub struct ServeRecord {
 
 /// Renders the serving-runtime digest (the `BENCH_3.json` shape): run
 /// metadata plus one row per (dataset, workload, server config).
+///
+/// Rows go through the same [`JsonWriter`] the serving runtime uses for
+/// its `/metrics` endpoint — one serializer, one escaping policy, one
+/// number format across the wire and the digests. The digest keeps its
+/// one-row-object-per-line layout, which the regression gate's minimal
+/// parser depends on.
 pub fn render_serve_json(meta: &BenchMeta, records: &[ServeRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     meta.render_header(&mut out);
     out.push_str("  \"serve\": [\n");
     for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"dataset\": \"{}\", \"workload\": \"{}\", \"index_scope\": \"{}\", \
-             \"workers\": {}, \
-             \"shards\": {}, \"batching\": {}, \"max_batch\": {}, \"batch_window_us\": {}, \
-             \"requests\": {}, \"swaps\": {}, \"mean_batch\": {:.2}, \"requests_per_sec\": {:.2}, \
-             \"seconds_per_request\": {:.8}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
-            json_escape(&r.dataset),
-            json_escape(&r.workload),
-            json_escape(&r.index_scope),
-            r.workers,
-            r.shards,
-            r.batching,
-            r.max_batch,
-            r.batch_window_us,
-            r.requests,
-            r.swaps,
-            r.mean_batch,
-            r.requests_per_sec,
-            r.seconds_per_request,
-            r.p50_us,
-            r.p99_us,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("dataset", &r.dataset);
+        w.field_str("workload", &r.workload);
+        w.field_str("index_scope", &r.index_scope);
+        w.field_u64("workers", r.workers as u64);
+        w.field_u64("shards", r.shards as u64);
+        w.field_bool("batching", r.batching);
+        w.field_u64("max_batch", r.max_batch as u64);
+        w.field_u64("batch_window_us", r.batch_window_us);
+        w.field_u64("requests", r.requests);
+        w.field_u64("swaps", r.swaps);
+        w.field_f64("mean_batch", r.mean_batch, 2);
+        w.field_f64("requests_per_sec", r.requests_per_sec, 2);
+        w.field_f64("seconds_per_request", r.seconds_per_request, 8);
+        w.field_f64("p50_us", r.p50_us, 1);
+        w.field_f64("p99_us", r.p99_us, 1);
+        w.end_obj();
+        out.push_str("    ");
+        out.push_str(&w.finish());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n");
     out.push_str("}\n");

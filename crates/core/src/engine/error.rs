@@ -70,6 +70,45 @@ pub enum MipsError {
     },
 }
 
+impl MipsError {
+    /// The HTTP status code this error maps to on the wire — the canonical
+    /// mapping used by the `mips-net` front end, kept next to the error
+    /// type so new variants pick a status in the same change.
+    ///
+    /// The classes:
+    ///
+    /// * malformed requests (bad `k`, unknown users/items, empty
+    ///   selections) → `400 Bad Request`;
+    /// * a request naming a backend that is not registered → `404 Not
+    ///   Found`;
+    /// * backpressure ([`MipsError::ServerOverloaded`]) → `429 Too Many
+    ///   Requests` (pair it with a `Retry-After` header);
+    /// * shutdown/unavailable states → `503 Service Unavailable`;
+    /// * everything else (construction failures, worker panics) → `500`.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            MipsError::InvalidK { .. }
+            | MipsError::UserOutOfRange { .. }
+            | MipsError::ItemOutOfRange { .. }
+            | MipsError::EmptyUserList
+            | MipsError::InvalidConfig(_) => 400,
+            MipsError::UnknownBackend { .. } => 404,
+            MipsError::DuplicateBackend { .. } => 409,
+            MipsError::ServerOverloaded { .. } => 429,
+            MipsError::EmptyModel | MipsError::ServerShutdown => 503,
+            MipsError::NoBackends
+            | MipsError::BackendBuild { .. }
+            | MipsError::WorkerPanicked { .. } => 500,
+        }
+    }
+
+    /// `true` when [`MipsError::http_status`] is a 4xx — the request was at
+    /// fault, and retrying it unchanged cannot succeed.
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.http_status())
+    }
+}
+
 impl std::fmt::Display for MipsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -148,5 +187,38 @@ mod tests {
     fn is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&MipsError::EmptyModel);
+    }
+
+    #[test]
+    fn http_status_classes() {
+        assert_eq!(
+            MipsError::InvalidK { k: 0, num_items: 9 }.http_status(),
+            400
+        );
+        assert_eq!(
+            MipsError::UserOutOfRange {
+                user: 9,
+                num_users: 9
+            }
+            .http_status(),
+            400
+        );
+        assert_eq!(MipsError::EmptyUserList.http_status(), 400);
+        assert_eq!(
+            MipsError::UnknownBackend { key: "x".into() }.http_status(),
+            404
+        );
+        assert_eq!(
+            MipsError::ServerOverloaded { capacity: 4 }.http_status(),
+            429
+        );
+        assert_eq!(MipsError::ServerShutdown.http_status(), 503);
+        assert_eq!(
+            MipsError::WorkerPanicked { message: "".into() }.http_status(),
+            500
+        );
+        assert!(MipsError::EmptyUserList.is_client_error());
+        assert!(MipsError::ServerOverloaded { capacity: 4 }.is_client_error());
+        assert!(!MipsError::ServerShutdown.is_client_error());
     }
 }

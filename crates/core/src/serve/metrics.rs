@@ -7,8 +7,170 @@
 //! keeping `record` to two atomic adds.
 
 use crate::engine::IndexScope;
+use std::fmt::Write as _;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A minimal hand-rolled JSON writer: compact output, comma bookkeeping,
+/// string escaping — nothing else. Shared by everything in this workspace
+/// that emits JSON (the `/metrics` endpoint of `mips-net`, the bench
+/// digests) so the wire format and the committed BENCH_* files come from
+/// one serializer, dependency-free.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: whether it already has an element
+    /// (the next one needs a comma).
+    comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn elem(&mut self) {
+        if let Some(last) = self.comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.elem();
+        self.out.push('"');
+        self.out.push_str(&escape_json(key));
+        self.out.push_str("\":");
+    }
+
+    /// Opens an object (the root value, or an array element).
+    pub fn begin_obj(&mut self) {
+        self.elem();
+        self.out.push('{');
+        self.comma.push(false);
+    }
+
+    /// Opens an object-valued field inside the current object.
+    pub fn begin_obj_field(&mut self, key: &str) {
+        self.key(key);
+        self.out.push('{');
+        self.comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        self.comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array-valued field inside the current object.
+    pub fn begin_arr_field(&mut self, key: &str) {
+        self.key(key);
+        self.out.push('[');
+        self.comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        self.comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push('"');
+        self.out.push_str(&escape_json(value));
+        self.out.push('"');
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a float field with a fixed number of decimals (the bench
+    /// digest convention: stable, diffable output).
+    pub fn field_f64(&mut self, key: &str, value: f64, decimals: usize) {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value:.decimals$}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a float field at full precision: Rust's shortest
+    /// round-trippable decimal form, so `str::parse::<f64>` on the other
+    /// end recovers the exact bits (the wire contract for scores).
+    pub fn field_f64_shortest(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a field whose value is pre-rendered JSON (for composing
+    /// sub-documents rendered elsewhere).
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) {
+        self.key(key);
+        self.out.push_str(raw_json);
+    }
+
+    /// Writes a bare float array element at full precision.
+    pub fn push_f64_shortest(&mut self, value: f64) {
+        self.elem();
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a bare unsigned-integer array element.
+    pub fn push_u64(&mut self, value: u64) {
+        self.elem();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// The rendered JSON.
+    pub fn finish(self) -> String {
+        debug_assert!(self.comma.is_empty(), "unbalanced JSON containers");
+        self.out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal: quotes,
+/// backslashes, and all control characters below 0x20.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Number of power-of-two latency buckets (2^0 ns .. 2^63 ns).
 const BUCKETS: usize = 64;
@@ -122,6 +284,19 @@ pub struct LatencySnapshot {
     pub max_us: f64,
 }
 
+impl LatencySnapshot {
+    /// Writes this snapshot as a JSON object field into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter, key: &str) {
+        w.begin_obj_field(key);
+        w.field_u64("count", self.count);
+        w.field_f64("mean_us", self.mean_us, 3);
+        w.field_f64("p50_us", self.p50_us, 3);
+        w.field_f64("p99_us", self.p99_us, 3);
+        w.field_f64("max_us", self.max_us, 3);
+        w.end_obj();
+    }
+}
+
 /// One shard's serving counters, updated lock-free by the worker pool.
 #[derive(Default)]
 pub struct ShardCounters {
@@ -210,6 +385,30 @@ pub struct ShardMetrics {
     pub latency: LatencySnapshot,
 }
 
+impl ShardMetrics {
+    /// Writes this shard's counters as one JSON object element into `w`
+    /// (call between `begin_arr_field`/`end_arr`).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.field_u64("shard", self.shard as u64);
+        w.field_raw(
+            "users",
+            &format!("[{},{}]", self.users.start, self.users.end),
+        );
+        w.field_str("index_scope", self.index_scope.as_str());
+        w.field_u64("submitted", self.submitted);
+        w.field_u64("completed", self.completed);
+        w.field_u64("batches", self.batches);
+        w.field_u64("coalesced", self.coalesced);
+        w.field_u64("users_served", self.users_served);
+        w.field_f64("busy_seconds", self.busy_seconds, 6);
+        w.field_u64("local_index_builds", self.local_index_builds);
+        w.field_u64("local_build_us", self.local_build_us);
+        self.latency.write_json(w, "latency");
+        w.end_obj();
+    }
+}
+
 /// Server-wide counters (request granularity, across all shards).
 #[derive(Default)]
 pub(crate) struct ServerCounters {
@@ -272,6 +471,40 @@ impl ServerMetrics {
     /// shards.
     pub fn local_build_us(&self) -> u64 {
         self.shards.iter().map(|s| s.local_build_us).sum()
+    }
+
+    /// Renders the whole snapshot — server counters, latency, per-shard
+    /// breakdown — as one compact JSON document. This is the body of the
+    /// `mips-net` `GET /metrics` endpoint and the shape bench digests
+    /// embed, produced by the shared [`JsonWriter`].
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// [`ServerMetrics::to_json`], but composing into an existing writer.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.field_u64("submitted", self.submitted);
+        w.field_u64("completed", self.completed);
+        w.field_u64("rejected", self.rejected);
+        w.field_u64("failed", self.failed);
+        w.field_u64("epoch", self.epoch);
+        w.field_str("index_scope", self.index_scope.as_str());
+        w.field_u64("swaps", self.swaps);
+        w.field_u64("batches", self.batches());
+        w.field_u64("coalesced", self.coalesced());
+        w.field_f64("mean_batch", self.mean_batch_size(), 2);
+        w.field_u64("local_index_builds", self.local_index_builds());
+        w.field_u64("local_build_us", self.local_build_us());
+        self.latency.write_json(w, "latency");
+        w.begin_arr_field("shards");
+        for shard in &self.shards {
+            shard.write_json(w);
+        }
+        w.end_arr();
+        w.end_obj();
     }
 
     /// Mean sub-requests per solver invocation (1.0 = no coalescing).
@@ -358,5 +591,87 @@ mod tests {
         h.record_ns(0);
         assert_eq!(h.snapshot().count, 1);
         assert!(h.snapshot().p50_us <= 0.01);
+    }
+
+    #[test]
+    fn json_writer_commas_nesting_and_escapes() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("name", "a\"b\\c\nd");
+        w.field_u64("n", 7);
+        w.field_bool("ok", true);
+        w.field_f64("t", 1.25, 2);
+        w.field_f64_shortest("x", 0.1);
+        w.begin_arr_field("xs");
+        w.push_u64(1);
+        w.push_u64(2);
+        w.begin_obj();
+        w.field_u64("inner", 3);
+        w.end_obj();
+        w.end_arr();
+        w.field_f64("nan", f64::NAN, 3);
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":7,\"ok\":true,\"t\":1.25,\"x\":0.1,\
+             \"xs\":[1,2,{\"inner\":3}],\"nan\":null}"
+        );
+    }
+
+    #[test]
+    fn shortest_f64_roundtrips_bits() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, -2.5e17, f64::MIN_POSITIVE, 123.456] {
+            let mut w = JsonWriter::new();
+            w.begin_obj();
+            w.field_f64_shortest("v", v);
+            w.end_obj();
+            let s = w.finish();
+            let rendered = &s["{\"v\":".len()..s.len() - 1];
+            let parsed: f64 = rendered.parse().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn escape_json_covers_control_characters() {
+        assert_eq!(escape_json("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape_json("tab\there"), "tab\\there");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn server_metrics_render_as_json() {
+        let shard_counters = ShardCounters::default();
+        shard_counters.add(&shard_counters.submitted, 3);
+        shard_counters.add(&shard_counters.completed, 3);
+        shard_counters.latency.record_ns(1_000);
+        let shard = shard_counters.snapshot(0, 0..25, IndexScope::PerShard);
+        let metrics = ServerMetrics {
+            submitted: 3,
+            completed: 3,
+            rejected: 1,
+            failed: 0,
+            epoch: 2,
+            index_scope: IndexScope::PerShard,
+            swaps: 2,
+            latency: LatencySnapshot::default(),
+            shards: vec![shard],
+        };
+        let json = metrics.to_json();
+        for needle in [
+            "\"submitted\":3",
+            "\"rejected\":1",
+            "\"epoch\":2",
+            "\"index_scope\":\"per-shard\"",
+            "\"shards\":[{\"shard\":0,\"users\":[0,25]",
+            "\"latency\":{\"count\":",
+        ] {
+            assert!(json.contains(needle), "{json} missing {needle}");
+        }
+        // Balanced and compact: one line, equal brace/bracket counts.
+        assert!(!json.contains('\n'));
+        let count = |c: char| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
     }
 }

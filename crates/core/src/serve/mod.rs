@@ -77,7 +77,9 @@ mod shard;
 mod worker;
 
 pub use crate::engine::IndexScope;
-pub use metrics::{LatencyHistogram, LatencySnapshot, ServerMetrics, ShardMetrics};
+pub use metrics::{
+    escape_json, JsonWriter, LatencyHistogram, LatencySnapshot, ServerMetrics, ShardMetrics,
+};
 
 use crate::engine::epoch::{ArcCell, ModelEpoch};
 use crate::engine::{lock_recovering, Engine, MipsError, QueryRequest, QueryResponse};
@@ -141,6 +143,12 @@ impl Default for ServerConfig {
 pub struct ServerBuilder {
     engine: Option<Arc<Engine>>,
     config: ServerConfig,
+    /// Whether [`ServerBuilder::shards`]/[`ServerBuilder::workers`] were
+    /// called explicitly: an explicit `0` is a configuration error, while
+    /// an untouched builder (or a wholesale [`ServerBuilder::config`])
+    /// keeps the documented `0 = pick for me` resolution.
+    shards_set: bool,
+    workers_set: bool,
 }
 
 impl ServerBuilder {
@@ -156,15 +164,21 @@ impl ServerBuilder {
         self
     }
 
-    /// Sets the shard count (contiguous user ranges; `0` = auto).
+    /// Sets the shard count (contiguous user ranges). Passing `0` here is
+    /// rejected at [`ServerBuilder::build`]: omit the call for automatic
+    /// sizing.
     pub fn shards(mut self, shards: usize) -> ServerBuilder {
         self.config.shards = shards;
+        self.shards_set = true;
         self
     }
 
-    /// Sets the worker-pool size (`0` = one per shard).
+    /// Sets the worker-pool size. Passing `0` here is rejected at
+    /// [`ServerBuilder::build`]: omit the call for automatic sizing (one
+    /// worker per shard).
     pub fn workers(mut self, workers: usize) -> ServerBuilder {
         self.config.workers = workers;
+        self.workers_set = true;
         self
     }
 
@@ -212,6 +226,24 @@ impl ServerBuilder {
             .engine
             .ok_or_else(|| MipsError::InvalidConfig("a server needs an engine".into()))?;
         let mut config = self.config;
+        if self.shards_set && config.shards == 0 {
+            return Err(MipsError::InvalidConfig(
+                "shards must be at least 1 (omit the call for automatic sizing)".into(),
+            ));
+        }
+        if self.workers_set && config.workers == 0 {
+            return Err(MipsError::InvalidConfig(
+                "workers must be at least 1 (omit the call for automatic sizing)".into(),
+            ));
+        }
+        if !config.batching && config.batch_window > Duration::ZERO {
+            // A window without batching would be silently ignored — the
+            // caller asked for deadline coalescing the runtime would never
+            // perform.
+            return Err(MipsError::InvalidConfig(
+                "batch_window requires batching to be enabled".into(),
+            ));
+        }
         if config.shards == 0 {
             config.shards = std::thread::available_parallelism()
                 .map(|p| p.get())

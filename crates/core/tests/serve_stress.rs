@@ -496,6 +496,41 @@ fn builder_rejects_bad_assemblies() {
             .build(),
         Err(MipsError::InvalidConfig(_))
     ));
+    // An explicit zero shard/worker count is a configuration error, not a
+    // silent fall-through to automatic sizing.
+    assert!(matches!(
+        ServerBuilder::new()
+            .engine(Arc::clone(&engine))
+            .shards(0)
+            .build(),
+        Err(MipsError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        ServerBuilder::new()
+            .engine(Arc::clone(&engine))
+            .workers(0)
+            .build(),
+        Err(MipsError::InvalidConfig(_))
+    ));
+    // A deadline window with batching disabled would be silently ignored:
+    // rejected instead.
+    assert!(matches!(
+        ServerBuilder::new()
+            .engine(Arc::clone(&engine))
+            .batching(false)
+            .batch_window(Duration::from_micros(100))
+            .build(),
+        Err(MipsError::InvalidConfig(_))
+    ));
+    // The order of the two calls must not matter.
+    assert!(matches!(
+        ServerBuilder::new()
+            .engine(Arc::clone(&engine))
+            .batch_window(Duration::from_micros(100))
+            .batching(false)
+            .build(),
+        Err(MipsError::InvalidConfig(_))
+    ));
     // Auto knobs resolve to sane values.
     let server = ServerBuilder::new().engine(engine).build().unwrap();
     assert!(server.worker_count() >= 1);

@@ -1,0 +1,164 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: the integration
+//! tests, the wire-level bench leg, and the CI smoke example all drive the
+//! server through it.
+//!
+//! It speaks exactly the subset the server emits — `Content-Length`-framed
+//! JSON responses over keep-alive connections — plus explicit pipelining
+//! ([`Client::send`] many, then [`Client::recv`] in order), which the
+//! bench uses to hold a fixed number of requests in flight per connection.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Lower-cased `name: value` pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body, UTF-8 decoded.
+    pub body: String,
+}
+
+impl Response {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A blocking keep-alive connection to the server.
+pub struct Client {
+    stream: TcpStream,
+    /// Read-ahead bytes beyond the last parsed response.
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects with a read timeout so a hung server fails tests instead
+    /// of deadlocking them.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Writes one request without waiting for its response (pipelining).
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<()> {
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes())
+    }
+
+    /// Writes raw bytes verbatim (malformed-input tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Half-closes the write side, signalling EOF to the server while the
+    /// response stream stays readable.
+    pub fn finish_writes(&mut self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads the next response off the connection, skipping interim 1xx
+    /// responses.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        loop {
+            let response = self.recv_any()?;
+            if response.status >= 200 {
+                return Ok(response);
+            }
+        }
+    }
+
+    /// One request-response exchange.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    fn recv_any(&mut self) -> std::io::Result<Response> {
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            self.fill()?;
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| bad_data("non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data("malformed status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let total = head_end + content_length;
+        while self.buf.len() < total {
+            self.fill()?;
+        }
+        let body = String::from_utf8(self.buf[head_end..total].to_vec())
+            .map_err(|_| bad_data("non-UTF-8 response body"))?;
+        self.buf.drain(..total);
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn bad_data(message: &str) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, message.to_string())
+}

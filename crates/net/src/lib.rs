@@ -1,0 +1,550 @@
+//! The network front door: a dependency-free HTTP/1.1 serving layer over
+//! [`MipsServer`].
+//!
+//! The paper's serving story ends at a library call; a production
+//! recommender fields traffic over sockets, with deadlines, admission
+//! control, and model swaps under load. This crate adds that wire
+//! boundary using nothing but `std` — the same vendored-shim philosophy
+//! as `shims/`: the workspace builds offline, and every byte on the wire
+//! comes from code in this repository.
+//!
+//! ## Endpoints
+//!
+//! | Route | Behavior |
+//! |---|---|
+//! | `POST /query` | A [`QueryRequest`](mips_core::engine::QueryRequest) as JSON; admitted via [`MipsServer::try_submit`], so overload answers `429` + `Retry-After` instead of queueing unboundedly. |
+//! | `GET /metrics` | `{"server": ..., "net": ...}` — the full [`ServerMetrics`](mips_core::serve::ServerMetrics) rollup (per-shard counters, `index_scope`, `local_index_builds`, latency quantiles) plus this crate's [`NetMetrics`] connection counters. |
+//! | `GET /healthz` | Liveness + the current model epoch. |
+//! | `POST /admin/swap` | Pulls a fresh model from the builder-registered [`swap source`](HttpServerBuilder::swap_source) and installs it via [`Engine::swap_model`](mips_core::engine::Engine::swap_model). In-flight requests finish on their pinned epoch; subsequent admissions (any connection) see the new one — graceful drain without a pause. |
+//!
+//! Typed [`MipsError`]s map onto statuses via
+//! [`MipsError::http_status`]; malformed HTTP or JSON is a 4xx from the
+//! parser layer, never a panic or a hang.
+//!
+//! ## Architecture
+//!
+//! One event-loop thread owns the nonblocking listener and every
+//! connection (state machines in `conn.rs`); the compute stays on the
+//! [`MipsServer`] worker pool. The loop polls
+//! [`ResponseHandle::is_finished`](mips_core::serve::ResponseHandle::is_finished)
+//! rather than blocking, so one slow query never stalls other
+//! connections, and pipelined requests on one connection run concurrently
+//! while their responses leave in order. Pacing is adaptive: the loop
+//! spins only while work is in flight, sleeps exponentially (capped at
+//! 2ms) when idle.
+//!
+//! ```
+//! use mips_core::engine::EngineBuilder;
+//! use mips_core::serve::ServerBuilder;
+//! use mips_data::synth::{synth_model, SynthConfig};
+//! use mips_net::{client::Client, HttpServerBuilder};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(synth_model(&SynthConfig {
+//!     num_users: 60, num_items: 80, num_factors: 8, ..SynthConfig::default()
+//! }));
+//! let engine = Arc::new(
+//!     EngineBuilder::new().model(model).with_default_backends().build().unwrap(),
+//! );
+//! let server = Arc::new(
+//!     ServerBuilder::new().engine(engine).shards(2).workers(1).build().unwrap(),
+//! );
+//! let http = HttpServerBuilder::new().server(server).build().unwrap();
+//! let mut client = Client::connect(http.local_addr()).unwrap();
+//! let response = client
+//!     .request("POST", "/query", Some("{\"k\": 3, \"users\": [0, 7]}"))
+//!     .unwrap();
+//! assert_eq!(response.status, 200);
+//! http.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+
+mod conn;
+mod metrics;
+
+pub use metrics::NetMetrics;
+
+use conn::{Conn, Deadlines, Dispatch, Dispatched};
+use http::Limits;
+use metrics::NetCounters;
+use mips_core::engine::MipsError;
+use mips_core::serve::{JsonWriter, MipsServer};
+use mips_data::MfModel;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where `POST /admin/swap` gets its replacement model: typically a
+/// closure that loads the latest retrained factors from disk or an
+/// in-memory registry. Errors are reported to the caller as a 500.
+pub type SwapSource = Arc<dyn Fn() -> Result<Arc<MfModel>, String> + Send + Sync>;
+
+/// Tunables of the front door.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Most simultaneous connections; excess accepts are shed with `503`.
+    pub max_connections: usize,
+    /// Largest request head accepted (`431` beyond).
+    pub max_head_bytes: usize,
+    /// Largest request body accepted (`413` beyond).
+    pub max_body_bytes: usize,
+    /// A partially received request must complete within this of its last
+    /// byte (`408` + close beyond).
+    pub read_timeout: Duration,
+    /// A response making no write progress for this long condemns the
+    /// connection.
+    pub write_timeout: Duration,
+    /// Keep-alive connections with nothing pending close after this.
+    pub idle_timeout: Duration,
+    /// At shutdown, how long in-flight requests get to settle and flush
+    /// before connections are force-closed.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Step-by-step assembly of an [`HttpServer`].
+#[derive(Default)]
+pub struct HttpServerBuilder {
+    server: Option<Arc<MipsServer>>,
+    swap_source: Option<SwapSource>,
+    config: NetConfig,
+}
+
+impl HttpServerBuilder {
+    /// An empty builder with default tunables.
+    pub fn new() -> HttpServerBuilder {
+        HttpServerBuilder::default()
+    }
+
+    /// The serving runtime to front. Shared: the same server can keep
+    /// taking in-process `submit` calls alongside the socket traffic.
+    pub fn server(mut self, server: Arc<MipsServer>) -> HttpServerBuilder {
+        self.server = Some(server);
+        self
+    }
+
+    /// Registers the model source behind `POST /admin/swap`. Without one,
+    /// the endpoint answers `501`.
+    pub fn swap_source(
+        mut self,
+        source: impl Fn() -> Result<Arc<MfModel>, String> + Send + Sync + 'static,
+    ) -> HttpServerBuilder {
+        self.swap_source = Some(Arc::new(source));
+        self
+    }
+
+    /// Sets the bind address (default `127.0.0.1:0`).
+    pub fn addr(mut self, addr: impl Into<String>) -> HttpServerBuilder {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Sets the connection limit.
+    pub fn max_connections(mut self, max: usize) -> HttpServerBuilder {
+        self.config.max_connections = max;
+        self
+    }
+
+    /// Sets the read deadline for partially received requests.
+    pub fn read_timeout(mut self, timeout: Duration) -> HttpServerBuilder {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the write-progress deadline.
+    pub fn write_timeout(mut self, timeout: Duration) -> HttpServerBuilder {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Sets the keep-alive idle deadline.
+    pub fn idle_timeout(mut self, timeout: Duration) -> HttpServerBuilder {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the shutdown drain budget.
+    pub fn drain_timeout(mut self, timeout: Duration) -> HttpServerBuilder {
+        self.config.drain_timeout = timeout;
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: NetConfig) -> HttpServerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Validates the assembly, binds the listener, spawns the event-loop
+    /// thread, and returns the running front door.
+    pub fn build(self) -> Result<HttpServer, MipsError> {
+        let server = self
+            .server
+            .ok_or_else(|| MipsError::InvalidConfig("an HTTP server needs a MipsServer".into()))?;
+        let config = self.config;
+        if config.max_connections == 0 {
+            return Err(MipsError::InvalidConfig(
+                "max_connections must be at least 1".into(),
+            ));
+        }
+        if config.max_head_bytes < 64 {
+            return Err(MipsError::InvalidConfig(
+                "max_head_bytes must be at least 64 (a request line must fit)".into(),
+            ));
+        }
+        for (name, value) in [
+            ("read_timeout", config.read_timeout),
+            ("write_timeout", config.write_timeout),
+            ("idle_timeout", config.idle_timeout),
+        ] {
+            if value.is_zero() {
+                return Err(MipsError::InvalidConfig(format!(
+                    "{name} must be nonzero (connections would be condemned instantly)"
+                )));
+            }
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| MipsError::InvalidConfig(format!("binding {}: {e}", config.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| MipsError::InvalidConfig(format!("nonblocking listener: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| MipsError::InvalidConfig(format!("resolving local address: {e}")))?;
+
+        let counters = Arc::new(NetCounters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        // The Retry-After hint for 429s: the batch window is how long the
+        // runtime may hold work back, so "a beat past it" is the natural
+        // earliest retry — floored at 1s, the header's resolution.
+        let retry_after = server.config().batch_window.as_secs().max(1).to_string();
+        let router = Router {
+            server: Arc::clone(&server),
+            swap_source: self.swap_source,
+            counters: Arc::clone(&counters),
+            retry_after,
+        };
+        let loop_stop = Arc::clone(&stop);
+        let loop_counters = Arc::clone(&counters);
+        let loop_config = config.clone();
+        let thread = std::thread::Builder::new()
+            .name("mips-net".to_string())
+            .spawn(move || run_loop(listener, router, loop_config, loop_stop, loop_counters))
+            .map_err(|e| MipsError::InvalidConfig(format!("spawning net thread: {e}")))?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            thread: Some(thread),
+            counters,
+            server,
+        })
+    }
+}
+
+/// The running HTTP front door. Dropping it (or calling
+/// [`HttpServer::shutdown`]) stops accepting, drains in-flight work within
+/// the configured budget, and joins the event-loop thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    counters: Arc<NetCounters>,
+    server: Arc<MipsServer>,
+}
+
+impl HttpServer {
+    /// Starts assembling a front door.
+    pub fn builder() -> HttpServerBuilder {
+        HttpServerBuilder::new()
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving runtime behind this front door.
+    pub fn server(&self) -> &Arc<MipsServer> {
+        &self.server
+    }
+
+    /// Snapshot of the connection-level counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting, drains in-flight connections (up to
+    /// `drain_timeout`), joins the event loop, and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> Result<NetMetrics, MipsError> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            thread.join().map_err(|_| MipsError::WorkerPanicked {
+                message: "net event-loop thread exited abnormally".into(),
+            })?;
+        }
+        Ok(self.counters.snapshot())
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.server.worker_count())
+            .finish()
+    }
+}
+
+/// Routes parsed requests onto the serving runtime and the admin surface.
+struct Router {
+    server: Arc<MipsServer>,
+    swap_source: Option<SwapSource>,
+    counters: Arc<NetCounters>,
+    retry_after: String,
+}
+
+fn immediate(status: u16, body: String) -> Dispatched {
+    Dispatched::Immediate {
+        status,
+        body,
+        extra: Vec::new(),
+    }
+}
+
+impl Router {
+    fn query(&self, request: &http::Request) -> Dispatched {
+        let query = match json::decode_query_request(&request.body) {
+            Ok(query) => query,
+            Err(message) => return immediate(400, json::encode_error(400, &message)),
+        };
+        match self.server.try_submit(&query) {
+            Ok(handle) => Dispatched::Query(handle),
+            Err(error) => {
+                let status = error.http_status();
+                let mut extra = Vec::new();
+                if matches!(error, MipsError::ServerOverloaded { .. }) {
+                    self.counters.add(&self.counters.rejected_overload, 1);
+                    extra.push(("Retry-After", self.retry_after.clone()));
+                }
+                Dispatched::Immediate {
+                    status,
+                    body: json::encode_error(status, &error.to_string()),
+                    extra,
+                }
+            }
+        }
+    }
+
+    fn metrics_body(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_raw("server", &self.server.metrics().to_json());
+        w.field_raw("net", &self.counters.snapshot().to_json());
+        w.end_obj();
+        w.finish()
+    }
+
+    fn healthz_body(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_bool("ok", true);
+        w.field_u64("epoch", self.server.engine().epoch());
+        w.field_u64("workers", self.server.worker_count() as u64);
+        w.end_obj();
+        w.finish()
+    }
+
+    fn swap(&self) -> Dispatched {
+        let Some(source) = &self.swap_source else {
+            return immediate(
+                501,
+                json::encode_error(501, "no swap source configured on this server"),
+            );
+        };
+        let model = match source() {
+            Ok(model) => model,
+            Err(message) => {
+                return immediate(
+                    500,
+                    json::encode_error(500, &format!("swap source failed: {message}")),
+                )
+            }
+        };
+        match self.server.engine().swap_model(model) {
+            Ok(epoch) => {
+                self.counters.add(&self.counters.admin_swaps, 1);
+                let mut w = JsonWriter::new();
+                w.begin_obj();
+                w.field_bool("swapped", true);
+                w.field_u64("epoch", epoch);
+                w.field_u64("swaps", self.server.engine().swap_count());
+                w.end_obj();
+                immediate(200, w.finish())
+            }
+            Err(error) => {
+                let status = error.http_status();
+                immediate(status, json::encode_error(status, &error.to_string()))
+            }
+        }
+    }
+
+    fn method_not_allowed(&self, allow: &'static str) -> Dispatched {
+        Dispatched::Immediate {
+            status: 405,
+            body: json::encode_error(405, &format!("method not allowed; use {allow}")),
+            extra: vec![("Allow", allow.to_string())],
+        }
+    }
+}
+
+impl Dispatch for Router {
+    fn dispatch(&self, request: &http::Request) -> Dispatched {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/query") => self.query(request),
+            ("GET", "/metrics") => immediate(200, self.metrics_body()),
+            ("GET", "/healthz") => immediate(200, self.healthz_body()),
+            ("POST", "/admin/swap") => self.swap(),
+            (_, "/query") | (_, "/admin/swap") => self.method_not_allowed("POST"),
+            (_, "/metrics") | (_, "/healthz") => self.method_not_allowed("GET"),
+            (_, path) => immediate(
+                404,
+                json::encode_error(404, &format!("no route for {path}")),
+            ),
+        }
+    }
+}
+
+/// Idle-sleep pacing bounds for the event loop: reset small on progress,
+/// doubled while idle so a quiet server costs ~no CPU, capped low enough
+/// that accept latency stays imperceptible.
+const MIN_IDLE_SLEEP: Duration = Duration::from_micros(50);
+const MAX_IDLE_SLEEP: Duration = Duration::from_millis(2);
+/// How long after the last progress the loop keeps yielding instead of
+/// sleeping. A steady request stream re-arms this every burst, so arrivals
+/// land on a running loop (no sleep-wake latency — `sleep(50µs)` really
+/// costs ~100µs+ with timer slack); a genuinely idle server starts
+/// sleeping after one grace period.
+const IDLE_GRACE: Duration = Duration::from_millis(1);
+
+fn run_loop(
+    listener: TcpListener,
+    router: Router,
+    config: NetConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+) {
+    let limits = Limits {
+        max_head_bytes: config.max_head_bytes,
+        max_body_bytes: config.max_body_bytes,
+    };
+    let deadlines = Deadlines {
+        read: config.read_timeout,
+        write: config.write_timeout,
+        idle: config.idle_timeout,
+    };
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut idle_sleep = MIN_IDLE_SLEEP;
+    let mut last_progress = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        let now = Instant::now();
+        let mut progress = false;
+        // Accept everything pending; beyond max_connections, connections
+        // are shed with a 503 instead of left dangling in the backlog.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    counters.add(&counters.accepted, 1);
+                    if conns.len() >= config.max_connections {
+                        counters.add(&counters.shed, 1);
+                        if let Ok(conn) = Conn::shed(stream, Arc::clone(&counters), now) {
+                            conns.push(conn);
+                        }
+                    } else if let Ok(conn) = Conn::new(stream, Arc::clone(&counters), now) {
+                        conns.push(conn);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let mut any_inflight = false;
+        for conn in conns.iter_mut() {
+            progress |= conn.tick(&router, &limits, &deadlines, now, false);
+            any_inflight |= conn.has_inflight();
+        }
+        reap_closed(&mut conns, &counters);
+        if progress {
+            idle_sleep = MIN_IDLE_SLEEP;
+            last_progress = now;
+        } else if any_inflight || now.saturating_duration_since(last_progress) < IDLE_GRACE {
+            // Responses can finish (and new requests arrive) any
+            // microsecond; yield the timeslice to the worker pool instead
+            // of sleeping past the event.
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(MAX_IDLE_SLEEP);
+        }
+    }
+
+    // Graceful drain: stop accepting (listener drops), let in-flight
+    // requests settle and flush, close idle connections, force-close
+    // whatever remains at the deadline.
+    drop(listener);
+    let deadline = Instant::now() + config.drain_timeout;
+    while !conns.is_empty() && Instant::now() < deadline {
+        let now = Instant::now();
+        let mut progress = false;
+        for conn in conns.iter_mut() {
+            progress |= conn.tick(&router, &limits, &deadlines, now, true);
+        }
+        let before = conns.len();
+        conns.retain(|conn| !conn.is_closed() && !conn.drained());
+        counters.add(&counters.closed, (before - conns.len()) as u64);
+        if !progress {
+            std::thread::yield_now();
+        }
+    }
+    counters.add(&counters.closed, conns.len() as u64);
+}
+
+/// Drops closed connections and counts them.
+fn reap_closed(conns: &mut Vec<Conn>, counters: &NetCounters) {
+    let before = conns.len();
+    conns.retain(|conn| !conn.is_closed());
+    counters.add(&counters.closed, (before - conns.len()) as u64);
+}

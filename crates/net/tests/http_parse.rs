@@ -1,0 +1,185 @@
+//! Property/fuzz suite for the HTTP parser and the JSON codec.
+//!
+//! The front door's robustness contract: arbitrary bytes — truncated
+//! requests, oversized heads, malformed bodies, pipelined streams,
+//! nesting bombs — must classify as `Incomplete`/`Ready`/`Bad` (HTTP) or
+//! `Ok`/`Err` (JSON) without ever panicking, hanging, or misframing a
+//! valid request that follows a complete one.
+
+use mips_net::http::{parse_request, Limits, Parse};
+use mips_net::json::{self, Json};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn limits() -> Limits {
+    Limits {
+        max_head_bytes: 512,
+        max_body_bytes: 1024,
+    }
+}
+
+/// A well-formed request with the given body, as raw bytes.
+fn valid_request(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Arbitrary bytes never panic the HTTP parser, and every complete
+    /// verdict is internally consistent.
+    #[test]
+    fn random_bytes_never_panic_http(bytes in vec(0u8..=255, 0..600)) {
+        match parse_request(&bytes, &limits()) {
+            Parse::Ready(req) => {
+                prop_assert!(req.consumed <= bytes.len());
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(req.body.len() <= limits().max_body_bytes);
+            }
+            Parse::Bad(err) => {
+                prop_assert!((400..=505).contains(&err.status), "{err:?}");
+            }
+            Parse::Incomplete { .. } => {
+                // Incomplete is only legal while the head limit allows
+                // waiting for more bytes.
+                prop_assert!(
+                    bytes.len() <= limits().max_head_bytes
+                        || bytes.windows(4).any(|w| w == b"\r\n\r\n")
+                );
+            }
+        }
+    }
+
+    /// Every proper prefix of a valid request is Incomplete — truncation
+    /// must never be misread as a complete or condemned request.
+    #[test]
+    fn truncations_of_valid_requests_are_incomplete(cut in 0usize..74,
+                                                    k in 1u64..1000) {
+        let full = valid_request("/query", &format!("{{\"k\": {k:04}}}"));
+        let cut = cut.min(full.len() - 1);
+        match parse_request(&full[..cut], &limits()) {
+            Parse::Incomplete { .. } => {}
+            other => prop_assert!(false, "cut {cut}: {other:?}"),
+        }
+        match parse_request(&full, &limits()) {
+            Parse::Ready(req) => prop_assert!(req.consumed == full.len()),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// Mutating one byte of a valid request classifies without panicking,
+    /// and never over-consumes the buffer.
+    #[test]
+    fn single_byte_mutations_classify(pos in 0usize..60, byte in 0u8..=255) {
+        let mut buf = valid_request("/query", "{\"k\": 3}");
+        let pos = pos.min(buf.len() - 1);
+        buf[pos] = byte;
+        match parse_request(&buf, &limits()) {
+            Parse::Ready(req) => prop_assert!(req.consumed <= buf.len()),
+            Parse::Bad(err) => prop_assert!((400..=505).contains(&err.status)),
+            Parse::Incomplete { .. } => {}
+        }
+    }
+
+    /// Pipelined requests frame exactly: the first parse consumes the
+    /// first request and the remainder reparses as the second.
+    #[test]
+    fn pipelined_requests_frame_exactly(k1 in 1u64..50, k2 in 1u64..50) {
+        let first = valid_request("/query", &format!("{{\"k\": {k1}}}"));
+        let second = valid_request("/other", &format!("{{\"k\": {k2}}}"));
+        let mut stream = first.clone();
+        stream.extend_from_slice(&second);
+        let req1 = match parse_request(&stream, &limits()) {
+            Parse::Ready(req) => req,
+            other => panic!("{other:?}"),
+        };
+        prop_assert_eq!(req1.consumed, first.len());
+        prop_assert_eq!(req1.path.as_str(), "/query");
+        let rest = &stream[req1.consumed..];
+        let req2 = match parse_request(rest, &limits()) {
+            Parse::Ready(req) => req,
+            other => panic!("{other:?}"),
+        };
+        prop_assert_eq!(req2.consumed, second.len());
+        prop_assert_eq!(req2.path.as_str(), "/other");
+    }
+
+    /// Oversized heads condemn the stream with 431 whether or not the
+    /// terminator ever arrives.
+    #[test]
+    fn oversized_heads_are_431(extra in 0usize..200) {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(520 + extra));
+        match parse_request(long.as_bytes(), &limits()) {
+            Parse::Bad(err) => prop_assert_eq!(err.status, 431),
+            other => prop_assert!(false, "{other:?}"),
+        }
+        let unterminated = "x".repeat(513 + extra);
+        match parse_request(unterminated.as_bytes(), &limits()) {
+            Parse::Bad(err) => prop_assert_eq!(err.status, 431),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the JSON parser; arbitrary *valid*
+    /// UTF-8 never panics either and errors stay descriptive.
+    #[test]
+    fn random_bytes_never_panic_json(bytes in vec(0u8..=255, 0..400)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = json::parse(text);
+        }
+        let _ = json::decode_query_request(&bytes);
+    }
+
+    /// Malformed query bodies are rejected with an error, never accepted
+    /// with a misread field.
+    #[test]
+    fn mutated_query_bodies_classify(pos in 0usize..30, byte in 0u8..=127) {
+        let mut body = b"{\"k\": 7, \"users\": [1, 2, 3]}".to_vec();
+        let pos = pos.min(body.len() - 1);
+        body[pos] = byte;
+        if let Ok(request) = json::decode_query_request(&body) {
+            // If the mutation kept it valid, the parsed request must obey
+            // the wire grammar (k parsed from digits present in the body).
+            prop_assert!(request.k <= 97);
+        }
+    }
+
+    /// Deep nesting is rejected at the documented bound, not by stack
+    /// overflow.
+    #[test]
+    fn nesting_bombs_are_bounded(depth in 65usize..600) {
+        let bomb = "[".repeat(depth) + &"]".repeat(depth);
+        prop_assert!(json::parse(&bomb).is_err());
+        let keyed = "{\"a\":".repeat(depth) + "1" + &"}".repeat(depth);
+        prop_assert!(json::parse(&keyed).is_err());
+    }
+
+    /// Scores survive the wire bit-for-bit through encode + parse.
+    #[test]
+    fn score_bits_roundtrip(bits in 0u64..u64::MAX) {
+        let score = f64::from_bits(bits);
+        if !score.is_finite() {
+            return;
+        }
+        let response = mips_core::engine::QueryResponse {
+            results: vec![mips_topk::TopKList { items: vec![0], scores: vec![score] }],
+            backend: "bmm".into(),
+            planned: false,
+            epoch: 0,
+            serve_seconds: 0.0,
+        };
+        let wire = json::encode_response(&response);
+        let doc = json::parse(&wire).unwrap();
+        let parsed = doc.get("results")
+            .and_then(Json::as_arr)
+            .and_then(|r| r[0].get("scores"))
+            .and_then(Json::as_arr)
+            .and_then(|s| s[0].as_num())
+            .expect("score present in wire response");
+        prop_assert_eq!(parsed.to_bits(), score.to_bits());
+    }
+}

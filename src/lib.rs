@@ -13,6 +13,7 @@
 //! | LEMP | baseline index of Teflioudi et al. (SIGMOD'15) | [`lemp`] |
 //! | FEXIPRO | baseline index of Li et al. (SIGMOD'17) | [`fexipro`] |
 //! | substrates | BLAS-like kernels, k-means, top-k heaps, t-tests, MF trainers | [`linalg`], [`clustering`], [`topk`], [`stats`], [`data`] |
+//! | front door | std-only HTTP/1.1 serving layer: deadlines, admission control, hot swap (feature `net`, on by default) | `net` |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,8 @@ pub use mips_data as data;
 pub use mips_fexipro as fexipro;
 pub use mips_lemp as lemp;
 pub use mips_linalg as linalg;
+#[cfg(feature = "net")]
+pub use mips_net as net;
 pub use mips_stats as stats;
 pub use mips_topk as topk;
 
@@ -96,5 +99,7 @@ pub mod prelude {
     pub use mips_data::{MfModel, ModelError, RatingsData};
     pub use mips_fexipro::FexiproConfig;
     pub use mips_lemp::LempConfig;
+    #[cfg(feature = "net")]
+    pub use mips_net::{HttpServer, HttpServerBuilder, NetConfig, NetMetrics};
     pub use mips_topk::TopKList;
 }
