@@ -7,7 +7,12 @@
 //!
 //! * `results` — end-to-end serve seconds for every Fig. 5 strategy at every
 //!   paper `k`, per Table I dataset stand-in, with the active SIMD kernel
-//!   name on every row.
+//!   name on every row. The scan strategies (BMM, MAXIMUS, LEMP) get one
+//!   row per numeric-path mode — `f64`, `f32-rescore` (f32 screen + exact
+//!   f64 rescore), and `auto` (OPTIMUS prices the two modes against each
+//!   other) — and `precision` is part of every row's gate identity, so a
+//!   mode cannot regress behind another mode's back and `auto` rows guard
+//!   the planner's choice staying no worse than `f64`.
 //! * `bmm_fusion_vs_seed_scalar` — the ISSUE-2 acceptance measurement: the
 //!   fused SIMD BMM path against a faithful replay of the seed pipeline
 //!   (fresh `batch × n` score buffer, scalar micro-kernels, separate top-k
@@ -17,9 +22,9 @@
 //! overrides the output path.
 
 use mips_bench::{
-    bench_out_path, bmm_fusion_sample, build_model, figure5_strategies, fmt_secs,
-    render_bench_json, scale, single_backend_engine, BenchMeta, BenchRecord, FusionRecord, Table,
-    PAPER_KS,
+    bench_out_path, bmm_fusion_sample, build_model, figure5_strategies, fmt_secs, geo_mean,
+    render_bench_json, scale, single_backend_engine_at, strategy_precisions, BenchMeta,
+    BenchRecord, FusionRecord, Table, PAPER_KS,
 };
 use mips_core::engine::QueryRequest;
 use mips_data::catalog::reference_models;
@@ -33,7 +38,7 @@ fn main() {
 
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut fusion: Vec<FusionRecord> = Vec::new();
-    let mut table = Table::new(&["dataset", "strategy", "k", "serve", "note"]);
+    let mut table = Table::new(&["dataset", "strategy", "precision", "k", "serve", "note"]);
 
     for dataset in ["Netflix", "KDD", "R2", "GloVe"] {
         let spec = reference_models()
@@ -49,44 +54,81 @@ fn main() {
             .filter(|&k| k <= model.num_items())
             .collect();
 
-        // End-to-end rows: build each strategy once, serve at every k.
+        // End-to-end rows: build each strategy once per numeric-path mode,
+        // serve at every k. The scan strategies get f64, f32-rescore, and
+        // auto rows; FEXIPRO stays f64-direct (see `strategy_precisions`).
+        // All of one strategy's mode engines are built up front and their
+        // repeats interleaved per k, so the modes share process state —
+        // scheduler noise bursts and allocator layout hit every mode's
+        // measurement alike instead of biasing whichever block they land
+        // in, which is what makes the f32-vs-f64 and auto-vs-f64 ratios
+        // meaningful at sub-millisecond row durations.
         for strategy in figure5_strategies(&spec, &model) {
-            let engine = single_backend_engine(&strategy, &model);
-            let build_seconds = engine
-                .solver(strategy.key())
-                .expect("solver builds")
-                .build_seconds();
+            let engines: Vec<_> = strategy_precisions(&strategy)
+                .into_iter()
+                .map(|precision| {
+                    (
+                        precision,
+                        single_backend_engine_at(&strategy, &model, precision),
+                    )
+                })
+                .collect();
             for &k in &ks {
                 // Adaptive best-of: sub-millisecond rows (tiny CI scale)
-                // repeat up to 9 times inside a 0.25s budget so the digest
-                // is stable enough for the 1.5x regression gate; seconds-
-                // scale rows (full scale) run once.
-                let mut serve_seconds = f64::INFINITY;
-                let mut spent = 0.0;
+                // repeat up to 201 times inside a 0.25s-per-mode budget so
+                // the digest is stable enough for the 1.5x regression gate
+                // even on a single-threaded noisy host — the min only
+                // escapes a scheduler noise burst when the repeat window
+                // outlasts the burst. Seconds-scale rows (full scale) run
+                // once.
+                let request = QueryRequest::top_k(k);
+                let mut best = vec![f64::INFINITY; engines.len()];
+                let mut spent = vec![0.0; engines.len()];
                 let mut runs = 0;
-                while runs == 0 || (runs < 9 && spent < 0.25) {
-                    let response = engine
-                        .execute_with(strategy.key(), &QueryRequest::top_k(k))
-                        .expect("valid bench request");
-                    assert_eq!(response.results.len(), model.num_users());
-                    serve_seconds = serve_seconds.min(response.serve_seconds);
-                    spent += response.serve_seconds;
+                while runs == 0 || (runs < 201 && spent.iter().all(|&s| s < 0.25)) {
+                    for (slot, (precision, engine)) in engines.iter().enumerate() {
+                        // Named dispatch under f64/f32-rescore pins the
+                        // row to this strategy's direct/screened solver;
+                        // under auto the precision decision belongs to the
+                        // planner, so the row goes through planned
+                        // dispatch (the engine holds only this strategy,
+                        // so the plan chooses between its f64 build and
+                        // its +f32 screen variant — exactly the choice the
+                        // row guards).
+                        let response = if *precision == mips_core::precision::Precision::Auto {
+                            engine.execute(&request).expect("valid bench request")
+                        } else {
+                            engine
+                                .execute_with(strategy.key(), &request)
+                                .expect("valid bench request")
+                        };
+                        assert_eq!(response.results.len(), model.num_users());
+                        best[slot] = best[slot].min(response.serve_seconds);
+                        spent[slot] += response.serve_seconds;
+                    }
                     runs += 1;
                 }
-                table.row(vec![
-                    dataset.to_string(),
-                    strategy.name().to_string(),
-                    k.to_string(),
-                    fmt_secs(serve_seconds),
-                    String::new(),
-                ]);
-                records.push(BenchRecord {
-                    dataset: dataset.to_string(),
-                    strategy: strategy.name().to_string(),
-                    k,
-                    build_seconds,
-                    serve_seconds,
-                });
+                for (slot, (precision, engine)) in engines.iter().enumerate() {
+                    table.row(vec![
+                        dataset.to_string(),
+                        strategy.name().to_string(),
+                        precision.as_str().to_string(),
+                        k.to_string(),
+                        fmt_secs(best[slot]),
+                        String::new(),
+                    ]);
+                    records.push(BenchRecord {
+                        dataset: dataset.to_string(),
+                        strategy: strategy.name().to_string(),
+                        precision: precision.as_str().to_string(),
+                        k,
+                        build_seconds: engine
+                            .solver(strategy.key())
+                            .expect("solver builds")
+                            .build_seconds(),
+                        serve_seconds: best[slot],
+                    });
+                }
             }
         }
 
@@ -98,6 +140,7 @@ fn main() {
             table.row(vec![
                 dataset.to_string(),
                 "BMM fused vs seed".to_string(),
+                "f64".to_string(),
                 k.to_string(),
                 fmt_secs(sample.fused_seconds),
                 format!(
@@ -135,4 +178,45 @@ fn main() {
         worst,
         geo
     );
+
+    // Mixed-precision roll-up: per scan strategy, how the f32 screen and
+    // the auto planner compare against f64-direct across datasets and ks.
+    // (The PR's acceptance reads these at scale 1: at least one f32 ratio
+    // >= 1.3x on a scan row, and no auto row slower than its f64 twin
+    // beyond noise.)
+    let at = |strategy: &str, precision: &str, dataset: &str, k: usize| -> Option<f64> {
+        records
+            .iter()
+            .find(|r| {
+                r.strategy == strategy
+                    && r.precision == precision
+                    && r.dataset == dataset
+                    && r.k == k
+            })
+            .map(|r| r.serve_seconds)
+    };
+    for strategy in ["Blocked MM", "Maximus", "LEMP"] {
+        let mut f32_ratios = Vec::new();
+        let mut auto_worst = f64::INFINITY;
+        for r in records
+            .iter()
+            .filter(|r| r.strategy == strategy && r.precision == "f64")
+        {
+            if let Some(f32_secs) = at(strategy, "f32-rescore", &r.dataset, r.k) {
+                f32_ratios.push(r.serve_seconds / f32_secs);
+            }
+            if let Some(auto_secs) = at(strategy, "auto", &r.dataset, r.k) {
+                auto_worst = auto_worst.min(r.serve_seconds / auto_secs);
+            }
+        }
+        if !f32_ratios.is_empty() {
+            let best = f32_ratios.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{strategy}: f32 screen vs f64 — best {:.2}x, geo-mean {:.2}x; auto vs f64 worst {:.2}x",
+                best,
+                geo_mean(&f32_ratios),
+                auto_worst
+            );
+        }
+    }
 }

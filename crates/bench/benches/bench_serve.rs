@@ -13,6 +13,13 @@
 //! captures the dip from epoch rebuilds (topology re-cut, solver rebuild,
 //! re-planning). The regression gate guards it like every other row.
 //!
+//! `precision-sweep` rows compare the numeric-path knob — `f64` direct vs
+//! `f32-rescore` (f32 screen + exact f64 rescore) vs `auto` (OPTIMUS
+//! prices the two) — on the same BMM-backed single-user flood. `precision`
+//! is part of every row's gate identity, so each mode gates individually
+//! and the auto row guards the planner never serving slower than the
+//! committed f64 row drifts.
+//!
 //! `per-shard-index` rows compare the `IndexScope` knob — Global vs
 //! PerShard vs Auto — on a MAXIMUS-backed engine (the index whose
 //! structure actually depends on which users it is built over: per-shard
@@ -42,6 +49,7 @@ use mips_bench::{
     ServeRecord, Table,
 };
 use mips_core::engine::{BmmFactory, Engine, EngineBuilder, MaximusFactory, QueryRequest};
+use mips_core::precision::Precision;
 use mips_core::serve::{IndexScope, ServerBuilder};
 use mips_data::catalog::reference_models;
 use mips_data::MfModel;
@@ -375,7 +383,9 @@ fn best_of(
 
 /// Appends one digest row (record + printed table line) for a measured
 /// configuration. `metrics.swaps` is 0 for steady workloads by
-/// construction, so the same emitter serves both workload kinds.
+/// construction, so the same emitter serves both workload kinds. The
+/// fronted engine's precision mode comes off the metrics snapshot, so the
+/// row records what actually served rather than what the caller intended.
 #[allow(clippy::too_many_arguments)]
 fn emit_row(
     table: &mut Table,
@@ -392,6 +402,7 @@ fn emit_row(
         dataset: dataset.to_string(),
         workload: workload.to_string(),
         index_scope: shape.scope.as_str().to_string(),
+        precision: metrics.precision.as_str().to_string(),
         workers: shape.workers,
         shards: shape.shards,
         batching: shape.batching,
@@ -409,6 +420,7 @@ fn emit_row(
         dataset.to_string(),
         workload.to_string(),
         record.index_scope.clone(),
+        record.precision.clone(),
         shape.workers.to_string(),
         shape.batching.to_string(),
         format!("{rps:.0}"),
@@ -440,8 +452,8 @@ fn main() {
 
     let mut records: Vec<ServeRecord> = Vec::new();
     let mut table = Table::new(&[
-        "dataset", "workload", "scope", "workers", "batching", "req/s", "s/req", "p50", "p99",
-        "batch", "swaps",
+        "dataset", "workload", "scope", "prec", "workers", "batching", "req/s", "s/req", "p50",
+        "p99", "batch", "swaps",
     ]);
 
     for dataset in ["Netflix", "GloVe"] {
@@ -489,6 +501,7 @@ fn main() {
                 dataset: dataset.to_string(),
                 workload: "loopback-http".to_string(),
                 index_scope: shape.scope.as_str().to_string(),
+                precision: engine.precision().as_str().to_string(),
                 workers: shape.workers,
                 shards: shape.shards,
                 batching: shape.batching,
@@ -506,6 +519,7 @@ fn main() {
                 dataset.to_string(),
                 "loopback-http".to_string(),
                 record.index_scope.clone(),
+                record.precision.clone(),
                 shape.workers.to_string(),
                 shape.batching.to_string(),
                 format!("{rps:.0}"),
@@ -516,6 +530,37 @@ fn main() {
                 "0".to_string(),
             ]);
             records.push(record);
+        }
+
+        // Precision-sweep: the same single-user flood on fresh BMM engines
+        // differing only in the numeric-path knob. A distinct workload
+        // label keeps the f64 row from colliding with the steady
+        // single-user row's identity; within the sweep, `precision`
+        // separates the three rows so each mode gates on its own.
+        {
+            let w = *worker_counts.first().unwrap();
+            for precision in [Precision::F64, Precision::F32Rescore, Precision::Auto] {
+                let engine = Arc::new(
+                    EngineBuilder::new()
+                        .model(Arc::clone(&model))
+                        .register(BmmFactory)
+                        .precision(precision)
+                        .build()
+                        .expect("bench engine assembles"),
+                );
+                let shape = ServerShape::classic(w, true);
+                let (elapsed, metrics) = best_of(&engine, &model, shape, requests, None);
+                emit_row(
+                    &mut table,
+                    &mut records,
+                    dataset,
+                    "precision-sweep",
+                    shape,
+                    requests,
+                    elapsed,
+                    &metrics,
+                );
+            }
         }
 
         // Swap-under-load: the same single-user flood with a background
@@ -676,6 +721,25 @@ fn main() {
                 "{dataset}: per-shard MAXIMUS serves {:.2}x global (auto {:.2}x) at {w_min} worker(s)",
                 per_shard / global,
                 auto / global
+            );
+        }
+        let prec_rps = |precision: &str| -> Option<f64> {
+            records
+                .iter()
+                .find(|r| {
+                    r.dataset == dataset
+                        && r.workload == "precision-sweep"
+                        && r.precision == precision
+                })
+                .map(|r| r.requests_per_sec)
+        };
+        if let (Some(f64_rps), Some(f32_rps), Some(auto_rps)) =
+            (prec_rps("f64"), prec_rps("f32-rescore"), prec_rps("auto"))
+        {
+            println!(
+                "{dataset}: f32 screen serves {:.2}x f64 (auto {:.2}x) at {w_min} worker(s)",
+                f32_rps / f64_rps,
+                auto_rps / f64_rps
             );
         }
     }

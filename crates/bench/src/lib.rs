@@ -23,6 +23,7 @@ pub mod gate;
 use mips_core::bmm::BmmSolver;
 use mips_core::engine::{Engine, EngineBuilder, QueryRequest};
 use mips_core::maximus::MaximusConfig;
+use mips_core::precision::Precision;
 use mips_core::serve::JsonWriter;
 use mips_core::solver::{MipsSolver, Strategy};
 use mips_data::catalog::ModelSpec;
@@ -82,11 +83,36 @@ pub fn time_seconds<T>(f: impl FnOnce() -> T) -> (f64, T) {
 /// An engine serving exactly one strategy (the unit the figure benches
 /// time): the strategy's factory registered under its key, threads = 1.
 pub fn single_backend_engine(strategy: &Strategy, model: &Arc<MfModel>) -> Engine {
+    single_backend_engine_at(strategy, model, Precision::F64)
+}
+
+/// [`single_backend_engine`] with an explicit numeric-path mode — the unit
+/// the mixed-precision bench rows time. Results are bit-identical across
+/// modes; only the serve seconds may move.
+pub fn single_backend_engine_at(
+    strategy: &Strategy,
+    model: &Arc<MfModel>,
+    precision: Precision,
+) -> Engine {
     EngineBuilder::new()
         .model(Arc::clone(model))
         .register_arc(strategy.factory())
+        .precision(precision)
         .build()
         .expect("bench engine assembles")
+}
+
+/// The numeric-path modes a strategy gets bench rows for: the scan
+/// backends (BMM, MAXIMUS, LEMP) carry an f32 screen and compete under
+/// `Auto`; FEXIPRO's integer pipeline is f64-direct only, so extra modes
+/// would just duplicate its rows.
+pub fn strategy_precisions(strategy: &Strategy) -> Vec<Precision> {
+    match strategy.key() {
+        "bmm" | "maximus" | "lemp" => {
+            vec![Precision::F64, Precision::F32Rescore, Precision::Auto]
+        }
+        _ => vec![Precision::F64],
+    }
 }
 
 /// End-to-end seconds (build + serve-all) for one strategy, as Fig. 5
@@ -267,6 +293,10 @@ pub struct BenchRecord {
     pub dataset: String,
     /// Strategy display name.
     pub strategy: String,
+    /// Numeric-path mode (`"f64"`, `"f32-rescore"`, `"auto"`) — part of the
+    /// row's gate identity, so a precision mode cannot regress behind
+    /// another mode's back.
+    pub precision: String,
     /// Top-k size.
     pub k: usize,
     /// Index construction seconds (once per strategy, repeated per row).
@@ -366,10 +396,11 @@ pub fn render_bench_json(
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"dataset\": \"{}\", \"strategy\": \"{}\", \"k\": {}, \
+            "    {{\"dataset\": \"{}\", \"strategy\": \"{}\", \"precision\": \"{}\", \"k\": {}, \
              \"build_seconds\": {:.6}, \"serve_seconds\": {:.6}, \"kernel\": \"{}\"}}{}\n",
             json_escape(&r.dataset),
             json_escape(&r.strategy),
+            json_escape(&r.precision),
             r.k,
             r.build_seconds,
             r.serve_seconds,
@@ -420,6 +451,9 @@ pub struct ServeRecord {
     /// Index scope label (`"global"`, `"per-shard"`, `"auto"`): the
     /// granularity of derived-state construction the server ran with.
     pub index_scope: String,
+    /// Numeric-path mode the fronted engine ran with (`"f64"`,
+    /// `"f32-rescore"`, `"auto"`); part of the row's gate identity.
+    pub precision: String,
     /// Worker threads in the pool.
     pub workers: usize,
     /// User shards.
@@ -466,6 +500,7 @@ pub fn render_serve_json(meta: &BenchMeta, records: &[ServeRecord]) -> String {
         w.field_str("dataset", &r.dataset);
         w.field_str("workload", &r.workload);
         w.field_str("index_scope", &r.index_scope);
+        w.field_str("precision", &r.precision);
         w.field_u64("workers", r.workers as u64);
         w.field_u64("shards", r.shards as u64);
         w.field_bool("batching", r.batching);

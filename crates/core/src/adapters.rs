@@ -29,6 +29,23 @@ impl LempSolver {
         }
     }
 
+    /// [`LempSolver::build`] with the mixed-precision screen enabled:
+    /// scans pre-score candidates in f32 and skip exact dots the error
+    /// envelope proves hopeless, with bit-identical results (see
+    /// [`mips_lemp::scan`]). The mirror rounding pass is part of the
+    /// reported build time.
+    pub fn build_screen(model: Arc<MfModel>, config: &LempConfig) -> LempSolver {
+        let start = Instant::now();
+        let mut index = LempIndex::build(&model, config);
+        index.enable_screen();
+        let build_seconds = start.elapsed().as_secs_f64();
+        LempSolver {
+            model,
+            index,
+            build_seconds,
+        }
+    }
+
     /// The wrapped index (for stats-aware benches).
     pub fn index(&self) -> &LempIndex {
         &self.index
@@ -37,7 +54,11 @@ impl LempSolver {
 
 impl MipsSolver for LempSolver {
     fn name(&self) -> &str {
-        "LEMP"
+        if self.index.is_screening() {
+            "LEMP+f32"
+        } else {
+            "LEMP"
+        }
     }
 
     fn build_seconds(&self) -> f64 {
@@ -46,6 +67,14 @@ impl MipsSolver for LempSolver {
 
     fn batches_users(&self) -> bool {
         false // point queries: OPTIMUS may t-test LEMP
+    }
+
+    fn precision(&self) -> crate::precision::Precision {
+        if self.index.is_screening() {
+            crate::precision::Precision::F32Rescore
+        } else {
+            crate::precision::Precision::F64
+        }
     }
 
     fn num_users(&self) -> usize {

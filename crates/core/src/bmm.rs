@@ -15,10 +15,13 @@
 //! Both paths run on the runtime-dispatched SIMD micro-kernels
 //! ([`mips_linalg::simd`]); results are identical either way.
 
+use crate::precision::Precision;
 use crate::solver::MipsSolver;
-use mips_data::MfModel;
+use mips_data::{MfModel, Mirror32};
 use mips_linalg::{gemm_nt_into_scratch, CacheConfig, GemmScratch, Matrix, RowBlock};
-use mips_topk::{gemm_nt_topk, rows_topk, TopKList};
+use mips_topk::{
+    gemm_nt_topk, rows_topk, screen_topk_into_heaps, ColumnIds, ScreenScratch, TopKHeap, TopKList,
+};
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,6 +49,12 @@ pub struct BmmSolver {
     batch_rows: usize,
     build_seconds: f64,
     fused: bool,
+    /// `Some` on the mixed-precision path: scans run over this f32 mirror
+    /// with a conservative rounding envelope and survivors are rescored in
+    /// f64, so results stay bit-identical to the pure-f64 path (see
+    /// [`mips_topk::screen`]). `None` when the model doesn't round into f32
+    /// range ([`Mirror32::is_usable`]) — then serving silently stays f64.
+    mirror: Option<Arc<Mirror32>>,
 }
 
 impl BmmSolver {
@@ -53,7 +62,7 @@ impl BmmSolver {
     /// Serving takes the fused GEMM→top-k path.
     pub fn build(model: Arc<MfModel>) -> BmmSolver {
         let users = 0..model.num_users();
-        Self::build_inner(model, users, true)
+        Self::build_inner(model, users, true, false)
     }
 
     /// Prepares a solver over a contiguous user range of the model —
@@ -61,7 +70,23 @@ impl BmmSolver {
     /// out of the shared matrix, offset by the range start. Queries use
     /// local user ids `0..view.num_users()`.
     pub fn build_view(view: &mips_data::ModelView) -> BmmSolver {
-        Self::build_inner(Arc::clone(view.model()), view.user_range(), true)
+        Self::build_inner(Arc::clone(view.model()), view.user_range(), true, false)
+    }
+
+    /// Prepares the mixed-precision solver: the f32 screen of the fused
+    /// scan plus an exact f64 rescore. The model's [`Mirror32`] is built
+    /// here (or fetched from the epoch-shared cache), so the rounding cost
+    /// is paid at build time, where OPTIMUS accounts it.
+    pub fn build_screen(model: Arc<MfModel>) -> BmmSolver {
+        let users = 0..model.num_users();
+        Self::build_inner(model, users, true, true)
+    }
+
+    /// [`BmmSolver::build_screen`] over a contiguous user range — the f32
+    /// mirror is shared with the parent model, so per-shard views get it
+    /// for free.
+    pub fn build_screen_view(view: &mips_data::ModelView) -> BmmSolver {
+        Self::build_inner(Arc::clone(view.model()), view.user_range(), true, true)
     }
 
     /// Prepares a solver that serves through the two-stage path (full score
@@ -69,12 +94,20 @@ impl BmmSolver {
     /// and as a bisection aid; results are identical to the fused path.
     pub fn build_unfused(model: Arc<MfModel>) -> BmmSolver {
         let users = 0..model.num_users();
-        Self::build_inner(model, users, false)
+        Self::build_inner(model, users, false, false)
     }
 
-    fn build_inner(model: Arc<MfModel>, users: Range<usize>, fused: bool) -> BmmSolver {
+    fn build_inner(
+        model: Arc<MfModel>,
+        users: Range<usize>,
+        fused: bool,
+        screen: bool,
+    ) -> BmmSolver {
         let start = Instant::now();
         let batch_rows = Self::pick_batch_rows(model.num_items(), model.num_factors());
+        let mirror = screen
+            .then(|| Arc::clone(model.mirror32()))
+            .filter(|m| m.is_usable());
         let build_seconds = start.elapsed().as_secs_f64();
         BmmSolver {
             model,
@@ -82,6 +115,7 @@ impl BmmSolver {
             batch_rows,
             build_seconds,
             fused,
+            mirror,
         }
     }
 
@@ -103,17 +137,41 @@ impl BmmSolver {
         self.fused
     }
 
+    /// `true` when serving screens in f32 (a [`BmmSolver::build_screen`]
+    /// solver whose model rounds into f32 range).
+    pub fn is_screening(&self) -> bool {
+        self.mirror.is_some()
+    }
+
     /// Serves one gathered user block into `out`, reusing the caller's
-    /// scratch (fused) or score buffer (unfused) across blocks.
+    /// scratch (fused) or score buffer (unfused) across blocks. `screen`
+    /// carries the block's rows of the f32 mirror plus their exact f64
+    /// norms when the mixed-precision path is active.
     fn serve_block_into(
         &self,
         users: RowBlock<'_, f64>,
+        screen: Option<(RowBlock<'_, f32>, &[f64])>,
         k: usize,
         scratch: &mut BmmScratch,
         out: &mut Vec<TopKList>,
     ) {
         let n = self.model.num_items();
-        if self.fused {
+        if let Some((users32, user_norms)) = screen {
+            let mirror = self.mirror.as_ref().expect("screen data implies a mirror");
+            let mut heaps: Vec<TopKHeap> = (0..users.rows()).map(|_| TopKHeap::new(k)).collect();
+            screen_topk_into_heaps(
+                users,
+                self.model.items().into(),
+                users32,
+                mirror.items().into(),
+                user_norms,
+                mirror.item_norms(),
+                &mut heaps,
+                ColumnIds::Offset(0),
+                &mut scratch.screen,
+            );
+            out.extend(heaps.into_iter().map(TopKHeap::into_sorted));
+        } else if self.fused {
             out.extend(gemm_nt_topk(
                 users,
                 self.model.items().into(),
@@ -139,11 +197,19 @@ impl BmmSolver {
 struct BmmScratch {
     gemm: GemmScratch<f64>,
     scores: Vec<f64>,
+    screen: ScreenScratch,
 }
 
 impl MipsSolver for BmmSolver {
     fn name(&self) -> &str {
-        "Blocked MM"
+        // The suffix matches the planner's candidate labelling, so the
+        // `backend` response field and OPTIMUS estimates distinguish the
+        // two numeric paths.
+        if self.is_screening() {
+            "Blocked MM+f32"
+        } else {
+            "Blocked MM"
+        }
     }
 
     fn build_seconds(&self) -> f64 {
@@ -167,7 +233,13 @@ impl MipsSolver for BmmSolver {
         while start < users.end {
             let end = (start + self.batch_rows).min(users.end);
             let block = self.model.users().row_block(base + start, base + end);
-            self.serve_block_into(block, k, &mut scratch, &mut out);
+            let screen = self.mirror.as_ref().map(|m| {
+                (
+                    m.users().row_block(base + start, base + end),
+                    &m.user_norms()[base + start..base + end],
+                )
+            });
+            self.serve_block_into(block, screen, k, &mut scratch, &mut out);
             start = end;
         }
         out
@@ -184,16 +256,37 @@ impl MipsSolver for BmmSolver {
                 })
                 .collect();
             let gathered: Matrix<f64> = self.model.users().gather_rows(&rows);
+            let gathered32 = self.mirror.as_ref().map(|m| {
+                let norms: Vec<f64> = rows.iter().map(|&r| m.user_norms()[r]).collect();
+                (m.users().gather_rows(&rows), norms)
+            });
             let mut scratch = BmmScratch::default();
             let mut out = Vec::with_capacity(distinct.len());
             let mut start = 0;
             while start < gathered.rows() {
                 let end = (start + self.batch_rows).min(gathered.rows());
-                self.serve_block_into(gathered.row_block(start, end), k, &mut scratch, &mut out);
+                let screen = gathered32
+                    .as_ref()
+                    .map(|(m32, norms)| (m32.row_block(start, end), &norms[start..end]));
+                self.serve_block_into(
+                    gathered.row_block(start, end),
+                    screen,
+                    k,
+                    &mut scratch,
+                    &mut out,
+                );
                 start = end;
             }
             out
         })
+    }
+
+    fn precision(&self) -> Precision {
+        if self.is_screening() {
+            Precision::F32Rescore
+        } else {
+            Precision::F64
+        }
     }
 }
 

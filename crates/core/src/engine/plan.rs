@@ -9,6 +9,7 @@
 use super::error::MipsError;
 use super::request::{QueryRequest, QueryResponse};
 use crate::optimus::StrategyEstimate;
+use crate::precision::Precision;
 use crate::solver::MipsSolver;
 use mips_data::MfModel;
 use std::ops::Range;
@@ -50,6 +51,17 @@ pub struct PreparedPlan {
     /// stage over the plan's users, from the registry's calibrated FLOP
     /// rate. `0.0` when planning skipped sampling (single candidate).
     pub(super) analytical_bmm_seconds: f64,
+    /// The analytical prior for the f32 screen phase of the
+    /// mixed-precision path (calibrated single-precision FLOP rate over
+    /// the plan's users). `0.0` whenever no screen candidate competed — in
+    /// particular always `0.0` under [`Precision::F64`] engines.
+    pub(super) analytical_screen_seconds: f64,
+    /// The numeric mode the winning solver actually serves through. Under
+    /// [`Precision::Auto`] this records the planner's per-plan decision;
+    /// under a forced mode it records the effective value (a backend
+    /// without a screen path reports [`Precision::F64`] even when
+    /// `F32Rescore` was requested).
+    pub(super) precision: Precision,
 }
 
 impl PreparedPlan {
@@ -111,6 +123,19 @@ impl PreparedPlan {
         self.analytical_bmm_seconds
     }
 
+    /// The analytical prior for the f32 screen phase, when a
+    /// mixed-precision candidate competed in this plan (`0.0` otherwise).
+    pub fn analytical_screen_seconds(&self) -> f64 {
+        self.analytical_screen_seconds
+    }
+
+    /// The numeric mode the plan's winner serves through — the effective
+    /// (per-plan, under `Auto`) precision decision. Results are
+    /// bit-identical across modes; this is a performance annotation.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// The chosen backend's solver, for direct (legacy-style) access.
     pub fn solver(&self) -> &dyn MipsSolver {
         self.winner.as_ref()
@@ -155,6 +180,7 @@ impl std::fmt::Debug for PreparedPlan {
             .field("decision_seconds", &self.decision_seconds)
             .field("shard_users", &self.shard_users)
             .field("local_index", &self.local_index)
+            .field("precision", &self.precision)
             .finish()
     }
 }

@@ -45,6 +45,29 @@ pub trait SolverFactory: Send + Sync {
     fn build_view(&self, view: &ModelView) -> Result<Box<dyn MipsSolver>, MipsError> {
         self.build(&view.to_model())
     }
+
+    /// Constructs the mixed-precision variant of this backend — scans
+    /// screen in f32 with a conservative error envelope, survivors are
+    /// rescored in f64, results stay bit-identical (see
+    /// [`mips_topk::screen`]). `None` (the default) means the backend has
+    /// no screen path: the engine then serves it f64-direct under every
+    /// [`Precision`](crate::precision::Precision) setting.
+    fn build_screen(
+        &self,
+        _model: &Arc<MfModel>,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        None
+    }
+
+    /// Shard-local [`SolverFactory::build_screen`] over a user-range view.
+    /// The default materializes the view into a sub-model like
+    /// [`SolverFactory::build_view`]; zero-copy factories override it.
+    fn build_screen_view(
+        &self,
+        view: &ModelView,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        self.build_screen(&view.to_model())
+    }
 }
 
 /// Factory for the brute-force blocked matrix multiply.
@@ -65,6 +88,19 @@ impl SolverFactory for BmmFactory {
         // view's offset, no sub-model is materialized.
         Ok(Box::new(BmmSolver::build_view(view)))
     }
+
+    fn build_screen(&self, model: &Arc<MfModel>) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        Some(Ok(Box::new(BmmSolver::build_screen(Arc::clone(model)))))
+    }
+
+    fn build_screen_view(
+        &self,
+        view: &ModelView,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        // Zero-copy like build_view; the f32 mirror is shared with the
+        // parent model, so sibling shards reuse one rounding pass.
+        Some(Ok(Box::new(BmmSolver::build_screen_view(view))))
+    }
 }
 
 /// Factory for the MAXIMUS index with a fixed configuration.
@@ -81,14 +117,10 @@ impl MaximusFactory {
     }
 }
 
-impl SolverFactory for MaximusFactory {
-    fn key(&self) -> &str {
-        "maximus"
-    }
-
-    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
-        // MaximusIndex::build asserts on these; surface them as typed
-        // errors so a bad config cannot panic through the engine.
+impl MaximusFactory {
+    /// The config checks `MaximusIndex::build` would otherwise assert on,
+    /// surfaced as typed errors (shared by the plain and screen builds).
+    fn validate_config(&self) -> Result<(), MipsError> {
         for (value, name) in [
             (self.config.num_clusters, "num_clusters"),
             (self.config.kmeans_iters, "kmeans_iters"),
@@ -96,15 +128,33 @@ impl SolverFactory for MaximusFactory {
         ] {
             if value == 0 {
                 return Err(MipsError::BackendBuild {
-                    key: self.key().to_string(),
+                    key: "maximus".to_string(),
                     message: format!("MaximusConfig: {name} must be > 0"),
                 });
             }
         }
+        Ok(())
+    }
+}
+
+impl SolverFactory for MaximusFactory {
+    fn key(&self) -> &str {
+        "maximus"
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        self.validate_config()?;
         Ok(Box::new(MaximusIndex::build(
             Arc::clone(model),
             &self.config,
         )))
+    }
+
+    fn build_screen(&self, model: &Arc<MfModel>) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        Some(self.validate_config().map(|()| {
+            Box::new(MaximusIndex::build_screen(Arc::clone(model), &self.config))
+                as Box<dyn MipsSolver>
+        }))
     }
 
     // Shard-local builds (the default `build_view`) keep `num_clusters`
@@ -132,28 +182,44 @@ impl LempFactory {
     }
 }
 
-impl SolverFactory for LempFactory {
-    fn key(&self) -> &str {
-        "lemp"
-    }
-
-    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+impl LempFactory {
+    /// The config checks `LempIndex::build` would otherwise assert on,
+    /// surfaced as typed errors (shared by the plain and screen builds).
+    fn validate_config(&self) -> Result<(), MipsError> {
         if self.config.bucket_size == 0 {
             return Err(MipsError::BackendBuild {
-                key: self.key().to_string(),
+                key: "lemp".to_string(),
                 message: "LempConfig: bucket_size must be > 0".to_string(),
             });
         }
         if !(0.0..=1.0).contains(&self.config.checkpoint_fraction) {
             return Err(MipsError::BackendBuild {
-                key: self.key().to_string(),
+                key: "lemp".to_string(),
                 message: format!(
                     "LempConfig: checkpoint_fraction must be in [0, 1], got {}",
                     self.config.checkpoint_fraction
                 ),
             });
         }
+        Ok(())
+    }
+}
+
+impl SolverFactory for LempFactory {
+    fn key(&self) -> &str {
+        "lemp"
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        self.validate_config()?;
         Ok(Box::new(LempSolver::build(Arc::clone(model), &self.config)))
+    }
+
+    fn build_screen(&self, model: &Arc<MfModel>) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        Some(self.validate_config().map(|()| {
+            Box::new(LempSolver::build_screen(Arc::clone(model), &self.config))
+                as Box<dyn MipsSolver>
+        }))
     }
 }
 
@@ -242,9 +308,9 @@ where
 #[derive(Clone, Default)]
 pub struct BackendRegistry {
     factories: Vec<Arc<dyn SolverFactory>>,
-    /// Calibrated rate per kernel name. Behind an `Arc` so engine builders
-    /// that clone the registry keep sharing one cache.
-    calibration: Arc<Mutex<HashMap<&'static str, AnalyticalBmmModel>>>,
+    /// Calibrated rate per `(kernel name, f32?)`. Behind an `Arc` so engine
+    /// builders that clone the registry keep sharing one cache.
+    calibration: Arc<Mutex<HashMap<(&'static str, bool), AnalyticalBmmModel>>>,
     /// How many real calibration measurements have run (tests assert the
     /// cache actually dedupes across epochs and shards).
     calibration_runs: Arc<AtomicU64>,
@@ -267,16 +333,31 @@ impl BackendRegistry {
     /// single measurement instead of re-timing a `256³` GEMM on their
     /// first plan.
     pub fn analytical_bmm(&self) -> AnalyticalBmmModel {
+        self.calibrated(false)
+    }
+
+    /// The calibrated FLOP rate of the **single-precision** screen
+    /// kernels, cached like [`BackendRegistry::analytical_bmm`] — the
+    /// planner's prior for the scan phase of the mixed-precision path.
+    pub fn analytical_bmm_f32(&self) -> AnalyticalBmmModel {
+        self.calibrated(true)
+    }
+
+    fn calibrated(&self, f32_rate: bool) -> AnalyticalBmmModel {
         let kernel = mips_linalg::simd::active().name();
         let mut cache = super::lock_recovering(&self.calibration);
-        if let Some(model) = cache.get(kernel) {
+        if let Some(model) = cache.get(&(kernel, f32_rate)) {
             return *model;
         }
         // Calibration is a few milliseconds; holding the lock dedupes
         // concurrent first callers onto one measurement.
-        let model = AnalyticalBmmModel::calibrate();
+        let model = if f32_rate {
+            AnalyticalBmmModel::calibrate_f32()
+        } else {
+            AnalyticalBmmModel::calibrate()
+        };
         self.calibration_runs.fetch_add(1, Ordering::Relaxed);
-        cache.insert(kernel, model);
+        cache.insert((kernel, f32_rate), model);
         model
     }
 
@@ -392,6 +473,37 @@ mod tests {
                 "{} view build must match the materialized sub-model",
                 factory.key()
             );
+        }
+    }
+
+    #[test]
+    fn screen_builds_cover_the_scan_backends_and_stay_bit_identical() {
+        let registry = BackendRegistry::with_defaults();
+        let m = model();
+        for factory in registry.factories() {
+            let has_screen = matches!(factory.key(), "bmm" | "maximus" | "lemp");
+            match factory.build_screen(&m) {
+                None => assert!(!has_screen, "{} lost its screen path", factory.key()),
+                Some(built) => {
+                    assert!(has_screen, "{} unexpectedly screens", factory.key());
+                    let screened = built.expect("screen build");
+                    assert_eq!(
+                        screened.precision(),
+                        crate::precision::Precision::F32Rescore,
+                        "{}",
+                        factory.key()
+                    );
+                    let plain = factory.build(&m).expect("plain build");
+                    let want = plain.query_all(3);
+                    let got = screened.query_all(3);
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.items, w.items, "{}", factory.key());
+                        for (a, b) in g.scores.iter().zip(&w.scores) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{}", factory.key());
+                        }
+                    }
+                }
+            }
         }
     }
 

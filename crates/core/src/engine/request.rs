@@ -230,6 +230,11 @@ pub struct QueryResponse {
     pub results: Vec<TopKList>,
     /// Display name of the backend that served the request.
     pub backend: String,
+    /// The numeric path the serving solver ran: `f64` (direct) or
+    /// `f32-rescore` (f32 screen + exact f64 rescore — see
+    /// [`crate::precision::Precision`]). Results are bit-identical either
+    /// way; this annotates how they were computed, never what they are.
+    pub precision: crate::precision::Precision,
     /// `true` when the backend was chosen by a cached query plan rather
     /// than named explicitly.
     pub planned: bool,

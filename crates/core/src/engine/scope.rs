@@ -139,6 +139,10 @@ impl MipsSolver for ShardScopedSolver {
         self.inner.query_subset(k, &local)
     }
 
+    fn precision(&self) -> crate::precision::Precision {
+        self.inner.precision()
+    }
+
     fn query_all(&self, _k: usize) -> Vec<TopKList> {
         // No coherent meaning exists: every other MipsSolver returns one
         // list per user id in 0..num_users(), but ids below the shard base

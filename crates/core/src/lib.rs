@@ -66,6 +66,7 @@ pub mod engine;
 pub mod maximus;
 pub mod optimus;
 pub mod parallel;
+pub mod precision;
 pub mod serve;
 pub mod solver;
 pub mod verify;
@@ -78,6 +79,7 @@ pub use engine::{
 };
 pub use maximus::{MaximusConfig, MaximusIndex};
 pub use optimus::{Optimus, OptimusConfig, OptimusOutcome};
+pub use precision::Precision;
 pub use serve::{
     LatencySnapshot, MipsServer, ResponseHandle, ServerBuilder, ServerConfig, ServerMetrics,
     ShardMetrics,

@@ -19,7 +19,7 @@ use crate::maximus::bound::stored_bound;
 use crate::solver::MipsSolver;
 use mips_clustering::{kmeans, max_angles_per_cluster, KMeansConfig};
 use mips_data::MfModel;
-use mips_linalg::kernels::{angle, dot, dot_gemm_ordered_x4, norm2};
+use mips_linalg::kernels::{angle, dot, dot_gemm_ordered_x4, f32_screen_envelope_parts, norm2};
 use mips_linalg::{GemmScratch, Matrix};
 use mips_topk::{stream_topk_into_heaps, ColumnIds, TopKHeap, TopKList};
 use std::ops::Range;
@@ -94,6 +94,9 @@ pub struct MaximusQueryStats {
     pub items_walked: AtomicU64,
     /// Items skipped by early termination.
     pub items_pruned: AtomicU64,
+    /// Walked items whose exact dot (and guaranteed-rejected push) the
+    /// f32 screen skipped — counted neither as walked nor pruned.
+    pub items_screen_pruned: AtomicU64,
 }
 
 impl MaximusQueryStats {
@@ -125,6 +128,9 @@ struct ClusterIndex {
     /// Item vectors gathered in list order (the `O(|C||I|f)` storage of
     /// §III-D; sequential walks instead of random model access).
     items: Matrix<f64>,
+    /// Rounded single-precision mirror of `items`, present only when the
+    /// mixed-precision screen is enabled ([`MaximusIndex::enable_screen`]).
+    items32: Option<Matrix<f32>>,
     /// Members (user ids) of this cluster.
     members: Vec<u32>,
 }
@@ -139,6 +145,7 @@ pub struct MaximusIndex {
     build_stats: MaximusBuildStats,
     build_seconds: f64,
     query_stats: MaximusQueryStats,
+    screening: bool,
 }
 
 impl MaximusIndex {
@@ -208,7 +215,42 @@ impl MaximusIndex {
             build_seconds: clustering_seconds + construction_seconds,
             query_stats: MaximusQueryStats::default(),
             model,
+            screening: false,
         }
+    }
+
+    /// [`MaximusIndex::build`] with the mixed-precision screen enabled.
+    pub fn build_screen(model: Arc<MfModel>, config: &MaximusConfig) -> MaximusIndex {
+        let mut index = MaximusIndex::build(model, config);
+        index.enable_screen();
+        index
+    }
+
+    /// Enables the mixed-precision screen on the **list walk**: each
+    /// cluster's gathered item matrix gets a rounded f32 mirror, and walked
+    /// items are pre-scored through the single-precision kernels — the
+    /// exact dot and its push are skipped only when the
+    /// [`mips_linalg::f32_screen_envelope`]-widened screen score proves the
+    /// push would be rejected, so results stay bit-identical. The §III-D
+    /// blocked prefix stays f64 (it is GEMM-bound; the `bmm` screen variant
+    /// covers that regime), as does the §III-E new-vector path. The
+    /// rounding pass is timed into `build_seconds`. Idempotent.
+    pub fn enable_screen(&mut self) {
+        let t = Instant::now();
+        for c in &mut self.clusters {
+            if c.items32.is_none() {
+                let (n, f) = (c.items.rows(), c.items.cols());
+                let mirror = Matrix::from_fn(n, f, |r, j| c.items.get(r, j) as f32);
+                c.items32 = Some(mirror);
+            }
+        }
+        self.screening = true;
+        self.build_seconds += t.elapsed().as_secs_f64();
+    }
+
+    /// `true` once [`MaximusIndex::enable_screen`] has armed the screen.
+    pub fn is_screening(&self) -> bool {
+        self.screening
     }
 
     /// Build-stage breakdown (Fig. 8).
@@ -273,7 +315,20 @@ impl MaximusIndex {
         for (mut heap, &(pos, u)) in heaps.into_iter().zip(group) {
             let user = self.model.users().row(u);
             let unorm = norm2(user);
+            // Walk-phase screen state: the rounded user row plus the
+            // envelope coefficients (per-item envelope is
+            // `env_rel_u·‖i‖ + env_abs`). Absent unless screening.
+            let screen = cluster
+                .items32
+                .as_ref()
+                .filter(|_| self.screening)
+                .map(|m32| {
+                    let (rel, abs) = f32_screen_envelope_parts(user.len());
+                    let user32: Vec<f32> = user.iter().map(|&v| v as f32).collect();
+                    (m32, user32, rel * unorm, abs)
+                });
             let mut walked = 0u64;
+            let mut screened_out = 0u64;
             let mut walk_admitted = false;
             let mut list_pos = block;
             while list_pos < n_items {
@@ -281,6 +336,22 @@ impl MaximusIndex {
                 // covers the whole tail.
                 if heap.is_full() && unorm * cluster.bounds[list_pos] < heap.threshold() {
                     break;
+                }
+                // Mixed-precision screen: when even the envelope-widened
+                // f32 score sits strictly below the threshold, the exact
+                // score does too and its push would be rejected — skipping
+                // dot and push leaves the heap trajectory bit-identical. A
+                // non-finite screen score (f32 overflow) never prunes.
+                if let Some((m32, user32, env_rel_u, env_abs)) = &screen {
+                    if heap.is_full() {
+                        let s32 = dot(user32.as_slice(), m32.row(list_pos)) as f64;
+                        let env = env_rel_u.mul_add(cluster.norms[list_pos], *env_abs);
+                        if s32.is_finite() && s32 + env < heap.threshold() {
+                            screened_out += 1;
+                            list_pos += 1;
+                            continue;
+                        }
+                    }
                 }
                 let score = dot(user, cluster.items.row(list_pos));
                 walk_admitted |= heap.push(score, cluster.list_ids[list_pos]);
@@ -290,6 +361,9 @@ impl MaximusIndex {
             self.query_stats
                 .items_walked
                 .fetch_add(walked, Ordering::Relaxed);
+            self.query_stats
+                .items_screen_pruned
+                .fetch_add(screened_out, Ordering::Relaxed);
             self.query_stats
                 .items_pruned
                 .fetch_add((n_items - list_pos) as u64, Ordering::Relaxed);
@@ -473,13 +547,18 @@ fn build_cluster_list(
         theta_ic,
         norms,
         items: gathered,
+        items32: None,
         members,
     }
 }
 
 impl MipsSolver for MaximusIndex {
     fn name(&self) -> &str {
-        "Maximus"
+        if self.screening {
+            "Maximus+f32"
+        } else {
+            "Maximus"
+        }
     }
 
     fn build_seconds(&self) -> f64 {
@@ -488,6 +567,14 @@ impl MipsSolver for MaximusIndex {
 
     fn batches_users(&self) -> bool {
         true // the shared prefix GEMM batches cluster members
+    }
+
+    fn precision(&self) -> crate::precision::Precision {
+        if self.screening {
+            crate::precision::Precision::F32Rescore
+        } else {
+            crate::precision::Precision::F64
+        }
     }
 
     fn num_users(&self) -> usize {
@@ -648,6 +735,45 @@ mod tests {
         assert!(
             avg < m.num_items() as f64 * 0.9,
             "w̄ = {avg} — index visited nearly everything"
+        );
+    }
+
+    #[test]
+    fn screened_walk_is_bit_identical_and_prunes() {
+        // Small block size pushes most of the work into the walk phase,
+        // where the screen operates.
+        let m = model(60, 500, 16, 0.4);
+        let config = MaximusConfig {
+            block_size: 8,
+            ..small_config()
+        };
+        let plain = MaximusIndex::build(Arc::clone(&m), &config);
+        let screened = MaximusIndex::build_screen(Arc::clone(&m), &config);
+        assert!(!plain.is_screening());
+        assert!(screened.is_screening());
+        assert_eq!(
+            screened.precision(),
+            crate::precision::Precision::F32Rescore
+        );
+        for k in [1usize, 5, 20] {
+            let want = plain.query_all(k);
+            let got = screened.query_all(k);
+            for u in 0..m.num_users() {
+                assert_eq!(got[u].items, want[u].items, "k={k} user {u}");
+                for (a, b) in got[u].scores.iter().zip(&want[u].scores) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "k={k} user {u}");
+                }
+            }
+        }
+        let stats = screened.query_stats();
+        assert!(
+            stats.items_screen_pruned.load(Ordering::Relaxed) > 0,
+            "screen never engaged on a walk-dominated configuration"
+        );
+        // Screened items reduce walked dots relative to the plain index.
+        assert!(
+            stats.items_walked.load(Ordering::Relaxed)
+                < plain.query_stats().items_walked.load(Ordering::Relaxed)
         );
     }
 

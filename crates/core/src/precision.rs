@@ -1,0 +1,68 @@
+//! The numeric execution mode of the scan backends.
+//!
+//! The scan-dominated solvers (BMM, LEMP, MAXIMUS) can run their prune/scan
+//! phase over an f32 mirror of the factor block and rescore the surviving
+//! candidates in f64 ([`mips_topk::screen`]). Because the rescore uses the
+//! exact same f64 reduction as the direct path, the two modes are
+//! **bit-identical** in their results — the choice is purely a performance
+//! decision, which is why OPTIMUS can make it per plan under
+//! [`Precision::Auto`].
+
+/// How an engine (or one prepared plan) executes scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Pure double precision everywhere (the default).
+    #[default]
+    F64,
+    /// f32 screen with conservative error envelope, exact f64 rescore of
+    /// the survivors. Bit-identical results to [`Precision::F64`]. Backends
+    /// without a screen path — and models whose factors round to ±∞ in f32
+    /// — silently serve f64-direct.
+    F32Rescore,
+    /// Let OPTIMUS cost f32-screen against f64-direct per backend and pick
+    /// the sampled winner. Never slower than the better of the two on the
+    /// sample.
+    Auto,
+}
+
+impl Precision {
+    /// Stable lowercase wire name (`/metrics`, bench row identity).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32Rescore => "f32-rescore",
+            Precision::Auto => "auto",
+        }
+    }
+
+    /// Parses the wire name produced by [`Precision::as_str`].
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32-rescore" => Some(Precision::F32Rescore),
+            "auto" => Some(Precision::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for p in [Precision::F64, Precision::F32Rescore, Precision::Auto] {
+            assert_eq!(Precision::parse(p.as_str()), Some(p));
+            assert_eq!(format!("{p}"), p.as_str());
+        }
+        assert_eq!(Precision::parse("f32"), None);
+        assert_eq!(Precision::default(), Precision::F64);
+    }
+}

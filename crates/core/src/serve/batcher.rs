@@ -163,6 +163,9 @@ pub(crate) fn execute_batch(batch: Vec<SubRequest>, progress: &AtomicUsize) {
     // caller's wakeup.
     let total_users: usize = batch.iter().map(|s| s.users.len()).sum();
     shard.counters.add(&shard.counters.batches, 1);
+    if plan.precision() == crate::precision::Precision::F32Rescore {
+        shard.counters.add(&shard.counters.f32_batches, 1);
+    }
     shard.counters.add(&shard.counters.busy_ns, busy_ns);
     shard
         .counters
@@ -183,7 +186,8 @@ pub(crate) fn execute_batch(batch: Vec<SubRequest>, progress: &AtomicUsize) {
                 // wakes the waiter, and metrics must already be consistent
                 // when it reads them.
                 settle_one(sub);
-                sub.pending.complete(&sub.users, lists, plan.backend_name());
+                sub.pending
+                    .complete(&sub.users, lists, plan.backend_name(), plan.precision());
             }
         }
         Err(error) => {

@@ -306,6 +306,9 @@ pub struct ShardCounters {
     pub(crate) completed: AtomicU64,
     /// Solver invocations (a micro-batch counts once).
     pub(crate) batches: AtomicU64,
+    /// Solver invocations served through a mixed-precision (f32-screen)
+    /// plan — `batches - f32_batches` ran f64-direct.
+    pub(crate) f32_batches: AtomicU64,
     /// Sub-requests that shared their solver invocation with at least one
     /// other sub-request (i.e. were actually coalesced).
     pub(crate) coalesced: AtomicU64,
@@ -342,6 +345,7 @@ impl ShardCounters {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            f32_batches: self.f32_batches.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             users_served: self.users_served.load(Ordering::Relaxed),
             busy_seconds: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
@@ -368,6 +372,11 @@ pub struct ShardMetrics {
     pub completed: u64,
     /// Solver invocations (one per micro-batch).
     pub batches: u64,
+    /// Of those, how many ran through a mixed-precision (f32 screen +
+    /// exact f64 rescore) plan. Results are bit-identical either way;
+    /// under [`crate::precision::Precision::Auto`] this shows the
+    /// per-shard planner decisions in effect.
+    pub f32_batches: u64,
     /// Sub-requests that were coalesced into a shared batch.
     pub coalesced: u64,
     /// User top-k lists produced.
@@ -399,6 +408,7 @@ impl ShardMetrics {
         w.field_u64("submitted", self.submitted);
         w.field_u64("completed", self.completed);
         w.field_u64("batches", self.batches);
+        w.field_u64("f32_batches", self.f32_batches);
         w.field_u64("coalesced", self.coalesced);
         w.field_u64("users_served", self.users_served);
         w.field_f64("busy_seconds", self.busy_seconds, 6);
@@ -439,6 +449,10 @@ pub struct ServerMetrics {
     /// The configured index scope (granularity of derived-state
     /// construction; every shard of this server serves under it).
     pub index_scope: IndexScope,
+    /// The engine's configured numeric mode
+    /// ([`crate::precision::Precision`]). Per-plan decisions under `Auto`
+    /// surface as each shard's `f32_batches` share.
+    pub precision: crate::precision::Precision,
     /// Model swaps the runtime has picked up (topology rebuilds — the
     /// count of `swap_model` calls whose new epoch reached the server).
     pub swaps: u64,
@@ -454,6 +468,11 @@ impl ServerMetrics {
     /// Total micro-batches executed across shards.
     pub fn batches(&self) -> u64 {
         self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Total micro-batches served through mixed-precision plans.
+    pub fn f32_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.f32_batches).sum()
     }
 
     /// Total sub-requests that shared a batch, across shards.
@@ -492,8 +511,10 @@ impl ServerMetrics {
         w.field_u64("failed", self.failed);
         w.field_u64("epoch", self.epoch);
         w.field_str("index_scope", self.index_scope.as_str());
+        w.field_str("precision", self.precision.as_str());
         w.field_u64("swaps", self.swaps);
         w.field_u64("batches", self.batches());
+        w.field_u64("f32_batches", self.f32_batches());
         w.field_u64("coalesced", self.coalesced());
         w.field_f64("mean_batch", self.mean_batch_size(), 2);
         w.field_u64("local_index_builds", self.local_index_builds());
@@ -653,6 +674,7 @@ mod tests {
             failed: 0,
             epoch: 2,
             index_scope: IndexScope::PerShard,
+            precision: crate::precision::Precision::Auto,
             swaps: 2,
             latency: LatencySnapshot::default(),
             shards: vec![shard],
@@ -663,6 +685,8 @@ mod tests {
             "\"rejected\":1",
             "\"epoch\":2",
             "\"index_scope\":\"per-shard\"",
+            "\"precision\":\"auto\"",
+            "\"f32_batches\":0",
             "\"shards\":[{\"shard\":0,\"users\":[0,25]",
             "\"latency\":{\"count\":",
         ] {

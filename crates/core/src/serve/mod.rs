@@ -556,6 +556,7 @@ impl MipsServer {
             failed: self.shared.counters.failed.load(Ordering::Relaxed),
             epoch: topology.epoch,
             index_scope: self.shared.config.index_scope,
+            precision: self.shared.engine.precision(),
             swaps: self.shared.counters.swaps.load(Ordering::Relaxed),
             latency: self.shared.counters.latency.snapshot(),
             shards: topology.shards.iter().map(|s| s.metrics()).collect(),

@@ -318,6 +318,7 @@ struct PendingState {
     results: Vec<TopKList>,
     remaining: usize,
     backend: String,
+    precision: crate::precision::Precision,
     error: Option<MipsError>,
     finished: bool,
     submitted_at: Instant,
@@ -346,6 +347,7 @@ impl Pending {
                 results: vec![TopKList::empty(); result_len],
                 remaining: 0,
                 backend: String::new(),
+                precision: crate::precision::Precision::F64,
                 error: None,
                 finished: false,
                 submitted_at: now,
@@ -379,7 +381,13 @@ impl Pending {
     /// whose earlier subs completed) is ignored: the waiter may already
     /// have taken the result buffers, and the part count must not
     /// underflow.
-    pub(crate) fn complete(&self, users: &SubUsers, lists: Vec<TopKList>, backend: &str) -> bool {
+    pub(crate) fn complete(
+        &self,
+        users: &SubUsers,
+        lists: Vec<TopKList>,
+        backend: &str,
+        precision: crate::precision::Precision,
+    ) -> bool {
         let mut state = self.lock();
         if state.finished {
             return false;
@@ -398,6 +406,11 @@ impl Pending {
         }
         if state.backend.is_empty() {
             state.backend = backend.to_string();
+            // Like the backend label, the first completing sub-request
+            // names the response's precision; under per-shard Auto plans
+            // the shards of one request may differ, and "first to finish"
+            // is the same convention the backend field already uses.
+            state.precision = precision;
         }
         self.finish_one(state)
     }
@@ -455,6 +468,7 @@ impl Pending {
         Ok(QueryResponse {
             results: std::mem::take(&mut state.results),
             backend: std::mem::take(&mut state.backend),
+            precision: state.precision,
             planned: true,
             epoch: self.epoch,
             serve_seconds: state.latency,
@@ -584,13 +598,18 @@ mod tests {
             users: vec![7],
             positions: vec![2],
         };
-        assert!(!pending.complete(&last, vec![mk(30)], "B"));
+        assert!(!pending.complete(&last, vec![mk(30)], "B", crate::precision::Precision::F64));
         assert!(!pending.is_finished());
         let first = SubUsers::Range {
             users: 0..2,
             out_start: 0,
         };
-        assert!(pending.complete(&first, vec![mk(10), mk(20)], "B"));
+        assert!(pending.complete(
+            &first,
+            vec![mk(10), mk(20)],
+            "B",
+            crate::precision::Precision::F64
+        ));
         let response = pending.wait().unwrap();
         assert_eq!(response.backend, "B");
         assert_eq!(

@@ -9,6 +9,7 @@ use crate::engine::registry::{
     BmmFactory, FexiproFactory, LempFactory, MaximusFactory, SolverFactory,
 };
 use crate::maximus::MaximusConfig;
+use crate::precision::Precision;
 use mips_data::MfModel;
 use mips_lemp::LempConfig;
 use mips_topk::TopKList;
@@ -47,6 +48,14 @@ pub trait MipsSolver: Send + Sync {
     /// Top-k for every user.
     fn query_all(&self, k: usize) -> Vec<TopKList> {
         self.query_range(k, 0..self.num_users())
+    }
+
+    /// The numeric path this solver serves through: [`Precision::F32Rescore`]
+    /// when scans screen in f32 before the exact f64 rescore, otherwise
+    /// [`Precision::F64`]. Results are bit-identical either way; the engine
+    /// records the effective value on prepared plans and responses.
+    fn precision(&self) -> Precision {
+        Precision::F64
     }
 }
 

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod synth;
 
 pub use catalog::{reference_models, ModelSpec};
-pub use model::{MfModel, ModelError, ModelView};
+pub use model::{MfModel, Mirror32, ModelError, ModelView};
 pub use ratings::RatingsData;
 pub use stats::DatasetStats;
 pub use synth::{synth_model, SynthConfig};

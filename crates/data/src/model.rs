@@ -1,10 +1,10 @@
 //! The matrix-factorization model type consumed by every MIPS solver, and
 //! the zero-copy [`ModelView`] over a contiguous user range of it.
 
-use mips_linalg::{dot, LinalgError, Matrix, RowBlock};
+use mips_linalg::{dot, norm2, LinalgError, Matrix, RowBlock};
 use std::fmt;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Errors raised when constructing a model from untrusted input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +65,79 @@ pub struct MfModel {
     /// must defend against NaN (the serving engine's model intake) skip
     /// their re-scan when this is set.
     validated: bool,
+    /// The lazily built single-precision mirror (see [`Mirror32`]), cached
+    /// for the model's lifetime like solvers and plans are cached per epoch:
+    /// a swapped-in model builds its mirror at most once, and every view or
+    /// shard over the model shares it through the parent `Arc`. Cloning a
+    /// model shares an already built mirror (the mirror is a pure function
+    /// of the factor matrices, which clones share).
+    mirror32: OnceLock<Arc<Mirror32>>,
+}
+
+/// The single-precision mirror of a model's factor matrices, plus the exact
+/// (f64) row norms the screen envelope is evaluated against.
+///
+/// This is the data side of the mixed-precision screen path: scan backends
+/// prune in f32 against `users()`/`items()`, widen every screened score by
+/// `mips_linalg::f32_screen_envelope(f, user_norms[u], item_norms[i])`, and
+/// rescore the survivors on the parent model's f64 matrices. The norms are
+/// computed in f64 *before* rounding, so the envelope's Cauchy–Schwarz bound
+/// refers to the true vectors.
+///
+/// `f64 → f32` conversion rounds to nearest; values beyond f32 range become
+/// infinite, in which case the mirror marks itself unusable
+/// ([`Mirror32::is_usable`]) and every consumer falls back to the pure-f64
+/// path rather than screening against garbage.
+#[derive(Debug)]
+pub struct Mirror32 {
+    users: Matrix<f32>,
+    items: Matrix<f32>,
+    user_norms: Vec<f64>,
+    item_norms: Vec<f64>,
+    usable: bool,
+}
+
+impl Mirror32 {
+    fn build(users: &Matrix<f64>, items: &Matrix<f64>) -> Mirror32 {
+        let users32: Matrix<f32> = users.cast();
+        let items32: Matrix<f32> = items.cast();
+        let usable = users32.as_slice().iter().all(|v| v.is_finite())
+            && items32.as_slice().iter().all(|v| v.is_finite());
+        let row_norms = |m: &Matrix<f64>| m.iter_rows().map(norm2).collect();
+        Mirror32 {
+            user_norms: row_norms(users),
+            item_norms: row_norms(items),
+            users: users32,
+            items: items32,
+            usable,
+        }
+    }
+
+    /// The rounded user factor matrix (`|U| × f`).
+    pub fn users(&self) -> &Matrix<f32> {
+        &self.users
+    }
+
+    /// The rounded item factor matrix (`|I| × f`).
+    pub fn items(&self) -> &Matrix<f32> {
+        &self.items
+    }
+
+    /// Exact (f64) Euclidean norm of each original user row.
+    pub fn user_norms(&self) -> &[f64] {
+        &self.user_norms
+    }
+
+    /// Exact (f64) Euclidean norm of each original item row.
+    pub fn item_norms(&self) -> &[f64] {
+        &self.item_norms
+    }
+
+    /// `false` when some factor overflowed the f32 range, making the mirror
+    /// unfit for screening (consumers must fall back to f64-direct).
+    pub fn is_usable(&self) -> bool {
+        self.usable
+    }
 }
 
 impl MfModel {
@@ -87,6 +160,7 @@ impl MfModel {
             users,
             items,
             validated: true,
+            mirror32: OnceLock::new(),
         })
     }
 
@@ -108,6 +182,7 @@ impl MfModel {
             users,
             items,
             validated: false,
+            mirror32: OnceLock::new(),
         }
     }
 
@@ -171,7 +246,16 @@ impl MfModel {
             items: self.items.clone(),
             // Row-gathering validated matrices cannot introduce NaN.
             validated: self.validated,
+            mirror32: OnceLock::new(),
         }
+    }
+
+    /// The single-precision mirror, built on first use and cached for the
+    /// model's lifetime (see [`Mirror32`]). Thread-safe: concurrent first
+    /// callers race to build and all observe one winner.
+    pub fn mirror32(&self) -> &Arc<Mirror32> {
+        self.mirror32
+            .get_or_init(|| Arc::new(Mirror32::build(&self.users, &self.items)))
     }
 }
 
@@ -285,7 +369,14 @@ impl ModelView {
             // Slicing preserves the parent's validation status: no new
             // values are introduced.
             validated: self.model.validated,
+            mirror32: OnceLock::new(),
         })
+    }
+
+    /// The parent model's single-precision mirror (shared across every view
+    /// of the model; local rows address it at `user_range().start + row`).
+    pub fn mirror32(&self) -> &Arc<Mirror32> {
+        self.model.mirror32()
     }
 }
 
@@ -380,6 +471,30 @@ mod tests {
         assert!(sub.is_validated(), "slicing keeps the validation status");
         // Local row 0 of the view is global user 1.
         assert_eq!(sub.predict(0, 2), m.predict(1, 2));
+    }
+
+    #[test]
+    fn mirror32_is_lazy_shared_and_rounds_to_nearest() {
+        let m = MfModel::new_shared("m", users2x2(), items3x2()).unwrap();
+        let mirror = m.mirror32();
+        assert!(mirror.is_usable());
+        assert_eq!(mirror.users().rows(), 2);
+        assert_eq!(mirror.items().rows(), 3);
+        assert_eq!(mirror.items().get(2, 1), 6.0_f32);
+        // Norms are the exact f64 row norms.
+        assert!((mirror.item_norms()[0] - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mirror.user_norms().len(), 2);
+        // Repeated calls and views share one build.
+        assert!(Arc::ptr_eq(m.mirror32(), mirror));
+        let view = ModelView::of_range(&m, 0..1);
+        assert!(Arc::ptr_eq(view.mirror32(), mirror));
+    }
+
+    #[test]
+    fn mirror32_flags_f32_overflow_as_unusable() {
+        let users = Matrix::from_vec(1, 2, vec![1e300, 0.0]).unwrap();
+        let m = MfModel::new("big", users, items3x2()).unwrap();
+        assert!(!m.mirror32().is_usable());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub struct LempIndex {
     algos: Vec<RetrievalAlgo>,
     checkpoint: usize,
     num_factors: usize,
+    screening: bool,
 }
 
 impl LempIndex {
@@ -52,7 +53,27 @@ impl LempIndex {
             algos,
             checkpoint,
             num_factors: f,
+            screening: false,
         }
+    }
+
+    /// Enables the mixed-precision screen: every bucket gets a rounded
+    /// single-precision mirror of its item vectors, and subsequent queries
+    /// pre-score candidates in f32 — pruning only those the
+    /// [`mips_linalg::f32_screen_envelope`]-widened score proves cannot
+    /// enter the heap — before the exact f64 verification dot. Results
+    /// stay bit-identical to the pure double-precision scan (see
+    /// [`crate::scan`]). Idempotent.
+    pub fn enable_screen(&mut self) {
+        for b in &mut self.buckets {
+            b.build_screen_mirror();
+        }
+        self.screening = true;
+    }
+
+    /// `true` once [`LempIndex::enable_screen`] has armed the f32 screen.
+    pub fn is_screening(&self) -> bool {
+        self.screening
     }
 
     /// Number of buckets.
@@ -82,6 +103,11 @@ impl LempIndex {
             "LempIndex::query: user dimensionality mismatch"
         );
         let ctx = UserCtx::new(user, self.checkpoint);
+        let ctx = if self.screening {
+            ctx.with_screen()
+        } else {
+            ctx
+        };
         let mut heap = TopKHeap::new(k);
         for (b, bucket) in self.buckets.iter().enumerate() {
             // Buckets descend in max norm: once even the best possible score
@@ -185,6 +211,28 @@ mod tests {
         let m = model(0.5);
         let index = LempIndex::build(&m, &LempConfig::default());
         assert!(index.query(m.users().row(0), 0).is_empty());
+    }
+
+    #[test]
+    fn screened_index_is_bit_identical_and_prunes() {
+        let m = model(0.8);
+        let plain = LempIndex::build(&m, &LempConfig::default());
+        let mut screened = plain.clone();
+        assert!(!screened.is_screening());
+        screened.enable_screen();
+        assert!(screened.is_screening());
+        let mut stats = QueryStats::default();
+        for k in [1usize, 5, 17] {
+            for u in 0..m.num_users() {
+                let want = plain.query(m.users().row(u), k);
+                let got = screened.query_with_stats(m.users().row(u), k, &mut stats);
+                assert_eq!(got.items, want.items, "k={k} u={u}");
+                for (a, b) in got.scores.iter().zip(&want.scores) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "k={k} u={u}");
+                }
+            }
+        }
+        assert!(stats.scan.screen_pruned > 0, "screen never engaged");
     }
 
     #[test]

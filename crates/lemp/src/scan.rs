@@ -11,16 +11,36 @@
 //! [`mips_linalg::simd`] — the scans get AVX2/NEON FMA throughput without
 //! any per-call-site change. The suffix scan's block re-association (the one
 //! kernel that is not bit-identical to scalar) is absorbed by [`BOUND_EPS`],
-//! which inflates every bound comparison by several orders of magnitude more
-//! than the reordering can shift it.
+//! which dominates the proved re-association bound
+//! ([`mips_linalg::sumsq_reassoc_bound`]) by orders of magnitude.
+//!
+//! When the index carries f32 mirrors, a **mixed-precision screen** runs
+//! just before each verification dot: the item is scored through the
+//! single-precision kernels, the score widened by the
+//! [`mips_linalg::f32_screen_envelope`] error bound, and the exact dot is
+//! skipped when even the widened score cannot reach the heap threshold —
+//! the skipped push was guaranteed to be rejected, so results stay
+//! bit-identical to the pure double-precision scan.
 
 use crate::bucket::Bucket;
-use mips_linalg::kernels::{dot, norm2, suffix_norms};
+use mips_linalg::kernels::{dot, f32_screen_envelope_parts, norm2, suffix_norms};
 use mips_topk::TopKHeap;
 
-/// Relative inflation applied to every pruning bound. Covers the worst-case
-/// rounding of `f ≤ 512` double-precision accumulations with two orders of
-/// magnitude to spare.
+/// Relative inflation applied to every pruning bound.
+///
+/// Two rounding sources must stay underneath it, and both are covered by
+/// *proved* bounds, not just margin:
+///
+/// * accumulating an `f`-term double-precision dot in any association
+///   order shifts it by at most `γ_f ≈ f·2⁻⁵³` relative to the operand
+///   magnitudes (Higham ch. 3) — `≤ 5.7·10⁻¹⁴` for `f = 512`;
+/// * the suffix-norm tables are built by [`suffix_norms`], whose blocked
+///   SIMD re-association is bounded by
+///   [`mips_linalg::sumsq_reassoc_bound`] — `≤ 2.3·10⁻¹³` at `n = 1024`.
+///
+/// `BOUND_EPS = 10⁻¹⁰` dominates both with more than two orders of
+/// magnitude to spare for every feasible factor count; the
+/// `bound_eps_dominates_proved_rounding_bounds` test pins the margin.
 pub const BOUND_EPS: f64 = 1e-10;
 
 /// Inflates an upper bound so rounding cannot make it under-estimate.
@@ -42,6 +62,19 @@ pub enum RetrievalAlgo {
     Incr,
 }
 
+/// Per-user state of the mixed-precision screen (consumed by the scan
+/// kernels' verify-and-push step).
+#[derive(Debug, Clone)]
+pub struct ScreenCtx {
+    /// Rounded single-precision copy of the user vector.
+    pub user32: Vec<f32>,
+    /// `rel · ‖u‖` where `(rel, abs) = f32_screen_envelope_parts(f)`: the
+    /// per-item screen envelope is `env_rel_u · ‖i‖ + env_abs`.
+    pub env_rel_u: f64,
+    /// The envelope's absolute term.
+    pub env_abs: f64,
+}
+
 /// Per-user query state shared across buckets.
 #[derive(Debug, Clone)]
 pub struct UserCtx {
@@ -55,6 +88,8 @@ pub struct UserCtx {
     pub unit_suffix_at_cp: f64,
     /// The INCR checkpoint used to compute `unit_suffix_at_cp`.
     pub checkpoint: usize,
+    /// f32 screen state, present only via [`UserCtx::with_screen`].
+    pub screen: Option<ScreenCtx>,
 }
 
 impl UserCtx {
@@ -80,7 +115,22 @@ impl UserCtx {
             unit,
             unit_suffix_at_cp,
             checkpoint,
+            screen: None,
         }
+    }
+
+    /// Arms the mixed-precision screen: rounds the user vector to f32 and
+    /// precomputes the [`mips_linalg::f32_screen_envelope`] coefficients.
+    /// Only buckets that carry an f32 mirror
+    /// ([`Bucket::build_screen_mirror`]) actually screen.
+    pub fn with_screen(mut self) -> UserCtx {
+        let (rel, abs) = f32_screen_envelope_parts(self.user.len());
+        self.screen = Some(ScreenCtx {
+            user32: self.user.iter().map(|&v| v as f32).collect(),
+            env_rel_u: rel * self.norm,
+            env_abs: abs,
+        });
+        self
     }
 }
 
@@ -93,6 +143,9 @@ pub struct ScanStats {
     pub length_pruned: u64,
     /// Items skipped by the INCR partial-product bound.
     pub incr_pruned: u64,
+    /// Items whose exact verification dot (and guaranteed-rejected heap
+    /// push) was skipped by the f32 screen.
+    pub screen_pruned: u64,
 }
 
 impl ScanStats {
@@ -101,6 +154,7 @@ impl ScanStats {
         self.dots_computed += other.dots_computed;
         self.length_pruned += other.length_pruned;
         self.incr_pruned += other.incr_pruned;
+        self.screen_pruned += other.screen_pruned;
     }
 }
 
@@ -119,11 +173,44 @@ pub fn scan_bucket(
     }
 }
 
+/// The exact verification dot and push, gated by the mixed-precision
+/// screen when both sides carry f32 mirrors ([`UserCtx::with_screen`],
+/// [`Bucket::build_screen_mirror`]).
+///
+/// The screen scores the item through the dispatched single-precision
+/// kernel and widens the result by the
+/// [`mips_linalg::f32_screen_envelope`] error bound. When even the widened
+/// score sits strictly below the heap threshold, the exact score does too,
+/// so its push would have been rejected — skipping the f64 dot *and* the
+/// push leaves the heap trajectory, and therefore the results, bit-
+/// identical to the pure double-precision scan. A non-finite screen score
+/// (an operand overflowed the f32 range while rounding) never prunes.
+#[inline]
+fn verify_and_push(
+    bucket: &Bucket,
+    ctx: &UserCtx,
+    r: usize,
+    id: u32,
+    heap: &mut TopKHeap,
+    stats: &mut ScanStats,
+) {
+    if let (Some(sc), Some(v32)) = (&ctx.screen, bucket.vectors32.as_ref()) {
+        if heap.is_full() {
+            let s32 = dot(&sc.user32, v32.row(r)) as f64;
+            let env = sc.env_rel_u.mul_add(bucket.norms[r], sc.env_abs);
+            if s32.is_finite() && s32 + env < heap.threshold() {
+                stats.screen_pruned += 1;
+                return;
+            }
+        }
+    }
+    heap.push(dot(&ctx.user, bucket.vectors.row(r)), id);
+    stats.dots_computed += 1;
+}
+
 fn scan_naive(bucket: &Bucket, ctx: &UserCtx, heap: &mut TopKHeap, stats: &mut ScanStats) {
     for (r, &id) in bucket.ids.iter().enumerate() {
-        let score = dot(&ctx.user, bucket.vectors.row(r));
-        heap.push(score, id);
-        stats.dots_computed += 1;
+        verify_and_push(bucket, ctx, r, id, heap, stats);
     }
 }
 
@@ -135,9 +222,7 @@ fn scan_length(bucket: &Bucket, ctx: &UserCtx, heap: &mut TopKHeap, stats: &mut 
             stats.length_pruned += (bucket.len() - r) as u64;
             return;
         }
-        let score = dot(&ctx.user, bucket.vectors.row(r));
-        heap.push(score, id);
-        stats.dots_computed += 1;
+        verify_and_push(bucket, ctx, r, id, heap, stats);
     }
 }
 
@@ -163,9 +248,7 @@ fn scan_incr(bucket: &Bucket, ctx: &UserCtx, heap: &mut TopKHeap, stats: &mut Sc
                 continue;
             }
         }
-        let score = dot(&ctx.user, bucket.vectors.row(r));
-        heap.push(score, id);
-        stats.dots_computed += 1;
+        verify_and_push(bucket, ctx, r, id, heap, stats);
     }
 }
 
@@ -199,9 +282,26 @@ mod tests {
         user: &[f64],
         k: usize,
     ) -> (Vec<u32>, ScanStats) {
+        let (list, stats) = run_algo_screened(algo, items, user, k, false);
+        (list.items, stats)
+    }
+
+    fn run_algo_screened(
+        algo: RetrievalAlgo,
+        items: &Matrix<f64>,
+        user: &[f64],
+        k: usize,
+        screen: bool,
+    ) -> (mips_topk::TopKList, ScanStats) {
         let cp = (items.cols() / 4).max(1);
-        let buckets = build_buckets(items, 16, cp);
-        let ctx = UserCtx::new(user, cp);
+        let mut buckets = build_buckets(items, 16, cp);
+        let mut ctx = UserCtx::new(user, cp);
+        if screen {
+            for b in &mut buckets {
+                b.build_screen_mirror();
+            }
+            ctx = ctx.with_screen();
+        }
         let mut heap = TopKHeap::new(k);
         let mut stats = ScanStats::default();
         for b in &buckets {
@@ -210,7 +310,7 @@ mod tests {
             }
             scan_bucket(algo, b, &ctx, &mut heap, &mut stats);
         }
-        (heap.into_sorted().items, stats)
+        (heap.into_sorted(), stats)
     }
 
     #[test]
@@ -291,6 +391,72 @@ mod tests {
         for algo in [RetrievalAlgo::Length, RetrievalAlgo::Incr] {
             let (got, _) = run_algo(algo, &items, &user, 4);
             assert_eq!(got, want, "algo {algo:?}");
+        }
+    }
+
+    #[test]
+    fn screened_scans_are_bit_identical_and_prune() {
+        let items = random_items(300, 24, 11);
+        let users = random_items(6, 24, 42);
+        let mut pruned = 0;
+        for u in 0..users.rows() {
+            let user = users.row(u);
+            for k in [1usize, 4, 9] {
+                for algo in [
+                    RetrievalAlgo::Naive,
+                    RetrievalAlgo::Length,
+                    RetrievalAlgo::Incr,
+                ] {
+                    let (want, _) = run_algo_screened(algo, &items, user, k, false);
+                    let (got, stats) = run_algo_screened(algo, &items, user, k, true);
+                    assert_eq!(got.items, want.items, "algo {algo:?} k={k} user {u}");
+                    for (a, b) in got.scores.iter().zip(&want.scores) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "algo {algo:?} k={k} user {u}");
+                    }
+                    pruned += stats.screen_pruned;
+                }
+            }
+        }
+        // Random dense scores leave most items far from the top-k
+        // threshold: the screen must actually be saving exact dots.
+        assert!(pruned > 0, "screen never pruned anything");
+    }
+
+    #[test]
+    fn screen_without_bucket_mirror_degrades_to_plain_scan() {
+        // A screened UserCtx against mirror-less buckets must not change
+        // behavior (the screen needs both sides).
+        let items = random_items(80, 8, 3);
+        let buckets = build_buckets(&items, 16, 2);
+        let ctx = UserCtx::new(items.row(0), 2).with_screen();
+        let mut heap = TopKHeap::new(5);
+        let mut stats = ScanStats::default();
+        for b in &buckets {
+            scan_bucket(RetrievalAlgo::Naive, b, &ctx, &mut heap, &mut stats);
+        }
+        assert_eq!(stats.screen_pruned, 0);
+        assert_eq!(stats.dots_computed, 80);
+    }
+
+    #[test]
+    fn bound_eps_dominates_proved_rounding_bounds() {
+        // Satellite of the mixed-precision PR: the BOUND_EPS slack is not
+        // an ad-hoc epsilon — it must dominate the *proved* rounding
+        // bounds it absorbs, with two orders of magnitude of margin.
+        // (a) any-order f64 dot accumulation: γ_f = (f·ε/2)/(1 − f·ε/2);
+        // (b) the suffix-norm kernel's blocked re-association.
+        for f in [8usize, 64, 512, 1024] {
+            let eps = f64::EPSILON;
+            let gamma = (f as f64 * eps / 2.0) / (1.0 - f as f64 * eps / 2.0);
+            assert!(
+                100.0 * gamma <= BOUND_EPS,
+                "γ_{f} = {gamma} too close to BOUND_EPS"
+            );
+            let reassoc = mips_linalg::sumsq_reassoc_bound(f);
+            assert!(
+                100.0 * reassoc <= BOUND_EPS,
+                "sumsq_reassoc_bound({f}) = {reassoc} too close to BOUND_EPS"
+            );
         }
     }
 

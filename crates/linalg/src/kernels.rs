@@ -27,6 +27,9 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     if let (Some(xf), Some(yf)) = (simd::as_f64(x), simd::as_f64(y)) {
         return T::from_f64(simd::active().dot(xf, yf));
     }
+    if let (Some(xf), Some(yf)) = (simd::as_f32(x), simd::as_f32(y)) {
+        return T::from_f64(simd::active().dot_f32(xf, yf) as f64);
+    }
     dot_scalar(x, y)
 }
 
@@ -125,6 +128,87 @@ pub(crate) fn dist2_sq_scalar_f64(x: &[f64], y: &[f64]) -> f64 {
 
 pub(crate) fn suffix_sumsq_scalar_f64(x: &[f64], out: &mut [f64]) {
     suffix_sumsq_scalar(x, out)
+}
+
+/// Monomorphic `f32` scalar entries for the [`crate::simd::Kernel`] vtable
+/// (the screen-path kernels; tolerance contract, see [`crate::simd`]).
+pub(crate) fn dot_scalar_f32(x: &[f32], y: &[f32]) -> f32 {
+    dot_scalar(x, y)
+}
+
+pub(crate) fn suffix_sumsq_scalar_f32(x: &[f32], out: &mut [f32]) {
+    suffix_sumsq_scalar(x, out)
+}
+
+/// Machine epsilon of the f32 *rounding* step: `2⁻²⁴` (half the ulp of 1.0).
+const EPS_ROUND_F32: f64 = 5.960_464_477_539_063e-8;
+
+/// Conservative absolute error envelope of a single-precision screen score.
+///
+/// Let `s = uᵀi` be the exact double-precision score of user `u` and item
+/// `i`, and `ŝ` the value any [`crate::simd::Kernel::dot_f32`] kernel
+/// produces from the *rounded* operands `fl₃₂(u)`, `fl₃₂(i)`. Then
+///
+/// ```text
+/// |ŝ − s| ≤ f32_screen_envelope(f, ‖u‖, ‖i‖)
+/// ```
+///
+/// for every accumulation order the kernels use. Derivation (standard
+/// rounding-error analysis, e.g. Higham, *Accuracy and Stability of
+/// Numerical Algorithms*, ch. 3, with `ε = 2⁻²⁴`):
+///
+/// * rounding each operand contributes at most `2ε + ε²` relative error per
+///   product term;
+/// * multiplying and summing `f` terms in *any* association order, with or
+///   without FMA fusion, contributes at most `γ_f = f·ε/(1 − f·ε)` relative
+///   error per term;
+/// * bounding `Σ|u_j·i_j| ≤ ‖u‖·‖i‖` (Cauchy–Schwarz) turns the per-term
+///   relative bound into the absolute bound `(f + 2)·ε·(1 + o(1))·‖u‖·‖i‖`.
+///
+/// The returned envelope is `(2f + 8)·ε·1.0001·‖u‖·‖i‖ — more than double
+/// the derived bound — plus an absolute term `(f + 4)·2⁻¹²⁶` covering the
+/// region where intermediate f32 values go subnormal and the relative model
+/// breaks down. The slack also absorbs the (f64, correctly rounded)
+/// evaluation of the envelope itself and of the cached norms. Widening a
+/// screen bound by this envelope therefore never excludes a true top-k
+/// member; the trade is a slightly larger rescore set.
+#[inline]
+pub fn f32_screen_envelope(f: usize, unorm: f64, inorm: f64) -> f64 {
+    let (rel, abs) = f32_screen_envelope_parts(f);
+    rel * unorm * inorm + abs
+}
+
+/// The `(relative, absolute)` coefficients of [`f32_screen_envelope`]:
+/// `envelope = rel·‖u‖·‖i‖ + abs`. Exposed so a scan loop can hoist
+/// `rel·‖u‖` out of its per-item envelope evaluation; the envelope's ≥2×
+/// slack covers the rounding difference between the factored and direct
+/// evaluations.
+#[inline]
+pub fn f32_screen_envelope_parts(f: usize) -> (f64, f64) {
+    let f = f as f64;
+    (
+        (2.0 * f + 8.0) * EPS_ROUND_F32 * 1.0001,
+        (f + 4.0) * (f32::MIN_POSITIVE as f64),
+    )
+}
+
+/// Upper bound on the *relative* disagreement between any two summation
+/// orders of `n` squared terms in f64 — the actual bound behind the
+/// suffix-sumsq "epsilon-covered exception" of [`crate::simd`].
+///
+/// Each computed suffix `Σ x_j²` (serial FMA chain or block-re-associated
+/// vector scan) differs from the exact value by at most `γ_n = n·ε/(1−n·ε)`
+/// relative (`ε = 2⁻⁵³`; the squares are non-negative, so the term-wise
+/// bound is also the sum-wise bound). Two different orders therefore differ
+/// from *each other* by at most `2γ_n` relative. Pruning bounds built on
+/// suffix norms stay conservative as long as they are inflated by at least
+/// this much — LEMP's `BOUND_EPS = 1e-10` dominates it for every feasible
+/// factor count (`2γ_n < 1e-10` up to n ≈ 2.2×10⁵), which the bound tests
+/// in `mips-lemp` assert rather than assume.
+#[inline]
+pub fn sumsq_reassoc_bound(n: usize) -> f64 {
+    let ne = n as f64 * f64::EPSILON * 0.5;
+    2.0 * ne / (1.0 - ne)
 }
 
 /// Squared Euclidean norm `‖x‖²`.
@@ -273,6 +357,13 @@ pub fn suffix_norms<T: Scalar>(x: &[T]) -> Vec<T> {
         }
         return out;
     }
+    if let (Some(xf), Some(of)) = (simd::as_f32(x), simd::as_f32_mut(&mut out)) {
+        simd::active().suffix_sumsq_f32(xf, of);
+        for v in &mut out {
+            *v = v.sqrt();
+        }
+        return out;
+    }
     suffix_sumsq_scalar(x, &mut out);
     for v in &mut out {
         *v = v.sqrt();
@@ -387,6 +478,80 @@ mod tests {
         let y = [5.0_f32, 4.0, 3.0, 2.0, 1.0];
         assert!((dot(&x, &y) - 35.0).abs() < 1e-5);
         assert!((norm2(&[3.0_f32, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sumsq_reassoc_bound_dominates_observed_kernel_disagreement() {
+        // The documented bound must cover the real deviation between the
+        // serial scalar scan and the block-re-associated SIMD scan (and
+        // leave room — it is a worst-case bound, not a fit).
+        let kernels = [
+            crate::simd::Kernel::scalar(),
+            crate::simd::Kernel::best(), // scalar again on plain hosts; fine
+        ];
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 6.0 - 3.0
+        };
+        for len in [1usize, 4, 17, 128, 1000] {
+            let x: Vec<f64> = (0..len).map(|_| next()).collect();
+            let mut reference = vec![0.0; len + 1];
+            kernels[0].suffix_sumsq(&x, &mut reference);
+            let mut other = vec![0.0; len + 1];
+            kernels[1].suffix_sumsq(&x, &mut other);
+            for j in 0..len {
+                let bound = sumsq_reassoc_bound(len - j) * reference[j].abs();
+                assert!(
+                    (reference[j] - other[j]).abs() <= bound.max(f64::MIN_POSITIVE),
+                    "len {len} j {j}"
+                );
+            }
+        }
+        // Shape sanity: monotone in n, tiny at realistic factor counts, and
+        // dominated by LEMP's 1e-10 inflation far beyond any model width.
+        assert!(sumsq_reassoc_bound(64) < sumsq_reassoc_bound(4096));
+        assert!(sumsq_reassoc_bound(4096) < 1e-12);
+        assert!(sumsq_reassoc_bound(100_000) < 1e-10);
+    }
+
+    #[test]
+    fn screen_envelope_is_conservative_on_adversarial_dots() {
+        // Near-cancelling vectors maximize the relative damage of f32
+        // rounding; the envelope must still contain the exact score.
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for f in [1usize, 8, 50, 200, 1024] {
+            for trial in 0..20 {
+                let x: Vec<f64> = (0..f).map(|_| next()).collect();
+                // Half the trials use a near-negated copy so the exact dot
+                // nearly cancels while the norms stay O(√f).
+                let y: Vec<f64> = if trial % 2 == 0 {
+                    (0..f).map(|_| next()).collect()
+                } else {
+                    x.iter().map(|&v| -v + next() * 1e-4).collect()
+                };
+                let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+                let y32: Vec<f32> = y.iter().map(|&v| v as f32).collect();
+                let exact: f64 = dot_gemm_ordered(&x, &y);
+                let approx = crate::simd::active().dot_f32(&x32, &y32) as f64;
+                let env = f32_screen_envelope(f, norm2(&x), norm2(&y));
+                assert!(
+                    (approx - exact).abs() <= env,
+                    "f {f} trial {trial}: |{approx} - {exact}| > {env}"
+                );
+            }
+        }
+        // Degenerate inputs: zero norms still produce a usable (positive)
+        // envelope via the absolute subnormal term.
+        assert!(f32_screen_envelope(16, 0.0, 0.0) > 0.0);
     }
 
     #[test]

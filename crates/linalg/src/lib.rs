@@ -51,7 +51,10 @@ pub use gemm::{
     gemm_nt_stream_panels, gemm_nt_stream_panels_with, matmul_nn, matvec, naive_gemm_nt,
     GemmScratch,
 };
-pub use kernels::{axpy, dot, norm2, norm2_sq, normalize, scale};
+pub use kernels::{
+    axpy, dot, f32_screen_envelope, f32_screen_envelope_parts, norm2, norm2_sq, normalize, scale,
+    sumsq_reassoc_bound,
+};
 pub use matrix::{Matrix, RowBlock};
 pub use scalar::Scalar;
 pub use simd::Kernel;

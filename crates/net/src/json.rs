@@ -25,7 +25,7 @@
 //! ## Response shape
 //!
 //! ```json
-//! {"backend": "maximus", "planned": true, "epoch": 0,
+//! {"backend": "maximus", "precision": "f64", "planned": true, "epoch": 0,
 //!  "serve_seconds": 0.000123,
 //!  "results": [{"items": [4, 1], "scores": [2.25, 1.5]}]}
 //! ```
@@ -461,6 +461,7 @@ pub fn encode_response(response: &QueryResponse) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
     w.field_str("backend", &response.backend);
+    w.field_str("precision", response.precision.as_str());
     w.field_bool("planned", response.planned);
     w.field_u64("epoch", response.epoch);
     w.field_f64("serve_seconds", response.serve_seconds, 9);
@@ -618,6 +619,7 @@ mod tests {
                 scores: vec![0.1 + 0.2, 1.0 / 3.0],
             }],
             backend: "maximus".into(),
+            precision: mips_core::precision::Precision::F32Rescore,
             planned: true,
             epoch: 3,
             serve_seconds: 0.25,
@@ -625,6 +627,10 @@ mod tests {
         let body = encode_response(&response);
         let doc = parse(&body).unwrap();
         assert_eq!(doc.get("backend").and_then(Json::as_str), Some("maximus"));
+        assert_eq!(
+            doc.get("precision").and_then(Json::as_str),
+            Some("f32-rescore")
+        );
         assert_eq!(doc.get("epoch").and_then(Json::as_u64), Some(3));
         let results = doc.get("results").and_then(Json::as_arr).unwrap();
         let scores = results[0].get("scores").and_then(Json::as_arr).unwrap();

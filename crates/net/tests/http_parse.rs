@@ -168,6 +168,7 @@ proptest! {
         let response = mips_core::engine::QueryResponse {
             results: vec![mips_topk::TopKList { items: vec![0], scores: vec![score] }],
             backend: "bmm".into(),
+            precision: mips_core::precision::Precision::F64,
             planned: false,
             epoch: 0,
             serve_seconds: 0.0,

@@ -122,7 +122,83 @@ fn wire_queries_are_bit_identical_to_in_process_execution() {
             Some(expected.epoch)
         );
         assert!(doc.get("backend").and_then(Json::as_str).is_some());
+        // The default stack runs pure f64; the wire must say so.
+        assert_eq!(
+            doc.get("precision").and_then(Json::as_str),
+            Some("f64"),
+            "{wire}"
+        );
     }
+    http.shutdown().unwrap();
+}
+
+#[test]
+fn forced_f32_rescore_is_bit_identical_and_announced_on_the_wire() {
+    // A mixed-precision stack must change how answers are computed — f32
+    // screen, exact f64 rescore — without changing a single reported bit,
+    // and both the response and /metrics must announce the mode.
+    let model = model(80, 100, 11);
+    let f64_engine = engine(&model);
+    let f32_engine = Arc::new(
+        EngineBuilder::new()
+            .model(Arc::clone(&model))
+            .with_default_backends()
+            .precision(mips_core::precision::Precision::F32Rescore)
+            .build()
+            .unwrap(),
+    );
+    let server = Arc::new(
+        ServerBuilder::new()
+            .engine(Arc::clone(&f32_engine))
+            .shards(2)
+            .workers(2)
+            .build()
+            .unwrap(),
+    );
+    let http = HttpServerBuilder::new()
+        .server(Arc::clone(&server))
+        .build()
+        .unwrap();
+    let mut client = Client::connect(http.local_addr()).unwrap();
+
+    let wire = "{\"k\": 5, \"users\": [3, 0, 9, 3]}";
+    let response = client.request("POST", "/query", Some(wire)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let doc = json::parse(&response.body).unwrap();
+    assert_eq!(
+        doc.get("precision").and_then(Json::as_str),
+        Some("f32-rescore"),
+        "the response must carry the serving plan's precision"
+    );
+    // Bit-identity against the pure-f64 engine, across the wire.
+    let expected = f64_engine
+        .execute(&QueryRequest::top_k(5).users(vec![3, 0, 9, 3]))
+        .unwrap();
+    let got = wire_results(&response.body);
+    for (row, want) in got.iter().zip(&expected.results) {
+        assert_eq!(row.0, want.items);
+        let want_bits: Vec<u64> = want.scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(row.1, want_bits, "f32-rescore must not move a single bit");
+    }
+
+    let metrics = client.request("GET", "/metrics", None).unwrap();
+    let doc = json::parse(&metrics.body).unwrap();
+    let server_side = doc.get("server").expect("server section");
+    assert_eq!(
+        server_side.get("precision").and_then(Json::as_str),
+        Some("f32-rescore")
+    );
+    let f32_batches: u64 = server_side
+        .get("shards")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|s| s.get("f32_batches").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert!(
+        f32_batches >= 1,
+        "served batches must be attributed to the f32 screen path"
+    );
     http.shutdown().unwrap();
 }
 

@@ -112,6 +112,13 @@ impl TopKHeap {
         self.entries.first().copied()
     }
 
+    /// The retained entries in heap (not sorted) order. The mixed-precision
+    /// screen uses this to seed its lower-bound threshold from entries a
+    /// previous exact phase already admitted.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
     /// Drains the heap into a list sorted best-first.
     pub fn into_sorted(self) -> crate::list::TopKList {
         let mut entries = self.entries;

@@ -13,6 +13,11 @@
 //! [`fused`] additionally provides the fused GEMM→top-k path: score panels
 //! stream out of the blocked multiply straight into the heaps, so the dense
 //! `batch × n` score buffer of the two-stage pipeline never exists.
+//!
+//! [`screen`] is the mixed-precision variant of that path: the panels stream
+//! in f32 with a conservative rounding envelope, and only the surviving
+//! candidates are rescored in f64 — bit-identical output, roughly half the
+//! scan bandwidth.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,9 +25,11 @@
 pub mod fused;
 pub mod heap;
 pub mod list;
+pub mod screen;
 pub mod select;
 
 pub use fused::{gemm_nt_topk, gemm_nt_topk_with, stream_topk_into_heaps, ColumnIds};
 pub use heap::TopKHeap;
 pub use list::TopKList;
+pub use screen::{screen_topk_into_heaps, screen_topk_into_heaps_with, ScreenScratch, ScreenStats};
 pub use select::{row_topk, rows_topk, topk_all_rows};

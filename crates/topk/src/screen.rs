@@ -1,0 +1,464 @@
+//! Mixed-precision screen-then-rescore: f32 scan, exact f64 top-k.
+//!
+//! The fused f64 path ([`crate::fused`]) already keeps score panels
+//! cache-resident; this module halves the bytes *and* doubles the SIMD lanes
+//! of the scan by streaming the panels in single precision, at the price of
+//! a second (tiny) pass:
+//!
+//! 1. **Screen** — stream `A₃₂·B₃₂ᵀ` panels and widen every score `ŝ` into
+//!    the interval `[ŝ − env, ŝ + env]`, where
+//!    `env = f32_screen_envelope(f, ‖u‖, ‖i‖)` bounds the total rounding
+//!    error of the f32 path against the exact score `s` (so `s` is always
+//!    inside the interval). A per-user bound heap retains the `k` largest
+//!    *lower* bounds; any column whose *upper* bound reaches that heap's
+//!    threshold is collected as a candidate.
+//! 2. **Rescore** — recompute each surviving candidate's score in f64 with
+//!    the GEMM per-element reduction ([`mips_linalg::simd::Kernel::dot_seq4`])
+//!    and offer it to the caller's heap.
+//!
+//! ## Why no true top-k member can be lost
+//!
+//! Let `L̂` be the final threshold of a user's bound heap. Each of its `k`
+//! retained entries is a lower bound of some column's exact score, so at
+//! least `k` columns have exact score `≥ L̂` — hence the true k-th exact
+//! score is `≥ L̂`. Every true top-k column `c` has exact score
+//! `s_c ≥ kth ≥ L̂`, and its upper bound `ŝ_c + env ≥ s_c ≥ L̂`, so `c` was
+//! collected (thresholds only grow during the scan, so the test it faced
+//! was no stricter than `L̂`) and survives the final `hi ≥ L̂` filter. Ties
+//! (`s_c` equal to the k-th score, decided by the smaller-id rule) are
+//! safe for the same reason: the comparison uses `≥`, never `>`.
+//!
+//! Entries already present in the caller's heaps are treated as exact
+//! scores from a previous phase: they seed the bound heap (an exact score
+//! is its own lower bound), so the screen is exactly as selective as the
+//! f64 path would have been with the same preloaded state.
+//!
+//! Because every reported score comes from the f64 rescore — with the same
+//! reduction order as the pure-f64 GEMM path — the screen mode's results
+//! are **bit-identical** to f64-direct: same scores, same ids, same
+//! tie-breaks. The `precision_identity` suite in `mips-core` asserts this
+//! end to end; the envelope math lives in
+//! [`mips_linalg::f32_screen_envelope`].
+
+use crate::fused::ColumnIds;
+use crate::heap::TopKHeap;
+use mips_linalg::simd::{self, Kernel};
+use mips_linalg::{
+    f32_screen_envelope_parts, gemm_nt_stream_panels_with, BlockSizes, CacheConfig, GemmScratch,
+    RowBlock,
+};
+
+/// Reusable buffers for [`screen_topk_into_heaps_with`]: the f32 GEMM
+/// scratch, the per-user bound heaps and the per-user candidate lists. Own
+/// one per query loop / worker thread, like [`GemmScratch`].
+#[derive(Debug, Default)]
+pub struct ScreenScratch {
+    gemm32: GemmScratch<f32>,
+    bound_heaps: Vec<TopKHeap>,
+    candidates: Vec<Vec<(u32, f64)>>,
+}
+
+impl ScreenScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> ScreenScratch {
+        ScreenScratch::default()
+    }
+}
+
+/// Counters describing how selective one screen pass was.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenStats {
+    /// Scores screened in f32 (`rows × cols`).
+    pub screened: u64,
+    /// Candidates surviving to the exact rescore.
+    pub rescored: u64,
+}
+
+/// Screens `A·Bᵀ` in f32 and streams exact f64 rescored survivors into
+/// caller-owned heaps — same contract and output as
+/// [`crate::fused::stream_topk_into_heaps`], different execution.
+///
+/// `a32`/`b32` must be the rounded mirror of `a64`/`b64`
+/// (`mips_data::Mirror32`), and `a_norms`/`b_norms` the **exact** f64 row
+/// norms of the originals — the envelope is only valid for that triple.
+///
+/// # Panics
+/// Panics if `heaps.len() != a.rows()`, if any operand or norm slice
+/// disagrees on shape, or if a mapped id slice is shorter than `b.rows()`.
+#[allow(clippy::too_many_arguments)]
+pub fn screen_topk_into_heaps(
+    a64: RowBlock<'_, f64>,
+    b64: RowBlock<'_, f64>,
+    a32: RowBlock<'_, f32>,
+    b32: RowBlock<'_, f32>,
+    a_norms: &[f64],
+    b_norms: &[f64],
+    heaps: &mut [TopKHeap],
+    ids: ColumnIds<'_>,
+    scratch: &mut ScreenScratch,
+) -> ScreenStats {
+    screen_topk_into_heaps_with(
+        simd::active(),
+        &BlockSizes::for_scalar::<f32>(&CacheConfig::default()),
+        a64,
+        b64,
+        a32,
+        b32,
+        a_norms,
+        b_norms,
+        heaps,
+        ids,
+        scratch,
+    )
+}
+
+/// [`screen_topk_into_heaps`] with explicit kernel set and (f32) blocking
+/// parameters — the forced-scalar test entry.
+#[allow(clippy::too_many_arguments)]
+pub fn screen_topk_into_heaps_with(
+    kern: &Kernel,
+    blocks32: &BlockSizes,
+    a64: RowBlock<'_, f64>,
+    b64: RowBlock<'_, f64>,
+    a32: RowBlock<'_, f32>,
+    b32: RowBlock<'_, f32>,
+    a_norms: &[f64],
+    b_norms: &[f64],
+    heaps: &mut [TopKHeap],
+    ids: ColumnIds<'_>,
+    scratch: &mut ScreenScratch,
+) -> ScreenStats {
+    let (m, n, f) = (a64.rows(), b64.rows(), a64.cols());
+    assert_eq!(heaps.len(), m, "screen_topk: one heap per query row");
+    assert_eq!(a32.rows(), m, "screen_topk: mirror row count mismatch");
+    assert_eq!(b32.rows(), n, "screen_topk: mirror item count mismatch");
+    assert_eq!(a32.cols(), f, "screen_topk: mirror width mismatch");
+    assert_eq!(a_norms.len(), m, "screen_topk: one norm per query row");
+    assert_eq!(b_norms.len(), n, "screen_topk: one norm per item row");
+    if let ColumnIds::Mapped(map) = ids {
+        assert!(
+            map.len() >= n,
+            "screen_topk: id map shorter than item count"
+        );
+    }
+
+    let (env_rel, env_abs) = f32_screen_envelope_parts(f);
+
+    // Per-row bound heaps: capacity k, seeded with the caller's existing
+    // (exact) entries — see the module docs.
+    scratch.bound_heaps.resize_with(m, || TopKHeap::new(0));
+    scratch.candidates.resize_with(m, Vec::new);
+    for (i, heap) in heaps.iter().enumerate() {
+        let bh = &mut scratch.bound_heaps[i];
+        *bh = TopKHeap::new(heap.capacity());
+        for e in heap.entries() {
+            bh.push(e.score, e.id);
+        }
+        scratch.candidates[i].clear();
+    }
+
+    // Screen pass: stream f32 panels, collect (column, upper bound) pairs.
+    let mut thresholds: Vec<f64> = scratch
+        .bound_heaps
+        .iter()
+        .map(TopKHeap::threshold)
+        .collect();
+    gemm_nt_stream_panels_with(
+        kern,
+        a32,
+        b32,
+        blocks32,
+        &mut scratch.gemm32,
+        |panel, cols| {
+            let ncb = cols.len();
+            for i in 0..m {
+                let row = &panel[i * ncb..(i + 1) * ncb];
+                let rel_u = env_rel * a_norms[i];
+                let bh = &mut scratch.bound_heaps[i];
+                let cand = &mut scratch.candidates[i];
+                let mut threshold = thresholds[i];
+                for (j, &s32) in row.iter().enumerate() {
+                    let col = cols.start + j;
+                    let s = s32 as f64;
+                    if s.is_finite() {
+                        let env = rel_u.mul_add(b_norms[col], env_abs);
+                        let hi = s + env;
+                        if hi >= threshold {
+                            let id = match ids {
+                                ColumnIds::Offset(off) => off + col as u32,
+                                ColumnIds::Mapped(map) => map[col],
+                            };
+                            cand.push((col as u32, hi));
+                            bh.push(s - env, id);
+                            threshold = bh.threshold();
+                        }
+                    } else if threshold < f64::INFINITY {
+                        // An overflowed f32 score carries no bound at all:
+                        // keep the column unconditionally (k = 0 heaps have
+                        // threshold +∞ and correctly collect nothing).
+                        cand.push((col as u32, f64::INFINITY));
+                    }
+                }
+                thresholds[i] = threshold;
+            }
+        },
+    );
+
+    // Rescore pass: exact f64, GEMM per-element reduction, groups of four
+    // so the sequential chains pipeline.
+    let mut rescored = 0u64;
+    for (i, heap) in heaps.iter_mut().enumerate() {
+        let final_threshold = scratch.bound_heaps[i].threshold();
+        let survivors = scratch.candidates[i]
+            .iter()
+            .filter(|&&(_, hi)| hi >= final_threshold);
+        let urow = a64.row(i);
+        let mut group = [0usize; 4];
+        let mut filled = 0usize;
+        let flush = |cols: &[usize], heap: &mut TopKHeap| {
+            let pad = cols[cols.len() - 1];
+            let pick = |q: usize| b64.row(*cols.get(q).unwrap_or(&pad));
+            let scores = kern.dot_seq4(urow, [pick(0), pick(1), pick(2), pick(3)]);
+            for (q, &col) in cols.iter().enumerate() {
+                let id = match ids {
+                    ColumnIds::Offset(off) => off + col as u32,
+                    ColumnIds::Mapped(map) => map[col],
+                };
+                heap.push(scores[q], id);
+            }
+        };
+        for &(col, _) in survivors {
+            group[filled] = col as usize;
+            filled += 1;
+            rescored += 1;
+            if filled == 4 {
+                flush(&group, heap);
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            flush(&group[..filled], heap);
+        }
+    }
+
+    ScreenStats {
+        screened: (m * n) as u64,
+        rescored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::{gemm_nt_topk, stream_topk_into_heaps};
+    use mips_linalg::{norm2, Matrix};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn row_norms(m: &Matrix<f64>) -> Vec<f64> {
+        m.iter_rows().map(norm2).collect()
+    }
+
+    fn screen_all(
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        k: usize,
+        ids: ColumnIds<'_>,
+    ) -> (Vec<TopKHeap>, ScreenStats) {
+        let a32: Matrix<f32> = a.cast();
+        let b32: Matrix<f32> = b.cast();
+        let mut heaps: Vec<TopKHeap> = (0..a.rows()).map(|_| TopKHeap::new(k)).collect();
+        let mut scratch = ScreenScratch::new();
+        let stats = screen_topk_into_heaps(
+            a.into(),
+            b.into(),
+            (&a32).into(),
+            (&b32).into(),
+            &row_norms(a),
+            &row_norms(b),
+            &mut heaps,
+            ids,
+            &mut scratch,
+        );
+        (heaps, stats)
+    }
+
+    #[test]
+    fn screen_is_bit_identical_to_f64_direct() {
+        let mut scratch64 = GemmScratch::new();
+        for &(m, n, f, k) in &[
+            (1usize, 1usize, 1usize, 1usize),
+            (3, 17, 7, 4),
+            (9, 50, 12, 5),
+            (33, 70, 31, 10),
+            (5, 2048 + 13, 6, 3), // crosses an NC panel boundary
+        ] {
+            let a = random_matrix(m, f, 100 + m as u64);
+            let b = random_matrix(n, f, 200 + n as u64);
+            let (heaps, stats) = screen_all(&a, &b, k, ColumnIds::Offset(0));
+            let got: Vec<_> = heaps.into_iter().map(TopKHeap::into_sorted).collect();
+            let want = gemm_nt_topk((&a).into(), (&b).into(), k, &mut scratch64);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.items, w.items, "m={m} n={n} f={f} k={k}");
+                for (gs, ws) in g.scores.iter().zip(&w.scores) {
+                    assert_eq!(gs.to_bits(), ws.to_bits(), "m={m} n={n} f={f} k={k}");
+                }
+            }
+            assert_eq!(stats.screened, (m * n) as u64);
+            assert!(stats.rescored >= got.iter().map(|l| l.len() as u64).max().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn near_ties_inside_the_envelope_are_still_exact() {
+        // Items that differ by less than any plausible f32 resolution: the
+        // screen cannot tell them apart, so it must rescore enough of them
+        // for the exact comparison (and the id tie-break) to decide.
+        let f = 24usize;
+        let mut a = random_matrix(3, f, 5);
+        // Amplify so absolute score gaps sit near the f32 ulp.
+        for v in a.as_mut_slice() {
+            *v *= 100.0;
+        }
+        let base = random_matrix(1, f, 7);
+        let n = 40usize;
+        let b = Matrix::from_fn(n, f, |r, c| {
+            // Tiny per-row perturbation, far below f32 resolution at this
+            // magnitude; several rows are exact duplicates (r / 4).
+            base.get(0, c) + ((r / 4) as f64) * 1e-13
+        });
+        let (heaps, _) = screen_all(&a, &b, 5, ColumnIds::Offset(0));
+        let mut scratch64 = GemmScratch::new();
+        let want = gemm_nt_topk((&a).into(), (&b).into(), 5, &mut scratch64);
+        for (heap, w) in heaps.into_iter().zip(&want) {
+            let g = heap.into_sorted();
+            assert_eq!(g.items, w.items);
+            for (gs, ws) in g.scores.iter().zip(&w.scores) {
+                assert_eq!(gs.to_bits(), ws.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn preloaded_heaps_match_the_f64_path_with_the_same_preload() {
+        let a = random_matrix(2, 9, 31);
+        let b = random_matrix(25, 9, 32);
+        let a32: Matrix<f32> = a.cast();
+        let b32: Matrix<f32> = b.cast();
+        let preload = [(2.5f64, 900u32), (0.1, 901), (-3.0, 902)];
+
+        let mut screened: Vec<TopKHeap> = (0..2).map(|_| TopKHeap::new(4)).collect();
+        let mut direct: Vec<TopKHeap> = (0..2).map(|_| TopKHeap::new(4)).collect();
+        for heap in screened.iter_mut().chain(direct.iter_mut()) {
+            for &(s, id) in &preload {
+                heap.push(s, id);
+            }
+        }
+        let mut scratch = ScreenScratch::new();
+        screen_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            (&a32).into(),
+            (&b32).into(),
+            &row_norms(&a),
+            &row_norms(&b),
+            &mut screened,
+            ColumnIds::Offset(0),
+            &mut scratch,
+        );
+        let mut scratch64 = GemmScratch::new();
+        stream_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            &mut direct,
+            ColumnIds::Offset(0),
+            &mut scratch64,
+        );
+        for (s, d) in screened.into_iter().zip(direct) {
+            let (s, d) = (s.into_sorted(), d.into_sorted());
+            assert_eq!(s.items, d.items);
+            for (gs, ws) in s.scores.iter().zip(&d.scores) {
+                assert_eq!(gs.to_bits(), ws.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_ids_and_k_edges() {
+        let a = random_matrix(2, 5, 7);
+        let b = random_matrix(4, 5, 8);
+        let map = [40u32, 30, 20, 10];
+        let (heaps, _) = screen_all(&a, &b, 2, ColumnIds::Mapped(&map));
+        let mut scratch64 = GemmScratch::new();
+        let plain = gemm_nt_topk((&a).into(), (&b).into(), 2, &mut scratch64);
+        for (heap, want) in heaps.into_iter().zip(plain) {
+            let got = heap.into_sorted();
+            let translated: Vec<u32> = want.items.iter().map(|&j| map[j as usize]).collect();
+            assert_eq!(got.items, translated);
+            assert_eq!(got.scores, want.scores);
+        }
+
+        // k = 0 collects nothing and rescores nothing.
+        let (heaps, stats) = screen_all(&a, &b, 0, ColumnIds::Offset(0));
+        assert!(heaps.iter().all(TopKHeap::is_empty));
+        assert_eq!(stats.rescored, 0);
+
+        // k ≥ n keeps everything.
+        let (heaps, stats) = screen_all(&a, &b, 10, ColumnIds::Offset(0));
+        assert!(heaps.iter().all(|h| h.len() == 4));
+        assert_eq!(stats.rescored, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one heap per query row")]
+    fn rejects_mismatched_heap_count() {
+        let a = random_matrix(3, 4, 1);
+        let b = random_matrix(2, 4, 2);
+        let a32: Matrix<f32> = a.cast();
+        let b32: Matrix<f32> = b.cast();
+        let mut heaps = vec![TopKHeap::new(1); 2];
+        let mut scratch = ScreenScratch::new();
+        screen_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            (&a32).into(),
+            (&b32).into(),
+            &row_norms(&a),
+            &row_norms(&b),
+            &mut heaps,
+            ColumnIds::Offset(0),
+            &mut scratch,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one norm per item row")]
+    fn rejects_short_norms() {
+        let a = random_matrix(1, 4, 1);
+        let b = random_matrix(3, 4, 2);
+        let a32: Matrix<f32> = a.cast();
+        let b32: Matrix<f32> = b.cast();
+        let mut heaps = vec![TopKHeap::new(1)];
+        let mut scratch = ScreenScratch::new();
+        screen_topk_into_heaps(
+            (&a).into(),
+            (&b).into(),
+            (&a32).into(),
+            (&b32).into(),
+            &row_norms(&a),
+            &[1.0],
+            &mut heaps,
+            ColumnIds::Offset(0),
+            &mut scratch,
+        );
+    }
+}
