@@ -18,16 +18,106 @@
 //!   (fresh `batch × n` score buffer, scalar micro-kernels, separate top-k
 //!   pass), per dataset and `k`, with the speedup ratio.
 //!
+//! A fifth "dataset" — `SparseSynth`, a ≥99%-sparse synthetic catalog — adds
+//! the sparse bench family: the inverted-index backend against brute force
+//! on the workload it exists for, with the same gate identity as every other
+//! row.
+//!
 //! `MIPS_SCALE` scales the models (CI smoke uses 0.05); `MIPS_BENCH_OUT`
 //! overrides the output path.
 
 use mips_bench::{
-    bench_out_path, bmm_fusion_sample, build_model, figure5_strategies, fmt_secs, geo_mean,
-    render_bench_json, scale, single_backend_engine_at, strategy_precisions, BenchMeta,
-    BenchRecord, FusionRecord, Table, PAPER_KS,
+    backend_precisions, bench_out_path, bmm_backend, bmm_fusion_sample, build_model,
+    figure5_backends, fmt_secs, geo_mean, render_bench_json, scale, single_backend_engine_at,
+    sparse_backend, BenchBackend, BenchMeta, BenchRecord, FusionRecord, Table, PAPER_KS,
 };
 use mips_core::engine::QueryRequest;
 use mips_data::catalog::reference_models;
+use mips_data::sparse::{synth_sparse_model, SparseSynthConfig};
+use mips_data::MfModel;
+use mips_sparse::SparseConfig;
+use std::sync::Arc;
+
+/// End-to-end rows for one backend on one dataset stand-in: one row per
+/// numeric-path mode per k. All of one backend's mode engines are built up
+/// front and their repeats interleaved per k, so the modes share process
+/// state — scheduler noise bursts and allocator layout hit every mode's
+/// measurement alike instead of biasing whichever block they land in, which
+/// is what makes the f32-vs-f64 and auto-vs-f64 ratios meaningful at
+/// sub-millisecond row durations.
+fn backend_rows(
+    dataset: &str,
+    backend: &BenchBackend,
+    model: &Arc<MfModel>,
+    ks: &[usize],
+    table: &mut Table,
+    records: &mut Vec<BenchRecord>,
+) {
+    let engines: Vec<_> = backend_precisions(backend)
+        .into_iter()
+        .map(|precision| {
+            (
+                precision,
+                single_backend_engine_at(backend, model, precision),
+            )
+        })
+        .collect();
+    for &k in ks {
+        // Adaptive best-of: sub-millisecond rows (tiny CI scale) repeat up
+        // to 201 times inside a 0.25s-per-mode budget so the digest is
+        // stable enough for the 1.5x regression gate even on a
+        // single-threaded noisy host — the min only escapes a scheduler
+        // noise burst when the repeat window outlasts the burst.
+        // Seconds-scale rows (full scale) run once.
+        let request = QueryRequest::top_k(k);
+        let mut best = vec![f64::INFINITY; engines.len()];
+        let mut spent = vec![0.0; engines.len()];
+        let mut runs = 0;
+        while runs == 0 || (runs < 201 && spent.iter().all(|&s| s < 0.25)) {
+            for (slot, (precision, engine)) in engines.iter().enumerate() {
+                // Named dispatch under f64/f32-rescore pins the row to this
+                // backend's direct/screened solver; under auto the
+                // precision decision belongs to the planner, so the row
+                // goes through planned dispatch (the engine holds only
+                // this backend, so the plan chooses between its f64 build
+                // and its +f32 screen variant — exactly the choice the row
+                // guards).
+                let response = if *precision == mips_core::precision::Precision::Auto {
+                    engine.execute(&request).expect("valid bench request")
+                } else {
+                    engine
+                        .execute_with(backend.key, &request)
+                        .expect("valid bench request")
+                };
+                assert_eq!(response.results.len(), model.num_users());
+                best[slot] = best[slot].min(response.serve_seconds);
+                spent[slot] += response.serve_seconds;
+            }
+            runs += 1;
+        }
+        for (slot, (precision, engine)) in engines.iter().enumerate() {
+            table.row(vec![
+                dataset.to_string(),
+                backend.name.to_string(),
+                precision.as_str().to_string(),
+                k.to_string(),
+                fmt_secs(best[slot]),
+                String::new(),
+            ]);
+            records.push(BenchRecord {
+                dataset: dataset.to_string(),
+                strategy: backend.name.to_string(),
+                precision: precision.as_str().to_string(),
+                k,
+                build_seconds: engine
+                    .solver(backend.key)
+                    .expect("solver builds")
+                    .build_seconds(),
+                serve_seconds: best[slot],
+            });
+        }
+    }
+}
 
 fn main() {
     let meta = BenchMeta::collect("BENCH_2");
@@ -54,82 +144,11 @@ fn main() {
             .filter(|&k| k <= model.num_items())
             .collect();
 
-        // End-to-end rows: build each strategy once per numeric-path mode,
-        // serve at every k. The scan strategies get f64, f32-rescore, and
-        // auto rows; FEXIPRO stays f64-direct (see `strategy_precisions`).
-        // All of one strategy's mode engines are built up front and their
-        // repeats interleaved per k, so the modes share process state —
-        // scheduler noise bursts and allocator layout hit every mode's
-        // measurement alike instead of biasing whichever block they land
-        // in, which is what makes the f32-vs-f64 and auto-vs-f64 ratios
-        // meaningful at sub-millisecond row durations.
-        for strategy in figure5_strategies(&spec, &model) {
-            let engines: Vec<_> = strategy_precisions(&strategy)
-                .into_iter()
-                .map(|precision| {
-                    (
-                        precision,
-                        single_backend_engine_at(&strategy, &model, precision),
-                    )
-                })
-                .collect();
-            for &k in &ks {
-                // Adaptive best-of: sub-millisecond rows (tiny CI scale)
-                // repeat up to 201 times inside a 0.25s-per-mode budget so
-                // the digest is stable enough for the 1.5x regression gate
-                // even on a single-threaded noisy host — the min only
-                // escapes a scheduler noise burst when the repeat window
-                // outlasts the burst. Seconds-scale rows (full scale) run
-                // once.
-                let request = QueryRequest::top_k(k);
-                let mut best = vec![f64::INFINITY; engines.len()];
-                let mut spent = vec![0.0; engines.len()];
-                let mut runs = 0;
-                while runs == 0 || (runs < 201 && spent.iter().all(|&s| s < 0.25)) {
-                    for (slot, (precision, engine)) in engines.iter().enumerate() {
-                        // Named dispatch under f64/f32-rescore pins the
-                        // row to this strategy's direct/screened solver;
-                        // under auto the precision decision belongs to the
-                        // planner, so the row goes through planned
-                        // dispatch (the engine holds only this strategy,
-                        // so the plan chooses between its f64 build and
-                        // its +f32 screen variant — exactly the choice the
-                        // row guards).
-                        let response = if *precision == mips_core::precision::Precision::Auto {
-                            engine.execute(&request).expect("valid bench request")
-                        } else {
-                            engine
-                                .execute_with(strategy.key(), &request)
-                                .expect("valid bench request")
-                        };
-                        assert_eq!(response.results.len(), model.num_users());
-                        best[slot] = best[slot].min(response.serve_seconds);
-                        spent[slot] += response.serve_seconds;
-                    }
-                    runs += 1;
-                }
-                for (slot, (precision, engine)) in engines.iter().enumerate() {
-                    table.row(vec![
-                        dataset.to_string(),
-                        strategy.name().to_string(),
-                        precision.as_str().to_string(),
-                        k.to_string(),
-                        fmt_secs(best[slot]),
-                        String::new(),
-                    ]);
-                    records.push(BenchRecord {
-                        dataset: dataset.to_string(),
-                        strategy: strategy.name().to_string(),
-                        precision: precision.as_str().to_string(),
-                        k,
-                        build_seconds: engine
-                            .solver(strategy.key())
-                            .expect("solver builds")
-                            .build_seconds(),
-                        serve_seconds: best[slot],
-                    });
-                }
-            }
+        // End-to-end rows: build each backend once per numeric-path mode,
+        // serve at every k. The scan backends get f64, f32-rescore, and
+        // auto rows; FEXIPRO stays f64-direct (see `backend_precisions`).
+        for backend in figure5_backends(&spec, &model) {
+            backend_rows(dataset, &backend, &model, &ks, &mut table, &mut records);
         }
 
         // Fusion acceptance rows: fused SIMD vs seed scalar; more repeats
@@ -154,6 +173,35 @@ fn main() {
                 k,
                 sample,
             });
+        }
+    }
+
+    // Sparse bench family: the inverted-index backend vs brute force on a
+    // ≥99%-sparse synthetic catalog (the workload OPTIMUS's sparse prior
+    // routes to the index). Sizes scale with MIPS_SCALE like every other
+    // stand-in; rows share the gate identity scheme, so the sparse path
+    // cannot regress behind the dense rows' back.
+    {
+        let s = scale();
+        let model = Arc::new(synth_sparse_model(&SparseSynthConfig {
+            num_users: ((800.0 * s) as usize).max(16),
+            num_items: ((2000.0 * s) as usize).max(32),
+            ..SparseSynthConfig::default()
+        }));
+        let ks: Vec<usize> = PAPER_KS
+            .iter()
+            .copied()
+            .filter(|&k| k <= model.num_items())
+            .collect();
+        for backend in [bmm_backend(), sparse_backend(SparseConfig::default())] {
+            backend_rows(
+                "SparseSynth",
+                &backend,
+                &model,
+                &ks,
+                &mut table,
+                &mut records,
+            );
         }
     }
 

@@ -6,10 +6,12 @@
 //! ratio should sit at ~1.00x for every backend. This bench prints the
 //! evidence.
 
-use mips_bench::{build_model, engine_overhead, fmt_secs, maximus_config, Table};
-use mips_core::solver::Strategy;
+use mips_bench::BenchBackend;
+use mips_bench::{bmm_backend, build_model, engine_overhead, fmt_secs, maximus_config, Table};
+use mips_core::engine::{LempFactory, MaximusFactory};
 use mips_data::catalog::find;
 use mips_lemp::LempConfig;
+use std::sync::Arc;
 
 fn main() {
     println!("== Engine facade overhead: dispatch vs. direct solver calls ==\n");
@@ -23,17 +25,25 @@ fn main() {
         model.num_factors()
     );
 
-    let strategies = [
-        Strategy::Bmm,
-        Strategy::Maximus(maximus_config(&spec, &model)),
-        Strategy::Lemp(LempConfig::default()),
+    let backends = [
+        bmm_backend(),
+        BenchBackend {
+            name: "Maximus",
+            key: "maximus",
+            factory: Arc::new(MaximusFactory::new(maximus_config(&spec, &model))),
+        },
+        BenchBackend {
+            name: "LEMP",
+            key: "lemp",
+            factory: Arc::new(LempFactory::new(LempConfig::default())),
+        },
     ];
     let mut table = Table::new(&["backend", "K", "engine", "direct", "ratio"]);
-    for strategy in &strategies {
+    for backend in &backends {
         for &k in &[1usize, 10] {
-            let sample = engine_overhead(strategy, &model, k, 5);
+            let sample = engine_overhead(backend, &model, k, 5);
             table.row(vec![
-                strategy.name().to_string(),
+                backend.name.to_string(),
                 k.to_string(),
                 fmt_secs(sample.engine_seconds),
                 fmt_secs(sample.direct_seconds),

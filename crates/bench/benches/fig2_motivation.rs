@@ -5,10 +5,13 @@
 //! finding: BMM is 1.9–3.1× faster on Netflix, while LEMP/FEXIPRO are
 //! 2–3.5× faster on R2 — no strategy dominates.
 
-use mips_bench::{build_model, end_to_end_seconds, fmt_secs, Table, PAPER_KS};
-use mips_core::solver::Strategy;
+use mips_bench::{
+    bmm_backend, build_model, end_to_end_seconds, fmt_secs, BenchBackend, Table, PAPER_KS,
+};
+use mips_core::engine::{FexiproFactory, LempFactory};
 use mips_data::catalog::find;
 use mips_lemp::LempConfig;
+use std::sync::Arc;
 
 fn main() {
     println!("== Figure 2: BMM vs LEMP vs FEXIPRO (motivation) ==\n");
@@ -22,10 +25,20 @@ fn main() {
             model.num_items()
         );
         let mut table = Table::new(&["K", "Blocked MM", "LEMP", "FEXIPRO", "fastest"]);
+        let lemp_backend = BenchBackend {
+            name: "LEMP",
+            key: "lemp",
+            factory: Arc::new(LempFactory::new(LempConfig::default())),
+        };
+        let fexipro_backend = BenchBackend {
+            name: "FEXIPRO-SI",
+            key: "fexipro-si",
+            factory: Arc::new(FexiproFactory::si()),
+        };
         for k in PAPER_KS {
-            let bmm = end_to_end_seconds(&Strategy::Bmm, &model, k);
-            let lemp = end_to_end_seconds(&Strategy::Lemp(LempConfig::default()), &model, k);
-            let fexipro = end_to_end_seconds(&Strategy::FexiproSi, &model, k);
+            let bmm = end_to_end_seconds(&bmm_backend(), &model, k);
+            let lemp = end_to_end_seconds(&lemp_backend, &model, k);
+            let fexipro = end_to_end_seconds(&fexipro_backend, &model, k);
             let fastest = [("Blocked MM", bmm), ("LEMP", lemp), ("FEXIPRO", fexipro)]
                 .into_iter()
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

@@ -7,9 +7,10 @@
 //! OPTIMUS affordable: it can always build the full index just to test it.
 
 use mips_bench::{build_model, fmt_secs, time_seconds, Table};
-use mips_core::solver::Strategy;
+use mips_core::engine::{FexiproFactory, LempFactory, SolverFactory};
 use mips_data::catalog::find;
 use mips_lemp::LempConfig;
+use std::sync::Arc;
 
 fn main() {
     println!("== Figure 4: construction vs end-to-end retrieval (K = 1) ==\n");
@@ -24,12 +25,13 @@ fn main() {
     for f in [10usize, 50, 100] {
         let spec = find("Netflix", "DSGD", f).expect("catalog model");
         let model = build_model(&spec);
-        for strategy in [
-            Strategy::Lemp(LempConfig::default()),
-            Strategy::FexiproSi,
-            Strategy::FexiproSir,
-        ] {
-            let solver = strategy.build(&model);
+        let factories: [Arc<dyn SolverFactory>; 3] = [
+            Arc::new(LempFactory::new(LempConfig::default())),
+            Arc::new(FexiproFactory::si()),
+            Arc::new(FexiproFactory::sir()),
+        ];
+        for factory in factories {
+            let solver = factory.build(&model).expect("bench index builds");
             let (serve, _) = time_seconds(|| solver.query_all(1));
             let total = solver.build_seconds() + serve;
             worst_ratio = worst_ratio.min(total / solver.build_seconds().max(1e-12));

@@ -7,7 +7,7 @@
 //! win counts and geometric-mean speedups.
 
 use mips_bench::{
-    build_model, end_to_end_seconds, figure5_strategies, fmt_secs, geo_mean, Table, PAPER_KS,
+    build_model, end_to_end_seconds, figure5_backends, fmt_secs, geo_mean, Table, PAPER_KS,
 };
 use mips_data::catalog::reference_models;
 
@@ -33,11 +33,11 @@ fn main() {
 
     for spec in reference_models() {
         let model = build_model(&spec);
-        let strategies = figure5_strategies(&spec, &model);
+        let backends = figure5_backends(&spec, &model);
         for k in PAPER_KS {
-            let times: Vec<f64> = strategies
+            let times: Vec<f64> = backends
                 .iter()
-                .map(|s| end_to_end_seconds(s, &model, k))
+                .map(|b| end_to_end_seconds(b, &model, k))
                 .collect();
             let (bmm, maximus, lemp, sir, si) = (times[0], times[1], times[2], times[3], times[4]);
             let fastest_idx = times
@@ -54,7 +54,7 @@ fn main() {
                 fmt_secs(lemp),
                 fmt_secs(sir),
                 fmt_secs(si),
-                strategies[fastest_idx].name().to_string(),
+                backends[fastest_idx].name.to_string(),
             ]);
 
             let three_way = [bmm, maximus, lemp];

@@ -6,9 +6,8 @@
 //! speedups saturate at the host's physical core count (printed), which on
 //! the paper's 16-core Xeon they did not reach.
 
-use mips_bench::{build_model, maximus_config, time_seconds, Table};
-use mips_core::engine::{EngineBuilder, QueryRequest};
-use mips_core::solver::Strategy;
+use mips_bench::{bmm_backend, build_model, maximus_config, time_seconds, BenchBackend, Table};
+use mips_core::engine::{EngineBuilder, LempFactory, MaximusFactory, QueryRequest};
 use mips_data::catalog::find;
 use mips_lemp::LempConfig;
 use std::sync::Arc;
@@ -20,34 +19,42 @@ fn main() {
     println!("== Figure 6: multi-core scaling, K = 1 (host has {cores} cores) ==\n");
     let spec = find("Netflix", "DSGD", 50).expect("catalog model");
     let model = build_model(&spec);
-    let strategies = [
-        Strategy::Bmm,
-        Strategy::Maximus(maximus_config(&spec, &model)),
-        Strategy::Lemp(LempConfig::default()),
+    let backends = [
+        bmm_backend(),
+        BenchBackend {
+            name: "Maximus",
+            key: "maximus",
+            factory: Arc::new(MaximusFactory::new(maximus_config(&spec, &model))),
+        },
+        BenchBackend {
+            name: "LEMP",
+            key: "lemp",
+            factory: Arc::new(LempFactory::new(LempConfig::default())),
+        },
     ];
 
     let mut table = Table::new(&["threads", "Blocked MM", "Maximus", "LEMP"]);
     let mut base = [0.0f64; 3];
     for &threads in &[1usize, 2, 4, 8, 16] {
         let mut cells = vec![threads.to_string()];
-        for (i, strategy) in strategies.iter().enumerate() {
+        for (i, backend) in backends.iter().enumerate() {
             // Threading is an engine option: the same request fans out over
             // `threads` workers inside the facade.
             let engine = EngineBuilder::new()
                 .model(Arc::clone(&model))
-                .register_arc(strategy.factory())
+                .register_arc(Arc::clone(&backend.factory))
                 .threads(threads)
                 .build()
                 .expect("bench engine assembles");
             let request = QueryRequest::top_k(1);
-            let _ = engine.solver(strategy.key()).expect("pre-build the index");
+            let _ = engine.solver(backend.key).expect("pre-build the index");
             // Median of three runs: thread spawn noise is visible at these
             // sub-second scales.
             let mut runs: Vec<f64> = (0..3)
                 .map(|_| {
                     time_seconds(|| {
                         engine
-                            .execute_with(strategy.key(), &request)
+                            .execute_with(backend.key, &request)
                             .expect("valid bench request")
                     })
                     .0

@@ -13,11 +13,12 @@
 //! * despite the variance, the BMM-vs-index decision comes out right with
 //!   well under 1 % of users.
 
-use mips_bench::{build_model, figure5_strategies, fmt_secs, mean, std_dev, Table};
+use mips_bench::{build_model, figure5_backends, fmt_secs, mean, std_dev, BenchBackend, Table};
+use mips_core::engine::{LempFactory, SolverFactory};
 use mips_core::optimus::{Optimus, OptimusConfig};
-use mips_core::solver::Strategy;
 use mips_data::catalog::find;
 use mips_lemp::LempConfig;
+use std::sync::Arc;
 
 fn main() {
     println!("== Figure 7: estimate quality vs sample ratio (KDD-REF f=51, K=1) ==\n");
@@ -27,19 +28,19 @@ fn main() {
 
     // True serving runtimes (solid lines in the paper's plot; construction
     // excluded — the estimates extrapolate serving time).
-    let strategies = figure5_strategies(&spec, &model);
+    let backends = figure5_backends(&spec, &model);
     println!("true serving runtimes (construction excluded):");
-    for strategy in &strategies {
-        let solver = strategy.build(&model);
+    for backend in &backends {
+        let solver = backend.factory.build(&model).expect("bench index builds");
         let (serve, _) = mips_bench::time_seconds(|| solver.query_all(k));
-        println!("  {:<12} {}", strategy.name(), fmt_secs(serve));
+        println!("  {:<12} {}", backend.name, fmt_secs(serve));
     }
     println!();
 
     // Index candidates in Fig. 7's legend order (BMM is implicit).
-    let indexes: Vec<Strategy> = strategies
+    let indexes: Vec<BenchBackend> = backends
         .iter()
-        .filter(|s| !matches!(s, Strategy::Bmm))
+        .filter(|b| b.key != "bmm")
         .cloned()
         .collect();
 
@@ -79,14 +80,18 @@ fn main() {
             });
             // Rebuild LEMP with a run-specific tuner seed: the original
             // system re-tunes per run, which is the variance source.
-            let run_indexes: Vec<Strategy> = indexes
+            let run_indexes: Vec<Arc<dyn SolverFactory>> = indexes
                 .iter()
-                .map(|s| match s {
-                    Strategy::Lemp(cfg) => Strategy::Lemp(LempConfig {
-                        seed: cfg.seed + 7919 * run as u64,
-                        ..*cfg
-                    }),
-                    other => other.clone(),
+                .map(|b| -> Arc<dyn SolverFactory> {
+                    if b.key == "lemp" {
+                        let cfg = LempConfig::default();
+                        Arc::new(LempFactory::new(LempConfig {
+                            seed: cfg.seed + 7919 * run as u64,
+                            ..cfg
+                        }))
+                    } else {
+                        Arc::clone(&b.factory)
+                    }
                 })
                 .collect();
             let estimates = optimus.estimate_only(&model, k, &run_indexes);

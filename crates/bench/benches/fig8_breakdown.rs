@@ -8,9 +8,10 @@
 //! stages a small fraction of the total.
 
 use mips_bench::{build_model, fmt_secs, maximus_config, time_seconds, Table};
+use mips_core::engine::{MaximusFactory, SolverFactory};
 use mips_core::maximus::{MaximusConfig, MaximusIndex};
 use mips_core::optimus::{Optimus, OptimusConfig};
-use mips_core::solver::{MipsSolver, Strategy};
+use mips_core::solver::MipsSolver;
 use mips_data::catalog::find;
 use std::sync::Arc;
 
@@ -40,8 +41,8 @@ fn main() {
 
             // Cost estimation: OPTIMUS's sampling phase for this index.
             let optimus = Optimus::new(OptimusConfig::default());
-            let (estimation, _) =
-                time_seconds(|| optimus.estimate_only(&model, 1, &[Strategy::Maximus(cfg)]));
+            let candidates: [Arc<dyn SolverFactory>; 1] = [Arc::new(MaximusFactory::new(cfg))];
+            let (estimation, _) = time_seconds(|| optimus.estimate_only(&model, 1, &candidates));
 
             let (traversal, _) = time_seconds(|| index.query_all(1));
             traversal_by_blocking[slot] = traversal;

@@ -12,20 +12,20 @@
 //! The paper reports 84.8–97.8 % accuracy, 4.3–9.1 % average overhead, and
 //! OPTIMUS within ~12 % of the oracle.
 
-use mips_bench::{build_model, figure5_strategies, mean, std_dev, Table, PAPER_KS};
+use mips_bench::{build_model, figure5_backends, mean, std_dev, BenchBackend, Table, PAPER_KS};
+use mips_core::engine::SolverFactory;
 use mips_core::optimus::{Optimus, OptimusConfig};
-use mips_core::solver::Strategy;
 use mips_data::catalog::reference_models;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Full measured end-to-end times for the five Fig. 5 strategies, in the
+/// Full measured end-to-end times for the five Fig. 5 backends, in the
 /// order BMM, Maximus, LEMP, FEXIPRO-SIR, FEXIPRO-SI.
-fn measure_all(model: &Arc<mips_data::MfModel>, strategies: &[Strategy], k: usize) -> Vec<f64> {
-    strategies
+fn measure_all(model: &Arc<mips_data::MfModel>, backends: &[BenchBackend], k: usize) -> Vec<f64> {
+    backends
         .iter()
-        .map(|s| {
-            let solver = s.build(model);
+        .map(|b| {
+            let solver = b.factory.build(model).expect("bench index builds");
             let t0 = Instant::now();
             let r = solver.query_all(k);
             assert_eq!(r.len(), model.num_users());
@@ -70,13 +70,15 @@ fn main() {
 
     for spec in reference_models() {
         let model = build_model(&spec);
-        let strategies = figure5_strategies(&spec, &model);
+        let backends = figure5_backends(&spec, &model);
         for k in PAPER_KS {
-            let times = measure_all(&model, &strategies, k);
+            let times = measure_all(&model, &backends, k);
             let lemp_baseline = times[2];
             for (p, (_, index_ids)) in pairings.iter().enumerate() {
-                let candidates: Vec<Strategy> =
-                    index_ids.iter().map(|&i| strategies[i].clone()).collect();
+                let candidates: Vec<Arc<dyn SolverFactory>> = index_ids
+                    .iter()
+                    .map(|&i| Arc::clone(&backends[i].factory))
+                    .collect();
                 // True best among BMM + these indexes.
                 let candidate_times: Vec<f64> = std::iter::once(times[0])
                     .chain(index_ids.iter().map(|&i| times[i]))
@@ -92,7 +94,7 @@ fn main() {
                         .iter()
                         .position(|&i| times[i] == best_time)
                         .expect("best among candidates");
-                    strategies[index_ids[pos]].name().to_string()
+                    backends[index_ids[pos]].name.to_string()
                 };
 
                 // Scaled-down analogue of the paper's 0.5% sample: the

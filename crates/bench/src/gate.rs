@@ -676,6 +676,58 @@ mod tests {
         assert!(!compare(PRECISION_DIGEST, &injected, 1.5, 6.0).passed());
     }
 
+    const SPARSE_DIGEST: &str = r#"{
+  "bench": "BENCH_T",
+  "results": [
+    {"dataset": "SparseSynth", "strategy": "Blocked MM", "precision": "f64", "k": 1, "build_seconds": 0.000010, "serve_seconds": 0.500000, "kernel": "avx2-fma"},
+    {"dataset": "SparseSynth", "strategy": "Sparse-II", "precision": "f64", "k": 1, "build_seconds": 0.004000, "serve_seconds": 0.020000, "kernel": "avx2-fma"},
+    {"dataset": "SparseSynth", "strategy": "Sparse-II", "precision": "f64", "k": 50, "build_seconds": 0.004000, "serve_seconds": 0.030000, "kernel": "avx2-fma"},
+    {"dataset": "Netflix", "strategy": "Blocked MM", "precision": "f64", "k": 1, "build_seconds": 0.000010, "serve_seconds": 0.100000, "kernel": "avx2-fma"}
+  ]
+}
+"#;
+
+    #[test]
+    fn sparse_rows_key_separately_and_gate_individually() {
+        // The SparseSynth rows are ordinary gate rows: distinct identities
+        // per (dataset, strategy, k), so the inverted index cannot regress
+        // behind the dense rows' back.
+        let (_, rows) = parse_digest(SPARSE_DIGEST);
+        assert_eq!(rows.len(), 4);
+        let keys: Vec<String> = rows.iter().map(row_key).collect();
+        assert!(keys[0].contains("dataset=SparseSynth"), "{}", keys[0]);
+        assert!(keys[1].contains("strategy=Sparse-II"), "{}", keys[1]);
+        assert_eq!(
+            keys.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            4
+        );
+        // A slowdown confined to the sparse backend fails exactly that row.
+        let slowed = SPARSE_DIGEST.replace(
+            "\"strategy\": \"Sparse-II\", \"precision\": \"f64\", \"k\": 1, \"build_seconds\": 0.004000, \"serve_seconds\": 0.020000",
+            "\"strategy\": \"Sparse-II\", \"precision\": \"f64\", \"k\": 1, \"build_seconds\": 0.004000, \"serve_seconds\": 0.200000",
+        );
+        assert_ne!(slowed, SPARSE_DIGEST);
+        let report = compare(SPARSE_DIGEST, &slowed, 1.5, 6.0);
+        assert!(!report.passed(), "{}", report.render());
+        let failed: Vec<&GateRow> = report.rows.iter().filter(|r| r.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].key.contains("strategy=Sparse-II"));
+        assert!(failed[0].key.contains("k=1"));
+        // A dropped sparse row is a gate failure, not a silent pass.
+        let truncated: String = SPARSE_DIGEST
+            .lines()
+            .filter(|l| !l.contains("\"k\": 50"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = compare(SPARSE_DIGEST, &truncated, 1.5, 6.0);
+        assert_eq!(report.missing_in_current.len(), 1);
+        assert!(!report.passed());
+        // And the self-test's slowdown injector perturbs sparse digests.
+        let injected = inject_slowdown(SPARSE_DIGEST, 10.0);
+        assert_ne!(injected, SPARSE_DIGEST);
+        assert!(!compare(SPARSE_DIGEST, &injected, 1.5, 6.0).passed());
+    }
+
     #[test]
     fn speedup_rows_gate_inverted() {
         // Fusion speedup collapsing from 7x to 2x is a regression even

@@ -21,16 +21,20 @@
 pub mod gate;
 
 use mips_core::bmm::BmmSolver;
-use mips_core::engine::{Engine, EngineBuilder, QueryRequest};
+use mips_core::engine::{
+    BmmFactory, Engine, EngineBuilder, FexiproFactory, LempFactory, MaximusFactory, QueryRequest,
+    SolverFactory, SparseFactory,
+};
 use mips_core::maximus::MaximusConfig;
 use mips_core::precision::Precision;
 use mips_core::serve::JsonWriter;
-use mips_core::solver::{MipsSolver, Strategy};
+use mips_core::solver::MipsSolver;
 use mips_data::catalog::ModelSpec;
 use mips_data::MfModel;
 use mips_lemp::LempConfig;
 use mips_linalg::simd::Kernel;
 use mips_linalg::{gemm_nt_blocked_with, BlockSizes, CacheConfig};
+use mips_sparse::SparseConfig;
 use mips_topk::rows_topk;
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,14 +66,70 @@ pub fn maximus_config(spec: &ModelSpec, model: &MfModel) -> MaximusConfig {
     }
 }
 
-/// The five strategies of Fig. 5, in its legend order.
-pub fn figure5_strategies(spec: &ModelSpec, model: &MfModel) -> Vec<Strategy> {
+/// A backend the figure benches time: the display name the paper's legends
+/// use, the engine's registry key, and the factory that builds it.
+#[derive(Clone)]
+pub struct BenchBackend {
+    /// Display name (`"Blocked MM"`, `"Maximus"`, `"LEMP"`, …).
+    pub name: &'static str,
+    /// Registry key (`"bmm"`, `"maximus"`, `"lemp"`, …).
+    pub key: &'static str,
+    /// The factory registered under [`BenchBackend::key`].
+    pub factory: Arc<dyn SolverFactory>,
+}
+
+impl std::fmt::Debug for BenchBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchBackend")
+            .field("name", &self.name)
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+/// The brute-force baseline as a bench backend.
+pub fn bmm_backend() -> BenchBackend {
+    BenchBackend {
+        name: "Blocked MM",
+        key: "bmm",
+        factory: Arc::new(BmmFactory),
+    }
+}
+
+/// The inverted-index sparse backend as a bench backend (the sparse bench
+/// family rows).
+pub fn sparse_backend(config: SparseConfig) -> BenchBackend {
+    BenchBackend {
+        name: "Sparse-II",
+        key: "sparse",
+        factory: Arc::new(SparseFactory::new(config)),
+    }
+}
+
+/// The five backends of Fig. 5, in its legend order.
+pub fn figure5_backends(spec: &ModelSpec, model: &MfModel) -> Vec<BenchBackend> {
     vec![
-        Strategy::Bmm,
-        Strategy::Maximus(maximus_config(spec, model)),
-        Strategy::Lemp(LempConfig::default()),
-        Strategy::FexiproSir,
-        Strategy::FexiproSi,
+        bmm_backend(),
+        BenchBackend {
+            name: "Maximus",
+            key: "maximus",
+            factory: Arc::new(MaximusFactory::new(maximus_config(spec, model))),
+        },
+        BenchBackend {
+            name: "LEMP",
+            key: "lemp",
+            factory: Arc::new(LempFactory::new(LempConfig::default())),
+        },
+        BenchBackend {
+            name: "FEXIPRO-SIR",
+            key: "fexipro-sir",
+            factory: Arc::new(FexiproFactory::sir()),
+        },
+        BenchBackend {
+            name: "FEXIPRO-SI",
+            key: "fexipro-si",
+            factory: Arc::new(FexiproFactory::si()),
+        },
     ]
 }
 
@@ -80,34 +140,34 @@ pub fn time_seconds<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), value)
 }
 
-/// An engine serving exactly one strategy (the unit the figure benches
-/// time): the strategy's factory registered under its key, threads = 1.
-pub fn single_backend_engine(strategy: &Strategy, model: &Arc<MfModel>) -> Engine {
-    single_backend_engine_at(strategy, model, Precision::F64)
+/// An engine serving exactly one backend (the unit the figure benches
+/// time): the backend's factory registered under its key, threads = 1.
+pub fn single_backend_engine(backend: &BenchBackend, model: &Arc<MfModel>) -> Engine {
+    single_backend_engine_at(backend, model, Precision::F64)
 }
 
 /// [`single_backend_engine`] with an explicit numeric-path mode — the unit
 /// the mixed-precision bench rows time. Results are bit-identical across
 /// modes; only the serve seconds may move.
 pub fn single_backend_engine_at(
-    strategy: &Strategy,
+    backend: &BenchBackend,
     model: &Arc<MfModel>,
     precision: Precision,
 ) -> Engine {
     EngineBuilder::new()
         .model(Arc::clone(model))
-        .register_arc(strategy.factory())
+        .register_arc(Arc::clone(&backend.factory))
         .precision(precision)
         .build()
         .expect("bench engine assembles")
 }
 
-/// The numeric-path modes a strategy gets bench rows for: the scan
+/// The numeric-path modes a backend gets bench rows for: the scan
 /// backends (BMM, MAXIMUS, LEMP) carry an f32 screen and compete under
-/// `Auto`; FEXIPRO's integer pipeline is f64-direct only, so extra modes
-/// would just duplicate its rows.
-pub fn strategy_precisions(strategy: &Strategy) -> Vec<Precision> {
-    match strategy.key() {
+/// `Auto`; FEXIPRO's integer pipeline and the sparse inverted index are
+/// f64-direct only, so extra modes would just duplicate their rows.
+pub fn backend_precisions(backend: &BenchBackend) -> Vec<Precision> {
+    match backend.key {
         "bmm" | "maximus" | "lemp" => {
             vec![Precision::F64, Precision::F32Rescore, Precision::Auto]
         }
@@ -115,16 +175,16 @@ pub fn strategy_precisions(strategy: &Strategy) -> Vec<Precision> {
     }
 }
 
-/// End-to-end seconds (build + serve-all) for one strategy, as Fig. 5
+/// End-to-end seconds (build + serve-all) for one backend, as Fig. 5
 /// measures it. Serving is dispatched through the engine facade.
-pub fn end_to_end_seconds(strategy: &Strategy, model: &Arc<MfModel>, k: usize) -> f64 {
-    let engine = single_backend_engine(strategy, model);
+pub fn end_to_end_seconds(backend: &BenchBackend, model: &Arc<MfModel>, k: usize) -> f64 {
+    let engine = single_backend_engine(backend, model);
     let response = engine
-        .execute_with(strategy.key(), &QueryRequest::top_k(k))
+        .execute_with(backend.key, &QueryRequest::top_k(k))
         .expect("valid bench request");
     assert_eq!(response.results.len(), model.num_users());
     let build_seconds = engine
-        .solver(strategy.key())
+        .solver(backend.key)
         .expect("solver was built")
         .build_seconds();
     build_seconds + response.serve_seconds
@@ -157,16 +217,16 @@ impl OverheadSample {
 /// path. The facade's per-batch cost (validation, lock on the solver
 /// cache, response assembly) should vanish next to the multiply itself.
 pub fn engine_overhead(
-    strategy: &Strategy,
+    backend: &BenchBackend,
     model: &Arc<MfModel>,
     k: usize,
     runs: usize,
 ) -> OverheadSample {
     assert!(runs >= 1, "engine_overhead: runs must be >= 1");
-    let engine = single_backend_engine(strategy, model);
+    let engine = single_backend_engine(backend, model);
     let request = QueryRequest::top_k(k);
     // Build once up front so neither path pays construction.
-    let solver = engine.solver(strategy.key()).expect("solver builds");
+    let solver = engine.solver(backend.key).expect("solver builds");
 
     let median = |samples: &mut Vec<f64>| -> f64 {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
@@ -177,7 +237,7 @@ pub fn engine_overhead(
         .map(|_| {
             let (t, response) = time_seconds(|| {
                 engine
-                    .execute_with(strategy.key(), &request)
+                    .execute_with(backend.key, &request)
                     .expect("valid bench request")
             });
             assert_eq!(response.results.len(), model.num_users());
@@ -684,7 +744,7 @@ mod tests {
             num_factors: 8,
             ..SynthConfig::default()
         }));
-        let sample = engine_overhead(&Strategy::Bmm, &model, 3, 3);
+        let sample = engine_overhead(&bmm_backend(), &model, 3, 3);
         assert!(sample.engine_seconds > 0.0 && sample.engine_seconds.is_finite());
         assert!(sample.direct_seconds > 0.0 && sample.direct_seconds.is_finite());
         assert!(sample.ratio() > 0.0);
@@ -699,7 +759,7 @@ mod tests {
             num_factors: 6,
             ..SynthConfig::default()
         }));
-        let t = end_to_end_seconds(&Strategy::Bmm, &model, 2);
+        let t = end_to_end_seconds(&bmm_backend(), &model, 2);
         assert!(t > 0.0 && t.is_finite());
     }
 

@@ -1,9 +1,11 @@
-//! [`MipsSolver`] adapters for the LEMP and FEXIPRO baseline crates.
+//! [`MipsSolver`] adapters for the LEMP, FEXIPRO, and sparse inverted-index
+//! crates.
 
 use crate::solver::MipsSolver;
 use mips_data::MfModel;
 use mips_fexipro::{FexiproConfig, FexiproIndex};
 use mips_lemp::{LempConfig, LempIndex};
+use mips_sparse::{InvertedIndex, SparseConfig, SparseScratch};
 use mips_topk::TopKList;
 use std::ops::Range;
 use std::sync::Arc;
@@ -161,6 +163,89 @@ impl MipsSolver for FexiproSolver {
     }
 }
 
+/// The sparse inverted-index backend behind the common solver interface —
+/// the first non-scan access pattern in the registry. Exact (bit-identical
+/// to BMM) via candidate screening plus canonical rescoring; see
+/// [`mips_sparse`] for the pipeline and its envelope argument.
+pub struct SparseSolver {
+    model: Arc<MfModel>,
+    index: InvertedIndex,
+    build_seconds: f64,
+}
+
+impl SparseSolver {
+    /// Builds the per-factor postings lists and hybrid-head dense panels.
+    pub fn build(model: Arc<MfModel>, config: &SparseConfig) -> SparseSolver {
+        let start = Instant::now();
+        let index = InvertedIndex::build(model.items(), *config);
+        let build_seconds = start.elapsed().as_secs_f64();
+        SparseSolver {
+            model,
+            index,
+            build_seconds,
+        }
+    }
+
+    /// The wrapped index (for stats-aware benches and OPTIMUS costing).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Exact top-`k` for an ad-hoc dense query vector (not a stored user
+    /// row) — the path behind [`crate::engine::Engine::execute_vector`].
+    pub fn query_vector(&self, query: &[f64], k: usize) -> TopKList {
+        self.index.query(query, k, self.model.items())
+    }
+}
+
+impl MipsSolver for SparseSolver {
+    fn name(&self) -> &str {
+        "Sparse-II"
+    }
+
+    fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    fn batches_users(&self) -> bool {
+        false // point queries: OPTIMUS may t-test the inverted index
+    }
+
+    fn num_users(&self) -> usize {
+        self.model.num_users()
+    }
+
+    fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
+        assert!(users.end <= self.num_users(), "user range out of bounds");
+        let items = self.model.items();
+        let mut scratch = SparseScratch::new(items.rows());
+        users
+            .map(|u| {
+                self.index
+                    .query_with_scratch(self.model.users().row(u), k, items, &mut scratch)
+            })
+            .collect()
+    }
+
+    fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
+        crate::solver::dedup_query_subset(users, |distinct| {
+            let items = self.model.items();
+            let mut scratch = SparseScratch::new(items.rows());
+            distinct
+                .iter()
+                .map(|&u| {
+                    self.index
+                        .query_with_scratch(self.model.users().row(u), k, items, &mut scratch)
+                })
+                .collect()
+        })
+    }
+
+    fn query_vector(&self, query: &[f64], k: usize) -> Option<TopKList> {
+        Some(SparseSolver::query_vector(self, query, k))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +286,32 @@ mod tests {
     fn adapters_report_point_query_semantics() {
         let m = model();
         assert!(!LempSolver::build(Arc::clone(&m), &LempConfig::default()).batches_users());
+        assert!(!SparseSolver::build(Arc::clone(&m), &SparseConfig::default()).batches_users());
         assert!(!FexiproSolver::build(m, &FexiproConfig::si()).batches_users());
+    }
+
+    #[test]
+    fn sparse_adapter_is_bit_identical_to_bmm_even_on_dense_models() {
+        // Fully dense factors are the sparse backend's worst case; the
+        // exactness contract must hold regardless.
+        let m = model();
+        let bmm = BmmSolver::build(Arc::clone(&m));
+        let sparse = SparseSolver::build(Arc::clone(&m), &SparseConfig::default());
+        assert_eq!(sparse.name(), "Sparse-II");
+        for k in [1, 4, 60, 61] {
+            let want = bmm.query_all(k);
+            let got = sparse.query_all(k);
+            for u in 0..20 {
+                assert_eq!(got[u].items, want[u].items, "items k={k} user {u}");
+                let gb: Vec<u64> = got[u].scores.iter().map(|s| s.to_bits()).collect();
+                let wb: Vec<u64> = want[u].scores.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(gb, wb, "score bits k={k} user {u}");
+            }
+        }
+        // Ad-hoc vector queries run the same pipeline.
+        let q = m.users().row(3);
+        let got = sparse.query_vector(q, 5);
+        assert_eq!(got.items, bmm.query_range(5, 3..4)[0].items);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum MipsError {
     },
     /// The request selects no users (empty id list or empty range).
     EmptyUserList,
+    /// A vector query's payload is malformed (wrong dimensionality,
+    /// non-finite values, or invalid sparse encoding).
+    InvalidVector(String),
     /// The model has no users or no items.
     EmptyModel,
     /// No backend is registered under the requested key.
@@ -91,6 +94,7 @@ impl MipsError {
             | MipsError::UserOutOfRange { .. }
             | MipsError::ItemOutOfRange { .. }
             | MipsError::EmptyUserList
+            | MipsError::InvalidVector(_)
             | MipsError::InvalidConfig(_) => 400,
             MipsError::UnknownBackend { .. } => 404,
             MipsError::DuplicateBackend { .. } => 409,
@@ -128,6 +132,7 @@ impl std::fmt::Display for MipsError {
                 )
             }
             MipsError::EmptyUserList => write!(f, "request selects no users"),
+            MipsError::InvalidVector(msg) => write!(f, "invalid query vector: {msg}"),
             MipsError::EmptyModel => write!(f, "model has no users or no items"),
             MipsError::UnknownBackend { key } => {
                 write!(f, "no backend registered under key {key:?}")

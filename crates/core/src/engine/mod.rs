@@ -6,8 +6,8 @@
 //!
 //! * [`EngineBuilder`] assembles a model, a set of backends from an open
 //!   [`registry`](BackendRegistry) (brute force, MAXIMUS, LEMP, FEXIPRO,
-//!   or anything implementing [`SolverFactory`]), and an
-//!   [`EngineConfig`] — including the multi-core serving degree.
+//!   or anything implementing [`SolverFactory`]), and
+//!   [`EngineOptions`] — including the multi-core serving degree.
 //! * [`QueryRequest`] describes one unit of work: `k`, a user selection
 //!   (everyone / a range / an explicit id list), and optional per-user
 //!   item exclusions for the recommender scenario.
@@ -58,9 +58,11 @@ pub use error::MipsError;
 pub use plan::PreparedPlan;
 pub use registry::{
     BackendRegistry, BmmFactory, FexiproFactory, FnFactory, LempFactory, MaximusFactory,
-    SolverFactory,
+    SolverFactory, SparseFactory,
 };
-pub use request::{ExclusionSet, QueryRequest, QueryResponse, UserSelection};
+pub use request::{
+    ExclusionSet, QueryRequest, QueryResponse, QueryVector, UserSelection, VectorQueryRequest,
+};
 pub use scope::IndexScope;
 
 use crate::optimus::{Optimus, OptimusConfig};
@@ -69,7 +71,9 @@ use crate::precision::Precision;
 use crate::solver::MipsSolver;
 use epoch::{get_or_build, ArcCell, ModelEpoch};
 use mips_data::{MfModel, ModelView};
-use mips_topk::TopKList;
+use mips_linalg::kernels::dot_gemm_ordered;
+use mips_sparse::SparseConfig;
+use mips_topk::{TopKHeap, TopKList};
 use scope::{ShardBuildStats, ShardScopedSolver};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -77,9 +81,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Engine-wide serving options.
+/// Engine-wide serving options: every [`EngineBuilder`] knob as one typed,
+/// validated value. The per-knob builder methods are sugar over this
+/// struct; [`EngineOptions::validate`] is the single place the invariants
+/// live, so a hand-assembled options value and a builder-assembled one are
+/// rejected identically.
 #[derive(Debug, Clone)]
-pub struct EngineConfig {
+pub struct EngineOptions {
     /// Worker threads for serving (user-partitioned, Fig. 6). `1` serves
     /// sequentially; values above one route every request through the
     /// multi-core path.
@@ -91,25 +99,62 @@ pub struct EngineConfig {
     /// Results are bit-identical across all three — see
     /// [`crate::precision::Precision`].
     pub precision: Precision,
+    /// Sparse inverted-index knobs (postings pruning threshold, hybrid
+    /// dense-column split) for the `sparse` backend registered by
+    /// [`EngineBuilder::with_default_backends`]. Results are bit-identical
+    /// under every valid setting — these tune work skipped, not answers.
+    pub sparse: SparseConfig,
 }
 
-impl Default for EngineConfig {
-    fn default() -> EngineConfig {
-        EngineConfig {
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
             threads: 1,
             optimus: OptimusConfig::default(),
             precision: Precision::F64,
+            sparse: SparseConfig::default(),
         }
     }
 }
+
+impl EngineOptions {
+    /// Checks every invariant the engine relies on. [`EngineBuilder::build`]
+    /// calls this; standalone callers can validate early.
+    pub fn validate(&self) -> Result<(), MipsError> {
+        if self.threads == 0 {
+            return Err(MipsError::InvalidConfig(
+                "threads must be at least 1".into(),
+            ));
+        }
+        let f = self.optimus.sample_fraction;
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(MipsError::InvalidConfig(format!(
+                "optimus.sample_fraction must be in (0, 1], got {f}"
+            )));
+        }
+        self.sparse
+            .validate()
+            .map_err(|msg| MipsError::InvalidConfig(format!("sparse: {msg}")))?;
+        Ok(())
+    }
+}
+
+/// Former name of [`EngineOptions`].
+#[deprecated(note = "renamed to EngineOptions")]
+pub type EngineConfig = EngineOptions;
 
 /// Step-by-step assembly of an [`Engine`].
 #[derive(Default)]
 pub struct EngineBuilder {
     model: Option<Arc<MfModel>>,
     registry: BackendRegistry,
-    config: EngineConfig,
+    config: EngineOptions,
     defer_error: Option<MipsError>,
+    /// Set by [`EngineBuilder::with_default_backends`]: the built-in
+    /// factories are instantiated at [`EngineBuilder::build`] time so they
+    /// honour options (notably [`EngineOptions::sparse`]) set in either
+    /// order around the call.
+    pending_defaults: bool,
 }
 
 impl EngineBuilder {
@@ -138,21 +183,25 @@ impl EngineBuilder {
         self
     }
 
-    /// Registers all built-in backends with default parameters
-    /// (`bmm`, `maximus`, `lemp`, `fexipro-si`, `fexipro-sir`).
+    /// Registers all built-in backends
+    /// (`bmm`, `maximus`, `lemp`, `fexipro-si`, `fexipro-sir`, `sparse`).
+    /// Registration is deferred to [`EngineBuilder::build`] so the sparse
+    /// backend picks up [`EngineOptions::sparse`] however the calls are
+    /// ordered; explicit [`EngineBuilder::register`] calls keep their keys
+    /// ahead of the defaults.
     pub fn with_default_backends(mut self) -> EngineBuilder {
-        for factory in BackendRegistry::with_defaults().factories() {
-            self = self.register_arc(Arc::clone(factory));
-        }
+        self.pending_defaults = true;
         self
     }
 
     /// Replaces the registry wholesale, clearing any error deferred from
     /// earlier incremental registrations (they targeted the replaced
-    /// registry).
+    /// registry) along with any pending
+    /// [`EngineBuilder::with_default_backends`] request.
     pub fn registry(mut self, registry: BackendRegistry) -> EngineBuilder {
         self.registry = registry;
         self.defer_error = None;
+        self.pending_defaults = false;
         self
     }
 
@@ -176,16 +225,36 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the whole engine configuration at once.
-    pub fn config(mut self, config: EngineConfig) -> EngineBuilder {
-        self.config = config;
+    /// Sets the sparse inverted-index knobs the default `sparse` backend is
+    /// built with (see [`EngineOptions::sparse`]).
+    pub fn sparse(mut self, sparse: SparseConfig) -> EngineBuilder {
+        self.config.sparse = sparse;
         self
     }
 
+    /// Sets every engine option at once.
+    pub fn options(mut self, options: EngineOptions) -> EngineBuilder {
+        self.config = options;
+        self
+    }
+
+    /// Former name of [`EngineBuilder::options`].
+    #[deprecated(note = "renamed to EngineBuilder::options")]
+    pub fn config(self, config: EngineOptions) -> EngineBuilder {
+        self.options(config)
+    }
+
     /// Validates the assembly and produces the engine.
-    pub fn build(self) -> Result<Engine, MipsError> {
+    pub fn build(mut self) -> Result<Engine, MipsError> {
         if let Some(err) = self.defer_error {
             return Err(err);
+        }
+        self.config.validate()?;
+        if self.pending_defaults {
+            for factory in BackendRegistry::with_defaults_configured(self.config.sparse).factories()
+            {
+                self.registry.register(Arc::clone(factory))?;
+            }
         }
         let model = self
             .model
@@ -195,17 +264,6 @@ impl EngineBuilder {
         }
         if self.registry.is_empty() {
             return Err(MipsError::NoBackends);
-        }
-        if self.config.threads == 0 {
-            return Err(MipsError::InvalidConfig(
-                "threads must be at least 1".into(),
-            ));
-        }
-        let f = self.config.optimus.sample_fraction;
-        if !(f > 0.0 && f <= 1.0) {
-            return Err(MipsError::InvalidConfig(format!(
-                "optimus.sample_fraction must be in (0, 1], got {f}"
-            )));
         }
         ensure_well_formed(&model)?;
         Ok(Engine {
@@ -330,7 +388,7 @@ fn ensure_well_formed(model: &MfModel) -> Result<(), MipsError> {
 pub struct Engine {
     state: ArcCell<ModelEpoch>,
     registry: BackendRegistry,
-    config: EngineConfig,
+    config: EngineOptions,
     planner_runs: AtomicU64,
     swaps: AtomicU64,
 }
@@ -394,8 +452,14 @@ impl Engine {
         &self.registry
     }
 
-    /// The engine configuration.
-    pub fn config(&self) -> &EngineConfig {
+    /// The engine options in effect.
+    pub fn options(&self) -> &EngineOptions {
+        &self.config
+    }
+
+    /// Former name of [`Engine::options`].
+    #[deprecated(note = "renamed to Engine::options")]
+    pub fn config(&self) -> &EngineOptions {
         &self.config
     }
 
@@ -588,6 +652,51 @@ impl Engine {
         )
     }
 
+    /// Serves an ad-hoc [`VectorQueryRequest`]: the exact top-`k` items
+    /// for one factor-space vector, dense or sparse — the point-lookup
+    /// face of the engine, with no user id involved, so it answers for
+    /// "users" the model has never seen (fresh embeddings, composed
+    /// queries, sparse bag-of-words vectors).
+    ///
+    /// A sparse payload is densified before serving, so both encodings of
+    /// the same vector return bit-identical results. When the sparse
+    /// inverted-index backend is registered, its point-lookup path serves
+    /// the query (the index is built lazily and cached on the epoch, like
+    /// every solver); otherwise the engine runs the canonical one-vector
+    /// scan. The two paths are bit-identical by the backend exactness
+    /// contract, so routing is invisible in the results.
+    pub fn execute_vector(&self, request: &VectorQueryRequest) -> Result<QueryResponse, MipsError> {
+        let state = self.snapshot();
+        request.validate(&state.model)?;
+        let query = request.vector.densify();
+        let started = Instant::now();
+        let served = if self.registry.get("sparse").is_some() {
+            let solver = self.solver_on(&state, "sparse")?;
+            solver
+                .query_vector(&query, request.k)
+                .map(|list| (list, solver.name().to_string()))
+        } else {
+            None
+        };
+        let (list, backend) = match served {
+            Some(hit) => hit,
+            None => (
+                scan_vector_topk(&state.model, &query, request.k),
+                // The fallback is the brute-force scan the backends are
+                // all measured against; report it under that name.
+                "Blocked MM".to_string(),
+            ),
+        };
+        Ok(QueryResponse {
+            results: vec![list],
+            backend,
+            precision: Precision::F64,
+            planned: false,
+            epoch: state.id,
+            serve_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
     /// Runs the OPTIMUS planner for requests at `k` and caches the
     /// decision in the current epoch. Calling again with the same `k` (on
     /// the same epoch) returns the cached plan without re-sampling.
@@ -720,6 +829,7 @@ impl Engine {
                 local_index: false,
                 analytical_bmm_seconds: 0.0,
                 analytical_screen_seconds: 0.0,
+                analytical_sparse_seconds: 0.0,
             });
         }
 
@@ -740,6 +850,7 @@ impl Engine {
             local_index: false,
             analytical_bmm_seconds: self.analytical_bmm_seconds(&view),
             analytical_screen_seconds: self.analytical_screen_seconds(&view, &solvers),
+            analytical_sparse_seconds: self.analytical_sparse_seconds(&view, &solvers),
         })
     }
 
@@ -810,6 +921,7 @@ impl Engine {
                 local_index,
                 analytical_bmm_seconds: 0.0,
                 analytical_screen_seconds: 0.0,
+                analytical_sparse_seconds: 0.0,
             });
         }
 
@@ -819,6 +931,7 @@ impl Engine {
         let (winner_idx, choice) = self.run_planner(&view, k, &solvers);
         let analytical_bmm_seconds = self.analytical_bmm_seconds(&view);
         let analytical_screen_seconds = self.analytical_screen_seconds(&view, &solvers);
+        let analytical_sparse_seconds = self.analytical_sparse_seconds(&view, &solvers);
         let (backend_key, local_index, winner) = candidates.swap_remove(winner_idx);
         Ok(PreparedPlan {
             model: Arc::clone(&state.model),
@@ -835,6 +948,7 @@ impl Engine {
             local_index,
             analytical_bmm_seconds,
             analytical_screen_seconds,
+            analytical_sparse_seconds,
         })
     }
 
@@ -895,6 +1009,28 @@ impl Engine {
             view.num_factors(),
         )
     }
+
+    /// The analytical prior for the sparse inverted-index **accumulation
+    /// stage**, recorded only when the sparse backend competed in this plan
+    /// (so dense-only engines never pay the postings-walk calibration).
+    /// Expected work is derived from sampled nnz/density statistics the
+    /// same way the BMM prior derives FLOPs from the view's shape: each
+    /// query touches one postings list per nonzero query factor, and each
+    /// list holds `density × num_items` postings on average. Candidate
+    /// selection and the exact rescore are data-dependent and covered by
+    /// online sampling, like the top-k stage of the dense prior.
+    fn analytical_sparse_seconds(&self, view: &ModelView, solvers: &[Arc<dyn MipsSolver>]) -> f64 {
+        if solvers.iter().all(|s| s.name() != "Sparse-II") {
+            return 0.0;
+        }
+        const SAMPLE_ROWS: usize = 256;
+        let user_stats = mips_data::SparsityStats::sample(view.model().users(), SAMPLE_ROWS);
+        let item_stats = mips_data::SparsityStats::sample(view.items(), SAMPLE_ROWS);
+        let updates_per_query =
+            user_stats.avg_nnz_per_row * item_stats.density * view.num_items() as f64;
+        let updates = view.num_users() as f64 * updates_per_query;
+        self.registry.analytical_sparse().predict_seconds(updates)
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -926,6 +1062,20 @@ fn dispatch(
         UserSelection::Range(r) => par_query_range(solver, k, r.clone(), threads),
         UserSelection::Ids(ids) => par_query_subset(solver, k, ids, threads),
     }
+}
+
+/// Canonical one-vector scan: every item's [`dot_gemm_ordered`] score
+/// pushed through a [`TopKHeap`] (ties to the smaller item id). This is
+/// the reference every [`MipsSolver::query_vector`] implementation must
+/// match bit for bit, and the fallback [`Engine::execute_vector`] serves
+/// when no backend offers a point-lookup path.
+fn scan_vector_topk(model: &MfModel, query: &[f64], k: usize) -> TopKList {
+    let items = model.items();
+    let mut heap = TopKHeap::new(k);
+    for i in 0..items.rows() {
+        heap.push(dot_gemm_ordered(query, items.row(i)), i as u32);
+    }
+    heap.into_sorted()
 }
 
 /// Serves one **already-validated** request with a concrete solver.
@@ -1178,7 +1328,7 @@ mod tests {
             .registry(BackendRegistry::with_defaults())
             .build()
             .expect("replaced registry is valid");
-        assert_eq!(engine.backend_keys().len(), 5);
+        assert_eq!(engine.backend_keys().len(), 6);
     }
 
     #[test]
@@ -1201,6 +1351,99 @@ mod tests {
                 assert_eq!(got.items, want.items, "{key} user {u}");
             }
         }
+    }
+
+    #[test]
+    fn vector_queries_match_the_canonical_scan_on_both_routes() {
+        let m = model(30, 70);
+        // With the sparse backend registered, the inverted index serves.
+        let with_sparse = EngineBuilder::new()
+            .model(Arc::clone(&m))
+            .with_default_backends()
+            .build()
+            .unwrap();
+        // Without it, the engine falls back to the canonical scan.
+        let without = EngineBuilder::new()
+            .model(Arc::clone(&m))
+            .register(BmmFactory)
+            .build()
+            .unwrap();
+        let direct = BmmSolver::build(Arc::clone(&m)).query_all(5);
+        for u in [0usize, 7, 29] {
+            let request = VectorQueryRequest::dense(5, m.users().row(u).to_vec());
+            let routed = with_sparse.execute_vector(&request).unwrap();
+            let scanned = without.execute_vector(&request).unwrap();
+            assert_eq!(routed.backend, "Sparse-II");
+            assert_eq!(scanned.backend, "Blocked MM");
+            assert!(!routed.planned && !scanned.planned);
+            assert_eq!(routed.results.len(), 1);
+            // Both routes are bit-identical to each other and to serving
+            // the same vector as a stored user row.
+            for response in [&routed, &scanned] {
+                let got = &response.results[0];
+                assert_eq!(got.items, direct[u].items, "user {u}");
+                let gb: Vec<u64> = got.scores.iter().map(|s| s.to_bits()).collect();
+                let wb: Vec<u64> = direct[u].scores.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(gb, wb, "score bits user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_vector_payloads_are_bit_identical() {
+        use mips_data::sparse::SparseVec;
+        let engine = engine(20, 50);
+        // A mostly-zero query: the natural sparse-payload case.
+        let mut dense = vec![0.0f64; 8];
+        dense[1] = 0.75;
+        dense[6] = -1.25;
+        let via_dense = engine
+            .execute_vector(&VectorQueryRequest::dense(4, dense.clone()))
+            .unwrap();
+        let via_sparse = engine
+            .execute_vector(&VectorQueryRequest::sparse(
+                4,
+                SparseVec::from_dense(&dense),
+            ))
+            .unwrap();
+        assert_eq!(via_dense.results, via_sparse.results);
+        assert_eq!(via_dense.backend, via_sparse.backend);
+    }
+
+    #[test]
+    fn vector_query_errors_are_typed() {
+        let engine = engine(10, 20);
+        assert_eq!(
+            engine
+                .execute_vector(&VectorQueryRequest::dense(0, vec![0.0; 8]))
+                .unwrap_err(),
+            MipsError::InvalidK {
+                k: 0,
+                num_items: 20
+            }
+        );
+        assert_eq!(
+            engine
+                .execute_vector(&VectorQueryRequest::dense(21, vec![0.0; 8]))
+                .unwrap_err(),
+            MipsError::InvalidK {
+                k: 21,
+                num_items: 20
+            }
+        );
+        assert!(matches!(
+            engine
+                .execute_vector(&VectorQueryRequest::dense(3, vec![0.0; 5]))
+                .unwrap_err(),
+            MipsError::InvalidVector(_)
+        ));
+        let mut bad = vec![0.0f64; 8];
+        bad[2] = f64::NAN;
+        let err = engine
+            .execute_vector(&VectorQueryRequest::dense(3, bad))
+            .unwrap_err();
+        assert!(matches!(err, MipsError::InvalidVector(_)));
+        assert_eq!(err.http_status(), 400);
     }
 
     #[test]
@@ -1619,9 +1862,9 @@ mod tests {
         assert_eq!(plan.shard_users(), Some(0..30));
         assert!(plan.uses_local_index());
         assert_eq!(plan.epoch(), 0);
-        assert_eq!(stats.builds, 5, "five default backends built for the shard");
+        assert_eq!(stats.builds, 6, "six default backends built for the shard");
         assert!(stats.build_ns > 0);
-        assert_eq!(plan.estimates().len(), 5);
+        assert_eq!(plan.estimates().len(), 6);
         assert!(plan.analytical_bmm_seconds() > 0.0);
 
         // Same bounds + k: cache hit, no construction, same plan instance.
@@ -1645,7 +1888,7 @@ mod tests {
         let other = engine
             .prepare_shard_on(&state, &(30..60), 4, IndexScope::PerShard, &mut other_stats)
             .unwrap();
-        assert_eq!(other_stats.builds, 5);
+        assert_eq!(other_stats.builds, 6);
         assert_eq!(other.shard_users(), Some(30..60));
 
         // Bad k surfaces as the same typed error as global planning.
@@ -1667,7 +1910,7 @@ mod tests {
         // Candidates: the global plan's winner plus one local solver per
         // registered backend.
         assert_eq!(auto.estimates().len(), engine.backend_keys().len() + 1);
-        assert_eq!(stats.builds, 5);
+        assert_eq!(stats.builds, 6);
         // Auto planning forced the global plan into existence too.
         assert!(engine.prepare(3).unwrap().shard_users().is_none());
         // The recorded decision tells whether this shard went local.

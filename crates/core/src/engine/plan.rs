@@ -62,6 +62,11 @@ pub struct PreparedPlan {
     /// without a screen path reports [`Precision::F64`] even when
     /// `F32Rescore` was requested).
     pub(super) precision: Precision,
+    /// The analytical prior for the sparse inverted-index accumulation
+    /// stage: predicted seconds for serving every user the plan covers,
+    /// from the calibrated postings-walk rate scaled by sampled nnz/density
+    /// statistics. `0.0` when no sparse candidate competed.
+    pub(super) analytical_sparse_seconds: f64,
 }
 
 impl PreparedPlan {
@@ -127,6 +132,14 @@ impl PreparedPlan {
     /// mixed-precision candidate competed in this plan (`0.0` otherwise).
     pub fn analytical_screen_seconds(&self) -> f64 {
         self.analytical_screen_seconds
+    }
+
+    /// The analytical prior for the sparse inverted-index accumulation
+    /// stage, when a sparse candidate competed in this plan (`0.0`
+    /// otherwise): calibrated postings-walk rate × expected touched
+    /// postings from sampled nnz/density statistics.
+    pub fn analytical_sparse_seconds(&self) -> f64 {
+        self.analytical_sparse_seconds
     }
 
     /// The numeric mode the plan's winner serves through — the effective

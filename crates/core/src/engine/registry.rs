@@ -9,14 +9,15 @@
 //! [`FnFactory`] or a custom type — the planner treats all of them alike.
 
 use super::error::MipsError;
-use crate::adapters::{FexiproSolver, LempSolver};
+use crate::adapters::{FexiproSolver, LempSolver, SparseSolver};
 use crate::bmm::BmmSolver;
 use crate::maximus::{MaximusConfig, MaximusIndex};
-use crate::optimus::cost::AnalyticalBmmModel;
+use crate::optimus::cost::{AnalyticalBmmModel, AnalyticalSparseModel};
 use crate::solver::MipsSolver;
 use mips_data::{MfModel, ModelView};
 use mips_fexipro::FexiproConfig;
 use mips_lemp::LempConfig;
+use mips_sparse::SparseConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -261,6 +262,47 @@ impl SolverFactory for FexiproFactory {
     }
 }
 
+/// Factory for the sparse inverted-index backend with a fixed
+/// configuration — the registry's first non-scan access pattern.
+#[derive(Debug, Clone, Default)]
+pub struct SparseFactory {
+    /// Index parameters used for every build (pruning threshold, hybrid
+    /// dense/sparse column split).
+    pub config: SparseConfig,
+}
+
+impl SparseFactory {
+    /// A factory with the given parameters.
+    pub fn new(config: SparseConfig) -> SparseFactory {
+        SparseFactory { config }
+    }
+
+    /// The config checks `InvertedIndex::build` would otherwise panic on,
+    /// surfaced as typed errors.
+    fn validate_config(&self) -> Result<(), MipsError> {
+        self.config
+            .validate()
+            .map_err(|message| MipsError::BackendBuild {
+                key: "sparse".to_string(),
+                message: format!("SparseConfig: {message}"),
+            })
+    }
+}
+
+impl SolverFactory for SparseFactory {
+    fn key(&self) -> &str {
+        "sparse"
+    }
+
+    fn build(&self, model: &Arc<MfModel>) -> Result<Box<dyn MipsSolver>, MipsError> {
+        self.validate_config()?;
+        Ok(Box::new(SparseSolver::build(
+            Arc::clone(model),
+            &self.config,
+        )))
+    }
+}
+
 /// Adapts a closure into a [`SolverFactory`] — the quickest way to register
 /// a custom backend.
 pub struct FnFactory<F> {
@@ -314,6 +356,12 @@ pub struct BackendRegistry {
     /// How many real calibration measurements have run (tests assert the
     /// cache actually dedupes across epochs and shards).
     calibration_runs: Arc<AtomicU64>,
+    /// Calibrated postings-walk rate per kernel name, cached like the BMM
+    /// rate (its own cache and counter: sparse calibration only runs when a
+    /// sparse backend is actually planned, and tests pin the BMM counter).
+    sparse_calibration: Arc<Mutex<HashMap<&'static str, AnalyticalSparseModel>>>,
+    /// Cache misses of [`BackendRegistry::analytical_sparse`].
+    sparse_calibration_runs: Arc<AtomicU64>,
 }
 
 impl BackendRegistry {
@@ -367,9 +415,36 @@ impl BackendRegistry {
         self.calibration_runs.load(Ordering::Relaxed)
     }
 
+    /// The calibrated analytical cost model of the sparse inverted-index
+    /// accumulation loop, cached per kernel name like
+    /// [`BackendRegistry::analytical_bmm`].
+    pub fn analytical_sparse(&self) -> AnalyticalSparseModel {
+        let kernel = mips_linalg::simd::active().name();
+        let mut cache = super::lock_recovering(&self.sparse_calibration);
+        if let Some(model) = cache.get(kernel) {
+            return *model;
+        }
+        let model = AnalyticalSparseModel::calibrate();
+        self.sparse_calibration_runs.fetch_add(1, Ordering::Relaxed);
+        cache.insert(kernel, model);
+        model
+    }
+
+    /// Cache misses of [`BackendRegistry::analytical_sparse`].
+    pub fn sparse_calibration_runs(&self) -> u64 {
+        self.sparse_calibration_runs.load(Ordering::Relaxed)
+    }
+
     /// The registry of all built-in backends with default parameters:
-    /// `bmm`, `maximus`, `lemp`, `fexipro-si`, `fexipro-sir`.
+    /// `bmm`, `maximus`, `lemp`, `fexipro-si`, `fexipro-sir`, `sparse`.
     pub fn with_defaults() -> BackendRegistry {
+        BackendRegistry::with_defaults_configured(SparseConfig::default())
+    }
+
+    /// [`BackendRegistry::with_defaults`] with the sparse backend's knobs
+    /// taken from `sparse` — how `EngineOptions.sparse` reaches the default
+    /// registration path.
+    pub fn with_defaults_configured(sparse: SparseConfig) -> BackendRegistry {
         let mut registry = BackendRegistry::new();
         registry
             .register(Arc::new(BmmFactory))
@@ -377,6 +452,7 @@ impl BackendRegistry {
             .and_then(|r| r.register(Arc::new(LempFactory::default())))
             .and_then(|r| r.register(Arc::new(FexiproFactory::si())))
             .and_then(|r| r.register(Arc::new(FexiproFactory::sir())))
+            .and_then(|r| r.register(Arc::new(SparseFactory::new(sparse))))
             .expect("default keys are unique");
         registry
     }
@@ -448,7 +524,14 @@ mod tests {
         let registry = BackendRegistry::with_defaults();
         assert_eq!(
             registry.keys(),
-            vec!["bmm", "maximus", "lemp", "fexipro-si", "fexipro-sir"]
+            vec![
+                "bmm",
+                "maximus",
+                "lemp",
+                "fexipro-si",
+                "fexipro-sir",
+                "sparse"
+            ]
         );
         let m = model();
         for factory in registry.factories() {

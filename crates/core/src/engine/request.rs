@@ -6,6 +6,7 @@
 //! recommender scenario: never re-recommend what a user already rated).
 
 use super::error::MipsError;
+use mips_data::sparse::SparseVec;
 use mips_data::MfModel;
 use mips_topk::TopKList;
 use std::collections::{HashMap, HashSet};
@@ -220,6 +221,101 @@ impl QueryRequest {
             UserSelection::Range(range) => Box::new(range.clone()),
             UserSelection::Ids(ids) => Box::new(ids.iter().copied()),
         }
+    }
+}
+
+/// The payload of a [`VectorQueryRequest`]: an ad-hoc factor-space vector,
+/// dense or sparse.
+///
+/// Both encodings are scored identically (a sparse payload is densified
+/// before validation and serving, bit-for-bit equal to sending the dense
+/// form), so the choice is purely a wire-size/convenience one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryVector {
+    /// A dense factor vector of length `num_factors`.
+    Dense(Vec<f64>),
+    /// A sparse vector over the factor dimensions (`dim` must equal
+    /// `num_factors`).
+    Sparse(SparseVec),
+}
+
+impl QueryVector {
+    /// The vector's dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            QueryVector::Dense(v) => v.len(),
+            QueryVector::Sparse(v) => v.dim(),
+        }
+    }
+
+    /// The dense form of the vector (a copy for sparse payloads).
+    pub fn densify(&self) -> Vec<f64> {
+        match self {
+            QueryVector::Dense(v) => v.clone(),
+            QueryVector::Sparse(v) => v.densify(),
+        }
+    }
+}
+
+/// An ad-hoc retrieval request: score one query vector against the model's
+/// item catalog and return the exact top-k. This is the point-lookup face
+/// of the engine — no user id involved, so it serves "users" the model has
+/// never seen (fresh embeddings, composed queries, sparse bag-of-words
+/// vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorQueryRequest {
+    /// Results to return; must be in `1..=num_items`.
+    pub k: usize,
+    /// The query vector; its dimensionality must equal the model's factor
+    /// count.
+    pub vector: QueryVector,
+}
+
+impl VectorQueryRequest {
+    /// Top-`k` for a dense query vector.
+    pub fn dense(k: usize, vector: impl Into<Vec<f64>>) -> VectorQueryRequest {
+        VectorQueryRequest {
+            k,
+            vector: QueryVector::Dense(vector.into()),
+        }
+    }
+
+    /// Top-`k` for a sparse query vector.
+    pub fn sparse(k: usize, vector: SparseVec) -> VectorQueryRequest {
+        VectorQueryRequest {
+            k,
+            vector: QueryVector::Sparse(vector),
+        }
+    }
+
+    /// Validates the request against a model, returning the first problem.
+    pub fn validate(&self, model: &MfModel) -> Result<(), MipsError> {
+        let (num_items, num_factors) = (model.num_items(), model.num_factors());
+        if model.num_users() == 0 || num_items == 0 {
+            return Err(MipsError::EmptyModel);
+        }
+        if self.k == 0 || self.k > num_items {
+            return Err(MipsError::InvalidK {
+                k: self.k,
+                num_items,
+            });
+        }
+        if self.vector.dim() != num_factors {
+            return Err(MipsError::InvalidVector(format!(
+                "dimensionality {} does not match the model's {num_factors} factors",
+                self.vector.dim()
+            )));
+        }
+        // SparseVec enforces finite values at construction; dense payloads
+        // arrive unchecked.
+        if let QueryVector::Dense(v) = &self.vector {
+            if let Some(pos) = v.iter().position(|x| !x.is_finite()) {
+                return Err(MipsError::InvalidVector(format!(
+                    "non-finite value at dimension {pos}"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -71,17 +71,21 @@ pub mod serve;
 pub mod solver;
 pub mod verify;
 
-pub use adapters::{FexiproSolver, LempSolver};
+pub use adapters::{FexiproSolver, LempSolver, SparseSolver};
 pub use bmm::BmmSolver;
+#[allow(deprecated)]
+pub use engine::EngineConfig;
 pub use engine::{
-    BackendRegistry, Engine, EngineBuilder, EngineConfig, ExclusionSet, MipsError, PreparedPlan,
+    BackendRegistry, Engine, EngineBuilder, EngineOptions, ExclusionSet, MipsError, PreparedPlan,
     QueryRequest, QueryResponse, SolverFactory, UserSelection,
 };
 pub use maximus::{MaximusConfig, MaximusIndex};
 pub use optimus::{Optimus, OptimusConfig, OptimusOutcome};
 pub use precision::Precision;
+#[allow(deprecated)]
+pub use serve::ServerConfig;
 pub use serve::{
-    LatencySnapshot, MipsServer, ResponseHandle, ServerBuilder, ServerConfig, ServerMetrics,
+    LatencySnapshot, MipsServer, ResponseHandle, ServeOptions, ServerBuilder, ServerMetrics,
     ShardMetrics,
 };
 pub use solver::{MipsSolver, Strategy};

@@ -92,6 +92,81 @@ impl AnalyticalBmmModel {
     }
 }
 
+/// A calibrated analytical cost model for the sparse inverted-index
+/// accumulation stage — the postings analog of [`AnalyticalBmmModel`].
+///
+/// A postings walk is one fused multiply-add per stored nonzero, but
+/// through an index indirection into a scattered accumulator, so its
+/// sustained rate sits far below the dense GEMM rate and must be measured
+/// separately. Calibration times a synthetic walk with the same access
+/// pattern (gathered accumulator updates); prediction multiplies the rate
+/// by the expected touched-posting count, which the engine derives from
+/// sampled nnz/density statistics ([`mips_data::SparsityStats`]) the same
+/// way the planner samples users for its timing runs. Like the BMM model it
+/// covers only the accumulation stage — candidate selection and the exact
+/// rescore are data-dependent and left to online sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticalSparseModel {
+    /// Sustained postings updates per second measured during calibration.
+    pub updates_per_second: f64,
+    /// The SIMD kernel set active at calibration time (the scalar walk does
+    /// not dispatch, but the cache key and provenance mirror the BMM model).
+    pub kernel: &'static str,
+}
+
+impl AnalyticalSparseModel {
+    /// Calibrates by timing a synthetic term-at-a-time walk: 2¹⁸ postings
+    /// scattered over a 4096-slot accumulator (big enough to defeat the
+    /// store buffer, small enough to finish in milliseconds).
+    pub fn calibrate() -> AnalyticalSparseModel {
+        const POSTINGS: usize = 1 << 18;
+        const SLOTS: usize = 4096;
+        let items: Vec<u32> = (0..POSTINGS)
+            .map(|p| ((p * 2654435761) % SLOTS) as u32)
+            .collect();
+        let values: Vec<f64> = (0..POSTINGS)
+            .map(|p| ((p * 31 + 7) % 13) as f64 * 0.1)
+            .collect();
+        let mut acc = vec![0.0f64; SLOTS];
+        let walk = |acc: &mut [f64]| {
+            let q = 0.37f64;
+            for (&i, &v) in items.iter().zip(&values) {
+                let slot = &mut acc[i as usize];
+                *slot = q.mul_add(v, *slot);
+            }
+        };
+        walk(&mut acc); // warmup
+        let start = Instant::now();
+        walk(&mut acc);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        // Keep the accumulator alive so the walk cannot be optimized out.
+        let _guard = acc[0];
+        AnalyticalSparseModel {
+            updates_per_second: POSTINGS as f64 / elapsed,
+            kernel: simd::active().name(),
+        }
+    }
+
+    /// Builds a model from a known update rate (for tests).
+    pub fn with_rate(updates_per_second: f64) -> AnalyticalSparseModel {
+        assert!(
+            updates_per_second > 0.0,
+            "AnalyticalSparseModel: rate must be positive"
+        );
+        AnalyticalSparseModel {
+            updates_per_second,
+            kernel: "assumed",
+        }
+    }
+
+    /// Predicted seconds for `updates` accumulator updates (selection and
+    /// rescore excluded — see type docs).
+    pub fn predict_seconds(&self, updates: f64) -> f64 {
+        assert!(updates >= 0.0, "AnalyticalSparseModel: negative work");
+        updates / self.updates_per_second
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +220,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_bad_rate() {
         let _ = AnalyticalBmmModel::with_rate(0.0);
+    }
+
+    #[test]
+    fn sparse_calibration_yields_plausible_rate() {
+        let model = AnalyticalSparseModel::calibrate();
+        // One FMA per update: anywhere from an emulator to a wide core.
+        assert!(model.updates_per_second > 1e5);
+        assert!(model.updates_per_second < 1e12);
+    }
+
+    #[test]
+    fn sparse_prediction_scales_linearly_with_updates() {
+        let model = AnalyticalSparseModel::with_rate(1e8);
+        let base = model.predict_seconds(1e6);
+        assert!((model.predict_seconds(2e6) - 2.0 * base).abs() < 1e-12);
+        assert_eq!(model.predict_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sparse_rejects_bad_rate() {
+        let _ = AnalyticalSparseModel::with_rate(-1.0);
     }
 }

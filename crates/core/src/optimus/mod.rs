@@ -22,7 +22,8 @@
 pub mod cost;
 pub mod oracle;
 
-use crate::solver::{MipsSolver, Strategy};
+use crate::engine::registry::{BmmFactory, SolverFactory};
+use crate::solver::MipsSolver;
 use mips_data::{MfModel, ModelView};
 use mips_linalg::CacheConfig;
 use mips_stats::{OneSampleTTest, TTestDecision};
@@ -109,7 +110,7 @@ struct EstimationPhase {
 
 /// A planning decision over already-built candidate solvers: the engine's
 /// query-planner entry point (the candidates come from its backend
-/// registry, not from [`Strategy`] values).
+/// registry, not from factory values).
 #[derive(Debug, Clone)]
 pub struct PlannedChoice {
     /// Index of the winning solver in the input slice.
@@ -287,11 +288,15 @@ impl Optimus {
     /// timing) and returns the per-strategy estimates without serving the
     /// remaining users. This is the measurement behind Fig. 7, which plots
     /// estimate quality against the sample ratio.
+    ///
+    /// `indexes` are backend factories (the same [`SolverFactory`] values a
+    /// [`crate::engine::BackendRegistry`] holds); BMM is always included as
+    /// the batch baseline, so the list must not contain the `"bmm"` key.
     pub fn estimate_only(
         &self,
         model: &Arc<MfModel>,
         k: usize,
-        indexes: &[Strategy],
+        indexes: &[Arc<dyn SolverFactory>],
     ) -> Vec<StrategyEstimate> {
         self.estimation_phase(&ModelView::full(model), k, indexes)
             .estimates
@@ -306,7 +311,7 @@ impl Optimus {
         &self,
         view: &ModelView,
         k: usize,
-        indexes: &[Strategy],
+        indexes: &[Arc<dyn SolverFactory>],
     ) -> Vec<StrategyEstimate> {
         self.estimation_phase(view, k, indexes).estimates
     }
@@ -318,18 +323,23 @@ impl Optimus {
         &self,
         view: &ModelView,
         k: usize,
-        indexes: &[Strategy],
+        indexes: &[Arc<dyn SolverFactory>],
     ) -> EstimationPhase {
         assert!(
-            !indexes.iter().any(|s| matches!(s, Strategy::Bmm)),
-            "Optimus: BMM is always included; pass only index strategies"
+            !indexes.iter().any(|f| f.key() == "bmm"),
+            "Optimus: BMM is always included; pass only index factories"
         );
         let n = view.num_users();
         let (sample, taken) = self.sample_users(n, view.num_factors());
 
         // Build all candidates (cheap relative to serving, Fig. 4).
-        let bmm = Strategy::Bmm.build_over(view);
-        let built: Vec<Box<dyn MipsSolver>> = indexes.iter().map(|s| s.build_over(view)).collect();
+        let build = |factory: &dyn SolverFactory| -> Box<dyn MipsSolver> {
+            factory
+                .build_view(view)
+                .unwrap_or_else(|err| panic!("Optimus: building {}: {err}", factory.key()))
+        };
+        let bmm = build(&BmmFactory);
+        let built: Vec<Box<dyn MipsSolver>> = indexes.iter().map(|f| build(f.as_ref())).collect();
 
         // Time BMM on the sample.
         let t0 = Instant::now();
@@ -364,13 +374,18 @@ impl Optimus {
         }
     }
 
-    /// Chooses between BMM and the given index strategies for serving top-k
-    /// for all users, then serves them. `indexes` must not contain
-    /// [`Strategy::Bmm`] (BMM is always a candidate).
+    /// Chooses between BMM and the given index factories for serving top-k
+    /// for all users, then serves them. `indexes` must not contain the
+    /// `"bmm"` factory (BMM is always a candidate).
     ///
     /// Two-way optimization passes one index (the paper's Table II rows 1–4);
     /// passing two or more gives the multi-way optimizer (row 5).
-    pub fn run(&self, model: &Arc<MfModel>, k: usize, indexes: &[Strategy]) -> OptimusOutcome {
+    pub fn run(
+        &self,
+        model: &Arc<MfModel>,
+        k: usize,
+        indexes: &[Arc<dyn SolverFactory>],
+    ) -> OptimusOutcome {
         let overall = Instant::now();
         let n = model.num_users();
         let EstimationPhase {
@@ -508,9 +523,14 @@ impl Optimus {
 mod tests {
     use super::*;
     use crate::bmm::BmmSolver;
+    use crate::engine::registry::{FexiproFactory, LempFactory, MaximusFactory};
     use crate::maximus::MaximusConfig;
     use mips_data::synth::{synth_model, SynthConfig};
     use mips_lemp::LempConfig;
+
+    fn fac(factory: impl SolverFactory + 'static) -> Arc<dyn SolverFactory> {
+        Arc::new(factory)
+    }
 
     fn model() -> Arc<MfModel> {
         Arc::new(synth_model(&SynthConfig {
@@ -542,11 +562,11 @@ mod tests {
         let outcome = optimus.run(
             &m,
             5,
-            &[Strategy::Maximus(MaximusConfig {
+            &[fac(MaximusFactory::new(MaximusConfig {
                 num_clusters: 4,
                 block_size: 32,
                 ..MaximusConfig::default()
-            })],
+            }))],
         );
         let want = BmmSolver::build(Arc::clone(&m)).query_all(5);
         assert_eq!(outcome.results.len(), want.len());
@@ -566,12 +586,12 @@ mod tests {
             &m,
             3,
             &[
-                Strategy::Maximus(MaximusConfig {
+                fac(MaximusFactory::new(MaximusConfig {
                     num_clusters: 4,
                     block_size: 32,
                     ..MaximusConfig::default()
-                }),
-                Strategy::Lemp(LempConfig::default()),
+                })),
+                fac(LempFactory::new(LempConfig::default())),
             ],
         );
         assert_eq!(outcome.estimates.len(), 3);
@@ -598,7 +618,7 @@ mod tests {
     fn estimates_are_positive_and_finite() {
         let m = model();
         let optimus = Optimus::new(tiny_config());
-        let outcome = optimus.run(&m, 1, &[Strategy::FexiproSi]);
+        let outcome = optimus.run(&m, 1, &[fac(FexiproFactory::si())]);
         for e in &outcome.estimates {
             assert!(e.estimated_total_seconds > 0.0);
             assert!(e.estimated_total_seconds.is_finite());
@@ -614,7 +634,7 @@ mod tests {
         // sometimes. We only assert it never exceeds the sample.
         let m = model();
         let optimus = Optimus::new(tiny_config());
-        let outcome = optimus.run(&m, 1, &[Strategy::FexiproSir]);
+        let outcome = optimus.run(&m, 1, &[fac(FexiproFactory::sir())]);
         let fex = &outcome.estimates[1];
         assert!(fex.sampled_users <= outcome.sample_size);
     }
@@ -654,10 +674,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pass only index strategies")]
+    #[should_panic(expected = "pass only index factories")]
     fn rejects_bmm_in_index_list() {
         let m = model();
         let optimus = Optimus::new(tiny_config());
-        let _ = optimus.run(&m, 1, &[Strategy::Bmm]);
+        let _ = optimus.run(&m, 1, &[fac(BmmFactory)]);
     }
 }

@@ -1,11 +1,11 @@
 //! The oracle optimizer: ground truth for Table II.
 //!
-//! The oracle runs every candidate strategy to completion and reports the
+//! The oracle runs every candidate backend to completion and reports the
 //! true fastest — zero decision overhead by definition, unobtainable in
 //! practice, and exactly the baseline the paper compares OPTIMUS against
 //! ("within 12 % of an oracle-based optimizer with no overhead").
 
-use crate::solver::Strategy;
+use crate::engine::registry::SolverFactory;
 use mips_data::MfModel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,18 +29,20 @@ impl StrategyRuntime {
     }
 }
 
-/// Runs every strategy to completion and returns the measured runtimes plus
+/// Runs every backend to completion and returns the measured runtimes plus
 /// the index of the fastest (end-to-end).
 pub fn oracle_choice(
     model: &Arc<MfModel>,
     k: usize,
-    strategies: &[Strategy],
+    strategies: &[Arc<dyn SolverFactory>],
 ) -> (usize, Vec<StrategyRuntime>) {
     assert!(!strategies.is_empty(), "oracle_choice: no strategies");
     let runtimes: Vec<StrategyRuntime> = strategies
         .iter()
-        .map(|s| {
-            let solver = s.build(model);
+        .map(|f| {
+            let solver = f
+                .build(model)
+                .unwrap_or_else(|err| panic!("oracle_choice: building {}: {err}", f.key()));
             let t0 = Instant::now();
             let results = solver.query_all(k);
             let serve_seconds = t0.elapsed().as_secs_f64();
@@ -70,6 +72,7 @@ pub fn oracle_choice(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::registry::{BmmFactory, MaximusFactory};
     use crate::maximus::MaximusConfig;
     use mips_data::synth::{synth_model, SynthConfig};
 
@@ -81,13 +84,13 @@ mod tests {
             num_factors: 8,
             ..SynthConfig::default()
         }));
-        let strategies = [
-            Strategy::Bmm,
-            Strategy::Maximus(MaximusConfig {
+        let strategies: [Arc<dyn SolverFactory>; 2] = [
+            Arc::new(BmmFactory),
+            Arc::new(MaximusFactory::new(MaximusConfig {
                 num_clusters: 4,
                 block_size: 16,
                 ..MaximusConfig::default()
-            }),
+            })),
         ];
         let (best, runtimes) = oracle_choice(&model, 3, &strategies);
         assert_eq!(runtimes.len(), 2);

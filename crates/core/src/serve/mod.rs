@@ -93,10 +93,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Tunables of the serving runtime. Zeroes mean "pick for me" where noted;
-/// [`ServerBuilder::build`] validates everything else.
+/// Tunables of the serving runtime — every [`ServerBuilder`] knob as one
+/// typed value. Zeroes mean "pick for me" where noted;
+/// [`ServeOptions::validate`] (called by [`ServerBuilder::build`]) checks
+/// everything else, so a hand-assembled options value and a
+/// builder-assembled one are rejected identically.
 #[derive(Debug, Clone)]
-pub struct ServerConfig {
+pub struct ServeOptions {
     /// User shards (contiguous ranges). `0` = one per available core,
     /// capped by the user count.
     pub shards: usize,
@@ -124,9 +127,9 @@ pub struct ServerConfig {
     pub index_scope: IndexScope,
 }
 
-impl Default for ServerConfig {
-    fn default() -> ServerConfig {
-        ServerConfig {
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
             shards: 0,
             workers: 0,
             queue_capacity: 1024,
@@ -138,11 +141,42 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServeOptions {
+    /// Checks the invariants that do not depend on the engine being served
+    /// (`0 = pick for me` resolution and the queue-vs-shard admission bound
+    /// happen in [`ServerBuilder::build`], which calls this first).
+    pub fn validate(&self) -> Result<(), MipsError> {
+        if !self.batching && self.batch_window > Duration::ZERO {
+            // A window without batching would be silently ignored — the
+            // caller asked for deadline coalescing the runtime would never
+            // perform.
+            return Err(MipsError::InvalidConfig(
+                "batch_window requires batching to be enabled".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(MipsError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(MipsError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Former name of [`ServeOptions`].
+#[deprecated(note = "renamed to ServeOptions")]
+pub type ServerConfig = ServeOptions;
+
 /// Step-by-step assembly of a [`MipsServer`].
 #[derive(Default)]
 pub struct ServerBuilder {
     engine: Option<Arc<Engine>>,
-    config: ServerConfig,
+    config: ServeOptions,
     /// Whether [`ServerBuilder::shards`]/[`ServerBuilder::workers`] were
     /// called explicitly: an explicit `0` is a configuration error, while
     /// an untouched builder (or a wholesale [`ServerBuilder::config`])
@@ -213,10 +247,16 @@ impl ServerBuilder {
         self
     }
 
-    /// Replaces the whole configuration at once.
-    pub fn config(mut self, config: ServerConfig) -> ServerBuilder {
-        self.config = config;
+    /// Sets every serving option at once.
+    pub fn options(mut self, options: ServeOptions) -> ServerBuilder {
+        self.config = options;
         self
+    }
+
+    /// Former name of [`ServerBuilder::options`].
+    #[deprecated(note = "renamed to ServerBuilder::options")]
+    pub fn config(self, config: ServeOptions) -> ServerBuilder {
+        self.options(config)
     }
 
     /// Validates the assembly, spawns the worker pool, and returns the
@@ -236,14 +276,7 @@ impl ServerBuilder {
                 "workers must be at least 1 (omit the call for automatic sizing)".into(),
             ));
         }
-        if !config.batching && config.batch_window > Duration::ZERO {
-            // A window without batching would be silently ignored — the
-            // caller asked for deadline coalescing the runtime would never
-            // perform.
-            return Err(MipsError::InvalidConfig(
-                "batch_window requires batching to be enabled".into(),
-            ));
-        }
+        config.validate()?;
         if config.shards == 0 {
             config.shards = std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -251,16 +284,6 @@ impl ServerBuilder {
         }
         if config.workers == 0 {
             config.workers = config.shards;
-        }
-        if config.queue_capacity == 0 {
-            return Err(MipsError::InvalidConfig(
-                "queue_capacity must be at least 1".into(),
-            ));
-        }
-        if config.max_batch == 0 {
-            return Err(MipsError::InvalidConfig(
-                "max_batch must be at least 1".into(),
-            ));
         }
         if config.queue_capacity < config.shards.min(engine.model().num_users()) {
             // A request can split into one sub-request per shard; a queue
@@ -328,7 +351,7 @@ pub(crate) struct Topology {
 fn build_topology(
     engine: &Arc<Engine>,
     snapshot: &Arc<ModelEpoch>,
-    config: &ServerConfig,
+    config: &ServeOptions,
     previous: Option<&Topology>,
 ) -> Topology {
     let shard_cap = config.shards.min(config.queue_capacity);
@@ -372,7 +395,7 @@ pub(crate) struct ServerShared {
     pub(crate) queue: SubmitQueue,
     pub(crate) policy: BatchPolicy,
     pub(crate) counters: Arc<ServerCounters>,
-    pub(crate) config: ServerConfig,
+    pub(crate) config: ServeOptions,
 }
 
 impl ServerShared {
@@ -449,8 +472,14 @@ impl MipsServer {
         &self.shared.engine
     }
 
-    /// The effective configuration (after `0 = auto` resolution).
-    pub fn config(&self) -> &ServerConfig {
+    /// The effective serving options (after `0 = auto` resolution).
+    pub fn options(&self) -> &ServeOptions {
+        &self.shared.config
+    }
+
+    /// Former name of [`MipsServer::options`].
+    #[deprecated(note = "renamed to MipsServer::options")]
+    pub fn config(&self) -> &ServeOptions {
         &self.shared.config
     }
 

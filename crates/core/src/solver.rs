@@ -1,9 +1,10 @@
 //! The common solver interface and the legacy strategy enum.
 //!
 //! [`Strategy`] predates the [`crate::engine`] facade and is kept as a thin
-//! compatibility shim: each variant maps to a registry key and delegates
-//! construction to the same [`SolverFactory`] the engine's
-//! [`crate::engine::BackendRegistry`] uses.
+//! **deprecated** compatibility shim: each variant maps to a registry key,
+//! and its construction methods are deprecated in favor of registering
+//! backends with [`crate::engine::BackendRegistry`] (or passing
+//! [`SolverFactory`] values directly to OPTIMUS and the oracle).
 
 use crate::engine::registry::{
     BmmFactory, FexiproFactory, LempFactory, MaximusFactory, SolverFactory,
@@ -57,6 +58,18 @@ pub trait MipsSolver: Send + Sync {
     fn precision(&self) -> Precision {
         Precision::F64
     }
+
+    /// Exact top-k for an *ad-hoc* query vector — one that is not a stored
+    /// user row (a fresh embedding, a composed query, a densified sparse
+    /// payload). `None` (the default) means the backend has no point-lookup
+    /// path and the engine falls back to its canonical scan.
+    ///
+    /// Implementations must be bit-identical to pushing every item's
+    /// [`mips_linalg::kernels::dot_gemm_ordered`] score into a
+    /// [`mips_topk::TopKHeap`] — the same contract as user queries.
+    fn query_vector(&self, _query: &[f64], _k: usize) -> Option<TopKList> {
+        None
+    }
 }
 
 /// Runs a subset query with repeated user ids deduplicated: each distinct
@@ -95,11 +108,13 @@ pub fn dedup_query_subset(
         .collect()
 }
 
-/// A buildable serving strategy: the unit OPTIMUS chooses between.
+/// A buildable serving strategy: the legacy unit OPTIMUS chose between.
 ///
-/// `Strategy` is cheap to copy around and fully describes how to construct a
-/// solver for a model, which is exactly what the optimizer and the benchmark
-/// harness need.
+/// Deprecated as a construction path: the optimizer, oracle, and benchmark
+/// harness now take [`SolverFactory`] values (the engine's
+/// [`crate::engine::BackendRegistry`] namespace). `Strategy` remains as a
+/// thin alias — [`Strategy::key`] and [`Strategy::factory`] bridge old
+/// call sites onto the registry.
 #[derive(Debug, Clone)]
 pub enum Strategy {
     /// Brute-force blocked matrix multiply.
@@ -154,17 +169,26 @@ impl Strategy {
     /// Builds the solver through the registry factory (index construction
     /// happens here and is timed by the implementations).
     ///
-    /// Compatibility path: panics if construction fails. New code should
-    /// register backends with an engine and get typed errors instead.
+    /// Compatibility path: panics if construction fails. Register the
+    /// backend with a [`crate::engine::BackendRegistry`] (or call
+    /// [`SolverFactory::build`] via [`Strategy::factory`]) for typed errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build through the engine's BackendRegistry / SolverFactory instead"
+    )]
     pub fn build(&self, model: &Arc<MfModel>) -> Box<dyn MipsSolver> {
         self.factory()
             .build(model)
             .unwrap_or_else(|err| panic!("Strategy::build({}): {err}", self.name()))
     }
 
-    /// [`Strategy::build`] over a contiguous user-range view of a model
-    /// (shard-local index construction). The produced solver addresses
-    /// users by local row (`0..view.num_users()`).
+    /// `build` over a contiguous user-range view of a model (shard-local
+    /// index construction). The produced solver addresses users by local
+    /// row (`0..view.num_users()`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build through the engine's BackendRegistry / SolverFactory instead"
+    )]
     pub fn build_over(&self, view: &mips_data::ModelView) -> Box<dyn MipsSolver> {
         self.factory()
             .build_view(view)
@@ -243,6 +267,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the compat path stays covered until it is removed
     fn every_strategy_builds_and_answers() {
         let model = Arc::new(synth_model(&SynthConfig {
             num_users: 25,

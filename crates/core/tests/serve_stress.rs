@@ -535,7 +535,7 @@ fn builder_rejects_bad_assemblies() {
     let server = ServerBuilder::new().engine(engine).build().unwrap();
     assert!(server.worker_count() >= 1);
     assert!(!server.shard_bounds().is_empty());
-    assert!(server.config().shards >= 1);
+    assert!(server.options().shards >= 1);
 }
 
 #[test]

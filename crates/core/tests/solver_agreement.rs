@@ -1,41 +1,45 @@
-//! Property tests: all five solvers must be semantically exact on random
-//! models, including tie-heavy ones.
+//! Property tests: every registered backend must be semantically exact on
+//! random models, including tie-heavy ones.
 
+use mips_core::engine::{
+    BmmFactory, FexiproFactory, LempFactory, MaximusFactory, SolverFactory, SparseFactory,
+};
 use mips_core::maximus::{ClusteringAlgo, MaximusConfig};
-use mips_core::solver::Strategy;
 use mips_core::verify::check_all_topk;
 use mips_data::MfModel;
 use mips_lemp::LempConfig;
 use mips_linalg::Matrix;
+use mips_sparse::SparseConfig;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn all_strategies() -> Vec<Strategy> {
+fn all_backends() -> Vec<Arc<dyn SolverFactory>> {
     vec![
-        Strategy::Bmm,
-        Strategy::Maximus(MaximusConfig {
+        Arc::new(BmmFactory),
+        Arc::new(MaximusFactory::new(MaximusConfig {
             num_clusters: 3,
             kmeans_iters: 2,
             block_size: 8,
             item_blocking: true,
             clustering: ClusteringAlgo::KMeans,
             seed: 5,
-        }),
-        Strategy::Maximus(MaximusConfig {
+        })),
+        Arc::new(MaximusFactory::new(MaximusConfig {
             num_clusters: 2,
             kmeans_iters: 2,
             block_size: 4,
             item_blocking: false,
             clustering: ClusteringAlgo::Spherical,
             seed: 6,
-        }),
-        Strategy::Lemp(LempConfig {
+        })),
+        Arc::new(LempFactory::new(LempConfig {
             bucket_size: 8,
             tune_sample: 2,
             ..LempConfig::default()
-        }),
-        Strategy::FexiproSi,
-        Strategy::FexiproSir,
+        })),
+        Arc::new(FexiproFactory::si()),
+        Arc::new(FexiproFactory::sir()),
+        Arc::new(SparseFactory::new(SparseConfig::default())),
     ]
 }
 
@@ -56,11 +60,11 @@ proptest! {
         let users = Matrix::from_fn(n_users, f, |_, _| next());
         let items = Matrix::from_fn(n_items, f, |_, _| next());
         let model = Arc::new(MfModel::new("prop", users, items).unwrap());
-        for strategy in all_strategies() {
-            let solver = strategy.build(&model);
+        for factory in all_backends() {
+            let solver = factory.build(&model).unwrap();
             let results = solver.query_all(k);
             if let Err(msg) = check_all_topk(&model, k, &results, 1e-9) {
-                prop_assert!(false, "{} failed: {}", strategy.name(), msg);
+                prop_assert!(false, "{} failed: {}", solver.name(), msg);
             }
         }
     }
@@ -80,13 +84,13 @@ proptest! {
         let model = Arc::new(MfModel::new("ties", users, items).unwrap());
         // With quantized data, exact item-level agreement must hold because
         // every solver breaks ties toward the smaller id.
-        let reference = Strategy::Bmm.build(&model).query_all(k);
-        for strategy in all_strategies() {
-            let solver = strategy.build(&model);
+        let reference = BmmFactory.build(&model).unwrap().query_all(k);
+        for factory in all_backends() {
+            let solver = factory.build(&model).unwrap();
             let results = solver.query_all(k);
             for u in 0..4 {
                 prop_assert_eq!(&results[u].items, &reference[u].items,
-                                "{} disagrees for user {}", strategy.name(), u);
+                                "{} disagrees for user {}", solver.name(), u);
             }
         }
     }

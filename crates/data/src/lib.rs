@@ -14,6 +14,8 @@
 //! * [`ratings`] / [`sgd`] / [`bpr`] — an end-to-end training substrate
 //!   (synthetic ratings → explicit-SGD or BPR MF → factor matrices), standing
 //!   in for the paper's DSGD/NOMAD/BPR toolkits,
+//! * [`sparse`] — sparse/hybrid vector and CSR block types plus sparse
+//!   catalog generators for the inverted-index backend,
 //! * [`stats`] — the dataset statistics printed by the Table I bench.
 //!
 //! Everything is deterministic given a seed.
@@ -27,11 +29,15 @@ pub mod catalog;
 pub mod model;
 pub mod ratings;
 pub mod sgd;
+pub mod sparse;
 pub mod stats;
 pub mod synth;
 
 pub use catalog::{reference_models, ModelSpec};
 pub use model::{MfModel, Mirror32, ModelError, ModelView};
 pub use ratings::RatingsData;
+pub use sparse::{
+    synth_sparse_model, SparseBlock, SparseError, SparseSynthConfig, SparseVec, SparsityStats,
+};
 pub use stats::DatasetStats;
 pub use synth::{synth_model, SynthConfig};

@@ -60,7 +60,7 @@ impl Default for SynthConfig {
 }
 
 /// Standard normal sample via Box–Muller (keeps `rand` usage to `gen`).
-fn gaussian(rng: &mut StdRng) -> f64 {
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
     loop {
         let u1: f64 = rng.gen::<f64>();
         if u1 <= f64::MIN_POSITIVE {

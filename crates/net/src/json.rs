@@ -34,8 +34,11 @@
 //! `str::parse::<f64>` on the client recovers the exact bits — the wire
 //! preserves the engine's bit-identity guarantee.
 
-use mips_core::engine::{ExclusionSet, QueryRequest, QueryResponse, UserSelection};
+use mips_core::engine::{
+    ExclusionSet, QueryRequest, QueryResponse, QueryVector, UserSelection, VectorQueryRequest,
+};
 use mips_core::serve::JsonWriter;
+use mips_data::sparse::SparseVec;
 
 /// Maximum container nesting the parser accepts; deeper input is rejected
 /// (depth bombs would otherwise exhaust the stack).
@@ -456,6 +459,98 @@ fn decode_exclusions(exclude: &Json) -> Result<Vec<(usize, u32)>, String> {
     Ok(pairs)
 }
 
+/// Decodes a `POST /vector-query` body into the engine's ad-hoc vector
+/// request. Two payload encodings, scored bit-identically by the engine:
+///
+/// ```json
+/// {"k": 10, "vector": [0.25, 0.0, -1.5]}
+/// {"k": 10, "vector": {"dim": 3, "indices": [0, 2], "values": [0.25, -1.5]}}
+/// ```
+///
+/// The sparse form must list `indices` strictly ascending with finite,
+/// nonzero `values`; violations are decode errors (400), mirroring
+/// [`SparseVec::new`]'s own validation. Unknown fields are rejected like
+/// the `/query` codec.
+pub fn decode_vector_query_request(body: &[u8]) -> Result<VectorQueryRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not valid UTF-8")?;
+    let doc = parse(text)?;
+    let fields = doc.as_obj().ok_or("request body must be a JSON object")?;
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "k" | "vector") {
+            return Err(format!(
+                "unknown field {key:?} (expected \"k\", \"vector\")"
+            ));
+        }
+    }
+    let k = doc
+        .get("k")
+        .ok_or("missing required field \"k\"")?
+        .as_u64()
+        .ok_or("\"k\" must be a non-negative integer")?;
+    let k = usize::try_from(k).map_err(|_| "\"k\" too large")?;
+    let vector = decode_vector(
+        doc.get("vector")
+            .ok_or("missing required field \"vector\"")?,
+    )?;
+    Ok(VectorQueryRequest { k, vector })
+}
+
+fn decode_vector(vector: &Json) -> Result<QueryVector, String> {
+    match vector {
+        Json::Arr(elems) => {
+            let mut out = Vec::with_capacity(elems.len());
+            for v in elems {
+                out.push(
+                    v.as_num()
+                        .ok_or("dense \"vector\" entries must be numbers")?,
+                );
+            }
+            Ok(QueryVector::Dense(out))
+        }
+        Json::Obj(fields) => {
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "dim" | "indices" | "values") {
+                    return Err(format!(
+                        "unknown field {key:?} in sparse vector \
+                         (expected \"dim\", \"indices\", \"values\")"
+                    ));
+                }
+            }
+            let dim = vector
+                .get("dim")
+                .ok_or("sparse vector needs \"dim\"")?
+                .as_u64()
+                .ok_or("\"dim\" must be a non-negative integer")?;
+            let dim = usize::try_from(dim).map_err(|_| "\"dim\" too large")?;
+            let indices = vector
+                .get("indices")
+                .and_then(Json::as_arr)
+                .ok_or("sparse vector needs an \"indices\" array")?;
+            let values = vector
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or("sparse vector needs a \"values\" array")?;
+            let mut idx = Vec::with_capacity(indices.len());
+            for i in indices {
+                let i = i
+                    .as_u64()
+                    .ok_or("\"indices\" entries must be non-negative integers")?;
+                idx.push(u32::try_from(i).map_err(|_| "\"indices\" entry too large")?);
+            }
+            let mut vals = Vec::with_capacity(values.len());
+            for v in values {
+                vals.push(v.as_num().ok_or("\"values\" entries must be numbers")?);
+            }
+            let sparse = SparseVec::new(dim, idx, vals)
+                .map_err(|e| format!("invalid sparse vector: {e}"))?;
+            Ok(QueryVector::Sparse(sparse))
+        }
+        _ => Err("\"vector\" must be a dense number array or a sparse \
+                  {\"dim\", \"indices\", \"values\"} object"
+            .into()),
+    }
+}
+
 /// Renders a [`QueryResponse`] as the `POST /query` response body.
 pub fn encode_response(response: &QueryResponse) -> String {
     let mut w = JsonWriter::new();
@@ -604,6 +699,51 @@ mod tests {
         ] {
             assert!(
                 decode_query_request(bad).is_err(),
+                "{:?} should fail",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn decodes_vector_query_shapes() {
+        let dense = decode_vector_query_request(b"{\"k\": 4, \"vector\": [0.5, 0, -1.5]}").unwrap();
+        assert_eq!(dense.k, 4);
+        assert_eq!(dense.vector, QueryVector::Dense(vec![0.5, 0.0, -1.5]));
+
+        let sparse = decode_vector_query_request(
+            b"{\"k\": 2, \"vector\": {\"dim\": 6, \"indices\": [1, 4], \"values\": [0.5, -2.0]}}",
+        )
+        .unwrap();
+        assert_eq!(sparse.k, 2);
+        match &sparse.vector {
+            QueryVector::Sparse(v) => {
+                assert_eq!(v.dim(), 6);
+                assert_eq!(v.indices(), &[1, 4]);
+                assert_eq!(v.values(), &[0.5, -2.0]);
+            }
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+        // The two encodings densify identically.
+        assert_eq!(sparse.vector.densify(), vec![0.0, 0.5, 0.0, 0.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_vector_queries() {
+        for bad in [
+            &b"{\"vector\": [1.0]}"[..],                 // no k
+            b"{\"k\": 1}",                               // no vector
+            b"{\"k\": 1, \"vector\": 7}",                // scalar vector
+            b"{\"k\": 1, \"vector\": [\"x\"]}",          // non-numeric entry
+            b"{\"k\": 1, \"vector\": [1], \"typo\": 0}", // unknown field
+            b"{\"k\": 1, \"vector\": {\"dim\": 4}}",     // missing postings
+            b"{\"k\": 1, \"vector\": {\"dim\": 4, \"indices\": [2, 1], \"values\": [1, 1]}}", // unsorted
+            b"{\"k\": 1, \"vector\": {\"dim\": 4, \"indices\": [1, 1], \"values\": [1, 1]}}", // dupes
+            b"{\"k\": 1, \"vector\": {\"dim\": 2, \"indices\": [5], \"values\": [1]}}", // out of range
+            b"{\"k\": 1, \"vector\": {\"dim\": 2, \"indices\": [0], \"values\": [1, 2]}}", // length skew
+        ] {
+            assert!(
+                decode_vector_query_request(bad).is_err(),
                 "{:?} should fail",
                 String::from_utf8_lossy(bad)
             );

@@ -13,6 +13,7 @@
 //! | Route | Behavior |
 //! |---|---|
 //! | `POST /query` | A [`QueryRequest`](mips_core::engine::QueryRequest) as JSON; admitted via [`MipsServer::try_submit`], so overload answers `429` + `Retry-After` instead of queueing unboundedly. |
+//! | `POST /vector-query` | A [`VectorQueryRequest`](mips_core::engine::VectorQueryRequest) as JSON — the exact top-k for one ad-hoc factor vector, dense (`"vector": [..]`) or sparse (`"vector": {"dim", "indices", "values"}`). Served synchronously via [`Engine::execute_vector`](mips_core::engine::Engine::execute_vector). |
 //! | `GET /metrics` | `{"server": ..., "net": ...}` — the full [`ServerMetrics`](mips_core::serve::ServerMetrics) rollup (per-shard counters, `index_scope`, `local_index_builds`, latency quantiles) plus this crate's [`NetMetrics`] connection counters. |
 //! | `GET /healthz` | Liveness + the current model epoch. |
 //! | `POST /admin/swap` | Pulls a fresh model from the builder-registered [`swap source`](HttpServerBuilder::swap_source) and installs it via [`Engine::swap_model`](mips_core::engine::Engine::swap_model). In-flight requests finish on their pinned epoch; subsequent admissions (any connection) see the new one — graceful drain without a pause. |
@@ -240,7 +241,7 @@ impl HttpServerBuilder {
         // The Retry-After hint for 429s: the batch window is how long the
         // runtime may hold work back, so "a beat past it" is the natural
         // earliest retry — floored at 1s, the header's resolution.
-        let retry_after = server.config().batch_window.as_secs().max(1).to_string();
+        let retry_after = server.options().batch_window.as_secs().max(1).to_string();
         let router = Router {
             server: Arc::clone(&server),
             swap_source: self.swap_source,
@@ -368,6 +369,27 @@ impl Router {
         }
     }
 
+    /// `POST /vector-query`: the exact top-k for one ad-hoc factor vector,
+    /// dense or sparse (see [`json::decode_vector_query_request`] for the
+    /// wire shapes). One point lookup is a different cost class from the
+    /// batch `/query` path, so it serves synchronously on the event loop
+    /// instead of going through the worker pool's admission queue; the
+    /// first sparse-routed query per model epoch also pays the inverted
+    /// index's lazy build.
+    fn vector_query(&self, request: &http::Request) -> Dispatched {
+        let query = match json::decode_vector_query_request(&request.body) {
+            Ok(query) => query,
+            Err(message) => return immediate(400, json::encode_error(400, &message)),
+        };
+        match self.server.engine().execute_vector(&query) {
+            Ok(response) => immediate(200, json::encode_response(&response)),
+            Err(error) => {
+                let status = error.http_status();
+                immediate(status, json::encode_error(status, &error.to_string()))
+            }
+        }
+    }
+
     fn metrics_body(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_obj();
@@ -434,10 +456,13 @@ impl Dispatch for Router {
     fn dispatch(&self, request: &http::Request) -> Dispatched {
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/query") => self.query(request),
+            ("POST", "/vector-query") => self.vector_query(request),
             ("GET", "/metrics") => immediate(200, self.metrics_body()),
             ("GET", "/healthz") => immediate(200, self.healthz_body()),
             ("POST", "/admin/swap") => self.swap(),
-            (_, "/query") | (_, "/admin/swap") => self.method_not_allowed("POST"),
+            (_, "/query") | (_, "/vector-query") | (_, "/admin/swap") => {
+                self.method_not_allowed("POST")
+            }
             (_, "/metrics") | (_, "/healthz") => self.method_not_allowed("GET"),
             (_, path) => immediate(
                 404,

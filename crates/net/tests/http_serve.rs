@@ -133,6 +133,85 @@ fn wire_queries_are_bit_identical_to_in_process_execution() {
 }
 
 #[test]
+fn vector_queries_serve_both_encodings_bit_identically() {
+    let (engine, _server, http) = stack();
+    let mut client = Client::connect(http.local_addr()).unwrap();
+
+    // Dense payload = a stored user row: the wire answer must match
+    // serving that user through the batch path, bit for bit.
+    let row: Vec<f64> = engine.model().users().row(3).to_vec();
+    let dense_body = format!(
+        "{{\"k\": 5, \"vector\": [{}]}}",
+        row.iter()
+            .map(|v| format!("{v:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let response = client
+        .request("POST", "/vector-query", Some(&dense_body))
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let expected = engine
+        .execute_with("bmm", &QueryRequest::top_k(5).users(vec![3]))
+        .unwrap();
+    let got = wire_results(&response.body);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, expected.results[0].items);
+    let want_bits: Vec<u64> = expected.results[0]
+        .scores
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    assert_eq!(got[0].1, want_bits, "scores must survive the wire exactly");
+    let doc = json::parse(&response.body).unwrap();
+    // The default stack registers the sparse backend, which owns the
+    // point-lookup path.
+    assert_eq!(doc.get("backend").and_then(Json::as_str), Some("Sparse-II"));
+
+    // A sparse payload and its densified twin answer identically.
+    let sparse_body =
+        "{\"k\": 3, \"vector\": {\"dim\": 8, \"indices\": [1, 6], \"values\": [0.75, -1.25]}}";
+    let dense_twin = "{\"k\": 3, \"vector\": [0, 0.75, 0, 0, 0, 0, -1.25, 0]}";
+    let via_sparse = client
+        .request("POST", "/vector-query", Some(sparse_body))
+        .unwrap();
+    let via_dense = client
+        .request("POST", "/vector-query", Some(dense_twin))
+        .unwrap();
+    assert_eq!(via_sparse.status, 200, "{}", via_sparse.body);
+    assert_eq!(via_dense.status, 200, "{}", via_dense.body);
+    assert_eq!(
+        wire_results(&via_sparse.body),
+        wire_results(&via_dense.body),
+        "sparse and dense encodings must be interchangeable on the wire"
+    );
+
+    // Typed errors reach the wire with their statuses.
+    let cases = [
+        ("{\"k\": 0, \"vector\": [0]}", "invalid k"),
+        ("{\"k\": 1, \"vector\": [1, 2]}", "invalid query vector"),
+        (
+            "{\"k\": 1, \"vector\": {\"dim\": 8, \"indices\": [3, 1], \"values\": [1, 1]}}",
+            "invalid sparse vector",
+        ),
+    ];
+    for (body, fragment) in cases {
+        let response = client.request("POST", "/vector-query", Some(body)).unwrap();
+        assert_eq!(response.status, 400, "{body}: {}", response.body);
+        let doc = json::parse(&response.body).unwrap();
+        let message = doc.get("error").and_then(Json::as_str).unwrap();
+        assert!(
+            message.contains(fragment),
+            "{body}: {message:?} should mention {fragment:?}"
+        );
+    }
+    let wrong_method = client.request("GET", "/vector-query", None).unwrap();
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("allow"), Some("POST"));
+    http.shutdown().unwrap();
+}
+
+#[test]
 fn forced_f32_rescore_is_bit_identical_and_announced_on_the_wire() {
     // A mixed-precision stack must change how answers are computed — f32
     // screen, exact f64 rescore — without changing a single reported bit,

@@ -20,10 +20,13 @@ fn tour(label: &str, model: Arc<MfModel>, block_size: usize, k: usize) {
         block_size,
         ..MaximusConfig::default()
     };
-    let strategies = [Strategy::Bmm, Strategy::Maximus(maximus_cfg)];
+    let backends: [Arc<dyn SolverFactory>; 2] = [
+        Arc::new(BmmFactory),
+        Arc::new(MaximusFactory::new(maximus_cfg)),
+    ];
 
     // Ground truth: run everything to completion (the oracle of Table II).
-    let (best, runtimes) = oracle_choice(&model, k, &strategies);
+    let (best, runtimes) = oracle_choice(&model, k, &backends);
     for rt in &runtimes {
         println!(
             "  measured {:<12} {:>8.3}s (build {:>6.4}s + serve {:>7.4}s)",

@@ -74,32 +74,36 @@ pub use mips_lemp as lemp;
 pub use mips_linalg as linalg;
 #[cfg(feature = "net")]
 pub use mips_net as net;
+pub use mips_sparse as sparse;
 pub use mips_stats as stats;
 pub use mips_topk as topk;
 
 /// The most common imports, bundled.
 pub mod prelude {
     pub use mips_core::engine::{
-        BackendRegistry, BmmFactory, Engine, EngineBuilder, EngineConfig, ExclusionSet,
+        BackendRegistry, BmmFactory, Engine, EngineBuilder, EngineOptions, ExclusionSet,
         FexiproFactory, FnFactory, LempFactory, MaximusFactory, MipsError, PreparedPlan,
-        QueryRequest, QueryResponse, SolverFactory, UserSelection,
+        QueryRequest, QueryResponse, QueryVector, SolverFactory, SparseFactory, UserSelection,
+        VectorQueryRequest,
     };
     pub use mips_core::maximus::{MaximusConfig, MaximusIndex};
     pub use mips_core::optimus::{Optimus, OptimusConfig, OptimusOutcome};
     pub use mips_core::parallel::par_query_all;
     pub use mips_core::serve::{
-        LatencySnapshot, MipsServer, ResponseHandle, ServerBuilder, ServerConfig, ServerMetrics,
+        LatencySnapshot, MipsServer, ResponseHandle, ServeOptions, ServerBuilder, ServerMetrics,
         ShardMetrics,
     };
     pub use mips_core::solver::{MipsSolver, Strategy};
     pub use mips_core::verify::{check_all_topk, check_user_topk};
-    pub use mips_core::{BmmSolver, FexiproSolver, LempSolver};
+    pub use mips_core::{BmmSolver, FexiproSolver, LempSolver, SparseSolver};
     pub use mips_data::catalog::{reference_models, ModelSpec};
+    pub use mips_data::sparse::{SparseVec, SparsityStats};
     pub use mips_data::synth::{synth_model, SynthConfig};
     pub use mips_data::{MfModel, ModelError, RatingsData};
     pub use mips_fexipro::FexiproConfig;
     pub use mips_lemp::LempConfig;
     #[cfg(feature = "net")]
     pub use mips_net::{HttpServer, HttpServerBuilder, NetConfig, NetMetrics};
+    pub use mips_sparse::{InvertedIndex, SparseConfig};
     pub use mips_topk::TopKList;
 }

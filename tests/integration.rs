@@ -163,6 +163,7 @@ fn engine_threads_match_sequential_everywhere() {
 }
 
 #[test]
+#[allow(deprecated)] // the compat path stays covered until it is removed
 fn legacy_strategy_and_par_query_all_still_work() {
     // The Strategy enum remains as a compatibility shim over registry keys.
     let model = small_catalog().remove(2);
@@ -231,8 +232,9 @@ fn oracle_and_planner_usually_agree() {
         .find(|s| s.dataset == "Netflix" && s.training == "BPR" && s.f == 25)
         .unwrap();
     let model = Arc::new(spec.build(0.15));
-    let strategies = [Strategy::Bmm, Strategy::FexiproSir];
-    let (best, _) = oracle_choice(&model, 1, &strategies);
+    let backends: [Arc<dyn SolverFactory>; 2] =
+        [Arc::new(BmmFactory), Arc::new(FexiproFactory::sir())];
+    let (best, runtimes) = oracle_choice(&model, 1, &backends);
     let engine = EngineBuilder::new()
         .model(Arc::clone(&model))
         .register(BmmFactory)
@@ -246,7 +248,7 @@ fn oracle_and_planner_usually_agree() {
     let plan = engine.prepare(1).expect("planner runs");
     // BPR models are BMM-friendly by construction; a diffuse-user model with
     // flat norms gives indexes nothing to prune.
-    assert_eq!(strategies[best].name(), "Blocked MM");
+    assert_eq!(runtimes[best].name, "Blocked MM");
     assert_eq!(plan.backend_name(), "Blocked MM");
 }
 
