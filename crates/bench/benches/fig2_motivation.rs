@@ -41,7 +41,7 @@ fn main() {
             let fexipro = end_to_end_seconds(&fexipro_backend, &model, k);
             let fastest = [("Blocked MM", bmm), ("LEMP", lemp), ("FEXIPRO", fexipro)]
                 .into_iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap()
                 .0;
             table.row(vec![

@@ -43,7 +43,7 @@ fn main() {
             let fastest_idx = times
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
             table.row(vec![
@@ -61,7 +61,7 @@ fn main() {
             let w = three_way
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
             wins[w] += 1;

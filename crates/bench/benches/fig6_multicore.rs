@@ -60,7 +60,7 @@ fn main() {
                     .0
                 })
                 .collect();
-            runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            runs.sort_by(|a, b| a.total_cmp(b));
             let t = runs[1];
             if threads == 1 {
                 base[i] = t;

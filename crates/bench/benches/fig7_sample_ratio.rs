@@ -105,8 +105,7 @@ fn main() {
                 .enumerate()
                 .min_by(|a, b| {
                     a.1.estimated_total_seconds
-                        .partial_cmp(&b.1.estimated_total_seconds)
-                        .unwrap()
+                        .total_cmp(&b.1.estimated_total_seconds)
                 })
                 .unwrap()
                 .0;

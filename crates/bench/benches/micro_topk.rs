@@ -34,7 +34,7 @@ fn bench_row_topk(c: &mut Criterion) {
     // Sorted-ascending input is the heap's worst case: every element beats
     // the threshold and forces a push.
     let mut worst = row.clone();
-    worst.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    worst.sort_by(|a, b| a.total_cmp(b));
     let mut group = c.benchmark_group("row_topk_adversarial");
     group.throughput(Throughput::Elements(worst.len() as u64));
     group.bench_function("ascending_k10", |bench| bench.iter(|| row_topk(&worst, 10)));

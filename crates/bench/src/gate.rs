@@ -357,7 +357,7 @@ fn median(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     let mid = xs.len() / 2;
     if xs.len() % 2 == 1 {
         xs[mid]

@@ -229,7 +229,7 @@ pub fn engine_overhead(
     let solver = engine.solver(backend.key).expect("solver builds");
 
     let median = |samples: &mut Vec<f64>| -> f64 {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         samples[samples.len() / 2]
     };
 

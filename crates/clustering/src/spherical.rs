@@ -122,7 +122,7 @@ fn seed_distinct_directions(unit: &Matrix<f64>, k: usize, rng: &mut StdRng) -> M
         let (idx, _) = worst_cos
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite cosines"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty points");
         centroids.row_mut(c).copy_from_slice(unit.row(idx));
         for (i, w) in worst_cos.iter_mut().enumerate() {

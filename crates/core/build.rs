@@ -1,0 +1,7 @@
+fn main() {
+    // Declare the model-check cfg so `#[cfg(mips_model_check)]` does not
+    // trip the `unexpected_cfgs` lint on modern toolchains. The key is
+    // unknown to very old cargo (pre-1.80), which only warns — keeping
+    // the pinned-MSRV CI job green.
+    println!("cargo:rustc-check-cfg=cfg(mips_model_check)");
+}

@@ -2,13 +2,13 @@
 //! crates.
 
 use crate::solver::MipsSolver;
+use crate::sync::Arc;
 use mips_data::MfModel;
 use mips_fexipro::{FexiproConfig, FexiproIndex};
 use mips_lemp::{LempConfig, LempIndex};
 use mips_sparse::{InvertedIndex, SparseConfig, SparseScratch};
 use mips_topk::TopKList;
 use std::ops::Range;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// LEMP behind the common solver interface.

@@ -17,13 +17,13 @@
 
 use crate::precision::Precision;
 use crate::solver::MipsSolver;
+use crate::sync::Arc;
 use mips_data::{MfModel, Mirror32};
 use mips_linalg::{gemm_nt_into_scratch, CacheConfig, GemmScratch, Matrix, RowBlock};
 use mips_topk::{
     gemm_nt_topk, rows_topk, screen_topk_into_heaps, ColumnIds, ScreenScratch, TopKHeap, TopKList,
 };
 use std::ops::Range;
-use std::sync::Arc;
 use std::time::Instant;
 
 pub use mips_linalg::matrix::RowBlock as UserBlock;

@@ -13,16 +13,16 @@
 use super::lock_recovering;
 use super::plan::PreparedPlan;
 use crate::solver::MipsSolver;
+use crate::sync::{Arc, Mutex, PoisonError, RwLock};
 use mips_data::MfModel;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// One lazily-filled cache slot. The outer map lock is held only long
 /// enough to fetch the cell; expensive work (index construction, planning)
 /// happens **outside** any lock and is installed through
 /// [`get_or_build`] — compare-and-swap semantics, not hold-the-lock-while-
 /// building.
-pub(crate) type CacheCell<T> = Arc<Mutex<Option<T>>>;
+pub type CacheCell<T> = Arc<Mutex<Option<T>>>;
 
 /// Returns the cached value of `cell`, or builds one and installs it.
 ///
@@ -35,7 +35,7 @@ pub(crate) type CacheCell<T> = Arc<Mutex<Option<T>>>;
 /// work is wasted only in the rare first-touch race, which is the price of
 /// never serializing construction; steady state is a lock-free-in-spirit
 /// read (one mutex acquisition, no contention).
-pub(crate) fn get_or_build<T: Clone, E>(
+pub fn get_or_build<T: Clone, E>(
     cell: &CacheCell<T>,
     build: impl FnOnce() -> Result<T, E>,
 ) -> Result<T, E> {
@@ -122,20 +122,20 @@ impl ModelEpoch {
 /// lock. Readers never block each other, and a writer (one per model swap)
 /// holds the lock for nanoseconds — the cost model of `arc_swap`, minus
 /// the unsafe code.
-pub(crate) struct ArcCell<T> {
+pub struct ArcCell<T> {
     inner: RwLock<Arc<T>>,
 }
 
 impl<T> ArcCell<T> {
     /// A cell holding `value`.
-    pub(crate) fn new(value: Arc<T>) -> ArcCell<T> {
+    pub fn new(value: Arc<T>) -> ArcCell<T> {
         ArcCell {
             inner: RwLock::new(value),
         }
     }
 
     /// Snapshots the current value (cheap: one refcount bump).
-    pub(crate) fn load(&self) -> Arc<T> {
+    pub fn load(&self) -> Arc<T> {
         Arc::clone(&self.inner.read().unwrap_or_else(PoisonError::into_inner))
     }
 
@@ -143,7 +143,7 @@ impl<T> ArcCell<T> {
     /// newly installed `Arc`. The closure runs under the write lock, so
     /// read-modify-write updates (e.g. "next epoch id = current + 1") are
     /// race-free even with concurrent swappers.
-    pub(crate) fn swap_with(&self, replace: impl FnOnce(&Arc<T>) -> Arc<T>) -> Arc<T> {
+    pub fn swap_with(&self, replace: impl FnOnce(&Arc<T>) -> Arc<T>) -> Arc<T> {
         let mut slot = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         let next = replace(&slot);
         *slot = Arc::clone(&next);
@@ -154,7 +154,7 @@ impl<T> ArcCell<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn load_returns_the_installed_value_and_swap_is_read_modify_write() {
@@ -169,7 +169,7 @@ mod tests {
     fn concurrent_swaps_never_lose_an_increment() {
         let cell = Arc::new(ArcCell::new(Arc::new(0u64)));
         let max_seen = AtomicU64::new(0);
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             for _ in 0..4 {
                 let cell = Arc::clone(&cell);
                 let max_seen = &max_seen;
@@ -188,11 +188,11 @@ mod tests {
 
     #[test]
     fn get_or_build_installs_first_winner_and_losers_adopt_it() {
-        use std::sync::Barrier;
+        use crate::sync::Barrier;
         let cell: CacheCell<Arc<u64>> = CacheCell::default();
         let built = AtomicU64::new(0);
         let barrier = Barrier::new(4);
-        let results: Vec<Arc<u64>> = std::thread::scope(|scope| {
+        let results: Vec<Arc<u64>> = crate::sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..4)
                 .map(|i| {
                     let cell = &cell;

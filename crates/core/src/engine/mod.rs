@@ -69,6 +69,8 @@ use crate::optimus::{Optimus, OptimusConfig};
 use crate::parallel::{par_query_range, par_query_subset};
 use crate::precision::Precision;
 use crate::solver::MipsSolver;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use epoch::{get_or_build, ArcCell, ModelEpoch};
 use mips_data::{MfModel, ModelView};
 use mips_linalg::kernels::dot_gemm_ordered;
@@ -77,8 +79,6 @@ use mips_topk::{TopKHeap, TopKList};
 use scope::{ShardBuildStats, ShardScopedSolver};
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Engine-wide serving options: every [`EngineBuilder`] knob as one typed,
@@ -337,10 +337,10 @@ fn demote_marginal_screen_winner(
 /// panicked mid-build, the slot it was filling is still `None`, so the
 /// sensible recovery is to let the next caller retry rather than poison the
 /// engine forever.
-pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> crate::sync::MutexGuard<'_, T> {
     mutex
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(crate::sync::PoisonError::into_inner)
 }
 
 /// Rejects malformed models — mismatched factor dimensions, or NaN and
@@ -2086,7 +2086,7 @@ mod tests {
     #[test]
     fn engine_is_shareable_across_threads() {
         let engine = Arc::new(engine(50, 40));
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             for _ in 0..4 {
                 let engine = Arc::clone(&engine);
                 scope.spawn(move || {

@@ -11,9 +11,9 @@ use super::request::{QueryRequest, QueryResponse};
 use crate::optimus::StrategyEstimate;
 use crate::precision::Precision;
 use crate::solver::MipsSolver;
+use crate::sync::Arc;
 use mips_data::MfModel;
 use std::ops::Range;
-use std::sync::Arc;
 
 /// A cached planning decision: the winning backend plus the evidence the
 /// planner used to pick it.

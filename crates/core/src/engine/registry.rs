@@ -14,13 +14,13 @@ use crate::bmm::BmmSolver;
 use crate::maximus::{MaximusConfig, MaximusIndex};
 use crate::optimus::cost::{AnalyticalBmmModel, AnalyticalSparseModel};
 use crate::solver::MipsSolver;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use mips_data::{MfModel, ModelView};
 use mips_fexipro::FexiproConfig;
 use mips_lemp::LempConfig;
 use mips_sparse::SparseConfig;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Builds solvers for one backend family.
 ///

@@ -6,12 +6,12 @@
 //! recommender scenario: never re-recommend what a user already rated).
 
 use super::error::MipsError;
+use crate::sync::{Arc, OnceLock};
 use mips_data::sparse::SparseVec;
 use mips_data::MfModel;
 use mips_topk::TopKList;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
-use std::sync::{Arc, OnceLock};
 
 /// Which users a request serves.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -163,9 +163,9 @@ impl MipsSolver for ShardScopedSolver {
 mod tests {
     use super::*;
     use crate::bmm::BmmSolver;
+    use crate::sync::Arc;
     use mips_data::synth::{synth_model, SynthConfig};
     use mips_data::ModelView;
-    use std::sync::Arc;
 
     #[test]
     fn scoped_solver_translates_global_ids_onto_the_view() {

@@ -64,11 +64,15 @@ pub mod adapters;
 pub mod bmm;
 pub mod engine;
 pub mod maximus;
+#[cfg(mips_model_check)]
+#[doc(hidden)]
+pub mod model_support;
 pub mod optimus;
 pub mod parallel;
 pub mod precision;
 pub mod serve;
 pub mod solver;
+pub mod sync;
 pub mod verify;
 
 pub use adapters::{FexiproSolver, LempSolver, SparseSolver};

@@ -17,14 +17,14 @@ pub mod bound;
 
 use crate::maximus::bound::stored_bound;
 use crate::solver::MipsSolver;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 use mips_clustering::{kmeans, max_angles_per_cluster, KMeansConfig};
 use mips_data::MfModel;
 use mips_linalg::kernels::{angle, dot, dot_gemm_ordered_x4, f32_screen_envelope_parts, norm2};
 use mips_linalg::{GemmScratch, Matrix};
 use mips_topk::{stream_topk_into_heaps, ColumnIds, TopKHeap, TopKList};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Which clustering algorithm groups the users (§III-A).

@@ -24,13 +24,13 @@ pub mod oracle;
 
 use crate::engine::registry::{BmmFactory, SolverFactory};
 use crate::solver::MipsSolver;
+use crate::sync::Arc;
 use mips_data::{MfModel, ModelView};
 use mips_linalg::CacheConfig;
 use mips_stats::{OneSampleTTest, TTestDecision};
 use mips_topk::TopKList;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// OPTIMUS configuration.
@@ -271,8 +271,7 @@ impl Optimus {
             .enumerate()
             .min_by(|a, b| {
                 a.1.estimated_total_seconds
-                    .partial_cmp(&b.1.estimated_total_seconds)
-                    .expect("finite estimates")
+                    .total_cmp(&b.1.estimated_total_seconds)
             })
             .expect("at least one candidate")
             .0;
@@ -404,8 +403,7 @@ impl Optimus {
             .enumerate()
             .min_by(|a, b| {
                 a.1.estimated_total_seconds
-                    .partial_cmp(&b.1.estimated_total_seconds)
-                    .expect("finite estimates")
+                    .total_cmp(&b.1.estimated_total_seconds)
             })
             .expect("at least BMM is a candidate")
             .0;

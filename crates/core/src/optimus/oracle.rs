@@ -6,8 +6,8 @@
 //! ("within 12 % of an oracle-based optimizer with no overhead").
 
 use crate::engine::registry::SolverFactory;
+use crate::sync::Arc;
 use mips_data::MfModel;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Full measured runtime of one strategy.
@@ -59,11 +59,7 @@ pub fn oracle_choice(
     let best = runtimes
         .iter()
         .enumerate()
-        .min_by(|a, b| {
-            a.1.total_seconds()
-                .partial_cmp(&b.1.total_seconds())
-                .expect("finite runtimes")
-        })
+        .min_by(|a, b| a.1.total_seconds().total_cmp(&b.1.total_seconds()))
         .expect("non-empty")
         .0;
     (best, runtimes)

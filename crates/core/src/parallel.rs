@@ -59,7 +59,7 @@ pub fn par_query_range(
     }
     let base = users.start;
     let mut out: Vec<TopKList> = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
+    crate::sync::thread::scope(|scope| {
         let handles: Vec<_> = chunk_bounds(n, threads)
             .into_iter()
             .map(|r| scope.spawn(move || solver.query_range(k, base + r.start..base + r.end)))
@@ -92,7 +92,7 @@ pub fn par_query_subset(
     }
     crate::solver::dedup_query_subset(users, |distinct| {
         let mut out: Vec<TopKList> = Vec::with_capacity(distinct.len());
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             let handles: Vec<_> = chunk_bounds(distinct.len(), threads)
                 .into_iter()
                 .map(|r| scope.spawn(move || solver.query_subset(k, &distinct[r])))
@@ -128,8 +128,8 @@ mod tests {
     use super::*;
     use crate::bmm::BmmSolver;
     use crate::maximus::{MaximusConfig, MaximusIndex};
+    use crate::sync::Arc;
     use mips_data::synth::{synth_model, SynthConfig};
-    use std::sync::Arc;
 
     fn model(users: usize) -> Arc<mips_data::MfModel> {
         Arc::new(synth_model(&SynthConfig {
@@ -186,8 +186,8 @@ mod tests {
 
     #[test]
     fn repeated_ids_are_queried_once_across_chunks() {
+        use crate::sync::Mutex;
         use std::collections::HashMap;
-        use std::sync::Mutex;
 
         /// Wraps a solver and counts how often each user id is queried.
         struct CountingSolver {

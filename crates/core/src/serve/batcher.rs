@@ -36,49 +36,55 @@
 //! and after a [`swap_model`](crate::engine::Engine::swap_model) can never
 //! share a solver call.
 
-use super::queue::{BatchKey, SubmitQueue};
+use super::queue::{BoundedQueue, QueueItem};
 use super::shard::{SubRequest, SubUsers};
 use crate::engine::serve;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Bound on a deadline-flush leader's total queue latency, in units of
 /// `batch_window`: the hold-open never extends a leader's
 /// submission-to-flush delay beyond this many windows. See the module docs
 /// for the semantics.
-pub(crate) const QUEUE_LATENCY_CAP: u32 = 4;
+pub const QUEUE_LATENCY_CAP: u32 = 4;
 
 /// Flush policy for the micro-batcher.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct BatchPolicy {
-    pub(crate) enabled: bool,
-    pub(crate) max_batch: usize,
-    pub(crate) window: Duration,
+pub struct BatchPolicy {
+    /// Whether coalescing is enabled at all.
+    pub enabled: bool,
+    /// Budget of one coalesced solver call, in units of item weight
+    /// (users).
+    pub max_batch: usize,
+    /// Deadline-flush hold-open window; zero disables the hold-open.
+    pub window: Duration,
 }
 
 /// Gathers the micro-batch led by `first`: drains queued matches, then
 /// (with a deadline policy) holds the batch open for the window — anchored
 /// at pop time, capped by the leader's total queue latency (module docs).
-pub(crate) fn collect_batch(
-    queue: &SubmitQueue,
-    first: SubRequest,
+/// Generic over [`QueueItem`] so the model-check suite can drive the exact
+/// coalescing protocol with toy items.
+pub fn collect_batch<I: QueueItem>(
+    queue: &BoundedQueue<I>,
+    first: I,
     policy: &BatchPolicy,
-) -> Vec<SubRequest> {
-    let key = BatchKey::of(&first);
+) -> Vec<I> {
+    let key = first.key();
     // `max_batch` budgets the coalesced solver call in *users*: a batch of
     // 32 single-user requests and a batch of four 8-user requests cost the
     // same, and a small request is never made to wait behind a coalesced
     // call bigger than the knob promises.
-    let mut budget = policy.max_batch.saturating_sub(first.users.len());
+    let mut budget = policy.max_batch.saturating_sub(first.weight());
     let mut batch = vec![first];
     queue.extract_matching(key, budget, policy.max_batch, &mut batch);
     budget = policy
         .max_batch
-        .saturating_sub(batch.iter().map(|s| s.users.len()).sum());
+        .saturating_sub(batch.iter().map(|s| s.weight()).sum());
     if budget > 0 && !policy.window.is_zero() {
         let now = Instant::now();
-        let latency_cap = batch[0].submitted_at + policy.window * QUEUE_LATENCY_CAP;
+        let latency_cap = batch[0].submitted_at() + policy.window * QUEUE_LATENCY_CAP;
         let deadline = (now + policy.window).min(latency_cap);
         if deadline > now {
             queue.extract_until(
@@ -202,8 +208,9 @@ pub(crate) fn execute_batch(batch: Vec<SubRequest>, progress: &AtomicUsize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::queue::SubmitQueue;
     use crate::serve::shard::{test_engines, Pending, ShardEngine, ShardRouter};
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     fn policy(window: Duration) -> BatchPolicy {
         BatchPolicy {
@@ -239,9 +246,9 @@ mod tests {
         let window = Duration::from_millis(80);
         let queue = SubmitQueue::new(16);
         let leader = sub_at(&engines[0], 0, Instant::now() - window);
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             scope.spawn(|| {
-                std::thread::sleep(Duration::from_millis(10));
+                crate::sync::thread::sleep(Duration::from_millis(10));
                 queue
                     .push_all(vec![sub_at(&engines[0], 1, Instant::now())], false)
                     .unwrap();

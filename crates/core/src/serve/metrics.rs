@@ -7,9 +7,9 @@
 //! keeping `record` to two atomic adds.
 
 use crate::engine::IndexScope;
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::fmt::Write as _;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A minimal hand-rolled JSON writer: compact output, comma bookkeeping,
 /// string escaping — nothing else. Shared by everything in this workspace
@@ -326,7 +326,7 @@ pub struct ShardCounters {
 }
 
 impl ShardCounters {
-    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -421,7 +421,7 @@ impl ShardMetrics {
 
 /// Server-wide counters (request granularity, across all shards).
 #[derive(Default)]
-pub(crate) struct ServerCounters {
+pub struct ServerCounters {
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) rejected: AtomicU64,

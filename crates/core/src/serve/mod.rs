@@ -70,10 +70,10 @@
 //! assert_eq!(server.metrics().completed, 8);
 //! ```
 
-mod batcher;
-mod metrics;
-mod queue;
-mod shard;
+pub(crate) mod batcher;
+pub(crate) mod metrics;
+pub(crate) mod queue;
+pub(crate) mod shard;
 mod worker;
 
 pub use crate::engine::IndexScope;
@@ -83,14 +83,14 @@ pub use metrics::{
 
 use crate::engine::epoch::{ArcCell, ModelEpoch};
 use crate::engine::{lock_recovering, Engine, MipsError, QueryRequest, QueryResponse};
+use crate::sync::atomic::Ordering;
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Mutex};
 use batcher::BatchPolicy;
 use metrics::{ServerCounters, ShardCounters};
 use queue::SubmitQueue;
 use shard::{Pending, ShardEngine, ShardRouter};
 use std::ops::Range;
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tunables of the serving runtime — every [`ServerBuilder`] knob as one
@@ -278,7 +278,7 @@ impl ServerBuilder {
         }
         config.validate()?;
         if config.shards == 0 {
-            config.shards = std::thread::available_parallelism()
+            config.shards = crate::sync::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1);
         }
@@ -319,7 +319,7 @@ impl ServerBuilder {
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("mips-serve-{i}"))
                     .spawn(move || worker::run_worker(shared))
                     .map_err(|e| MipsError::InvalidConfig(format!("spawning worker {i}: {e}")))

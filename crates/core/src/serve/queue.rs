@@ -22,8 +22,8 @@
 
 use super::shard::SubRequest;
 use crate::engine::MipsError;
+use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The key micro-batchable work is coalesced under: one concrete
@@ -53,23 +53,65 @@ impl BatchKey {
     }
 }
 
-struct QueueState {
-    items: VecDeque<SubRequest>,
+/// Work items the bounded queue can carry and the micro-batcher can
+/// coalesce. `SubRequest` is the production item; the model-check suite
+/// drives the same queue/batcher code with toy items, so the protocols
+/// are checked without building engines.
+pub trait QueueItem {
+    /// Coalescing key: items with equal keys may share a batch.
+    type Key: Copy + PartialEq;
+    /// The key this item coalesces under.
+    fn key(&self) -> Self::Key;
+    /// The item's cost against the batch budget (users, for
+    /// sub-requests).
+    fn weight(&self) -> usize;
+    /// Whether this item may join a coalesced batch at all.
+    fn batchable(&self, max_batch: usize) -> bool;
+    /// When the item was submitted; anchors the batcher's queue-latency
+    /// cap.
+    fn submitted_at(&self) -> Instant;
+}
+
+impl QueueItem for SubRequest {
+    type Key = BatchKey;
+    fn key(&self) -> BatchKey {
+        BatchKey::of(self)
+    }
+    fn weight(&self) -> usize {
+        self.users.len()
+    }
+    fn batchable(&self, max_batch: usize) -> bool {
+        // The inherent method: no exclusions, and small enough to share.
+        SubRequest::batchable(self, max_batch)
+    }
+    fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+}
+
+struct QueueState<I> {
+    items: VecDeque<I>,
     closed: bool,
 }
 
-/// Bounded MPMC queue of sub-requests with keyed extraction.
-pub(crate) struct SubmitQueue {
-    state: Mutex<QueueState>,
+/// Bounded MPMC queue of keyed work items with atomic multi-item
+/// admission and keyed extraction. [`SubmitQueue`] is the production
+/// instantiation.
+pub struct BoundedQueue<I: QueueItem> {
+    state: Mutex<QueueState<I>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
 }
 
-impl SubmitQueue {
-    pub(crate) fn new(capacity: usize) -> SubmitQueue {
-        assert!(capacity > 0, "SubmitQueue: capacity must be > 0");
-        SubmitQueue {
+/// The production queue: sub-requests keyed by `(shard engine, k)`.
+pub(crate) type SubmitQueue = BoundedQueue<SubRequest>;
+
+impl<I: QueueItem> BoundedQueue<I> {
+    /// An empty queue admitting at most `capacity` queued items.
+    pub fn new(capacity: usize) -> BoundedQueue<I> {
+        assert!(capacity > 0, "BoundedQueue: capacity must be > 0");
+        BoundedQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
@@ -80,21 +122,21 @@ impl SubmitQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, QueueState<I>> {
         self.state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(crate::sync::PoisonError::into_inner)
     }
 
-    /// Queued sub-requests right now.
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
+    /// Queued items right now.
+    #[cfg(any(test, mips_model_check))]
+    pub fn len(&self) -> usize {
         self.lock().items.len()
     }
 
     /// Admits `subs` atomically. With `block`, waits for space; without,
     /// returns [`MipsError::ServerOverloaded`] when the set does not fit.
-    pub(crate) fn push_all(&self, subs: Vec<SubRequest>, block: bool) -> Result<(), MipsError> {
+    pub fn push_all(&self, subs: Vec<I>, block: bool) -> Result<(), MipsError> {
         let mut state = self.lock();
         loop {
             if state.closed {
@@ -116,13 +158,13 @@ impl SubmitQueue {
             state = self
                 .not_full
                 .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(crate::sync::PoisonError::into_inner);
         }
     }
 
-    /// Blocks for the next sub-request; `None` once the queue is closed and
+    /// Blocks for the next item; `None` once the queue is closed and
     /// drained.
-    pub(crate) fn pop(&self) -> Option<SubRequest> {
+    pub fn pop(&self) -> Option<I> {
         let mut state = self.lock();
         loop {
             if let Some(sub) = state.items.pop_front() {
@@ -136,7 +178,7 @@ impl SubmitQueue {
             state = self
                 .not_empty
                 .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(crate::sync::PoisonError::into_inner);
         }
     }
 
@@ -145,12 +187,12 @@ impl SubmitQueue {
     /// everything else. The budget bounds the *work* of the coalesced
     /// solver call — in users, not sub-requests — so `max_batch` means the
     /// same thing whether traffic is single-user or small-range.
-    pub(crate) fn extract_matching(
+    pub fn extract_matching(
         &self,
-        key: BatchKey,
+        key: I::Key,
         budget_users: usize,
         max_batch: usize,
-        out: &mut Vec<SubRequest>,
+        out: &mut Vec<I>,
     ) {
         if budget_users == 0 {
             return;
@@ -159,8 +201,8 @@ impl SubmitQueue {
         // Allocation-free pre-scan: under mixed load most of the backlog is
         // other shards' work (and the deadline batcher rescans every few
         // milliseconds), so the no-match case must not pay a queue rebuild.
-        let fits = |sub: &SubRequest, budget: usize| {
-            BatchKey::of(sub) == key && sub.batchable(max_batch) && sub.users.len() <= budget
+        let fits = |sub: &I, budget: usize| {
+            sub.key() == key && sub.batchable(max_batch) && sub.weight() <= budget
         };
         if !state.items.iter().any(|sub| fits(sub, budget_users)) {
             return;
@@ -169,7 +211,7 @@ impl SubmitQueue {
         let mut budget = budget_users;
         for sub in state.items.drain(..) {
             if fits(&sub, budget) {
-                budget -= sub.users.len();
+                budget -= sub.weight();
                 out.push(sub);
             } else {
                 kept.push_back(sub);
@@ -181,17 +223,17 @@ impl SubmitQueue {
     }
 
     /// Waits until `deadline` for more `key`-matching arrivals, extracting
-    /// them into `out` until the batch holds `target_users` users or the
+    /// them into `out` until the batch holds `target_users` weight or the
     /// window closes. Used by the deadline-flush micro-batcher.
-    pub(crate) fn extract_until(
+    pub fn extract_until(
         &self,
-        key: BatchKey,
+        key: I::Key,
         target_users: usize,
         max_batch: usize,
         deadline: Instant,
-        out: &mut Vec<SubRequest>,
+        out: &mut Vec<I>,
     ) {
-        let users_in = |out: &[SubRequest]| out.iter().map(|s| s.users.len()).sum::<usize>();
+        let users_in = |out: &[I]| out.iter().map(|s| s.weight()).sum::<usize>();
         loop {
             if users_in(out) >= target_users {
                 return;
@@ -215,14 +257,14 @@ impl SubmitQueue {
                     state,
                     deadline.duration_since(now).min(Duration::from_millis(5)),
                 )
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(crate::sync::PoisonError::into_inner);
             let _ = timeout;
         }
     }
 
     /// Closes the queue: pending pops drain the backlog, then return
     /// `None`; new pushes fail with [`MipsError::ServerShutdown`].
-    pub(crate) fn close(&self) {
+    pub fn close(&self) {
         self.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -268,9 +310,9 @@ mod tests {
             Err(MipsError::ServerOverloaded { capacity: 2 })
         ));
         // A consumer frees a slot; the blocked push completes.
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             let handle = scope.spawn(|| q.push_all(vec![sub(&e, 0, 1, 2)], true));
-            std::thread::sleep(Duration::from_millis(20));
+            crate::sync::thread::sleep(Duration::from_millis(20));
             assert!(q.pop().is_some());
             handle.join().unwrap().unwrap();
         });

@@ -18,10 +18,10 @@ use crate::engine::{
     QueryResponse, UserSelection,
 };
 use crate::parallel::chunk_bounds;
+use crate::sync::{Arc, Condvar, Mutex};
 use mips_topk::TopKList;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// One shard of the serving runtime: a contiguous user range plus the
@@ -233,7 +233,7 @@ impl ShardRouter {
 /// The users of one sub-request, with the positions their results occupy in
 /// the final response.
 #[derive(Debug, Clone)]
-pub(crate) enum SubUsers {
+pub enum SubUsers {
     /// A contiguous slice of the shard's range; results land contiguously
     /// starting at `out_start`.
     Range {
@@ -252,7 +252,8 @@ pub(crate) enum SubUsers {
 }
 
 impl SubUsers {
-    pub(crate) fn len(&self) -> usize {
+    /// Number of users this sub-request serves.
+    pub fn len(&self) -> usize {
         match self {
             SubUsers::Range { users, .. } => users.len(),
             SubUsers::Ids { users, .. } => users.len(),
@@ -302,7 +303,7 @@ impl SubRequest {
 /// Reassembly state for one in-flight request: a slot per selected user,
 /// filled by sub-request completions in any order, plus the condvar the
 /// caller's [`ResponseHandle`](super::ResponseHandle) waits on.
-pub(crate) struct Pending {
+pub struct Pending {
     state: Mutex<PendingState>,
     done: Condvar,
     /// Server-wide counters to roll into when the request finishes; rolled
@@ -329,14 +330,14 @@ impl Pending {
     /// A pending response with `result_len` slots. The number of
     /// sub-requests it waits for is set by [`Pending::set_parts`] once the
     /// split is known — before any worker can see the sub-requests.
-    #[cfg(test)]
-    pub(crate) fn new(result_len: usize, now: Instant) -> Pending {
+    #[cfg(any(test, mips_model_check))]
+    pub fn new(result_len: usize, now: Instant) -> Pending {
         Pending::with_counters(result_len, now, None, 0)
     }
 
     /// [`Pending::new`] wired to the server's request-level counters and
     /// stamped with the model epoch the request was admitted under.
-    pub(crate) fn with_counters(
+    pub fn with_counters(
         result_len: usize,
         now: Instant,
         counters: Option<Arc<ServerCounters>>,
@@ -361,16 +362,16 @@ impl Pending {
 
     /// Records how many sub-request completions finish this request. Must
     /// be called exactly once, before the sub-requests are enqueued.
-    pub(crate) fn set_parts(&self, parts: usize) {
+    pub fn set_parts(&self, parts: usize) {
         let mut state = self.lock();
         debug_assert_eq!(state.remaining, 0, "set_parts called twice");
         state.remaining = parts;
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, PendingState> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, PendingState> {
         self.state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(crate::sync::PoisonError::into_inner)
     }
 
     /// Scatters one sub-request's results into the response. Returns `true`
@@ -381,7 +382,7 @@ impl Pending {
     /// whose earlier subs completed) is ignored: the waiter may already
     /// have taken the result buffers, and the part count must not
     /// underflow.
-    pub(crate) fn complete(
+    pub fn complete(
         &self,
         users: &SubUsers,
         lists: Vec<TopKList>,
@@ -418,7 +419,7 @@ impl Pending {
     /// Fails the whole request (first error wins). Returns `true` when this
     /// completion finished the request. Ignored once the request already
     /// finished (see [`Pending::complete`]).
-    pub(crate) fn fail(&self, error: MipsError) -> bool {
+    pub fn fail(&self, error: MipsError) -> bool {
         let mut state = self.lock();
         if state.finished {
             return false;
@@ -427,13 +428,13 @@ impl Pending {
         self.finish_one(state)
     }
 
-    fn finish_one(&self, mut state: std::sync::MutexGuard<'_, PendingState>) -> bool {
+    fn finish_one(&self, mut state: crate::sync::MutexGuard<'_, PendingState>) -> bool {
         state.remaining -= 1;
         if state.remaining == 0 {
             state.finished = true;
             state.latency = state.submitted_at.elapsed().as_secs_f64();
             if let Some(counters) = &self.counters {
-                use std::sync::atomic::Ordering;
+                use crate::sync::atomic::Ordering;
                 counters.completed.fetch_add(1, Ordering::Relaxed);
                 if state.error.is_some() {
                     counters.failed.fetch_add(1, Ordering::Relaxed);
@@ -448,19 +449,19 @@ impl Pending {
     }
 
     /// Whether the request has fully completed (with result or error).
-    pub(crate) fn is_finished(&self) -> bool {
+    pub fn is_finished(&self) -> bool {
         self.lock().finished
     }
 
     /// Blocks until every sub-request has completed, then takes the
     /// response (or the first error).
-    pub(crate) fn wait(&self) -> Result<QueryResponse, MipsError> {
+    pub fn wait(&self) -> Result<QueryResponse, MipsError> {
         let mut state = self.lock();
         while !state.finished {
             state = self
                 .done
                 .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(crate::sync::PoisonError::into_inner);
         }
         if let Some(error) = state.error.take() {
             return Err(error);

@@ -23,9 +23,9 @@
 use super::batcher::{collect_batch, execute_batch};
 use super::ServerShared;
 use crate::engine::MipsError;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Arc;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// The body of one worker thread.
 pub(crate) fn run_worker(shared: Arc<ServerShared>) {

@@ -11,12 +11,12 @@ use crate::engine::registry::{
 };
 use crate::maximus::MaximusConfig;
 use crate::precision::Precision;
+use crate::sync::Arc;
 use mips_data::MfModel;
 use mips_lemp::LempConfig;
 use mips_topk::TopKList;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Arc;
 
 /// A built, queryable exact MIPS solver.
 ///

@@ -95,8 +95,8 @@ mod tests {
     use super::*;
     use crate::bmm::BmmSolver;
     use crate::solver::MipsSolver;
+    use crate::sync::Arc;
     use mips_data::synth::{synth_model, SynthConfig};
-    use std::sync::Arc;
 
     fn model() -> Arc<MfModel> {
         Arc::new(synth_model(&SynthConfig {
@@ -145,11 +145,7 @@ mod tests {
         // Replace user 0's best item with whatever its true worst item is.
         let urow = m.users().row(0);
         let worst = (0..m.num_items())
-            .min_by(|&a, &b| {
-                dot(urow, m.items().row(a))
-                    .partial_cmp(&dot(urow, m.items().row(b)))
-                    .unwrap()
-            })
+            .min_by(|&a, &b| dot(urow, m.items().row(a)).total_cmp(&dot(urow, m.items().row(b))))
             .unwrap();
         if worst as u32 != results[0].items[0] {
             results[0].items[0] = worst as u32;

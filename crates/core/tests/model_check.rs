@@ -1,0 +1,580 @@
+//! Deterministic model checking of `mips-core`'s concurrency protocols.
+//!
+//! Compiled only under `--cfg mips_model_check`
+//! (`RUSTFLAGS="--cfg mips_model_check" cargo test -p mips-core --test
+//! model_check`); in a normal build this file is empty. Under the cfg the
+//! [`crate::sync`](mips_core::sync) facade resolves to the vendored `loom`
+//! shim, so every lock, condvar, atomic, and spawn below is a yield point
+//! of a deterministic scheduler that exhaustively explores thread
+//! interleavings (bounded preemptions, DFS over branch points). A failing
+//! test prints a dot-separated trace seed; re-running with
+//! `MIPS_MODEL_REPLAY=<seed>` replays exactly that interleaving.
+//!
+//! Four protocol invariants from the serving runtime are proved here, plus
+//! two regression pins for behaviors earlier PRs fixed, a seeded-bug suite
+//! demonstrating the checker actually catches planted races, and
+//! determinism/replay assertions over the checker itself.
+
+#![cfg(mips_model_check)]
+
+use loom::{explore, model, replay, Config};
+use mips_core::model_support as ms;
+use mips_core::sync::atomic::{AtomicU64, Ordering};
+use mips_core::sync::{thread, Arc, Condvar, Mutex};
+use mips_core::{MipsError, Precision};
+use std::time::{Duration, Instant};
+
+/// A toy queue item: key models the epoch a sub-request is pinned to.
+#[derive(Debug, Clone)]
+struct Toy {
+    epoch: u64,
+    at: Instant,
+}
+
+impl Toy {
+    fn new(epoch: u64) -> Toy {
+        Toy {
+            epoch,
+            at: Instant::now(),
+        }
+    }
+}
+
+impl ms::QueueItem for Toy {
+    type Key = u64;
+    fn key(&self) -> u64 {
+        self.epoch
+    }
+    fn weight(&self) -> usize {
+        1
+    }
+    fn batchable(&self, _max_batch: usize) -> bool {
+        true
+    }
+    fn submitted_at(&self) -> Instant {
+        self.at
+    }
+}
+
+fn policy(max_batch: usize, window: Duration) -> ms::BatchPolicy {
+    ms::BatchPolicy {
+        enabled: true,
+        max_batch,
+        window,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1: epoch refcounts never leak or double-free.
+// ---------------------------------------------------------------------------
+
+/// A reader snapshotting the epoch cell concurrently with a swap either
+/// sees the old epoch or the new one — never a mixture — and once the swap
+/// lands and every snapshot drops, the old epoch is reclaimed (`Weak`
+/// upgrade fails). `Arc` stays std under the model, so the refcount
+/// observations are exact.
+#[test]
+fn epoch_swap_never_leaks_or_tears_the_old_epoch() {
+    model(|| {
+        let cell = Arc::new(ms::ArcCell::new(Arc::new(1u64)));
+        let weak_old = Arc::downgrade(&cell.load());
+
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let snapshot = cell.load();
+                // A snapshot is internally consistent: it is one of the two
+                // epochs, never a torn intermediate.
+                assert!(*snapshot == 1 || *snapshot == 2, "torn epoch snapshot");
+                *snapshot
+            })
+        };
+        let swapper = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.swap_with(|old| Arc::new(**old + 1));
+            })
+        };
+        reader.join().unwrap();
+        swapper.join().unwrap();
+
+        // The swap landed and no snapshot holder remains: the old epoch
+        // must be gone in every interleaving — anything else is a leak.
+        assert_eq!(*cell.load(), 2);
+        assert!(
+            weak_old.upgrade().is_none(),
+            "old epoch leaked past its last holder"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Regression pin (PR 5): epoch caches build outside the lock, install by
+// compare-and-swap, and losers adopt the winner.
+// ---------------------------------------------------------------------------
+
+/// Two first-touch racers may each run the builder (no convoying behind a
+/// held lock — that is the protocol's point), but exactly one value is
+/// installed and every caller ends up holding that single canonical
+/// instance, in every interleaving.
+#[test]
+fn cache_racers_build_outside_the_lock_and_adopt_one_winner() {
+    model(|| {
+        let cell: ms::CacheCell<Arc<u64>> = Arc::new(Mutex::new(None));
+        let builds = Arc::new(AtomicU64::new(0));
+
+        let racer = {
+            let cell = Arc::clone(&cell);
+            let builds = Arc::clone(&builds);
+            thread::spawn(move || {
+                ms::get_or_build(&cell, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    Ok::<_, MipsError>(Arc::new(10))
+                })
+                .unwrap()
+            })
+        };
+        let mine = ms::get_or_build(&cell, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok::<_, MipsError>(Arc::new(20))
+        })
+        .unwrap();
+        let theirs = racer.join().unwrap();
+
+        // Both racers hold the same installed instance (the loser adopted
+        // the winner), and a later caller adopts it without building.
+        assert!(Arc::ptr_eq(&mine, &theirs), "racers diverged");
+        let built_before = builds.load(Ordering::SeqCst);
+        assert!(built_before >= 1 && built_before <= 2);
+        let late = ms::get_or_build(&cell, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok::<_, MipsError>(Arc::new(30))
+        })
+        .unwrap();
+        assert!(Arc::ptr_eq(&late, &mine), "late caller missed the cache");
+        assert_eq!(builds.load(Ordering::SeqCst), built_before);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 2: the MPMC queue has no lost wakeups under concurrent
+// submit / shutdown.
+// ---------------------------------------------------------------------------
+
+/// Whatever the interleaving of a producer, a closer, and a draining
+/// consumer, every successfully admitted item is popped: `pop` never
+/// returns `None` with items still queued, and `close` wakes a parked
+/// consumer instead of stranding it (a lost wakeup would surface as a
+/// deadlock report).
+#[test]
+fn queue_submit_shutdown_loses_no_items_and_no_wakeups() {
+    model(|| {
+        let queue = Arc::new(ms::BoundedQueue::<Toy>::new(4));
+
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || match queue.push_all(vec![Toy::new(1)], false) {
+                Ok(()) => true,
+                Err(MipsError::ServerShutdown) => false,
+                Err(other) => panic!("unexpected push error: {other:?}"),
+            })
+        };
+        let closer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.close())
+        };
+
+        let mut popped = 0usize;
+        while queue.pop().is_some() {
+            popped += 1;
+        }
+        let admitted = producer.join().unwrap();
+        closer.join().unwrap();
+        assert_eq!(
+            popped, admitted as usize,
+            "an admitted item was lost (or a phantom item appeared) across shutdown"
+        );
+    });
+}
+
+/// A blocking producer parked on a full queue is always woken by the
+/// consumer's pops: with capacity 1 and two admissions, every
+/// interleaving must drain both items (a missed `not_full` notification
+/// would deadlock, which the model reports).
+#[test]
+fn blocking_push_is_always_woken_by_pop() {
+    model(|| {
+        let queue = Arc::new(ms::BoundedQueue::<Toy>::new(1));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                queue.push_all(vec![Toy::new(1)], true).unwrap();
+                queue.push_all(vec![Toy::new(1)], true).unwrap();
+            })
+        };
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        producer.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 3: the batcher never coalesces across epochs.
+// ---------------------------------------------------------------------------
+
+/// An epoch-2 item queued ahead of (or racing with) an epoch-1 leader
+/// never joins the leader's batch; it stays queued for its own batch. The
+/// batch key is the epoch pin, so this must hold in every interleaving.
+#[test]
+fn batcher_never_coalesces_across_epochs() {
+    model(|| {
+        let queue = Arc::new(ms::BoundedQueue::<Toy>::new(8));
+        // An old-epoch item is already queued when the new-epoch leader is
+        // popped; another old-epoch item races in while the batch gathers.
+        queue.push_all(vec![Toy::new(2)], false).unwrap();
+        let racer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                queue
+                    .push_all(vec![Toy::new(2), Toy::new(1)], false)
+                    .unwrap();
+            })
+        };
+
+        let batch = ms::collect_batch(&queue, Toy::new(1), &policy(8, Duration::ZERO));
+        assert!(
+            batch.iter().all(|item| item.epoch == 1),
+            "batch coalesced across epochs: {:?}",
+            batch.iter().map(|i| i.epoch).collect::<Vec<_>>()
+        );
+        racer.join().unwrap();
+
+        // The other epoch's items are intact in queue order, ready to lead
+        // their own batch.
+        queue.close();
+        let mut left = Vec::new();
+        while let Some(item) = queue.pop() {
+            left.push(item.epoch);
+        }
+        let stranded_old: usize = left.iter().filter(|&&e| e == 2).count();
+        assert_eq!(stranded_old, 2, "old-epoch items vanished: {left:?}");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Regression pin (PR 6): the deadline batcher's hold-open window is
+// anchored at pop time, not the leader's submission time.
+// ---------------------------------------------------------------------------
+
+/// A leader that already sat in the queue for a full window still absorbs
+/// a concurrent arrival: the pop-anchored deadline keeps the window open
+/// (the old submission-anchored deadline flushed immediately, losing
+/// exactly the coalescing a backlog makes valuable). The model proves it
+/// for every producer/consumer interleaving, including the producer
+/// arriving only after the batcher has parked in its timed wait.
+#[test]
+fn stale_leader_hold_open_is_anchored_at_pop_time() {
+    model(|| {
+        let window = Duration::from_secs(60);
+        let queue = Arc::new(ms::BoundedQueue::<Toy>::new(8));
+        let racer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                queue.push_all(vec![Toy::new(1)], false).unwrap();
+            })
+        };
+
+        let mut leader = Toy::new(1);
+        leader.at = Instant::now()
+            .checked_sub(window)
+            .expect("monotonic clock too young for a 60s backdate");
+        // max_batch 2 = leader + one absorbed arrival: the batch fills and
+        // flushes the moment the racer's item lands, so no schedule ever
+        // waits out the (real-time) window.
+        let batch = ms::collect_batch(&queue, leader, &policy(2, window));
+        assert_eq!(
+            batch.len(),
+            2,
+            "pop-anchored window failed to absorb the concurrent arrival"
+        );
+        racer.join().unwrap();
+    });
+}
+
+/// The latency cap still bounds the hold-open: a leader older than
+/// `QUEUE_LATENCY_CAP` windows flushes immediately with whatever the
+/// backlog drain produced, instead of adding another window of delay.
+#[test]
+fn latency_capped_leader_flushes_immediately() {
+    model(|| {
+        let window = Duration::from_secs(10);
+        let queue = ms::BoundedQueue::<Toy>::new(8);
+        let mut ancient = Toy::new(1);
+        ancient.at = Instant::now()
+            .checked_sub(window * (ms::QUEUE_LATENCY_CAP + 1))
+            .expect("monotonic clock too young for the backdate");
+        let batch = ms::collect_batch(&queue, ancient, &policy(8, window));
+        assert_eq!(batch.len(), 1, "capped leader held the batch open");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 4: metrics are rolled up before waiters wake.
+// ---------------------------------------------------------------------------
+
+/// The moment `Pending::wait` returns, the server-wide counters already
+/// reflect the finished request — completion count and latency sample —
+/// no matter how the two sub-request completions interleave with the
+/// waiter. This is the metrics-before-wake ordering in `finish_one`.
+#[test]
+fn metrics_are_rolled_up_before_the_waiter_wakes() {
+    model(|| {
+        let counters = Arc::new(ms::ServerCounters::default());
+        let pending = Arc::new(ms::Pending::with_counters(
+            2,
+            Instant::now(),
+            Some(Arc::clone(&counters)),
+            7,
+        ));
+        pending.set_parts(2);
+
+        let workers: Vec<_> = (0..2)
+            .map(|part| {
+                let pending = Arc::clone(&pending);
+                thread::spawn(move || {
+                    pending.complete(
+                        &ms::SubUsers::Range {
+                            users: part..part + 1,
+                            out_start: part,
+                        },
+                        vec![ms::TopKList::empty()],
+                        "toy",
+                        Precision::F64,
+                    );
+                })
+            })
+            .collect();
+
+        let response = pending.wait().expect("both parts completed");
+        // The waiter is awake: the rollup must already be visible.
+        assert_eq!(response.epoch, 7);
+        assert_eq!(response.results.len(), 2);
+        assert_eq!(
+            ms::server_completed(&counters),
+            1,
+            "completed lagged the wakeup"
+        );
+        assert_eq!(ms::server_failed(&counters), 0);
+        assert_eq!(
+            ms::server_latency_count(&counters),
+            1,
+            "latency sample lagged the wakeup"
+        );
+        for worker in workers {
+            worker.join().unwrap();
+        }
+    });
+}
+
+/// Same ordering on the failure path: a request finished by an error has
+/// `completed` and `failed` rolled up before the waiter observes the
+/// error, and a completion racing the failure never double-finishes.
+#[test]
+fn failed_requests_roll_up_before_the_waiter_wakes() {
+    model(|| {
+        let counters = Arc::new(ms::ServerCounters::default());
+        let pending = Arc::new(ms::Pending::with_counters(
+            2,
+            Instant::now(),
+            Some(Arc::clone(&counters)),
+            3,
+        ));
+        pending.set_parts(2);
+
+        let completer = {
+            let pending = Arc::clone(&pending);
+            thread::spawn(move || {
+                pending.complete(
+                    &ms::SubUsers::Range {
+                        users: 0..1,
+                        out_start: 0,
+                    },
+                    vec![ms::TopKList::empty()],
+                    "toy",
+                    Precision::F64,
+                );
+            })
+        };
+        let failer = {
+            let pending = Arc::clone(&pending);
+            thread::spawn(move || {
+                pending.fail(MipsError::ServerShutdown);
+            })
+        };
+
+        let err = pending.wait().expect_err("the failure must win");
+        assert!(matches!(err, MipsError::ServerShutdown));
+        assert_eq!(ms::server_completed(&counters), 1);
+        assert_eq!(ms::server_failed(&counters), 1, "failed lagged the wakeup");
+        completer.join().unwrap();
+        failer.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-bug suite: the checker must CATCH these planted defects. Each is
+// a miniature of a real bug class the invariants above guard against.
+// ---------------------------------------------------------------------------
+
+fn small() -> Config {
+    Config {
+        preemption_bound: 2,
+        max_schedules: 100_000,
+    }
+}
+
+/// A torn refcount release: load-then-store instead of `fetch_sub`. Two
+/// droppers racing lose a decrement, so the count never reaches zero — the
+/// leak/double-free class the epoch suite guards. The checker must find
+/// the interleaving.
+#[test]
+fn seeded_torn_refcount_release_is_caught() {
+    let report = explore(small(), || {
+        let count = Arc::new(AtomicU64::new(2));
+        let dropper = {
+            let count = Arc::clone(&count);
+            thread::spawn(move || {
+                // BUG (seeded): non-atomic decrement.
+                let v = count.load(Ordering::SeqCst);
+                count.store(v - 1, Ordering::SeqCst);
+            })
+        };
+        let v = count.load(Ordering::SeqCst);
+        count.store(v - 1, Ordering::SeqCst);
+        dropper.join().unwrap();
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            0,
+            "torn release: refcount leaked or double-freed"
+        );
+    });
+    let failure = report
+        .failure
+        .expect("the seeded refcount race must be caught");
+    assert!(
+        failure.message.contains("torn release"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// A toy queue whose push forgets to notify: a consumer that parked
+/// before the push is never woken. The checker must report the lost
+/// wakeup as a deadlock.
+#[test]
+fn seeded_dropped_notify_is_caught_as_deadlock() {
+    let report = explore(small(), || {
+        let chan = Arc::new((Mutex::new(Vec::<u32>::new()), Condvar::new()));
+        let producer = {
+            let chan = Arc::clone(&chan);
+            thread::spawn(move || {
+                chan.0.lock().unwrap().push(1);
+                // BUG (seeded): no chan.1.notify_all() here.
+            })
+        };
+        let (lock, cv) = &*chan;
+        let mut items = lock.lock().unwrap();
+        while items.is_empty() {
+            items = cv.wait(items).unwrap();
+        }
+        drop(items);
+        producer.join().unwrap();
+    });
+    let failure = report.failure.expect("the dropped notify must be caught");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {}",
+        failure.message
+    );
+}
+
+/// A notify-before-rollup inversion of the metrics invariant: the waiter
+/// can wake and read the counter before the worker bumps it. The checker
+/// must find that interleaving.
+#[test]
+fn seeded_notify_before_rollup_is_caught() {
+    let report = explore(small(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let rolled_up = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let state = Arc::clone(&state);
+            let rolled_up = Arc::clone(&rolled_up);
+            thread::spawn(move || {
+                *state.0.lock().unwrap() = true;
+                state.1.notify_all();
+                // BUG (seeded): rollup after the notify — the real
+                // finish_one rolls up first.
+                rolled_up.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let (lock, cv) = &*state;
+        let mut done = lock.lock().unwrap();
+        while !*done {
+            done = cv.wait(done).unwrap();
+        }
+        drop(done);
+        assert_eq!(
+            rolled_up.load(Ordering::SeqCst),
+            1,
+            "metrics lagged the wakeup"
+        );
+        worker.join().unwrap();
+    });
+    let failure = report.failure.expect("the inverted rollup must be caught");
+    assert!(
+        failure.message.contains("metrics lagged"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The checker itself: failure traces are deterministic and replayable.
+// ---------------------------------------------------------------------------
+
+/// The same seeded bug explored twice yields byte-identical traces and
+/// schedules, and replaying the printed trace seed reproduces the failure
+/// in exactly one schedule — the contract behind `MIPS_MODEL_REPLAY`.
+#[test]
+fn failure_traces_are_deterministic_and_replayable() {
+    fn seeded() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let count = Arc::new(AtomicU64::new(2));
+            let dropper = {
+                let count = Arc::clone(&count);
+                thread::spawn(move || {
+                    let v = count.load(Ordering::SeqCst);
+                    count.store(v - 1, Ordering::SeqCst);
+                })
+            };
+            let v = count.load(Ordering::SeqCst);
+            count.store(v - 1, Ordering::SeqCst);
+            dropper.join().unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 0, "lost decrement");
+        }
+    }
+
+    let first = explore(small(), seeded()).failure.expect("must fail");
+    let second = explore(small(), seeded()).failure.expect("must fail");
+    assert_eq!(
+        first.trace, second.trace,
+        "exploration is not deterministic"
+    );
+    assert_eq!(first.schedule, second.schedule);
+    assert_eq!(first.schedule_index, second.schedule_index);
+
+    let replayed = replay(&first.trace, seeded());
+    assert_eq!(replayed.schedules, 1);
+    let failure = replayed.failure.expect("replay must reproduce the failure");
+    assert!(failure.message.contains("lost decrement"));
+}

@@ -28,7 +28,7 @@ impl DatasetStats {
     /// Computes statistics for a model.
     pub fn compute(model: &MfModel) -> DatasetStats {
         let mut item_norms: Vec<f64> = model.items().iter_rows().map(norm2).collect();
-        item_norms.sort_by(|a, b| a.partial_cmp(b).expect("finite norms"));
+        item_norms.sort_by(|a, b| a.total_cmp(b));
         let n = item_norms.len();
         let mean_item_norm = item_norms.iter().sum::<f64>() / n as f64;
         let median = item_norms[n / 2];

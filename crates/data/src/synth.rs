@@ -245,7 +245,7 @@ mod tests {
         });
         let tail_ratio = |m: &MfModel| {
             let mut norms: Vec<f64> = m.items().iter_rows().map(norm2).collect();
-            norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            norms.sort_by(|a, b| a.total_cmp(b));
             norms[norms.len() * 99 / 100] / norms[norms.len() / 2]
         };
         assert!(

@@ -155,7 +155,7 @@ fn sorted_eigen<T: Scalar>(m: Matrix<T>, v: Matrix<T>) -> SymEigen<T> {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<T> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    order.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
 
     let values: Vec<T> = order.iter().map(|&j| diag[j]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));

@@ -387,6 +387,44 @@ fn suffix_sumsq_scalar<T: Scalar>(x: &[T], out: &mut [T]) {
 mod tests {
     use super::*;
 
+    /// Miri-targeted: drives every TypeId-guarded slice reinterpretation
+    /// in `simd/mod.rs` directly — the match arms (`T == f64`/`f32`), the
+    /// `None` arms, and writes through the `_mut` casts — so the Miri CI
+    /// leg checks the pointer casts under strict provenance even though
+    /// it cannot execute the vector intrinsics behind them.
+    #[test]
+    fn typeid_guarded_reinterprets_round_trip_under_miri() {
+        use crate::blocking::{MR, NR};
+
+        let xs64 = [1.0f64, -2.0, 3.5];
+        let got = simd::as_f64(&xs64).expect("T == f64 must reinterpret");
+        assert_eq!(got, &xs64[..]);
+        assert!(simd::as_f32(&xs64).is_none(), "f64 is not f32");
+
+        let xs32 = [0.5f32, -4.0];
+        let got = simd::as_f32(&xs32).expect("T == f32 must reinterpret");
+        assert_eq!(got, &xs32[..]);
+        assert!(simd::as_f64(&xs32).is_none(), "f32 is not f64");
+
+        let mut ys64 = [0.0f64; 4];
+        simd::as_f64_mut(&mut ys64).expect("mutable f64 cast")[2] = 9.0;
+        assert_eq!(ys64[2], 9.0);
+        let mut ys32 = [0.0f32; 4];
+        simd::as_f32_mut(&mut ys32).expect("mutable f32 cast")[1] = 7.0;
+        assert_eq!(ys32[1], 7.0);
+        assert!(simd::as_f64_mut(&mut ys32).is_none());
+        assert!(simd::as_f32_mut(&mut ys64).is_none());
+
+        let mut acc64 = [[0.0f64; NR]; MR];
+        simd::acc_as_f64_mut(&mut acc64).expect("f64 tile cast")[MR - 1][NR - 1] = 1.5;
+        assert_eq!(acc64[MR - 1][NR - 1], 1.5);
+        assert!(simd::acc_as_f32_mut(&mut acc64).is_none());
+        let mut acc32 = [[0.0f32; NR]; MR];
+        simd::acc_as_f32_mut(&mut acc32).expect("f32 tile cast")[0][0] = 2.5;
+        assert_eq!(acc32[0][0], 2.5);
+        assert!(simd::acc_as_f64_mut(&mut acc32).is_none());
+    }
+
     #[test]
     fn dot_matches_naive_all_lengths() {
         // Cover the unrolled body plus every remainder size.

@@ -74,6 +74,9 @@ pub trait Scalar:
     /// Dot products of unit vectors can land a few ulps outside `[-1, 1]`;
     /// clamping keeps the angle math in the MAXIMUS bound well defined.
     fn acos_clamped(self) -> Self;
+    /// IEEE 754 `totalOrder` comparison (`f64::total_cmp`): total and
+    /// NaN-safe, so sorting comparators never panic mid-sort.
+    fn total_cmp(&self, other: &Self) -> core::cmp::Ordering;
 }
 
 macro_rules! impl_scalar {
@@ -127,6 +130,10 @@ macro_rules! impl_scalar {
             #[inline(always)]
             fn acos_clamped(self) -> Self {
                 self.clamp(-1.0, 1.0).acos()
+            }
+            #[inline(always)]
+            fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                <$t>::total_cmp(self, other)
             }
         }
     };

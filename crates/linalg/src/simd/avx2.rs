@@ -22,6 +22,11 @@ pub(super) fn dot(x: &[f64], y: &[f64]) -> f64 {
     unsafe { dot_inner(x, y) }
 }
 
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot_inner(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
@@ -56,6 +61,11 @@ pub(super) fn dot_seq4(x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
 /// kernel's, written out here so that under `target_feature(fma)` every
 /// `mul_add` lowers to an inline `vfmadd` instead of the baseline
 /// target's libm call — same bits, hardware speed.
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot_seq4_inner(x: &[f64], ys: [&[f64]; 4]) -> [f64; 4] {
     let [y0, y1, y2, y3] = ys;
@@ -76,6 +86,11 @@ pub(super) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     unsafe { axpy_inner(alpha, x, y) }
 }
 
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn axpy_inner(alpha: f64, x: &[f64], y: &mut [f64]) {
     let n = x.len();
@@ -100,6 +115,11 @@ pub(super) fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
     unsafe { dist2_sq_inner(x, y) }
 }
 
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dist2_sq_inner(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
@@ -137,6 +157,11 @@ pub(super) fn suffix_sumsq(x: &[f64], out: &mut [f64]) {
 /// four squares of each block at once. Within-block sums are re-associated
 /// relative to the scalar scan (square-then-add instead of a fused chain),
 /// which is the documented exception to the bit-identity contract.
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn suffix_sumsq_inner(x: &[f64], out: &mut [f64]) {
     let n = x.len();
@@ -179,6 +204,11 @@ pub(super) fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
 /// Single-precision screen dot: one 8-lane accumulator. No bit-identity
 /// promise (the scalar fallback uses four accumulators) — consumers widen
 /// by the screen envelope, which covers any accumulation order.
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot_f32_inner(x: &[f32], y: &[f32]) -> f32 {
     let n = x.len();
@@ -212,6 +242,11 @@ pub(super) fn suffix_sumsq_f32(x: &[f32], out: &mut [f32]) {
 /// Backward f32 suffix scan, eight squares per vector step (see
 /// `suffix_sumsq` for the carry-chain structure; same tolerance caveats as
 /// every f32 kernel).
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn suffix_sumsq_f32_inner(x: &[f32], out: &mut [f32]) {
     let n = x.len();
@@ -252,6 +287,11 @@ pub(super) fn micro_4x8_f32(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; N
 /// fills a YMM of f32), one B load and four A broadcasts per depth step.
 /// Each `(i, j)` lane is a single sequential FMA chain over the packed
 /// depth, like the f64 tile.
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn micro_4x8_f32_inner(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
     let depth = a_panel.len() / MR;
@@ -289,6 +329,11 @@ pub(super) fn micro_4x8(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; 
 /// columns), two B loads and four A broadcasts per depth step, 8 independent
 /// FMAs in flight. Each `(i, j)` lane is a single sequential FMA chain over
 /// the packed depth — bit-identical to the scalar micro-kernel.
+// SAFETY contract: the caller must guarantee AVX2+FMA are available
+// (upheld by constructing the `Kernel` only after feature detection)
+// and pass slices satisfying the safe wrapper's length invariants —
+// every pointer read and write below is in bounds exactly when they
+// hold.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn micro_4x8_inner(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
     let depth = a_panel.len() / MR;

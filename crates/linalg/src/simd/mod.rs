@@ -90,7 +90,17 @@
 //! * Slice casts between `&[T]` and `&[f64]` (used by the generic entry
 //!   points in [`crate::kernels`] and [`crate::gemm`]) are guarded by a
 //!   `TypeId` equality check, making the transmute a no-op reinterpretation
-//!   of the same type.
+//!   of the same type. These helpers are intrinsics-free, so the Miri CI
+//!   leg executes them directly (with `MIPS_KERNEL=scalar` forcing the
+//!   portable path around the uninterpretable vector intrinsics).
+//!
+//! The discipline is mechanically enforced: `mips-lint` (CI's lint job)
+//! rejects any `unsafe` outside this directory, and rejects any `unsafe`
+//! here that is not annotated — every `unsafe { .. }` call site carries a
+//! `// SAFETY:` argument naming the invariant it relies on, and every
+//! `unsafe fn` carries a `// SAFETY contract:` stating what its callers
+//! must uphold. A new unsafe block without its argument fails CI, not
+//! review.
 
 #![allow(unsafe_code)]
 

@@ -20,6 +20,9 @@ pub(super) fn dot(x: &[f64], y: &[f64]) -> f64 {
     unsafe { dot_inner(x, y) }
 }
 
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn dot_inner(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
@@ -52,6 +55,9 @@ pub(super) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     unsafe { axpy_inner(alpha, x, y) }
 }
 
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn axpy_inner(alpha: f64, x: &[f64], y: &mut [f64]) {
     let n = x.len();
@@ -75,6 +81,9 @@ pub(super) fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
     unsafe { dist2_sq_inner(x, y) }
 }
 
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn dist2_sq_inner(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
@@ -106,6 +115,9 @@ pub(super) fn suffix_sumsq(x: &[f64], out: &mut [f64]) {
     unsafe { suffix_sumsq_inner(x, out) }
 }
 
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn suffix_sumsq_inner(x: &[f64], out: &mut [f64]) {
     let n = x.len();
@@ -141,6 +153,9 @@ pub(super) fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
 /// Single-precision screen dot: two 4-lane accumulators, eight elements per
 /// step. No bit-identity promise (see [`super`]'s f32 section) — consumers
 /// widen by the screen envelope.
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn dot_f32_inner(x: &[f32], y: &[f32]) -> f32 {
     let n = x.len();
@@ -173,6 +188,9 @@ pub(super) fn suffix_sumsq_f32(x: &[f32], out: &mut [f32]) {
 
 /// Backward f32 suffix scan, four squares per vector step (same carry-chain
 /// structure and tolerance caveats as the f64 scan).
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn suffix_sumsq_f32_inner(x: &[f32], out: &mut [f32]) {
     let n = x.len();
@@ -213,6 +231,9 @@ pub(super) fn micro_4x8_f32(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; N
 
 /// The f32 `4×8` tile as eight 4-lane accumulators (4 rows × 2 quads); each
 /// `(i, j)` lane is one sequential FMA chain over the packed depth.
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn micro_4x8_f32_inner(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
     let depth = a_panel.len() / MR;
@@ -251,6 +272,9 @@ pub(super) fn micro_4x8(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; 
 
 /// The `4×8` tile as 16 two-lane accumulators; each `(i, j)` lane is one
 /// sequential FMA chain over the packed depth, matching the scalar kernel.
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read and write below is in bounds exactly when it holds.
 #[target_feature(enable = "neon")]
 unsafe fn micro_4x8_inner(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
     let depth = a_panel.len() / MR;

@@ -59,6 +59,8 @@
 //! http.shutdown().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod http;
 pub mod json;

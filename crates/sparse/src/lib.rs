@@ -354,7 +354,7 @@ impl InvertedIndex {
             let budget = self.config.prune_threshold * query_norm;
             scratch
                 .terms
-                .sort_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"));
+                .sort_by(|a, b| a.1.abs().total_cmp(&b.1.abs()));
             let mut sumsq = 0.0f64;
             let mut keep_from = 0usize;
             for (idx, &(j, q)) in scratch.terms.iter().enumerate() {

@@ -122,12 +122,7 @@ impl TopKHeap {
     /// Drains the heap into a list sorted best-first.
     pub fn into_sorted(self) -> crate::list::TopKList {
         let mut entries = self.entries;
-        entries.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are never NaN")
-                .then_with(|| a.id.cmp(&b.id))
-        });
+        entries.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
         crate::list::TopKList {
             items: entries.iter().map(|e| e.id).collect(),
             scores: entries.iter().map(|e| e.score).collect(),
@@ -279,7 +274,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, &s)| (s, i as u32))
                     .collect();
-                pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 pairs.truncate(k);
                 let want_items: Vec<u32> = pairs.iter().map(|p| p.1).collect();
                 assert_eq!(got.items, want_items, "k={k} n={n}");

@@ -9,7 +9,7 @@ fn sort_reference(scores: &[f64], k: usize) -> (Vec<u32>, Vec<f64>) {
         .enumerate()
         .map(|(i, &s)| (s, i as u32))
         .collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     pairs.truncate(k);
     (
         pairs.iter().map(|p| p.1).collect(),

@@ -1,0 +1,202 @@
+//! Exploration driver: depth-first search over scheduling decisions.
+
+use std::sync::Arc;
+
+use crate::scheduler::{Decision, Scheduler};
+
+/// Exploration settings.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of involuntary context switches per schedule
+    /// (CHESS-style preemption bound). Schedules needing more are not
+    /// explored; 2 catches the overwhelming majority of real races.
+    pub preemption_bound: u32,
+    /// Hard cap on explored schedules; exceeding it fails the check
+    /// (an exploration that silently stops early proves nothing).
+    pub max_schedules: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 500_000,
+        }
+    }
+}
+
+/// A failing interleaving.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The panic message or deadlock report.
+    pub message: String,
+    /// The trace seed: dot-separated branch choices, replayable with
+    /// [`replay`] or `MIPS_MODEL_REPLAY`.
+    pub trace: String,
+    /// Human-readable thread schedule at the recorded branch points.
+    pub schedule: String,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule_index: usize,
+}
+
+/// The outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// The first failing interleaving, if any.
+    pub failure: Option<Failure>,
+}
+
+fn encode_trace(decisions: &[Decision]) -> String {
+    decisions
+        .iter()
+        .map(|d| d.chosen.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn encode_schedule(decisions: &[Decision]) -> String {
+    decisions
+        .iter()
+        .map(|d| format!("t{}", d.task))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The next DFS script: increment the last branch decision that still
+/// has an unexplored alternative, truncating everything after it.
+fn next_script(decisions: &[Decision]) -> Option<Vec<u32>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i].chosen + 1 < decisions[i].options {
+            let mut script: Vec<u32> = decisions[..i].iter().map(|d| d.chosen).collect();
+            script.push(decisions[i].chosen + 1);
+            return Some(script);
+        }
+    }
+    None
+}
+
+fn run_once(
+    config: &Config,
+    script: Vec<u32>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<Decision>, Option<String>) {
+    let sched = Scheduler::new(config.preemption_bound, script);
+    let g = Arc::clone(f);
+    sched.run(Box::new(move || g()))
+}
+
+fn failure_from(decisions: &[Decision], message: String, schedule_index: usize) -> Failure {
+    Failure {
+        message,
+        trace: encode_trace(decisions),
+        schedule: encode_schedule(decisions),
+        schedule_index,
+    }
+}
+
+/// Exhaustively explores schedules of `f` under `config`, stopping at
+/// the first failure. Never panics on model failures — callers that
+/// want a panic use [`model`]/[`model_with`].
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut script: Vec<u32> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let (decisions, failure) = run_once(&config, script, &f);
+        schedules += 1;
+        if let Some(message) = failure {
+            return Report {
+                schedules,
+                failure: Some(failure_from(&decisions, message, schedules)),
+            };
+        }
+        match next_script(&decisions) {
+            Some(next) => script = next,
+            None => {
+                return Report {
+                    schedules,
+                    failure: None,
+                }
+            }
+        }
+        if schedules >= config.max_schedules {
+            return Report {
+                schedules,
+                failure: Some(failure_from(
+                    &decisions,
+                    format!(
+                        "exploration exceeded max_schedules ({}) before exhausting the \
+                         interleaving space; shrink the test or raise the bound",
+                        config.max_schedules
+                    ),
+                    schedules,
+                )),
+            };
+        }
+    }
+}
+
+/// Runs exactly one schedule of `f`, forced by a trace seed previously
+/// printed in a failure report.
+pub fn replay<F>(trace: &str, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let script: Vec<u32> = trace
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse::<u32>().expect("malformed trace seed"))
+        .collect();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let (decisions, failure) = run_once(&Config::default(), script, &f);
+    Report {
+        schedules: 1,
+        failure: failure.map(|message| failure_from(&decisions, message, 1)),
+    }
+}
+
+/// Model-checks `f` with the default [`Config`], panicking with a
+/// replayable report on the first failing interleaving.
+///
+/// If `MIPS_MODEL_REPLAY` is set, runs only that traced schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// Like [`model`], with explicit exploration settings.
+pub fn model_with<F>(config: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Ok(trace) = std::env::var("MIPS_MODEL_REPLAY") {
+        let report = replay(&trace, f);
+        match report.failure {
+            Some(failure) => panic!(
+                "model check failed on replayed schedule\n{}\nschedule: {}\ntrace seed: {}",
+                failure.message, failure.schedule, failure.trace
+            ),
+            None => return,
+        }
+    }
+    let report = explore(config, f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model check failed on schedule {} of {}\n{}\nschedule: {}\ntrace seed: {}\n\
+             replay just this interleaving with MIPS_MODEL_REPLAY={}",
+            failure.schedule_index,
+            report.schedules,
+            failure.message,
+            failure.schedule,
+            failure.trace,
+            failure.trace
+        );
+    }
+}

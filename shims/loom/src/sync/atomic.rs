@@ -1,0 +1,210 @@
+//! Instrumented atomics.
+//!
+//! Every access is a scheduler yield point; values live behind an
+//! uncontended mutex. All orderings are modeled as sequentially
+//! consistent — the checker explores interleavings, not weak-memory
+//! reorderings (the ThreadSanitizer CI leg covers that axis).
+
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::scheduler::{Blocked, Scheduler};
+
+/// Yield to the scheduler before an atomic access. Outside a model run
+/// the access silently degrades to a plain mutex-protected operation.
+fn point() {
+    if let Some((sched, me)) = Scheduler::try_current() {
+        sched.switch(me, Blocked::Ready);
+    }
+}
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $t:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            v: StdMutex<$t>,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $t) -> Self {
+                Self { v: StdMutex::new(v) }
+            }
+
+            fn with<R>(&self, f: impl FnOnce(&mut $t) -> R) -> R {
+                point();
+                f(&mut self.v.lock().unwrap_or_else(|e| e.into_inner()))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, _order: Ordering) -> $t {
+                self.with(|v| *v)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $t, _order: Ordering) {
+                self.with(|v| *v = val)
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, val: $t, _order: Ordering) -> $t {
+                self.with(|v| std::mem::replace(v, val))
+            }
+
+            /// Adds to the value (wrapping), returning the previous one.
+            pub fn fetch_add(&self, val: $t, _order: Ordering) -> $t {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.wrapping_add(val);
+                    prev
+                })
+            }
+
+            /// Subtracts from the value (wrapping), returning the
+            /// previous one.
+            pub fn fetch_sub(&self, val: $t, _order: Ordering) -> $t {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.wrapping_sub(val);
+                    prev
+                })
+            }
+
+            /// Stores the maximum of the value and `val`, returning the
+            /// previous value.
+            pub fn fetch_max(&self, val: $t, _order: Ordering) -> $t {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.max(val);
+                    prev
+                })
+            }
+
+            /// Stores the minimum of the value and `val`, returning the
+            /// previous value.
+            pub fn fetch_min(&self, val: $t, _order: Ordering) -> $t {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.min(val);
+                    prev
+                })
+            }
+
+            /// Compare-and-exchange: stores `new` if the value equals
+            /// `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$t, $t> {
+                self.with(|v| {
+                    if *v == current {
+                        *v = new;
+                        Ok(current)
+                    } else {
+                        Err(*v)
+                    }
+                })
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $t {
+                self.v.into_inner().unwrap_or_else(|e| e.into_inner())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Model-checked stand-in for `std::sync::atomic::AtomicU64`.
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Model-checked stand-in for `std::sync::atomic::AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+atomic_int!(
+    /// Model-checked stand-in for `std::sync::atomic::AtomicU32`.
+    AtomicU32,
+    u32
+);
+
+/// Model-checked stand-in for `std::sync::atomic::AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool {
+    v: StdMutex<bool>,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            v: StdMutex::new(v),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut bool) -> R) -> R {
+        point();
+        f(&mut self.v.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Loads the value.
+    pub fn load(&self, _order: Ordering) -> bool {
+        self.with(|v| *v)
+    }
+
+    /// Stores a value.
+    pub fn store(&self, val: bool, _order: Ordering) {
+        self.with(|v| *v = val)
+    }
+
+    /// Swaps the value, returning the previous one.
+    pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+        self.with(|v| std::mem::replace(v, val))
+    }
+
+    /// Logical-or with `val`, returning the previous value.
+    pub fn fetch_or(&self, val: bool, _order: Ordering) -> bool {
+        self.with(|v| {
+            let prev = *v;
+            *v = prev || val;
+            prev
+        })
+    }
+
+    /// Compare-and-exchange: stores `new` if the value equals `current`.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.with(|v| {
+            if *v == current {
+                *v = new;
+                Ok(current)
+            } else {
+                Err(*v)
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBool").finish_non_exhaustive()
+    }
+}

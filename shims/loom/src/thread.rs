@@ -1,0 +1,94 @@
+//! Instrumented thread spawn/join.
+//!
+//! Spawned closures run on real OS threads, but only when the model
+//! scheduler hands them the activity token. `spawn` and `join` are yield
+//! points.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::scheduler::{Blocked, Scheduler, TaskId};
+
+/// Handle to a model thread; joining is a scheduler yield point.
+pub struct JoinHandle<T> {
+    id: TaskId,
+    sched: Arc<Scheduler>,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Builder mirroring `std::thread::Builder` (name only).
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a new builder.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Names the thread; the name appears in model failure reports.
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns a model thread. Never fails (the `io::Result` mirrors the
+    /// std signature).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, me) = Scheduler::current();
+        let result = Arc::new(StdMutex::new(None));
+        let slot = Arc::clone(&result);
+        // An empty name tells the scheduler to substitute "t<task-id>".
+        let id = sched.spawn_task(
+            self.name.unwrap_or_default(),
+            Box::new(move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            }),
+        );
+        // The new task becomes schedulable at this yield point.
+        sched.switch(me, Blocked::Ready);
+        Ok(JoinHandle { id, sched, result })
+    }
+}
+
+/// Spawns an unnamed model thread (see [`Builder::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("loom spawn cannot fail")
+}
+
+/// Yields to the scheduler (a pure scheduling point).
+pub fn yield_now() {
+    if let Some((sched, me)) = Scheduler::try_current() {
+        sched.switch(me, Blocked::Ready);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in the model) until the thread finishes, returning its
+    /// value. A thread that panicked aborts the whole execution, so the
+    /// `Err` arm is only observed during teardown.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = Scheduler::current();
+        // Single-active discipline: between the check and the park no
+        // other task can finish, so the park cannot miss the wakeup.
+        while !self.sched.is_done(self.id) {
+            sched.switch(me, Blocked::Join(self.id));
+        }
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom: joined thread did not complete".to_string())),
+        }
+    }
+}
