@@ -9,10 +9,11 @@
 //!   paper `k`, per Table I dataset stand-in, with the active SIMD kernel
 //!   name on every row. The scan strategies (BMM, MAXIMUS, LEMP) get one
 //!   row per numeric-path mode — `f64`, `f32-rescore` (f32 screen + exact
-//!   f64 rescore), and `auto` (OPTIMUS prices the two modes against each
-//!   other) — and `precision` is part of every row's gate identity, so a
-//!   mode cannot regress behind another mode's back and `auto` rows guard
-//!   the planner's choice staying no worse than `f64`.
+//!   f64 rescore), `i8-rescore` (int8 screen + exact f64 rescore), and
+//!   `auto` (OPTIMUS prices the three modes against each other) — and
+//!   `precision` is part of every row's gate identity, so a mode cannot
+//!   regress behind another mode's back and `auto` rows guard the
+//!   planner's choice staying no worse than `f64`.
 //! * `bmm_fusion_vs_seed_scalar` — the ISSUE-2 acceptance measurement: the
 //!   fused SIMD BMM path against a faithful replay of the seed pipeline
 //!   (fresh `batch × n` score buffer, scalar micro-kernels, separate top-k
@@ -145,8 +146,9 @@ fn main() {
             .collect();
 
         // End-to-end rows: build each backend once per numeric-path mode,
-        // serve at every k. The scan backends get f64, f32-rescore, and
-        // auto rows; FEXIPRO stays f64-direct (see `backend_precisions`).
+        // serve at every k. The scan backends get f64, f32-rescore,
+        // i8-rescore, and auto rows; FEXIPRO stays f64-direct (see
+        // `backend_precisions`).
         for backend in figure5_backends(&spec, &model) {
             backend_rows(dataset, &backend, &model, &ks, &mut table, &mut records);
         }
@@ -227,10 +229,11 @@ fn main() {
         geo
     );
 
-    // Mixed-precision roll-up: per scan strategy, how the f32 screen and
-    // the auto planner compare against f64-direct across datasets and ks.
-    // (The PR's acceptance reads these at scale 1: at least one f32 ratio
-    // >= 1.3x on a scan row, and no auto row slower than its f64 twin
+    // Mixed-precision roll-up: per scan strategy, how the f32 and i8
+    // screens and the auto planner compare against f64-direct across
+    // datasets and ks. (PR acceptance reads these at scale 1: at least one
+    // f32 ratio >= 1.3x on a scan row, at least one i8-vs-f32 ratio >=
+    // 1.3x on a Table-1 stand-in, and no auto row slower than its f64 twin
     // beyond noise.)
     let at = |strategy: &str, precision: &str, dataset: &str, k: usize| -> Option<f64> {
         records
@@ -245,13 +248,19 @@ fn main() {
     };
     for strategy in ["Blocked MM", "Maximus", "LEMP"] {
         let mut f32_ratios = Vec::new();
+        let mut i8_vs_f32 = Vec::new();
         let mut auto_worst = f64::INFINITY;
         for r in records
             .iter()
             .filter(|r| r.strategy == strategy && r.precision == "f64")
         {
-            if let Some(f32_secs) = at(strategy, "f32-rescore", &r.dataset, r.k) {
+            let f32_secs = at(strategy, "f32-rescore", &r.dataset, r.k);
+            let i8_secs = at(strategy, "i8-rescore", &r.dataset, r.k);
+            if let Some(f32_secs) = f32_secs {
                 f32_ratios.push(r.serve_seconds / f32_secs);
+            }
+            if let (Some(f32_secs), Some(i8_secs)) = (f32_secs, i8_secs) {
+                i8_vs_f32.push(f32_secs / i8_secs);
             }
             if let Some(auto_secs) = at(strategy, "auto", &r.dataset, r.k) {
                 auto_worst = auto_worst.min(r.serve_seconds / auto_secs);
@@ -264,6 +273,14 @@ fn main() {
                 best,
                 geo_mean(&f32_ratios),
                 auto_worst
+            );
+        }
+        if !i8_vs_f32.is_empty() {
+            let best = i8_vs_f32.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{strategy}: i8 screen vs f32 screen — best {:.2}x, geo-mean {:.2}x",
+                best,
+                geo_mean(&i8_vs_f32),
             );
         }
     }

@@ -624,11 +624,13 @@ mod tests {
   "results": [
     {"dataset": "Netflix", "strategy": "Blocked MM", "precision": "f64", "k": 1, "build_seconds": 0.000010, "serve_seconds": 0.100000, "kernel": "avx2-fma"},
     {"dataset": "Netflix", "strategy": "Blocked MM", "precision": "f32-rescore", "k": 1, "build_seconds": 0.000020, "serve_seconds": 0.060000, "kernel": "avx2-fma"},
+    {"dataset": "Netflix", "strategy": "Blocked MM", "precision": "i8-rescore", "k": 1, "build_seconds": 0.000025, "serve_seconds": 0.040000, "kernel": "avx2-fma"},
     {"dataset": "Netflix", "strategy": "Blocked MM", "precision": "auto", "k": 1, "build_seconds": 0.000020, "serve_seconds": 0.061000, "kernel": "avx2-fma"}
   ],
   "serve": [
     {"dataset": "Netflix", "workload": "precision-sweep", "index_scope": "global", "precision": "f64", "workers": 1, "shards": 1, "batching": true, "max_batch": 32, "batch_window_us": 200, "requests": 96, "swaps": 0, "mean_batch": 32.00, "requests_per_sec": 250000.0, "seconds_per_request": 0.00000400, "p50_us": 180.0, "p99_us": 260.0},
-    {"dataset": "Netflix", "workload": "precision-sweep", "index_scope": "global", "precision": "f32-rescore", "workers": 1, "shards": 1, "batching": true, "max_batch": 32, "batch_window_us": 200, "requests": 96, "swaps": 0, "mean_batch": 32.00, "requests_per_sec": 330000.0, "seconds_per_request": 0.00000303, "p50_us": 150.0, "p99_us": 220.0}
+    {"dataset": "Netflix", "workload": "precision-sweep", "index_scope": "global", "precision": "f32-rescore", "workers": 1, "shards": 1, "batching": true, "max_batch": 32, "batch_window_us": 200, "requests": 96, "swaps": 0, "mean_batch": 32.00, "requests_per_sec": 330000.0, "seconds_per_request": 0.00000303, "p50_us": 150.0, "p99_us": 220.0},
+    {"dataset": "Netflix", "workload": "precision-sweep", "index_scope": "global", "precision": "i8-rescore", "workers": 1, "shards": 1, "batching": true, "max_batch": 32, "batch_window_us": 200, "requests": 96, "swaps": 0, "mean_batch": 32.00, "requests_per_sec": 440000.0, "seconds_per_request": 0.00000227, "p50_us": 120.0, "p99_us": 180.0}
   ]
 }
 "#;
@@ -638,14 +640,15 @@ mod tests {
         // Rows identical except for precision must be distinct identities,
         // in both the figure digest and the serve digest.
         let (_, rows) = parse_digest(PRECISION_DIGEST);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 7);
         let keys: Vec<String> = rows.iter().map(row_key).collect();
         assert!(keys[0].contains("precision=f64"), "{}", keys[0]);
         assert!(keys[1].contains("precision=f32-rescore"), "{}", keys[1]);
-        assert!(keys[2].contains("precision=auto"), "{}", keys[2]);
+        assert!(keys[2].contains("precision=i8-rescore"), "{}", keys[2]);
+        assert!(keys[3].contains("precision=auto"), "{}", keys[3]);
         assert_eq!(
             keys.iter().collect::<std::collections::BTreeSet<_>>().len(),
-            5
+            7
         );
         // A slowdown confined to the f32 screen fails exactly that row:
         // the mixed-precision path cannot regress behind the f64 rows'
@@ -661,6 +664,17 @@ mod tests {
         assert_eq!(failed.len(), 1);
         assert!(failed[0].key.contains("precision=f32-rescore"));
         assert!(failed[0].key.contains("strategy=Blocked MM"));
+        // Same isolation for the int8 tier: only its own row fails.
+        let slowed_i8 = PRECISION_DIGEST.replace(
+            "\"precision\": \"i8-rescore\", \"k\": 1, \"build_seconds\": 0.000025, \"serve_seconds\": 0.040000",
+            "\"precision\": \"i8-rescore\", \"k\": 1, \"build_seconds\": 0.000025, \"serve_seconds\": 0.400000",
+        );
+        assert_ne!(slowed_i8, PRECISION_DIGEST);
+        let report = compare(PRECISION_DIGEST, &slowed_i8, 1.5, 6.0);
+        assert!(!report.passed(), "{}", report.render());
+        let failed: Vec<&GateRow> = report.rows.iter().filter(|r| r.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].key.contains("precision=i8-rescore"));
         // A dropped precision row is a gate failure, not a silent pass.
         let truncated: String = PRECISION_DIGEST
             .lines()

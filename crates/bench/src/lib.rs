@@ -163,13 +163,18 @@ pub fn single_backend_engine_at(
 }
 
 /// The numeric-path modes a backend gets bench rows for: the scan
-/// backends (BMM, MAXIMUS, LEMP) carry an f32 screen and compete under
-/// `Auto`; FEXIPRO's integer pipeline and the sparse inverted index are
-/// f64-direct only, so extra modes would just duplicate their rows.
+/// backends (BMM, MAXIMUS, LEMP) carry f32 and int8 screens and compete
+/// under `Auto`; FEXIPRO's integer pipeline and the sparse inverted index
+/// are f64-direct only, so extra modes would just duplicate their rows.
 pub fn backend_precisions(backend: &BenchBackend) -> Vec<Precision> {
     match backend.key {
         "bmm" | "maximus" | "lemp" => {
-            vec![Precision::F64, Precision::F32Rescore, Precision::Auto]
+            vec![
+                Precision::F64,
+                Precision::F32Rescore,
+                Precision::I8Rescore,
+                Precision::Auto,
+            ]
         }
         _ => vec![Precision::F64],
     }

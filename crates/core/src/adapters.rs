@@ -1,11 +1,11 @@
 //! [`MipsSolver`] adapters for the LEMP, FEXIPRO, and sparse inverted-index
 //! crates.
 
-use crate::solver::MipsSolver;
+use crate::solver::{MipsSolver, ScreenTally, ScreenTallyCells};
 use crate::sync::Arc;
 use mips_data::MfModel;
 use mips_fexipro::{FexiproConfig, FexiproIndex};
-use mips_lemp::{LempConfig, LempIndex};
+use mips_lemp::{LempConfig, LempIndex, QueryStats};
 use mips_sparse::{InvertedIndex, SparseConfig, SparseScratch};
 use mips_topk::TopKList;
 use std::ops::Range;
@@ -16,6 +16,9 @@ pub struct LempSolver {
     model: Arc<MfModel>,
     index: LempIndex,
     build_seconds: f64,
+    /// Cumulative screen candidate/survivor counts, drained by the serving
+    /// layer ([`MipsSolver::take_screen_stats`]).
+    screen_tally: ScreenTallyCells,
 }
 
 impl LempSolver {
@@ -28,6 +31,7 @@ impl LempSolver {
             model,
             index,
             build_seconds,
+            screen_tally: ScreenTallyCells::default(),
         }
     }
 
@@ -45,6 +49,26 @@ impl LempSolver {
             model,
             index,
             build_seconds,
+            screen_tally: ScreenTallyCells::default(),
+        }
+    }
+
+    /// [`LempSolver::build`] with the int8 screen enabled: scans pre-score
+    /// candidates with exact integer dots over symmetric int8 codes and
+    /// skip exact dots the quantization envelope proves hopeless, with
+    /// bit-identical results (see [`mips_lemp::scan`]). Falls back to the
+    /// plain f64 identity when the model quantizes degenerately. The
+    /// quantization pass is part of the reported build time.
+    pub fn build_screen_i8(model: Arc<MfModel>, config: &LempConfig) -> LempSolver {
+        let start = Instant::now();
+        let mut index = LempIndex::build(&model, config);
+        index.enable_screen_i8();
+        let build_seconds = start.elapsed().as_secs_f64();
+        LempSolver {
+            model,
+            index,
+            build_seconds,
+            screen_tally: ScreenTallyCells::default(),
         }
     }
 
@@ -52,11 +76,21 @@ impl LempSolver {
     pub fn index(&self) -> &LempIndex {
         &self.index
     }
+
+    /// Folds one query loop's scan counters into the drainable tally.
+    fn record_scan(&self, stats: &QueryStats) {
+        self.screen_tally.record(
+            stats.scan.screen_evaluated,
+            stats.scan.screen_evaluated - stats.scan.screen_pruned,
+        );
+    }
 }
 
 impl MipsSolver for LempSolver {
     fn name(&self) -> &str {
-        if self.index.is_screening() {
+        if self.index.is_screening_i8() {
+            "LEMP+i8"
+        } else if self.index.is_screening() {
             "LEMP+f32"
         } else {
             "LEMP"
@@ -72,7 +106,9 @@ impl MipsSolver for LempSolver {
     }
 
     fn precision(&self) -> crate::precision::Precision {
-        if self.index.is_screening() {
+        if self.index.is_screening_i8() {
+            crate::precision::Precision::I8Rescore
+        } else if self.index.is_screening() {
             crate::precision::Precision::F32Rescore
         } else {
             crate::precision::Precision::F64
@@ -85,18 +121,35 @@ impl MipsSolver for LempSolver {
 
     fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
         assert!(users.end <= self.num_users(), "user range out of bounds");
-        users
-            .map(|u| self.index.query(self.model.users().row(u), k))
-            .collect()
+        let mut stats = QueryStats::default();
+        let out = users
+            .map(|u| {
+                self.index
+                    .query_with_stats(self.model.users().row(u), k, &mut stats)
+            })
+            .collect();
+        self.record_scan(&stats);
+        out
     }
 
     fn query_subset(&self, k: usize, users: &[usize]) -> Vec<TopKList> {
         crate::solver::dedup_query_subset(users, |distinct| {
-            distinct
+            let mut stats = QueryStats::default();
+            let out = distinct
                 .iter()
-                .map(|&u| self.index.query(self.model.users().row(u), k))
-                .collect()
+                .map(|&u| {
+                    self.index
+                        .query_with_stats(self.model.users().row(u), k, &mut stats)
+                })
+                .collect();
+            self.record_scan(&stats);
+            out
         })
+    }
+
+    fn take_screen_stats(&self) -> Option<ScreenTally> {
+        (self.index.is_screening() || self.index.is_screening_i8())
+            .then(|| self.screen_tally.drain())
     }
 }
 

@@ -16,12 +16,13 @@
 //! ([`mips_linalg::simd`]); results are identical either way.
 
 use crate::precision::Precision;
-use crate::solver::MipsSolver;
+use crate::solver::{MipsSolver, ScreenTally, ScreenTallyCells};
 use crate::sync::Arc;
-use mips_data::{MfModel, Mirror32};
+use mips_data::{MfModel, Mirror32, MirrorI8};
 use mips_linalg::{gemm_nt_into_scratch, CacheConfig, GemmScratch, Matrix, RowBlock};
 use mips_topk::{
-    gemm_nt_topk, rows_topk, screen_topk_into_heaps, ColumnIds, ScreenScratch, TopKHeap, TopKList,
+    gemm_nt_topk, rows_topk, screen_i8_topk_into_heaps, screen_topk_into_heaps, ColumnIds,
+    QuantItems, QuantUsers, ScreenI8Scratch, ScreenScratch, TopKHeap, TopKList,
 };
 use std::ops::Range;
 use std::time::Instant;
@@ -49,12 +50,45 @@ pub struct BmmSolver {
     batch_rows: usize,
     build_seconds: f64,
     fused: bool,
-    /// `Some` on the mixed-precision path: scans run over this f32 mirror
-    /// with a conservative rounding envelope and survivors are rescored in
+    /// `Some` on a mixed-precision path: scans run over the tier's mirror
+    /// with a conservative error envelope and survivors are rescored in
     /// f64, so results stay bit-identical to the pure-f64 path (see
-    /// [`mips_topk::screen`]). `None` when the model doesn't round into f32
-    /// range ([`Mirror32::is_usable`]) — then serving silently stays f64.
-    mirror: Option<Arc<Mirror32>>,
+    /// [`mips_topk::screen`] / [`mips_topk::screen_i8`]). `None` when the
+    /// model doesn't mirror usably ([`Mirror32::is_usable`] /
+    /// [`MirrorI8::is_usable`]) — then serving silently stays f64.
+    screen: Option<ScreenTier>,
+    /// Cumulative screen candidate/survivor counts, drained by the serving
+    /// layer ([`MipsSolver::take_screen_stats`]). Clones share the cells —
+    /// the counters describe the screen's selectivity, not one handle's.
+    screen_tally: Arc<ScreenTallyCells>,
+}
+
+/// Which mixed-precision screen a [`BmmSolver`] scans with.
+#[derive(Debug, Clone)]
+enum ScreenTier {
+    /// f32 mirror with a rounding envelope ([`mips_topk::screen`]).
+    F32(Arc<Mirror32>),
+    /// int8 mirror with a quantization envelope ([`mips_topk::screen_i8`]).
+    I8(Arc<MirrorI8>),
+}
+
+/// One gathered block's worth of screen-side user data, matching the tier.
+enum BlockScreen<'a> {
+    F32(RowBlock<'a, f32>, &'a [f64]),
+    I8(QuantUsers<'a>),
+}
+
+/// Requested screen tier at build time (before usability gating).
+#[derive(Debug, Clone, Copy)]
+enum TierKind {
+    F32,
+    I8,
+}
+
+/// Owned screen-side user data gathered for a `query_subset` call.
+enum GatheredScreen {
+    F32(Matrix<f32>, Vec<f64>),
+    I8(Vec<i8>, Vec<f64>, Vec<f64>),
 }
 
 impl BmmSolver {
@@ -89,6 +123,26 @@ impl BmmSolver {
         Self::build_inner(Arc::clone(view.model()), view.user_range(), true, true)
     }
 
+    /// Prepares the int8-screen solver: the exact-integer i8 screen of the
+    /// scan plus an exact f64 rescore. The model's [`MirrorI8`] is built
+    /// here (or fetched from the epoch-shared cache), so quantization cost
+    /// is paid at build time, where OPTIMUS accounts it.
+    pub fn build_screen_i8(model: Arc<MfModel>) -> BmmSolver {
+        let users = 0..model.num_users();
+        Self::build_tier(model, users, Some(TierKind::I8))
+    }
+
+    /// [`BmmSolver::build_screen_i8`] over a contiguous user range — the
+    /// int8 mirror is shared with the parent model, so per-shard views get
+    /// it for free.
+    pub fn build_screen_i8_view(view: &mips_data::ModelView) -> BmmSolver {
+        Self::build_tier(
+            Arc::clone(view.model()),
+            view.user_range(),
+            Some(TierKind::I8),
+        )
+    }
+
     /// Prepares a solver that serves through the two-stage path (full score
     /// buffer, then a separate top-k pass). Kept for the fusion A/B benches
     /// and as a bisection aid; results are identical to the fused path.
@@ -103,19 +157,32 @@ impl BmmSolver {
         fused: bool,
         screen: bool,
     ) -> BmmSolver {
+        let mut solver = Self::build_tier(model, users, screen.then_some(TierKind::F32));
+        solver.fused = fused;
+        solver
+    }
+
+    fn build_tier(model: Arc<MfModel>, users: Range<usize>, tier: Option<TierKind>) -> BmmSolver {
         let start = Instant::now();
         let batch_rows = Self::pick_batch_rows(model.num_items(), model.num_factors());
-        let mirror = screen
-            .then(|| Arc::clone(model.mirror32()))
-            .filter(|m| m.is_usable());
+        let screen = match tier {
+            Some(TierKind::F32) => Some(Arc::clone(model.mirror32()))
+                .filter(|m| m.is_usable())
+                .map(ScreenTier::F32),
+            Some(TierKind::I8) => Some(Arc::clone(model.mirror_i8()))
+                .filter(|m| m.is_usable())
+                .map(ScreenTier::I8),
+            None => None,
+        };
         let build_seconds = start.elapsed().as_secs_f64();
         BmmSolver {
             model,
             users,
             batch_rows,
             build_seconds,
-            fused,
-            mirror,
+            fused: true,
+            screen,
+            screen_tally: Arc::new(ScreenTallyCells::default()),
         }
     }
 
@@ -137,10 +204,11 @@ impl BmmSolver {
         self.fused
     }
 
-    /// `true` when serving screens in f32 (a [`BmmSolver::build_screen`]
-    /// solver whose model rounds into f32 range).
+    /// `true` when serving screens in a lower precision (a
+    /// [`BmmSolver::build_screen`] / [`BmmSolver::build_screen_i8`] solver
+    /// whose model mirrors usably).
     pub fn is_screening(&self) -> bool {
-        self.mirror.is_some()
+        self.screen.is_some()
     }
 
     /// Serves one gathered user block into `out`, reusing the caller's
@@ -150,26 +218,46 @@ impl BmmSolver {
     fn serve_block_into(
         &self,
         users: RowBlock<'_, f64>,
-        screen: Option<(RowBlock<'_, f32>, &[f64])>,
+        screen: Option<BlockScreen<'_>>,
         k: usize,
         scratch: &mut BmmScratch,
         out: &mut Vec<TopKList>,
     ) {
         let n = self.model.num_items();
-        if let Some((users32, user_norms)) = screen {
-            let mirror = self.mirror.as_ref().expect("screen data implies a mirror");
+        if let Some(block_screen) = screen {
             let mut heaps: Vec<TopKHeap> = (0..users.rows()).map(|_| TopKHeap::new(k)).collect();
-            screen_topk_into_heaps(
-                users,
-                self.model.items().into(),
-                users32,
-                mirror.items().into(),
-                user_norms,
-                mirror.item_norms(),
-                &mut heaps,
-                ColumnIds::Offset(0),
-                &mut scratch.screen,
-            );
+            let stats = match (block_screen, self.screen.as_ref()) {
+                (BlockScreen::F32(users32, user_norms), Some(ScreenTier::F32(mirror))) => {
+                    screen_topk_into_heaps(
+                        users,
+                        self.model.items().into(),
+                        users32,
+                        mirror.items().into(),
+                        user_norms,
+                        mirror.item_norms(),
+                        &mut heaps,
+                        ColumnIds::Offset(0),
+                        &mut scratch.screen,
+                    )
+                }
+                (BlockScreen::I8(users_q), Some(ScreenTier::I8(mirror))) => {
+                    screen_i8_topk_into_heaps(
+                        users,
+                        self.model.items().into(),
+                        users_q,
+                        QuantItems {
+                            codes: mirror.items_q(),
+                            inv_scales: mirror.item_inv_scales(),
+                            l1: mirror.item_l1(),
+                        },
+                        &mut heaps,
+                        ColumnIds::Offset(0),
+                        &mut scratch.screen_i8,
+                    )
+                }
+                _ => unreachable!("block screen data mismatches the solver tier"),
+            };
+            self.screen_tally.record(stats.screened, stats.rescored);
             out.extend(heaps.into_iter().map(TopKHeap::into_sorted));
         } else if self.fused {
             out.extend(gemm_nt_topk(
@@ -198,6 +286,7 @@ struct BmmScratch {
     gemm: GemmScratch<f64>,
     scores: Vec<f64>,
     screen: ScreenScratch,
+    screen_i8: ScreenI8Scratch,
 }
 
 impl MipsSolver for BmmSolver {
@@ -205,10 +294,10 @@ impl MipsSolver for BmmSolver {
         // The suffix matches the planner's candidate labelling, so the
         // `backend` response field and OPTIMUS estimates distinguish the
         // two numeric paths.
-        if self.is_screening() {
-            "Blocked MM+f32"
-        } else {
-            "Blocked MM"
+        match self.screen {
+            Some(ScreenTier::F32(_)) => "Blocked MM+f32",
+            Some(ScreenTier::I8(_)) => "Blocked MM+i8",
+            None => "Blocked MM",
         }
     }
 
@@ -233,11 +322,17 @@ impl MipsSolver for BmmSolver {
         while start < users.end {
             let end = (start + self.batch_rows).min(users.end);
             let block = self.model.users().row_block(base + start, base + end);
-            let screen = self.mirror.as_ref().map(|m| {
-                (
+            let f = self.model.num_factors();
+            let screen = self.screen.as_ref().map(|tier| match tier {
+                ScreenTier::F32(m) => BlockScreen::F32(
                     m.users().row_block(base + start, base + end),
                     &m.user_norms()[base + start..base + end],
-                )
+                ),
+                ScreenTier::I8(m) => BlockScreen::I8(QuantUsers {
+                    codes: &m.users_q()[(base + start) * f..(base + end) * f],
+                    scales: &m.user_scales()[base + start..base + end],
+                    l1: &m.user_l1()[base + start..base + end],
+                }),
             });
             self.serve_block_into(block, screen, k, &mut scratch, &mut out);
             start = end;
@@ -256,18 +351,40 @@ impl MipsSolver for BmmSolver {
                 })
                 .collect();
             let gathered: Matrix<f64> = self.model.users().gather_rows(&rows);
-            let gathered32 = self.mirror.as_ref().map(|m| {
-                let norms: Vec<f64> = rows.iter().map(|&r| m.user_norms()[r]).collect();
-                (m.users().gather_rows(&rows), norms)
+            let gathered_screen = self.screen.as_ref().map(|tier| match tier {
+                ScreenTier::F32(m) => {
+                    let norms: Vec<f64> = rows.iter().map(|&r| m.user_norms()[r]).collect();
+                    GatheredScreen::F32(m.users().gather_rows(&rows), norms)
+                }
+                ScreenTier::I8(m) => {
+                    let f = m.factors();
+                    let mut codes = Vec::with_capacity(rows.len() * f);
+                    for &r in &rows {
+                        codes.extend_from_slice(&m.users_q()[r * f..(r + 1) * f]);
+                    }
+                    GatheredScreen::I8(
+                        codes,
+                        rows.iter().map(|&r| m.user_scales()[r]).collect(),
+                        rows.iter().map(|&r| m.user_l1()[r]).collect(),
+                    )
+                }
             });
+            let f = self.model.num_factors();
             let mut scratch = BmmScratch::default();
             let mut out = Vec::with_capacity(distinct.len());
             let mut start = 0;
             while start < gathered.rows() {
                 let end = (start + self.batch_rows).min(gathered.rows());
-                let screen = gathered32
-                    .as_ref()
-                    .map(|(m32, norms)| (m32.row_block(start, end), &norms[start..end]));
+                let screen = gathered_screen.as_ref().map(|g| match g {
+                    GatheredScreen::F32(m32, norms) => {
+                        BlockScreen::F32(m32.row_block(start, end), &norms[start..end])
+                    }
+                    GatheredScreen::I8(codes, scales, l1) => BlockScreen::I8(QuantUsers {
+                        codes: &codes[start * f..end * f],
+                        scales: &scales[start..end],
+                        l1: &l1[start..end],
+                    }),
+                });
                 self.serve_block_into(
                     gathered.row_block(start, end),
                     screen,
@@ -282,11 +399,15 @@ impl MipsSolver for BmmSolver {
     }
 
     fn precision(&self) -> Precision {
-        if self.is_screening() {
-            Precision::F32Rescore
-        } else {
-            Precision::F64
+        match self.screen {
+            Some(ScreenTier::F32(_)) => Precision::F32Rescore,
+            Some(ScreenTier::I8(_)) => Precision::I8Rescore,
+            None => Precision::F64,
         }
+    }
+
+    fn take_screen_stats(&self) -> Option<ScreenTally> {
+        self.screen.as_ref().map(|_| self.screen_tally.drain())
     }
 }
 

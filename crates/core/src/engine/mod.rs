@@ -282,11 +282,34 @@ impl EngineBuilder {
 /// suffixed key in their estimates.
 pub(crate) const SCREEN_SUFFIX: &str = "+f32";
 
+/// Cache-key suffix for the int8 screen tier — the variant below `+f32`:
+/// `"bmm+i8"` stores the epoch's i8 screen build of backend `"bmm"`, and
+/// Auto plans label i8 candidates with the same suffixed key.
+pub(crate) const SCREEN_I8_SUFFIX: &str = "+i8";
+
+/// Which screen tier a mixed-precision lookup targets. Both tiers share the
+/// cache plumbing ([`Engine::screen_solver_on`] and the shard variant);
+/// the kind only selects the cache-key suffix and the factory entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScreenKind {
+    F32,
+    I8,
+}
+
+impl ScreenKind {
+    fn suffix(self) -> &'static str {
+        match self {
+            ScreenKind::F32 => SCREEN_SUFFIX,
+            ScreenKind::I8 => SCREEN_I8_SUFFIX,
+        }
+    }
+}
+
 /// A planner candidate list: backend keys (suffixed for Auto's screen
 /// variants) parallel to the solvers they dispatch to.
 type PlanCandidates = (Vec<String>, Vec<Arc<dyn MipsSolver>>);
 
-/// Under `Auto`, a `+f32` screen variant displaces its own f64 build only
+/// Under `Auto`, a `+f32` or `+i8` screen variant displaces its own f64 build only
 /// when its sampled estimate is at most this fraction of the base's — i.e.
 /// clearly faster, not within sampling noise of a tie. See
 /// [`demote_marginal_screen_winner`] for the asymmetry argument that
@@ -302,7 +325,7 @@ pub(crate) const SCREEN_ADOPTION_MARGIN: f64 = 0.85;
 /// of magnitude.
 pub(crate) const SCREEN_ADOPTION_FLOOR_SECONDS: f64 = 500e-6;
 
-/// Screen-adoption margin: under `Auto` a `+f32` variant competes against
+/// Screen-adoption margin: under `Auto` a screen variant competes against
 /// its own f64 build, and the two run the identical access pattern — their
 /// sampled estimates differ by the screen's true advantage plus sampling
 /// noise. Adopting the screen on a hair's-breadth estimate trades bounded
@@ -313,16 +336,21 @@ pub(crate) const SCREEN_ADOPTION_FLOOR_SECONDS: f64 = 500e-6;
 /// kept incumbent forgoes at most the margin; a wrongly adopted screen
 /// can serve arbitrarily slower than the committed f64 baseline.
 ///
-/// `chosen` must index a `+f32` estimate; returns the index of its f64
-/// base when the winner should be demoted to it, `None` when the screen
-/// keeps the plan (clearly faster, or no base twin competed — the forced
-/// `F32Rescore` mode, where screens run under plain keys).
+/// `chosen` must index a `+f32` or `+i8` estimate; returns the index of
+/// its f64 base when the winner should be demoted to it, `None` when the
+/// screen keeps the plan (clearly faster, or no base twin competed — the
+/// forced `F32Rescore`/`I8Rescore` modes, where screens run under plain
+/// keys). Both screen tiers face the same incumbent and the same noise
+/// asymmetry, so they share one margin.
 fn demote_marginal_screen_winner(
     estimates: &[crate::optimus::StrategyEstimate],
     chosen: usize,
 ) -> Option<usize> {
     let screen = &estimates[chosen];
-    let base_name = screen.name.strip_suffix(SCREEN_SUFFIX)?;
+    let base_name = screen
+        .name
+        .strip_suffix(SCREEN_SUFFIX)
+        .or_else(|| screen.name.strip_suffix(SCREEN_I8_SUFFIX))?;
     estimates
         .iter()
         .position(|e| e.name == base_name)
@@ -508,33 +536,40 @@ impl Engine {
         })
     }
 
-    /// The mixed-precision (f32-screen) variant of `key`'s solver on one
-    /// epoch, cached in the same solver tier under `"<key>+f32"`.
-    /// `Ok(None)` when the backend has no screen path — determining that is
-    /// free (such factories return before building anything), so the probe
-    /// is repeated per call rather than cached.
+    /// The mixed-precision screen variant of `key`'s solver on one epoch,
+    /// cached in the same solver tier under `"<key>+f32"` or `"<key>+i8"`
+    /// per `kind`. `Ok(None)` when the backend has no path for that tier —
+    /// determining that is free (such factories return before building
+    /// anything), so the probe is repeated per call rather than cached.
     fn screen_solver_on(
         &self,
         state: &ModelEpoch,
         key: &str,
+        kind: ScreenKind,
     ) -> Result<Option<Arc<dyn MipsSolver>>, MipsError> {
         let factory = Arc::clone(
             self.registry
                 .get(key)
                 .ok_or_else(|| MipsError::UnknownBackend { key: key.into() })?,
         );
-        let cache_key = format!("{key}{SCREEN_SUFFIX}");
+        let cache_key = format!("{key}{}", kind.suffix());
         let cell = {
             let mut map = lock_recovering(&state.solvers);
             Arc::clone(map.entry(cache_key.clone()).or_default())
         };
         // "No screen path" travels through `get_or_build` as a sentinel
         // error so the cell stays unfilled and no half-state is cached.
-        match get_or_build(&cell, || match factory.build_screen(&state.model) {
-            Some(built) => Ok(Arc::from(built?) as Arc<dyn MipsSolver>),
-            None => Err(MipsError::UnknownBackend {
-                key: cache_key.clone(),
-            }),
+        match get_or_build(&cell, || {
+            let built = match kind {
+                ScreenKind::F32 => factory.build_screen(&state.model),
+                ScreenKind::I8 => factory.build_screen_i8(&state.model),
+            };
+            match built {
+                Some(built) => Ok(Arc::from(built?) as Arc<dyn MipsSolver>),
+                None => Err(MipsError::UnknownBackend {
+                    key: cache_key.clone(),
+                }),
+            }
         }) {
             Ok(solver) => Ok(Some(solver)),
             Err(MipsError::UnknownBackend { key: k }) if k == cache_key => Ok(None),
@@ -580,12 +615,14 @@ impl Engine {
     }
 
     /// The shard-local mixed-precision variant — [`Engine::screen_solver_on`]
-    /// over a user-range view, cached under `(bounds, "<key>+f32")`.
+    /// over a user-range view, cached under `(bounds, "<key>+f32")` or
+    /// `(bounds, "<key>+i8")` per `kind`.
     fn screen_shard_solver_on(
         &self,
         state: &ModelEpoch,
         users: &Range<usize>,
         key: &str,
+        kind: ScreenKind,
         stats: &mut ShardBuildStats,
     ) -> Result<Option<Arc<dyn MipsSolver>>, MipsError> {
         let factory = Arc::clone(
@@ -593,7 +630,7 @@ impl Engine {
                 .get(key)
                 .ok_or_else(|| MipsError::UnknownBackend { key: key.into() })?,
         );
-        let cache_key = format!("{key}{SCREEN_SUFFIX}");
+        let cache_key = format!("{key}{}", kind.suffix());
         let cell = {
             let mut map = lock_recovering(&state.shard_solvers);
             Arc::clone(
@@ -604,7 +641,11 @@ impl Engine {
         match get_or_build(&cell, || {
             let started = Instant::now();
             let view = ModelView::of_range(&state.model, users.clone());
-            match factory.build_screen_view(&view) {
+            let built = match kind {
+                ScreenKind::F32 => factory.build_screen_view(&view),
+                ScreenKind::I8 => factory.build_screen_i8_view(&view),
+            };
+            match built {
                 Some(built) => {
                     let solver: Arc<dyn MipsSolver> =
                         Arc::new(ShardScopedSolver::new(built?, users.start));
@@ -631,12 +672,16 @@ impl Engine {
     ) -> Result<QueryResponse, MipsError> {
         let state = self.snapshot();
         request.validate(&state.model)?;
-        // Named dispatch honors a forced F32Rescore (falling back to the
-        // f64 build when the backend has no screen path); under Auto the
-        // precision decision belongs to the planner, so unplanned named
-        // requests serve f64-direct.
+        // Named dispatch honors a forced F32Rescore/I8Rescore (falling
+        // back to the f64 build when the backend has no path for that
+        // tier); under Auto the precision decision belongs to the planner,
+        // so unplanned named requests serve f64-direct.
         let solver = match self.config.precision {
-            Precision::F32Rescore => match self.screen_solver_on(&state, key)? {
+            Precision::F32Rescore => match self.screen_solver_on(&state, key, ScreenKind::F32)? {
+                Some(screen) => screen,
+                None => self.solver_on(&state, key)?,
+            },
+            Precision::I8Rescore => match self.screen_solver_on(&state, key, ScreenKind::I8)? {
                 Some(screen) => screen,
                 None => self.solver_on(&state, key)?,
             },
@@ -772,11 +817,12 @@ impl Engine {
 
     /// Assembles the planner's candidate list for one epoch under the
     /// engine's precision mode: registry backends in order, where
-    /// [`Precision::F32Rescore`] substitutes each backend's screen variant
-    /// when it has one (labelled with the plain key — the mode is forced,
-    /// not competed), and [`Precision::Auto`] adds the screen variant as an
-    /// **extra** candidate labelled `"<key>+f32"` so OPTIMUS prices the two
-    /// modes against each other.
+    /// [`Precision::F32Rescore`] and [`Precision::I8Rescore`] substitute
+    /// each backend's screen variant for the forced tier when it has one
+    /// (labelled with the plain key — the mode is forced, not competed),
+    /// and [`Precision::Auto`] adds each available screen variant as an
+    /// **extra** candidate labelled `"<key>+f32"` / `"<key>+i8"` so
+    /// OPTIMUS prices the three modes against each other.
     fn precision_candidates(&self, state: &ModelEpoch) -> Result<PlanCandidates, MipsError> {
         let mut keys = Vec::new();
         let mut solvers: Vec<Arc<dyn MipsSolver>> = Vec::new();
@@ -787,7 +833,15 @@ impl Engine {
                     solvers.push(self.solver_on(state, key)?);
                 }
                 Precision::F32Rescore => {
-                    let solver = match self.screen_solver_on(state, key)? {
+                    let solver = match self.screen_solver_on(state, key, ScreenKind::F32)? {
+                        Some(screen) => screen,
+                        None => self.solver_on(state, key)?,
+                    };
+                    keys.push(key.to_string());
+                    solvers.push(solver);
+                }
+                Precision::I8Rescore => {
+                    let solver = match self.screen_solver_on(state, key, ScreenKind::I8)? {
                         Some(screen) => screen,
                         None => self.solver_on(state, key)?,
                     };
@@ -797,9 +851,11 @@ impl Engine {
                 Precision::Auto => {
                     keys.push(key.to_string());
                     solvers.push(self.solver_on(state, key)?);
-                    if let Some(screen) = self.screen_solver_on(state, key)? {
-                        keys.push(format!("{key}{SCREEN_SUFFIX}"));
-                        solvers.push(screen);
+                    for kind in [ScreenKind::F32, ScreenKind::I8] {
+                        if let Some(screen) = self.screen_solver_on(state, key, kind)? {
+                            keys.push(format!("{key}{}", kind.suffix()));
+                            solvers.push(screen);
+                        }
                     }
                 }
             }
@@ -885,7 +941,26 @@ impl Engine {
                     candidates.push((key.to_string(), true, solver));
                 }
                 Precision::F32Rescore => {
-                    let solver = match self.screen_shard_solver_on(state, users, key, stats)? {
+                    let solver = match self.screen_shard_solver_on(
+                        state,
+                        users,
+                        key,
+                        ScreenKind::F32,
+                        stats,
+                    )? {
+                        Some(screen) => screen,
+                        None => self.shard_solver_on(state, users, key, stats)?,
+                    };
+                    candidates.push((key.to_string(), true, solver));
+                }
+                Precision::I8Rescore => {
+                    let solver = match self.screen_shard_solver_on(
+                        state,
+                        users,
+                        key,
+                        ScreenKind::I8,
+                        stats,
+                    )? {
                         Some(screen) => screen,
                         None => self.shard_solver_on(state, users, key, stats)?,
                     };
@@ -894,8 +969,12 @@ impl Engine {
                 Precision::Auto => {
                     let solver = self.shard_solver_on(state, users, key, stats)?;
                     candidates.push((key.to_string(), true, solver));
-                    if let Some(screen) = self.screen_shard_solver_on(state, users, key, stats)? {
-                        candidates.push((format!("{key}{SCREEN_SUFFIX}"), true, screen));
+                    for kind in [ScreenKind::F32, ScreenKind::I8] {
+                        if let Some(screen) =
+                            self.screen_shard_solver_on(state, users, key, kind, stats)?
+                        {
+                            candidates.push((format!("{key}{}", kind.suffix()), true, screen));
+                        }
                     }
                 }
             }
@@ -971,7 +1050,10 @@ impl Engine {
         let refs: Vec<&dyn MipsSolver> = order.iter().map(|&i| solvers[i].as_ref()).collect();
         let mut choice = optimus.choose(view, k, &refs);
 
-        if refs[choice.chosen].precision() == Precision::F32Rescore {
+        if matches!(
+            refs[choice.chosen].precision(),
+            Precision::F32Rescore | Precision::I8Rescore
+        ) {
             if let Some(base) = demote_marginal_screen_winner(&choice.estimates, choice.chosen) {
                 choice.chosen = base;
             }
@@ -2021,6 +2103,20 @@ mod tests {
         // winner has no base twin — nothing to demote to.
         let forced = [estimate("Blocked MM", 1.0), estimate("Maximus+f32", 0.99)];
         assert_eq!(demote_marginal_screen_winner(&forced, 1), None);
+        // The int8 tier rides the same adoption discipline: marginal `+i8`
+        // winners demote to their f64 base, clear wins stand, and an i8
+        // winner never demotes to the `+f32` sibling (the base is the
+        // plain key, not the other screen tier).
+        let noisy_i8 = [estimate("LEMP", 1.00), estimate("LEMP+i8", 0.95)];
+        assert_eq!(demote_marginal_screen_winner(&noisy_i8, 1), Some(0));
+        let clear_i8 = [estimate("LEMP", 1.00), estimate("LEMP+i8", 0.60)];
+        assert_eq!(demote_marginal_screen_winner(&clear_i8, 1), None);
+        let three_way = [
+            estimate("LEMP", 1.00),
+            estimate("LEMP+f32", 0.70),
+            estimate("LEMP+i8", 0.95),
+        ];
+        assert_eq!(demote_marginal_screen_winner(&three_way, 2), Some(0));
     }
 
     #[test]
@@ -2033,10 +2129,18 @@ mod tests {
             .build()
             .unwrap();
         let plan = engine.prepare(4).unwrap();
-        // 5 registry backends + 3 screen variants (bmm, maximus, lemp).
-        assert_eq!(plan.estimates().len(), engine.registry().keys().len() + 3);
+        // 5 registry backends + 2 screen tiers × 3 screening backends
+        // (bmm, maximus, lemp).
+        assert_eq!(plan.estimates().len(), engine.registry().keys().len() + 6);
         let names: Vec<&str> = plan.estimates().iter().map(|e| e.name.as_str()).collect();
-        for screened in ["Blocked MM+f32", "Maximus+f32", "LEMP+f32"] {
+        for screened in [
+            "Blocked MM+f32",
+            "Maximus+f32",
+            "LEMP+f32",
+            "Blocked MM+i8",
+            "Maximus+i8",
+            "LEMP+i8",
+        ] {
             assert!(names.contains(&screened), "{screened} missing in {names:?}");
         }
         // Whatever Auto picked, results match the pure-f64 engine's winner

@@ -69,6 +69,29 @@ pub trait SolverFactory: Send + Sync {
     ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
         self.build_screen(&view.to_model())
     }
+
+    /// Constructs the int8 screen variant of this backend — scans run
+    /// exact integer dots over symmetric int8 codes with a quantization
+    /// envelope, survivors are rescored in f64, results stay bit-identical
+    /// (see [`mips_topk::screen_i8`]). `None` (the default) means the
+    /// backend has no i8 path: the engine then serves it f64-direct under
+    /// every [`Precision`](crate::precision::Precision) setting.
+    fn build_screen_i8(
+        &self,
+        _model: &Arc<MfModel>,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        None
+    }
+
+    /// Shard-local [`SolverFactory::build_screen_i8`] over a user-range
+    /// view; defaults to materializing the view like
+    /// [`SolverFactory::build_view`], zero-copy factories override it.
+    fn build_screen_i8_view(
+        &self,
+        view: &ModelView,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        self.build_screen_i8(&view.to_model())
+    }
 }
 
 /// Factory for the brute-force blocked matrix multiply.
@@ -101,6 +124,22 @@ impl SolverFactory for BmmFactory {
         // Zero-copy like build_view; the f32 mirror is shared with the
         // parent model, so sibling shards reuse one rounding pass.
         Some(Ok(Box::new(BmmSolver::build_screen_view(view))))
+    }
+
+    fn build_screen_i8(
+        &self,
+        model: &Arc<MfModel>,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        Some(Ok(Box::new(BmmSolver::build_screen_i8(Arc::clone(model)))))
+    }
+
+    fn build_screen_i8_view(
+        &self,
+        view: &ModelView,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        // Zero-copy like build_view; the int8 mirror is shared with the
+        // parent model, so sibling shards reuse one quantization pass.
+        Some(Ok(Box::new(BmmSolver::build_screen_i8_view(view))))
     }
 }
 
@@ -155,6 +194,18 @@ impl SolverFactory for MaximusFactory {
         Some(self.validate_config().map(|()| {
             Box::new(MaximusIndex::build_screen(Arc::clone(model), &self.config))
                 as Box<dyn MipsSolver>
+        }))
+    }
+
+    fn build_screen_i8(
+        &self,
+        model: &Arc<MfModel>,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        Some(self.validate_config().map(|()| {
+            Box::new(MaximusIndex::build_screen_i8(
+                Arc::clone(model),
+                &self.config,
+            )) as Box<dyn MipsSolver>
         }))
     }
 
@@ -219,6 +270,16 @@ impl SolverFactory for LempFactory {
     fn build_screen(&self, model: &Arc<MfModel>) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
         Some(self.validate_config().map(|()| {
             Box::new(LempSolver::build_screen(Arc::clone(model), &self.config))
+                as Box<dyn MipsSolver>
+        }))
+    }
+
+    fn build_screen_i8(
+        &self,
+        model: &Arc<MfModel>,
+    ) -> Option<Result<Box<dyn MipsSolver>, MipsError>> {
+        Some(self.validate_config().map(|()| {
+            Box::new(LempSolver::build_screen_i8(Arc::clone(model), &self.config))
                 as Box<dyn MipsSolver>
         }))
     }
@@ -573,6 +634,37 @@ mod tests {
                     assert_eq!(
                         screened.precision(),
                         crate::precision::Precision::F32Rescore,
+                        "{}",
+                        factory.key()
+                    );
+                    let plain = factory.build(&m).expect("plain build");
+                    let want = plain.query_all(3);
+                    let got = screened.query_all(3);
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.items, w.items, "{}", factory.key());
+                        for (a, b) in g.scores.iter().zip(&w.scores) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{}", factory.key());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screen_i8_builds_cover_the_scan_backends_and_stay_bit_identical() {
+        let registry = BackendRegistry::with_defaults();
+        let m = model();
+        for factory in registry.factories() {
+            let has_i8 = matches!(factory.key(), "bmm" | "maximus" | "lemp");
+            match factory.build_screen_i8(&m) {
+                None => assert!(!has_i8, "{} lost its i8 path", factory.key()),
+                Some(built) => {
+                    assert!(has_i8, "{} unexpectedly screens in i8", factory.key());
+                    let screened = built.expect("i8 screen build");
+                    assert_eq!(
+                        screened.precision(),
+                        crate::precision::Precision::I8Rescore,
                         "{}",
                         factory.key()
                     );

@@ -143,6 +143,10 @@ impl MipsSolver for ShardScopedSolver {
         self.inner.precision()
     }
 
+    fn take_screen_stats(&self) -> Option<crate::solver::ScreenTally> {
+        self.inner.take_screen_stats()
+    }
+
     fn query_all(&self, _k: usize) -> Vec<TopKList> {
         // No coherent meaning exists: every other MipsSolver returns one
         // list per user id in 0..num_users(), but ids below the shard base

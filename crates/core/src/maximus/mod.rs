@@ -16,13 +16,13 @@
 pub mod bound;
 
 use crate::maximus::bound::stored_bound;
-use crate::solver::MipsSolver;
+use crate::solver::{MipsSolver, ScreenTally, ScreenTallyCells};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::Arc;
 use mips_clustering::{kmeans, max_angles_per_cluster, KMeansConfig};
 use mips_data::MfModel;
 use mips_linalg::kernels::{angle, dot, dot_gemm_ordered_x4, f32_screen_envelope_parts, norm2};
-use mips_linalg::{GemmScratch, Matrix};
+use mips_linalg::{dot_i8, i8_screen_envelope_parts, quantize_row_i8, GemmScratch, Matrix};
 use mips_topk::{stream_topk_into_heaps, ColumnIds, TopKHeap, TopKList};
 use std::ops::Range;
 use std::time::Instant;
@@ -95,7 +95,8 @@ pub struct MaximusQueryStats {
     /// Items skipped by early termination.
     pub items_pruned: AtomicU64,
     /// Walked items whose exact dot (and guaranteed-rejected push) the
-    /// f32 screen skipped — counted neither as walked nor pruned.
+    /// mixed-precision screen — f32 or int8 — skipped; counted neither as
+    /// walked nor pruned.
     pub items_screen_pruned: AtomicU64,
 }
 
@@ -131,8 +132,42 @@ struct ClusterIndex {
     /// Rounded single-precision mirror of `items`, present only when the
     /// mixed-precision screen is enabled ([`MaximusIndex::enable_screen`]).
     items32: Option<Matrix<f32>>,
+    /// Symmetric int8 mirror of `items` in list order, present only when
+    /// the int8 screen is enabled ([`MaximusIndex::enable_screen_i8`]).
+    items_i8: Option<ClusterI8>,
     /// Members (user ids) of this cluster.
     members: Vec<u32>,
+}
+
+/// One cluster's int8 walk-screen data, gathered in list order from the
+/// model's shared [`mips_data::MirrorI8`] so sibling structures reuse one
+/// quantization pass and the walk streams codes sequentially like the f64
+/// item matrix.
+struct ClusterI8 {
+    /// Item codes per list position, row-major (`n × f`).
+    codes: Vec<i8>,
+    /// `1 / s_i` per list position (reconstruction multipliers).
+    inv_scales: Vec<f64>,
+    /// Exact L1 norm per list position (envelope input).
+    l1: Vec<f64>,
+}
+
+/// Per-user screen state for the list walk, set up once per user from the
+/// cluster's enabled tier.
+enum UserScreen<'a> {
+    F32 {
+        m32: &'a Matrix<f32>,
+        user32: Vec<f32>,
+        env_rel_u: f64,
+        env_abs: f64,
+    },
+    I8 {
+        ci: &'a ClusterI8,
+        codes: Vec<i8>,
+        inv_su: f64,
+        env_a: f64,
+        env_b: f64,
+    },
 }
 
 /// The built MAXIMUS index.
@@ -145,7 +180,12 @@ pub struct MaximusIndex {
     build_stats: MaximusBuildStats,
     build_seconds: f64,
     query_stats: MaximusQueryStats,
+    /// Cumulative screen candidate/survivor counts, drained by the serving
+    /// layer ([`MipsSolver::take_screen_stats`]); separate from
+    /// [`MaximusQueryStats`], whose counters benches read cumulatively.
+    screen_tally: ScreenTallyCells,
     screening: bool,
+    screening_i8: bool,
 }
 
 impl MaximusIndex {
@@ -214,8 +254,10 @@ impl MaximusIndex {
             },
             build_seconds: clustering_seconds + construction_seconds,
             query_stats: MaximusQueryStats::default(),
+            screen_tally: ScreenTallyCells::default(),
             model,
             screening: false,
+            screening_i8: false,
         }
     }
 
@@ -223,6 +265,14 @@ impl MaximusIndex {
     pub fn build_screen(model: Arc<MfModel>, config: &MaximusConfig) -> MaximusIndex {
         let mut index = MaximusIndex::build(model, config);
         index.enable_screen();
+        index
+    }
+
+    /// [`MaximusIndex::build`] with the int8 screen enabled (when the
+    /// model quantizes usably — degenerate models build the plain index).
+    pub fn build_screen_i8(model: Arc<MfModel>, config: &MaximusConfig) -> MaximusIndex {
+        let mut index = MaximusIndex::build(model, config);
+        index.enable_screen_i8();
         index
     }
 
@@ -248,9 +298,55 @@ impl MaximusIndex {
         self.build_seconds += t.elapsed().as_secs_f64();
     }
 
+    /// Enables the int8 screen on the **list walk** — the tier below
+    /// [`MaximusIndex::enable_screen`]: each cluster gathers symmetric int8
+    /// codes (plus reconstruction scales and L1 norms) from the model's
+    /// shared [`mips_data::MirrorI8`] in list order, and walked items are
+    /// pre-scored with exact integer dots — the exact f64 dot and its push
+    /// are skipped only when the quantization-envelope-widened estimate
+    /// proves the push would be rejected, so results stay bit-identical.
+    /// No-op (the index keeps its plain f64 identity) when the model's
+    /// quantization is degenerate — subnormal rows or factor counts past
+    /// the i32-overflow cap. Takes precedence over an armed f32 screen.
+    /// The gather pass is timed into `build_seconds`. Idempotent.
+    pub fn enable_screen_i8(&mut self) {
+        let t = Instant::now();
+        let mirror = self.model.mirror_i8();
+        if !mirror.is_usable() {
+            return;
+        }
+        let f = self.model.num_factors();
+        for c in &mut self.clusters {
+            if c.items_i8.is_none() {
+                let n = c.list_ids.len();
+                let mut codes = vec![0i8; n * f];
+                let mut inv_scales = Vec::with_capacity(n);
+                let mut l1 = Vec::with_capacity(n);
+                for (pos, &id) in c.list_ids.iter().enumerate() {
+                    codes[pos * f..(pos + 1) * f].copy_from_slice(mirror.item_row(id as usize));
+                    inv_scales.push(mirror.item_inv_scales()[id as usize]);
+                    l1.push(mirror.item_l1()[id as usize]);
+                }
+                c.items_i8 = Some(ClusterI8 {
+                    codes,
+                    inv_scales,
+                    l1,
+                });
+            }
+        }
+        self.screening_i8 = true;
+        self.build_seconds += t.elapsed().as_secs_f64();
+    }
+
     /// `true` once [`MaximusIndex::enable_screen`] has armed the screen.
     pub fn is_screening(&self) -> bool {
         self.screening
+    }
+
+    /// `true` once [`MaximusIndex::enable_screen_i8`] has armed the int8
+    /// screen (never on models whose quantization is degenerate).
+    pub fn is_screening_i8(&self) -> bool {
+        self.screening_i8
     }
 
     /// Build-stage breakdown (Fig. 8).
@@ -315,19 +411,44 @@ impl MaximusIndex {
         for (mut heap, &(pos, u)) in heaps.into_iter().zip(group) {
             let user = self.model.users().row(u);
             let unorm = norm2(user);
-            // Walk-phase screen state: the rounded user row plus the
-            // envelope coefficients (per-item envelope is
-            // `env_rel_u·‖i‖ + env_abs`). Absent unless screening.
-            let screen = cluster
-                .items32
-                .as_ref()
-                .filter(|_| self.screening)
-                .map(|m32| {
+            // Walk-phase screen state: the quantized/rounded user row plus
+            // the envelope coefficients (per-item envelope is
+            // `env_rel_u·‖i‖ + env_abs` for f32, `env_a·(1/s_i) + env_b·‖i‖₁`
+            // for int8). Absent unless a screen tier is armed; a user row
+            // whose quantization degenerates (non-finite scale or L1) walks
+            // unscreened — still exact, just unaccelerated.
+            let screen: Option<UserScreen<'_>> = if self.screening_i8 {
+                cluster.items_i8.as_ref().and_then(|ci| {
+                    let mut codes = vec![0i8; user.len()];
+                    let (su, ul1) = quantize_row_i8(user, &mut codes);
+                    if !(su.is_finite() && ul1.is_finite()) {
+                        return None;
+                    }
+                    let (env_a, env_b) = i8_screen_envelope_parts(user.len(), su, ul1);
+                    Some(UserScreen::I8 {
+                        ci,
+                        codes,
+                        inv_su: 1.0 / su,
+                        env_a,
+                        env_b,
+                    })
+                })
+            } else if self.screening {
+                cluster.items32.as_ref().map(|m32| {
                     let (rel, abs) = f32_screen_envelope_parts(user.len());
                     let user32: Vec<f32> = user.iter().map(|&v| v as f32).collect();
-                    (m32, user32, rel * unorm, abs)
-                });
+                    UserScreen::F32 {
+                        m32,
+                        user32,
+                        env_rel_u: rel * unorm,
+                        env_abs: abs,
+                    }
+                })
+            } else {
+                None
+            };
             let mut walked = 0u64;
+            let mut screen_evaluated = 0u64;
             let mut screened_out = 0u64;
             let mut walk_admitted = false;
             let mut list_pos = block;
@@ -338,19 +459,48 @@ impl MaximusIndex {
                     break;
                 }
                 // Mixed-precision screen: when even the envelope-widened
-                // f32 score sits strictly below the threshold, the exact
+                // screen score sits strictly below the threshold, the exact
                 // score does too and its push would be rejected — skipping
                 // dot and push leaves the heap trajectory bit-identical. A
-                // non-finite screen score (f32 overflow) never prunes.
-                if let Some((m32, user32, env_rel_u, env_abs)) = &screen {
-                    if heap.is_full() {
-                        let s32 = dot(user32.as_slice(), m32.row(list_pos)) as f64;
-                        let env = env_rel_u.mul_add(cluster.norms[list_pos], *env_abs);
-                        if s32.is_finite() && s32 + env < heap.threshold() {
-                            screened_out += 1;
-                            list_pos += 1;
-                            continue;
+                // non-finite f32 screen score (overflow) never prunes; the
+                // int8 estimate is always finite by construction.
+                if heap.is_full() {
+                    match &screen {
+                        Some(UserScreen::F32 {
+                            m32,
+                            user32,
+                            env_rel_u,
+                            env_abs,
+                        }) => {
+                            let s32 = dot(user32.as_slice(), m32.row(list_pos)) as f64;
+                            let env = env_rel_u.mul_add(cluster.norms[list_pos], *env_abs);
+                            screen_evaluated += 1;
+                            if s32.is_finite() && s32 + env < heap.threshold() {
+                                screened_out += 1;
+                                list_pos += 1;
+                                continue;
+                            }
                         }
+                        Some(UserScreen::I8 {
+                            ci,
+                            codes,
+                            inv_su,
+                            env_a,
+                            env_b,
+                        }) => {
+                            let f = codes.len();
+                            let d = dot_i8(codes, &ci.codes[list_pos * f..(list_pos + 1) * f]);
+                            let inv_si = ci.inv_scales[list_pos];
+                            let est = d as f64 * (inv_su * inv_si);
+                            let env = env_a * inv_si + env_b * ci.l1[list_pos];
+                            screen_evaluated += 1;
+                            if est + env < heap.threshold() {
+                                screened_out += 1;
+                                list_pos += 1;
+                                continue;
+                            }
+                        }
+                        None => {}
                     }
                 }
                 let score = dot(user, cluster.items.row(list_pos));
@@ -364,6 +514,8 @@ impl MaximusIndex {
             self.query_stats
                 .items_screen_pruned
                 .fetch_add(screened_out, Ordering::Relaxed);
+            self.screen_tally
+                .record(screen_evaluated, screen_evaluated - screened_out);
             self.query_stats
                 .items_pruned
                 .fetch_add((n_items - list_pos) as u64, Ordering::Relaxed);
@@ -548,13 +700,16 @@ fn build_cluster_list(
         norms,
         items: gathered,
         items32: None,
+        items_i8: None,
         members,
     }
 }
 
 impl MipsSolver for MaximusIndex {
     fn name(&self) -> &str {
-        if self.screening {
+        if self.screening_i8 {
+            "Maximus+i8"
+        } else if self.screening {
             "Maximus+f32"
         } else {
             "Maximus"
@@ -570,7 +725,9 @@ impl MipsSolver for MaximusIndex {
     }
 
     fn precision(&self) -> crate::precision::Precision {
-        if self.screening {
+        if self.screening_i8 {
+            crate::precision::Precision::I8Rescore
+        } else if self.screening {
             crate::precision::Precision::F32Rescore
         } else {
             crate::precision::Precision::F64
@@ -579,6 +736,10 @@ impl MipsSolver for MaximusIndex {
 
     fn num_users(&self) -> usize {
         self.model.num_users()
+    }
+
+    fn take_screen_stats(&self) -> Option<ScreenTally> {
+        (self.screening || self.screening_i8).then(|| self.screen_tally.drain())
     }
 
     fn query_range(&self, k: usize, users: Range<usize>) -> Vec<TopKList> {
@@ -771,6 +932,40 @@ mod tests {
             "screen never engaged on a walk-dominated configuration"
         );
         // Screened items reduce walked dots relative to the plain index.
+        assert!(
+            stats.items_walked.load(Ordering::Relaxed)
+                < plain.query_stats().items_walked.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn screened_i8_walk_is_bit_identical_and_prunes() {
+        let m = model(60, 500, 16, 0.4);
+        let config = MaximusConfig {
+            block_size: 8,
+            ..small_config()
+        };
+        let plain = MaximusIndex::build(Arc::clone(&m), &config);
+        let screened = MaximusIndex::build_screen_i8(Arc::clone(&m), &config);
+        assert!(!plain.is_screening_i8());
+        assert!(screened.is_screening_i8());
+        assert_eq!(screened.name(), "Maximus+i8");
+        assert_eq!(screened.precision(), crate::precision::Precision::I8Rescore);
+        for k in [1usize, 5, 20] {
+            let want = plain.query_all(k);
+            let got = screened.query_all(k);
+            for u in 0..m.num_users() {
+                assert_eq!(got[u].items, want[u].items, "k={k} user {u}");
+                for (a, b) in got[u].scores.iter().zip(&want[u].scores) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "k={k} user {u}");
+                }
+            }
+        }
+        let stats = screened.query_stats();
+        assert!(
+            stats.items_screen_pruned.load(Ordering::Relaxed) > 0,
+            "i8 screen never engaged on a walk-dominated configuration"
+        );
         assert!(
             stats.items_walked.load(Ordering::Relaxed)
                 < plain.query_stats().items_walked.load(Ordering::Relaxed)

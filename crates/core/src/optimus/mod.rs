@@ -214,12 +214,17 @@ impl Optimus {
         // sample so their comparison is apples-to-apples; unpaired
         // candidates keep the cheap early-stopped sampling.
         let names: Vec<&str> = solvers.iter().map(|s| s.name()).collect();
+        // Both screen tiers pair with the same f64 base; a base with two
+        // screen variants is paired once and shared by both.
+        fn strip_tier(name: &str) -> Option<&str> {
+            name.strip_suffix(crate::engine::SCREEN_SUFFIX)
+                .or_else(|| name.strip_suffix(crate::engine::SCREEN_I8_SUFFIX))
+        }
         let screen_paired: Vec<bool> = names
             .iter()
             .map(|name| {
                 names.iter().any(|other| {
-                    other.strip_suffix(crate::engine::SCREEN_SUFFIX) == Some(name)
-                        || name.strip_suffix(crate::engine::SCREEN_SUFFIX) == Some(*other)
+                    strip_tier(other) == Some(name) || strip_tier(name) == Some(*other)
                 })
             })
             .collect();

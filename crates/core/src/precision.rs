@@ -1,12 +1,13 @@
 //! The numeric execution mode of the scan backends.
 //!
 //! The scan-dominated solvers (BMM, LEMP, MAXIMUS) can run their prune/scan
-//! phase over an f32 mirror of the factor block and rescore the surviving
-//! candidates in f64 ([`mips_topk::screen`]). Because the rescore uses the
-//! exact same f64 reduction as the direct path, the two modes are
-//! **bit-identical** in their results — the choice is purely a performance
-//! decision, which is why OPTIMUS can make it per plan under
-//! [`Precision::Auto`].
+//! phase over an f32 mirror of the factor block ([`mips_topk::screen`]) or
+//! over a symmetric int8 mirror with exact integer dots
+//! ([`mips_topk::screen_i8`]), and rescore the surviving candidates in f64.
+//! Because the rescore uses the exact same f64 reduction as the direct
+//! path, all modes are **bit-identical** in their results — the choice is
+//! purely a performance decision, which is why OPTIMUS can make it per plan
+//! under [`Precision::Auto`].
 
 /// How an engine (or one prepared plan) executes scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -19,9 +20,16 @@ pub enum Precision {
     /// without a screen path — and models whose factors round to ±∞ in f32
     /// — silently serve f64-direct.
     F32Rescore,
-    /// Let OPTIMUS cost f32-screen against f64-direct per backend and pick
-    /// the sampled winner. Never slower than the better of the two on the
-    /// sample.
+    /// Int8 screen — exact integer dots over per-row-scaled symmetric codes
+    /// with a quantization envelope — and exact f64 rescore of the
+    /// survivors. Bit-identical results to [`Precision::F64`]. Backends
+    /// without an i8 path — and models whose quantization degenerates
+    /// (subnormal rows, factor counts past the i32-overflow cap) — silently
+    /// serve f64-direct.
+    I8Rescore,
+    /// Let OPTIMUS cost the f32 and int8 screens against f64-direct per
+    /// backend and pick the sampled winner. Never slower than the best of
+    /// the modes on the sample.
     Auto,
 }
 
@@ -31,6 +39,7 @@ impl Precision {
         match self {
             Precision::F64 => "f64",
             Precision::F32Rescore => "f32-rescore",
+            Precision::I8Rescore => "i8-rescore",
             Precision::Auto => "auto",
         }
     }
@@ -40,6 +49,7 @@ impl Precision {
         match s {
             "f64" => Some(Precision::F64),
             "f32-rescore" => Some(Precision::F32Rescore),
+            "i8-rescore" => Some(Precision::I8Rescore),
             "auto" => Some(Precision::Auto),
             _ => None,
         }
@@ -58,7 +68,12 @@ mod tests {
 
     #[test]
     fn wire_names_round_trip() {
-        for p in [Precision::F64, Precision::F32Rescore, Precision::Auto] {
+        for p in [
+            Precision::F64,
+            Precision::F32Rescore,
+            Precision::I8Rescore,
+            Precision::Auto,
+        ] {
             assert_eq!(Precision::parse(p.as_str()), Some(p));
             assert_eq!(format!("{p}"), p.as_str());
         }

@@ -70,6 +70,62 @@ pub trait MipsSolver: Send + Sync {
     fn query_vector(&self, _query: &[f64], _k: usize) -> Option<TopKList> {
         None
     }
+
+    /// Drains the solver's cumulative mixed-precision screen counters:
+    /// everything screened and rescored since the last drain, across all
+    /// threads. `None` (the default) for solvers without a screen path; a
+    /// screening solver returns `Some` even when the drained counts are
+    /// zero. The serving layer calls this after every batch and folds the
+    /// tallies into the shard's per-mode candidate/survivor counters, so
+    /// under concurrency a drain may attribute another in-flight batch's
+    /// work to this one — per-batch attribution is approximate, but no
+    /// count is ever lost or double-counted and the shard totals stay
+    /// exact.
+    fn take_screen_stats(&self) -> Option<ScreenTally> {
+        None
+    }
+}
+
+/// One drain's worth of mixed-precision screen work (f32 or int8 tier —
+/// the solver's [`MipsSolver::precision`] says which).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenTally {
+    /// Scores the screen evaluated (candidates it could have pruned).
+    pub screened: u64,
+    /// Candidates that survived the envelope test and were rescored with
+    /// an exact f64 dot. `screened - rescored` exact dots were skipped.
+    pub rescored: u64,
+}
+
+/// Lock-free cells behind [`MipsSolver::take_screen_stats`]: screening
+/// solvers accumulate into these from their scan kernels and the serving
+/// layer drains them batch by batch.
+#[derive(Debug, Default)]
+pub struct ScreenTallyCells {
+    screened: crate::sync::atomic::AtomicU64,
+    rescored: crate::sync::atomic::AtomicU64,
+}
+
+impl ScreenTallyCells {
+    /// Adds one scan's counts.
+    pub fn record(&self, screened: u64, rescored: u64) {
+        use crate::sync::atomic::Ordering;
+        if screened > 0 {
+            self.screened.fetch_add(screened, Ordering::Relaxed);
+        }
+        if rescored > 0 {
+            self.rescored.fetch_add(rescored, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes everything recorded since the last drain, resetting to zero.
+    pub fn drain(&self) -> ScreenTally {
+        use crate::sync::atomic::Ordering;
+        ScreenTally {
+            screened: self.screened.swap(0, Ordering::Relaxed),
+            rescored: self.rescored.swap(0, Ordering::Relaxed),
+        }
+    }
 }
 
 /// Runs a subset query with repeated user ids deduplicated: each distinct

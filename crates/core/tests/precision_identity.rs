@@ -113,9 +113,14 @@ proptest! {
         let request = QueryRequest::top_k(k.min(n_items));
         let f64_engine = engine_at(&model, Precision::F64);
         let got = engine_at(&model, Precision::Auto).execute(&request).unwrap();
-        // Map the winner's display name ("LEMP+f32" → "LEMP") back to its
-        // registry key to pin the f64 reference to the same backend.
-        let base_name = got.backend.strip_suffix("+f32").unwrap_or(&got.backend);
+        // Map the winner's display name ("LEMP+f32" / "LEMP+i8" → "LEMP")
+        // back to its registry key to pin the f64 reference to the same
+        // backend.
+        let base_name = got
+            .backend
+            .strip_suffix("+f32")
+            .or_else(|| got.backend.strip_suffix("+i8"))
+            .unwrap_or(&got.backend);
         let key = f64_engine
             .backend_keys()
             .into_iter()

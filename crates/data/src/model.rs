@@ -1,7 +1,7 @@
 //! The matrix-factorization model type consumed by every MIPS solver, and
 //! the zero-copy [`ModelView`] over a contiguous user range of it.
 
-use mips_linalg::{dot, norm2, LinalgError, Matrix, RowBlock};
+use mips_linalg::{dot, norm2, quantize_row_i8, LinalgError, Matrix, RowBlock, I8_DOT_MAX_LEN};
 use std::fmt;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
@@ -72,6 +72,9 @@ pub struct MfModel {
     /// model shares an already built mirror (the mirror is a pure function
     /// of the factor matrices, which clones share).
     mirror32: OnceLock<Arc<Mirror32>>,
+    /// The lazily built int8 mirror (see [`MirrorI8`]); same caching and
+    /// sharing discipline as `mirror32`.
+    mirror_i8: OnceLock<Arc<MirrorI8>>,
 }
 
 /// The single-precision mirror of a model's factor matrices, plus the exact
@@ -140,6 +143,125 @@ impl Mirror32 {
     }
 }
 
+/// The int8 mirror of a model's factor matrices: every row quantized
+/// symmetrically to `[-127, 127]` with its own scale
+/// (`mips_linalg::quant::scale_for`), plus the exact (f64) L1 norms the int8
+/// screen envelope is evaluated against.
+///
+/// This is the data side of the int8 screen tier below the f32 one: scan
+/// backends compute the *exact* integer dot `D = q(u)·q(i)` (order-invariant,
+/// so bit-identical across SIMD kernels), reconstruct `ŝ = D/(s_u·s_i)`,
+/// widen by `mips_linalg::i8_screen_envelope_parts` — which needs `s_u`,
+/// `‖u‖₁`, `1/s_i`, and `‖i‖₁` — and rescore the survivors on the parent
+/// model's f64 matrices. The L1 norms are computed in f64 *before* rounding,
+/// so the envelope refers to the true vectors.
+///
+/// A mirror is unusable ([`MirrorI8::is_usable`]) when any row's scale is
+/// non-finite (a subnormal max-magnitude drives `127/max_abs` to infinity),
+/// any L1 norm is non-finite (NaN-poisoned unvalidated input), or the factor
+/// count exceeds the integer kernels' i32-overflow cap
+/// (`mips_linalg::I8_DOT_MAX_LEN`); consumers then fall back to the pure-f64
+/// path rather than screening against garbage.
+#[derive(Debug)]
+pub struct MirrorI8 {
+    users_q: Vec<i8>,
+    items_q: Vec<i8>,
+    f: usize,
+    user_scales: Vec<f64>,
+    item_inv_scales: Vec<f64>,
+    user_l1: Vec<f64>,
+    item_l1: Vec<f64>,
+    usable: bool,
+}
+
+impl MirrorI8 {
+    fn build(users: &Matrix<f64>, items: &Matrix<f64>) -> MirrorI8 {
+        let f = users.cols();
+        let quantize = |m: &Matrix<f64>| {
+            let mut q = vec![0i8; m.rows() * f];
+            let mut scales = Vec::with_capacity(m.rows());
+            let mut l1 = Vec::with_capacity(m.rows());
+            for (r, row) in m.iter_rows().enumerate() {
+                let (s, n1) = quantize_row_i8(row, &mut q[r * f..(r + 1) * f]);
+                scales.push(s);
+                l1.push(n1);
+            }
+            (q, scales, l1)
+        };
+        let (users_q, user_scales, user_l1) = quantize(users);
+        let (items_q, item_scales, item_l1) = quantize(items);
+        let usable = f <= I8_DOT_MAX_LEN
+            && user_scales
+                .iter()
+                .chain(&item_scales)
+                .all(|s| s.is_finite())
+            && user_l1.iter().chain(&item_l1).all(|n| n.is_finite());
+        MirrorI8 {
+            users_q,
+            items_q,
+            f,
+            user_scales,
+            item_inv_scales: item_scales.iter().map(|&s| 1.0 / s).collect(),
+            user_l1,
+            item_l1,
+            usable,
+        }
+    }
+
+    /// Latent factors per row.
+    pub fn factors(&self) -> usize {
+        self.f
+    }
+
+    /// The quantized codes of user row `r`.
+    pub fn user_row(&self, r: usize) -> &[i8] {
+        &self.users_q[r * self.f..(r + 1) * self.f]
+    }
+
+    /// The quantized codes of item row `r`.
+    pub fn item_row(&self, r: usize) -> &[i8] {
+        &self.items_q[r * self.f..(r + 1) * self.f]
+    }
+
+    /// The full quantized user matrix, row-major (`|U| × f`).
+    pub fn users_q(&self) -> &[i8] {
+        &self.users_q
+    }
+
+    /// The full quantized item matrix, row-major (`|I| × f`).
+    pub fn items_q(&self) -> &[i8] {
+        &self.items_q
+    }
+
+    /// Per-user quantization scale `s_u` (codes = round(value · s_u)).
+    pub fn user_scales(&self) -> &[f64] {
+        &self.user_scales
+    }
+
+    /// Per-item *inverse* scale `1/s_i`, precomputed because every screened
+    /// score multiplies by it.
+    pub fn item_inv_scales(&self) -> &[f64] {
+        &self.item_inv_scales
+    }
+
+    /// Exact (f64) L1 norm of each original user row.
+    pub fn user_l1(&self) -> &[f64] {
+        &self.user_l1
+    }
+
+    /// Exact (f64) L1 norm of each original item row.
+    pub fn item_l1(&self) -> &[f64] {
+        &self.item_l1
+    }
+
+    /// `false` when quantization degenerated (non-finite scale or L1) or the
+    /// factor count exceeds the integer kernels' overflow cap; consumers
+    /// must fall back to an unscreened path.
+    pub fn is_usable(&self) -> bool {
+        self.usable
+    }
+}
+
 impl MfModel {
     /// Builds and validates a model.
     pub fn new(
@@ -161,6 +283,7 @@ impl MfModel {
             items,
             validated: true,
             mirror32: OnceLock::new(),
+            mirror_i8: OnceLock::new(),
         })
     }
 
@@ -183,6 +306,7 @@ impl MfModel {
             items,
             validated: false,
             mirror32: OnceLock::new(),
+            mirror_i8: OnceLock::new(),
         }
     }
 
@@ -247,6 +371,7 @@ impl MfModel {
             // Row-gathering validated matrices cannot introduce NaN.
             validated: self.validated,
             mirror32: OnceLock::new(),
+            mirror_i8: OnceLock::new(),
         }
     }
 
@@ -256,6 +381,13 @@ impl MfModel {
     pub fn mirror32(&self) -> &Arc<Mirror32> {
         self.mirror32
             .get_or_init(|| Arc::new(Mirror32::build(&self.users, &self.items)))
+    }
+
+    /// The int8 mirror, built on first use and cached for the model's
+    /// lifetime (see [`MirrorI8`]). Thread-safe like [`MfModel::mirror32`].
+    pub fn mirror_i8(&self) -> &Arc<MirrorI8> {
+        self.mirror_i8
+            .get_or_init(|| Arc::new(MirrorI8::build(&self.users, &self.items)))
     }
 }
 
@@ -370,6 +502,7 @@ impl ModelView {
             // values are introduced.
             validated: self.model.validated,
             mirror32: OnceLock::new(),
+            mirror_i8: OnceLock::new(),
         })
     }
 
@@ -377,6 +510,12 @@ impl ModelView {
     /// of the model; local rows address it at `user_range().start + row`).
     pub fn mirror32(&self) -> &Arc<Mirror32> {
         self.model.mirror32()
+    }
+
+    /// The parent model's int8 mirror (shared across every view of the
+    /// model; local rows address it at `user_range().start + row`).
+    pub fn mirror_i8(&self) -> &Arc<MirrorI8> {
+        self.model.mirror_i8()
     }
 }
 
@@ -495,6 +634,45 @@ mod tests {
         let users = Matrix::from_vec(1, 2, vec![1e300, 0.0]).unwrap();
         let m = MfModel::new("big", users, items3x2()).unwrap();
         assert!(!m.mirror32().is_usable());
+    }
+
+    #[test]
+    fn mirror_i8_is_lazy_shared_and_quantizes_per_row() {
+        let m = MfModel::new_shared("m", users2x2(), items3x2()).unwrap();
+        let mirror = m.mirror_i8();
+        assert!(mirror.is_usable());
+        assert_eq!(mirror.factors(), 2);
+        // User row 0 = [1, 0]: max-abs 1 → scale 127, codes [127, 0].
+        assert_eq!(mirror.user_row(0), &[127, 0]);
+        assert!((mirror.user_scales()[0] - 127.0).abs() < 1e-12);
+        assert!((mirror.user_l1()[0] - 1.0).abs() < 1e-12);
+        // Item row 2 = [5, 6]: max-abs 6 → scale 127/6, codes round(v·s).
+        let s: f64 = 127.0 / 6.0;
+        assert_eq!(mirror.item_row(2), &[(5.0 * s).round() as i8, 127]);
+        assert!((mirror.item_inv_scales()[2] - 6.0 / 127.0).abs() < 1e-15);
+        assert!((mirror.item_l1()[2] - 11.0).abs() < 1e-12);
+        assert_eq!(mirror.items_q().len(), 6);
+        // Repeated calls and views share one build.
+        assert!(Arc::ptr_eq(m.mirror_i8(), mirror));
+        let view = ModelView::of_range(&m, 0..1);
+        assert!(Arc::ptr_eq(view.mirror_i8(), mirror));
+    }
+
+    #[test]
+    fn mirror_i8_flags_subnormal_rows_as_unusable() {
+        // A subnormal max-magnitude drives scale = 127/max_abs to infinity.
+        let users = Matrix::from_vec(1, 2, vec![f64::MIN_POSITIVE / 4.0, 0.0]).unwrap();
+        let m = MfModel::new("tiny", users, items3x2()).unwrap();
+        assert!(!m.mirror_i8().is_usable());
+    }
+
+    #[test]
+    fn mirror_i8_flags_nan_input_as_unusable() {
+        // Unvalidated models may carry NaN; the L1 scan catches it.
+        let mut users = users2x2();
+        users.set(0, 0, f64::NAN);
+        let m = MfModel::new_unvalidated("nan", users, items3x2());
+        assert!(!m.mirror_i8().is_usable());
     }
 
     #[test]

@@ -68,11 +68,22 @@ pub fn int_upper_bound(qu: &[u32], user_scale: f64, items: &QuantizedItems, r: u
 }
 
 /// Scale mapping the largest magnitude to the top of the bit range.
+///
+/// Delegates to the shared [`mips_linalg::quant::scale_for`] policy so the
+/// FEXIPRO integer stage and the engine's int8 screen tier quantize with the
+/// same degenerate-input handling (all-zero blocks get scale 1). A subnormal
+/// `max_abs` drives the shared policy's ratio to +∞ — the int8 tier gates on
+/// that and falls back to f64, but FEXIPRO has no fallback path, so the
+/// scale clamps to 1 here: quantized magnitudes `⌈|x|⌉` still over-estimate
+/// the (tiny) true magnitudes, keeping the bound valid, and the u64 dot
+/// accumulator stays far from overflow instead of saturating at `u32::MAX`
+/// codes.
 fn scale_for(max_abs: f64, bits: u32) -> f64 {
-    if max_abs <= 0.0 {
-        1.0
+    let scale = mips_linalg::quant::scale_for(max_abs, ((1u64 << bits) - 1) as f64);
+    if scale.is_finite() {
+        scale
     } else {
-        ((1u64 << bits) - 1) as f64 / max_abs
+        1.0
     }
 }
 
@@ -146,6 +157,26 @@ mod tests {
         assert_eq!(qi.scale, 1.0);
         let (qu, su) = quantize_user(&[0.0; 4], 12);
         assert_eq!(int_upper_bound(&qu, su, &qi, 1), 0.0);
+    }
+
+    #[test]
+    fn subnormal_vectors_clamp_scale_and_keep_the_bound_valid() {
+        // A subnormal max_abs drives the shared scale policy to +∞; the
+        // FEXIPRO wrapper must clamp to 1 so codes stay tiny and the u64
+        // accumulator cannot overflow, while the bound stays one-sided.
+        let items = Matrix::from_fn(3, 4, |r, c| ((r + c) as f64 + 1.0) * 1.0e-320);
+        let qi = quantize_items(&items, 12);
+        assert_eq!(qi.scale, 1.0);
+        assert!(qi.q.iter().all(|&q| q <= 1));
+        let user = vec![2.0e-320; 4];
+        let (qu, su) = quantize_user(&user, 12);
+        assert_eq!(su, 1.0);
+        for r in 0..3 {
+            let truth = dot(&user, items.row(r));
+            let bound = int_upper_bound(&qu, su, &qi, r);
+            assert!(bound.is_finite());
+            assert!(bound >= truth.abs());
+        }
     }
 
     #[test]

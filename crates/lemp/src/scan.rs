@@ -21,9 +21,16 @@
 //! skipped when even the widened score cannot reach the heap threshold —
 //! the skipped push was guaranteed to be rejected, so results stay
 //! bit-identical to the pure double-precision scan.
+//!
+//! The **int8 screen** is the tier below: items carry symmetric int8 codes
+//! ([`crate::bucket::BucketI8`]), the pre-score is an exact integer dot
+//! reconstructed through the per-row scales, and the widening envelope is
+//! [`mips_linalg::i8_screen_envelope_parts`] — the same skip-only-when-
+//! hopeless discipline, an eighth of the scan bandwidth.
 
 use crate::bucket::Bucket;
 use mips_linalg::kernels::{dot, f32_screen_envelope_parts, norm2, suffix_norms};
+use mips_linalg::{dot_i8, i8_screen_envelope_parts, quantize_row_i8};
 use mips_topk::TopKHeap;
 
 /// Relative inflation applied to every pruning bound.
@@ -75,6 +82,22 @@ pub struct ScreenCtx {
     pub env_abs: f64,
 }
 
+/// Per-user state of the int8 screen (consumed by the scan kernels'
+/// verify-and-push step, preferred over [`ScreenCtx`] when both are armed).
+#[derive(Debug, Clone)]
+pub struct ScreenCtxI8 {
+    /// Symmetric int8 codes of the user vector.
+    pub codes: Vec<i8>,
+    /// `1 / s_u` (reconstruction multiplier).
+    pub inv_su: f64,
+    /// The envelope's scale-proportional term `a` of
+    /// [`i8_screen_envelope_parts`]: the per-item envelope is
+    /// `env_a · (1/s_i) + env_b · ‖i‖₁`.
+    pub env_a: f64,
+    /// The envelope's L1-proportional term `b`.
+    pub env_b: f64,
+}
+
 /// Per-user query state shared across buckets.
 #[derive(Debug, Clone)]
 pub struct UserCtx {
@@ -90,6 +113,9 @@ pub struct UserCtx {
     pub checkpoint: usize,
     /// f32 screen state, present only via [`UserCtx::with_screen`].
     pub screen: Option<ScreenCtx>,
+    /// int8 screen state, present only via [`UserCtx::with_screen_i8`]
+    /// (and only when the user row quantizes finitely).
+    pub screen_i8: Option<ScreenCtxI8>,
 }
 
 impl UserCtx {
@@ -116,6 +142,7 @@ impl UserCtx {
             unit_suffix_at_cp,
             checkpoint,
             screen: None,
+            screen_i8: None,
         }
     }
 
@@ -132,6 +159,27 @@ impl UserCtx {
         });
         self
     }
+
+    /// Arms the int8 screen: quantizes the user vector to symmetric int8
+    /// codes and precomputes the [`i8_screen_envelope_parts`] coefficients.
+    /// A user row whose quantization degenerates (non-finite scale or L1)
+    /// scans unscreened — still exact, just unaccelerated. Only buckets
+    /// that carry an int8 mirror ([`Bucket::build_screen_mirror_i8`])
+    /// actually screen.
+    pub fn with_screen_i8(mut self) -> UserCtx {
+        let mut codes = vec![0i8; self.user.len()];
+        let (su, ul1) = quantize_row_i8(&self.user, &mut codes);
+        if su.is_finite() && ul1.is_finite() {
+            let (env_a, env_b) = i8_screen_envelope_parts(self.user.len(), su, ul1);
+            self.screen_i8 = Some(ScreenCtxI8 {
+                codes,
+                inv_su: 1.0 / su,
+                env_a,
+                env_b,
+            });
+        }
+        self
+    }
 }
 
 /// Work counters accumulated during a scan.
@@ -143,8 +191,13 @@ pub struct ScanStats {
     pub length_pruned: u64,
     /// Items skipped by the INCR partial-product bound.
     pub incr_pruned: u64,
+    /// Items the mixed-precision screen evaluated (f32 or int8): every
+    /// screen pre-score computed, whether it pruned or not.
+    /// `screen_evaluated - screen_pruned` survivors went on to the exact
+    /// verification dot.
+    pub screen_evaluated: u64,
     /// Items whose exact verification dot (and guaranteed-rejected heap
-    /// push) was skipped by the f32 screen.
+    /// push) was skipped by the mixed-precision screen (f32 or int8).
     pub screen_pruned: u64,
 }
 
@@ -154,6 +207,7 @@ impl ScanStats {
         self.dots_computed += other.dots_computed;
         self.length_pruned += other.length_pruned;
         self.incr_pruned += other.incr_pruned;
+        self.screen_evaluated += other.screen_evaluated;
         self.screen_pruned += other.screen_pruned;
     }
 }
@@ -194,10 +248,25 @@ fn verify_and_push(
     heap: &mut TopKHeap,
     stats: &mut ScanStats,
 ) {
-    if let (Some(sc), Some(v32)) = (&ctx.screen, bucket.vectors32.as_ref()) {
-        if heap.is_full() {
+    if heap.is_full() {
+        // The int8 tier takes precedence when both screens are armed: same
+        // skip-only-when-hopeless discipline, an eighth of the bandwidth.
+        // The integer estimate is always finite by construction.
+        if let (Some(sc), Some(qi)) = (&ctx.screen_i8, bucket.vectors_i8.as_ref()) {
+            let f = sc.codes.len();
+            let d = dot_i8(&sc.codes, &qi.codes[r * f..(r + 1) * f]);
+            let inv_si = qi.inv_scales[r];
+            let est = d as f64 * (sc.inv_su * inv_si);
+            let env = sc.env_a * inv_si + sc.env_b * qi.l1[r];
+            stats.screen_evaluated += 1;
+            if est + env < heap.threshold() {
+                stats.screen_pruned += 1;
+                return;
+            }
+        } else if let (Some(sc), Some(v32)) = (&ctx.screen, bucket.vectors32.as_ref()) {
             let s32 = dot(&sc.user32, v32.row(r)) as f64;
             let env = sc.env_rel_u.mul_add(bucket.norms[r], sc.env_abs);
+            stats.screen_evaluated += 1;
             if s32.is_finite() && s32 + env < heap.threshold() {
                 stats.screen_pruned += 1;
                 return;
@@ -276,13 +345,20 @@ mod tests {
         heap.into_sorted().items
     }
 
+    #[derive(Clone, Copy, PartialEq)]
+    enum Tier {
+        F64,
+        F32,
+        I8,
+    }
+
     fn run_algo(
         algo: RetrievalAlgo,
         items: &Matrix<f64>,
         user: &[f64],
         k: usize,
     ) -> (Vec<u32>, ScanStats) {
-        let (list, stats) = run_algo_screened(algo, items, user, k, false);
+        let (list, stats) = run_algo_screened(algo, items, user, k, Tier::F64);
         (list.items, stats)
     }
 
@@ -291,16 +367,25 @@ mod tests {
         items: &Matrix<f64>,
         user: &[f64],
         k: usize,
-        screen: bool,
+        tier: Tier,
     ) -> (mips_topk::TopKList, ScanStats) {
         let cp = (items.cols() / 4).max(1);
         let mut buckets = build_buckets(items, 16, cp);
         let mut ctx = UserCtx::new(user, cp);
-        if screen {
-            for b in &mut buckets {
-                b.build_screen_mirror();
+        match tier {
+            Tier::F64 => {}
+            Tier::F32 => {
+                for b in &mut buckets {
+                    b.build_screen_mirror();
+                }
+                ctx = ctx.with_screen();
             }
-            ctx = ctx.with_screen();
+            Tier::I8 => {
+                for b in &mut buckets {
+                    assert!(b.build_screen_mirror_i8());
+                }
+                ctx = ctx.with_screen_i8();
+            }
         }
         let mut heap = TopKHeap::new(k);
         let mut stats = ScanStats::default();
@@ -398,7 +483,8 @@ mod tests {
     fn screened_scans_are_bit_identical_and_prune() {
         let items = random_items(300, 24, 11);
         let users = random_items(6, 24, 42);
-        let mut pruned = 0;
+        let mut pruned_f32 = 0;
+        let mut pruned_i8 = 0;
         for u in 0..users.rows() {
             let user = users.row(u);
             for k in [1usize, 4, 9] {
@@ -407,19 +493,25 @@ mod tests {
                     RetrievalAlgo::Length,
                     RetrievalAlgo::Incr,
                 ] {
-                    let (want, _) = run_algo_screened(algo, &items, user, k, false);
-                    let (got, stats) = run_algo_screened(algo, &items, user, k, true);
-                    assert_eq!(got.items, want.items, "algo {algo:?} k={k} user {u}");
-                    for (a, b) in got.scores.iter().zip(&want.scores) {
-                        assert_eq!(a.to_bits(), b.to_bits(), "algo {algo:?} k={k} user {u}");
+                    let (want, _) = run_algo_screened(algo, &items, user, k, Tier::F64);
+                    for tier in [Tier::F32, Tier::I8] {
+                        let (got, stats) = run_algo_screened(algo, &items, user, k, tier);
+                        assert_eq!(got.items, want.items, "algo {algo:?} k={k} user {u}");
+                        for (a, b) in got.scores.iter().zip(&want.scores) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "algo {algo:?} k={k} user {u}");
+                        }
+                        match tier {
+                            Tier::F32 => pruned_f32 += stats.screen_pruned,
+                            _ => pruned_i8 += stats.screen_pruned,
+                        }
                     }
-                    pruned += stats.screen_pruned;
                 }
             }
         }
         // Random dense scores leave most items far from the top-k
-        // threshold: the screen must actually be saving exact dots.
-        assert!(pruned > 0, "screen never pruned anything");
+        // threshold: the screens must actually be saving exact dots.
+        assert!(pruned_f32 > 0, "f32 screen never pruned anything");
+        assert!(pruned_i8 > 0, "i8 screen never pruned anything");
     }
 
     #[test]
@@ -436,6 +528,35 @@ mod tests {
         }
         assert_eq!(stats.screen_pruned, 0);
         assert_eq!(stats.dots_computed, 80);
+    }
+
+    #[test]
+    fn i8_screen_without_bucket_mirror_degrades_to_plain_scan() {
+        let items = random_items(80, 8, 3);
+        let buckets = build_buckets(&items, 16, 2);
+        let ctx = UserCtx::new(items.row(0), 2).with_screen_i8();
+        assert!(ctx.screen_i8.is_some());
+        let mut heap = TopKHeap::new(5);
+        let mut stats = ScanStats::default();
+        for b in &buckets {
+            scan_bucket(RetrievalAlgo::Naive, b, &ctx, &mut heap, &mut stats);
+        }
+        assert_eq!(stats.screen_pruned, 0);
+        assert_eq!(stats.dots_computed, 80);
+    }
+
+    #[test]
+    fn degenerate_user_rows_scan_unscreened_but_exact() {
+        // A subnormal user row quantizes to a non-finite scale: with_screen_i8
+        // must leave the screen unarmed rather than prune wrongly.
+        let items = random_items(60, 6, 9);
+        let user = vec![1.0e-320; 6];
+        let ctx = UserCtx::new(&user, 2).with_screen_i8();
+        assert!(ctx.screen_i8.is_none());
+        let (got, stats) = run_algo_screened(RetrievalAlgo::Naive, &items, &user, 5, Tier::I8);
+        let (want, _) = run_algo_screened(RetrievalAlgo::Naive, &items, &user, 5, Tier::F64);
+        assert_eq!(got.items, want.items);
+        assert_eq!(stats.screen_pruned, 0);
     }
 
     #[test]

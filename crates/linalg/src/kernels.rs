@@ -140,6 +140,49 @@ pub(crate) fn suffix_sumsq_scalar_f32(x: &[f32], out: &mut [f32]) {
     suffix_sumsq_scalar(x, out)
 }
 
+/// Scalar body of [`crate::simd::Kernel::dot_i8`]: widening i8×i8→i32
+/// multiply-accumulate. Integer addition is associative, so every kernel
+/// set (and any unrolling the autovectorizer applies here) produces the
+/// identical `i32` — the i8 screen's bit-identity needs no envelope term
+/// for accumulation order. Overflow-free for `x.len() ≤ I8_DOT_MAX_LEN`
+/// (see [`crate::quant::I8_DOT_MAX_LEN`]), which the safe vtable wrapper
+/// asserts.
+pub(crate) fn dot_scalar_i8(x: &[i8], y: &[i8]) -> i32 {
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let mut acc2 = 0i32;
+    let mut acc3 = 0i32;
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        acc0 += xs[0] as i32 * ys[0] as i32;
+        acc1 += xs[1] as i32 * ys[1] as i32;
+        acc2 += xs[2] as i32 * ys[2] as i32;
+        acc3 += xs[3] as i32 * ys[3] as i32;
+    }
+    let mut tail = 0i32;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += a as i32 * b as i32;
+    }
+    acc0 + acc1 + acc2 + acc3 + tail
+}
+
+/// Scalar body of [`crate::simd::Kernel::dot_i8_quad`]: four independent
+/// integer chains sharing the `x` loads, so the scan loop that consumes
+/// groups of four item rows stays throughput-bound.
+pub(crate) fn dot_i8_quad_scalar(x: &[i8], ys: [&[i8]; 4]) -> [i32; 4] {
+    let [y0, y1, y2, y3] = ys;
+    let mut acc = [0i32; 4];
+    for (j, &u) in x.iter().enumerate() {
+        let u = u as i32;
+        acc[0] += u * y0[j] as i32;
+        acc[1] += u * y1[j] as i32;
+        acc[2] += u * y2[j] as i32;
+        acc[3] += u * y3[j] as i32;
+    }
+    acc
+}
+
 /// Machine epsilon of the f32 *rounding* step: `2⁻²⁴` (half the ulp of 1.0).
 const EPS_ROUND_F32: f64 = 5.960_464_477_539_063e-8;
 

@@ -40,6 +40,7 @@ pub mod error;
 pub mod gemm;
 pub mod kernels;
 pub mod matrix;
+pub mod quant;
 pub mod scalar;
 pub mod simd;
 pub mod svd;
@@ -56,5 +57,9 @@ pub use kernels::{
     sumsq_reassoc_bound,
 };
 pub use matrix::{Matrix, RowBlock};
+pub use quant::{
+    dot_i8, dot_i8_quad, i8_screen_envelope_parts, quantize_row_i8, scale_for, I8_DOT_MAX_LEN,
+    I8_QUANT_LEVEL,
+};
 pub use scalar::Scalar;
 pub use simd::Kernel;

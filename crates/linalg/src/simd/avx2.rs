@@ -319,6 +319,155 @@ unsafe fn micro_4x8_f32_inner(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32;
 }
 
 /// Safe wrapper; see module docs for the soundness argument.
+pub(super) fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: as for `dot`.
+    unsafe { dot_i8_inner(x, y) }
+}
+
+/// Int8 widening dot: each 32-byte block is sign-extended to i16 halves
+/// (`vpmovsxbw`) and folded by `vpmaddwd` into eight i32 lanes — 32
+/// products per two madds. The remainder is peeled vector-first: one
+/// 16-element sub-chunk (full 128-bit load, one madd) and one 8-element
+/// sub-chunk (`vmovq` zero-extends the upper half, whose lanes then
+/// contribute exact zero products), leaving at most 7 scalar elements —
+/// this matters at recommender widths like f = 50, where a 32-wide loop
+/// alone would push 18 of 50 coordinates through the scalar tail.
+/// Per-lane worst case at the documented length cap
+/// (`quant::I8_DOT_MAX_LEN`) is `(f/16 + 2)·2·127² < 2³¹`, so the i32
+/// lanes cannot overflow; every add is an exact integer add, making the
+/// result bit-identical to the scalar kernel under every input.
+// SAFETY contract: the caller must guarantee AVX2 is available (upheld by
+// constructing the `Kernel` only after feature detection) and pass slices
+// satisfying the safe wrapper's length invariants — every pointer read
+// below is in bounds exactly when they hold (each sub-chunk load is
+// guarded by `i + width <= n`).
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_inner(x: &[i8], y: &[i8]) -> i32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let xv = _mm256_loadu_si256(xp.add(i) as *const __m256i);
+        let yv = _mm256_loadu_si256(yp.add(i) as *const __m256i);
+        let xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+        let xhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+        let ylo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(yv));
+        let yhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(yv, 1));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xlo, ylo));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xhi, yhi));
+        i += 32;
+    }
+    if i + 16 <= n {
+        let xv = _mm256_cvtepi8_epi16(_mm_loadu_si128(xp.add(i) as *const __m128i));
+        let yv = _mm256_cvtepi8_epi16(_mm_loadu_si128(yp.add(i) as *const __m128i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, yv));
+        i += 16;
+    }
+    if i + 8 <= n {
+        let xv = _mm256_cvtepi8_epi16(_mm_loadl_epi64(xp.add(i) as *const __m128i));
+        let yv = _mm256_cvtepi8_epi16(_mm_loadl_epi64(yp.add(i) as *const __m128i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, yv));
+        i += 8;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        sum += *xp.add(i) as i32 * *yp.add(i) as i32;
+        i += 1;
+    }
+    sum
+}
+
+/// Horizontal i32 sum of the eight lanes — fold the halves, then two
+/// pairwise hadds. Exact: integer addition commutes and associates.
+// SAFETY contract: AVX2 available, per the kernel constructor contract.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(v: __m256i) -> i32 {
+    let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+    let s = _mm_hadd_epi32(s, s);
+    let s = _mm_hadd_epi32(s, s);
+    _mm_cvtsi128_si32(s)
+}
+
+/// Safe wrapper; see module docs for the soundness argument.
+pub(super) fn dot_i8_quad(x: &[i8], ys: [&[i8]; 4]) -> [i32; 4] {
+    // SAFETY: as for `dot`.
+    unsafe { dot_i8_quad_inner(x, ys) }
+}
+
+/// Four int8 widening dots sharing the `x` loads: four independent
+/// accumulator registers keep the madd chains pipelined the way
+/// `dot_seq4` does for f64. Remainder handling and overflow bound as for
+/// `dot_i8` (16- then 8-element sub-chunks, ≤ 7 scalar elements); the
+/// four horizontal sums are produced together by two levels of
+/// `vphaddd` plus one cross-half fold. Exactness as for `dot_i8` —
+/// integer adds, bit-identical to the scalar kernel.
+// SAFETY contract: the caller must guarantee AVX2 is available (upheld by
+// constructing the `Kernel` only after feature detection) and pass slices
+// satisfying the safe wrapper's length invariants — every pointer read
+// below is in bounds exactly when they hold (each sub-chunk load is
+// guarded by `i + width <= n`).
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_quad_inner(x: &[i8], ys: [&[i8]; 4]) -> [i32; 4] {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = [
+        ys[0].as_ptr(),
+        ys[1].as_ptr(),
+        ys[2].as_ptr(),
+        ys[3].as_ptr(),
+    ];
+    let mut acc = [_mm256_setzero_si256(); 4];
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let xv = _mm256_loadu_si256(xp.add(i) as *const __m256i);
+        let xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+        let xhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+        for q in 0..4 {
+            let yv = _mm256_loadu_si256(yp[q].add(i) as *const __m256i);
+            let ylo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(yv));
+            let yhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(yv, 1));
+            acc[q] = _mm256_add_epi32(acc[q], _mm256_madd_epi16(xlo, ylo));
+            acc[q] = _mm256_add_epi32(acc[q], _mm256_madd_epi16(xhi, yhi));
+        }
+        i += 32;
+    }
+    if i + 16 <= n {
+        let xv = _mm256_cvtepi8_epi16(_mm_loadu_si128(xp.add(i) as *const __m128i));
+        for (q, &p) in yp.iter().enumerate() {
+            let yv = _mm256_cvtepi8_epi16(_mm_loadu_si128(p.add(i) as *const __m128i));
+            acc[q] = _mm256_add_epi32(acc[q], _mm256_madd_epi16(xv, yv));
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        let xv = _mm256_cvtepi8_epi16(_mm_loadl_epi64(xp.add(i) as *const __m128i));
+        for (q, &p) in yp.iter().enumerate() {
+            let yv = _mm256_cvtepi8_epi16(_mm_loadl_epi64(p.add(i) as *const __m128i));
+            acc[q] = _mm256_add_epi32(acc[q], _mm256_madd_epi16(xv, yv));
+        }
+        i += 8;
+    }
+    // hadd(a, b) interleaves pairwise sums of a and b within each 128-bit
+    // half; two levels leave [A B C D | A' B' C' D'] where X + X' is the
+    // lane sum of acc[X] — one cross-half add finishes all four at once.
+    let h01 = _mm256_hadd_epi32(acc[0], acc[1]);
+    let h23 = _mm256_hadd_epi32(acc[2], acc[3]);
+    let h = _mm256_hadd_epi32(h01, h23);
+    let s = _mm_add_epi32(_mm256_castsi256_si128(h), _mm256_extracti128_si256(h, 1));
+    let mut out = [0i32; 4];
+    _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, s);
+    for (q, &p) in yp.iter().enumerate() {
+        for j in i..n {
+            out[q] += *xp.add(j) as i32 * *p.add(j) as i32;
+        }
+    }
+    out
+}
+
+/// Safe wrapper; see module docs for the soundness argument.
 pub(super) fn micro_4x8(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
     debug_assert_eq!(a_panel.len() / MR, b_panel.len() / NR);
     // SAFETY: as for `dot`.

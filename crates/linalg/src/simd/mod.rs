@@ -71,6 +71,20 @@
 //! the fused SIMD path and the scalar reference, across shapes that are
 //! deliberately not multiples of the tile sizes.
 //!
+//! ## Int8 screen kernels
+//!
+//! The `*_i8` entries ([`Kernel::dot_i8`], [`Kernel::dot_i8_quad`]) serve
+//! the quantized screen tier beneath the f32 one: item rows are stored as
+//! symmetric int8 codes with per-row scales (`mips_data::MirrorI8`), the
+//! widening i8×i8→i32 accumulation is **exact** under every association
+//! order (`f ≤ `[`crate::quant::I8_DOT_MAX_LEN`] keeps the worst case
+//! inside `i32`), and the AVX2 path uses `pmaddwd`-style paired
+//! multiply-adds while NEON uses `smull`+`sadalp` widening. Because integer
+//! addition is associative, these kernels sit *inside* the bit-identity
+//! contract — every set returns the identical `i32` — so the i8 screen's
+//! envelope ([`crate::quant::i8_screen_envelope_parts`]) only has to cover
+//! quantization error, not accumulation order.
+//!
 //! ## Safety contract
 //!
 //! This module is the only place in the crate allowed to use `unsafe`
@@ -131,6 +145,8 @@ pub struct Kernel {
     dot_f32: fn(&[f32], &[f32]) -> f32,
     suffix_sumsq_f32: fn(&[f32], &mut [f32]),
     micro_4x8_f32: fn(&[f32], &[f32], &mut [[f32; NR]; MR]),
+    dot_i8: fn(&[i8], &[i8]) -> i32,
+    dot_i8_quad: fn(&[i8], [&[i8]; 4]) -> [i32; 4],
 }
 
 impl std::fmt::Debug for Kernel {
@@ -257,6 +273,45 @@ impl Kernel {
         (self.micro_4x8_f32)(a_panel, b_panel, acc)
     }
 
+    /// Int8 dot product `xᵀy` for the quantized screen path, accumulated
+    /// exactly in `i32`. Integer addition is associative, so — unlike the
+    /// f32 screen kernels — every kernel set returns the **identical**
+    /// integer; the i8 screen's envelope only has to cover quantization,
+    /// not accumulation order.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ or exceed
+    /// [`crate::quant::I8_DOT_MAX_LEN`] (the i32-overflow guard).
+    #[inline]
+    pub fn dot_i8(&self, x: &[i8], y: &[i8]) -> i32 {
+        assert_eq!(x.len(), y.len(), "dot_i8: length mismatch");
+        assert!(
+            x.len() <= crate::quant::I8_DOT_MAX_LEN,
+            "dot_i8: length exceeds the i32-overflow cap"
+        );
+        (self.dot_i8)(x, y)
+    }
+
+    /// Four int8 dot products `xᵀy_q` at once: four independent integer
+    /// accumulation chains sharing the `x` loads, so scan loops consuming
+    /// item rows in groups of four stay throughput-bound. Same exactness
+    /// and overflow contract as [`Kernel::dot_i8`].
+    ///
+    /// # Panics
+    /// Panics if any length differs from `x`'s or exceeds
+    /// [`crate::quant::I8_DOT_MAX_LEN`].
+    #[inline]
+    pub fn dot_i8_quad(&self, x: &[i8], ys: [&[i8]; 4]) -> [i32; 4] {
+        for y in &ys {
+            assert_eq!(x.len(), y.len(), "dot_i8_quad: length mismatch");
+        }
+        assert!(
+            x.len() <= crate::quant::I8_DOT_MAX_LEN,
+            "dot_i8_quad: length exceeds the i32-overflow cap"
+        );
+        (self.dot_i8_quad)(x, ys)
+    }
+
     /// The portable scalar kernel set (the guaranteed fallback and the
     /// reference for the bit-identity contract).
     pub fn scalar() -> Kernel {
@@ -271,6 +326,8 @@ impl Kernel {
             dot_f32: crate::kernels::dot_scalar_f32,
             suffix_sumsq_f32: crate::kernels::suffix_sumsq_scalar_f32,
             micro_4x8_f32: crate::gemm::micro_4x8_scalar_f32,
+            dot_i8: crate::kernels::dot_scalar_i8,
+            dot_i8_quad: crate::kernels::dot_i8_quad_scalar,
         }
     }
 
@@ -291,6 +348,8 @@ impl Kernel {
                     dot_f32: avx2::dot_f32,
                     suffix_sumsq_f32: avx2::suffix_sumsq_f32,
                     micro_4x8_f32: avx2::micro_4x8_f32,
+                    dot_i8: avx2::dot_i8,
+                    dot_i8_quad: avx2::dot_i8_quad,
                 });
             }
             None
@@ -319,6 +378,8 @@ impl Kernel {
                 dot_f32: neon::dot_f32,
                 suffix_sumsq_f32: neon::suffix_sumsq_f32,
                 micro_4x8_f32: neon::micro_4x8_f32,
+                dot_i8: neon::dot_i8,
+                dot_i8_quad: neon::dot_i8_quad,
             })
         }
         #[cfg(not(target_arch = "aarch64"))]
@@ -649,6 +710,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dot_i8_bit_identical_across_kernels() {
+        // Integer accumulation is exact, so the i8 kernels sit inside the
+        // bit-identity contract under every kernel set — including shapes
+        // that are not multiples of the 16/32-byte vector widths, and the
+        // extreme codes ±127.
+        for len in [0usize, 1, 3, 15, 16, 17, 31, 32, 33, 50, 127, 257] {
+            let x: Vec<i8> = (0..len)
+                .map(|j| [127i8, -127, 0, 1, -1, 64, -33][(j * 5 + 3) % 7])
+                .collect();
+            let ys: Vec<Vec<i8>> = (0..4)
+                .map(|q| {
+                    (0..len)
+                        .map(|j| [-127i8, 127, 5, -5, 0, -90, 17][(j * 11 + q * 13 + 1) % 7])
+                        .collect()
+                })
+                .collect();
+            let refs = [&ys[0][..], &ys[1][..], &ys[2][..], &ys[3][..]];
+            let want = Kernel::scalar().dot_i8(&x, &ys[0]);
+            let want_quad = Kernel::scalar().dot_i8_quad(&x, refs);
+            // The scalar reference agrees with a plain widening loop.
+            let naive: i32 = x
+                .iter()
+                .zip(&ys[0])
+                .map(|(&a, &b)| a as i32 * b as i32)
+                .sum();
+            assert_eq!(want, naive, "len {len}");
+            assert_eq!(want_quad[0], naive, "len {len}");
+            for k in all_kernels() {
+                assert_eq!(k.dot_i8(&x, &ys[0]), want, "{} len {len}", k.name());
+                assert_eq!(k.dot_i8_quad(&x, refs), want_quad, "{} len {len}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow cap")]
+    fn dot_i8_rejects_lengths_past_the_overflow_cap() {
+        let too_long = vec![1i8; crate::quant::I8_DOT_MAX_LEN + 1];
+        let _ = Kernel::scalar().dot_i8(&too_long, &too_long);
     }
 
     #[test]

@@ -264,6 +264,104 @@ unsafe fn micro_4x8_f32_inner(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32;
 }
 
 /// Safe wrapper; soundness per the module-level contract.
+pub(super) fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: as for `dot`.
+    unsafe { dot_i8_inner(x, y) }
+}
+
+/// Int8 widening dot: 16 codes per step via `smull` (i8×i8→i16, exact —
+/// products are ≤ 127² and fit i16) and `sadalp` (pairwise add-accumulate
+/// into i32 lanes). Every add happens in i32 after exact i16 products, so
+/// the result is bit-identical to the scalar kernel; the per-lane bound at
+/// the documented length cap (`quant::I8_DOT_MAX_LEN`) stays far inside
+/// `i32`.
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read below is in bounds exactly when it holds.
+#[target_feature(enable = "neon")]
+unsafe fn dot_i8_inner(x: &[i8], y: &[i8]) -> i32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut acc = vdupq_n_s32(0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let xv = vld1q_s8(xp.add(i));
+        let yv = vld1q_s8(yp.add(i));
+        let lo = vmull_s8(vget_low_s8(xv), vget_low_s8(yv));
+        let hi = vmull_s8(vget_high_s8(xv), vget_high_s8(yv));
+        acc = vpadalq_s16(acc, lo);
+        acc = vpadalq_s16(acc, hi);
+        i += 16;
+    }
+    // 8-element sub-chunk (64-bit load) keeps the scalar tail under 8.
+    if i + 8 <= n {
+        acc = vpadalq_s16(acc, vmull_s8(vld1_s8(xp.add(i)), vld1_s8(yp.add(i))));
+        i += 8;
+    }
+    let mut sum = vaddvq_s32(acc);
+    while i < n {
+        sum += *xp.add(i) as i32 * *yp.add(i) as i32;
+        i += 1;
+    }
+    sum
+}
+
+/// Safe wrapper; soundness per the module-level contract.
+pub(super) fn dot_i8_quad(x: &[i8], ys: [&[i8]; 4]) -> [i32; 4] {
+    // SAFETY: as for `dot`.
+    unsafe { dot_i8_quad_inner(x, ys) }
+}
+
+/// Four int8 widening dots sharing the `x` loads — four independent
+/// accumulators keep the multiply chains pipelined. Exactness as for
+/// `dot_i8`.
+// SAFETY contract: NEON is baseline on aarch64, so the caller's only
+// obligation is the safe wrapper's length invariant — every pointer
+// read below is in bounds exactly when it holds.
+#[target_feature(enable = "neon")]
+unsafe fn dot_i8_quad_inner(x: &[i8], ys: [&[i8]; 4]) -> [i32; 4] {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = [
+        ys[0].as_ptr(),
+        ys[1].as_ptr(),
+        ys[2].as_ptr(),
+        ys[3].as_ptr(),
+    ];
+    let mut acc = [vdupq_n_s32(0); 4];
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let xv = vld1q_s8(xp.add(i));
+        let xlo = vget_low_s8(xv);
+        let xhi = vget_high_s8(xv);
+        for q in 0..4 {
+            let yv = vld1q_s8(yp[q].add(i));
+            acc[q] = vpadalq_s16(acc[q], vmull_s8(xlo, vget_low_s8(yv)));
+            acc[q] = vpadalq_s16(acc[q], vmull_s8(xhi, vget_high_s8(yv)));
+        }
+        i += 16;
+    }
+    // 8-element sub-chunk (64-bit loads) keeps the scalar tail under 8.
+    if i + 8 <= n {
+        let xv = vld1_s8(xp.add(i));
+        for (q, &p) in yp.iter().enumerate() {
+            acc[q] = vpadalq_s16(acc[q], vmull_s8(xv, vld1_s8(p.add(i))));
+        }
+        i += 8;
+    }
+    let mut out = [0i32; 4];
+    for (q, &p) in yp.iter().enumerate() {
+        out[q] = vaddvq_s32(acc[q]);
+        for j in i..n {
+            out[q] += *xp.add(j) as i32 * *p.add(j) as i32;
+        }
+    }
+    out
+}
+
+/// Safe wrapper; soundness per the module-level contract.
 pub(super) fn micro_4x8(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
     debug_assert_eq!(a_panel.len() / MR, b_panel.len() / NR);
     // SAFETY: as for `dot`.

@@ -23,6 +23,11 @@
 //! * **`as-f32-narrowing`** — no `as f32` demotions outside the blessed
 //!   mixed-precision sites listed in `crates/lint/allow.txt`; a stray
 //!   narrowing silently forfeits the exactness contract.
+//! * **`as-i8-narrowing`** — same discipline for the int8 screen tier: no
+//!   `as i8` casts outside the blessed quantization sites. Quantizing is
+//!   only exact-safe where the symmetric scale/clamp/envelope analysis
+//!   applies; an unblessed cast is either a truncation bug or a screen
+//!   site missing its error budget.
 //!
 //! Comments and string literals are stripped before token checks, so prose
 //! about `unsafe` or examples inside doc comments never trip the lint.
@@ -271,6 +276,19 @@ fn lint_lines(path: &str, raw: &[&str], code: &[String], findings: &mut Vec<Find
                     .to_string(),
             });
         }
+
+        // Rule: no i8 quantization casts outside blessed sites.
+        if has_token(code_line, "as i8") {
+            findings.push(Finding {
+                rule: "as-i8-narrowing",
+                path: path.to_string(),
+                line: line_no,
+                message: "`as i8` cast outside the blessed quantization sites — int8 codes are \
+                          only exact-safe under the symmetric scale/clamp/envelope analysis \
+                          (see crates/lint/allow.txt)"
+                    .to_string(),
+            });
+        }
     }
 }
 
@@ -445,6 +463,11 @@ fn self_test() -> ExitCode {
             "crates/topk/src/seeded.rs",
             "pub fn f(x: f64) -> f32 {\n    x as f32\n}\n",
         ),
+        (
+            "as-i8-narrowing",
+            "crates/topk/src/seeded_i8.rs",
+            "pub fn f(x: f64) -> i8 {\n    x as i8\n}\n",
+        ),
     ];
 
     // Sources the lint must NOT flag: the conventions done right, plus
@@ -461,6 +484,10 @@ fn self_test() -> ExitCode {
         (
             "crates/topk/src/seeded_good.rs",
             "pub fn f(x: f32) -> f64 {\n    f64::from(x) // widening is always fine\n}\n",
+        ),
+        (
+            "crates/topk/src/seeded_good_i8.rs",
+            "//! Doc prose may mention v as i8 without tripping the lint.\npub fn f(x: i8) -> i32 {\n    i32::from(x) // widening an i8 code is always fine\n}\n",
         ),
     ];
 

@@ -282,6 +282,101 @@ fn forced_f32_rescore_is_bit_identical_and_announced_on_the_wire() {
 }
 
 #[test]
+fn forced_i8_rescore_is_bit_identical_and_announced_on_the_wire() {
+    // The int8 tier under the f32 one: integer screen, exact f64 rescore,
+    // same bit-identity contract, and /metrics must attribute batches and
+    // screen candidate/survivor counts to the i8 lanes. The engine is
+    // pinned to BMM — with the full registry, OPTIMUS may legitimately
+    // hand a forced-i8 plan to a screenless backend (which serves
+    // f64-direct), and this test is about the i8 lanes, not the planner.
+    let model = model(80, 100, 11);
+    let f64_engine = engine(&model);
+    let registry = mips_core::engine::BackendRegistry::with_defaults();
+    let bmm = registry
+        .factories()
+        .iter()
+        .find(|f| f.key() == "bmm")
+        .expect("bmm is a default backend");
+    let i8_engine = Arc::new(
+        EngineBuilder::new()
+            .model(Arc::clone(&model))
+            .register_arc(Arc::clone(bmm))
+            .precision(mips_core::precision::Precision::I8Rescore)
+            .build()
+            .unwrap(),
+    );
+    let server = Arc::new(
+        ServerBuilder::new()
+            .engine(Arc::clone(&i8_engine))
+            .shards(2)
+            .workers(2)
+            .build()
+            .unwrap(),
+    );
+    let http = HttpServerBuilder::new()
+        .server(Arc::clone(&server))
+        .build()
+        .unwrap();
+    let mut client = Client::connect(http.local_addr()).unwrap();
+
+    let wire = "{\"k\": 5, \"users\": [3, 0, 9, 3]}";
+    let response = client.request("POST", "/query", Some(wire)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let doc = json::parse(&response.body).unwrap();
+    assert_eq!(
+        doc.get("precision").and_then(Json::as_str),
+        Some("i8-rescore"),
+        "the response must carry the serving plan's precision"
+    );
+    let expected = f64_engine
+        .execute(&QueryRequest::top_k(5).users(vec![3, 0, 9, 3]))
+        .unwrap();
+    let got = wire_results(&response.body);
+    for (row, want) in got.iter().zip(&expected.results) {
+        assert_eq!(row.0, want.items);
+        let want_bits: Vec<u64> = want.scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(row.1, want_bits, "i8-rescore must not move a single bit");
+    }
+
+    let metrics = client.request("GET", "/metrics", None).unwrap();
+    let doc = json::parse(&metrics.body).unwrap();
+    let server_side = doc.get("server").expect("server section");
+    assert_eq!(
+        server_side.get("precision").and_then(Json::as_str),
+        Some("i8-rescore")
+    );
+    assert!(
+        server_side
+            .get("i8_batches")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1,
+        "served batches must be attributed to the i8 screen path"
+    );
+    let candidates = server_side
+        .get("screen_candidates_i8")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let survivors = server_side
+        .get("screen_survivors_i8")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        candidates >= 1,
+        "the i8 screen must report evaluated scores"
+    );
+    assert!(survivors <= candidates);
+    assert_eq!(
+        server_side
+            .get("screen_candidates_f32")
+            .and_then(Json::as_u64),
+        Some(0),
+        "no f32 screen work under a forced i8 engine"
+    );
+    http.shutdown().unwrap();
+}
+
+#[test]
 fn metrics_and_healthz_expose_the_rollup() {
     let (_engine, server, http) = stack();
     let mut client = Client::connect(http.local_addr()).unwrap();
